@@ -1,0 +1,310 @@
+package tauw_test
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/stats"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// The study fixture is shared across benchmarks: building it is the one-off
+// "train + calibrate" phase, while each benchmark measures regenerating one
+// of the paper's tables or figures from it.
+var (
+	benchOnce  sync.Once
+	benchStudy *eval.Study
+	benchErr   error
+)
+
+func study(b *testing.B) *eval.Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = eval.BuildStudy(eval.TinyConfig())
+	})
+	if benchErr != nil {
+		b.Fatalf("BuildStudy: %v", benchErr)
+	}
+	return benchStudy
+}
+
+// BenchmarkStudyBuild measures the full train-and-calibrate pipeline (data
+// synthesis, DDM training, both quality impact models) at the tiny preset.
+func BenchmarkStudyBuild(b *testing.B) {
+	cfg := eval.TinyConfig()
+	cfg.NumSeries = 90
+	cfg.TrainAugmentations = 3
+	cfg.EvalAugmentations = 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.BuildStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4MisclassificationOverTime regenerates Fig. 4 (RQ1).
+func BenchmarkFig4MisclassificationOverTime(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunFig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1UncertaintyModels regenerates Table I (RQ2a): all six
+// uncertainty models with their Brier decompositions.
+func BenchmarkTable1UncertaintyModels(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunTable1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5UncertaintyDistribution regenerates Fig. 5 (RQ2a).
+func BenchmarkFig5UncertaintyDistribution(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunFig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Calibration regenerates Fig. 6 (RQ2b).
+func BenchmarkFig6Calibration(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunFig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7FeatureImportance regenerates Fig. 7 (RQ3): 15 taQIM refits
+// plus scoring.
+func BenchmarkFig7FeatureImportance(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunFig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverageCheck regenerates the dependability (bound coverage)
+// check.
+func BenchmarkCoverageCheck(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunCoverage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBinomialBounds regenerates the bound-method ablation.
+func BenchmarkAblationBinomialBounds(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunBoundAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTieBreak regenerates the tie-break ablation.
+func BenchmarkAblationTieBreak(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunTieBreakAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTreeCalibration regenerates the depth/min-leaf ablation.
+func BenchmarkAblationTreeCalibration(b *testing.B) {
+	st := study(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.RunTreeAblation([]int{4, 8}, []int{100, 200}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWrapperStep measures the runtime cost of one taUW step — the
+// latency a perception pipeline pays per frame for dependable uncertainty.
+func BenchmarkWrapperStep(b *testing.B) {
+	st := study(b)
+	w, err := st.Wrapper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	series := st.TestSeries[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(series.Outcomes)
+		if j == 0 {
+			w.NewSeries()
+		}
+		if _, err := w.Step(series.Outcomes[j], series.Quality[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatelessEstimate measures the base wrapper's per-frame cost.
+func BenchmarkStatelessEstimate(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(series.Outcomes)
+		if _, err := st.Base.Estimate(series.Outcomes[j], series.Quality[j], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClopperPearson measures the leaf-calibration bound itself.
+func BenchmarkClopperPearson(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := i % 40
+		if _, err := stats.BinomialUpperBound(stats.ClopperPearson, k, 200, 0.999); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrierDecompose measures the Murphy decomposition on a
+// tree-valued forecast sample.
+func BenchmarkBrierDecompose(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	levels := []float64{0.005, 0.02, 0.1, 0.3, 0.6}
+	n := 10000
+	forecast := make([]float64, n)
+	outcome := make([]bool, n)
+	for i := range forecast {
+		forecast[i] = levels[rng.IntN(len(levels))]
+		outcome[i] = rng.Float64() < forecast[i]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Decompose(forecast, outcome); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMajorityVote measures the paper's information-fusion rule on a
+// length-10 history.
+func BenchmarkMajorityVote(b *testing.B) {
+	outcomes := []int{3, 7, 3, 7, 7, 3, 7, 7, 7, 7}
+	us := []float64{0.4, 0.3, 0.3, 0.2, 0.1, 0.3, 0.1, 0.05, 0.04, 0.02}
+	mv := fusion.MajorityVote{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mv.Fuse(outcomes, us); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBufferAppend contrasts the unbounded buffer against the ring
+// variant (the buffer-implementation ablation from DESIGN.md).
+func BenchmarkBufferAppend(b *testing.B) {
+	b.Run("unbounded", func(b *testing.B) {
+		buf, err := core.NewBuffer(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				buf.Reset()
+			}
+			buf.Append(core.Record{Outcome: i, Uncertainty: 0.1})
+		}
+	})
+	b.Run("ring64", func(b *testing.B) {
+		buf, err := core.NewBuffer(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Append(core.Record{Outcome: i, Uncertainty: 0.1})
+		}
+	})
+}
+
+// BenchmarkQIMFit measures growing and calibrating a quality impact model
+// on frame-scale data — the cost of the (re)calibration phase.
+func BenchmarkQIMFit(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 4000
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		y[i] = rng.Float64() < 0.05+0.4*x[i][0]
+	}
+	cfg := uw.DefaultQIMConfig()
+	cfg.MinLeafCalibration = 200
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uw.FitQIM(x, y, x, y, nil, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDDMTraining measures softmax-regression training on a
+// study-scale sample count (reported as the DDM-training context number).
+func BenchmarkDDMTraining(b *testing.B) {
+	st := study(b)
+	_ = st // ensures comparable process state with the other benches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := eval.TinyConfig()
+		cfg.NumSeries = 60
+		cfg.TrainAugmentations = 2
+		cfg.EvalAugmentations = 2
+		cfg.Train.Epochs = 2
+		if _, err := eval.BuildStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

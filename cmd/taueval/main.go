@@ -1,0 +1,152 @@
+// Command taueval reproduces the paper's evaluation: it assembles the
+// synthetic GTSRB study, trains the DDM, calibrates the stateless and
+// timeseries-aware uncertainty wrappers, and prints the requested tables and
+// figures (Fig. 4, Table I, Fig. 5, Fig. 6, Fig. 7) plus the ablations.
+//
+// Usage:
+//
+//	taueval [-preset quick|paper|tiny] [-experiment all|fig4|table1|fig5|fig6|fig7|ablations]
+//	        [-seed N] [-rules] [-json out.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "taueval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("taueval", flag.ContinueOnError)
+	var (
+		preset     = fs.String("preset", "quick", "study preset: quick, paper, or tiny")
+		experiment = fs.String("experiment", "all", "experiment: all, fig4, table1, fig5, fig6, fig7, coverage, lengths, or ablations")
+		seed       = fs.Uint64("seed", 0, "override the preset's random seed (0 keeps the preset default)")
+		rules      = fs.Bool("rules", false, "also print the calibrated decision-tree rules")
+		jsonPath   = fs.String("json", "", "write the full results as JSON to this file (experiment=all only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg eval.StudyConfig
+	switch *preset {
+	case "quick":
+		cfg = eval.QuickConfig()
+	case "paper":
+		cfg = eval.PaperConfig()
+	case "tiny":
+		cfg = eval.TinyConfig()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	start := time.Now()
+	fmt.Fprintf(out, "building study (preset %q, %d series)...\n", cfg.Name, cfg.NumSeries)
+	st, err := eval.BuildStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "study ready in %v; DDM accuracy %.2f%% (train) / %.2f%% (test)\n\n",
+		time.Since(start).Round(time.Millisecond), 100*st.DDMTrainAccuracy, 100*st.DDMTestAccuracy)
+
+	switch *experiment {
+	case "all":
+		res, err := st.RunAll()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, res)
+		if *jsonPath != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fmt.Errorf("encoding results: %w", err)
+			}
+			if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", *jsonPath, err)
+			}
+			fmt.Fprintf(out, "results written to %s\n", *jsonPath)
+		}
+	case "fig4":
+		r, err := st.RunFig4()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "table1":
+		r, err := st.RunTable1()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "fig5":
+		r, err := st.RunFig5()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "fig6":
+		r, err := st.RunFig6()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "fig7":
+		r, err := st.RunFig7()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "coverage":
+		r, err := st.RunCoverage()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "lengths":
+		r, err := st.RunLengthSweep(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r)
+	case "ablations":
+		bounds, err := st.RunBoundAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bounds)
+		ties, err := st.RunTieBreakAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ties)
+		trees, err := st.RunTreeAblation(nil, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, trees)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	if *rules {
+		fmt.Fprintln(out, "\n=== stateless quality impact model ===")
+		fmt.Fprintln(out, st.Base.QIM().Rules())
+		fmt.Fprintln(out, "=== timeseries-aware quality impact model ===")
+		fmt.Fprintln(out, st.TAQIM.Rules())
+	}
+	fmt.Fprintf(out, "total runtime %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyAll(t *testing.T) {
+	var out bytes.Buffer
+	jsonPath := filepath.Join(t.TempDir(), "results.json")
+	err := run([]string{"-preset", "tiny", "-experiment", "all", "-json", jsonPath}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Fig. 4", "Table I", "Fig. 5", "Fig. 6", "Fig. 7", "total runtime"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"Table1\"") {
+		t.Error("JSON export missing Table1")
+	}
+}
+
+func TestRunSingleExperimentsAndRules(t *testing.T) {
+	for _, exp := range []string{"fig4", "table1", "fig5", "fig6", "fig7", "coverage", "lengths"} {
+		var out bytes.Buffer
+		if err := run([]string{"-preset", "tiny", "-experiment", exp}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-experiment", "fig4", "-rules"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "quality impact model") {
+		t.Error("rules flag produced no rules")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "tiny", "-experiment", "ablations"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"binomial bound", "tie-break", "depth"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "bogus"}, &out); err == nil {
+		t.Error("bogus preset must fail")
+	}
+	if err := run([]string{"-preset", "tiny", "-experiment", "bogus"}, &out); err == nil {
+		t.Error("bogus experiment must fail")
+	}
+	if err := run([]string{"-nonsense"}, &out); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command taugen generates and inspects the synthetic GTSRB timeseries
+// benchmark: it prints dataset statistics (class balance, series geometry,
+// deficit distributions) and can export the series metadata as JSON or CSV
+// for external analysis.
+//
+// Usage:
+//
+//	taugen [-series N] [-seed N] [-format summary|json|csv] [-out file]
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "taugen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("taugen", flag.ContinueOnError)
+	var (
+		nSeries = fs.Int("series", 1307, "number of series to generate")
+		seed    = fs.Uint64("seed", 1, "generator seed")
+		format  = fs.String("format", "summary", "output format: summary, json, or csv")
+		outPath = fs.String("out", "", "write output to this file instead of stdout")
+		augN    = fs.Int("augment", 1, "situation settings sampled per series for the deficit summary")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := gtsrb.DefaultGeneratorConfig()
+	cfg.NumSeries = *nSeries
+	cfg.Seed = *seed
+	if cfg.NumSeries >= 3*gtsrb.NumClasses {
+		cfg.MinPerClass = 3
+	}
+	series, err := gtsrb.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	switch *format {
+	case "summary":
+		return writeSummary(out, series, *seed, *augN)
+	case "json":
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(series)
+	case "csv":
+		return writeCSV(out, series)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+func writeSummary(out io.Writer, series []gtsrb.Series, seed uint64, augN int) error {
+	frames := 0
+	classCounts := make([]int, gtsrb.NumClasses)
+	for _, s := range series {
+		frames += s.Len()
+		classCounts[s.Class]++
+	}
+	fmt.Fprintf(out, "synthetic GTSRB benchmark: %d series, %d frames\n", len(series), frames)
+	fmt.Fprintf(out, "%-4s %-40s %-14s %s\n", "id", "class", "family", "series")
+	for _, c := range gtsrb.Catalog() {
+		fmt.Fprintf(out, "%-4d %-40s %-14s %d\n", c.ID, c.Name, c.Family, classCounts[c.ID])
+	}
+	if augN > 0 {
+		pool, err := augment.NewPool(seed+1, augment.PaperPoolSize)
+		if err != nil {
+			return err
+		}
+		var meanSeverity float64
+		var rainy, dark int
+		n := min(len(series)*augN, 2000)
+		for i := 0; i < n; i++ {
+			setting, err := pool.Setting(i)
+			if err != nil {
+				return err
+			}
+			meanSeverity += setting.Base.Severity()
+			if setting.RainMMH > 0 {
+				rainy++
+			}
+			if setting.Base[augment.Darkness] > 0.8 {
+				dark++
+			}
+		}
+		fmt.Fprintf(out, "\nsituation settings (sample of %d from a pool of %d):\n", n, augment.PaperPoolSize)
+		fmt.Fprintf(out, "  mean severity %.3f, rainy %.1f%%, dark %.1f%%\n",
+			meanSeverity/float64(n), 100*float64(rainy)/float64(n), 100*float64(dark)/float64(n))
+	}
+	return nil
+}
+
+func writeCSV(out io.Writer, series []gtsrb.Series) error {
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	if err := w.Write([]string{"series", "step", "class", "distance_m", "pixel_size", "image_x", "image_y", "speed_kmh", "lat", "lon"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, s := range series {
+		for _, fr := range s.Frames {
+			rec := []string{
+				strconv.Itoa(s.ID), strconv.Itoa(fr.Step), strconv.Itoa(fr.Class),
+				f(fr.Distance), f(fr.PixelSize), f(fr.ImageX), f(fr.ImageY),
+				f(fr.SpeedKMH), f(s.Location.Lat), f(s.Location.Lon),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Error()
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/gtsrb"
+)
+
+func TestSummaryFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-series", "150", "-format", "summary"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "150 series") {
+		t.Errorf("summary missing series count:\n%s", text)
+	}
+	if !strings.Contains(text, "stop") || !strings.Contains(text, "speed limit 30") {
+		t.Error("summary missing class names")
+	}
+	if !strings.Contains(text, "situation settings") {
+		t.Error("summary missing settings block")
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-series", "50", "-format", "json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var series []gtsrb.Series
+	if err := json.Unmarshal(out.Bytes(), &series); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(series) != 50 {
+		t.Errorf("decoded %d series, want 50", len(series))
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-series", "10", "-format", "csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 10*29+1 {
+		t.Errorf("csv has %d rows, want at least %d", len(records), 10*29+1)
+	}
+	if records[0][0] != "series" {
+		t.Errorf("csv header wrong: %v", records[0])
+	}
+	if len(records[1]) != 10 {
+		t.Errorf("csv row width %d, want 10", len(records[1]))
+	}
+}
+
+func TestOutFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/data.json"
+	var out bytes.Buffer
+	if err := run([]string{"-series", "20", "-format", "json", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("stdout must stay empty when -out is used")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "bogus"}, &out); err == nil {
+		t.Error("bogus format must fail")
+	}
+	if err := run([]string{"-series", "0"}, &out); err == nil {
+		t.Error("zero series must fail")
+	}
+}

@@ -1,0 +1,78 @@
+// Command tauserve runs the timeseries-aware uncertainty wrapper as a
+// runtime-monitoring HTTP service. On startup it builds and calibrates the
+// study pipeline (synthetic data, DDM, wrappers) at the chosen preset, then
+// serves fused outcomes with dependable uncertainties and simplex
+// countermeasures.
+//
+// Usage:
+//
+//	tauserve [-addr :8080] [-preset tiny|quick|paper]
+//
+// Endpoints:
+//
+//	POST   /v1/series          start tracking a new physical object
+//	POST   /v1/step            {series_id, outcome, quality{...}, pixel_size}
+//	DELETE /v1/series/{id}     stop tracking
+//	GET    /v1/stats           monitor counters
+//	GET    /v1/model/rules     calibrated taQIM rules (transparency)
+//	GET    /healthz            liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tauserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tauserve", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", ":8080", "listen address")
+		preset = fs.String("preset", "tiny", "calibration preset: tiny, quick, or paper")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var cfg eval.StudyConfig
+	switch *preset {
+	case "tiny":
+		cfg = eval.TinyConfig()
+	case "quick":
+		cfg = eval.QuickConfig()
+	case "paper":
+		cfg = eval.PaperConfig()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	log.Printf("calibrating wrappers (preset %q)...", cfg.Name)
+	start := time.Now()
+	st, err := eval.BuildStudy(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("calibrated in %v (DDM test accuracy %.2f%%)", time.Since(start).Round(time.Millisecond), 100*st.DDMTestAccuracy)
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("listening on %s", *addr)
+	return httpServer.ListenAndServe()
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// Server exposes a calibrated timeseries-aware uncertainty wrapper as a
+// runtime-monitoring HTTP service: perception components stream their
+// momentaneous outcomes and quality factors per tracked object, and receive
+// the fused outcome, its dependable uncertainty, and the simplex
+// countermeasure to take.
+type Server struct {
+	taqim   *uw.QualityImpactModel
+	monitor *simplex.Monitor
+	pool    *core.WrapperPool
+
+	mu     sync.Mutex
+	ids    map[string]int
+	nextID int
+}
+
+// NewServer wires a server from calibrated models.
+func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Policy) (*Server, error) {
+	if base == nil || taqim == nil {
+		return nil, errors.New("tauserve: base wrapper and taQIM are required")
+	}
+	monitor, err := simplex.NewMonitor(policy)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := core.NewWrapperPool(base, taqim, core.Config{}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		taqim:   taqim,
+		monitor: monitor,
+		pool:    pool,
+		ids:     make(map[string]int),
+	}, nil
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/series", s.handleNewSeries)
+	mux.HandleFunc("DELETE /v1/series/{id}", s.handleEndSeries)
+	mux.HandleFunc("POST /v1/step", s.handleStep)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/model/rules", s.handleRules)
+	mux.HandleFunc("GET /v1/model/leaves", s.handleLeaves)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// newSeriesResponse is the body of POST /v1/series.
+type newSeriesResponse struct {
+	SeriesID string `json:"series_id"`
+}
+
+func (s *Server) handleNewSeries(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	s.nextID++
+	track := s.nextID
+	id := "s" + strconv.Itoa(track)
+	s.ids[id] = track
+	s.mu.Unlock()
+	if err := s.pool.Open(track); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, newSeriesResponse{SeriesID: id})
+}
+
+func (s *Server) handleEndSeries(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	track, ok := s.ids[id]
+	delete(s.ids, id)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", id))
+		return
+	}
+	if err := s.pool.Close(track); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// stepRequest is the body of POST /v1/step: one momentaneous DDM outcome
+// with the quality factors observed alongside it.
+type stepRequest struct {
+	SeriesID string `json:"series_id"`
+	// Outcome is the DDM's class decision for the current frame.
+	Outcome int `json:"outcome"`
+	// Quality maps quality-factor names (the nine deficit channels) to
+	// intensities in [0,1].
+	Quality map[string]float64 `json:"quality"`
+	// PixelSize is the apparent sign size in pixels.
+	PixelSize float64 `json:"pixel_size"`
+}
+
+// stepResponse reports the fused outcome, its dependable uncertainty, and
+// the selected countermeasure.
+type stepResponse struct {
+	SeriesID       string  `json:"series_id"`
+	FusedOutcome   int     `json:"fused_outcome"`
+	Uncertainty    float64 `json:"uncertainty"`
+	StatelessU     float64 `json:"stateless_uncertainty"`
+	SeriesLen      int     `json:"series_len"`
+	Countermeasure string  `json:"countermeasure"`
+	Accepted       bool    `json:"accepted"`
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	var req stepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	quality, err := qualityFromMap(req.Quality, req.PixelSize)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	track, ok := s.ids[req.SeriesID]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", req.SeriesID))
+		return
+	}
+	res, err := s.pool.Step(track, req.Outcome, quality)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	decision, err := s.monitor.Gate(res.Fused, res.Uncertainty)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stepResponse{
+		SeriesID:       req.SeriesID,
+		FusedOutcome:   res.Fused,
+		Uncertainty:    res.Uncertainty,
+		StatelessU:     res.Stateless.Uncertainty,
+		SeriesLen:      res.SeriesLen,
+		Countermeasure: decision.Level.Name,
+		Accepted:       decision.Accepted,
+	})
+}
+
+// qualityFromMap assembles the wrapper's quality-factor vector from named
+// channels; missing channels default to 0 (no deficit), unknown names fail.
+func qualityFromMap(m map[string]float64, pixelSize float64) ([]float64, error) {
+	names := augment.Names()
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	qf := make([]float64, len(names)+1)
+	for name, v := range m {
+		i, ok := index[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown quality factor %q", name)
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("quality factor %q = %g outside [0,1]", name, v)
+		}
+		qf[i] = v
+	}
+	if pixelSize <= 0 {
+		return nil, fmt.Errorf("pixel_size must be positive, got %g", pixelSize)
+	}
+	qf[len(names)] = pixelSize
+	return qf, nil
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	ActiveSeries int            `json:"active_series"`
+	Gated        int            `json:"gated_total"`
+	PerLevel     map[string]int `json:"per_countermeasure"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.monitor.Snapshot()
+	active := s.pool.Active()
+	writeJSON(w, http.StatusOK, statsResponse{
+		ActiveSeries: active,
+		Gated:        snap.Total,
+		PerLevel:     snap.PerLevel,
+	})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "=== timeseries-aware quality impact model ===")
+	fmt.Fprint(w, s.taqim.Rules())
+}
+
+// handleLeaves exposes the machine-readable audit report: every calibrated
+// region with its bound, calibration evidence, and routing conditions.
+func (s *Server) handleLeaves(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.taqim.LeafReport())
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding failures after the header is written can only be logged;
+	// the stdlib encoder cannot fail on these plain structs.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+var (
+	studyOnce sync.Once
+	studyVal  *eval.Study
+	studyErr  error
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	studyOnce.Do(func() {
+		cfg := eval.TinyConfig()
+		cfg.NumSeries = 90
+		cfg.TrainAugmentations = 3
+		cfg.EvalAugmentations = 3
+		studyVal, studyErr = eval.BuildStudy(cfg)
+	})
+	if studyErr != nil {
+		t.Fatalf("BuildStudy: %v", studyErr)
+	}
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServerLifecycle(t *testing.T) {
+	ts := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/series", struct{}{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("new series = %d", resp.StatusCode)
+	}
+	created := decode[newSeriesResponse](t, resp)
+	if created.SeriesID == "" {
+		t.Fatal("empty series id")
+	}
+
+	// Stream a clean, consistent series: uncertainty must fall and the
+	// series length must advance.
+	var prevU float64 = 2
+	for step := 1; step <= 5; step++ {
+		resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+			SeriesID:  created.SeriesID,
+			Outcome:   14,
+			Quality:   map[string]float64{"rain": 0, "darkness": 0.05},
+			PixelSize: 200,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d = %d", step, resp.StatusCode)
+		}
+		got := decode[stepResponse](t, resp)
+		if got.SeriesLen != step {
+			t.Errorf("step %d: series len %d", step, got.SeriesLen)
+		}
+		if got.FusedOutcome != 14 {
+			t.Errorf("step %d: fused outcome %d", step, got.FusedOutcome)
+		}
+		if got.Uncertainty < 0 || got.Uncertainty > 1 {
+			t.Errorf("step %d: uncertainty %g", step, got.Uncertainty)
+		}
+		if got.Uncertainty > prevU+1e-9 && step > 2 {
+			t.Logf("step %d: uncertainty rose from %g to %g (allowed but unusual)", step, prevU, got.Uncertainty)
+		}
+		prevU = got.Uncertainty
+		if got.Countermeasure == "" {
+			t.Error("missing countermeasure")
+		}
+	}
+
+	// Stats must reflect the gated steps and the active session.
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[statsResponse](t, resp)
+	if stats.Gated != 5 {
+		t.Errorf("gated = %d, want 5", stats.Gated)
+	}
+	if stats.ActiveSeries != 1 {
+		t.Errorf("active = %d, want 1", stats.ActiveSeries)
+	}
+
+	// End the series.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/series/"+created.SeriesID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	// Double delete is a 404.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete = %d", resp.StatusCode)
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	ts := testServer(t)
+
+	// Unknown session.
+	resp := postJSON(t, ts.URL+"/v1/step", stepRequest{SeriesID: "nope", Outcome: 1, PixelSize: 100})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown series = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Create one session for the bad-input cases.
+	resp = postJSON(t, ts.URL+"/v1/series", struct{}{})
+	created := decode[newSeriesResponse](t, resp)
+
+	badCases := []stepRequest{
+		{SeriesID: created.SeriesID, Outcome: 1, PixelSize: 0},
+		{SeriesID: created.SeriesID, Outcome: 1, PixelSize: 100, Quality: map[string]float64{"bogus": 0.5}},
+		{SeriesID: created.SeriesID, Outcome: 1, PixelSize: 100, Quality: map[string]float64{"rain": 1.5}},
+	}
+	for i, bad := range badCases {
+		resp := postJSON(t, ts.URL+"/v1/step", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad case %d = %d, want 400", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Malformed JSON.
+	r, err := http.Post(ts.URL+"/v1/step", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON = %d, want 400", r.StatusCode)
+	}
+}
+
+func TestServerRulesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/model/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	if !strings.Contains(body, "quality impact model") || !strings.Contains(body, "leaf") {
+		t.Errorf("rules output unexpected:\n%s", body)
+	}
+}
+
+func TestServerLeavesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/model/leaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var leaves []struct {
+		LeafID       int      `json:"leaf_id"`
+		Uncertainty  float64  `json:"uncertainty"`
+		CalibSamples int      `json:"calib_samples"`
+		Path         []string `json:"path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&leaves); err != nil {
+		t.Fatal(err)
+	}
+	if len(leaves) == 0 {
+		t.Fatal("no leaves reported")
+	}
+	for _, l := range leaves {
+		if l.Uncertainty < 0 || l.Uncertainty > 1 {
+			t.Errorf("leaf %d uncertainty %g invalid", l.LeafID, l.Uncertainty)
+		}
+		if l.CalibSamples <= 0 {
+			t.Errorf("leaf %d without calibration evidence", l.LeafID)
+		}
+	}
+}
+
+func TestServerConstructorValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil, simplex.DefaultTSRPolicy()); err == nil {
+		t.Error("nil models must fail")
+	}
+}
+
+func TestServerConcurrentSessions(t *testing.T) {
+	ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSONNoT(ts.URL+"/v1/series", struct{}{})
+			if resp == nil {
+				errs <- fmt.Errorf("create failed")
+				return
+			}
+			var created newSeriesResponse
+			if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			for i := 0; i < 10; i++ {
+				r := postJSONNoT(ts.URL+"/v1/step", stepRequest{
+					SeriesID:  created.SeriesID,
+					Outcome:   i % 3,
+					PixelSize: 150,
+				})
+				if r == nil || r.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("step failed")
+					return
+				}
+				r.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func postJSONNoT(url string, body any) *http.Response {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil
+	}
+	return resp
+}

@@ -1,0 +1,19 @@
+// Package tauw is a from-scratch Go reproduction of "Timeseries-aware
+// Uncertainty Wrappers for Uncertainty Quantification of Information-Fusion-
+// Enhanced AI Models based on Machine Learning" (Groß, Kläs, Jöckel, Gerber;
+// VERDI @ IEEE/IFIP DSN 2023).
+//
+// The library lives under internal/: the paper's contribution in
+// internal/core (timeseries buffer, taQF, taQIM, the taUW runtime wrapper),
+// the base uncertainty-wrapper framework in internal/uw, and every substrate
+// it depends on — CART trees (internal/dtree), binomial bounds and Brier
+// decompositions (internal/stats), information/uncertainty fusion
+// (internal/fusion), the synthetic GTSRB benchmark (internal/gtsrb), the
+// augmentation pipeline (internal/augment), the DDM classifiers
+// (internal/ddm), Kalman tracking (internal/track), runtime gating
+// (internal/simplex), and the study harness (internal/eval).
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's evaluation.
+package tauw

@@ -1,0 +1,99 @@
+// deployment shows the offline-calibrate / online-serve split: the study
+// pipeline calibrates both quality impact models, packages the wrapper as a
+// single deployment bundle on disk, and a fresh "process" (here: a second
+// function with no access to the training objects) loads the bundle,
+// reassembles the wrapper, and audits the model through its leaf report —
+// the workflow a safety team would follow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/eval"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "tauw-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	bundlePath := filepath.Join(dir, "tauw-bundle.json")
+	if err := calibrateAndSave(bundlePath); err != nil {
+		log.Fatal(err)
+	}
+	if err := loadAndServe(bundlePath); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// calibrateAndSave is the offline half: build the study and write the
+// single deployment bundle.
+func calibrateAndSave(bundlePath string) error {
+	fmt.Println("[offline] calibrating on the synthetic benchmark...")
+	st, err := eval.BuildStudy(eval.TinyConfig())
+	if err != nil {
+		return err
+	}
+	wrapper, err := st.Wrapper()
+	if err != nil {
+		return err
+	}
+	data, err := core.SaveBundle(wrapper)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(bundlePath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[offline] wrote %s (%d bytes)\n", filepath.Base(bundlePath), len(data))
+	return nil
+}
+
+// loadAndServe is the online half: no training data, no DDM — just the
+// bundle file.
+func loadAndServe(bundlePath string) error {
+	data, err := os.ReadFile(bundlePath)
+	if err != nil {
+		return err
+	}
+	wrapper, err := core.LoadBundle(data, nil)
+	if err != nil {
+		return err
+	}
+	taqim := wrapper.TAQIM()
+	fmt.Printf("[online] loaded bundle: %d stateless regions, %d timeseries-aware regions\n",
+		wrapper.Base().QIM().NumRegions(), taqim.NumRegions())
+
+	// Audit: the three most trustworthy regions and their conditions.
+	fmt.Println("[online] lowest-uncertainty regions of the taQIM:")
+	report := taqim.LeafReport()
+	for i, leaf := range report {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  leaf %d: u <= %.4f (calib %d/%d)\n",
+			leaf.LeafID, leaf.Uncertainty, leaf.CalibFailures, leaf.CalibSamples)
+		for _, cond := range leaf.Path {
+			fmt.Printf("    where %s\n", cond)
+		}
+	}
+
+	// Serve a clean, consistent series: ten agreeing outcomes under good
+	// conditions. Quality layout: 9 deficit channels + pixel size.
+	fmt.Println("[online] streaming a clean series:")
+	quality := []float64{0, 0.05, 0, 0, 0, 0.02, 0, 0, 0.1, 180}
+	for step := 1; step <= 5; step++ {
+		res, err := wrapper.Step(14 /* stop sign */, quality)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  step %d: fused=%d u=%.4f\n", step, res.Fused, res.Uncertainty)
+	}
+	return nil
+}

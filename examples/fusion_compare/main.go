@@ -1,0 +1,86 @@
+// fusion_compare contrasts the uncertainty-fusion rules on a hand-crafted
+// timeseries and shows how to plug a custom information-fusion rule into the
+// wrapper stack. It needs no training: the per-step uncertainties are given,
+// which isolates the behaviour of the fusion rules themselves.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+)
+
+// firstSeen is a custom OutcomeFuser: it sticks with the first outcome of
+// the series (a deliberately naive rule, to show the interface).
+type firstSeen struct{}
+
+func (firstSeen) Name() string { return "first-seen" }
+
+func (firstSeen) Fuse(outcomes []int, _ []float64) (int, error) {
+	if len(outcomes) == 0 {
+		return 0, fusion.ErrNoOutcomes
+	}
+	return outcomes[0], nil
+}
+
+func main() {
+	// A series where the model starts wrong under a distant, blurry view
+	// and recovers as the sign grows: outcome 7 is the truth.
+	outcomes := []int{3, 7, 3, 7, 7, 7, 7, 7, 7, 7}
+	uncertainties := []float64{0.45, 0.38, 0.35, 0.2, 0.12, 0.08, 0.05, 0.04, 0.03, 0.02}
+
+	outcomeFusers := []fusion.OutcomeFuser{
+		fusion.MajorityVote{},
+		fusion.MajorityVote{TieBreak: fusion.LowestUncertainty},
+		fusion.CertaintyWeighted{},
+		fusion.Latest{},
+		firstSeen{},
+	}
+	uncertaintyFusers := []fusion.UncertaintyFuser{
+		fusion.Naive{},
+		fusion.Opportune{},
+		fusion.WorstCase{},
+		fusion.Current{},
+	}
+
+	fmt.Println("step-by-step fused outcomes (truth = 7):")
+	fmt.Printf("%4s %7s", "step", "ddm")
+	for _, f := range outcomeFusers {
+		fmt.Printf(" %28s", f.Name())
+	}
+	fmt.Println()
+	for i := range outcomes {
+		fmt.Printf("%4d %7d", i+1, outcomes[i])
+		for _, f := range outcomeFusers {
+			fused, err := f.Fuse(outcomes[:i+1], uncertainties[:i+1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %28d", fused)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\njoint uncertainty of the fused outcome per step:")
+	fmt.Printf("%4s", "step")
+	for _, f := range uncertaintyFusers {
+		fmt.Printf(" %12s", f.Name())
+	}
+	fmt.Println()
+	for i := range outcomes {
+		fmt.Printf("%4d", i+1)
+		for _, f := range uncertaintyFusers {
+			u, err := f.Fuse(uncertainties[:i+1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %12.5f", u)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nnote the spread: the naive product collapses toward 0 (overconfident")
+	fmt.Println("under correlated errors), the worst-case maximum never recovers from the")
+	fmt.Println("bad start (overly conservative), and the opportune minimum sits between —")
+	fmt.Println("the gap the timeseries-aware wrapper closes with calibrated estimates.")
+}

@@ -1,0 +1,107 @@
+// Quickstart: build a timeseries-aware uncertainty wrapper around a
+// black-box classifier in five steps.
+//
+//  1. Collect frame-level training data: quality factors + "was the model
+//     wrong" labels.
+//  2. Fit and calibrate the stateless quality impact model (uw.FitQIM).
+//  3. Collect series-structured observations and fit the timeseries-aware
+//     quality impact model (core.FitTimeseriesQIM).
+//  4. Assemble the runtime wrapper (core.NewWrapper).
+//  5. Stream outcomes: Step() per frame, NewSeries() when the tracker says
+//     the object changed.
+//
+// The "model" here is a simulated classifier whose error rate depends on a
+// single quality factor, so the example runs in milliseconds; swap in any
+// real model that yields (outcome, quality factors) per frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// observeSeries simulates one tracked object: a ground truth, per-frame
+// model outcomes whose error rate grows with the "blur" quality factor, and
+// the quality factors seen by the wrapper.
+func observeSeries(rng *rand.Rand, length int) (truth int, outcomes []int, quality [][]float64) {
+	truth = rng.IntN(10)
+	blur := rng.Float64()
+	wrong := (truth + 1) % 10
+	for j := 0; j < length; j++ {
+		o := truth
+		if rng.Float64() < 0.03+0.5*blur {
+			o = wrong
+		}
+		outcomes = append(outcomes, o)
+		quality = append(quality, []float64{blur, rng.Float64()})
+	}
+	return truth, outcomes, quality
+}
+
+func main() {
+	rng := rand.New(rand.NewPCG(42, 1))
+
+	// Steps 1+3: collect training and calibration data, both frame-level
+	// (for the stateless model) and series-level (for the taQIM).
+	collect := func(n int) (series []core.SeriesObservations, frameX [][]float64, frameY []bool) {
+		for i := 0; i < n; i++ {
+			truth, outcomes, quality := observeSeries(rng, 10)
+			series = append(series, core.SeriesObservations{Truth: truth, Outcomes: outcomes, Quality: quality})
+			for j := range outcomes {
+				frameX = append(frameX, quality[j])
+				frameY = append(frameY, outcomes[j] != truth)
+			}
+		}
+		return series, frameX, frameY
+	}
+	trainSeries, trainX, trainY := collect(400)
+	calibSeries, calibX, calibY := collect(400)
+
+	// Step 2: the stateless quality impact model. Factor names keep the
+	// calibrated tree auditable.
+	qimCfg := uw.DefaultQIMConfig()
+	qimCfg.MinLeafCalibration = 150
+	qim, err := uw.FitQIM(trainX, trainY, calibX, calibY, []string{"blur", "noise"}, qimCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := uw.NewWrapper(qim, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 3: the timeseries-aware quality impact model on top.
+	taqim, err := core.FitTimeseriesQIM(base, trainSeries, calibSeries,
+		[]string{"blur", "noise"}, core.AllFeatures(), nil, qimCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 4: the runtime wrapper.
+	wrapper, err := core.NewWrapper(base, taqim, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 5: stream a fresh series and watch the dependable uncertainty
+	// tighten as consistent evidence accumulates.
+	truth, outcomes, quality := observeSeries(rng, 10)
+	fmt.Printf("ground truth class: %d\n", truth)
+	fmt.Printf("%4s %8s %7s %12s %12s\n", "step", "outcome", "fused", "stateless u", "taUW u")
+	for j := range outcomes {
+		res, err := wrapper.Step(outcomes[j], quality[j])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d %8d %7d %12.4f %12.4f\n",
+			j+1, outcomes[j], res.Fused, res.Stateless.Uncertainty, res.Uncertainty)
+	}
+
+	// Transparency: the calibrated tree is a readable rule list.
+	fmt.Println("\ntimeseries-aware quality impact model rules:")
+	fmt.Print(taqim.Rules())
+}

@@ -1,0 +1,76 @@
+// runtime_monitor demonstrates runtime V&V with the simplex pattern the
+// paper motivates: a monitor compares every fused outcome's dependable
+// uncertainty against an escalation ladder of countermeasures (accept →
+// advisory-only → ignore → handover) so the system never acts on
+// undependable perception.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+func main() {
+	fmt.Println("calibrating wrappers (tiny preset)...")
+	study, err := eval.BuildStudy(eval.TinyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitor, err := simplex.NewMonitor(simplex.DefaultTSRPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	wrapper, err := study.Wrapper()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream a mix of clean and degraded test series through the gate.
+	rng := rand.New(rand.NewPCG(7, 7))
+	shown := 0
+	for _, series := range study.TestSeries {
+		if rng.Float64() > 0.15 {
+			continue
+		}
+		wrapper.NewSeries()
+		var lastLevel string
+		var lastU float64
+		lastFused := -1
+		for j := range series.Outcomes {
+			res, err := wrapper.Step(series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				log.Fatal(err)
+			}
+			decision, err := monitor.Gate(res.Fused, res.Uncertainty)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lastLevel = decision.Level.Name
+			lastU = decision.Uncertainty
+			lastFused = res.Fused
+		}
+		if shown < 12 {
+			// The darkness channel hints at why a series is hard.
+			dark := series.Quality[0][augment.Darkness]
+			verdict := "correct"
+			if lastFused != series.Truth {
+				verdict = "WRONG"
+			}
+			fmt.Printf("series truth=%2d darkness=%.2f -> final u=%.4f, countermeasure=%-14s fused %s\n",
+				series.Truth, dark, lastU, lastLevel, verdict)
+			shown++
+		}
+	}
+
+	stats := monitor.Snapshot()
+	fmt.Printf("\nmonitor gated %d outcomes:\n", stats.Total)
+	for _, level := range append(simplex.DefaultTSRPolicy().Levels, simplex.DefaultTSRPolicy().Terminal) {
+		fmt.Printf("  %-16s %6d (%.1f%%)\n", level.Name, stats.PerLevel[level.Name],
+			100*float64(stats.PerLevel[level.Name])/float64(stats.Total))
+	}
+}

@@ -1,0 +1,100 @@
+// tsr_pipeline runs the full traffic-sign-recognition pipeline of the paper
+// end to end on synthetic data: benchmark generation, augmentation with
+// situation settings, DDM training, Kalman tracking for series segmentation,
+// majority-vote information fusion, and the timeseries-aware uncertainty
+// wrapper — the architecture of the paper's Fig. 2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+	"github.com/iese-repro/tauw/internal/track"
+)
+
+func main() {
+	// Calibrate the whole stack on the tiny preset (seconds).
+	start := time.Now()
+	fmt.Println("calibrating DDM and wrappers on the synthetic GTSRB benchmark...")
+	study, err := eval.BuildStudy(eval.TinyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ready in %v; DDM test accuracy %.1f%%\n\n",
+		time.Since(start).Round(time.Millisecond), 100*study.DDMTestAccuracy)
+
+	wrapper, err := study.Wrapper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker, err := track.NewTracker(track.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive past a few signs: the tracker segments the detection stream;
+	// each boundary clears the wrapper's timeseries buffer.
+	gen := gtsrb.DefaultGeneratorConfig()
+	gen.NumSeries = 3
+	gen.Seed = 99
+	drive, err := gtsrb.Generate(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sign := range drive {
+		class, _ := gtsrb.ClassByID(sign.Class)
+		fmt.Printf("=== approaching %q (class %d) ===\n", class.Name, sign.Class)
+		// The test-series observations give us DDM outcomes + quality
+		// factors for a matching series; here we reuse a study series
+		// of the same class to stand in for the live DDM.
+		obs := findSeries(study, sign.Class)
+		if obs < 0 {
+			fmt.Println("  (no test series for this class; skipping)")
+			continue
+		}
+		series := study.TestSeries[obs]
+		for j, f := range sign.Frames {
+			if j >= len(series.Outcomes) {
+				break
+			}
+			tr, err := tracker.Observe(f.ImageX, f.ImageY)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if tr.NewSeries {
+				wrapper.NewSeries()
+				fmt.Printf("  tracker: new series %d (innovation %.1f)\n", tr.SeriesID, tr.Distance2)
+			}
+			res, err := wrapper.Step(series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				log.Fatal(err)
+			}
+			status := "OK"
+			if res.Fused != series.Truth {
+				status = "WRONG"
+			}
+			fmt.Printf("  step %2d: ddm=%2d fused=%2d u=%.4f [%s]\n",
+				j+1, series.Outcomes[j], res.Fused, res.Uncertainty, status)
+		}
+		// Simulate the gap between signs: the detector loses the
+		// object and the tracker drops the track.
+		for g := 0; g <= track.DefaultConfig().MaxGap; g++ {
+			tracker.MissedFrame()
+		}
+		fmt.Println()
+	}
+}
+
+// findSeries returns the index of a test series with the given ground-truth
+// class, or -1.
+func findSeries(study *eval.Study, class int) int {
+	for i, s := range study.TestSeries {
+		if s.Truth == class {
+			return i
+		}
+	}
+	return -1
+}

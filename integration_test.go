@@ -1,0 +1,205 @@
+package tauw_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/track"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// integrationStudy builds one shared small study for the integration tests
+// (reuses the benchmark fixture's sync.Once via study()).
+func integrationStudy(t *testing.T) *eval.Study {
+	t.Helper()
+	benchOnce.Do(func() {
+		benchStudy, benchErr = eval.BuildStudy(eval.TinyConfig())
+	})
+	if benchErr != nil {
+		t.Fatalf("BuildStudy: %v", benchErr)
+	}
+	return benchStudy
+}
+
+// TestIntegrationDeploymentRoundTrip is the downstream-user scenario:
+// calibrate offline, serialise both quality impact models, load them in a
+// fresh "process", and serve estimates that agree bit-for-bit with the
+// originals.
+func TestIntegrationDeploymentRoundTrip(t *testing.T) {
+	st := integrationStudy(t)
+
+	baseData, err := json.Marshal(st.Base.QIM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	taData, err := json.Marshal(st.TAQIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loadedQIM, err := uw.LoadQIM(baseData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedTAQIM, err := uw.LoadQIM(taData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedBase, err := uw.NewWrapper(loadedQIM, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveWrapper, err := st.Wrapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedWrapper, err := core.NewWrapper(loadedBase, loadedTAQIM, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, series := range st.TestSeries[:10] {
+		liveWrapper.NewSeries()
+		loadedWrapper.NewSeries()
+		for j := range series.Outcomes {
+			live, err := liveWrapper.Step(series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := loadedWrapper.Step(series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live.Fused != loaded.Fused || live.Uncertainty != loaded.Uncertainty {
+				t.Fatalf("deployed model diverges at step %d: (%d,%g) vs (%d,%g)",
+					j, live.Fused, live.Uncertainty, loaded.Fused, loaded.Uncertainty)
+			}
+		}
+	}
+}
+
+// TestIntegrationMultiSignDrive runs the full perception loop with two
+// concurrent signs: the multi-tracker assigns detections to tracks, one
+// wrapper per track accumulates evidence, and the simplex monitor gates the
+// fused outcomes.
+func TestIntegrationMultiSignDrive(t *testing.T) {
+	st := integrationStudy(t)
+	mt, err := track.NewMultiTracker(track.DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := simplex.NewMonitor(simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two synthetic sign encounters playing out simultaneously.
+	gen := gtsrb.DefaultGeneratorConfig()
+	gen.NumSeries = 2
+	gen.Seed = 41
+	signs, err := gtsrb.Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observations to feed each track, reusing study test series of the
+	// right length.
+	sources := []core.SeriesObservations{st.TestSeries[0], st.TestSeries[1]}
+
+	wrappers := make(map[int]*core.Wrapper)
+	accepted, gated := 0, 0
+	steps := min(signs[0].Len(), signs[1].Len(), len(sources[0].Outcomes), len(sources[1].Outcomes))
+	for j := 0; j < steps; j++ {
+		detections := [][2]float64{
+			{signs[0].Frames[j].ImageX, signs[0].Frames[j].ImageY},
+			{1 - signs[1].Frames[j].ImageX, 1 - signs[1].Frames[j].ImageY}, // opposite corner
+		}
+		obs, err := mt.ObserveFrame(detections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range obs {
+			if o.SeriesID < 0 {
+				t.Fatal("track budget must suffice for two signs")
+			}
+			w := wrappers[o.SeriesID]
+			if o.NewSeries || w == nil {
+				w, err = core.NewWrapper(st.Base, st.TAQIM, core.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wrappers[o.SeriesID] = w
+			}
+			res, err := w.Step(sources[i].Outcomes[j], sources[i].Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			decision, err := monitor.Gate(res.Fused, res.Uncertainty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gated++
+			if decision.Accepted {
+				accepted++
+			}
+		}
+	}
+	if len(wrappers) != 2 {
+		t.Errorf("expected 2 tracks, got %d", len(wrappers))
+	}
+	if gated != 2*steps {
+		t.Errorf("gated %d outcomes, want %d", gated, 2*steps)
+	}
+	snap := monitor.Snapshot()
+	if snap.Total != gated {
+		t.Errorf("monitor counted %d, want %d", snap.Total, gated)
+	}
+}
+
+// TestIntegrationCustomFusionRule verifies the pluggability contract: a
+// wrapper assembled with a different information-fusion rule trains and
+// serves consistently end to end.
+func TestIntegrationCustomFusionRule(t *testing.T) {
+	st := integrationStudy(t)
+	fuser := fusion.RecencyWeighted{Lambda: 0.8}
+	cfg := uw.DefaultQIMConfig()
+	cfg.MinLeafCalibration = 100
+	cfg.TreeDepth = 6
+	taqim, err := core.FitTimeseriesQIM(st.Base, st.TrainSeries, st.CalibSeries,
+		st.StatelessNames, core.AllFeatures(), fuser, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := core.NewWrapper(st.Base, taqim, core.Config{Fuser: fuser})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errsFused, errsIso, n := 0, 0, 0
+	for _, series := range st.TestSeries {
+		w.NewSeries()
+		for j := range series.Outcomes {
+			res, err := w.Step(series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			n++
+			if res.Fused != series.Truth {
+				errsFused++
+			}
+			if series.Outcomes[j] != series.Truth {
+				errsIso++
+			}
+			if res.Uncertainty < 0 || res.Uncertainty > 1 {
+				t.Fatalf("invalid uncertainty %g", res.Uncertainty)
+			}
+		}
+	}
+	if errsFused >= errsIso {
+		t.Errorf("recency-weighted fusion must still beat isolated: %d vs %d of %d",
+			errsFused, errsIso, n)
+	}
+}

@@ -1,0 +1,324 @@
+package augment
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/iese-repro/tauw/internal/gtsrb"
+)
+
+func TestDeficitNames(t *testing.T) {
+	names := Names()
+	if len(names) != NumDeficits {
+		t.Fatalf("%d names, want %d", len(names), NumDeficits)
+	}
+	seen := make(map[string]bool)
+	for d := Deficit(0); d < NumDeficits; d++ {
+		n := d.String()
+		if n == "" || seen[n] {
+			t.Errorf("deficit %d has empty or duplicate name %q", d, n)
+		}
+		seen[n] = true
+		if names[d] != n {
+			t.Errorf("Names()[%d] = %q, want %q", d, names[d], n)
+		}
+	}
+	if !strings.Contains(Deficit(99).String(), "99") {
+		t.Error("out-of-range deficit should stringify with number")
+	}
+}
+
+func TestNamesReturnsCopy(t *testing.T) {
+	n1 := Names()
+	n1[0] = "mutated"
+	if Names()[0] == "mutated" {
+		t.Error("Names must return a fresh slice")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	if !(Low.Value() < Medium.Value() && Medium.Value() < High.Value()) {
+		t.Error("levels must be ordered")
+	}
+	if Level(0).Value() != 0 {
+		t.Error("invalid level value must be 0")
+	}
+	if Low.String() != "low" || Medium.String() != "medium" || High.String() != "high" {
+		t.Error("level names wrong")
+	}
+	if !strings.Contains(Level(9).String(), "9") {
+		t.Error("unknown level should stringify with number")
+	}
+}
+
+func TestSeverity(t *testing.T) {
+	var clean Intensities
+	if clean.Severity() != 0 {
+		t.Error("clean severity must be 0")
+	}
+	var full Intensities
+	for i := range full {
+		full[i] = 1
+	}
+	s := full.Severity()
+	if s <= 0.9 || s > 1.0001 {
+		t.Errorf("full severity = %g, want ~1", s)
+	}
+	var one Intensities
+	one[SteamedLens] = 1
+	if one.Severity() <= 0 || one.Severity() >= full.Severity() {
+		t.Error("single-channel severity must be between 0 and full")
+	}
+}
+
+func TestTrainingVariants(t *testing.T) {
+	vs := TrainingVariants()
+	if len(vs) != 1+NumDeficits*3 {
+		t.Fatalf("%d variants, want %d", len(vs), 1+NumDeficits*3)
+	}
+	if vs[0] != (Intensities{}) {
+		t.Error("first variant must be clean")
+	}
+	// Each non-clean variant touches exactly one channel.
+	for i, v := range vs[1:] {
+		nonZero := 0
+		for _, x := range v {
+			if x != 0 {
+				nonZero++
+			}
+		}
+		if nonZero != 1 {
+			t.Errorf("variant %d touches %d channels", i+1, nonZero)
+		}
+	}
+}
+
+func TestPoolBasics(t *testing.T) {
+	p, err := NewPool(42, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1000 {
+		t.Errorf("size = %d", p.Size())
+	}
+	if _, err := NewPool(1, 0); err == nil {
+		t.Error("empty pool must fail")
+	}
+	if _, err := p.Setting(-1); err == nil {
+		t.Error("negative index must fail")
+	}
+	if _, err := p.Setting(1000); err == nil {
+		t.Error("index == size must fail")
+	}
+}
+
+func TestPoolDeterministicAndDiverse(t *testing.T) {
+	p, err := NewPool(42, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Setting(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Setting(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same index must give identical settings")
+	}
+	c, err := p.Setting(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different indices should give different settings")
+	}
+	// Distribution sanity over a sample: some rain, some fog, some night.
+	rainy, foggy, dark := 0, 0, 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		s, err := p.Setting(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.RainMMH > 0 {
+			rainy++
+		}
+		if s.FogDensity > 0 {
+			foggy++
+		}
+		if s.Base[Darkness] > 0.9 {
+			dark++
+		}
+		for ch, v := range s.Base {
+			if v < 0 || v > 1 {
+				t.Fatalf("setting %d channel %d intensity %g outside [0,1]", i, ch, v)
+			}
+		}
+		if s.Road < Urban || s.Road > Highway {
+			t.Fatalf("setting %d has invalid road %d", i, s.Road)
+		}
+	}
+	if rainy < n/10 || rainy > n/2 {
+		t.Errorf("rainy settings = %d of %d, implausible", rainy, n)
+	}
+	if foggy == 0 {
+		t.Error("no foggy settings in sample")
+	}
+	if dark < n/10 {
+		t.Errorf("dark settings = %d of %d, implausible", dark, n)
+	}
+}
+
+func TestPoolRandom(t *testing.T) {
+	p, err := NewPool(11, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := p.Random(rng)
+	if s.Index < 0 || s.Index >= 500 {
+		t.Errorf("random setting index %d outside pool", s.Index)
+	}
+}
+
+func TestRoadKindString(t *testing.T) {
+	if Urban.String() != "urban" || Rural.String() != "rural" || Highway.String() != "highway" {
+		t.Error("road names wrong")
+	}
+	if !strings.Contains(RoadKind(7).String(), "7") {
+		t.Error("unknown road should stringify with number")
+	}
+}
+
+func genSeries(t *testing.T, n int) []gtsrb.Series {
+	t.Helper()
+	cfg := gtsrb.DefaultGeneratorConfig()
+	cfg.NumSeries = n
+	series, err := gtsrb.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func TestApplyPropagation(t *testing.T) {
+	series := genSeries(t, 5)
+	p, err := NewPool(42, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setting, err := p.Setting(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := Apply(setting, series[0], 9)
+	if len(frames) != series[0].Len() {
+		t.Fatalf("got %d frame intensity vectors, want %d", len(frames), series[0].Len())
+	}
+	// Per the paper: all channels except motion blur and artificial
+	// backlight are constant within the series.
+	varying := map[Deficit]bool{MotionBlur: true, ArtificialBacklight: true}
+	for d := Deficit(0); d < NumDeficits; d++ {
+		for j := 1; j < len(frames); j++ {
+			if !varying[d] && frames[j][d] != frames[0][d] {
+				t.Errorf("channel %s varies within series (%g vs %g)", d, frames[j][d], frames[0][d])
+			}
+		}
+	}
+	for j, in := range frames {
+		for ch, v := range in {
+			if v < 0 || v > 1 {
+				t.Errorf("frame %d channel %d intensity %g outside [0,1]", j, ch, v)
+			}
+		}
+	}
+}
+
+func TestApplyDeterministic(t *testing.T) {
+	series := genSeries(t, 2)
+	p, _ := NewPool(42, 100)
+	setting, _ := p.Setting(5)
+	a := Apply(setting, series[1], 77)
+	b := Apply(setting, series[1], 77)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("frame %d differs between identical applications", j)
+		}
+	}
+	c := Apply(setting, series[1], 78)
+	same := true
+	for j := range a {
+		if a[j] != c[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should perturb the varying channels")
+	}
+}
+
+// The synthetic weather model must reproduce the seasonal daylight pattern:
+// at 18:00, winter drives are dark and summer drives are not, and deep
+// night is always dark.
+func TestSeasonalDaylight(t *testing.T) {
+	p, err := NewPool(7, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winterEvening, summerEvening, night []float64
+	for i := 0; i < 200000 && (len(winterEvening) < 50 || len(summerEvening) < 50 || len(night) < 50); i++ {
+		s, err := p.Setting(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eveningHour := s.Hour >= 17.5 && s.Hour <= 18.5
+		switch {
+		case eveningHour && (s.DayOfYear < 30 || s.DayOfYear > 335):
+			winterEvening = append(winterEvening, s.Base[Darkness])
+		case eveningHour && s.DayOfYear > 150 && s.DayOfYear < 210:
+			summerEvening = append(summerEvening, s.Base[Darkness])
+		case s.Hour >= 1 && s.Hour <= 2:
+			night = append(night, s.Base[Darkness])
+		}
+	}
+	mean := func(xs []float64) float64 {
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		return sum / float64(len(xs))
+	}
+	if len(winterEvening) < 20 || len(summerEvening) < 20 || len(night) < 20 {
+		t.Fatalf("not enough samples: %d/%d/%d", len(winterEvening), len(summerEvening), len(night))
+	}
+	if mean(winterEvening) <= mean(summerEvening)+0.2 {
+		t.Errorf("18:00 darkness: winter %.2f must clearly exceed summer %.2f",
+			mean(winterEvening), mean(summerEvening))
+	}
+	if mean(night) < 0.95 {
+		t.Errorf("deep-night darkness %.2f must be ~1", mean(night))
+	}
+}
+
+// Property: severity is monotone — increasing any channel cannot decrease it.
+func TestSeverityMonotone(t *testing.T) {
+	f := func(raw [NumDeficits]uint8, ch uint8, bump uint8) bool {
+		var in Intensities
+		for i := range in {
+			in[i] = float64(raw[i]) / 255
+		}
+		out := in
+		c := int(ch) % NumDeficits
+		out[c] = clamp01(out[c] + float64(bump)/255)
+		return out.Severity() >= in.Severity()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package augment is a synthetic substitute for the probabilistic image
+// augmentation framework of Jöckel & Kläs that the paper uses to enrich
+// GTSRB with realistic quality deficits. The original framework renders nine
+// deficit types into the images, parameterised by situation settings derived
+// from Deutscher Wetterdienst weather records and OpenStreetMap locations.
+//
+// Because the wrapper never inspects pixels, this package reproduces the
+// *statistical* pipeline instead: a synthetic weather/daylight model and a
+// road-type model generate an indexable pool of millions of situation
+// settings; each setting fixes the nine deficit intensities for a whole
+// series (a series shows one physical sign under one situation), with motion
+// blur and artificial backlight allowed to vary frame-by-frame exactly as in
+// the paper.
+package augment
+
+import "fmt"
+
+// Deficit identifies one of the nine quality-deficit channels used by the
+// paper.
+type Deficit int
+
+// The nine deficit channels.
+const (
+	Rain Deficit = iota
+	Darkness
+	Haze
+	NaturalBacklight
+	ArtificialBacklight
+	SignDirt
+	LensDirt
+	SteamedLens
+	MotionBlur
+)
+
+// NumDeficits is the number of deficit channels.
+const NumDeficits = 9
+
+var deficitNames = [NumDeficits]string{
+	"rain",
+	"darkness",
+	"haze",
+	"natural_backlight",
+	"artificial_backlight",
+	"sign_dirt",
+	"lens_dirt",
+	"steamed_lens",
+	"motion_blur",
+}
+
+// String returns the canonical deficit name.
+func (d Deficit) String() string {
+	if d < 0 || d >= NumDeficits {
+		return fmt.Sprintf("Deficit(%d)", int(d))
+	}
+	return deficitNames[d]
+}
+
+// Names returns the deficit names in channel order; the slice is fresh on
+// every call.
+func Names() []string {
+	out := make([]string, NumDeficits)
+	for i := range out {
+		out[i] = deficitNames[i]
+	}
+	return out
+}
+
+// Level is a discrete augmentation intensity used for training-set
+// augmentation (the paper augments every training image with each deficit at
+// low, medium, and high intensity).
+type Level int
+
+// Discrete intensity levels.
+const (
+	Low Level = iota + 1
+	Medium
+	High
+)
+
+// Value maps the level to a channel intensity in [0,1].
+func (l Level) Value() float64 {
+	switch l {
+	case Low:
+		return 0.25
+	case Medium:
+		return 0.55
+	case High:
+		return 0.85
+	default:
+		return 0
+	}
+}
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Intensities is one realised deficit vector: intensity per channel in
+// [0,1].
+type Intensities [NumDeficits]float64
+
+// Severity aggregates the channels into a single degradation score in [0,1].
+// The weights encode how strongly each deficit disturbs a sign classifier:
+// lens-local deficits (steam, dirt, blur) hurt more than ambient ones.
+func (in Intensities) Severity() float64 {
+	weights := [NumDeficits]float64{
+		Rain:                0.09,
+		Darkness:            0.13,
+		Haze:                0.12,
+		NaturalBacklight:    0.10,
+		ArtificialBacklight: 0.08,
+		SignDirt:            0.13,
+		LensDirt:            0.11,
+		SteamedLens:         0.14,
+		MotionBlur:          0.10,
+	}
+	var s float64
+	for i, v := range in {
+		s += weights[i] * v
+	}
+	return s
+}
+
+// TrainingVariants returns the deficit vectors the paper uses to augment the
+// training data: the clean image plus every deficit at low, medium, and high
+// intensity (1 + 9*3 = 28 variants).
+func TrainingVariants() []Intensities {
+	out := make([]Intensities, 0, 1+NumDeficits*3)
+	out = append(out, Intensities{}) // clean
+	for d := Deficit(0); d < NumDeficits; d++ {
+		for _, l := range []Level{Low, Medium, High} {
+			var v Intensities
+			v[d] = l.Value()
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package augment
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"github.com/iese-repro/tauw/internal/gtsrb"
+)
+
+// RoadKind is the simplified road classification derived from the synthetic
+// location model (the paper draws street locations from OpenStreetMap).
+type RoadKind int
+
+// Road kinds.
+const (
+	Urban RoadKind = iota + 1
+	Rural
+	Highway
+)
+
+// String returns the road-kind name.
+func (r RoadKind) String() string {
+	switch r {
+	case Urban:
+		return "urban"
+	case Rural:
+		return "rural"
+	case Highway:
+		return "highway"
+	default:
+		return fmt.Sprintf("RoadKind(%d)", int(r))
+	}
+}
+
+// Setting is one situation setting: the environmental conditions of a drive
+// past one traffic sign. The raw condition fields come from the synthetic
+// weather and location models; Base holds the deficit intensities they imply
+// for the series.
+type Setting struct {
+	// Index is the setting's position in its pool.
+	Index int
+	// DayOfYear in [0,365), Hour in [0,24).
+	DayOfYear int
+	Hour      float64
+	// RainMMH is the rain rate in mm/h.
+	RainMMH float64
+	// FogDensity in [0,1].
+	FogDensity float64
+	// TempC is the air temperature in Celsius; HumidityPct in [0,100].
+	TempC       float64
+	HumidityPct float64
+	// Road is the road kind at the sign location.
+	Road RoadKind
+	// Base are the series-constant deficit intensities implied by the
+	// conditions; MotionBlur and ArtificialBacklight entries are the
+	// *mean* levels around which the per-frame values vary.
+	Base Intensities
+}
+
+// Pool is a deterministic, lazily evaluated pool of situation settings; the
+// paper samples from 2.7 million realistic settings. Settings are computed
+// on demand from (seed, index), so a paper-scale pool costs no memory.
+type Pool struct {
+	seed uint64
+	n    int
+}
+
+// PaperPoolSize is the situation-setting pool size reported by the paper.
+const PaperPoolSize = 2_700_000
+
+// NewPool creates a pool of n settings derived from seed.
+func NewPool(seed uint64, n int) (*Pool, error) {
+	if n <= 0 {
+		return nil, errors.New("augment: pool size must be positive")
+	}
+	return &Pool{seed: seed, n: n}, nil
+}
+
+// Size returns the number of settings in the pool.
+func (p *Pool) Size() int { return p.n }
+
+// Setting returns the i-th setting of the pool.
+func (p *Pool) Setting(i int) (Setting, error) {
+	if i < 0 || i >= p.n {
+		return Setting{}, fmt.Errorf("augment: setting index %d outside pool of %d", i, p.n)
+	}
+	rng := rand.New(rand.NewPCG(p.seed, uint64(i)+0x736574)) // "set"
+	return synthesize(i, rng), nil
+}
+
+// Random draws a uniformly random setting from the pool using rng.
+func (p *Pool) Random(rng *rand.Rand) Setting {
+	s, err := p.Setting(rng.IntN(p.n))
+	if err != nil {
+		// Unreachable: IntN(p.n) is always in range for a valid pool.
+		panic(err)
+	}
+	return s
+}
+
+// synthesize realises one situation setting. It stands in for drawing a
+// historical weather record (DWD) and a street location (OSM): conditions
+// are correlated the way real ones are (rain with clouds and humidity, fog
+// with cold mornings, condensation with cold+humid, darkness with hour and
+// season).
+func synthesize(index int, rng *rand.Rand) Setting {
+	s := Setting{Index: index}
+	s.DayOfYear = rng.IntN(365)
+	s.Hour = rng.Float64() * 24
+	// Season factor: 0 mid-winter, 1 mid-summer.
+	season := 0.5 - 0.5*math.Cos(2*math.Pi*float64(s.DayOfYear)/365)
+	// Rain: ~25% of drives see rain; heavier rain is rarer (exponential).
+	if rng.Float64() < 0.25 {
+		s.RainMMH = rng.ExpFloat64() * 2.5
+	}
+	// Fog: mostly in cold months and mornings.
+	fogChance := 0.12 * (1 - season) * morningness(s.Hour)
+	if rng.Float64() < 0.05+fogChance {
+		s.FogDensity = math.Min(1, rng.ExpFloat64()*0.35)
+	}
+	s.TempC = -3 + 22*season + rng.NormFloat64()*4
+	s.HumidityPct = math.Max(20, math.Min(100, 65+20*s.RainMMH/(1+s.RainMMH)+rng.NormFloat64()*12))
+	switch r := rng.Float64(); {
+	case r < 0.45:
+		s.Road = Urban
+	case r < 0.8:
+		s.Road = Rural
+	default:
+		s.Road = Highway
+	}
+	s.Base = baseIntensities(s, rng)
+	return s
+}
+
+// morningness peaks around 07:00.
+func morningness(hour float64) float64 {
+	d := math.Abs(hour - 7)
+	if d > 12 {
+		d = 24 - d
+	}
+	return math.Max(0, 1-d/5)
+}
+
+// daylight returns 1 at solar noon and 0 at night, with a season-dependent
+// day length.
+func daylight(hour float64, dayOfYear int) float64 {
+	season := 0.5 - 0.5*math.Cos(2*math.Pi*float64(dayOfYear)/365)
+	halfDay := 4.2 + 4.2*season // winter: ~8.4h day, summer: ~16.8h
+	d := math.Abs(hour - 13)    // solar noon ~13:00 local
+	if d >= halfDay {
+		return 0
+	}
+	return math.Cos(d / halfDay * math.Pi / 2)
+}
+
+// baseIntensities maps raw conditions to the series-constant deficit
+// intensities.
+func baseIntensities(s Setting, rng *rand.Rand) Intensities {
+	var in Intensities
+	in[Rain] = s.RainMMH / (s.RainMMH + 3) // saturating map, ~0.5 at 3mm/h
+	light := daylight(s.Hour, s.DayOfYear)
+	in[Darkness] = 1 - light
+	in[Haze] = s.FogDensity
+	// Natural backlight: sun close to the horizon and by chance in the
+	// driving direction.
+	lowSun := light * (1 - light) * 4 // peaks at dawn/dusk
+	if rng.Float64() < 0.4 {
+		in[NaturalBacklight] = math.Min(1, lowSun*(0.5+rng.Float64()))
+	}
+	// Artificial backlight: headlights/street lights, only relevant in
+	// the dark and mostly in urban areas.
+	urbanFactor := map[RoadKind]float64{Urban: 1, Rural: 0.45, Highway: 0.6}[s.Road]
+	in[ArtificialBacklight] = in[Darkness] * urbanFactor * 0.6 * rng.Float64()
+	// Dirt accumulates on rural roads and in rainy conditions.
+	dirtBase := map[RoadKind]float64{Urban: 0.12, Rural: 0.3, Highway: 0.18}[s.Road]
+	in[SignDirt] = clamp01(dirtBase*rng.ExpFloat64() + 0.1*in[Rain])
+	in[LensDirt] = clamp01(dirtBase*0.8*rng.ExpFloat64() + 0.15*in[Rain])
+	// Condensation on the lens: cold and humid.
+	condens := sigmoid((s.HumidityPct-75)/8) * sigmoid((12-s.TempC)/5)
+	in[SteamedLens] = clamp01(condens * (0.3 + 0.7*rng.Float64()))
+	// Motion blur mean level: grows with darkness (longer exposure); the
+	// per-frame speed contribution is added during application.
+	in[MotionBlur] = clamp01(0.15 + 0.35*in[Darkness])
+	return in
+}
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Apply realises per-frame intensities for a series under the given setting.
+// All channels stay constant over the series except motion blur (driven by
+// per-frame speed plus jitter) and artificial backlight (oncoming lights
+// appear and disappear), matching the paper's augmentation protocol.
+func Apply(setting Setting, series gtsrb.Series, seed uint64) []Intensities {
+	rng := rand.New(rand.NewPCG(seed, uint64(series.ID)*2654435761+uint64(setting.Index)))
+	out := make([]Intensities, series.Len())
+	// Artificial backlight events: Markov on/off flicker.
+	abOn := rng.Float64() < 0.5
+	for j, f := range series.Frames {
+		in := setting.Base
+		// Motion blur: exposure-scaled speed with jitter.
+		speedTerm := clamp01((f.SpeedKMH - 30) / 90)
+		in[MotionBlur] = clamp01(setting.Base[MotionBlur]*(0.6+0.8*rng.Float64()) + 0.35*speedTerm*setting.Base[Darkness])
+		// Artificial backlight flicker.
+		if rng.Float64() < 0.25 {
+			abOn = !abOn
+		}
+		if abOn {
+			in[ArtificialBacklight] = clamp01(setting.Base[ArtificialBacklight] * (0.8 + 0.6*rng.Float64()))
+		} else {
+			in[ArtificialBacklight] = 0
+		}
+		out[j] = in
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Package core implements the paper's contribution: the timeseries-aware
+// uncertainty wrapper (taUW). A timeseries buffer stores the interim results
+// of the current series (DDM outcomes, per-step base-wrapper uncertainties,
+// and quality factors); an information-fusion rule combines the outcomes
+// into an improved fused prediction; four timeseries-aware quality factors
+// (taQF) are derived from the buffer; and a second calibrated quality impact
+// model (taQIM) maps the stateless factors plus the taQF to a dependable
+// uncertainty for the fused outcome. Uncertainty-fusion baselines (naïve,
+// opportune, worst-case) are provided behind the same runtime interface.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Record stores the interim results of one timestep, as kept in the
+// timeseries buffer.
+type Record struct {
+	// Outcome is the momentaneous DDM outcome o_j.
+	Outcome int
+	// Uncertainty is the stateless base-wrapper estimate u_j.
+	Uncertainty float64
+	// Quality holds the stateless quality factors observed at t_j.
+	Quality []float64
+}
+
+// Buffer is the timeseries buffer: it accumulates one Record per timestep
+// and is cleared at the onset of a new timeseries (when the tracker reports
+// that predictions now relate to a different physical object). A Limit > 0
+// turns it into a ring that keeps only the most recent records, for
+// unbounded streams; the study uses unlimited buffers since GTSRB series
+// have at most 30 frames.
+type Buffer struct {
+	records []Record
+	limit   int
+	start   int // ring start when limit > 0 and full
+	full    bool
+}
+
+// NewBuffer creates a buffer; limit 0 means unbounded.
+func NewBuffer(limit int) (*Buffer, error) {
+	if limit < 0 {
+		return nil, fmt.Errorf("core: buffer limit %d must be >= 0", limit)
+	}
+	b := &Buffer{limit: limit}
+	if limit > 0 {
+		b.records = make([]Record, 0, limit)
+	}
+	return b, nil
+}
+
+// Append adds one timestep.
+func (b *Buffer) Append(r Record) {
+	if r.Uncertainty < 0 || r.Uncertainty > 1 {
+		// Clamp defensively; upstream validation should prevent this.
+		if r.Uncertainty < 0 {
+			r.Uncertainty = 0
+		} else {
+			r.Uncertainty = 1
+		}
+	}
+	if b.limit == 0 {
+		b.records = append(b.records, r)
+		return
+	}
+	if len(b.records) < b.limit {
+		b.records = append(b.records, r)
+		return
+	}
+	b.records[b.start] = r
+	b.start = (b.start + 1) % b.limit
+	b.full = true
+}
+
+// Len returns the number of buffered timesteps.
+func (b *Buffer) Len() int { return len(b.records) }
+
+// Reset clears the buffer at the onset of a new timeseries.
+func (b *Buffer) Reset() {
+	b.records = b.records[:0]
+	b.start = 0
+	b.full = false
+}
+
+// Outcomes returns the buffered outcomes in time order (a fresh slice).
+func (b *Buffer) Outcomes() []int {
+	out := make([]int, 0, len(b.records))
+	b.each(func(r Record) { out = append(out, r.Outcome) })
+	return out
+}
+
+// Uncertainties returns the buffered per-step uncertainties in time order (a
+// fresh slice).
+func (b *Buffer) Uncertainties() []float64 {
+	out := make([]float64, 0, len(b.records))
+	b.each(func(r Record) { out = append(out, r.Uncertainty) })
+	return out
+}
+
+// Records returns a copy of the buffered records in time order.
+func (b *Buffer) Records() []Record {
+	out := make([]Record, 0, len(b.records))
+	b.each(func(r Record) { out = append(out, r) })
+	return out
+}
+
+// Last returns the most recent record; ok is false for an empty buffer.
+func (b *Buffer) Last() (Record, bool) {
+	if len(b.records) == 0 {
+		return Record{}, false
+	}
+	if b.limit > 0 && b.full {
+		idx := (b.start + b.limit - 1) % b.limit
+		return b.records[idx], true
+	}
+	return b.records[len(b.records)-1], true
+}
+
+// each visits records in time order, handling ring wrap-around.
+func (b *Buffer) each(fn func(Record)) {
+	if b.limit == 0 || !b.full {
+		for _, r := range b.records {
+			fn(r)
+		}
+		return
+	}
+	for i := 0; i < b.limit; i++ {
+		fn(b.records[(b.start+i)%b.limit])
+	}
+}
+
+// ErrEmptySeries is returned when a wrapper step is requested with no data.
+var ErrEmptySeries = errors.New("core: empty timeseries")

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBufferUnbounded(t *testing.T) {
+	b, err := NewBuffer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Error("fresh buffer must be empty")
+	}
+	if _, ok := b.Last(); ok {
+		t.Error("Last on empty buffer must report !ok")
+	}
+	for i := 0; i < 100; i++ {
+		b.Append(Record{Outcome: i, Uncertainty: float64(i) / 100})
+	}
+	if b.Len() != 100 {
+		t.Errorf("len = %d", b.Len())
+	}
+	outs := b.Outcomes()
+	us := b.Uncertainties()
+	for i := 0; i < 100; i++ {
+		if outs[i] != i {
+			t.Fatalf("outcome[%d] = %d", i, outs[i])
+		}
+		if us[i] != float64(i)/100 {
+			t.Fatalf("uncertainty[%d] = %g", i, us[i])
+		}
+	}
+	last, ok := b.Last()
+	if !ok || last.Outcome != 99 {
+		t.Errorf("last = %+v, %v", last, ok)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Error("reset must clear")
+	}
+}
+
+func TestBufferRing(t *testing.T) {
+	b, err := NewBuffer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Append(Record{Outcome: i})
+	}
+	if b.Len() != 3 {
+		t.Fatalf("ring len = %d, want 3", b.Len())
+	}
+	outs := b.Outcomes()
+	want := []int{2, 3, 4}
+	for i := range want {
+		if outs[i] != want[i] {
+			t.Errorf("ring outcomes = %v, want %v", outs, want)
+			break
+		}
+	}
+	last, ok := b.Last()
+	if !ok || last.Outcome != 4 {
+		t.Errorf("ring last = %+v", last)
+	}
+	recs := b.Records()
+	if len(recs) != 3 || recs[0].Outcome != 2 {
+		t.Errorf("records = %+v", recs)
+	}
+	b.Reset()
+	b.Append(Record{Outcome: 9})
+	if got := b.Outcomes(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("after reset: %v", got)
+	}
+}
+
+func TestBufferValidation(t *testing.T) {
+	if _, err := NewBuffer(-1); err == nil {
+		t.Error("negative limit must fail")
+	}
+	b, _ := NewBuffer(0)
+	b.Append(Record{Uncertainty: -0.5})
+	if us := b.Uncertainties(); us[0] != 0 {
+		t.Errorf("negative uncertainty must clamp to 0, got %g", us[0])
+	}
+	b.Append(Record{Uncertainty: 1.5})
+	if us := b.Uncertainties(); us[1] != 1 {
+		t.Errorf("oversized uncertainty must clamp to 1, got %g", us[1])
+	}
+}
+
+// Property: a ring buffer of limit L holding n appends always exposes the
+// last min(n, L) records in order.
+func TestBufferRingProperty(t *testing.T) {
+	f := func(rawL, rawN uint8) bool {
+		l := int(rawL%10) + 1
+		n := int(rawN % 40)
+		b, err := NewBuffer(l)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			b.Append(Record{Outcome: i})
+		}
+		outs := b.Outcomes()
+		want := min(n, l)
+		if len(outs) != want {
+			return false
+		}
+		for i, o := range outs {
+			if o != n-want+i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeatureSubsets(t *testing.T) {
+	subs := FeatureSubsets()
+	if len(subs) != 15 {
+		t.Fatalf("%d subsets, want 15", len(subs))
+	}
+	// Sorted by size: 4 singletons, 6 pairs, 4 triples, 1 quad.
+	sizes := map[int]int{}
+	for i, s := range subs {
+		sizes[len(s)]++
+		if i > 0 && len(subs[i-1]) > len(s) {
+			t.Error("subsets must be ordered by size")
+		}
+	}
+	if sizes[1] != 4 || sizes[2] != 6 || sizes[3] != 4 || sizes[4] != 1 {
+		t.Errorf("subset size histogram wrong: %v", sizes)
+	}
+}
+
+func TestComputeFeatures(t *testing.T) {
+	outcomes := []int{1, 2, 1, 1}
+	us := []float64{0.1, 0.5, 0.2, 0.3}
+	taqf, err := ComputeFeatures(outcomes, us, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taqf[Ratio-1] != 0.75 {
+		t.Errorf("ratio = %g, want 0.75", taqf[Ratio-1])
+	}
+	if taqf[Length-1] != 4 {
+		t.Errorf("length = %g, want 4", taqf[Length-1])
+	}
+	if taqf[Size-1] != 2 {
+		t.Errorf("size = %g, want 2", taqf[Size-1])
+	}
+	// certainty = (1-0.1)+(1-0.2)+(1-0.3) over agreeing steps = 2.4
+	if diff := taqf[Certainty-1] - 2.4; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("certainty = %g, want 2.4", taqf[Certainty-1])
+	}
+	if _, err := ComputeFeatures(nil, nil, 0); err == nil {
+		t.Error("empty series must fail")
+	}
+	if _, err := ComputeFeatures([]int{1}, []float64{0.1, 0.2}, 1); err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+}
+
+func TestSelectFeatures(t *testing.T) {
+	all := [4]float64{0.75, 4, 2, 2.4}
+	sel, err := SelectFeatures(all, []Feature{Certainty, Ratio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0] != 2.4 || sel[1] != 0.75 {
+		t.Errorf("selection = %v", sel)
+	}
+	if _, err := SelectFeatures(all, []Feature{Feature(9)}); err == nil {
+		t.Error("unknown feature must fail")
+	}
+	names := FeatureNames(AllFeatures())
+	want := []string{"taqf_ratio", "taqf_length", "taqf_size", "taqf_certainty"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names = %v", names)
+			break
+		}
+	}
+	if Feature(9).String() == "" {
+		t.Error("unknown feature must stringify")
+	}
+}

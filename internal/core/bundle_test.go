@@ -1,0 +1,155 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := SaveBundle(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behavioural equality over several series.
+	for _, s := range st.testSeries[:8] {
+		w.NewSeries()
+		loaded.NewSeries()
+		for j := range s.Outcomes {
+			a, err := w.Step(s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := loaded.Step(s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Fused != b.Fused || a.Uncertainty != b.Uncertainty {
+				t.Fatalf("bundle diverges: (%d,%g) vs (%d,%g)",
+					a.Fused, a.Uncertainty, b.Fused, b.Uncertainty)
+			}
+		}
+	}
+}
+
+func TestBundlePreservesConfig(t *testing.T) {
+	st := buildStudy(t)
+	feats := []Feature{Ratio, Certainty}
+	taqim := fitTAQIM(t, st, feats)
+	w, err := NewWrapper(st.base, taqim, Config{
+		Features:    feats,
+		Fuser:       fusion.DempsterShafer{},
+		BufferLimit: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := SaveBundle(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Fuser != "dempster-shafer" || b.BufferLimit != 16 || len(b.Features) != 2 {
+		t.Errorf("bundle config wrong: %+v", b)
+	}
+	loaded, err := LoadBundle(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	a, err := w.Step(s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := loaded.Step(s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Uncertainty != c.Uncertainty {
+		t.Error("loaded bundle behaves differently")
+	}
+}
+
+func TestBundleWithScope(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := SaveBundle(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope, err := uw.NewScopeModel(1, uw.BoundaryCheck{Name: "lat", Index: 0, Min: 0, Max: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBundle(data, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	res, err := loaded.StepScoped(s.Outcomes[0], s.Quality[0], []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uncertainty != 1 {
+		t.Errorf("out-of-scope uncertainty = %g, want 1", res.Uncertainty)
+	}
+}
+
+func TestBundleErrors(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	if _, err := SaveBundle(nil); err == nil {
+		t.Error("nil wrapper must fail")
+	}
+	// Custom fuser cannot be bundled.
+	w, err := NewWrapper(st.base, taqim, Config{Fuser: fusion.RecencyWeighted{Lambda: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveBundle(w); err == nil {
+		t.Error("unbundleable fuser must fail at save time")
+	}
+	if _, err := LoadBundle([]byte("{nope"), nil); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := LoadBundle([]byte(`{"version":99}`), nil); err == nil {
+		t.Error("wrong version must fail")
+	}
+	good, err := SaveBundle(mustWrapper(t, st, taqim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(good), `"majority-vote"`, `"bogus-rule"`, 1)
+	if _, err := LoadBundle([]byte(tampered), nil); err == nil {
+		t.Error("unknown fuser name must fail")
+	}
+}
+
+func mustWrapper(t *testing.T, st *synthStudy, taqim *uw.QualityImpactModel) *Wrapper {
+	t.Helper()
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// SeriesObservations carries everything the fitting pipeline needs to know
+// about one timeseries: the shared ground truth, the momentaneous DDM
+// outcomes, and the stateless quality factors per step.
+type SeriesObservations struct {
+	// Truth is the ground-truth class of the series.
+	Truth int
+	// Outcomes are the DDM outcomes o_0..o_n.
+	Outcomes []int
+	// Quality holds the stateless quality factors per step; all rows
+	// must have the same width.
+	Quality [][]float64
+}
+
+// Validate checks internal consistency.
+func (s SeriesObservations) Validate() error {
+	if len(s.Outcomes) == 0 {
+		return ErrEmptySeries
+	}
+	if len(s.Outcomes) != len(s.Quality) {
+		return fmt.Errorf("core: %d outcomes but %d quality rows", len(s.Outcomes), len(s.Quality))
+	}
+	width := len(s.Quality[0])
+	for i, q := range s.Quality {
+		if len(q) != width {
+			return fmt.Errorf("core: quality row %d has width %d, want %d", i, len(q), width)
+		}
+	}
+	return nil
+}
+
+// BuildRows replays the series through the base wrapper and the fusion rule
+// and emits one taQIM training row per timestep: the stateless quality
+// factors of the step concatenated with the selected taQF, labelled with
+// whether the fused outcome was wrong. This is exactly the data layout used
+// at runtime by Wrapper.Step, which keeps training and inference consistent.
+func BuildRows(series []SeriesObservations, base *uw.Wrapper, fuser fusion.OutcomeFuser,
+	feats []Feature) (x [][]float64, y []bool, err error) {
+	if base == nil {
+		return nil, nil, errors.New("core: base wrapper is required")
+	}
+	if fuser == nil {
+		fuser = fusion.MajorityVote{}
+	}
+	if len(feats) == 0 {
+		feats = AllFeatures()
+	}
+	if len(series) == 0 {
+		return nil, nil, errors.New("core: no series to build rows from")
+	}
+	for si, s := range series {
+		if err := s.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("core: series %d: %w", si, err)
+		}
+		n := len(s.Outcomes)
+		us := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			est, err := base.Estimate(s.Outcomes[i], s.Quality[i], nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: series %d step %d: %w", si, i, err)
+			}
+			us = append(us, est.Uncertainty)
+			fused, err := fuser.Fuse(s.Outcomes[:i+1], us)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: series %d step %d fuse: %w", si, i, err)
+			}
+			taqf, err := ComputeFeatures(s.Outcomes[:i+1], us, fused)
+			if err != nil {
+				return nil, nil, err
+			}
+			sel, err := SelectFeatures(taqf, feats)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := make([]float64, 0, len(s.Quality[i])+len(sel))
+			row = append(row, s.Quality[i]...)
+			row = append(row, sel...)
+			x = append(x, row)
+			y = append(y, fused != s.Truth)
+		}
+	}
+	return x, y, nil
+}
+
+// FitTimeseriesQIM builds the timeseries-aware quality impact model: rows
+// are generated from the training series, the tree is grown on them, and the
+// leaves are pruned and calibrated on rows generated from the calibration
+// series (the paper calibrates on length-10 subsampled series). The
+// statelessNames label the quality-factor columns in rule exports.
+func FitTimeseriesQIM(base *uw.Wrapper, trainSeries, calibSeries []SeriesObservations,
+	statelessNames []string, feats []Feature, fuser fusion.OutcomeFuser,
+	cfg uw.QIMConfig) (*uw.QualityImpactModel, error) {
+	if len(feats) == 0 {
+		feats = AllFeatures()
+	}
+	trainX, trainY, err := BuildRows(trainSeries, base, fuser, feats)
+	if err != nil {
+		return nil, fmt.Errorf("core: building training rows: %w", err)
+	}
+	calibX, calibY, err := BuildRows(calibSeries, base, fuser, feats)
+	if err != nil {
+		return nil, fmt.Errorf("core: building calibration rows: %w", err)
+	}
+	names := make([]string, 0, len(statelessNames)+len(feats))
+	names = append(names, statelessNames...)
+	names = append(names, FeatureNames(feats)...)
+	qim, err := uw.FitQIM(trainX, trainY, calibX, calibY, names, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting timeseries-aware QIM: %w", err)
+	}
+	return qim, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// FuzzLoadBundle hardens the deployment path: arbitrary bytes must either
+// produce a working wrapper or a clean error — never a panic and never a
+// wrapper that violates basic invariants.
+func FuzzLoadBundle(f *testing.F) {
+	// Seed with a genuine bundle and characteristic corruptions.
+	st, err := buildStudyForFuzz()
+	if err != nil {
+		f.Fatal(err)
+	}
+	taqim, err := FitTimeseriesQIM(st.base, st.trainSeries, st.calibSeries,
+		[]string{"severity", "noise"}, nil, nil, fuzzQIMConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := SaveBundle(w)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"base_qim":{},"taqim":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := LoadBundle(data, nil)
+		if err != nil {
+			return // clean rejection is fine
+		}
+		// A successfully loaded bundle must serve valid estimates.
+		quality := make([]float64, loaded.Base().QIM().Config().TreeDepth)
+		// The fuzzed model's feature width is unknown; probe with the
+		// width the taQIM expects minus the taQF columns. If the probe
+		// width is wrong the wrapper must error, not panic.
+		res, err := loaded.Step(0, quality)
+		if err != nil {
+			return
+		}
+		if res.Uncertainty < 0 || res.Uncertainty > 1 {
+			t.Fatalf("loaded bundle produced uncertainty %g", res.Uncertainty)
+		}
+	})
+}
+
+// buildStudyForFuzz builds the miniature fixture without *testing.T.
+func buildStudyForFuzz() (*synthStudy, error) {
+	frames := func(series []SeriesObservations) ([][]float64, []bool) {
+		var x [][]float64
+		var y []bool
+		for _, s := range series {
+			for j := range s.Outcomes {
+				x = append(x, s.Quality[j])
+				y = append(y, s.Outcomes[j] != s.Truth)
+			}
+		}
+		return x, y
+	}
+	train := makeSeries(120, 8, 1)
+	calib := makeSeries(120, 8, 2)
+	tx, ty := frames(train)
+	cx, cy := frames(calib)
+	qim, err := uw.FitQIM(tx, ty, cx, cy, []string{"severity", "noise"}, fuzzQIMConfig())
+	if err != nil {
+		return nil, err
+	}
+	base, err := uw.NewWrapper(qim, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &synthStudy{base: base, trainSeries: train, calibSeries: calib}, nil
+}
+
+func fuzzQIMConfig() uw.QIMConfig {
+	cfg := uw.DefaultQIMConfig()
+	cfg.MinLeafCalibration = 60
+	cfg.TreeDepth = 4
+	return cfg
+}

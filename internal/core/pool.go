@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// WrapperPool manages one timeseries-aware wrapper per tracked object, the
+// session layer every runtime deployment needs: tracks open and close as
+// the tracker reports object changes, and each track's wrapper keeps its
+// own buffer. The pool is safe for concurrent use; steps for the same track
+// are serialised, steps for different tracks proceed independently.
+type WrapperPool struct {
+	base      *uw.Wrapper
+	taqim     *uw.QualityImpactModel
+	cfg       Config
+	maxTracks int
+
+	mu     sync.Mutex
+	tracks map[int]*pooledWrapper
+}
+
+type pooledWrapper struct {
+	mu sync.Mutex
+	w  *Wrapper
+}
+
+// NewWrapperPool creates a pool that serves at most maxTracks concurrent
+// tracks (0 means unlimited).
+func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, maxTracks int) (*WrapperPool, error) {
+	if base == nil || taqim == nil {
+		return nil, errors.New("core: base wrapper and taQIM are required")
+	}
+	if maxTracks < 0 {
+		return nil, fmt.Errorf("core: maxTracks %d must be >= 0", maxTracks)
+	}
+	// Validate the config once by assembling a probe wrapper.
+	if _, err := NewWrapper(base, taqim, cfg); err != nil {
+		return nil, err
+	}
+	return &WrapperPool{
+		base:      base,
+		taqim:     taqim,
+		cfg:       cfg,
+		maxTracks: maxTracks,
+		tracks:    make(map[int]*pooledWrapper),
+	}, nil
+}
+
+// ErrTrackBudget is returned when opening a track would exceed the pool's
+// budget.
+var ErrTrackBudget = errors.New("core: track budget exhausted")
+
+// ErrUnknownTrack is returned when stepping or closing a track that is not
+// open.
+var ErrUnknownTrack = errors.New("core: unknown track")
+
+// Open starts a fresh timeseries for the given track id; an existing track
+// with the same id is reset (the tracker said the object changed).
+func (p *WrapperPool) Open(trackID int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pw, ok := p.tracks[trackID]; ok {
+		pw.mu.Lock()
+		pw.w.NewSeries()
+		pw.mu.Unlock()
+		return nil
+	}
+	if p.maxTracks > 0 && len(p.tracks) >= p.maxTracks {
+		return fmt.Errorf("%w: %d tracks open", ErrTrackBudget, len(p.tracks))
+	}
+	w, err := NewWrapper(p.base, p.taqim, p.cfg)
+	if err != nil {
+		return err
+	}
+	p.tracks[trackID] = &pooledWrapper{w: w}
+	return nil
+}
+
+// Step feeds one timestep to the track's wrapper.
+func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
+	p.mu.Lock()
+	pw, ok := p.tracks[trackID]
+	p.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
+	}
+	pw.mu.Lock()
+	defer pw.mu.Unlock()
+	return pw.w.Step(outcome, quality)
+}
+
+// Close retires a track.
+func (p *WrapperPool) Close(trackID int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.tracks[trackID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
+	}
+	delete(p.tracks, trackID)
+	return nil
+}
+
+// Active returns the number of open tracks.
+func (p *WrapperPool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tracks)
+}

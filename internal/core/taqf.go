@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Feature identifies one of the four timeseries-aware quality factors
+// proposed by the paper.
+type Feature int
+
+const (
+	// Ratio (taQF1) is the share of DDM outcomes in the series that agree
+	// with the current fused outcome.
+	Ratio Feature = iota + 1
+	// Length (taQF2) is the length of the series up to the current step.
+	Length
+	// Size (taQF3) is the number of distinct DDM outcomes in the series.
+	Size
+	// Certainty (taQF4) is the cumulative certainty: the sum of 1-u_j
+	// over the steps whose outcome agrees with the current fused outcome.
+	Certainty
+)
+
+// AllFeatures lists the four taQF in canonical order.
+func AllFeatures() []Feature {
+	return []Feature{Ratio, Length, Size, Certainty}
+}
+
+// String returns the feature name used in reports and rule exports.
+func (f Feature) String() string {
+	switch f {
+	case Ratio:
+		return "taqf_ratio"
+	case Length:
+		return "taqf_length"
+	case Size:
+		return "taqf_size"
+	case Certainty:
+		return "taqf_certainty"
+	default:
+		return fmt.Sprintf("Feature(%d)", int(f))
+	}
+}
+
+// FeatureSubsets enumerates all non-empty subsets of the four taQF in
+// deterministic order (by size, then lexicographically), as evaluated by the
+// paper's feature-importance study (Fig. 7).
+func FeatureSubsets() [][]Feature {
+	all := AllFeatures()
+	var out [][]Feature
+	for mask := 1; mask < 1<<len(all); mask++ {
+		var sub []Feature
+		for i, f := range all {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, f)
+			}
+		}
+		out = append(out, sub)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return len(out[a]) < len(out[b]) })
+	return out
+}
+
+// ComputeFeatures derives all four taQF from the series history
+// (o_0..o_i, u_0..u_i) and the current fused outcome, returning them indexed
+// as [Ratio-1, Length-1, Size-1, Certainty-1].
+func ComputeFeatures(outcomes []int, uncertainties []float64, fused int) ([4]float64, error) {
+	var out [4]float64
+	n := len(outcomes)
+	if n == 0 {
+		return out, ErrEmptySeries
+	}
+	if len(uncertainties) != n {
+		return out, fmt.Errorf("core: %d outcomes but %d uncertainties", n, len(uncertainties))
+	}
+	agree := 0
+	distinct := make(map[int]struct{}, 4)
+	var cumCertainty float64
+	for j, o := range outcomes {
+		distinct[o] = struct{}{}
+		if o == fused {
+			agree++
+			cumCertainty += 1 - uncertainties[j]
+		}
+	}
+	out[Ratio-1] = float64(agree) / float64(n)
+	out[Length-1] = float64(n)
+	out[Size-1] = float64(len(distinct))
+	out[Certainty-1] = cumCertainty
+	return out, nil
+}
+
+// SelectFeatures extracts the requested subset from a full taQF vector, in
+// the order given by feats.
+func SelectFeatures(all [4]float64, feats []Feature) ([]float64, error) {
+	out := make([]float64, len(feats))
+	for i, f := range feats {
+		if f < Ratio || f > Certainty {
+			return nil, fmt.Errorf("core: unknown feature %d", int(f))
+		}
+		out[i] = all[f-1]
+	}
+	return out, nil
+}
+
+// FeatureNames returns the names of the selected features, for tree exports.
+func FeatureNames(feats []Feature) []string {
+	out := make([]string, len(feats))
+	for i, f := range feats {
+		out[i] = f.String()
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// Result is the runtime output of a timeseries-aware wrapper step.
+type Result struct {
+	// Fused is the information-fused outcome o_i^(if).
+	Fused int
+	// Uncertainty is the dependable uncertainty of the fused outcome.
+	Uncertainty float64
+	// Stateless is the per-step base-wrapper estimate for the
+	// momentaneous outcome (u_i).
+	Stateless uw.Estimate
+	// TAQF holds the four timeseries-aware quality factors computed at
+	// this step (indexed Ratio-1..Certainty-1).
+	TAQF [4]float64
+	// SeriesLen is the series length including this step.
+	SeriesLen int
+}
+
+// Config assembles a timeseries-aware wrapper.
+type Config struct {
+	// Features selects which taQF feed the taQIM (default: all four).
+	Features []Feature
+	// Fuser is the information-fusion rule (default: majority vote with
+	// most-recent tie-break, as in the paper).
+	Fuser fusion.OutcomeFuser
+	// BufferLimit caps the timeseries buffer (0 = unbounded).
+	BufferLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Features) == 0 {
+		c.Features = AllFeatures()
+	}
+	if c.Fuser == nil {
+		c.Fuser = fusion.MajorityVote{}
+	}
+	return c
+}
+
+// Wrapper is the timeseries-aware uncertainty wrapper (taUW): the base
+// stateless wrapper supplies per-step estimates, the buffer accumulates the
+// series, the fusion rule improves the outcome, and the taQIM turns
+// stateless factors plus taQF into a dependable uncertainty for the fused
+// outcome. It is not safe for concurrent use.
+type Wrapper struct {
+	base  *uw.Wrapper
+	taqim *uw.QualityImpactModel
+	fuser fusion.OutcomeFuser
+	feats []Feature
+	buf   *Buffer
+}
+
+// NewWrapper assembles a taUW from a fitted base wrapper and a calibrated
+// timeseries-aware quality impact model (see FitTimeseriesQIM). The feature
+// subset must match the one used to fit the taQIM.
+func NewWrapper(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config) (*Wrapper, error) {
+	if base == nil {
+		return nil, errors.New("core: base wrapper is required")
+	}
+	if taqim == nil {
+		return nil, errors.New("core: timeseries-aware quality impact model is required")
+	}
+	cfg = cfg.withDefaults()
+	for _, f := range cfg.Features {
+		if f < Ratio || f > Certainty {
+			return nil, fmt.Errorf("core: unknown feature %d", int(f))
+		}
+	}
+	buf, err := NewBuffer(cfg.BufferLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &Wrapper{
+		base:  base,
+		taqim: taqim,
+		fuser: cfg.Fuser,
+		feats: append([]Feature(nil), cfg.Features...),
+		buf:   buf,
+	}, nil
+}
+
+// NewSeries clears the timeseries buffer; call it when the tracking
+// component reports that subsequent predictions relate to a new physical
+// object.
+func (w *Wrapper) NewSeries() { w.buf.Reset() }
+
+// SeriesLen returns the current series length.
+func (w *Wrapper) SeriesLen() int { return w.buf.Len() }
+
+// Step processes one timestep: the momentaneous DDM outcome and the
+// stateless quality factors observed with it. It returns the fused outcome
+// and its dependable uncertainty.
+func (w *Wrapper) Step(outcome int, quality []float64) (Result, error) {
+	return w.StepScoped(outcome, quality, nil)
+}
+
+// StepScoped is Step with scope factors: when the base wrapper carries a
+// scope-compliance model (e.g. GPS inside the target application scope), the
+// per-step estimate combines input-quality and scope uncertainty, and an
+// out-of-scope frame saturates the fused uncertainty at 1 — the deployment
+// behaviour of the full framework. With a nil scope model the scope factors
+// are ignored.
+func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, error) {
+	est, err := w.base.Estimate(outcome, quality, scope)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: base estimate: %w", err)
+	}
+	w.buf.Append(Record{Outcome: outcome, Uncertainty: est.Uncertainty, Quality: quality})
+	outcomes := w.buf.Outcomes()
+	us := w.buf.Uncertainties()
+	fused, err := w.fuser.Fuse(outcomes, us)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: information fusion: %w", err)
+	}
+	taqf, err := ComputeFeatures(outcomes, us, fused)
+	if err != nil {
+		return Result{}, err
+	}
+	row, err := w.assembleRow(quality, taqf)
+	if err != nil {
+		return Result{}, err
+	}
+	u, err := w.taqim.Uncertainty(row)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: timeseries-aware estimate: %w", err)
+	}
+	// Scope-compliance uncertainty is independent of the timeseries
+	// evidence: combine it multiplicatively, as the base framework does.
+	if us := est.ScopeUncertainty; us > 0 {
+		u = 1 - (1-u)*(1-us)
+		if u > 1 {
+			u = 1
+		}
+	}
+	return Result{
+		Fused:       fused,
+		Uncertainty: u,
+		Stateless:   est,
+		TAQF:        taqf,
+		SeriesLen:   w.buf.Len(),
+	}, nil
+}
+
+// assembleRow concatenates the stateless quality factors with the selected
+// taQF, the input layout of the taQIM.
+func (w *Wrapper) assembleRow(quality []float64, taqf [4]float64) ([]float64, error) {
+	sel, err := SelectFeatures(taqf, w.feats)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, 0, len(quality)+len(sel))
+	row = append(row, quality...)
+	row = append(row, sel...)
+	return row, nil
+}
+
+// TAQIM exposes the timeseries-aware quality impact model for inspection
+// (rules, importances).
+func (w *Wrapper) TAQIM() *uw.QualityImpactModel { return w.taqim }
+
+// Base exposes the stateless wrapper.
+func (w *Wrapper) Base() *uw.Wrapper { return w.base }
+
+// UFWrapper runs the same information-fusion pipeline but estimates the
+// joint uncertainty with one of the uncertainty-fusion baselines (naïve,
+// opportune, worst-case, or the timeseries-unaware pass-through) instead of
+// a taQIM. It exists to reproduce the paper's comparisons and to let
+// deployments choose a baseline at runtime.
+type UFWrapper struct {
+	base  *uw.Wrapper
+	fuser fusion.OutcomeFuser
+	uf    fusion.UncertaintyFuser
+	buf   *Buffer
+}
+
+// NewUFWrapper assembles an uncertainty-fusion baseline wrapper.
+func NewUFWrapper(base *uw.Wrapper, uf fusion.UncertaintyFuser, cfg Config) (*UFWrapper, error) {
+	if base == nil {
+		return nil, errors.New("core: base wrapper is required")
+	}
+	if uf == nil {
+		return nil, errors.New("core: uncertainty fuser is required")
+	}
+	cfg = cfg.withDefaults()
+	buf, err := NewBuffer(cfg.BufferLimit)
+	if err != nil {
+		return nil, err
+	}
+	return &UFWrapper{base: base, fuser: cfg.Fuser, uf: uf, buf: buf}, nil
+}
+
+// NewSeries clears the timeseries buffer.
+func (w *UFWrapper) NewSeries() { w.buf.Reset() }
+
+// SeriesLen returns the current series length.
+func (w *UFWrapper) SeriesLen() int { return w.buf.Len() }
+
+// Step processes one timestep under the baseline uncertainty-fusion rule.
+func (w *UFWrapper) Step(outcome int, quality []float64) (Result, error) {
+	est, err := w.base.Estimate(outcome, quality, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: base estimate: %w", err)
+	}
+	w.buf.Append(Record{Outcome: outcome, Uncertainty: est.Uncertainty, Quality: quality})
+	outcomes := w.buf.Outcomes()
+	us := w.buf.Uncertainties()
+	fused, err := w.fuser.Fuse(outcomes, us)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: information fusion: %w", err)
+	}
+	u, err := w.uf.Fuse(us)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: uncertainty fusion: %w", err)
+	}
+	taqf, err := ComputeFeatures(outcomes, us, fused)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Fused:       fused,
+		Uncertainty: u,
+		Stateless:   est,
+		TAQF:        taqf,
+		SeriesLen:   w.buf.Len(),
+	}, nil
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// synthStudy builds a miniature end-to-end fixture: series with a constant
+// per-series severity factor; the DDM errs with probability depending on
+// severity, and errors within a series are correlated (constant situation),
+// exactly the structure the taUW exploits.
+type synthStudy struct {
+	base        *uw.Wrapper
+	trainSeries []SeriesObservations
+	calibSeries []SeriesObservations
+	testSeries  []SeriesObservations
+}
+
+func makeSeries(n, length int, seed uint64) []SeriesObservations {
+	rng := rand.New(rand.NewPCG(seed, 99))
+	out := make([]SeriesObservations, n)
+	for i := range out {
+		truth := rng.IntN(5)
+		severity := rng.Float64()
+		errP := 0.02 + 0.45*severity
+		// A per-series wrong class makes errors systematic, like a
+		// persistent visual confusion.
+		wrong := (truth + 1 + rng.IntN(3)) % 5
+		s := SeriesObservations{Truth: truth}
+		for j := 0; j < length; j++ {
+			o := truth
+			if rng.Float64() < errP {
+				o = wrong
+			}
+			s.Outcomes = append(s.Outcomes, o)
+			s.Quality = append(s.Quality, []float64{severity, rng.Float64()})
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func buildStudy(t *testing.T) *synthStudy {
+	t.Helper()
+	frames := func(series []SeriesObservations) ([][]float64, []bool) {
+		var x [][]float64
+		var y []bool
+		for _, s := range series {
+			for j := range s.Outcomes {
+				x = append(x, s.Quality[j])
+				y = append(y, s.Outcomes[j] != s.Truth)
+			}
+		}
+		return x, y
+	}
+	train := makeSeries(220, 10, 1)
+	calib := makeSeries(220, 10, 2)
+	test := makeSeries(120, 10, 3)
+	tx, ty := frames(train)
+	cx, cy := frames(calib)
+	cfg := uw.DefaultQIMConfig()
+	cfg.MinLeafCalibration = 100
+	qim, err := uw.FitQIM(tx, ty, cx, cy, []string{"severity", "noise"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := uw.NewWrapper(qim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &synthStudy{base: base, trainSeries: train, calibSeries: calib, testSeries: test}
+}
+
+func fitTAQIM(t *testing.T, st *synthStudy, feats []Feature) *uw.QualityImpactModel {
+	t.Helper()
+	cfg := uw.DefaultQIMConfig()
+	cfg.MinLeafCalibration = 100
+	taqim, err := FitTimeseriesQIM(st.base, st.trainSeries, st.calibSeries,
+		[]string{"severity", "noise"}, feats, fusion.MajorityVote{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return taqim
+}
+
+func TestFitTimeseriesQIMUsesTAQF(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	rules := taqim.Rules()
+	if !strings.Contains(rules, "taqf_") {
+		t.Errorf("taQIM rules never mention a taQF:\n%s", rules)
+	}
+	imp := taqim.FeatureImportance()
+	var taImp float64
+	for name, v := range imp {
+		if strings.HasPrefix(name, "taqf_") {
+			taImp += v
+		}
+	}
+	if taImp <= 0.05 {
+		t.Errorf("taQF importance %.3f too low; timeseries features unused", taImp)
+	}
+}
+
+func TestBuildRowsValidation(t *testing.T) {
+	st := buildStudy(t)
+	if _, _, err := BuildRows(nil, st.base, nil, nil); err == nil {
+		t.Error("empty series must fail")
+	}
+	if _, _, err := BuildRows(st.trainSeries, nil, nil, nil); err == nil {
+		t.Error("nil base must fail")
+	}
+	bad := []SeriesObservations{{Truth: 0}}
+	if _, _, err := BuildRows(bad, st.base, nil, nil); err == nil {
+		t.Error("series without outcomes must fail")
+	}
+	bad = []SeriesObservations{{Truth: 0, Outcomes: []int{1}, Quality: [][]float64{{1, 2}, {3, 4}}}}
+	if _, _, err := BuildRows(bad, st.base, nil, nil); err == nil {
+		t.Error("outcome/quality mismatch must fail")
+	}
+	bad = []SeriesObservations{{Truth: 0, Outcomes: []int{1, 1}, Quality: [][]float64{{1, 2}, {3}}}}
+	if _, _, err := BuildRows(bad, st.base, nil, nil); err == nil {
+		t.Error("ragged quality must fail")
+	}
+	x, y, err := BuildRows(st.trainSeries[:3], st.base, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 30 || len(y) != 30 {
+		t.Errorf("rows = %d/%d, want 30 per 3 series of length 10", len(x), len(y))
+	}
+	if len(x[0]) != 2+4 {
+		t.Errorf("row width %d, want stateless 2 + taQF 4", len(x[0]))
+	}
+}
+
+func TestWrapperStepLifecycle(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	var last Result
+	for j := range s.Outcomes {
+		res, err := w.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SeriesLen != j+1 {
+			t.Errorf("step %d: series len %d", j, res.SeriesLen)
+		}
+		if res.Uncertainty < 0 || res.Uncertainty > 1 {
+			t.Errorf("step %d: uncertainty %g outside [0,1]", j, res.Uncertainty)
+		}
+		if res.TAQF[Length-1] != float64(j+1) {
+			t.Errorf("step %d: taQF length %g", j, res.TAQF[Length-1])
+		}
+		if j == 0 && res.Fused != s.Outcomes[0] {
+			t.Error("first fused outcome must equal the isolated one")
+		}
+		last = res
+	}
+	if w.SeriesLen() != len(s.Outcomes) {
+		t.Errorf("series len = %d", w.SeriesLen())
+	}
+	w.NewSeries()
+	if w.SeriesLen() != 0 {
+		t.Error("NewSeries must clear the buffer")
+	}
+	res, err := w.Step(s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeriesLen != 1 {
+		t.Error("buffer must restart after NewSeries")
+	}
+	if w.TAQIM() != taqim || w.Base() != st.base {
+		t.Error("accessors broken")
+	}
+	_ = last
+}
+
+func TestWrapperConstructionErrors(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	if _, err := NewWrapper(nil, taqim, Config{}); err == nil {
+		t.Error("nil base must fail")
+	}
+	if _, err := NewWrapper(st.base, nil, Config{}); err == nil {
+		t.Error("nil taQIM must fail")
+	}
+	if _, err := NewWrapper(st.base, taqim, Config{Features: []Feature{Feature(42)}}); err == nil {
+		t.Error("invalid feature must fail")
+	}
+	if _, err := NewWrapper(st.base, taqim, Config{BufferLimit: -2}); err == nil {
+		t.Error("negative buffer limit must fail")
+	}
+}
+
+func TestWrapperDistinguishesSeverity(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	run := func(severity float64, outcomes []int) float64 {
+		w, err := NewWrapper(st.base, taqim, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var u float64
+		for _, o := range outcomes {
+			res, err := w.Step(o, []float64{severity, 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u = res.Uncertainty
+		}
+		return u
+	}
+	// Clean consistent series vs degraded inconsistent series.
+	uClean := run(0.05, []int{1, 1, 1, 1, 1, 1, 1, 1})
+	uDirty := run(0.95, []int{1, 2, 1, 3, 2, 1, 2, 2})
+	if uClean >= uDirty {
+		t.Errorf("clean series u=%g must be below dirty series u=%g", uClean, uDirty)
+	}
+}
+
+func TestUFWrapperBaselines(t *testing.T) {
+	st := buildStudy(t)
+	mk := func(uf fusion.UncertaintyFuser) *UFWrapper {
+		w, err := NewUFWrapper(st.base, uf, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	naive := mk(fusion.Naive{})
+	opp := mk(fusion.Opportune{})
+	worst := mk(fusion.WorstCase{})
+	current := mk(fusion.Current{})
+	s := st.testSeries[1]
+	for j := range s.Outcomes {
+		rn, err := naive.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro, err := opp.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := worst.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := current.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// All baselines share the fused outcome.
+		if rn.Fused != ro.Fused || ro.Fused != rw.Fused || rw.Fused != rc.Fused {
+			t.Fatalf("step %d: baselines disagree on fused outcome", j)
+		}
+		if rn.Uncertainty > ro.Uncertainty+1e-15 {
+			t.Errorf("step %d: naive %g > opportune %g", j, rn.Uncertainty, ro.Uncertainty)
+		}
+		if ro.Uncertainty > rw.Uncertainty+1e-15 {
+			t.Errorf("step %d: opportune %g > worst-case %g", j, ro.Uncertainty, rw.Uncertainty)
+		}
+		if rc.Uncertainty != rc.Stateless.Uncertainty {
+			t.Errorf("step %d: current must pass through the stateless estimate", j)
+		}
+	}
+	naive.NewSeries()
+	if naive.SeriesLen() != 0 {
+		t.Error("NewSeries must clear")
+	}
+}
+
+func TestUFWrapperConstructionErrors(t *testing.T) {
+	st := buildStudy(t)
+	if _, err := NewUFWrapper(nil, fusion.Naive{}, Config{}); err == nil {
+		t.Error("nil base must fail")
+	}
+	if _, err := NewUFWrapper(st.base, nil, Config{}); err == nil {
+		t.Error("nil uncertainty fuser must fail")
+	}
+	if _, err := NewUFWrapper(st.base, fusion.Naive{}, Config{BufferLimit: -1}); err == nil {
+		t.Error("negative buffer limit must fail")
+	}
+}
+
+func TestStepScopedCombinesScopeUncertainty(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	// Rebuild the base wrapper with a scope model: factor 0 must stay in
+	// [0, 10].
+	scope, err := uw.NewScopeModel(1, uw.BoundaryCheck{Name: "lat", Index: 0, Min: 0, Max: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := uw.NewWrapper(st.base.QIM(), scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWrapper(base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	// In scope: identical to plain Step behaviour.
+	res, err := w.StepScoped(s.Outcomes[0], s.Quality[0], []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stateless.ScopeUncertainty != 0 {
+		t.Error("in-scope step must have zero scope uncertainty")
+	}
+	// Out of scope: the fused uncertainty saturates at 1.
+	w.NewSeries()
+	res, err = w.StepScoped(s.Outcomes[0], s.Quality[0], []float64{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stateless.ScopeUncertainty != 1 {
+		t.Errorf("out-of-scope scope uncertainty = %g, want 1", res.Stateless.ScopeUncertainty)
+	}
+	if res.Uncertainty != 1 {
+		t.Errorf("out-of-scope fused uncertainty = %g, want 1", res.Uncertainty)
+	}
+	// Wrong scope width must fail.
+	w.NewSeries()
+	if _, err := w.StepScoped(s.Outcomes[0], s.Quality[0], []float64{1, 2}); err == nil {
+		t.Error("wrong scope width must fail")
+	}
+}
+
+// Training/runtime consistency: the rows BuildRows emits for a series must
+// produce exactly the uncertainties the runtime Wrapper computes step by
+// step — otherwise the taQIM would be trained on a different feature layout
+// than it is queried with.
+func TestBuildRowsMatchesRuntimeSteps(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	series := st.testSeries[:5]
+	x, _, err := BuildRows(series, st.base, fusion.MajorityVote{}, AllFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 0
+	for _, s := range series {
+		w, err := NewWrapper(st.base, taqim, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range s.Outcomes {
+			res, err := w.Step(s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromRows, err := taqim.Uncertainty(x[row])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Uncertainty != fromRows {
+				t.Fatalf("series step %d: runtime u=%g but training row gives %g",
+					j, res.Uncertainty, fromRows)
+			}
+			row++
+		}
+	}
+}
+
+// End-to-end shape check mirroring the paper's core claims on the synthetic
+// fixture: information fusion reduces the series-end error rate, and the
+// taUW's uncertainty separates correct from wrong fused outcomes.
+func TestEndToEndFusionImprovesAccuracy(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	w, err := NewWrapper(st.base, taqim, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isolatedErrs, fusedErrs, steps := 0, 0, 0
+	var uWrong, uRight float64
+	nWrong, nRight := 0, 0
+	for _, s := range st.testSeries {
+		w.NewSeries()
+		for j := range s.Outcomes {
+			res, err := w.Step(s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps++
+			if s.Outcomes[j] != s.Truth {
+				isolatedErrs++
+			}
+			if res.Fused != s.Truth {
+				fusedErrs++
+				uWrong += res.Uncertainty
+				nWrong++
+			} else {
+				uRight += res.Uncertainty
+				nRight++
+			}
+		}
+	}
+	if fusedErrs >= isolatedErrs {
+		t.Errorf("fusion must reduce errors: fused %d vs isolated %d (of %d)",
+			fusedErrs, isolatedErrs, steps)
+	}
+	if nWrong > 0 && nRight > 0 && uWrong/float64(nWrong) <= uRight/float64(nRight) {
+		t.Errorf("mean uncertainty on wrong fused outcomes (%.3f) must exceed correct ones (%.3f)",
+			uWrong/float64(nWrong), uRight/float64(nRight))
+	}
+}

@@ -1,0 +1,102 @@
+package ddm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Centroid is a nearest-class-mean classifier: the simplest model the
+// wrapper can encapsulate, used as a weak baseline and to demonstrate that
+// the uncertainty wrapper is genuinely model-agnostic (it touches only the
+// Classifier interface).
+type Centroid struct {
+	// Means is the per-class mean feature vector.
+	Means   [][]float64
+	Dim     int
+	Classes int
+}
+
+var _ Classifier = (*Centroid)(nil)
+
+// TrainCentroid computes per-class means. Classes that never occur keep a
+// zero centroid and are effectively never predicted unless everything else
+// is farther.
+func TrainCentroid(samples []Sample, classes int) (*Centroid, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("ddm: empty training set")
+	}
+	if classes <= 1 {
+		return nil, fmt.Errorf("ddm: need at least 2 classes, got %d", classes)
+	}
+	dim := len(samples[0].X)
+	means := make([][]float64, classes)
+	counts := make([]int, classes)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for i, s := range samples {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("ddm: sample %d has %d features, want %d", i, len(s.X), dim)
+		}
+		if s.Class < 0 || s.Class >= classes {
+			return nil, fmt.Errorf("ddm: sample %d has class %d outside [0,%d)", i, s.Class, classes)
+		}
+		for d, v := range s.X {
+			means[s.Class][d] += v
+		}
+		counts[s.Class]++
+	}
+	for c := range means {
+		if counts[c] == 0 {
+			continue
+		}
+		for d := range means[c] {
+			means[c][d] /= float64(counts[c])
+		}
+	}
+	return &Centroid{Means: means, Dim: dim, Classes: classes}, nil
+}
+
+// NumClasses implements Classifier.
+func (c *Centroid) NumClasses() int { return c.Classes }
+
+// Predict implements Classifier: the class with the nearest centroid.
+func (c *Centroid) Predict(x []float64) (int, error) {
+	if len(x) != c.Dim {
+		return 0, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), c.Dim)
+	}
+	best, bestD := 0, math.Inf(1)
+	for cl, mean := range c.Means {
+		var d float64
+		for i, xi := range x {
+			diff := xi - mean[i]
+			d += diff * diff
+		}
+		if d < bestD {
+			bestD = d
+			best = cl
+		}
+	}
+	return best, nil
+}
+
+// Scores implements Classifier with a softmax over negative distances — a
+// heuristic confidence, deliberately uncalibrated (the wrapper does the
+// calibrated part).
+func (c *Centroid) Scores(x []float64) ([]float64, error) {
+	if len(x) != c.Dim {
+		return nil, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), c.Dim)
+	}
+	out := make([]float64, c.Classes)
+	for cl, mean := range c.Means {
+		var d float64
+		for i, xi := range x {
+			diff := xi - mean[i]
+			d += diff * diff
+		}
+		out[cl] = -math.Sqrt(d)
+	}
+	softmaxInPlace(out)
+	return out, nil
+}

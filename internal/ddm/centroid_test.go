@@ -1,0 +1,118 @@
+package ddm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCentroidLearnsBlobs(t *testing.T) {
+	train := threeClassBlobs(300, 0.5, 21)
+	test := threeClassBlobs(150, 0.5, 22)
+	model, err := TrainCentroid(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(model, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy < 0.97 {
+		t.Errorf("centroid accuracy %.3f on easy blobs, want >= 0.97", ev.Accuracy)
+	}
+	scores, err := model.Scores(test[0].X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, s := range scores {
+		if s < 0 {
+			t.Error("negative probability")
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("scores sum to %g", sum)
+	}
+	if model.NumClasses() != 3 {
+		t.Error("class count wrong")
+	}
+}
+
+func TestCentroidWeakerThanSoftmax(t *testing.T) {
+	// On overlapping anisotropic blobs the linear softmax should beat
+	// plain nearest-mean; this pins the baseline ordering the study's
+	// model-agnosticism argument relies on.
+	train := threeClassBlobs(900, 1.8, 23)
+	test := threeClassBlobs(450, 1.8, 24)
+	centroid, err := TrainCentroid(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	softmax, err := TrainSoftmax(train, 3, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evC, err := Evaluate(centroid, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evS, err := Evaluate(softmax, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evS.Accuracy < evC.Accuracy-0.03 {
+		t.Errorf("softmax (%.3f) unexpectedly much worse than centroid (%.3f)",
+			evS.Accuracy, evC.Accuracy)
+	}
+}
+
+func TestCentroidErrors(t *testing.T) {
+	if _, err := TrainCentroid(nil, 3); err == nil {
+		t.Error("empty training set must fail")
+	}
+	good := threeClassBlobs(30, 0.5, 25)
+	if _, err := TrainCentroid(good, 1); err == nil {
+		t.Error("single class must fail")
+	}
+	bad := append([]Sample{}, good...)
+	bad[2] = Sample{X: []float64{1}, Class: 0}
+	if _, err := TrainCentroid(bad, 3); err == nil {
+		t.Error("ragged features must fail")
+	}
+	bad2 := append([]Sample{}, good...)
+	bad2[2] = Sample{X: []float64{1, 2}, Class: 9}
+	if _, err := TrainCentroid(bad2, 3); err == nil {
+		t.Error("out-of-range class must fail")
+	}
+	model, err := TrainCentroid(good, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Predict([]float64{1}); err == nil {
+		t.Error("wrong width must fail")
+	}
+	if _, err := model.Scores([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong width must fail")
+	}
+}
+
+func TestCentroidHandlesMissingClass(t *testing.T) {
+	// Train with class 2 absent: predictions must still be well-formed.
+	var train []Sample
+	for _, s := range threeClassBlobs(90, 0.3, 26) {
+		if s.Class != 2 {
+			train = append(train, s)
+		}
+	}
+	model, err := TrainCentroid(train, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := model.Predict([]float64{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != 0 {
+		t.Errorf("prediction %d, want 0 (nearest trained centroid)", pred)
+	}
+}

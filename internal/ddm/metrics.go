@@ -1,0 +1,67 @@
+package ddm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Evaluation summarises classifier performance on a labelled sample set.
+type Evaluation struct {
+	// N is the number of evaluated samples.
+	N int
+	// Correct is the number of correct hard decisions.
+	Correct int
+	// Accuracy is Correct/N.
+	Accuracy float64
+	// Confusion[i][j] counts samples of true class i predicted as j.
+	Confusion [][]int
+}
+
+// MisclassificationRate returns 1 - Accuracy.
+func (e Evaluation) MisclassificationRate() float64 { return 1 - e.Accuracy }
+
+// Evaluate runs the classifier over the samples and aggregates accuracy and
+// the confusion matrix.
+func Evaluate(c Classifier, samples []Sample) (Evaluation, error) {
+	if len(samples) == 0 {
+		return Evaluation{}, errors.New("ddm: empty evaluation set")
+	}
+	k := c.NumClasses()
+	ev := Evaluation{N: len(samples), Confusion: make([][]int, k)}
+	for i := range ev.Confusion {
+		ev.Confusion[i] = make([]int, k)
+	}
+	for i, s := range samples {
+		pred, err := c.Predict(s.X)
+		if err != nil {
+			return Evaluation{}, fmt.Errorf("ddm: evaluating sample %d: %w", i, err)
+		}
+		if s.Class < 0 || s.Class >= k {
+			return Evaluation{}, fmt.Errorf("ddm: sample %d class %d outside [0,%d)", i, s.Class, k)
+		}
+		ev.Confusion[s.Class][pred]++
+		if pred == s.Class {
+			ev.Correct++
+		}
+	}
+	ev.Accuracy = float64(ev.Correct) / float64(ev.N)
+	return ev, nil
+}
+
+// PerClassRecall returns the recall of every class (NaN-free: classes with
+// no samples report recall 1, as no mistakes were observed).
+func (e Evaluation) PerClassRecall() []float64 {
+	out := make([]float64, len(e.Confusion))
+	for i, row := range e.Confusion {
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total == 0 {
+			out[i] = 1
+			continue
+		}
+		out[i] = float64(row[i]) / float64(total)
+	}
+	return out
+}

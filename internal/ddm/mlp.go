@@ -1,0 +1,166 @@
+package ddm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// MLP is a one-hidden-layer ReLU network with a softmax output, the closest
+// stdlib-only stand-in for the paper's small CNN. It exists both as the
+// optional DDM of the study and as evidence that the wrapper is
+// model-agnostic: everything downstream only sees the Classifier interface.
+type MLP struct {
+	// W1 is [hidden][dim+1] (last column bias), W2 is [classes][hidden+1].
+	W1, W2  [][]float64
+	Dim     int
+	Hidden  int
+	Classes int
+}
+
+// NumClasses implements Classifier.
+func (m *MLP) NumClasses() int { return m.Classes }
+
+// forward computes hidden activations and output logits.
+func (m *MLP) forward(x []float64, hidden, logits []float64) {
+	for h := 0; h < m.Hidden; h++ {
+		w := m.W1[h]
+		acc := w[m.Dim]
+		for i, xi := range x {
+			acc += w[i] * xi
+		}
+		if acc < 0 {
+			acc = 0 // ReLU
+		}
+		hidden[h] = acc
+	}
+	for c := 0; c < m.Classes; c++ {
+		w := m.W2[c]
+		acc := w[m.Hidden]
+		for h, hv := range hidden {
+			acc += w[h] * hv
+		}
+		logits[c] = acc
+	}
+}
+
+// Scores implements Classifier.
+func (m *MLP) Scores(x []float64) ([]float64, error) {
+	if len(x) != m.Dim {
+		return nil, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), m.Dim)
+	}
+	hidden := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	m.forward(x, hidden, logits)
+	softmaxInPlace(logits)
+	return logits, nil
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) (int, error) {
+	if len(x) != m.Dim {
+		return 0, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), m.Dim)
+	}
+	hidden := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	m.forward(x, hidden, logits)
+	return argmax(logits), nil
+}
+
+// TrainMLP fits a one-hidden-layer network with minibatch SGD.
+func TrainMLP(samples []Sample, classes, hidden int, cfg TrainConfig) (*MLP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("ddm: empty training set")
+	}
+	if classes <= 1 || hidden <= 0 {
+		return nil, fmt.Errorf("ddm: invalid sizes classes=%d hidden=%d", classes, hidden)
+	}
+	dim := len(samples[0].X)
+	for i, s := range samples {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("ddm: sample %d has %d features, want %d", i, len(s.X), dim)
+		}
+		if s.Class < 0 || s.Class >= classes {
+			return nil, fmt.Errorf("ddm: sample %d has class %d outside [0,%d)", i, s.Class, classes)
+		}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x6d6c70)) // "mlp"
+	m := &MLP{Dim: dim, Hidden: hidden, Classes: classes}
+	m.W1 = randMatrix(rng, hidden, dim+1, math.Sqrt(2/float64(dim)))
+	m.W2 = randMatrix(rng, classes, hidden+1, math.Sqrt(2/float64(hidden)))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	var (
+		hid    = make([]float64, hidden)
+		logits = make([]float64, classes)
+		dOut   = make([]float64, classes)
+		dHid   = make([]float64, hidden)
+	)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		var epochLoss float64
+		for _, si := range idx {
+			s := samples[si]
+			m.forward(s.X, hid, logits)
+			softmaxInPlace(logits)
+			epochLoss += -math.Log(math.Max(logits[s.Class], 1e-12))
+			for c := range dOut {
+				dOut[c] = logits[c]
+				if c == s.Class {
+					dOut[c] -= 1
+				}
+			}
+			// Backprop into the hidden layer.
+			for h := 0; h < hidden; h++ {
+				var g float64
+				if hid[h] > 0 { // ReLU gate
+					for c := 0; c < classes; c++ {
+						g += dOut[c] * m.W2[c][h]
+					}
+				}
+				dHid[h] = g
+			}
+			for c := 0; c < classes; c++ {
+				w := m.W2[c]
+				g := dOut[c]
+				for h, hv := range hid {
+					w[h] -= lr * (g*hv + cfg.L2*w[h])
+				}
+				w[hidden] -= lr * g
+			}
+			for h := 0; h < hidden; h++ {
+				if dHid[h] == 0 {
+					continue
+				}
+				w := m.W1[h]
+				g := dHid[h]
+				for i, xi := range s.X {
+					w[i] -= lr * (g*xi + cfg.L2*w[i])
+				}
+				w[dim] -= lr * g
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, epochLoss/float64(len(idx)))
+		}
+	}
+	return m, nil
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	out := make([][]float64, rows)
+	for r := range out {
+		out[r] = make([]float64, cols)
+		for c := 0; c < cols-1; c++ { // leave bias at 0
+			out[r][c] = rng.NormFloat64() * scale
+		}
+	}
+	return out
+}

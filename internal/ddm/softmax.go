@@ -1,0 +1,256 @@
+package ddm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Classifier is what the uncertainty wrapper wraps: a black-box multi-class
+// model exposing a hard decision and (optionally) class scores. The wrapper
+// never relies on the scores being calibrated.
+type Classifier interface {
+	// Predict returns the most likely class for the feature vector.
+	Predict(x []float64) (int, error)
+	// Scores returns softmax class probabilities (model confidence, not a
+	// dependable uncertainty).
+	Scores(x []float64) ([]float64, error)
+	// NumClasses returns the size of the output space.
+	NumClasses() int
+}
+
+// TrainConfig controls minibatch SGD for the from-scratch classifiers.
+type TrainConfig struct {
+	// Epochs is the number of passes over the training data.
+	Epochs int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// LearningRate is the initial step size; it decays linearly to 10%
+	// over the epochs.
+	LearningRate float64
+	// L2 is the weight-decay coefficient.
+	L2 float64
+	// Momentum is the classical momentum coefficient (0 disables).
+	Momentum float64
+	// Seed fixes shuffling and initialisation.
+	Seed uint64
+	// Progress, when non-nil, receives the mean training loss after each
+	// epoch. It is excluded from serialisation.
+	Progress func(epoch int, loss float64) `json:"-"`
+}
+
+// DefaultTrainConfig returns a configuration that trains the study's
+// classifiers to convergence in a few seconds.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       6,
+		BatchSize:    64,
+		LearningRate: 0.12,
+		L2:           1e-5,
+		Momentum:     0.9,
+		Seed:         5,
+	}
+}
+
+// Validate checks the configuration.
+func (c TrainConfig) Validate() error {
+	switch {
+	case c.Epochs <= 0:
+		return errors.New("ddm: epochs must be positive")
+	case c.BatchSize <= 0:
+		return errors.New("ddm: batch size must be positive")
+	case c.LearningRate <= 0:
+		return errors.New("ddm: learning rate must be positive")
+	case c.L2 < 0 || c.Momentum < 0 || c.Momentum >= 1:
+		return errors.New("ddm: invalid regularisation or momentum")
+	}
+	return nil
+}
+
+// Softmax is a multinomial logistic-regression classifier: a linear map plus
+// softmax, trained with minibatch SGD and cross-entropy loss.
+type Softmax struct {
+	// W is row-major [classes][dim+1]; the last column is the bias.
+	W       [][]float64
+	Dim     int
+	Classes int
+}
+
+// NumClasses implements Classifier.
+func (s *Softmax) NumClasses() int { return s.Classes }
+
+// logits computes the raw class scores for x.
+func (s *Softmax) logits(x []float64) []float64 {
+	out := make([]float64, s.Classes)
+	for c := 0; c < s.Classes; c++ {
+		w := s.W[c]
+		acc := w[s.Dim] // bias
+		for i, xi := range x {
+			acc += w[i] * xi
+		}
+		out[c] = acc
+	}
+	return out
+}
+
+// Scores implements Classifier.
+func (s *Softmax) Scores(x []float64) ([]float64, error) {
+	if len(x) != s.Dim {
+		return nil, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), s.Dim)
+	}
+	z := s.logits(x)
+	softmaxInPlace(z)
+	return z, nil
+}
+
+// Predict implements Classifier.
+func (s *Softmax) Predict(x []float64) (int, error) {
+	if len(x) != s.Dim {
+		return 0, fmt.Errorf("ddm: input has %d features, model wants %d", len(x), s.Dim)
+	}
+	z := s.logits(x)
+	return argmax(z), nil
+}
+
+// TrainSoftmax fits a Softmax classifier on the samples.
+func TrainSoftmax(samples []Sample, classes int, cfg TrainConfig) (*Softmax, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("ddm: empty training set")
+	}
+	if classes <= 1 {
+		return nil, fmt.Errorf("ddm: need at least 2 classes, got %d", classes)
+	}
+	dim := len(samples[0].X)
+	for i, s := range samples {
+		if len(s.X) != dim {
+			return nil, fmt.Errorf("ddm: sample %d has %d features, want %d", i, len(s.X), dim)
+		}
+		if s.Class < 0 || s.Class >= classes {
+			return nil, fmt.Errorf("ddm: sample %d has class %d outside [0,%d)", i, s.Class, classes)
+		}
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x736d6178)) // "smax"
+	model := &Softmax{Dim: dim, Classes: classes, W: make([][]float64, classes)}
+	vel := make([][]float64, classes)
+	scale := 1 / math.Sqrt(float64(dim))
+	for c := range model.W {
+		model.W[c] = make([]float64, dim+1)
+		vel[c] = make([]float64, dim+1)
+		for i := 0; i < dim; i++ {
+			model.W[c][i] = rng.NormFloat64() * 0.01 * scale
+		}
+	}
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([][]float64, classes)
+	for c := range grad {
+		grad[c] = make([]float64, dim+1)
+	}
+	probs := make([]float64, classes)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate * (1 - 0.9*float64(epoch)/float64(cfg.Epochs))
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		var epochLoss float64
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(idx))
+			for c := range grad {
+				clearSlice(grad[c])
+			}
+			for _, si := range idx[start:end] {
+				s := samples[si]
+				z := model.logits(s.X)
+				copy(probs, z)
+				softmaxInPlace(probs)
+				epochLoss += -math.Log(math.Max(probs[s.Class], 1e-12))
+				for c := 0; c < classes; c++ {
+					g := probs[c]
+					if c == s.Class {
+						g -= 1
+					}
+					gc := grad[c]
+					for i, xi := range s.X {
+						gc[i] += g * xi
+					}
+					gc[dim] += g
+				}
+			}
+			bs := float64(end - start)
+			for c := 0; c < classes; c++ {
+				wc, vc, gc := model.W[c], vel[c], grad[c]
+				for i := range wc {
+					g := gc[i]/bs + cfg.L2*wc[i]
+					vc[i] = cfg.Momentum*vc[i] - lr*g
+					wc[i] += vc[i]
+				}
+			}
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, epochLoss/float64(len(idx)))
+		}
+	}
+	return model, nil
+}
+
+// MarshalJSON serialises the model.
+func (s *Softmax) MarshalJSON() ([]byte, error) {
+	type alias Softmax
+	return json.Marshal((*alias)(s))
+}
+
+// LoadSoftmax deserialises a model produced by MarshalJSON.
+func LoadSoftmax(data []byte) (*Softmax, error) {
+	var s Softmax
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("ddm: decode softmax: %w", err)
+	}
+	if s.Classes != len(s.W) {
+		return nil, fmt.Errorf("ddm: corrupt softmax: %d classes but %d weight rows", s.Classes, len(s.W))
+	}
+	for c, row := range s.W {
+		if len(row) != s.Dim+1 {
+			return nil, fmt.Errorf("ddm: corrupt softmax: row %d has %d weights, want %d", c, len(row), s.Dim+1)
+		}
+	}
+	return &s, nil
+}
+
+func softmaxInPlace(z []float64) {
+	maxZ := z[0]
+	for _, v := range z[1:] {
+		if v > maxZ {
+			maxZ = v
+		}
+	}
+	var sum float64
+	for i, v := range z {
+		e := math.Exp(v - maxZ)
+		z[i] = e
+		sum += e
+	}
+	for i := range z {
+		z[i] /= sum
+	}
+}
+
+func argmax(z []float64) int {
+	best := 0
+	for i, v := range z[1:] {
+		if v > z[best] {
+			best = i + 1
+		}
+	}
+	return best
+}
+
+func clearSlice(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,133 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoundFunc computes a one-sided upper confidence bound for k observed
+// events out of n trials. internal/stats.BinomialUpperBound curried with a
+// method and confidence level satisfies this signature.
+type BoundFunc func(k, n int) (float64, error)
+
+// Calibrate assigns the calibration set (x, y) to the leaves, prunes the
+// tree bottom-up until every leaf holds at least minLeafSamples calibration
+// samples (the paper prunes to >= 200), and then sets each leaf's Value to
+// the dependable uncertainty bound(k, n) computed from the calibration
+// statistics of that leaf.
+func (t *Tree) Calibrate(x [][]float64, y []bool, minLeafSamples int, bound BoundFunc) error {
+	if len(x) == 0 {
+		return ErrEmptyTrainingSet
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("%w: %d rows vs %d labels", ErrShapeMismatch, len(x), len(y))
+	}
+	if minLeafSamples < 1 {
+		minLeafSamples = 1
+	}
+	if minLeafSamples > len(x) {
+		return fmt.Errorf("dtree: cannot keep %d samples per leaf with only %d calibration samples: %w",
+			minLeafSamples, len(x), ErrShapeMismatch)
+	}
+	if err := t.assignCalibration(x, y); err != nil {
+		return err
+	}
+	t.pruneToMinCalib(minLeafSamples)
+	t.renumberLeaves()
+	for _, leaf := range t.Leaves() {
+		v, err := bound(leaf.CalibEvents, leaf.CalibCount)
+		if err != nil {
+			return fmt.Errorf("dtree: calibrating leaf %d: %w", leaf.LeafID, err)
+		}
+		leaf.Value = v
+	}
+	return nil
+}
+
+// assignCalibration routes every calibration sample down the tree, recording
+// per-node counts (internal nodes accumulate too so pruning can collapse a
+// subtree into a leaf without re-routing).
+func (t *Tree) assignCalibration(x [][]float64, y []bool) error {
+	var clear func(n *Node)
+	clear = func(n *Node) {
+		n.CalibCount, n.CalibEvents = 0, 0
+		n.Value = math.NaN()
+		if !n.IsLeaf() {
+			clear(n.Left)
+			clear(n.Right)
+		}
+	}
+	clear(t.root)
+	for i, row := range x {
+		if len(row) != t.nFeatures {
+			return fmt.Errorf("%w: calibration row %d has %d features, want %d",
+				ErrShapeMismatch, i, len(row), t.nFeatures)
+		}
+		n := t.root
+		for {
+			n.CalibCount++
+			if y[i] {
+				n.CalibEvents++
+			}
+			if n.IsLeaf() {
+				break
+			}
+			if row[n.Feature] <= n.Threshold {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+		}
+	}
+	return nil
+}
+
+// pruneToMinCalib repeatedly collapses the deepest split that has a child
+// leaf with fewer than minSamples calibration samples. Because internal
+// nodes already hold the aggregated counts of their subtree, a collapse is a
+// local operation.
+func (t *Tree) pruneToMinCalib(minSamples int) {
+	for {
+		target := deepestUnderfilledSplit(t.root, minSamples)
+		if target == nil {
+			return
+		}
+		target.Feature = -1
+		target.Threshold = 0
+		target.Left = nil
+		target.Right = nil
+		target.gain = 0
+	}
+}
+
+// deepestUnderfilledSplit returns the deepest internal node with a leaf
+// child that is under the calibration minimum, or nil when none remain.
+func deepestUnderfilledSplit(n *Node, minSamples int) *Node {
+	if n.IsLeaf() {
+		return nil
+	}
+	if d := deepestUnderfilledSplit(n.Left, minSamples); d != nil {
+		return d
+	}
+	if d := deepestUnderfilledSplit(n.Right, minSamples); d != nil {
+		return d
+	}
+	if (n.Left.IsLeaf() && n.Left.CalibCount < minSamples) ||
+		(n.Right.IsLeaf() && n.Right.CalibCount < minSamples) {
+		return n
+	}
+	return nil
+}
+
+// MinLeafValue returns the smallest calibrated leaf value; it is the lowest
+// uncertainty the tree can ever guarantee (the paper's u = 0.0072).
+func (t *Tree) MinLeafValue() (float64, error) {
+	minV := math.Inf(1)
+	for _, leaf := range t.Leaves() {
+		if math.IsNaN(leaf.Value) {
+			return math.NaN(), ErrNotCalibrated
+		}
+		minV = math.Min(minV, leaf.Value)
+	}
+	return minV, nil
+}

@@ -1,0 +1,90 @@
+package dtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rules renders the tree as an indented, human-auditable rule list. Feature
+// names are optional; missing names fall back to x[i]. Transparency of the
+// quality impact model is a core property of the uncertainty wrapper
+// framework, so this output is part of the public contract.
+func (t *Tree) Rules(featureNames []string) string {
+	var b strings.Builder
+	t.writeRules(&b, t.root, featureNames, 0)
+	return b.String()
+}
+
+func (t *Tree) writeRules(b *strings.Builder, n *Node, names []string, indent int) {
+	pad := strings.Repeat("  ", indent)
+	if n.IsLeaf() {
+		fmt.Fprintf(b, "%s=> leaf %d: u<=%.6g (train %d/%d, calib %d/%d)\n",
+			pad, n.LeafID, n.Value, n.Events, n.Count, n.CalibEvents, n.CalibCount)
+		return
+	}
+	name := featureName(names, n.Feature)
+	fmt.Fprintf(b, "%sif %s <= %.6g:\n", pad, name, n.Threshold)
+	t.writeRules(b, n.Left, names, indent+1)
+	fmt.Fprintf(b, "%selse:  # %s > %.6g\n", pad, name, n.Threshold)
+	t.writeRules(b, n.Right, names, indent+1)
+}
+
+// DOT renders the tree in Graphviz DOT format.
+func (t *Tree) DOT(featureNames []string) string {
+	var b strings.Builder
+	b.WriteString("digraph QIM {\n  node [shape=box, fontname=\"monospace\"];\n")
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		my := id
+		id++
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "  n%d [label=\"leaf %d\\nu<=%.4g\\ncalib %d/%d\", style=filled, fillcolor=lightgray];\n",
+				my, n.LeafID, n.Value, n.CalibEvents, n.CalibCount)
+			return my
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s <= %.4g\"];\n", my, featureName(featureNames, n.Feature), n.Threshold)
+		l := walk(n.Left)
+		r := walk(n.Right)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"yes\"];\n", my, l)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"no\"];\n", my, r)
+		return my
+	}
+	walk(t.root)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FeatureImportance returns the normalised gini importance of every feature:
+// the total impurity decrease contributed by splits on the feature, summed
+// over the tree and normalised to sum to 1 (all zeros for a stump).
+func (t *Tree) FeatureImportance() []float64 {
+	imp := make([]float64, t.nFeatures)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		imp[n.Feature] += n.gain
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.root)
+	var total float64
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}
+
+func featureName(names []string, i int) string {
+	if i >= 0 && i < len(names) && names[i] != "" {
+		return names[i]
+	}
+	return fmt.Sprintf("x[%d]", i)
+}

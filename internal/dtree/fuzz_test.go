@@ -1,0 +1,48 @@
+package dtree
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzLoad hardens tree deserialisation: arbitrary bytes must either load a
+// structurally valid tree or fail cleanly — no panics, no cycles, no
+// out-of-range routing.
+func FuzzLoad(f *testing.F) {
+	// Seeds: a real calibrated tree plus characteristic corruptions.
+	x, y := sepData(400, 55)
+	tr, err := Fit(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.Calibrate(x, y, 50, cpBound); err != nil {
+		f.Fatal(err)
+	}
+	good, err := json.Marshal(tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{"num_features":2,"nodes":[{"feature":-1,"left":-1,"right":-1,"value":0.5}]}`))
+	f.Add([]byte(`{"num_features":2,"nodes":[{"feature":0,"left":0,"right":0}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := Load(data)
+		if err != nil {
+			return
+		}
+		// A loaded tree must route any probe to a valid dense leaf.
+		probe := make([]float64, loaded.NumFeatures())
+		id, err := loaded.Apply(probe)
+		if err != nil {
+			t.Fatalf("loaded tree cannot route: %v", err)
+		}
+		if id < 0 || id >= loaded.NumLeaves() {
+			t.Fatalf("leaf id %d outside [0,%d)", id, loaded.NumLeaves())
+		}
+		// Rule export must not panic either.
+		_ = loaded.Rules(nil)
+	})
+}

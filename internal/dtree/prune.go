@@ -1,0 +1,67 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// PruneCostComplexity applies weakest-link (cost-complexity) pruning with
+// complexity parameter alpha, the standard CART post-pruning: any subtree
+// whose per-leaf impurity reduction is worth less than alpha is collapsed.
+// Larger alpha prunes more aggressively; alpha = 0 only collapses splits
+// with zero risk reduction. Pruning invalidates leaf calibration, so
+// Calibrate must be called again afterwards.
+func (t *Tree) PruneCostComplexity(alpha float64) error {
+	if alpha < 0 || math.IsNaN(alpha) {
+		return fmt.Errorf("dtree: alpha %g must be non-negative", alpha)
+	}
+	total := float64(t.root.Count)
+	if total == 0 {
+		return nil
+	}
+	// Iteratively collapse the weakest link until every remaining split
+	// is worth its complexity.
+	for {
+		weakest, g := weakestLink(t.root, total, t.cfg.Criterion)
+		if weakest == nil || g > alpha {
+			break
+		}
+		weakest.Feature = -1
+		weakest.Threshold = 0
+		weakest.Left = nil
+		weakest.Right = nil
+		weakest.gain = 0
+		weakest.Value = math.NaN()
+	}
+	t.renumberLeaves()
+	return nil
+}
+
+// weakestLink returns the internal node with the smallest per-leaf risk
+// reduction g(node) = (R(node) - R(subtree)) / (leaves(subtree) - 1), along
+// with that value.
+func weakestLink(n *Node, total float64, c Criterion) (*Node, float64) {
+	if n.IsLeaf() {
+		return nil, math.Inf(1)
+	}
+	bestNode, bestG := (*Node)(nil), math.Inf(1)
+	var walk func(m *Node) (risk float64, leaves int)
+	walk = func(m *Node) (float64, int) {
+		nodeRisk := float64(m.Count) / total * impurity(c, m.Events, m.Count)
+		if m.IsLeaf() {
+			return nodeRisk, 1
+		}
+		lRisk, lLeaves := walk(m.Left)
+		rRisk, rLeaves := walk(m.Right)
+		subRisk := lRisk + rRisk
+		subLeaves := lLeaves + rLeaves
+		g := (nodeRisk - subRisk) / float64(subLeaves-1)
+		if g < bestG {
+			bestG = g
+			bestNode = m
+		}
+		return subRisk, subLeaves
+	}
+	walk(n)
+	return bestNode, bestG
+}

@@ -1,0 +1,114 @@
+package dtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// noisyData has one informative feature and pure noise labels in a corner,
+// so deep trees overfit structure that cost-complexity pruning removes.
+func noisyData(n int, seed uint64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		p := 0.05
+		if x[i][0] > 0.5 {
+			p = 0.45
+		}
+		y[i] = rng.Float64() < p
+	}
+	return x, y
+}
+
+func TestPruneCostComplexityReducesLeaves(t *testing.T) {
+	x, y := noisyData(3000, 3)
+	tr, err := Fit(x, y, Config{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tr.NumLeaves()
+	if before < 8 {
+		t.Skipf("tree too small to prune meaningfully (%d leaves)", before)
+	}
+	if err := tr.PruneCostComplexity(0.002); err != nil {
+		t.Fatal(err)
+	}
+	after := tr.NumLeaves()
+	if after >= before {
+		t.Errorf("pruning did not shrink the tree: %d -> %d", before, after)
+	}
+	// The informative root split must survive a moderate alpha.
+	if tr.Root().IsLeaf() {
+		t.Error("pruning removed the informative root split")
+	}
+	// Higher alpha prunes at least as much.
+	x2, y2 := noisyData(3000, 3)
+	tr2, err := Fit(x2, y2, Config{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.PruneCostComplexity(0.05); err != nil {
+		t.Fatal(err)
+	}
+	if tr2.NumLeaves() > after {
+		t.Errorf("larger alpha kept more leaves: %d vs %d", tr2.NumLeaves(), after)
+	}
+}
+
+func TestPruneCostComplexityValidation(t *testing.T) {
+	x, y := noisyData(100, 5)
+	tr, err := Fit(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PruneCostComplexity(-1); err == nil {
+		t.Error("negative alpha must fail")
+	}
+	if err := tr.PruneCostComplexity(math.NaN()); err == nil {
+		t.Error("NaN alpha must fail")
+	}
+}
+
+func TestPruneThenRecalibrate(t *testing.T) {
+	x, y := noisyData(3000, 7)
+	tr, err := Fit(x, y, Config{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PruneCostComplexity(0.001); err != nil {
+		t.Fatal(err)
+	}
+	// Pruning leaves the tree uncalibrated.
+	if _, err := tr.PredictValue(x[0]); err == nil {
+		t.Error("pruned tree must require recalibration")
+	}
+	cx, cy := noisyData(2000, 9)
+	if err := tr.Calibrate(cx, cy, 150, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.PredictValue([]float64{0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.05 || v > 0.2 {
+		t.Errorf("clean-region bound %g outside the plausible range", v)
+	}
+}
+
+func TestPruneStumpNoOp(t *testing.T) {
+	x := [][]float64{{1}, {2}}
+	y := []bool{false, false}
+	tr, err := Fit(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.PruneCostComplexity(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumLeaves() != 1 {
+		t.Errorf("stump changed: %d leaves", tr.NumLeaves())
+	}
+}

@@ -1,0 +1,166 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// treeJSON is the on-disk representation of a calibrated tree: a flat node
+// arena with child indices, which survives arbitrarily deep trees without
+// recursion limits and keeps the format diff-friendly.
+type treeJSON struct {
+	NumFeatures int        `json:"num_features"`
+	Nodes       []nodeJSON `json:"nodes"`
+	Config      configJSON `json:"config"`
+}
+
+type nodeJSON struct {
+	Feature     int     `json:"feature"` // -1 for leaves
+	Threshold   float64 `json:"threshold,omitempty"`
+	Left        int     `json:"left"`  // node index, -1 for leaves
+	Right       int     `json:"right"` // node index, -1 for leaves
+	Count       int     `json:"count"`
+	Events      int     `json:"events"`
+	CalibCount  int     `json:"calib_count"`
+	CalibEvents int     `json:"calib_events"`
+	Value       float64 `json:"value"` // NaN encoded as -1 (values are probabilities)
+	Depth       int     `json:"depth"`
+	Gain        float64 `json:"gain,omitempty"`
+}
+
+type configJSON struct {
+	MaxDepth        int     `json:"max_depth"`
+	MinSplitSamples int     `json:"min_split_samples"`
+	MinLeafSamples  int     `json:"min_leaf_samples"`
+	Criterion       int     `json:"criterion"`
+	MinGain         float64 `json:"min_gain"`
+}
+
+// MarshalJSON serialises the tree, including calibration statistics and
+// leaf values, so a calibrated quality impact model can be deployed without
+// retraining.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	var nodes []nodeJSON
+	var flatten func(n *Node) int
+	flatten = func(n *Node) int {
+		idx := len(nodes)
+		nodes = append(nodes, nodeJSON{})
+		v := n.Value
+		if math.IsNaN(v) {
+			v = -1
+		}
+		nj := nodeJSON{
+			Feature:     n.Feature,
+			Threshold:   n.Threshold,
+			Left:        -1,
+			Right:       -1,
+			Count:       n.Count,
+			Events:      n.Events,
+			CalibCount:  n.CalibCount,
+			CalibEvents: n.CalibEvents,
+			Value:       v,
+			Depth:       n.Depth,
+			Gain:        n.gain,
+		}
+		if !n.IsLeaf() {
+			nj.Left = flatten(n.Left)
+			nj.Right = flatten(n.Right)
+		}
+		nodes[idx] = nj
+		return idx
+	}
+	flatten(t.root)
+	return json.Marshal(treeJSON{
+		NumFeatures: t.nFeatures,
+		Nodes:       nodes,
+		Config: configJSON{
+			MaxDepth:        t.cfg.MaxDepth,
+			MinSplitSamples: t.cfg.MinSplitSamples,
+			MinLeafSamples:  t.cfg.MinLeafSamples,
+			Criterion:       int(t.cfg.Criterion),
+			MinGain:         t.cfg.MinGain,
+		},
+	})
+}
+
+// Load deserialises a tree produced by MarshalJSON, validating structural
+// integrity (indices in range, no cycles, leaves consistent).
+func Load(data []byte) (*Tree, error) {
+	var tj treeJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return nil, fmt.Errorf("dtree: decode: %w", err)
+	}
+	if tj.NumFeatures <= 0 {
+		return nil, fmt.Errorf("dtree: corrupt tree: %d features", tj.NumFeatures)
+	}
+	if len(tj.Nodes) == 0 {
+		return nil, fmt.Errorf("dtree: corrupt tree: no nodes")
+	}
+	visited := make([]bool, len(tj.Nodes))
+	var build func(idx int) (*Node, error)
+	build = func(idx int) (*Node, error) {
+		if idx < 0 || idx >= len(tj.Nodes) {
+			return nil, fmt.Errorf("dtree: corrupt tree: node index %d out of range", idx)
+		}
+		if visited[idx] {
+			return nil, fmt.Errorf("dtree: corrupt tree: node %d referenced twice", idx)
+		}
+		visited[idx] = true
+		nj := tj.Nodes[idx]
+		v := nj.Value
+		if v < 0 {
+			v = math.NaN()
+		}
+		n := &Node{
+			Feature:     nj.Feature,
+			Threshold:   nj.Threshold,
+			Count:       nj.Count,
+			Events:      nj.Events,
+			CalibCount:  nj.CalibCount,
+			CalibEvents: nj.CalibEvents,
+			Value:       v,
+			Depth:       nj.Depth,
+			gain:        nj.Gain,
+		}
+		isLeaf := nj.Left < 0 && nj.Right < 0
+		if isLeaf {
+			if nj.Feature != -1 {
+				return nil, fmt.Errorf("dtree: corrupt tree: leaf %d has feature %d", idx, nj.Feature)
+			}
+			return n, nil
+		}
+		if nj.Left < 0 || nj.Right < 0 {
+			return nil, fmt.Errorf("dtree: corrupt tree: node %d has one child", idx)
+		}
+		if nj.Feature < 0 || nj.Feature >= tj.NumFeatures {
+			return nil, fmt.Errorf("dtree: corrupt tree: node %d splits on feature %d of %d",
+				idx, nj.Feature, tj.NumFeatures)
+		}
+		var err error
+		if n.Left, err = build(nj.Left); err != nil {
+			return nil, err
+		}
+		if n.Right, err = build(nj.Right); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		root:      root,
+		nFeatures: tj.NumFeatures,
+		cfg: Config{
+			MaxDepth:        tj.Config.MaxDepth,
+			MinSplitSamples: tj.Config.MinSplitSamples,
+			MinLeafSamples:  tj.Config.MinLeafSamples,
+			Criterion:       Criterion(tj.Config.Criterion),
+			MinGain:         tj.Config.MinGain,
+		},
+	}
+	t.renumberLeaves()
+	return t, nil
+}

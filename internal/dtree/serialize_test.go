@@ -1,0 +1,135 @@
+package dtree
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSerialiseRoundTrip(t *testing.T) {
+	x, y := sepData(2000, 101)
+	tr, err := Fit(x, y, Config{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy := sepData(2000, 103)
+	if err := tr.Calibrate(cx, cy, 150, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumLeaves() != tr.NumLeaves() || loaded.NumFeatures() != tr.NumFeatures() {
+		t.Fatalf("shape differs: %d/%d leaves, %d/%d features",
+			loaded.NumLeaves(), tr.NumLeaves(), loaded.NumFeatures(), tr.NumFeatures())
+	}
+	// Predictions must agree on random probes.
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 500; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		v1, err := tr.PredictValue(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := loaded.PredictValue(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 != v2 {
+			t.Fatalf("probe %v: %g != %g", p, v1, v2)
+		}
+		id1, _ := tr.Apply(p)
+		id2, _ := loaded.Apply(p)
+		if id1 != id2 {
+			t.Fatalf("probe %v: leaf %d != %d", p, id1, id2)
+		}
+	}
+	// Rule export of the loaded tree must still work.
+	if loaded.Rules(nil) != tr.Rules(nil) {
+		t.Error("rules differ after round trip")
+	}
+}
+
+func TestSerialiseUncalibrated(t *testing.T) {
+	x, y := sepData(200, 7)
+	tr, err := Fit(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NaN leaf values survive as "not calibrated".
+	if _, err := loaded.PredictValue(x[0]); err == nil {
+		t.Error("uncalibrated loaded tree must refuse PredictValue")
+	}
+	// But training rates still work.
+	if _, err := loaded.TrainRate(x[0]); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadRejectsCorruptTrees(t *testing.T) {
+	cases := map[string]string{
+		"bad json":           `{nope`,
+		"no nodes":           `{"num_features":2,"nodes":[]}`,
+		"zero features":      `{"num_features":0,"nodes":[{"feature":-1,"left":-1,"right":-1}]}`,
+		"leaf with feature":  `{"num_features":2,"nodes":[{"feature":1,"left":-1,"right":-1}]}`,
+		"one child":          `{"num_features":2,"nodes":[{"feature":0,"left":1,"right":-1},{"feature":-1,"left":-1,"right":-1}]}`,
+		"index out of range": `{"num_features":2,"nodes":[{"feature":0,"left":1,"right":9},{"feature":-1,"left":-1,"right":-1}]}`,
+		"feature range":      `{"num_features":2,"nodes":[{"feature":5,"left":1,"right":2},{"feature":-1,"left":-1,"right":-1},{"feature":-1,"left":-1,"right":-1}]}`,
+		"cycle":              `{"num_features":2,"nodes":[{"feature":0,"left":0,"right":1},{"feature":-1,"left":-1,"right":-1}]}`,
+	}
+	for name, data := range cases {
+		if _, err := Load([]byte(data)); err == nil {
+			t.Errorf("%s: Load must fail", name)
+		}
+	}
+}
+
+// Property: round trip preserves predictions for arbitrary generated trees.
+func TestSerialiseRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, rawDepth uint8) bool {
+		depth := int(rawDepth%6) + 1
+		x, y := sepData(300, seed)
+		tr, err := Fit(x, y, Config{MaxDepth: depth})
+		if err != nil {
+			return false
+		}
+		if err := tr.Calibrate(x, y, 20, cpBound); err != nil {
+			return false
+		}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return false
+		}
+		loaded, err := Load(data)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 42))
+		for i := 0; i < 50; i++ {
+			p := []float64{rng.Float64(), rng.Float64()}
+			v1, err1 := tr.PredictValue(p)
+			v2, err2 := loaded.PredictValue(p)
+			if err1 != nil || err2 != nil || v1 != v2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// BoundAblationRow scores one binomial-bound construction.
+type BoundAblationRow struct {
+	Method stats.BoundMethod
+	// Brier is the taUW Brier score on the test replay.
+	Brier float64
+	// Overconfidence is the overconfident share of the unreliability.
+	Overconfidence float64
+	// MinU is the lowest guaranteed uncertainty.
+	MinU float64
+}
+
+// BoundAblationResult compares Clopper-Pearson (the paper's choice) against
+// Wilson and Jeffreys bounds for the taQIM leaf calibration: less
+// conservative bounds buy a lower Brier score at the cost of potential
+// overconfidence.
+type BoundAblationResult struct {
+	Rows []BoundAblationRow
+}
+
+// RunBoundAblation refits the taQIM under each bound method and scores it.
+func (st *Study) RunBoundAblation() (BoundAblationResult, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return BoundAblationResult{}, err
+	}
+	fusedWrong := make([]bool, len(recs))
+	for i, r := range recs {
+		fusedWrong[i] = r.fused != r.truth
+	}
+	var out BoundAblationResult
+	for _, m := range []stats.BoundMethod{stats.ClopperPearson, stats.Wilson, stats.Jeffreys} {
+		cfg := st.Cfg.QIM
+		cfg.Bound = m
+		qim, err := st.fitTAQIMWith(cfg, core.AllFeatures())
+		if err != nil {
+			return BoundAblationResult{}, err
+		}
+		forecast := make([]float64, len(recs))
+		for i, r := range recs {
+			row := make([]float64, 0, len(r.quality)+4)
+			row = append(row, r.quality...)
+			row = append(row, r.taqf[:]...)
+			u, err := qim.Uncertainty(row)
+			if err != nil {
+				return BoundAblationResult{}, err
+			}
+			forecast[i] = u
+		}
+		d, err := decomposeAdaptive(forecast, fusedWrong)
+		if err != nil {
+			return BoundAblationResult{}, err
+		}
+		minU, err := qim.MinUncertainty()
+		if err != nil {
+			return BoundAblationResult{}, err
+		}
+		out.Rows = append(out.Rows, BoundAblationRow{
+			Method:         m,
+			Brier:          d.Brier,
+			Overconfidence: d.Overconfidence,
+			MinU:           minU,
+		})
+	}
+	return out, nil
+}
+
+// String renders the bound ablation.
+func (r BoundAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — binomial bound for leaf calibration (taUW)\n")
+	fmt.Fprintf(&b, "%-16s %10s %14s %10s\n", "method", "Brier", "overconfidence", "min u")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %10.4f %14.2e %10.4f\n", row.Method, row.Brier, row.Overconfidence, row.MinU)
+	}
+	return b.String()
+}
+
+// TieBreakAblationRow scores one majority-vote tie-break rule.
+type TieBreakAblationRow struct {
+	TieBreak fusion.TieBreak
+	// FusedErrOverall and FusedErrFinal are the fused misclassification
+	// rates over all steps and at the final step.
+	FusedErrOverall, FusedErrFinal float64
+}
+
+// TieBreakAblationResult compares the paper's most-recent tie-break against
+// breaking ties toward the lowest-uncertainty vote.
+type TieBreakAblationResult struct {
+	Rows []TieBreakAblationRow
+}
+
+// RunTieBreakAblation replays the test set under both tie-break rules.
+func (st *Study) RunTieBreakAblation() (TieBreakAblationResult, error) {
+	var out TieBreakAblationResult
+	for _, tb := range []fusion.TieBreak{fusion.MostRecent, fusion.LowestUncertainty} {
+		recs, err := st.replayWith(fusion.MajorityVote{TieBreak: tb})
+		if err != nil {
+			return TieBreakAblationResult{}, err
+		}
+		errsAll, nAll := 0, 0
+		errsFinal, nFinal := 0, 0
+		maxStep := st.Cfg.SubseriesLen - 1
+		for _, r := range recs {
+			nAll++
+			if r.fused != r.truth {
+				errsAll++
+			}
+			if r.step == maxStep {
+				nFinal++
+				if r.fused != r.truth {
+					errsFinal++
+				}
+			}
+		}
+		out.Rows = append(out.Rows, TieBreakAblationRow{
+			TieBreak:        tb,
+			FusedErrOverall: float64(errsAll) / float64(nAll),
+			FusedErrFinal:   float64(errsFinal) / float64(nFinal),
+		})
+	}
+	return out, nil
+}
+
+// String renders the tie-break ablation.
+func (r TieBreakAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — majority-vote tie-break\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "tie-break", "fused err", "fused err@final")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %13.2f%% %13.2f%%\n", row.TieBreak,
+			100*row.FusedErrOverall, 100*row.FusedErrFinal)
+	}
+	return b.String()
+}
+
+// TreeAblationRow scores one taQIM growth/calibration configuration.
+type TreeAblationRow struct {
+	Depth   int
+	MinLeaf int
+	Brier   float64
+	Regions int
+	MinU    float64
+}
+
+// TreeAblationResult sweeps the taQIM tree depth and the minimum
+// calibration samples per leaf — the two knobs the paper fixes at 8 and 200.
+type TreeAblationResult struct {
+	Rows []TreeAblationRow
+}
+
+// RunTreeAblation evaluates the depth x min-leaf grid.
+func (st *Study) RunTreeAblation(depths, minLeaves []int) (TreeAblationResult, error) {
+	if len(depths) == 0 {
+		depths = []int{4, 6, 8}
+	}
+	if len(minLeaves) == 0 {
+		minLeaves = []int{50, 200, 800}
+	}
+	recs, err := st.replayTest()
+	if err != nil {
+		return TreeAblationResult{}, err
+	}
+	fusedWrong := make([]bool, len(recs))
+	for i, r := range recs {
+		fusedWrong[i] = r.fused != r.truth
+	}
+	var out TreeAblationResult
+	for _, depth := range depths {
+		for _, minLeaf := range minLeaves {
+			cfg := st.Cfg.QIM
+			cfg.TreeDepth = depth
+			cfg.MinLeafCalibration = minLeaf
+			if minLeaf > len(st.calibRowsY) {
+				continue // infeasible on this preset
+			}
+			qim, err := st.fitTAQIMWith(cfg, core.AllFeatures())
+			if err != nil {
+				return TreeAblationResult{}, err
+			}
+			forecast := make([]float64, len(recs))
+			for i, r := range recs {
+				row := make([]float64, 0, len(r.quality)+4)
+				row = append(row, r.quality...)
+				row = append(row, r.taqf[:]...)
+				u, err := qim.Uncertainty(row)
+				if err != nil {
+					return TreeAblationResult{}, err
+				}
+				forecast[i] = u
+			}
+			bs, err := stats.BrierScore(forecast, fusedWrong)
+			if err != nil {
+				return TreeAblationResult{}, err
+			}
+			minU, err := qim.MinUncertainty()
+			if err != nil {
+				return TreeAblationResult{}, err
+			}
+			out.Rows = append(out.Rows, TreeAblationRow{
+				Depth:   depth,
+				MinLeaf: minLeaf,
+				Brier:   bs,
+				Regions: qim.NumRegions(),
+				MinU:    minU,
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the tree ablation.
+func (r TreeAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — taQIM depth and calibration minimum per leaf\n")
+	fmt.Fprintf(&b, "%6s %8s %10s %8s %10s\n", "depth", "minLeaf", "Brier", "regions", "min u")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %8d %10.4f %8d %10.4f\n",
+			row.Depth, row.MinLeaf, row.Brier, row.Regions, row.MinU)
+	}
+	return b.String()
+}

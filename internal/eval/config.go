@@ -1,0 +1,132 @@
+// Package eval implements the study harness: it assembles the synthetic
+// GTSRB benchmark, trains the DDM, calibrates the stateless and
+// timeseries-aware uncertainty wrappers, and reproduces every table and
+// figure of the paper's evaluation (Fig. 4, Fig. 5, Table I, Fig. 6,
+// Fig. 7) plus the ablations called out in DESIGN.md.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/ddm"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// StudyConfig parameterises a full study run.
+type StudyConfig struct {
+	// Name labels the preset in reports.
+	Name string
+	// NumSeries is the number of physical sign encounters (paper: 1307).
+	NumSeries int
+	// TrainFrac and CalibFrac split the series (paper: 522/392/392 ~
+	// 0.4/0.3/0.3).
+	TrainFrac, CalibFrac float64
+	// SubseriesLen is the length of the subsampled calibration and test
+	// series (paper: 10).
+	SubseriesLen int
+	// TrainAugmentations is how many situation settings are drawn per
+	// training series for the timeseries-aware training rows.
+	TrainAugmentations int
+	// EvalAugmentations is how many situation settings are drawn per
+	// calibration/test series (paper: 28).
+	EvalAugmentations int
+	// PoolSize is the situation-setting pool size (paper: 2.7 million).
+	PoolSize int
+	// Feature is the synthetic embedding model configuration.
+	Feature ddm.FeatureConfig
+	// Train is the DDM training configuration.
+	Train ddm.TrainConfig
+	// QIM configures both quality impact models.
+	QIM uw.QIMConfig
+	// UseMLP selects the MLP classifier instead of softmax regression.
+	UseMLP bool
+	// MLPHidden is the hidden width when UseMLP is set.
+	MLPHidden int
+	// Seed drives every random choice in the study.
+	Seed uint64
+}
+
+// PaperConfig reproduces the paper's scale: 1307 series split 522/392/392,
+// 28 augmentations of each calibration/test series, length-10 subseries,
+// tree depth 8, >=200 calibration samples per leaf, 0.999 confidence.
+func PaperConfig() StudyConfig {
+	return StudyConfig{
+		Name:               "paper",
+		NumSeries:          1307,
+		TrainFrac:          0.4,
+		CalibFrac:          0.3,
+		SubseriesLen:       10,
+		TrainAugmentations: 28,
+		EvalAugmentations:  28,
+		PoolSize:           augmentPoolSize,
+		Feature:            ddm.DefaultFeatureConfig(),
+		Train:              ddm.DefaultTrainConfig(),
+		QIM:                uw.DefaultQIMConfig(),
+		Seed:               2023,
+	}
+}
+
+// augmentPoolSize is shared by the presets; the paper's pool holds 2.7
+// million settings. Settings are generated lazily, so the pool size costs
+// nothing.
+const augmentPoolSize = 2_700_000
+
+// QuickConfig is a scaled-down preset that preserves every shape of the
+// study while running in a couple of seconds on one core.
+func QuickConfig() StudyConfig {
+	cfg := PaperConfig()
+	cfg.Name = "quick"
+	cfg.NumSeries = 220
+	cfg.TrainAugmentations = 10
+	cfg.EvalAugmentations = 10
+	cfg.Train.Epochs = 4
+	cfg.QIM.MinLeafCalibration = 150
+	return cfg
+}
+
+// TinyConfig is the test preset: small enough for unit tests, still
+// end-to-end.
+func TinyConfig() StudyConfig {
+	cfg := PaperConfig()
+	cfg.Name = "tiny"
+	cfg.NumSeries = 170
+	cfg.TrainAugmentations = 6
+	cfg.EvalAugmentations = 6
+	cfg.Train.Epochs = 3
+	cfg.QIM.MinLeafCalibration = 100
+	cfg.QIM.TreeDepth = 6
+	return cfg
+}
+
+// Validate checks the configuration.
+func (c StudyConfig) Validate() error {
+	switch {
+	case c.NumSeries < 10:
+		return fmt.Errorf("eval: need at least 10 series, got %d", c.NumSeries)
+	case c.TrainFrac <= 0 || c.CalibFrac <= 0 || c.TrainFrac+c.CalibFrac >= 1:
+		return fmt.Errorf("eval: invalid split %g/%g", c.TrainFrac, c.CalibFrac)
+	case c.SubseriesLen < 2:
+		return errors.New("eval: subseries length must be at least 2")
+	case c.TrainAugmentations <= 0 || c.EvalAugmentations <= 0:
+		return errors.New("eval: augmentation counts must be positive")
+	case c.PoolSize <= 0:
+		return errors.New("eval: pool size must be positive")
+	case c.UseMLP && c.MLPHidden <= 0:
+		return errors.New("eval: MLP hidden width must be positive")
+	}
+	if err := c.Feature.Validate(); err != nil {
+		return err
+	}
+	if err := c.Train.Validate(); err != nil {
+		return err
+	}
+	if err := c.QIM.Validate(); err != nil {
+		return err
+	}
+	if c.SubseriesLen > gtsrb.DefaultGeneratorConfig().MinFrames {
+		return fmt.Errorf("eval: subseries length %d exceeds the shortest series", c.SubseriesLen)
+	}
+	return nil
+}

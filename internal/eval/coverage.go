@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// coverageAlpha is the significance level of the one-sided binomial test
+// that decides whether an observed group error rate exceeds the claimed
+// bound beyond sampling noise.
+const coverageAlpha = 0.05
+
+// CoverageRow reports how well one estimator's uncertainty values hold up as
+// upper bounds on the observed error rate.
+type CoverageRow struct {
+	// Approach names the estimator.
+	Approach string
+	// Groups is the number of forecast groups large enough to assess
+	// (>= MinGroup samples).
+	Groups int
+	// ViolatedGroups counts groups whose observed error rate exceeds the
+	// predicted uncertainty *significantly* (one-sided exact binomial
+	// test at level coverageAlpha); an observed rate nudging past the
+	// bound within sampling noise is not a violation.
+	ViolatedGroups int
+	// ViolationShare is the sample-weighted share of assessed cases that
+	// sit in violating groups.
+	ViolationShare float64
+	// WorstGap is the largest (observed rate - predicted bound) across
+	// groups, 0 when nothing violates.
+	WorstGap float64
+}
+
+// CoverageResult is the dependability check: uncertainty wrappers promise
+// that, region by region, the true failure rate stays below the estimate
+// with the calibration confidence (0.999 in the paper). This experiment
+// verifies the promise empirically on the held-out test replay, for the
+// estimators that claim it (stateless UW, taUW) and for the fusion
+// baselines for contrast — the naïve product is expected to violate
+// massively, which is the paper's core argument against it.
+type CoverageResult struct {
+	// MinGroup is the smallest group size assessed.
+	MinGroup int
+	Rows     []CoverageRow
+}
+
+// RunCoverage computes the dependability check with the default minimum
+// group size of 50 samples.
+func (st *Study) RunCoverage() (CoverageResult, error) {
+	return st.RunCoverageMinGroup(50)
+}
+
+// RunCoverageMinGroup computes the dependability check, assessing only
+// forecast groups with at least minGroup test samples (smaller groups carry
+// too much sampling noise to call a violation).
+func (st *Study) RunCoverageMinGroup(minGroup int) (CoverageResult, error) {
+	if minGroup < 1 {
+		minGroup = 1
+	}
+	recs, err := st.replayTest()
+	if err != nil {
+		return CoverageResult{}, err
+	}
+	type estimator struct {
+		name  string
+		u     func(stepRecord) float64
+		wrong func(stepRecord) bool
+	}
+	isoWrong := func(r stepRecord) bool { return r.isolated != r.truth }
+	fusedWrong := func(r stepRecord) bool { return r.fused != r.truth }
+	estimators := []estimator{
+		{ApproachStateless, func(r stepRecord) float64 { return r.uStep }, isoWrong},
+		{ApproachNoUF, func(r stepRecord) float64 { return r.uStep }, fusedWrong},
+		{ApproachNaive, func(r stepRecord) float64 { return r.uNaive }, fusedWrong},
+		{ApproachWorstCase, func(r stepRecord) float64 { return r.uWorst }, fusedWrong},
+		{ApproachOpportune, func(r stepRecord) float64 { return r.uOpp }, fusedWrong},
+		{ApproachTAUW, func(r stepRecord) float64 { return r.uTAUW }, fusedWrong},
+	}
+	out := CoverageResult{MinGroup: minGroup}
+	for _, est := range estimators {
+		row, err := coverageFor(recs, est.u, est.wrong, minGroup)
+		if err != nil {
+			return CoverageResult{}, fmt.Errorf("eval: coverage for %q: %w", est.name, err)
+		}
+		row.Approach = est.name
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// coverageFor groups samples by (rounded) forecast value and assesses bound
+// violations. Continuous estimators are quantised to 3 decimal places so
+// near-identical products share a group.
+func coverageFor(recs []stepRecord, u func(stepRecord) float64, wrong func(stepRecord) bool,
+	minGroup int) (CoverageRow, error) {
+	type group struct {
+		bound  float64
+		count  int
+		events int
+	}
+	groups := make(map[float64]*group, 64)
+	for _, r := range recs {
+		v := u(r)
+		key := quantise(v)
+		g := groups[key]
+		if g == nil {
+			g = &group{bound: v}
+			groups[key] = g
+		}
+		// Keep the loosest bound of the quantisation bucket so the
+		// check never blames rounding.
+		if v > g.bound {
+			g.bound = v
+		}
+		g.count++
+		if wrong(r) {
+			g.events++
+		}
+	}
+	keys := make([]float64, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	var row CoverageRow
+	assessed := 0
+	violating := 0
+	for _, k := range keys {
+		g := groups[k]
+		if g.count < minGroup {
+			continue
+		}
+		row.Groups++
+		assessed += g.count
+		rate := float64(g.events) / float64(g.count)
+		if rate <= g.bound {
+			continue
+		}
+		// The observed rate exceeds the bound: significant, or noise?
+		tail, err := stats.BinomialTailAtLeast(g.events, g.count, g.bound)
+		if err != nil {
+			return CoverageRow{}, err
+		}
+		if tail < coverageAlpha {
+			row.ViolatedGroups++
+			violating += g.count
+			if gap := rate - g.bound; gap > row.WorstGap {
+				row.WorstGap = gap
+			}
+		}
+	}
+	if assessed > 0 {
+		row.ViolationShare = float64(violating) / float64(assessed)
+	}
+	return row, nil
+}
+
+// quantise buckets forecasts to 3 decimal places.
+func quantise(v float64) float64 {
+	return float64(int(v*1000+0.5)) / 1000
+}
+
+// String renders the coverage check.
+func (r CoverageResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dependability check — bound coverage on held-out data (groups >= %d samples)\n", r.MinGroup)
+	fmt.Fprintf(&b, "%-30s %8s %10s %16s %10s\n", "approach", "groups", "violated", "violation share", "worst gap")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-30s %8d %10d %15.2f%% %10.4f\n",
+			row.Approach, row.Groups, row.ViolatedGroups, 100*row.ViolationShare, row.WorstGap)
+	}
+	return b.String()
+}

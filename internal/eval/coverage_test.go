@@ -1,0 +1,114 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverageShapes(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(res.Rows))
+	}
+	byName := make(map[string]CoverageRow, len(res.Rows))
+	for _, row := range res.Rows {
+		byName[row.Approach] = row
+		if row.ViolationShare < 0 || row.ViolationShare > 1 {
+			t.Errorf("%s: violation share %g invalid", row.Approach, row.ViolationShare)
+		}
+		if row.ViolatedGroups > row.Groups {
+			t.Errorf("%s: %d violated of %d groups", row.Approach, row.ViolatedGroups, row.Groups)
+		}
+		if row.ViolatedGroups == 0 && row.WorstGap != 0 {
+			t.Errorf("%s: no violations but worst gap %g", row.Approach, row.WorstGap)
+		}
+	}
+	// The dependable estimators must keep violations rare; the naive
+	// product must violate more than the taUW (the paper's core
+	// argument: independence does not hold on timeseries).
+	tauw := byName[ApproachTAUW]
+	naive := byName[ApproachNaive]
+	if tauw.ViolationShare > 0.1 {
+		t.Errorf("taUW violation share %.3f too high for a calibrated bound", tauw.ViolationShare)
+	}
+	if naive.ViolationShare <= tauw.ViolationShare {
+		t.Errorf("naive UF (%.3f) must violate more than taUW (%.3f)",
+			naive.ViolationShare, tauw.ViolationShare)
+	}
+	stateless := byName[ApproachStateless]
+	if stateless.ViolationShare > 0.25 {
+		t.Errorf("stateless UW violation share %.3f implausibly high", stateless.ViolationShare)
+	}
+	if !strings.Contains(res.String(), "Dependability check") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestLengthSweep(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunLengthSweep(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != st.Cfg.SubseriesLen {
+		t.Fatalf("%d rows, want %d", len(res.Rows), st.Cfg.SubseriesLen)
+	}
+	first := res.Rows[0]
+	last := res.Rows[len(res.Rows)-1]
+	// At length 1 fusion cannot help; by the final length it must.
+	if first.FusedErr != first.IsolatedErr {
+		t.Errorf("length 1: fused %.4f != isolated %.4f", first.FusedErr, first.IsolatedErr)
+	}
+	if last.FusedErr >= last.IsolatedErr {
+		t.Errorf("full length: fused %.4f must beat isolated %.4f", last.FusedErr, last.IsolatedErr)
+	}
+	// Fusion is effective for short series too: already by length 3 the
+	// fused error must not exceed the isolated one (the paper's claim).
+	if res.Rows[2].FusedErr > res.Rows[2].IsolatedErr {
+		t.Errorf("length 3: fused %.4f worse than isolated %.4f",
+			res.Rows[2].FusedErr, res.Rows[2].IsolatedErr)
+	}
+	// The taUW's uncertainty quality must beat the timeseries-unaware
+	// estimate at full length.
+	if last.TAUWBrier >= last.NoUFBrier {
+		t.Errorf("full length: taUW Brier %.4f must beat no-UF %.4f",
+			last.TAUWBrier, last.NoUFBrier)
+	}
+	// Bad lengths fail.
+	if _, err := st.RunLengthSweep([]int{0}); err == nil {
+		t.Error("length 0 must fail")
+	}
+	if _, err := st.RunLengthSweep([]int{99}); err == nil {
+		t.Error("oversized length must fail")
+	}
+	if !strings.Contains(res.String(), "Length sweep") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestCoverageMinGroupClamp(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunCoverageMinGroup(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinGroup != 1 {
+		t.Errorf("min group = %d, want clamped to 1", res.MinGroup)
+	}
+	// With min group 1 every sample is assessed, so there are at least
+	// as many groups as with the default.
+	def, err := st.RunCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if res.Rows[i].Groups < def.Rows[i].Groups {
+			t.Errorf("%s: %d groups with min 1 < %d with min 50",
+				res.Rows[i].Approach, res.Rows[i].Groups, def.Rows[i].Groups)
+		}
+	}
+}

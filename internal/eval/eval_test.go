@@ -1,0 +1,479 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// The study is expensive to build, so all tests share one instance.
+var (
+	studyOnce sync.Once
+	studyVal  *Study
+	studyErr  error
+)
+
+func tinyStudy(t *testing.T) *Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		studyVal, studyErr = BuildStudy(TinyConfig())
+	})
+	if studyErr != nil {
+		t.Fatalf("BuildStudy: %v", studyErr)
+	}
+	return studyVal
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []StudyConfig{PaperConfig(), QuickConfig(), TinyConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", cfg.Name, err)
+		}
+	}
+	bad := TinyConfig()
+	bad.NumSeries = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("too few series must fail")
+	}
+	bad = TinyConfig()
+	bad.TrainFrac = 0.9
+	bad.CalibFrac = 0.3
+	if err := bad.Validate(); err == nil {
+		t.Error("fractions above 1 must fail")
+	}
+	bad = TinyConfig()
+	bad.SubseriesLen = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("subseries of 1 must fail")
+	}
+	bad = TinyConfig()
+	bad.SubseriesLen = 40
+	if err := bad.Validate(); err == nil {
+		t.Error("subseries longer than series must fail")
+	}
+	bad = TinyConfig()
+	bad.UseMLP = true
+	if err := bad.Validate(); err == nil {
+		t.Error("MLP without hidden width must fail")
+	}
+	bad = TinyConfig()
+	bad.EvalAugmentations = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero augmentations must fail")
+	}
+	if _, err := BuildStudy(bad); err == nil {
+		t.Error("BuildStudy must validate")
+	}
+}
+
+func TestStudyBasics(t *testing.T) {
+	st := tinyStudy(t)
+	if st.Model == nil || st.Base == nil || st.TAQIM == nil {
+		t.Fatal("study incomplete")
+	}
+	// The paper's DDM regime: clearly better than chance, imperfect.
+	if st.DDMTestAccuracy < 0.75 || st.DDMTestAccuracy > 0.99 {
+		t.Errorf("DDM test accuracy %.3f outside the study regime", st.DDMTestAccuracy)
+	}
+	if st.DDMTrainAccuracy < st.DDMTestAccuracy {
+		t.Errorf("training accuracy %.3f below test accuracy %.3f",
+			st.DDMTrainAccuracy, st.DDMTestAccuracy)
+	}
+	wantSeries := func(name string, got []core.SeriesObservations, orig, aug int) {
+		if len(got) != orig*aug {
+			t.Errorf("%s series = %d, want %d*%d", name, len(got), orig, aug)
+		}
+		for _, s := range got {
+			if len(s.Outcomes) != st.Cfg.SubseriesLen {
+				t.Fatalf("%s series has %d steps, want %d", name, len(s.Outcomes), st.Cfg.SubseriesLen)
+			}
+		}
+	}
+	// 80 series split 0.4/0.3/0.3 stratified: sizes vary by rounding, so
+	// check only the augmentation factor via divisibility.
+	if len(st.TrainSeries)%st.Cfg.TrainAugmentations != 0 {
+		t.Error("train series not a multiple of augmentations")
+	}
+	wantSeries("train", st.TrainSeries, len(st.TrainSeries)/st.Cfg.TrainAugmentations, st.Cfg.TrainAugmentations)
+	wantSeries("calib", st.CalibSeries, len(st.CalibSeries)/st.Cfg.EvalAugmentations, st.Cfg.EvalAugmentations)
+	wantSeries("test", st.TestSeries, len(st.TestSeries)/st.Cfg.EvalAugmentations, st.Cfg.EvalAugmentations)
+}
+
+func TestFig4Shapes(t *testing.T) {
+	st := tinyStudy(t)
+	fig4, err := st.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig4.Steps) != st.Cfg.SubseriesLen {
+		t.Fatalf("%d steps, want %d", len(fig4.Steps), st.Cfg.SubseriesLen)
+	}
+	// Paper: during the first two steps fused and isolated coincide.
+	for i := 0; i < 2; i++ {
+		if fig4.Steps[i].IsolatedRate != fig4.Steps[i].FusedRate {
+			t.Errorf("step %d: fused %.4f != isolated %.4f", i+1,
+				fig4.Steps[i].FusedRate, fig4.Steps[i].IsolatedRate)
+		}
+	}
+	// Paper: with three or more timesteps the fused predictions win, and
+	// the improvement grows toward the end of the series.
+	if fig4.FusedOverall >= fig4.IsolatedOverall {
+		t.Errorf("fused overall %.4f must beat isolated %.4f", fig4.FusedOverall, fig4.IsolatedOverall)
+	}
+	last := fig4.Steps[len(fig4.Steps)-1]
+	if last.FusedRate >= last.IsolatedRate {
+		t.Errorf("final step: fused %.4f must beat isolated %.4f", last.FusedRate, last.IsolatedRate)
+	}
+	if fig4.FusedFinal >= fig4.FusedOverall {
+		t.Errorf("fused error must shrink along the series: final %.4f vs overall %.4f",
+			fig4.FusedFinal, fig4.FusedOverall)
+	}
+	if !strings.Contains(fig4.String(), "Fig. 4") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	st := tinyStudy(t)
+	table, err := st.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(table.Rows))
+	}
+	get := func(name string) stats.BrierDecomposition {
+		row := table.Row(name)
+		if row == nil {
+			t.Fatalf("missing row %q", name)
+		}
+		return row.D
+	}
+	stateless := get(ApproachStateless)
+	noUF := get(ApproachNoUF)
+	naive := get(ApproachNaive)
+	worst := get(ApproachWorstCase)
+	opp := get(ApproachOpportune)
+	tauw := get(ApproachTAUW)
+
+	// The variance component depends only on the predictand: identical
+	// across the five fused conditions, higher for the isolated one.
+	for _, d := range []stats.BrierDecomposition{naive, worst, opp, tauw} {
+		if math.Abs(d.Variance-noUF.Variance) > 1e-12 {
+			t.Errorf("variance must match across fused conditions: %g vs %g", d.Variance, noUF.Variance)
+		}
+	}
+	if stateless.Variance <= noUF.Variance {
+		t.Error("fusion must reduce the variance component")
+	}
+	// Paper's headline: the taUW achieves the best Brier score.
+	for name, d := range map[string]stats.BrierDecomposition{
+		ApproachStateless: stateless, ApproachNoUF: noUF, ApproachNaive: naive,
+		ApproachWorstCase: worst, ApproachOpportune: opp,
+	} {
+		if tauw.Brier >= d.Brier {
+			t.Errorf("taUW Brier %.4f must beat %s (%.4f)", tauw.Brier, name, d.Brier)
+		}
+	}
+	// Naive UF is the overconfident one; worst-case is the most
+	// conservative (near-zero overconfidence) and the worst fused Brier.
+	if naive.Overconfidence <= tauw.Overconfidence {
+		t.Error("naive must be more overconfident than taUW")
+	}
+	if naive.Overconfidence <= worst.Overconfidence {
+		t.Error("naive must be more overconfident than worst-case")
+	}
+	if worst.Brier <= noUF.Brier {
+		t.Error("worst-case must have the worst Brier among simple fused estimators")
+	}
+	if tauw.Unspecificity >= stateless.Unspecificity {
+		t.Error("taUW must be more specific than the stateless wrapper")
+	}
+	if !strings.Contains(table.String(), "Table I") {
+		t.Error("renderer broken")
+	}
+	if table.Row("nope") != nil {
+		t.Error("unknown row must be nil")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	st := tinyStudy(t)
+	fig5, err := st.RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: the taUW guarantees a lower minimum uncertainty to more
+	// cases, and reduces the tolerated uncertainty overall.
+	if fig5.TAUW.MinU >= fig5.Stateless.MinU {
+		t.Errorf("taUW min u %.4f must be below stateless %.4f", fig5.TAUW.MinU, fig5.Stateless.MinU)
+	}
+	if fig5.TAUW.Mean >= fig5.Stateless.Mean {
+		t.Errorf("taUW mean u %.4f must be below stateless %.4f", fig5.TAUW.Mean, fig5.Stateless.Mean)
+	}
+	if fig5.TAUW.ShareAtMin <= fig5.Stateless.ShareAtMin {
+		t.Errorf("taUW share at min %.3f must exceed stateless %.3f",
+			fig5.TAUW.ShareAtMin, fig5.Stateless.ShareAtMin)
+	}
+	for _, d := range []UncertaintyDist{fig5.Stateless, fig5.TAUW} {
+		total := 0
+		for _, b := range d.Hist {
+			total += b.Count
+		}
+		if total == 0 {
+			t.Error("empty histogram")
+		}
+	}
+	if !strings.Contains(fig5.String(), "Fig. 5") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	st := tinyStudy(t)
+	fig6, err := st.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig6.Curves) != 5 {
+		t.Fatalf("%d curves, want 5", len(fig6.Curves))
+	}
+	overconfidence := func(name string) float64 {
+		c := fig6.Curve(name)
+		if c == nil {
+			t.Fatalf("missing curve %q", name)
+		}
+		var worst float64
+		for _, p := range c.Points {
+			if gap := p.MeanPredicted - p.Observed; gap > worst {
+				worst = gap
+			}
+		}
+		return worst
+	}
+	// Paper: the naive approach is highly overconfident; worst-case and
+	// taUW are not.
+	if overconfidence(ApproachNaive) <= overconfidence(ApproachWorstCase) {
+		t.Error("naive must be more overconfident than worst-case in the calibration plot")
+	}
+	if overconfidence(ApproachNaive) <= overconfidence(ApproachTAUW) {
+		t.Error("naive must be more overconfident than taUW in the calibration plot")
+	}
+	if fig6.Curve("nope") != nil {
+		t.Error("unknown curve must be nil")
+	}
+	if !strings.Contains(fig6.String(), "Fig. 6") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	st := tinyStudy(t)
+	fig7, err := st.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig7.Rows) != 15 {
+		t.Fatalf("%d rows, want 15 subsets", len(fig7.Rows))
+	}
+	// Using taQF must beat the no-taQF reference for the best subset
+	// (paper: "generally, the Brier score improves when more features
+	// are used").
+	if fig7.Best.Brier >= fig7.ReferenceNoTAQF {
+		t.Errorf("best subset %.4f must beat the no-taQF reference %.4f",
+			fig7.Best.Brier, fig7.ReferenceNoTAQF)
+	}
+	// The full feature set must be near the optimum (within 20%).
+	var full float64
+	for _, row := range fig7.Rows {
+		if len(row.Features) == 4 {
+			full = row.Brier
+		}
+	}
+	if full > fig7.Best.Brier*1.2+1e-9 {
+		t.Errorf("full set %.4f far above best subset %.4f", full, fig7.Best.Brier)
+	}
+	if !strings.Contains(fig7.String(), "Fig. 7") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestRunAllAndRender(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	for _, want := range []string{"Fig. 4", "Table I", "Fig. 5", "Fig. 6", "Fig. 7",
+		"DDM accuracy", "Dependability check", "Length sweep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered results missing %q", want)
+		}
+	}
+}
+
+func TestBoundAblation(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunBoundAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	byMethod := make(map[stats.BoundMethod]BoundAblationRow)
+	for _, r := range res.Rows {
+		byMethod[r.Method] = r
+		if r.Brier <= 0 || r.Brier >= 1 {
+			t.Errorf("%s Brier %g implausible", r.Method, r.Brier)
+		}
+		if r.MinU < 0 || r.MinU > 1 {
+			t.Errorf("%s min u %g invalid", r.Method, r.MinU)
+		}
+	}
+	cp := byMethod[stats.ClopperPearson]
+	jf := byMethod[stats.Jeffreys]
+	// Clopper-Pearson is exact and conservative; the Bayesian Jeffreys
+	// bound is uniformly tighter, so its lowest guaranteed uncertainty
+	// cannot exceed CP's. (Wilson is not uniformly ordered against CP:
+	// at k=0 the score interval is looser.)
+	if jf.MinU > cp.MinU+1e-12 {
+		t.Errorf("Jeffreys min u %.5f above Clopper-Pearson %.5f", jf.MinU, cp.MinU)
+	}
+	if !strings.Contains(res.String(), "clopper-pearson") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestTieBreakAblation(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunTieBreakAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.FusedErrOverall < 0 || r.FusedErrOverall > 1 {
+			t.Errorf("error rate %g invalid", r.FusedErrOverall)
+		}
+	}
+	if !strings.Contains(res.String(), "tie-break") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestTreeAblation(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunTreeAblation([]int{4, 8}, []int{60, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no feasible ablation rows")
+	}
+	for _, r := range res.Rows {
+		if r.Regions < 1 {
+			t.Errorf("row %+v has no regions", r)
+		}
+		if r.Brier <= 0 || r.Brier > 1 {
+			t.Errorf("row %+v has invalid Brier", r)
+		}
+	}
+	// Larger min-leaf means fewer, coarser regions: min u cannot shrink.
+	byKey := make(map[[2]int]TreeAblationRow)
+	for _, r := range res.Rows {
+		byKey[[2]int{r.Depth, r.MinLeaf}] = r
+	}
+	a, okA := byKey[[2]int{8, 60}]
+	b, okB := byKey[[2]int{8, 200}]
+	if okA && okB && a.Regions < b.Regions {
+		t.Errorf("smaller min-leaf must not reduce regions: %d vs %d", a.Regions, b.Regions)
+	}
+	if !strings.Contains(res.String(), "depth") {
+		t.Error("renderer broken")
+	}
+}
+
+func TestWrapperFromStudy(t *testing.T) {
+	st := tinyStudy(t)
+	w, err := st.Wrapper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.TestSeries[0]
+	for j := range s.Outcomes {
+		res, err := w.Step(s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Uncertainty < 0 || res.Uncertainty > 1 {
+			t.Fatalf("step %d uncertainty %g", j, res.Uncertainty)
+		}
+	}
+}
+
+func TestStudyWithMLP(t *testing.T) {
+	// The wrapper is model-agnostic: the same study must work with the
+	// MLP classifier in place of softmax regression.
+	cfg := TinyConfig()
+	cfg.NumSeries = 90
+	cfg.TrainAugmentations = 3
+	cfg.EvalAugmentations = 3
+	cfg.UseMLP = true
+	cfg.MLPHidden = 32
+	cfg.Train.Epochs = 3
+	cfg.Train.LearningRate = 0.01
+	st, err := BuildStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DDMTestAccuracy < 0.5 {
+		t.Errorf("MLP study accuracy %.3f implausibly low", st.DDMTestAccuracy)
+	}
+	fig4, err := st.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig4.FusedOverall > fig4.IsolatedOverall {
+		t.Errorf("fusion must not hurt with the MLP either: %.4f vs %.4f",
+			fig4.FusedOverall, fig4.IsolatedOverall)
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	// Two studies from the same config must agree on the replay-derived
+	// headline numbers.
+	cfg := TinyConfig()
+	cfg.NumSeries = 60
+	cfg.TrainAugmentations = 3
+	cfg.EvalAugmentations = 3
+	a, err := BuildStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DDMTestAccuracy != b.DDMTestAccuracy {
+		t.Errorf("accuracy differs: %v vs %v", a.DDMTestAccuracy, b.DDMTestAccuracy)
+	}
+	fa, err := a.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := b.RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.FusedOverall != fb.FusedOverall || fa.IsolatedOverall != fb.IsolatedOverall {
+		t.Error("Fig4 differs between identical configs")
+	}
+}

@@ -1,0 +1,511 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// stepRecord caches everything the experiments need about one test step.
+type stepRecord struct {
+	truth    int
+	isolated int
+	fused    int
+	step     int // 0-based position within the series
+	uStep    float64
+	uNaive   float64
+	uOpp     float64
+	uWorst   float64
+	uTAUW    float64
+	quality  []float64
+	taqf     [4]float64
+}
+
+// replayTest runs every test series through the full pipeline once and
+// caches per-step records; all experiments read from this replay.
+func (st *Study) replayTest() ([]stepRecord, error) {
+	return st.replayWith(fusion.MajorityVote{})
+}
+
+// replayWith replays the test series under an arbitrary information-fusion
+// rule (used by the tie-break ablation).
+func (st *Study) replayWith(fuser fusion.OutcomeFuser) ([]stepRecord, error) {
+	var out []stepRecord
+	for si, s := range st.TestSeries {
+		n := len(s.Outcomes)
+		us := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			est, err := st.Base.Estimate(s.Outcomes[i], s.Quality[i], nil)
+			if err != nil {
+				return nil, fmt.Errorf("eval: replay series %d step %d: %w", si, i, err)
+			}
+			us = append(us, est.Uncertainty)
+			fused, err := fuser.Fuse(s.Outcomes[:i+1], us)
+			if err != nil {
+				return nil, fmt.Errorf("eval: replay fuse: %w", err)
+			}
+			taqf, err := core.ComputeFeatures(s.Outcomes[:i+1], us, fused)
+			if err != nil {
+				return nil, err
+			}
+			uNaive, err := fusion.Naive{}.Fuse(us)
+			if err != nil {
+				return nil, err
+			}
+			uOpp, err := fusion.Opportune{}.Fuse(us)
+			if err != nil {
+				return nil, err
+			}
+			uWorst, err := fusion.WorstCase{}.Fuse(us)
+			if err != nil {
+				return nil, err
+			}
+			row := make([]float64, 0, len(s.Quality[i])+4)
+			row = append(row, s.Quality[i]...)
+			row = append(row, taqf[:]...)
+			uTAUW, err := st.TAQIM.Uncertainty(row)
+			if err != nil {
+				return nil, fmt.Errorf("eval: replay taUW estimate: %w", err)
+			}
+			out = append(out, stepRecord{
+				truth:    s.Truth,
+				isolated: s.Outcomes[i],
+				fused:    fused,
+				step:     i,
+				uStep:    est.Uncertainty,
+				uNaive:   uNaive,
+				uOpp:     uOpp,
+				uWorst:   uWorst,
+				uTAUW:    uTAUW,
+				quality:  s.Quality[i],
+				taqf:     taqf,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("eval: empty test replay")
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Fig. 4 --
+
+// Fig4Step is one position of the misclassification-over-time curve.
+type Fig4Step struct {
+	// Position is the 1-based step within the series.
+	Position int
+	// IsolatedRate and FusedRate are the misclassification rates of the
+	// momentaneous and fused outcomes at this position.
+	IsolatedRate, FusedRate float64
+	// N is the number of series contributing.
+	N int
+}
+
+// Fig4Result reproduces Fig. 4 (RQ1): misclassification rate over series
+// position for isolated and fused predictions.
+type Fig4Result struct {
+	Steps []Fig4Step
+	// IsolatedOverall and FusedOverall average over all steps (the
+	// paper: 7.89% -> 5.57%); FusedFinal is the fused rate at the last
+	// step (paper: 3.69%).
+	IsolatedOverall, FusedOverall, FusedFinal float64
+}
+
+// RunFig4 computes the misclassification-over-time experiment.
+func (st *Study) RunFig4() (Fig4Result, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	maxStep := 0
+	for _, r := range recs {
+		if r.step > maxStep {
+			maxStep = r.step
+		}
+	}
+	steps := make([]Fig4Step, maxStep+1)
+	var isoErr, fusErr, total int
+	for _, r := range recs {
+		s := &steps[r.step]
+		s.Position = r.step + 1
+		s.N++
+		total++
+		if r.isolated != r.truth {
+			s.IsolatedRate++
+			isoErr++
+		}
+		if r.fused != r.truth {
+			s.FusedRate++
+			fusErr++
+		}
+	}
+	for i := range steps {
+		if steps[i].N > 0 {
+			steps[i].IsolatedRate /= float64(steps[i].N)
+			steps[i].FusedRate /= float64(steps[i].N)
+		}
+	}
+	res := Fig4Result{
+		Steps:           steps,
+		IsolatedOverall: float64(isoErr) / float64(total),
+		FusedOverall:    float64(fusErr) / float64(total),
+		FusedFinal:      steps[maxStep].FusedRate,
+	}
+	return res, nil
+}
+
+// --------------------------------------------------------------- Table I --
+
+// Table1Row is one uncertainty model's scores.
+type Table1Row struct {
+	// Approach names the condition as in the paper's Table I.
+	Approach string
+	// D holds the Brier score and its components.
+	D stats.BrierDecomposition
+}
+
+// Table1Result reproduces Table I (RQ2a): Brier score and components for
+// the six evaluated uncertainty models.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Row returns the row with the given approach name, or nil.
+func (t Table1Result) Row(name string) *Table1Row {
+	for i := range t.Rows {
+		if t.Rows[i].Approach == name {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Approach names used in Table I.
+const (
+	ApproachStateless = "stateless UW (no IF + no UF)"
+	ApproachNoUF      = "IF + no UF"
+	ApproachNaive     = "IF + naive UF"
+	ApproachWorstCase = "IF + worst-case UF"
+	ApproachOpportune = "IF + opportune UF"
+	ApproachTAUW      = "IF + taUW"
+)
+
+// RunTable1 computes the Table I comparison.
+func (st *Study) RunTable1() (Table1Result, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return Table1Result{}, err
+	}
+	n := len(recs)
+	type cond struct {
+		name     string
+		forecast []float64
+		wrong    []bool
+	}
+	conds := []cond{
+		{name: ApproachStateless, forecast: make([]float64, n), wrong: make([]bool, n)},
+		{name: ApproachNoUF, forecast: make([]float64, n), wrong: make([]bool, n)},
+		{name: ApproachNaive, forecast: make([]float64, n), wrong: make([]bool, n)},
+		{name: ApproachWorstCase, forecast: make([]float64, n), wrong: make([]bool, n)},
+		{name: ApproachOpportune, forecast: make([]float64, n), wrong: make([]bool, n)},
+		{name: ApproachTAUW, forecast: make([]float64, n), wrong: make([]bool, n)},
+	}
+	for i, r := range recs {
+		isoWrong := r.isolated != r.truth
+		fusedWrong := r.fused != r.truth
+		conds[0].forecast[i], conds[0].wrong[i] = r.uStep, isoWrong
+		conds[1].forecast[i], conds[1].wrong[i] = r.uStep, fusedWrong
+		conds[2].forecast[i], conds[2].wrong[i] = r.uNaive, fusedWrong
+		conds[3].forecast[i], conds[3].wrong[i] = r.uWorst, fusedWrong
+		conds[4].forecast[i], conds[4].wrong[i] = r.uOpp, fusedWrong
+		conds[5].forecast[i], conds[5].wrong[i] = r.uTAUW, fusedWrong
+	}
+	var out Table1Result
+	for _, c := range conds {
+		d, err := decomposeAdaptive(c.forecast, c.wrong)
+		if err != nil {
+			return Table1Result{}, fmt.Errorf("eval: decomposing %q: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{Approach: c.name, D: d})
+	}
+	return out, nil
+}
+
+// decomposeAdaptive groups by exact forecast value when the estimator is
+// discrete (tree leaves) and falls back to 50 quantile bins for continuous
+// estimators (products/minima/maxima of leaf values).
+func decomposeAdaptive(forecast []float64, wrong []bool) (stats.BrierDecomposition, error) {
+	distinct := make(map[float64]struct{}, 80)
+	for _, f := range forecast {
+		distinct[f] = struct{}{}
+		if len(distinct) > 64 {
+			return stats.DecomposeBinned(forecast, wrong, 50)
+		}
+	}
+	return stats.Decompose(forecast, wrong)
+}
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+// UncertaintyDist summarises the distribution of predicted uncertainties
+// across the test cases for one estimator.
+type UncertaintyDist struct {
+	// MinU is the lowest uncertainty the estimator can guarantee.
+	MinU float64
+	// ShareAtMin is the fraction of cases that receive MinU (the arrow in
+	// the paper's Fig. 5: 65.9% for the taUW).
+	ShareAtMin float64
+	// Mean is the mean predicted uncertainty.
+	Mean float64
+	// Hist is a 20-bin histogram over [0, 1].
+	Hist []stats.HistogramBin
+}
+
+// Fig5Result reproduces Fig. 5 (RQ2a): uncertainty distributions of the
+// stateless UW versus the taUW with information fusion.
+type Fig5Result struct {
+	Stateless UncertaintyDist
+	TAUW      UncertaintyDist
+}
+
+// RunFig5 computes the uncertainty-distribution comparison.
+func (st *Study) RunFig5() (Fig5Result, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	statelessU := make([]float64, len(recs))
+	tauwU := make([]float64, len(recs))
+	for i, r := range recs {
+		statelessU[i] = r.uStep
+		tauwU[i] = r.uTAUW
+	}
+	sDist, err := summariseUncertainty(statelessU)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	tDist, err := summariseUncertainty(tauwU)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	return Fig5Result{Stateless: sDist, TAUW: tDist}, nil
+}
+
+func summariseUncertainty(us []float64) (UncertaintyDist, error) {
+	summary, err := stats.Describe(us)
+	if err != nil {
+		return UncertaintyDist{}, err
+	}
+	hist, err := stats.Histogram(us, 0, 1, 20)
+	if err != nil {
+		return UncertaintyDist{}, err
+	}
+	return UncertaintyDist{
+		MinU:       summary.Min,
+		ShareAtMin: stats.WeightedShare(us, summary.Min+1e-12),
+		Mean:       summary.Mean,
+		Hist:       hist,
+	}, nil
+}
+
+// ---------------------------------------------------------------- Fig. 6 --
+
+// Fig6Curve is the calibration curve of one uncertainty model.
+type Fig6Curve struct {
+	Approach string
+	Points   []stats.CalibrationPoint
+}
+
+// Fig6Result reproduces Fig. 6 (RQ2b): calibration of the UF approaches and
+// the taUW, in 10% certainty-quantile steps.
+type Fig6Result struct {
+	Curves []Fig6Curve
+}
+
+// Curve returns the named curve, or nil.
+func (f Fig6Result) Curve(name string) *Fig6Curve {
+	for i := range f.Curves {
+		if f.Curves[i].Approach == name {
+			return &f.Curves[i]
+		}
+	}
+	return nil
+}
+
+// RunFig6 computes the calibration plot data.
+func (st *Study) RunFig6() (Fig6Result, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	n := len(recs)
+	mk := func(name string, u func(stepRecord) float64) (Fig6Curve, error) {
+		certainty := make([]float64, n)
+		correct := make([]bool, n)
+		for i, r := range recs {
+			certainty[i] = 1 - u(r)
+			correct[i] = r.fused == r.truth
+		}
+		pts, err := stats.CalibrationCurve(certainty, correct, 10)
+		if err != nil {
+			return Fig6Curve{}, err
+		}
+		return Fig6Curve{Approach: name, Points: pts}, nil
+	}
+	specs := []struct {
+		name string
+		u    func(stepRecord) float64
+	}{
+		{ApproachNoUF, func(r stepRecord) float64 { return r.uStep }},
+		{ApproachNaive, func(r stepRecord) float64 { return r.uNaive }},
+		{ApproachWorstCase, func(r stepRecord) float64 { return r.uWorst }},
+		{ApproachOpportune, func(r stepRecord) float64 { return r.uOpp }},
+		{ApproachTAUW, func(r stepRecord) float64 { return r.uTAUW }},
+	}
+	var out Fig6Result
+	for _, spec := range specs {
+		c, err := mk(spec.name, spec.u)
+		if err != nil {
+			return Fig6Result{}, fmt.Errorf("eval: calibration curve %q: %w", spec.name, err)
+		}
+		out.Curves = append(out.Curves, c)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+// Fig7Row is the Brier score of one taQF subset.
+type Fig7Row struct {
+	// Features is the taQF subset the taQIM was fitted with.
+	Features []core.Feature
+	// Brier is the resulting Brier score on the test replay.
+	Brier float64
+}
+
+// Fig7Result reproduces Fig. 7 (RQ3): the feature-importance study over all
+// 15 non-empty taQF subsets.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// ReferenceNoTAQF is the Brier score with no taQF at all (IF + the
+	// stateless estimate), the implicit baseline of the figure.
+	ReferenceNoTAQF float64
+	// Best points at the subset with the lowest Brier score.
+	Best Fig7Row
+}
+
+// RunFig7 refits the taQIM for every taQF subset and scores it on the test
+// replay.
+func (st *Study) RunFig7() (Fig7Result, error) {
+	recs, err := st.replayTest()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	fusedWrong := make([]bool, len(recs))
+	for i, r := range recs {
+		fusedWrong[i] = r.fused != r.truth
+	}
+	noTA := make([]float64, len(recs))
+	for i, r := range recs {
+		noTA[i] = r.uStep
+	}
+	ref, err := stats.BrierScore(noTA, fusedWrong)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	out := Fig7Result{ReferenceNoTAQF: ref, Best: Fig7Row{Brier: 2}}
+	for _, feats := range core.FeatureSubsets() {
+		qim, err := st.fitTAQIMSubset(feats)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		forecast := make([]float64, len(recs))
+		for i, r := range recs {
+			sel, err := core.SelectFeatures(r.taqf, feats)
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			row := make([]float64, 0, len(r.quality)+len(sel))
+			row = append(row, r.quality...)
+			row = append(row, sel...)
+			u, err := qim.Uncertainty(row)
+			if err != nil {
+				return Fig7Result{}, fmt.Errorf("eval: subset %v estimate: %w", feats, err)
+			}
+			forecast[i] = u
+		}
+		bs, err := stats.BrierScore(forecast, fusedWrong)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		row := Fig7Row{Features: append([]core.Feature(nil), feats...), Brier: bs}
+		out.Rows = append(out.Rows, row)
+		if bs < out.Best.Brier {
+			out.Best = row
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- RunAll --
+
+// Results bundles every experiment of the study.
+type Results struct {
+	Config   StudyConfig
+	DDMTest  float64
+	DDMTrain float64
+	Fig4     Fig4Result
+	Table1   Table1Result
+	Fig5     Fig5Result
+	Fig6     Fig6Result
+	Fig7     Fig7Result
+	Coverage CoverageResult
+	Lengths  LengthSweepResult
+}
+
+// RunAll executes every experiment, including the extensions beyond the
+// paper (bound-coverage check and series-length sweep).
+func (st *Study) RunAll() (Results, error) {
+	fig4, err := st.RunFig4()
+	if err != nil {
+		return Results{}, err
+	}
+	table1, err := st.RunTable1()
+	if err != nil {
+		return Results{}, err
+	}
+	fig5, err := st.RunFig5()
+	if err != nil {
+		return Results{}, err
+	}
+	fig6, err := st.RunFig6()
+	if err != nil {
+		return Results{}, err
+	}
+	fig7, err := st.RunFig7()
+	if err != nil {
+		return Results{}, err
+	}
+	coverage, err := st.RunCoverage()
+	if err != nil {
+		return Results{}, err
+	}
+	lengths, err := st.RunLengthSweep(nil)
+	if err != nil {
+		return Results{}, err
+	}
+	return Results{
+		Config:   st.Cfg,
+		DDMTest:  st.DDMTestAccuracy,
+		DDMTrain: st.DDMTrainAccuracy,
+		Fig4:     fig4,
+		Table1:   table1,
+		Fig5:     fig5,
+		Fig6:     fig6,
+		Fig7:     fig7,
+		Coverage: coverage,
+		Lengths:  lengths,
+	}, nil
+}

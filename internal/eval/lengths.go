@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// LengthRow reports the study metrics when only the first L steps of every
+// test series are available.
+type LengthRow struct {
+	// Length is the truncated series length.
+	Length int
+	// IsolatedErr and FusedErr are the misclassification rates at the
+	// final available step.
+	IsolatedErr, FusedErr float64
+	// TAUWBrier and NoUFBrier score the taUW and the timeseries-unaware
+	// estimate at the final available step.
+	TAUWBrier, NoUFBrier float64
+}
+
+// LengthSweepResult answers the second half of RQ1 ("is information fusion
+// effectively applicable even for shorter timeseries?") quantitatively:
+// every test series is truncated to its first L steps and the final-step
+// decision quality and uncertainty quality are reported per L. The taQIM
+// stays the one calibrated on full-length series — the length taQF is
+// exactly what lets it adapt.
+type LengthSweepResult struct {
+	Rows []LengthRow
+}
+
+// RunLengthSweep evaluates the given truncation lengths (default 1..full).
+func (st *Study) RunLengthSweep(lengths []int) (LengthSweepResult, error) {
+	if len(lengths) == 0 {
+		for l := 1; l <= st.Cfg.SubseriesLen; l++ {
+			lengths = append(lengths, l)
+		}
+	}
+	sort.Ints(lengths)
+	recs, err := st.replayTest()
+	if err != nil {
+		return LengthSweepResult{}, err
+	}
+	// Index the replay by step position.
+	byStep := make(map[int][]stepRecord)
+	for _, r := range recs {
+		byStep[r.step] = append(byStep[r.step], r)
+	}
+	var out LengthSweepResult
+	for _, l := range lengths {
+		if l < 1 || l > st.Cfg.SubseriesLen {
+			return LengthSweepResult{}, fmt.Errorf("eval: length %d outside 1..%d", l, st.Cfg.SubseriesLen)
+		}
+		finals := byStep[l-1]
+		if len(finals) == 0 {
+			return LengthSweepResult{}, fmt.Errorf("eval: no test records at step %d", l)
+		}
+		row := LengthRow{Length: l}
+		tauwForecast := make([]float64, len(finals))
+		noufForecast := make([]float64, len(finals))
+		fusedWrong := make([]bool, len(finals))
+		for i, r := range finals {
+			if r.isolated != r.truth {
+				row.IsolatedErr++
+			}
+			if r.fused != r.truth {
+				row.FusedErr++
+				fusedWrong[i] = true
+			}
+			tauwForecast[i] = r.uTAUW
+			noufForecast[i] = r.uStep
+		}
+		n := float64(len(finals))
+		row.IsolatedErr /= n
+		row.FusedErr /= n
+		if row.TAUWBrier, err = stats.BrierScore(tauwForecast, fusedWrong); err != nil {
+			return LengthSweepResult{}, err
+		}
+		if row.NoUFBrier, err = stats.BrierScore(noufForecast, fusedWrong); err != nil {
+			return LengthSweepResult{}, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the sweep.
+func (r LengthSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("Length sweep — decision and uncertainty quality vs. available series length\n")
+	fmt.Fprintf(&b, "%7s %12s %10s %12s %12s\n", "length", "isolated", "fused", "taUW Brier", "no-UF Brier")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%7d %11.2f%% %9.2f%% %12.4f %12.4f\n",
+			row.Length, 100*row.IsolatedErr, 100*row.FusedErr, row.TAUWBrier, row.NoUFBrier)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/core"
+)
+
+// String renders Fig. 4 as an ASCII table plus bar chart.
+func (r Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — misclassification rate over timesteps (isolated vs. information fusion)\n")
+	b.WriteString("step |   isolated |      fused | chart (#=isolated, *=fused)\n")
+	for _, s := range r.Steps {
+		bar := func(v float64, ch byte) string {
+			n := int(v * 200)
+			if n > 40 {
+				n = 40
+			}
+			return strings.Repeat(string(ch), n)
+		}
+		fmt.Fprintf(&b, "%4d | %9.2f%% | %9.2f%% | %s\n%s\n",
+			s.Position, 100*s.IsolatedRate, 100*s.FusedRate,
+			bar(s.IsolatedRate, '#'), strings.Repeat(" ", 33)+"| "+bar(s.FusedRate, '*'))
+	}
+	fmt.Fprintf(&b, "overall: isolated %.2f%%, fused %.2f%%, fused@final %.2f%%\n",
+		100*r.IsolatedOverall, 100*r.FusedOverall, 100*r.FusedFinal)
+	return b.String()
+}
+
+// String renders Table I in the paper's layout.
+func (t Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table I — evaluation of different uncertainty models\n")
+	fmt.Fprintf(&b, "%-30s %10s %10s %12s %13s %14s\n",
+		"approach", "Brier", "variance", "unspecific.", "unreliability", "overconfidence")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-30s %10.4f %10.4f %12.4f %13.5f %14.2e\n",
+			row.Approach, row.D.Brier, row.D.Variance, row.D.Unspecificity,
+			row.D.Unreliability, row.D.Overconfidence)
+	}
+	return b.String()
+}
+
+// String renders Fig. 5 as paired histograms.
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5 — distribution of uncertainty across cases\n")
+	render := func(name string, d UncertaintyDist) {
+		fmt.Fprintf(&b, "%s: min u = %.4f guaranteed for %.1f%% of cases, mean u = %.4f\n",
+			name, d.MinU, 100*d.ShareAtMin, d.Mean)
+		for _, bin := range d.Hist {
+			if bin.Count == 0 {
+				continue
+			}
+			bar := bin.Count * 60 / d.Hist[maxBin(d)].Count
+			fmt.Fprintf(&b, "  [%.2f,%.2f) %7d %s\n", bin.Lo, bin.Hi, bin.Count, strings.Repeat("#", bar))
+		}
+	}
+	render("stateless UW (isolated)", r.Stateless)
+	render("taUW + IF", r.TAUW)
+	return b.String()
+}
+
+func maxBin(d UncertaintyDist) int {
+	best := 0
+	for i, b := range d.Hist {
+		if b.Count > d.Hist[best].Count {
+			best = i
+		}
+	}
+	return best
+}
+
+// String renders Fig. 6 as a calibration table per approach.
+func (f Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — calibration (predicted certainty quantiles vs. observed correctness)\n")
+	for _, c := range f.Curves {
+		fmt.Fprintf(&b, "%s:\n", c.Approach)
+		for _, p := range c.Points {
+			verdict := "calibrated"
+			switch {
+			case p.Observed < p.MeanPredicted-0.01:
+				verdict = "OVERconfident"
+			case p.Observed > p.MeanPredicted+0.01:
+				verdict = "underconfident"
+			}
+			fmt.Fprintf(&b, "  predicted %.4f -> observed %.4f (n=%d, %s)\n",
+				p.MeanPredicted, p.Observed, p.Count, verdict)
+		}
+	}
+	return b.String()
+}
+
+// String renders Fig. 7 grouped by subset size.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7 — Brier score by taQF subset\n")
+	fmt.Fprintf(&b, "reference (IF + no taQF): %.4f\n", r.ReferenceNoTAQF)
+	lastSize := 0
+	for _, row := range r.Rows {
+		if len(row.Features) != lastSize {
+			lastSize = len(row.Features)
+			fmt.Fprintf(&b, "-- %d feature(s) --\n", lastSize)
+		}
+		fmt.Fprintf(&b, "  %-55s %.4f\n", featureList(row.Features), row.Brier)
+	}
+	fmt.Fprintf(&b, "best: %s with %.4f\n", featureList(r.Best.Features), r.Best.Brier)
+	return b.String()
+}
+
+func featureList(feats []core.Feature) string {
+	names := core.FeatureNames(feats)
+	return strings.Join(names, "+")
+}
+
+// String renders the full result bundle.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "study preset %q: %d series, %d-step subseries, %dx eval augmentation\n",
+		r.Config.Name, r.Config.NumSeries, r.Config.SubseriesLen, r.Config.EvalAugmentations)
+	fmt.Fprintf(&b, "DDM accuracy: %.2f%% on training frames, %.2f%% on test subseries frames\n\n",
+		100*r.DDMTrain, 100*r.DDMTest)
+	b.WriteString(r.Fig4.String())
+	b.WriteString("\n")
+	b.WriteString(r.Table1.String())
+	b.WriteString("\n")
+	b.WriteString(r.Fig5.String())
+	b.WriteString("\n")
+	b.WriteString(r.Fig6.String())
+	b.WriteString("\n")
+	b.WriteString(r.Fig7.String())
+	b.WriteString("\n")
+	b.WriteString(r.Coverage.String())
+	b.WriteString("\n")
+	b.WriteString(r.Lengths.String())
+	return b.String()
+}

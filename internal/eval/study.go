@@ -1,0 +1,302 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/ddm"
+	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// Study is a fully assembled reproduction run: data, trained DDM, calibrated
+// wrappers, and the cached replay needed by the experiments.
+type Study struct {
+	// Cfg is the configuration the study was built with.
+	Cfg StudyConfig
+	// Model is the trained DDM.
+	Model ddm.Classifier
+	// Features is the synthetic embedding model.
+	Features *ddm.FeatureModel
+	// Base is the stateless uncertainty wrapper.
+	Base *uw.Wrapper
+	// TAQIM is the timeseries-aware quality impact model with all four
+	// taQF.
+	TAQIM *uw.QualityImpactModel
+	// TrainSeries, CalibSeries and TestSeries are the series-structured
+	// observations (subsampled, augmented, predicted).
+	TrainSeries, CalibSeries, TestSeries []core.SeriesObservations
+	// DDMTrainAccuracy and DDMTestAccuracy report the classifier in the
+	// paper's two accuracy regimes (full augmented training set;
+	// length-10 test subseries).
+	DDMTrainAccuracy, DDMTestAccuracy float64
+	// StatelessNames are the quality-factor column names.
+	StatelessNames []string
+
+	// Cached taQIM rows (with all four taQF) for the feature study.
+	trainRowsX [][]float64
+	trainRowsY []bool
+	calibRowsX [][]float64
+	calibRowsY []bool
+}
+
+// statelessWidth is the number of stateless quality factors: the nine
+// deficit channels plus the apparent pixel size.
+const statelessWidth = augment.NumDeficits + 1
+
+// qualityVector assembles the stateless quality factors of one frame: the
+// deficit intensities the sensors/augmentation metadata provide, plus the
+// sign's apparent size.
+func qualityVector(in augment.Intensities, frame gtsrb.Frame) []float64 {
+	qf := make([]float64, 0, statelessWidth)
+	qf = append(qf, in[:]...)
+	qf = append(qf, frame.PixelSize)
+	return qf
+}
+
+// statelessNames returns the quality-factor column names.
+func statelessNames() []string {
+	return append(augment.Names(), "pixel_size")
+}
+
+// BuildStudy assembles the full study: synthetic benchmark, augmentation,
+// DDM training, and wrapper calibration, mirroring the paper's execution
+// plan (Fig. 3).
+func BuildStudy(cfg StudyConfig) (*Study, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen := gtsrb.DefaultGeneratorConfig()
+	gen.NumSeries = cfg.NumSeries
+	gen.Seed = cfg.Seed
+	// Guarantee that every class can appear in all three splits even in
+	// scaled-down presets; the real GTSRB archive covers all classes.
+	gen.MinPerClass = min(3, cfg.NumSeries/gtsrb.NumClasses)
+	series, err := gtsrb.Generate(gen)
+	if err != nil {
+		return nil, fmt.Errorf("eval: generating benchmark: %w", err)
+	}
+	trainS, calibS, testS, err := gtsrb.Split(series, cfg.TrainFrac, cfg.CalibFrac, cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("eval: splitting series: %w", err)
+	}
+	pool, err := augment.NewPool(cfg.Seed+2, cfg.PoolSize)
+	if err != nil {
+		return nil, fmt.Errorf("eval: building setting pool: %w", err)
+	}
+	fm, err := ddm.NewFeatureModel(cfg.Feature)
+	if err != nil {
+		return nil, fmt.Errorf("eval: building feature model: %w", err)
+	}
+	st := &Study{Cfg: cfg, Features: fm, StatelessNames: statelessNames()}
+
+	// 1) DDM training on the variant-augmented training frames (paper:
+	// every deficit at three intensities per image).
+	trainSamples, err := buildTrainingFrames(trainS, fm, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainModel(trainSamples, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: training DDM: %w", err)
+	}
+	st.Model = model
+	trainEval, err := ddm.Evaluate(model, trainSamples)
+	if err != nil {
+		return nil, fmt.Errorf("eval: evaluating DDM on training frames: %w", err)
+	}
+	st.DDMTrainAccuracy = trainEval.Accuracy
+
+	// 2) Series-structured observations: subsampled, setting-augmented,
+	// and predicted by the trained DDM.
+	st.TrainSeries, err = buildSeriesObservations(trainS, pool, fm, model, cfg, cfg.TrainAugmentations, cfg.Seed+4)
+	if err != nil {
+		return nil, err
+	}
+	st.CalibSeries, err = buildSeriesObservations(calibS, pool, fm, model, cfg, cfg.EvalAugmentations, cfg.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	st.TestSeries, err = buildSeriesObservations(testS, pool, fm, model, cfg, cfg.EvalAugmentations, cfg.Seed+6)
+	if err != nil {
+		return nil, err
+	}
+	correct, total := 0, 0
+	for _, s := range st.TestSeries {
+		for _, o := range s.Outcomes {
+			total++
+			if o == s.Truth {
+				correct++
+			}
+		}
+	}
+	st.DDMTestAccuracy = float64(correct) / float64(total)
+
+	// 3) Stateless quality impact model: the tree is grown on the
+	// setting-augmented training series (fresh feature draws, so the
+	// failure labels reflect the deployed error rates rather than the
+	// DDM's near-perfect resubstitution fit) and calibrated on the
+	// subsampled calibration frames.
+	trainQF, trainLabels := flattenSeries(st.TrainSeries)
+	calibQF, calibLabels := flattenSeries(st.CalibSeries)
+	qim, err := uw.FitQIM(trainQF, trainLabels, calibQF, calibLabels, st.StatelessNames, cfg.QIM)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fitting stateless QIM: %w", err)
+	}
+	st.Base, err = uw.NewWrapper(qim, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// 4) Timeseries-aware quality impact model with all four taQF; the
+	// rows are cached so the feature study can re-fit on column subsets.
+	st.trainRowsX, st.trainRowsY, err = core.BuildRows(st.TrainSeries, st.Base, fusion.MajorityVote{}, core.AllFeatures())
+	if err != nil {
+		return nil, fmt.Errorf("eval: building taQIM training rows: %w", err)
+	}
+	st.calibRowsX, st.calibRowsY, err = core.BuildRows(st.CalibSeries, st.Base, fusion.MajorityVote{}, core.AllFeatures())
+	if err != nil {
+		return nil, fmt.Errorf("eval: building taQIM calibration rows: %w", err)
+	}
+	st.TAQIM, err = st.fitTAQIMSubset(core.AllFeatures())
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// trainModel fits the configured classifier.
+func trainModel(samples []ddm.Sample, cfg StudyConfig) (ddm.Classifier, error) {
+	if cfg.UseMLP {
+		return ddm.TrainMLP(samples, gtsrb.NumClasses, cfg.MLPHidden, cfg.Train)
+	}
+	return ddm.TrainSoftmax(samples, gtsrb.NumClasses, cfg.Train)
+}
+
+// buildTrainingFrames augments every training frame with the paper's
+// per-deficit low/medium/high variants and synthesises the DDM's training
+// embeddings.
+func buildTrainingFrames(series []gtsrb.Series, fm *ddm.FeatureModel, seed uint64) ([]ddm.Sample, error) {
+	variants := augment.TrainingVariants()
+	var samples []ddm.Sample
+	for _, s := range series {
+		rng := rand.New(rand.NewPCG(seed, uint64(s.ID)))
+		for _, f := range s.Frames {
+			for _, v := range variants {
+				// The paper's training augmentation renders each
+				// deficit independently per image; no persistent
+				// series confusion applies here.
+				x, err := fm.Observe(f.Class, f.PixelSize, v, nil, rng)
+				if err != nil {
+					return nil, fmt.Errorf("eval: observing training frame: %w", err)
+				}
+				samples = append(samples, ddm.Sample{X: x, Class: f.Class})
+			}
+		}
+	}
+	return samples, nil
+}
+
+// buildSeriesObservations subsamples each series augPerSeries times, assigns
+// a random situation setting per copy, realises per-frame intensities,
+// synthesises embeddings, and records the trained DDM's outcomes — the
+// series-structured dataset of the study.
+func buildSeriesObservations(series []gtsrb.Series, pool *augment.Pool, fm *ddm.FeatureModel,
+	model ddm.Classifier, cfg StudyConfig, augPerSeries int, seed uint64) ([]core.SeriesObservations, error) {
+	out := make([]core.SeriesObservations, 0, len(series)*augPerSeries)
+	for _, s := range series {
+		rng := rand.New(rand.NewPCG(seed, uint64(s.ID)))
+		for a := 0; a < augPerSeries; a++ {
+			sub, err := gtsrb.Subsample(s, cfg.SubseriesLen, rng)
+			if err != nil {
+				return nil, fmt.Errorf("eval: subsampling series %d: %w", s.ID, err)
+			}
+			setting := pool.Random(rng)
+			ints := augment.Apply(setting, sub, seed+uint64(a))
+			dist, err := fm.NewSeriesDistortion(sub.Class, rng)
+			if err != nil {
+				return nil, err
+			}
+			obs := core.SeriesObservations{
+				Truth:    sub.Class,
+				Outcomes: make([]int, sub.Len()),
+				Quality:  make([][]float64, sub.Len()),
+			}
+			for j, f := range sub.Frames {
+				x, err := fm.Observe(f.Class, f.PixelSize, ints[j], &dist, rng)
+				if err != nil {
+					return nil, fmt.Errorf("eval: observing series %d frame %d: %w", s.ID, j, err)
+				}
+				pred, err := model.Predict(x)
+				if err != nil {
+					return nil, fmt.Errorf("eval: predicting series %d frame %d: %w", s.ID, j, err)
+				}
+				obs.Outcomes[j] = pred
+				obs.Quality[j] = qualityVector(ints[j], f)
+			}
+			out = append(out, obs)
+		}
+	}
+	return out, nil
+}
+
+// flattenSeries turns series observations into frame-level quality-factor
+// rows with per-frame failure labels.
+func flattenSeries(series []core.SeriesObservations) ([][]float64, []bool) {
+	var x [][]float64
+	var y []bool
+	for _, s := range series {
+		for j := range s.Outcomes {
+			x = append(x, s.Quality[j])
+			y = append(y, s.Outcomes[j] != s.Truth)
+		}
+	}
+	return x, y
+}
+
+// fitTAQIMSubset fits a timeseries-aware QIM on the cached rows restricted
+// to the given taQF subset (the stateless columns are always kept).
+func (st *Study) fitTAQIMSubset(feats []core.Feature) (*uw.QualityImpactModel, error) {
+	return st.fitTAQIMWith(st.Cfg.QIM, feats)
+}
+
+// fitTAQIMWith is fitTAQIMSubset with an explicit QIM configuration, used by
+// the calibration ablations.
+func (st *Study) fitTAQIMWith(qimCfg uw.QIMConfig, feats []core.Feature) (*uw.QualityImpactModel, error) {
+	cols := make([]int, 0, statelessWidth+len(feats))
+	for i := 0; i < statelessWidth; i++ {
+		cols = append(cols, i)
+	}
+	for _, f := range feats {
+		cols = append(cols, statelessWidth+int(f-core.Ratio))
+	}
+	names := make([]string, 0, len(cols))
+	names = append(names, st.StatelessNames...)
+	names = append(names, core.FeatureNames(feats)...)
+	select2D := func(rows [][]float64) [][]float64 {
+		out := make([][]float64, len(rows))
+		for i, row := range rows {
+			r := make([]float64, len(cols))
+			for j, c := range cols {
+				r[j] = row[c]
+			}
+			out[i] = r
+		}
+		return out
+	}
+	qim, err := uw.FitQIM(select2D(st.trainRowsX), st.trainRowsY,
+		select2D(st.calibRowsX), st.calibRowsY, names, qimCfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fitting taQIM subset %v: %w", feats, err)
+	}
+	return qim, nil
+}
+
+// Wrapper assembles the ready-to-use taUW for runtime use (examples,
+// services).
+func (st *Study) Wrapper() (*core.Wrapper, error) {
+	return core.NewWrapper(st.Base, st.TAQIM, core.Config{})
+}

@@ -1,0 +1,141 @@
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DempsterShafer combines the per-step outcomes using Dempster's rule of
+// combination, the classifier-fusion approach of Rogova that the paper cites
+// as related work. Each timestep j contributes a simple support function:
+// mass 1-u_j on the singleton {o_j} and the remainder u_j on the full frame
+// of discernment Θ. Because all focal elements are singletons or Θ, the
+// combination has a closed form:
+//
+//	m̂({c}) = Π_{j:o_j≠c}(1-s_j) · (1 - Π_{j:o_j=c}(1-s_j))   with s_j = 1-u_j
+//	m̂(Θ)   = Π_j (1-s_j)
+//
+// normalised by the non-conflicting mass. The fused outcome is the class
+// with maximal combined belief; its uncertainty is 1 minus that belief.
+type DempsterShafer struct{}
+
+// Name implements OutcomeFuser.
+func (DempsterShafer) Name() string { return "dempster-shafer" }
+
+// ErrTotalConflict is returned when the evidence is fully contradictory
+// (two different outcomes asserted with certainty 1): Dempster's rule is
+// undefined there.
+var ErrTotalConflict = errors.New("fusion: total conflict, Dempster's rule undefined")
+
+// Combine returns the fused outcome and its combined uncertainty
+// (1 - belief of the winning class).
+func (DempsterShafer) Combine(outcomes []int, uncertainties []float64) (int, float64, error) {
+	if len(outcomes) == 0 {
+		return 0, math.NaN(), ErrNoOutcomes
+	}
+	if len(uncertainties) != len(outcomes) {
+		return 0, math.NaN(), fmt.Errorf("fusion: %d outcomes but %d uncertainties",
+			len(outcomes), len(uncertainties))
+	}
+	if err := checkUncertainties(uncertainties); err != nil {
+		return 0, math.NaN(), err
+	}
+	// doubt[c] = product of (1-s_j) over supporters of c; total = product
+	// over all steps.
+	doubt := make(map[int]float64, 4)
+	total := 1.0
+	for j, o := range outcomes {
+		d := uncertainties[j] // 1 - s_j
+		if cur, ok := doubt[o]; ok {
+			doubt[o] = cur * d
+		} else {
+			doubt[o] = d
+		}
+		total *= d
+	}
+	// Unnormalised singleton masses and the mass on Θ.
+	masses := make(map[int]float64, len(doubt))
+	var massSum float64
+	for c, dc := range doubt {
+		// Π_{j:o_j≠c}(1-s_j) = total/dc, guarded for dc == 0 below.
+		others := 0.0
+		if dc > 0 {
+			others = total / dc
+		} else {
+			// Some supporter of c was certain: recompute directly.
+			others = 1.0
+			for j, o := range outcomes {
+				if o != c {
+					others *= uncertainties[j]
+				}
+			}
+		}
+		m := others * (1 - dc)
+		masses[c] = m
+		massSum += m
+	}
+	denominator := massSum + total // 1 - conflict
+	if denominator <= 0 {
+		return 0, math.NaN(), ErrTotalConflict
+	}
+	best := outcomes[len(outcomes)-1]
+	bestBel := math.Inf(-1)
+	// Scan in reverse time order so ties resolve to the most recent
+	// outcome, matching the majority-vote convention.
+	for j := len(outcomes) - 1; j >= 0; j-- {
+		c := outcomes[j]
+		bel := masses[c] / denominator
+		if bel > bestBel {
+			bestBel = bel
+			best = c
+		}
+	}
+	return best, 1 - bestBel, nil
+}
+
+// Fuse implements OutcomeFuser by discarding the combined uncertainty.
+func (ds DempsterShafer) Fuse(outcomes []int, uncertainties []float64) (int, error) {
+	o, _, err := ds.Combine(outcomes, uncertainties)
+	return o, err
+}
+
+// RecencyWeighted fuses outcomes by votes that decay exponentially with
+// age: the most recent vote has weight 1, the one before Lambda, then
+// Lambda², and so on. Lambda = 1 recovers plain majority voting with
+// most-recent tie-break; small Lambda approaches the isolated prediction.
+type RecencyWeighted struct {
+	// Lambda is the per-step decay factor in (0, 1].
+	Lambda float64
+}
+
+// Name implements OutcomeFuser.
+func (r RecencyWeighted) Name() string {
+	return fmt.Sprintf("recency-weighted(%.2g)", r.Lambda)
+}
+
+// Fuse implements OutcomeFuser.
+func (r RecencyWeighted) Fuse(outcomes []int, _ []float64) (int, error) {
+	if len(outcomes) == 0 {
+		return 0, ErrNoOutcomes
+	}
+	if r.Lambda <= 0 || r.Lambda > 1 || math.IsNaN(r.Lambda) {
+		return 0, fmt.Errorf("fusion: recency decay %g outside (0,1]", r.Lambda)
+	}
+	weights := make(map[int]float64, 4)
+	w := 1.0
+	for j := len(outcomes) - 1; j >= 0; j-- {
+		weights[outcomes[j]] += w
+		w *= r.Lambda
+	}
+	best := outcomes[len(outcomes)-1]
+	bestW := math.Inf(-1)
+	for j := len(outcomes) - 1; j >= 0; j-- {
+		c := outcomes[j]
+		if weights[c] > bestW {
+			bestW = weights[c]
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,234 @@
+package fusion
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDempsterShaferSingleStep(t *testing.T) {
+	ds := DempsterShafer{}
+	o, u, err := ds.Combine([]int{5}, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 5 {
+		t.Errorf("outcome = %d, want 5", o)
+	}
+	// Single simple support: belief = 1-u = 0.7, combined u = 0.3.
+	if !almost(u, 0.3) {
+		t.Errorf("u = %g, want 0.3", u)
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestDempsterShaferAgreementReinforces(t *testing.T) {
+	ds := DempsterShafer{}
+	// Two agreeing pieces of evidence: belief = 1-(1-s1)(1-s2)
+	// = 1 - u1*u2 = 1 - 0.12; combined u = 0.12.
+	o, u, err := ds.Combine([]int{2, 2}, []float64{0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 2 {
+		t.Errorf("outcome = %d", o)
+	}
+	if !almost(u, 0.12) {
+		t.Errorf("u = %g, want 0.12", u)
+	}
+	// More agreement -> lower uncertainty, monotone in the count.
+	prev := 1.0
+	for n := 1; n <= 6; n++ {
+		outcomes := make([]int, n)
+		us := make([]float64, n)
+		for i := range outcomes {
+			outcomes[i] = 1
+			us[i] = 0.4
+		}
+		_, u, err := ds.Combine(outcomes, us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u >= prev {
+			t.Errorf("n=%d: u=%g did not shrink from %g", n, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestDempsterShaferConflict(t *testing.T) {
+	ds := DempsterShafer{}
+	// Two conflicting pieces, the first stronger: class 1 wins.
+	o, u, err := ds.Combine([]int{1, 2}, []float64{0.1, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 1 {
+		t.Errorf("outcome = %d, want 1 (stronger evidence)", o)
+	}
+	// Hand-computed: m̂({1}) = u2*(1-u1) = 0.4*0.9 = 0.36,
+	// m̂({2}) = u1*(1-u2) = 0.1*0.6 = 0.06, m̂(Θ) = 0.04,
+	// denominator = 0.46, Bel(1) = 0.36/0.46.
+	want := 1 - 0.36/0.46
+	if !almost(u, want) {
+		t.Errorf("u = %g, want %g", u, want)
+	}
+	// Equal-strength conflict: tie resolves to the most recent.
+	o, _, err = ds.Combine([]int{1, 2}, []float64{0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 2 {
+		t.Errorf("tie outcome = %d, want 2 (most recent)", o)
+	}
+}
+
+func TestDempsterShaferCertainEvidence(t *testing.T) {
+	ds := DempsterShafer{}
+	// One certain piece of evidence dominates everything compatible.
+	o, u, err := ds.Combine([]int{3, 3, 1}, []float64{0, 0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != 3 {
+		t.Errorf("outcome = %d, want 3", o)
+	}
+	if u < 0 || u > 1 {
+		t.Errorf("u = %g outside [0,1]", u)
+	}
+	// Totally conflicting certain evidence is undefined.
+	if _, _, err := ds.Combine([]int{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("total conflict must fail")
+	}
+}
+
+func TestDempsterShaferErrors(t *testing.T) {
+	ds := DempsterShafer{}
+	if _, _, err := ds.Combine(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if _, _, err := ds.Combine([]int{1}, []float64{0.1, 0.2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, _, err := ds.Combine([]int{1}, []float64{1.2}); err == nil {
+		t.Error("invalid uncertainty must fail")
+	}
+	if _, err := ds.Fuse([]int{1, 1}, []float64{0.2, 0.3}); err != nil {
+		t.Errorf("Fuse adapter: %v", err)
+	}
+	if ds.Name() != "dempster-shafer" {
+		t.Error("name wrong")
+	}
+}
+
+// Property: DS is permutation-invariant in its masses — shuffling the
+// evidence changes neither the winning class (up to exact mass ties) nor
+// its combined uncertainty.
+func TestDempsterShaferPermutationInvariant(t *testing.T) {
+	ds := DempsterShafer{}
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%8) + 1
+		rng := rand.New(rand.NewPCG(seed, 0xd5))
+		outcomes := make([]int, n)
+		us := make([]float64, n)
+		for i := range outcomes {
+			outcomes[i] = rng.IntN(3)
+			us[i] = 0.05 + 0.9*rng.Float64()
+		}
+		o1, u1, err := ds.Combine(outcomes, us)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		po := make([]int, n)
+		pu := make([]float64, n)
+		for i, p := range perm {
+			po[i] = outcomes[p]
+			pu[i] = us[p]
+		}
+		o2, u2, err := ds.Combine(po, pu)
+		if err != nil {
+			return false
+		}
+		// Beliefs are permutation invariant; when two classes tie
+		// exactly the most-recent rule may pick differently, so only
+		// compare uncertainties strictly and outcomes when unique.
+		if math.Abs(u1-u2) > 1e-9 {
+			return false
+		}
+		return o1 == o2 || almost(u1, u2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecencyWeighted(t *testing.T) {
+	// Strong decay: the most recent outcome dominates an older majority.
+	r := RecencyWeighted{Lambda: 0.1}
+	got, err := r.Fuse([]int{1, 1, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("strong decay = %d, want 2", got)
+	}
+	// Lambda 1 equals plain majority voting on a clear majority.
+	r = RecencyWeighted{Lambda: 1}
+	got, err = r.Fuse([]int{1, 1, 1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("lambda=1 = %d, want 1", got)
+	}
+	if _, err := (RecencyWeighted{Lambda: 0}).Fuse([]int{1}, nil); err == nil {
+		t.Error("lambda 0 must fail")
+	}
+	if _, err := (RecencyWeighted{Lambda: 1.5}).Fuse([]int{1}, nil); err == nil {
+		t.Error("lambda > 1 must fail")
+	}
+	if _, err := (RecencyWeighted{Lambda: 0.5}).Fuse(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if (RecencyWeighted{Lambda: 0.5}).Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+// Property: lambda=1 recency voting agrees with MajorityVote whenever the
+// majority is strict.
+func TestRecencyMatchesMajority(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%12) + 1
+		rng := rand.New(rand.NewPCG(seed, 0xaa))
+		outcomes := make([]int, n)
+		counts := make(map[int]int)
+		for i := range outcomes {
+			outcomes[i] = rng.IntN(3)
+			counts[outcomes[i]]++
+		}
+		maxC, ties := 0, 0
+		for _, c := range counts {
+			if c > maxC {
+				maxC, ties = c, 1
+			} else if c == maxC {
+				ties++
+			}
+		}
+		if ties > 1 {
+			return true // tie behaviour may differ; skip
+		}
+		mv, err1 := MajorityVote{}.Fuse(outcomes, nil)
+		rw, err2 := (RecencyWeighted{Lambda: 1}).Fuse(outcomes, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return mv == rw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

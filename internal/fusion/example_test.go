@@ -1,0 +1,47 @@
+package fusion_test
+
+import (
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/fusion"
+)
+
+// ExampleMajorityVote shows the paper's information-fusion rule, including
+// the most-recent tie-break.
+func ExampleMajorityVote() {
+	mv := fusion.MajorityVote{}
+	fused, _ := mv.Fuse([]int{3, 7, 3, 7, 7}, nil)
+	fmt.Println("majority:", fused)
+	tie, _ := mv.Fuse([]int{3, 7}, nil)
+	fmt.Println("tie goes to the most recent:", tie)
+	// Output:
+	// majority: 7
+	// tie goes to the most recent: 7
+}
+
+// ExampleNaive contrasts the three uncertainty-fusion baselines on the same
+// series of per-step uncertainties.
+func ExampleNaive() {
+	us := []float64{0.4, 0.2, 0.1}
+	naive, _ := fusion.Naive{}.Fuse(us)
+	opportune, _ := fusion.Opportune{}.Fuse(us)
+	worst, _ := fusion.WorstCase{}.Fuse(us)
+	fmt.Printf("naive (product):   %.3f\n", naive)
+	fmt.Printf("opportune (min):   %.3f\n", opportune)
+	fmt.Printf("worst-case (max):  %.3f\n", worst)
+	// Output:
+	// naive (product):   0.008
+	// opportune (min):   0.100
+	// worst-case (max):  0.400
+}
+
+// ExampleDempsterShafer combines conflicting evidence with Dempster's rule.
+func ExampleDempsterShafer() {
+	ds := fusion.DempsterShafer{}
+	outcome, u, _ := ds.Combine([]int{1, 1, 2}, []float64{0.3, 0.3, 0.5})
+	// m({1}) = 0.5*(1-0.09) = 0.455, m({2}) = 0.09*0.5 = 0.045,
+	// m(Θ) = 0.045; Bel(1) = 0.455/0.545 ≈ 0.835.
+	fmt.Printf("outcome %d with combined uncertainty %.3f\n", outcome, u)
+	// Output:
+	// outcome 1 with combined uncertainty 0.165
+}

@@ -1,0 +1,163 @@
+// Package fusion implements the information-fusion and uncertainty-fusion
+// rules of the study. Information fusion combines the DDM outcomes observed
+// so far in a timeseries into one improved decision (the paper uses majority
+// voting with a most-recent tie-break); uncertainty fusion combines the
+// per-step uncertainty estimates into a joint uncertainty for the fused
+// outcome (the paper's baselines: naïve product, opportune minimum, and
+// worst-case maximum).
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoOutcomes is returned when a fuser is invoked on an empty history.
+var ErrNoOutcomes = errors.New("fusion: no outcomes to fuse")
+
+// OutcomeFuser fuses the DDM outcomes o_0..o_i of the current timeseries
+// (optionally consulting the per-step uncertainties u_0..u_i) into a single
+// fused outcome.
+type OutcomeFuser interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Fuse returns the fused outcome. uncertainties may be nil when the
+	// rule ignores them; when present it must match outcomes in length.
+	Fuse(outcomes []int, uncertainties []float64) (int, error)
+}
+
+// TieBreak selects how MajorityVote resolves ties.
+type TieBreak int
+
+const (
+	// MostRecent picks the most recently predicted class among the tied
+	// ones — the paper's rule.
+	MostRecent TieBreak = iota + 1
+	// LowestUncertainty picks the tied class whose best (lowest
+	// uncertainty) vote is strongest; used as an ablation.
+	LowestUncertainty
+)
+
+// String returns the tie-break name.
+func (t TieBreak) String() string {
+	switch t {
+	case MostRecent:
+		return "most-recent"
+	case LowestUncertainty:
+		return "lowest-uncertainty"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(t))
+	}
+}
+
+// MajorityVote fuses outcomes by plain vote counting.
+type MajorityVote struct {
+	// TieBreak selects the tie rule; zero value behaves as MostRecent.
+	TieBreak TieBreak
+}
+
+// Name implements OutcomeFuser.
+func (m MajorityVote) Name() string {
+	if m.TieBreak == LowestUncertainty {
+		return "majority-vote/lowest-uncertainty-tie"
+	}
+	return "majority-vote"
+}
+
+// Fuse implements OutcomeFuser.
+func (m MajorityVote) Fuse(outcomes []int, uncertainties []float64) (int, error) {
+	if len(outcomes) == 0 {
+		return 0, ErrNoOutcomes
+	}
+	if uncertainties != nil && len(uncertainties) != len(outcomes) {
+		return 0, fmt.Errorf("fusion: %d outcomes but %d uncertainties", len(outcomes), len(uncertainties))
+	}
+	counts := make(map[int]int, 4)
+	maxCount := 0
+	for _, o := range outcomes {
+		counts[o]++
+		if counts[o] > maxCount {
+			maxCount = counts[o]
+		}
+	}
+	tied := make(map[int]bool, 2)
+	for o, c := range counts {
+		if c == maxCount {
+			tied[o] = true
+		}
+	}
+	if len(tied) == 1 {
+		for o := range tied {
+			return o, nil
+		}
+	}
+	if m.TieBreak == LowestUncertainty && uncertainties != nil {
+		best := -1
+		bestU := math.Inf(1)
+		for i, o := range outcomes {
+			if tied[o] && uncertainties[i] < bestU {
+				bestU = uncertainties[i]
+				best = o
+			}
+		}
+		return best, nil
+	}
+	// Most recent momentaneous prediction among the tied classes.
+	for i := len(outcomes) - 1; i >= 0; i-- {
+		if tied[outcomes[i]] {
+			return outcomes[i], nil
+		}
+	}
+	return 0, ErrNoOutcomes // unreachable: tied is non-empty
+}
+
+// CertaintyWeighted fuses outcomes by summing the certainty 1-u of each vote
+// per class; it is an extension beyond the paper used in ablations.
+type CertaintyWeighted struct{}
+
+// Name implements OutcomeFuser.
+func (CertaintyWeighted) Name() string { return "certainty-weighted-vote" }
+
+// Fuse implements OutcomeFuser.
+func (CertaintyWeighted) Fuse(outcomes []int, uncertainties []float64) (int, error) {
+	if len(outcomes) == 0 {
+		return 0, ErrNoOutcomes
+	}
+	if len(uncertainties) != len(outcomes) {
+		return 0, fmt.Errorf("fusion: %d outcomes but %d uncertainties", len(outcomes), len(uncertainties))
+	}
+	weights := make(map[int]float64, 4)
+	for i, o := range outcomes {
+		u := uncertainties[i]
+		if u < 0 || u > 1 || math.IsNaN(u) {
+			return 0, fmt.Errorf("fusion: uncertainty %g outside [0,1]", u)
+		}
+		weights[o] += 1 - u
+	}
+	best, bestW := outcomes[len(outcomes)-1], math.Inf(-1)
+	// Deterministic scan: last occurrence wins ties, matching the
+	// most-recent rule.
+	for i := len(outcomes) - 1; i >= 0; i-- {
+		o := outcomes[i]
+		if weights[o] > bestW {
+			bestW = weights[o]
+			best = o
+		}
+	}
+	return best, nil
+}
+
+// Latest is the no-fusion baseline: the isolated momentaneous prediction.
+type Latest struct{}
+
+// Name implements OutcomeFuser.
+func (Latest) Name() string { return "latest" }
+
+// Fuse implements OutcomeFuser.
+func (Latest) Fuse(outcomes []int, _ []float64) (int, error) {
+	if len(outcomes) == 0 {
+		return 0, ErrNoOutcomes
+	}
+	return outcomes[len(outcomes)-1], nil
+}

@@ -1,0 +1,247 @@
+package fusion
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMajorityVoteBasic(t *testing.T) {
+	mv := MajorityVote{}
+	tests := []struct {
+		name     string
+		outcomes []int
+		want     int
+	}{
+		{"single", []int{5}, 5},
+		{"clear-majority", []int{1, 2, 2, 2, 1}, 2},
+		{"unanimous", []int{7, 7, 7}, 7},
+		{"tie-most-recent", []int{1, 2}, 2},
+		{"tie-three-way", []int{3, 1, 2}, 2},
+		{"tie-resolved-by-recency", []int{2, 1, 2, 1}, 1},
+		{"majority-overrides-recency", []int{2, 2, 1}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := mv.Fuse(tt.outcomes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("Fuse(%v) = %d, want %d", tt.outcomes, got, tt.want)
+			}
+		})
+	}
+	if _, err := mv.Fuse(nil, nil); err == nil {
+		t.Error("empty history must fail")
+	}
+	if _, err := mv.Fuse([]int{1, 2}, []float64{0.1}); err == nil {
+		t.Error("mismatched uncertainties must fail")
+	}
+}
+
+func TestMajorityVoteLowestUncertaintyTie(t *testing.T) {
+	mv := MajorityVote{TieBreak: LowestUncertainty}
+	// Tie between 1 and 2; class 1's best vote has the lowest u.
+	got, err := mv.Fuse([]int{1, 2}, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("lowest-uncertainty tie = %d, want 1", got)
+	}
+	// Without uncertainties it falls back to most recent.
+	got, err = mv.Fuse([]int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("fallback tie = %d, want 2", got)
+	}
+}
+
+func TestTieBreakString(t *testing.T) {
+	if MostRecent.String() != "most-recent" || LowestUncertainty.String() != "lowest-uncertainty" {
+		t.Error("tie-break names wrong")
+	}
+	if TieBreak(9).String() == "" {
+		t.Error("unknown tie-break must stringify")
+	}
+	if (MajorityVote{}).Name() != "majority-vote" {
+		t.Error("name wrong")
+	}
+	if (MajorityVote{TieBreak: LowestUncertainty}).Name() != "majority-vote/lowest-uncertainty-tie" {
+		t.Error("ablation name wrong")
+	}
+}
+
+func TestCertaintyWeighted(t *testing.T) {
+	cw := CertaintyWeighted{}
+	// Class 2 has fewer votes but much higher certainty.
+	got, err := cw.Fuse([]int{1, 1, 2}, []float64{0.9, 0.9, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("weighted vote = %d, want 2", got)
+	}
+	if _, err := cw.Fuse([]int{1}, nil); err == nil {
+		t.Error("missing uncertainties must fail")
+	}
+	if _, err := cw.Fuse(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if _, err := cw.Fuse([]int{1}, []float64{1.5}); err == nil {
+		t.Error("invalid uncertainty must fail")
+	}
+	if cw.Name() == "" {
+		t.Error("name empty")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	l := Latest{}
+	got, err := l.Fuse([]int{3, 1, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("latest = %d, want 4", got)
+	}
+	if _, err := l.Fuse(nil, nil); err == nil {
+		t.Error("empty must fail")
+	}
+	if l.Name() != "latest" {
+		t.Error("name wrong")
+	}
+}
+
+func TestUncertaintyFusers(t *testing.T) {
+	us := []float64{0.3, 0.1, 0.6}
+	tests := []struct {
+		fuser UncertaintyFuser
+		want  float64
+	}{
+		{Naive{}, 0.3 * 0.1 * 0.6},
+		{Opportune{}, 0.1},
+		{WorstCase{}, 0.6},
+	}
+	for _, tt := range tests {
+		got, err := tt.fuser.Fuse(us)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s = %g, want %g", tt.fuser.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestUncertaintyFuserErrors(t *testing.T) {
+	for _, f := range []UncertaintyFuser{Naive{}, Opportune{}, WorstCase{}} {
+		if _, err := f.Fuse(nil); err == nil {
+			t.Errorf("%s: empty must fail", f.Name())
+		}
+		if _, err := f.Fuse([]float64{0.5, -0.1}); err == nil {
+			t.Errorf("%s: negative uncertainty must fail", f.Name())
+		}
+		if _, err := f.Fuse([]float64{math.NaN()}); err == nil {
+			t.Errorf("%s: NaN must fail", f.Name())
+		}
+		if f.Name() == "" {
+			t.Errorf("fuser has empty name")
+		}
+	}
+}
+
+// Property (used by the paper's discussion): naive <= opportune <=
+// worst-case for any valid uncertainty vector.
+func TestUncertaintyFusionOrdering(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%10) + 1
+		rng := rand.New(rand.NewPCG(seed, 1))
+		us := make([]float64, n)
+		for i := range us {
+			us[i] = rng.Float64()
+		}
+		nv, err1 := Naive{}.Fuse(us)
+		op, err2 := Opportune{}.Fuse(us)
+		wc, err3 := WorstCase{}.Fuse(us)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return nv <= op+1e-15 && op <= wc+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: majority vote returns one of the input outcomes, and a strict
+// majority always wins regardless of order.
+func TestMajorityVoteProperties(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN%15) + 1
+		rng := rand.New(rand.NewPCG(seed, 2))
+		outcomes := make([]int, n)
+		for i := range outcomes {
+			outcomes[i] = rng.IntN(4)
+		}
+		got, err := MajorityVote{}.Fuse(outcomes, nil)
+		if err != nil {
+			return false
+		}
+		counts := make(map[int]int)
+		maxC, maxO := 0, -1
+		for _, o := range outcomes {
+			counts[o]++
+			if counts[o] > maxC {
+				maxC, maxO = counts[o], o
+			}
+		}
+		// got must be among the inputs.
+		found := false
+		strictWinner := true
+		for o, c := range counts {
+			if o == got {
+				found = true
+			}
+			if o != maxO && c == maxC {
+				strictWinner = false
+			}
+		}
+		if !found {
+			return false
+		}
+		if strictWinner && got != maxO {
+			return false
+		}
+		return counts[got] == maxC // winner always holds the max count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property from the paper's RQ1 setup: at steps 1 and 2 of a series,
+// majority-vote fusion coincides with the isolated prediction.
+func TestMajorityMatchesIsolatedForShortSeries(t *testing.T) {
+	f := func(a, b uint8) bool {
+		o1 := int(a % 5)
+		o2 := int(b % 5)
+		mv := MajorityVote{}
+		f1, err := mv.Fuse([]int{o1}, nil)
+		if err != nil || f1 != o1 {
+			return false
+		}
+		f2, err := mv.Fuse([]int{o1, o2}, nil)
+		if err != nil {
+			return false
+		}
+		return f2 == o2 || o1 == o2 // tie -> most recent = isolated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

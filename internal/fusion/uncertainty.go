@@ -1,0 +1,102 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+)
+
+// UncertaintyFuser combines the per-step uncertainty estimates u_0..u_i of a
+// timeseries into one joint uncertainty for the fused outcome.
+type UncertaintyFuser interface {
+	// Name identifies the rule in reports.
+	Name() string
+	// Fuse returns the joint uncertainty.
+	Fuse(uncertainties []float64) (float64, error)
+}
+
+// Naive multiplies the uncertainties (paper eq. 1). It is only valid under
+// independence of the per-step failures — an assumption the study shows to
+// be badly violated on timeseries data, which makes this rule overconfident.
+type Naive struct{}
+
+// Name implements UncertaintyFuser.
+func (Naive) Name() string { return "naive" }
+
+// Fuse implements UncertaintyFuser.
+func (Naive) Fuse(us []float64) (float64, error) {
+	if err := checkUncertainties(us); err != nil {
+		return math.NaN(), err
+	}
+	p := 1.0
+	for _, u := range us {
+		p *= u
+	}
+	return p, nil
+}
+
+// Opportune takes the minimum uncertainty (paper eq. 2). Valid only when the
+// estimates are never overconfident; selecting minima amplifies whatever
+// overconfidence exists.
+type Opportune struct{}
+
+// Name implements UncertaintyFuser.
+func (Opportune) Name() string { return "opportune" }
+
+// Fuse implements UncertaintyFuser.
+func (Opportune) Fuse(us []float64) (float64, error) {
+	if err := checkUncertainties(us); err != nil {
+		return math.NaN(), err
+	}
+	minU := us[0]
+	for _, u := range us[1:] {
+		minU = math.Min(minU, u)
+	}
+	return minU, nil
+}
+
+// WorstCase takes the maximum uncertainty (paper eq. 3). Dependable but
+// overly conservative: it negates most of the benefit of information fusion.
+type WorstCase struct{}
+
+// Name implements UncertaintyFuser.
+func (WorstCase) Name() string { return "worst-case" }
+
+// Fuse implements UncertaintyFuser.
+func (WorstCase) Fuse(us []float64) (float64, error) {
+	if err := checkUncertainties(us); err != nil {
+		return math.NaN(), err
+	}
+	maxU := us[0]
+	for _, u := range us[1:] {
+		maxU = math.Max(maxU, u)
+	}
+	return maxU, nil
+}
+
+// Current passes the most recent per-step estimate through unchanged: the
+// study's "IF + no UF" condition, i.e. information fusion for the outcome
+// but a timeseries-unaware uncertainty.
+type Current struct{}
+
+// Name implements UncertaintyFuser.
+func (Current) Name() string { return "current" }
+
+// Fuse implements UncertaintyFuser.
+func (Current) Fuse(us []float64) (float64, error) {
+	if err := checkUncertainties(us); err != nil {
+		return math.NaN(), err
+	}
+	return us[len(us)-1], nil
+}
+
+func checkUncertainties(us []float64) error {
+	if len(us) == 0 {
+		return ErrNoOutcomes
+	}
+	for i, u := range us {
+		if u < 0 || u > 1 || math.IsNaN(u) {
+			return fmt.Errorf("fusion: uncertainty[%d] = %g outside [0,1]", i, u)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Package gtsrb provides a synthetic substitute for the German Traffic Sign
+// Recognition Benchmark timeseries data used by the paper. The original
+// dataset contains 1307 series of 29-30 images each, taken while a car
+// approaches a physical traffic sign. This package reproduces the parts of
+// the benchmark that matter to the uncertainty-wrapper study: the 43-class
+// catalogue (grouped into visually similar families so classifier confusions
+// cluster realistically), the approach geometry (the sign's pixel size grows
+// along the series), per-series ground truth, image-plane sign positions for
+// the tracker, and GPS locations inside Germany for the scope model.
+package gtsrb
+
+// NumClasses is the number of traffic-sign classes in GTSRB.
+const NumClasses = 43
+
+// Family groups visually similar sign classes. Confusions inside a family
+// are far more likely than across families, which the synthetic feature
+// model in internal/ddm exploits.
+type Family int
+
+// Families of German traffic signs as grouped in GTSRB.
+const (
+	FamilySpeedLimit Family = iota + 1
+	FamilyDerestriction
+	FamilyProhibition
+	FamilyPriority
+	FamilyDanger
+	FamilyMandatory
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilySpeedLimit:
+		return "speed-limit"
+	case FamilyDerestriction:
+		return "derestriction"
+	case FamilyProhibition:
+		return "prohibition"
+	case FamilyPriority:
+		return "priority"
+	case FamilyDanger:
+		return "danger"
+	case FamilyMandatory:
+		return "mandatory"
+	default:
+		return "unknown"
+	}
+}
+
+// Class describes one traffic-sign class.
+type Class struct {
+	// ID is the GTSRB class id (0..42).
+	ID int
+	// Name is the human-readable sign name.
+	Name string
+	// Family is the visual family of the sign.
+	Family Family
+	// Weight is the relative sampling frequency, mirroring the strong
+	// class imbalance of GTSRB (speed limits dominate).
+	Weight float64
+}
+
+// catalog lists the 43 GTSRB classes with names, families, and approximate
+// relative frequencies from the benchmark's training distribution.
+var catalog = []Class{
+	{0, "speed limit 20", FamilySpeedLimit, 0.6},
+	{1, "speed limit 30", FamilySpeedLimit, 6.6},
+	{2, "speed limit 50", FamilySpeedLimit, 6.7},
+	{3, "speed limit 60", FamilySpeedLimit, 4.2},
+	{4, "speed limit 70", FamilySpeedLimit, 5.9},
+	{5, "speed limit 80", FamilySpeedLimit, 5.5},
+	{6, "end of speed limit 80", FamilyDerestriction, 1.2},
+	{7, "speed limit 100", FamilySpeedLimit, 4.3},
+	{8, "speed limit 120", FamilySpeedLimit, 4.2},
+	{9, "no passing", FamilyProhibition, 4.4},
+	{10, "no passing for heavy vehicles", FamilyProhibition, 6.0},
+	{11, "right-of-way at next intersection", FamilyPriority, 3.9},
+	{12, "priority road", FamilyPriority, 6.3},
+	{13, "yield", FamilyPriority, 6.4},
+	{14, "stop", FamilyPriority, 2.3},
+	{15, "no vehicles", FamilyProhibition, 1.8},
+	{16, "no heavy vehicles", FamilyProhibition, 1.2},
+	{17, "no entry", FamilyProhibition, 3.3},
+	{18, "general caution", FamilyDanger, 3.6},
+	{19, "dangerous curve left", FamilyDanger, 0.6},
+	{20, "dangerous curve right", FamilyDanger, 1.0},
+	{21, "double curve", FamilyDanger, 0.9},
+	{22, "bumpy road", FamilyDanger, 1.1},
+	{23, "slippery road", FamilyDanger, 1.5},
+	{24, "road narrows on the right", FamilyDanger, 0.8},
+	{25, "road work", FamilyDanger, 4.5},
+	{26, "traffic signals", FamilyDanger, 1.8},
+	{27, "pedestrians", FamilyDanger, 0.7},
+	{28, "children crossing", FamilyDanger, 1.6},
+	{29, "bicycles crossing", FamilyDanger, 0.8},
+	{30, "beware of ice/snow", FamilyDanger, 1.3},
+	{31, "wild animals crossing", FamilyDanger, 2.3},
+	{32, "end of all limits", FamilyDerestriction, 0.7},
+	{33, "turn right ahead", FamilyMandatory, 2.0},
+	{34, "turn left ahead", FamilyMandatory, 1.2},
+	{35, "ahead only", FamilyMandatory, 3.6},
+	{36, "go straight or right", FamilyMandatory, 1.1},
+	{37, "go straight or left", FamilyMandatory, 0.6},
+	{38, "keep right", FamilyMandatory, 6.2},
+	{39, "keep left", FamilyMandatory, 0.9},
+	{40, "roundabout mandatory", FamilyMandatory, 1.0},
+	{41, "end of no passing", FamilyDerestriction, 0.7},
+	{42, "end of no passing for heavy vehicles", FamilyDerestriction, 0.7},
+}
+
+// Catalog returns a copy of the 43-class catalogue.
+func Catalog() []Class {
+	out := make([]Class, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// ClassByID returns the class with the given id; ok is false when the id is
+// outside 0..42.
+func ClassByID(id int) (Class, bool) {
+	if id < 0 || id >= len(catalog) {
+		return Class{}, false
+	}
+	return catalog[id], true
+}
+
+// FamilyMembers returns the ids of all classes in the given family.
+func FamilyMembers(f Family) []int {
+	var out []int
+	for _, c := range catalog {
+		if c.Family == f {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package gtsrb
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cs := Catalog()
+	if len(cs) != NumClasses {
+		t.Fatalf("catalogue has %d classes, want %d", len(cs), NumClasses)
+	}
+	seen := make(map[string]bool)
+	for i, c := range cs {
+		if c.ID != i {
+			t.Errorf("class %d has ID %d", i, c.ID)
+		}
+		if c.Name == "" || seen[c.Name] {
+			t.Errorf("class %d has empty or duplicate name %q", i, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Family < FamilySpeedLimit || c.Family > FamilyMandatory {
+			t.Errorf("class %d has invalid family %d", i, c.Family)
+		}
+		if c.Weight <= 0 {
+			t.Errorf("class %d has non-positive weight", i)
+		}
+	}
+}
+
+func TestCatalogIsACopy(t *testing.T) {
+	cs := Catalog()
+	cs[0].Name = "mutated"
+	if c, _ := ClassByID(0); c.Name == "mutated" {
+		t.Error("Catalog must return a copy")
+	}
+}
+
+func TestClassByID(t *testing.T) {
+	if c, ok := ClassByID(14); !ok || c.Name != "stop" {
+		t.Errorf("ClassByID(14) = %+v, %v", c, ok)
+	}
+	if _, ok := ClassByID(-1); ok {
+		t.Error("negative id must not resolve")
+	}
+	if _, ok := ClassByID(43); ok {
+		t.Error("id 43 must not resolve")
+	}
+}
+
+func TestFamilyMembers(t *testing.T) {
+	speed := FamilyMembers(FamilySpeedLimit)
+	want := []int{0, 1, 2, 3, 4, 5, 7, 8}
+	if len(speed) != len(want) {
+		t.Fatalf("speed family = %v, want %v", speed, want)
+	}
+	for i := range want {
+		if speed[i] != want[i] {
+			t.Fatalf("speed family = %v, want %v", speed, want)
+		}
+	}
+	total := 0
+	for f := FamilySpeedLimit; f <= FamilyMandatory; f++ {
+		total += len(FamilyMembers(f))
+		if f.String() == "unknown" {
+			t.Errorf("family %d has no name", f)
+		}
+	}
+	if total != NumClasses {
+		t.Errorf("families cover %d classes, want %d", total, NumClasses)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 40
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Len() != b[i].Len() {
+			t.Fatalf("series %d differs between runs", i)
+		}
+		for j := range a[i].Frames {
+			if a[i].Frames[j] != b[i].Frames[j] {
+				t.Fatalf("frame %d/%d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 100
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if s.Len() < cfg.MinFrames || s.Len() > cfg.MaxFrames {
+			t.Fatalf("series %d has %d frames", s.ID, s.Len())
+		}
+		if !s.Location.InGermany() {
+			t.Errorf("series %d located outside Germany: %+v", s.ID, s.Location)
+		}
+		if _, ok := ClassByID(s.Class); !ok {
+			t.Errorf("series %d has invalid class %d", s.ID, s.Class)
+		}
+		prevSize := 0.0
+		for j, f := range s.Frames {
+			if f.Class != s.Class {
+				t.Fatalf("frame class %d != series class %d", f.Class, s.Class)
+			}
+			if f.Step != j || f.SeriesID != s.ID {
+				t.Fatalf("frame indices wrong: %+v", f)
+			}
+			if f.PixelSize < 15 || f.PixelSize > 250 {
+				t.Errorf("pixel size %g out of range", f.PixelSize)
+			}
+			if f.PixelSize < prevSize {
+				t.Errorf("pixel size must not shrink during approach: %g after %g", f.PixelSize, prevSize)
+			}
+			prevSize = f.PixelSize
+			if f.Distance <= 0 {
+				t.Errorf("distance %g must be positive", f.Distance)
+			}
+		}
+		first, last := s.Frames[0], s.Frames[s.Len()-1]
+		if first.Distance <= last.Distance {
+			t.Errorf("series %d does not approach: %g -> %g", s.ID, first.Distance, last.Distance)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{NumSeries: 0, MinFrames: 1, MaxFrames: 2, FarDistance: 60, NearDistance: 7},
+		{NumSeries: 5, MinFrames: 0, MaxFrames: 2, FarDistance: 60, NearDistance: 7},
+		{NumSeries: 5, MinFrames: 3, MaxFrames: 2, FarDistance: 60, NearDistance: 7},
+		{NumSeries: 5, MinFrames: 1, MaxFrames: 2, FarDistance: 7, NearDistance: 60},
+		{NumSeries: 5, MinFrames: 1, MaxFrames: 2, FarDistance: 60, NearDistance: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+func TestGenerateClassImbalance(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 4000
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumClasses)
+	for _, s := range series {
+		counts[s.Class]++
+	}
+	// speed limit 50 (weight 6.7) must be far more common than
+	// speed limit 20 (weight 0.6).
+	if counts[2] < 3*counts[0] {
+		t.Errorf("class imbalance not reproduced: class2=%d class0=%d", counts[2], counts[0])
+	}
+}
+
+func TestSplit(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 200
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, calib, test, err := Split(series, 0.4, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(train) + len(calib) + len(test); got != len(series) {
+		t.Fatalf("split loses series: %d != %d", got, len(series))
+	}
+	// Stratified rounding keeps the requested fractions within a few
+	// series of the target.
+	if len(train) < 60 || len(train) > 100 {
+		t.Errorf("train size %d far from 40%% of 200", len(train))
+	}
+	if len(calib) < 40 || len(calib) > 80 {
+		t.Errorf("calib size %d far from 30%% of 200", len(calib))
+	}
+	// No series may appear in two splits.
+	seen := make(map[int]string)
+	for _, s := range train {
+		seen[s.ID] = "train"
+	}
+	for _, s := range calib {
+		if prev, dup := seen[s.ID]; dup {
+			t.Fatalf("series %d in calib and %s", s.ID, prev)
+		}
+		seen[s.ID] = "calib"
+	}
+	for _, s := range test {
+		if prev, dup := seen[s.ID]; dup {
+			t.Fatalf("series %d in test and %s", s.ID, prev)
+		}
+	}
+}
+
+func TestSplitStratifiedCoverage(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 160
+	cfg.MinPerClass = 3
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, calib, test, err := Split(series, 0.4, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := func(name string, ss []Series) {
+		seen := make(map[int]bool)
+		for _, s := range ss {
+			seen[s.Class] = true
+		}
+		for c := 0; c < NumClasses; c++ {
+			if !seen[c] {
+				t.Errorf("%s split misses class %d", name, c)
+			}
+		}
+	}
+	cover("train", train)
+	cover("calib", calib)
+	cover("test", test)
+}
+
+func TestGenerateMinPerClass(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 150
+	cfg.MinPerClass = 3
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, NumClasses)
+	for _, s := range series {
+		counts[s.Class]++
+	}
+	for c, n := range counts {
+		if n < 3 {
+			t.Errorf("class %d has only %d series, want >= 3", c, n)
+		}
+	}
+	cfg.MinPerClass = 10 // needs 430 series, have 150
+	if _, err := Generate(cfg); err == nil {
+		t.Error("infeasible MinPerClass must fail")
+	}
+	cfg.MinPerClass = -1
+	if _, err := Generate(cfg); err == nil {
+		t.Error("negative MinPerClass must fail")
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	if _, _, _, err := Split(nil, 0.5, 0.2, 1); err == nil {
+		t.Error("empty input must fail")
+	}
+	s := []Series{{ID: 1}}
+	if _, _, _, err := Split(s, 0.8, 0.5, 1); err == nil {
+		t.Error("fractions > 1 must fail")
+	}
+	if _, _, _, err := Split(s, -0.1, 0.5, 1); err == nil {
+		t.Error("negative fraction must fail")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 5
+	series, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	sub, err := Subsample(series[0], 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 10 {
+		t.Fatalf("subsample length %d", sub.Len())
+	}
+	if sub.Class != series[0].Class || sub.ID != series[0].ID {
+		t.Error("subsample must keep identity")
+	}
+	for j, f := range sub.Frames {
+		if f.Step != j {
+			t.Errorf("frame %d has step %d", j, f.Step)
+		}
+	}
+	// Frames must be a contiguous slice of the parent (compare by
+	// distance which is strictly decreasing).
+	found := false
+	for start := 0; start+10 <= series[0].Len(); start++ {
+		if series[0].Frames[start].Distance == sub.Frames[0].Distance {
+			found = true
+			for j := 0; j < 10; j++ {
+				if series[0].Frames[start+j].Distance != sub.Frames[j].Distance {
+					t.Fatal("subsample is not contiguous")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("subsample start not found in parent")
+	}
+	if _, err := Subsample(series[0], 0, rng); err == nil {
+		t.Error("length 0 must fail")
+	}
+	if _, err := Subsample(series[0], series[0].Len()+1, rng); err == nil {
+		t.Error("oversized subsample must fail")
+	}
+}
+
+// Property: subsampling the full length returns the identical series.
+func TestSubsampleFullLength(t *testing.T) {
+	cfg := DefaultGeneratorConfig()
+	cfg.NumSeries = 3
+	series, _ := Generate(cfg)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0))
+		s := series[int(seed%uint64(len(series)))]
+		sub, err := Subsample(s, s.Len(), rng)
+		if err != nil {
+			return false
+		}
+		for j := range sub.Frames {
+			if sub.Frames[j].Distance != s.Frames[j].Distance {
+				return false
+			}
+		}
+		return sub.Len() == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInGermany(t *testing.T) {
+	tests := []struct {
+		loc  Location
+		want bool
+	}{
+		{Location{49.48958, 8.46725}, true},    // Mannheim (from the paper's Fig. 1)
+		{Location{40.71272, -74.00604}, false}, // New York (from the paper's Fig. 1)
+	}
+	for _, tt := range tests {
+		if got := tt.loc.InGermany(); got != tt.want {
+			t.Errorf("InGermany(%+v) = %v, want %v", tt.loc, got, tt.want)
+		}
+	}
+	_ = math.Pi // keep math import if cases change
+}

@@ -1,0 +1,301 @@
+package gtsrb
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// Frame is one synthetic observation of a traffic sign: everything the rest
+// of the system needs to know about an "image" without storing pixels.
+type Frame struct {
+	// SeriesID identifies the physical sign encounter.
+	SeriesID int
+	// Step is the zero-based index of the frame within its series.
+	Step int
+	// Class is the ground-truth GTSRB class id.
+	Class int
+	// Distance is the camera-to-sign distance in metres.
+	Distance float64
+	// PixelSize is the apparent sign size in pixels (larger is easier).
+	PixelSize float64
+	// ImageX and ImageY give the sign centre in normalised image
+	// coordinates [0,1]^2; the tracker consumes these.
+	ImageX, ImageY float64
+	// SpeedKMH is the vehicle speed; it drives motion blur.
+	SpeedKMH float64
+}
+
+// Location is a WGS84 coordinate used by the scope-compliance model.
+type Location struct {
+	Lat float64
+	Lon float64
+}
+
+// Germany is the bounding box the paper uses as the spatial target
+// application scope.
+var Germany = struct{ LatMin, LatMax, LonMin, LonMax float64 }{
+	LatMin: 47.27, LatMax: 55.06, LonMin: 5.87, LonMax: 15.04,
+}
+
+// InGermany reports whether the location falls inside the Germany bounding
+// box.
+func (l Location) InGermany() bool {
+	return l.Lat >= Germany.LatMin && l.Lat <= Germany.LatMax &&
+		l.Lon >= Germany.LonMin && l.Lon <= Germany.LonMax
+}
+
+// Series is one encounter with a physical traffic sign: a run of consecutive
+// frames sharing a single ground truth.
+type Series struct {
+	// ID identifies the series.
+	ID int
+	// Class is the ground-truth class shared by all frames.
+	Class int
+	// Location is where the encounter happened.
+	Location Location
+	// Frames are the observations ordered by time.
+	Frames []Frame
+}
+
+// Len returns the number of frames.
+func (s Series) Len() int { return len(s.Frames) }
+
+// GeneratorConfig parameterises the synthetic benchmark.
+type GeneratorConfig struct {
+	// NumSeries is the number of sign encounters to generate; the paper's
+	// GTSRB training archive has 1307.
+	NumSeries int
+	// MinFrames and MaxFrames bound the series length (GTSRB: 29..30).
+	MinFrames, MaxFrames int
+	// FarDistance and NearDistance are the camera distances at the first
+	// and last frame in metres.
+	FarDistance, NearDistance float64
+	// MinPerClass guarantees at least this many series per class before
+	// weighted sampling fills the rest. The real GTSRB training archive
+	// covers every class; small synthetic subsets must too, otherwise the
+	// DDM cannot learn the rare classes at all.
+	MinPerClass int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// DefaultGeneratorConfig mirrors the GTSRB timeseries layout.
+func DefaultGeneratorConfig() GeneratorConfig {
+	return GeneratorConfig{
+		NumSeries:    1307,
+		MinFrames:    29,
+		MaxFrames:    30,
+		FarDistance:  60,
+		NearDistance: 7,
+		Seed:         1,
+	}
+}
+
+// Validate checks the configuration.
+func (c GeneratorConfig) Validate() error {
+	switch {
+	case c.NumSeries <= 0:
+		return errors.New("gtsrb: NumSeries must be positive")
+	case c.MinFrames <= 0 || c.MaxFrames < c.MinFrames:
+		return fmt.Errorf("gtsrb: invalid frame bounds [%d,%d]", c.MinFrames, c.MaxFrames)
+	case !(c.FarDistance > c.NearDistance) || c.NearDistance <= 0:
+		return fmt.Errorf("gtsrb: invalid distances far=%g near=%g", c.FarDistance, c.NearDistance)
+	case c.MinPerClass < 0:
+		return fmt.Errorf("gtsrb: MinPerClass %d must be >= 0", c.MinPerClass)
+	case c.MinPerClass*NumClasses > c.NumSeries:
+		return fmt.Errorf("gtsrb: MinPerClass %d needs %d series, have %d",
+			c.MinPerClass, c.MinPerClass*NumClasses, c.NumSeries)
+	}
+	return nil
+}
+
+// focalPx converts distance to apparent pixel size: a 0.9 m sign observed by
+// a camera with ~1900 px/rad focal length, clamped to the GTSRB crop range
+// of roughly 15..250 px.
+func focalPx(distance float64) float64 {
+	size := 1700.0 / distance
+	return math.Max(15, math.Min(250, size))
+}
+
+// Generate builds the synthetic benchmark deterministically from the seed.
+func Generate(cfg GeneratorConfig) ([]Series, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x67747372)) // "gtsr"
+	classPicker := newWeightedPicker()
+	// Guaranteed coverage block: MinPerClass series per class, in a
+	// shuffled order so coverage series do not cluster at low ids.
+	coverage := make([]int, 0, cfg.MinPerClass*NumClasses)
+	for k := 0; k < cfg.MinPerClass; k++ {
+		for c := 0; c < NumClasses; c++ {
+			coverage = append(coverage, c)
+		}
+	}
+	rng.Shuffle(len(coverage), func(a, b int) { coverage[a], coverage[b] = coverage[b], coverage[a] })
+	out := make([]Series, cfg.NumSeries)
+	for i := range out {
+		var class int
+		if i < len(coverage) {
+			class = coverage[i]
+		} else {
+			class = classPicker.pick(rng)
+		}
+		nFrames := cfg.MinFrames
+		if cfg.MaxFrames > cfg.MinFrames {
+			nFrames += rng.IntN(cfg.MaxFrames - cfg.MinFrames + 1)
+		}
+		loc := Location{
+			Lat: Germany.LatMin + rng.Float64()*(Germany.LatMax-Germany.LatMin),
+			Lon: Germany.LonMin + rng.Float64()*(Germany.LonMax-Germany.LonMin),
+		}
+		speed := 30 + rng.Float64()*70 // 30..100 km/h
+		// The sign drifts from near the image centre toward the right
+		// edge as the car approaches.
+		startX := 0.45 + rng.Float64()*0.15
+		startY := 0.35 + rng.Float64()*0.15
+		s := Series{ID: i, Class: class, Location: loc, Frames: make([]Frame, nFrames)}
+		for j := 0; j < nFrames; j++ {
+			progress := float64(j) / float64(nFrames-1)
+			if nFrames == 1 {
+				progress = 1
+			}
+			// Distance shrinks with constant approach speed:
+			// interpolate in 1/d so pixel size grows smoothly.
+			invD := (1-progress)/cfg.FarDistance + progress/cfg.NearDistance
+			d := 1 / invD
+			s.Frames[j] = Frame{
+				SeriesID:  i,
+				Step:      j,
+				Class:     class,
+				Distance:  d,
+				PixelSize: focalPx(d),
+				ImageX:    math.Min(0.98, startX+0.45*progress+0.01*rng.NormFloat64()),
+				ImageY:    math.Min(0.98, startY+0.25*progress+0.01*rng.NormFloat64()),
+				SpeedKMH:  speed + rng.NormFloat64(),
+			}
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// weightedPicker samples class ids proportional to catalogue weights.
+type weightedPicker struct {
+	cum []float64
+}
+
+func newWeightedPicker() *weightedPicker {
+	cum := make([]float64, len(catalog))
+	var total float64
+	for i, c := range catalog {
+		total += c.Weight
+		cum[i] = total
+	}
+	return &weightedPicker{cum: cum}
+}
+
+func (p *weightedPicker) pick(rng *rand.Rand) int {
+	r := rng.Float64() * p.cum[len(p.cum)-1]
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Split partitions series into train/calibration/test groups by the given
+// fractions (the remainder goes to test). The split is stratified by class
+// and deterministic in the seed: every class with at least three series
+// contributes to each group, so a small benchmark cannot leave a class
+// untrained — mirroring the paper's setting, where all 43 classes appear in
+// every split of the 1307 series.
+func Split(series []Series, trainFrac, calibFrac float64, seed uint64) (train, calib, test []Series, err error) {
+	if trainFrac < 0 || calibFrac < 0 || trainFrac+calibFrac > 1 {
+		return nil, nil, nil, fmt.Errorf("gtsrb: invalid split fractions %g/%g", trainFrac, calibFrac)
+	}
+	if len(series) == 0 {
+		return nil, nil, nil, errors.New("gtsrb: no series to split")
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x73706c74)) // "splt"
+	byClass := make(map[int][]int)
+	for i, s := range series {
+		byClass[s.Class] = append(byClass[s.Class], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		members := byClass[c]
+		rng.Shuffle(len(members), func(a, b int) { members[a], members[b] = members[b], members[a] })
+		n := len(members)
+		nTrain := int(math.Round(trainFrac * float64(n)))
+		nCalib := int(math.Round(calibFrac * float64(n)))
+		if n >= 3 {
+			// Force representation in every group.
+			if nTrain == 0 {
+				nTrain = 1
+			}
+			if nCalib == 0 {
+				nCalib = 1
+			}
+			for nTrain+nCalib >= n {
+				if nTrain >= nCalib && nTrain > 1 {
+					nTrain--
+				} else if nCalib > 1 {
+					nCalib--
+				} else {
+					break
+				}
+			}
+		}
+		if nTrain+nCalib > n {
+			nCalib = n - nTrain
+		}
+		for i, idx := range members {
+			switch {
+			case i < nTrain:
+				train = append(train, series[idx])
+			case i < nTrain+nCalib:
+				calib = append(calib, series[idx])
+			default:
+				test = append(test, series[idx])
+			}
+		}
+	}
+	return train, calib, test, nil
+}
+
+// Subsample returns a contiguous subseries of the given length starting at a
+// uniformly random step, as the paper does to de-bias calibration and test
+// data from sign distance ("a subseries of length 10 with a uniformly random
+// starting time step"). Frames are re-stamped with fresh step indices; the
+// resulting series keeps the parent's identity fields.
+func Subsample(s Series, length int, rng *rand.Rand) (Series, error) {
+	if length <= 0 {
+		return Series{}, fmt.Errorf("gtsrb: subsample length %d must be positive", length)
+	}
+	if length > s.Len() {
+		return Series{}, fmt.Errorf("gtsrb: subsample length %d exceeds series length %d", length, s.Len())
+	}
+	start := 0
+	if s.Len() > length {
+		start = rng.IntN(s.Len() - length + 1)
+	}
+	sub := Series{ID: s.ID, Class: s.Class, Location: s.Location, Frames: make([]Frame, length)}
+	copy(sub.Frames, s.Frames[start:start+length])
+	for j := range sub.Frames {
+		sub.Frames[j].Step = j
+	}
+	return sub, nil
+}

@@ -1,0 +1,154 @@
+// Package simplex implements the runtime verification-and-validation
+// substrate that motivates dependable uncertainty estimates in the paper:
+// a simplex-style monitor that compares each (fused) outcome's uncertainty
+// against a required confidence level and escalates through configured
+// countermeasures — accept, degrade, fall back to a safe channel, or
+// disengage — instead of acting on an undependable perception result.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Countermeasure is one escalation level of the monitor.
+type Countermeasure struct {
+	// Name labels the level (e.g. "accept", "reduce-speed", "handover").
+	Name string
+	// MaxUncertainty is the largest uncertainty this level tolerates.
+	MaxUncertainty float64
+}
+
+// Policy is an ordered escalation ladder. Levels are sorted by
+// MaxUncertainty; the first level whose bound covers the observed
+// uncertainty wins. An uncertainty above every bound triggers the terminal
+// countermeasure.
+type Policy struct {
+	// Levels are the graded countermeasures.
+	Levels []Countermeasure
+	// Terminal is applied when no level tolerates the uncertainty.
+	Terminal Countermeasure
+}
+
+// DefaultTSRPolicy mirrors a traffic-sign-recognition deployment: act on
+// the outcome below 1% uncertainty, treat it as advisory below 10%, ignore
+// the reading below 50%, and hand control back above that.
+func DefaultTSRPolicy() Policy {
+	return Policy{
+		Levels: []Countermeasure{
+			{Name: "accept", MaxUncertainty: 0.01},
+			{Name: "advisory-only", MaxUncertainty: 0.10},
+			{Name: "ignore-reading", MaxUncertainty: 0.50},
+		},
+		Terminal: Countermeasure{Name: "handover", MaxUncertainty: 1},
+	}
+}
+
+// Validate checks the policy.
+func (p Policy) Validate() error {
+	if len(p.Levels) == 0 {
+		return errors.New("simplex: policy needs at least one level")
+	}
+	for i, l := range p.Levels {
+		if l.MaxUncertainty < 0 || l.MaxUncertainty > 1 {
+			return fmt.Errorf("simplex: level %q bound %g outside [0,1]", l.Name, l.MaxUncertainty)
+		}
+		if l.Name == "" {
+			return fmt.Errorf("simplex: level %d has no name", i)
+		}
+	}
+	if p.Terminal.Name == "" {
+		return errors.New("simplex: terminal countermeasure needs a name")
+	}
+	return nil
+}
+
+// Decision is the monitor's verdict for one outcome.
+type Decision struct {
+	// Outcome echoes the gated outcome.
+	Outcome int
+	// Uncertainty is the estimate the decision was based on.
+	Uncertainty float64
+	// Level is the selected countermeasure.
+	Level Countermeasure
+	// Accepted reports whether the first (least restrictive) level
+	// applied.
+	Accepted bool
+}
+
+// Stats counts monitor activity per level.
+type Stats struct {
+	// Total is the number of gated outcomes.
+	Total int
+	// PerLevel maps countermeasure name to activation count.
+	PerLevel map[string]int
+}
+
+// Monitor gates outcomes against a policy. It is safe for concurrent use.
+type Monitor struct {
+	mu     sync.Mutex
+	policy Policy
+	counts map[string]int
+	total  int
+}
+
+// NewMonitor creates a monitor; the policy's levels are sorted by bound.
+func NewMonitor(policy Policy) (*Monitor, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	levels := make([]Countermeasure, len(policy.Levels))
+	copy(levels, policy.Levels)
+	sort.SliceStable(levels, func(a, b int) bool {
+		return levels[a].MaxUncertainty < levels[b].MaxUncertainty
+	})
+	policy.Levels = levels
+	return &Monitor{policy: policy, counts: make(map[string]int)}, nil
+}
+
+// Gate selects the countermeasure for one outcome with the given dependable
+// uncertainty.
+func (m *Monitor) Gate(outcome int, uncertainty float64) (Decision, error) {
+	if uncertainty < 0 || uncertainty > 1 {
+		return Decision{}, fmt.Errorf("simplex: uncertainty %g outside [0,1]", uncertainty)
+	}
+	level := m.policy.Terminal
+	accepted := false
+	for i, l := range m.policy.Levels {
+		if uncertainty <= l.MaxUncertainty {
+			level = l
+			accepted = i == 0
+			break
+		}
+	}
+	m.mu.Lock()
+	m.counts[level.Name]++
+	m.total++
+	m.mu.Unlock()
+	return Decision{
+		Outcome:     outcome,
+		Uncertainty: uncertainty,
+		Level:       level,
+		Accepted:    accepted,
+	}, nil
+}
+
+// Snapshot returns a copy of the activity counters.
+func (m *Monitor) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	per := make(map[string]int, len(m.counts))
+	for k, v := range m.counts {
+		per[k] = v
+	}
+	return Stats{Total: m.total, PerLevel: per}
+}
+
+// Policy returns the monitor's (sorted) policy.
+func (m *Monitor) Policy() Policy {
+	levels := make([]Countermeasure, len(m.policy.Levels))
+	copy(levels, m.policy.Levels)
+	return Policy{Levels: levels, Terminal: m.policy.Terminal}
+}

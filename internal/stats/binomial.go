@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoundMethod selects the one-sided binomial upper-bound construction used
+// when calibrating decision-tree leaves.
+type BoundMethod int
+
+const (
+	// ClopperPearson is the exact (conservative) bound used by the paper.
+	ClopperPearson BoundMethod = iota + 1
+	// Wilson is the score-interval bound (less conservative).
+	Wilson
+	// Jeffreys is the Bayesian Beta(1/2,1/2) credible bound.
+	Jeffreys
+)
+
+// String returns the canonical name of the method.
+func (m BoundMethod) String() string {
+	switch m {
+	case ClopperPearson:
+		return "clopper-pearson"
+	case Wilson:
+		return "wilson"
+	case Jeffreys:
+		return "jeffreys"
+	default:
+		return fmt.Sprintf("BoundMethod(%d)", int(m))
+	}
+}
+
+// BinomialUpperBound returns a one-sided upper confidence bound on the
+// success probability p of a binomial experiment with k observed successes
+// in n trials, at the given confidence level (e.g. 0.999). In the wrapper
+// setting "success" is a DDM failure, so the bound is a dependable
+// uncertainty estimate: with probability >= confidence the true failure rate
+// does not exceed the returned value.
+func BinomialUpperBound(method BoundMethod, k, n int, confidence float64) (float64, error) {
+	switch {
+	case n <= 0:
+		return math.NaN(), fmt.Errorf("stats: binomial bound needs n > 0, got %d: %w", n, ErrDomain)
+	case k < 0 || k > n:
+		return math.NaN(), fmt.Errorf("stats: binomial bound needs 0 <= k <= n, got k=%d n=%d: %w", k, n, ErrDomain)
+	case confidence <= 0 || confidence >= 1:
+		return math.NaN(), fmt.Errorf("stats: confidence must be in (0,1), got %g: %w", confidence, ErrDomain)
+	}
+	switch method {
+	case ClopperPearson:
+		return clopperPearsonUpper(k, n, confidence)
+	case Wilson:
+		return wilsonUpper(k, n, confidence)
+	case Jeffreys:
+		return jeffreysUpper(k, n, confidence)
+	default:
+		return math.NaN(), fmt.Errorf("stats: unknown bound method %d: %w", int(method), ErrDomain)
+	}
+}
+
+// clopperPearsonUpper computes the exact upper bound: the confidence-quantile
+// of Beta(k+1, n-k). For k == n the bound is 1; for k == 0 it has the closed
+// form 1-(1-confidence)^(1/n).
+func clopperPearsonUpper(k, n int, confidence float64) (float64, error) {
+	if k == n {
+		return 1, nil
+	}
+	if k == 0 {
+		alpha := 1 - confidence
+		return 1 - math.Pow(alpha, 1/float64(n)), nil
+	}
+	return BetaQuantile(confidence, float64(k)+1, float64(n-k))
+}
+
+// wilsonUpper computes the one-sided Wilson score upper bound.
+func wilsonUpper(k, n int, confidence float64) (float64, error) {
+	z, err := NormalQuantile(confidence)
+	if err != nil {
+		return math.NaN(), err
+	}
+	nf := float64(n)
+	ph := float64(k) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	centre := ph + z2/(2*nf)
+	half := z * math.Sqrt(ph*(1-ph)/nf+z2/(4*nf*nf))
+	u := (centre + half) / denom
+	return math.Min(u, 1), nil
+}
+
+// BinomialTailAtLeast returns P(X >= k) for X ~ Binomial(n, p), via the
+// identity P(X >= k) = I_p(k, n-k+1). It is the exact one-sided test used to
+// decide whether an observed failure count significantly exceeds a claimed
+// bound.
+func BinomialTailAtLeast(k, n int, p float64) (float64, error) {
+	switch {
+	case n <= 0:
+		return math.NaN(), fmt.Errorf("stats: binomial tail needs n > 0, got %d: %w", n, ErrDomain)
+	case k < 0 || k > n:
+		return math.NaN(), fmt.Errorf("stats: binomial tail needs 0 <= k <= n, got k=%d n=%d: %w", k, n, ErrDomain)
+	case p < 0 || p > 1 || math.IsNaN(p):
+		return math.NaN(), fmt.Errorf("stats: probability %g outside [0,1]: %w", p, ErrDomain)
+	case k == 0:
+		return 1, nil
+	case p == 0:
+		return 0, nil
+	case p == 1:
+		return 1, nil
+	}
+	return RegIncBeta(float64(k), float64(n-k+1), p)
+}
+
+// jeffreysUpper computes the Bayesian upper credible bound with the Jeffreys
+// prior Beta(1/2, 1/2).
+func jeffreysUpper(k, n int, confidence float64) (float64, error) {
+	if k == n {
+		return 1, nil
+	}
+	return BetaQuantile(confidence, float64(k)+0.5, float64(n-k)+0.5)
+}

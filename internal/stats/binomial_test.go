@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClopperPearsonZeroFailures(t *testing.T) {
+	// Closed form: 1 - alpha^(1/n). For n=200, conf=0.999:
+	// 1 - 0.001^(1/200) = 0.033944...
+	got, err := BinomialUpperBound(ClopperPearson, 0, 200, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(0.001, 1.0/200)
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("CP(0,200,0.999) = %g, want %g", got, want)
+	}
+}
+
+func TestClopperPearsonPaperLowestUncertainty(t *testing.T) {
+	// The paper reports a lowest dependable uncertainty of u = 0.0072 at
+	// 99.9% confidence, which corresponds to an error-free leaf of ~956
+	// calibration samples. Check that our bound reproduces that regime.
+	got, err := BinomialUpperBound(ClopperPearson, 0, 956, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.0072, 2e-4) {
+		t.Errorf("CP(0,956,0.999) = %g, want about 0.0072", got)
+	}
+}
+
+func TestClopperPearsonAllFailures(t *testing.T) {
+	got, err := BinomialUpperBound(ClopperPearson, 10, 10, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("CP(10,10) = %g, want 1", got)
+	}
+}
+
+func TestClopperPearsonKnownValue(t *testing.T) {
+	// scipy.stats.beta.ppf(0.95, 3, 18) = 0.28262...
+	// (k=2 failures, n=20, one-sided 95%).
+	got, err := BinomialUpperBound(ClopperPearson, 2, 20, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.2826, 5e-4) {
+		t.Errorf("CP(2,20,0.95) = %g, want ~0.2826", got)
+	}
+}
+
+func TestBinomialBoundDomainErrors(t *testing.T) {
+	cases := []struct {
+		k, n int
+		conf float64
+	}{
+		{0, 0, 0.999},
+		{-1, 10, 0.999},
+		{11, 10, 0.999},
+		{1, 10, 0},
+		{1, 10, 1},
+	}
+	for _, c := range cases {
+		if _, err := BinomialUpperBound(ClopperPearson, c.k, c.n, c.conf); err == nil {
+			t.Errorf("k=%d n=%d conf=%g should fail", c.k, c.n, c.conf)
+		}
+	}
+	if _, err := BinomialUpperBound(BoundMethod(99), 1, 10, 0.9); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestBoundMethodString(t *testing.T) {
+	tests := []struct {
+		m    BoundMethod
+		want string
+	}{
+		{ClopperPearson, "clopper-pearson"},
+		{Wilson, "wilson"},
+		{Jeffreys, "jeffreys"},
+		{BoundMethod(42), "BoundMethod(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+// Property: every method returns a bound in [k/n, 1] that covers the point
+// estimate, and the bound shrinks as n grows with k=0.
+func TestBinomialBoundProperties(t *testing.T) {
+	methods := []BoundMethod{ClopperPearson, Wilson, Jeffreys}
+	f := func(rawK, rawN uint16) bool {
+		n := int(rawN%500) + 1
+		k := int(rawK) % (n + 1)
+		for _, m := range methods {
+			u, err := BinomialUpperBound(m, k, n, 0.999)
+			if err != nil {
+				return false
+			}
+			point := float64(k) / float64(n)
+			if u < point-1e-9 || u > 1+1e-12 || math.IsNaN(u) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clopper-Pearson is at least as conservative as Jeffreys, which
+// is generally at least as large as the point estimate; and more data means
+// a tighter zero-failure bound.
+func TestBinomialBoundOrdering(t *testing.T) {
+	for _, n := range []int{5, 20, 100, 500, 2000} {
+		cp, err := BinomialUpperBound(ClopperPearson, 0, n, 0.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jf, err := BinomialUpperBound(Jeffreys, 0, n, 0.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp < jf-1e-12 {
+			t.Errorf("n=%d: CP %g < Jeffreys %g; CP must be most conservative", n, cp, jf)
+		}
+	}
+	prev := 1.0
+	for _, n := range []int{10, 50, 200, 1000, 5000} {
+		cp, err := BinomialUpperBound(ClopperPearson, 0, n, 0.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp >= prev {
+			t.Errorf("zero-failure bound must shrink with n: n=%d bound=%g prev=%g", n, cp, prev)
+		}
+		prev = cp
+	}
+}
+
+func TestBinomialTailAtLeast(t *testing.T) {
+	// P(X >= 1 | n=3, p=0.5) = 1 - 0.125 = 0.875.
+	got, err := BinomialTailAtLeast(1, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.875, 1e-12) {
+		t.Errorf("tail = %g, want 0.875", got)
+	}
+	// P(X >= 3 | n=3, p=0.5) = 0.125.
+	got, err = BinomialTailAtLeast(3, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0.125, 1e-12) {
+		t.Errorf("tail = %g, want 0.125", got)
+	}
+	// Edges.
+	if v, err := BinomialTailAtLeast(0, 10, 0.3); err != nil || v != 1 {
+		t.Errorf("k=0 tail = %g, %v", v, err)
+	}
+	if v, err := BinomialTailAtLeast(5, 10, 0); err != nil || v != 0 {
+		t.Errorf("p=0 tail = %g, %v", v, err)
+	}
+	if v, err := BinomialTailAtLeast(5, 10, 1); err != nil || v != 1 {
+		t.Errorf("p=1 tail = %g, %v", v, err)
+	}
+	// Domain errors.
+	if _, err := BinomialTailAtLeast(1, 0, 0.5); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := BinomialTailAtLeast(-1, 5, 0.5); err == nil {
+		t.Error("k<0 must fail")
+	}
+	if _, err := BinomialTailAtLeast(6, 5, 0.5); err == nil {
+		t.Error("k>n must fail")
+	}
+	if _, err := BinomialTailAtLeast(1, 5, 1.5); err == nil {
+		t.Error("p>1 must fail")
+	}
+}
+
+// The defining duality of the Clopper-Pearson bound: at the upper limit
+// p_u for k observed events, P(X <= k | p_u) = 1-confidence, equivalently
+// P(X >= k+1 | p_u) = confidence.
+func TestBinomialTailConsistentWithBound(t *testing.T) {
+	for _, tc := range []struct{ k, n int }{{1, 50}, {3, 100}, {10, 400}} {
+		bound, err := BinomialUpperBound(ClopperPearson, tc.k, tc.n, 0.999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail, err := BinomialTailAtLeast(tc.k+1, tc.n, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(tail, 0.999, 1e-9) {
+			t.Errorf("k=%d n=%d: P(X>=k+1) at CP bound = %g, want 0.999", tc.k, tc.n, tail)
+		}
+	}
+}
+
+func TestWilsonMatchesNormalApproxForLargeN(t *testing.T) {
+	// For large n and moderate p the Wilson bound approaches
+	// p + z*sqrt(p(1-p)/n).
+	n, k := 100000, 10000
+	u, err := BinomialUpperBound(Wilson, k, n, 0.975)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0.1
+	z := 1.959963985
+	approx := p + z*math.Sqrt(p*(1-p)/float64(n))
+	if !almostEqual(u, approx, 1e-4) {
+		t.Errorf("Wilson = %g, normal approx %g", u, approx)
+	}
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// BrierDecomposition holds the Brier score of a set of probabilistic
+// predictions together with its Murphy (1973) vector partition. The paper
+// reports the components under the names variance (Murphy's uncertainty),
+// resolution, unreliability (Murphy's reliability), the derived
+// unspecificity = variance - resolution, and the overconfident share of the
+// unreliability.
+type BrierDecomposition struct {
+	// Brier is the mean squared difference between predicted probability
+	// and the binary outcome.
+	Brier float64
+	// Variance is the outcome base-rate term e(1-e); it depends only on
+	// the predictand, not on the estimator.
+	Variance float64
+	// Resolution measures how far the per-group observed rates deviate
+	// from the base rate (higher is better, bounded by Variance).
+	Resolution float64
+	// Unspecificity is Variance - Resolution.
+	Unspecificity float64
+	// Unreliability measures miscalibration of the predicted
+	// probabilities against the per-group observed rates (lower is
+	// better).
+	Unreliability float64
+	// Overconfidence is the portion of Unreliability contributed by
+	// groups whose predicted probability underestimates the observed
+	// event rate.
+	Overconfidence float64
+	// Underconfidence is Unreliability - Overconfidence.
+	Underconfidence float64
+	// BaseRate is the overall observed event rate.
+	BaseRate float64
+	// Groups is the number of distinct forecast groups used.
+	Groups int
+	// N is the number of (forecast, outcome) pairs scored.
+	N int
+}
+
+// Identity returns the residual of the Murphy identity
+// Brier - (Variance - Resolution + Unreliability); it is zero up to floating
+// point error when the decomposition grouped by exact forecast values.
+func (d BrierDecomposition) Identity() float64 {
+	return d.Brier - (d.Variance - d.Resolution + d.Unreliability)
+}
+
+// BrierScore returns the plain Brier score of probabilistic forecasts
+// against binary outcomes (true = event occurred).
+func BrierScore(forecast []float64, outcome []bool) (float64, error) {
+	if len(forecast) != len(outcome) {
+		return math.NaN(), fmt.Errorf("stats: forecast/outcome length mismatch %d vs %d: %w",
+			len(forecast), len(outcome), ErrDomain)
+	}
+	if len(forecast) == 0 {
+		return math.NaN(), fmt.Errorf("stats: empty sample: %w", ErrDomain)
+	}
+	var sum float64
+	for i, f := range forecast {
+		o := 0.0
+		if outcome[i] {
+			o = 1
+		}
+		d := f - o
+		sum += d * d
+	}
+	return sum / float64(len(forecast)), nil
+}
+
+// Decompose computes the Brier score and its Murphy partition, grouping
+// samples that share the same forecast value. Forecasts produced by a
+// calibrated decision tree take one value per leaf, so exact grouping is the
+// natural partition and makes the identity bs = var - res + unrel exact.
+func Decompose(forecast []float64, outcome []bool) (BrierDecomposition, error) {
+	if len(forecast) != len(outcome) {
+		return BrierDecomposition{}, fmt.Errorf("stats: forecast/outcome length mismatch %d vs %d: %w",
+			len(forecast), len(outcome), ErrDomain)
+	}
+	n := len(forecast)
+	if n == 0 {
+		return BrierDecomposition{}, fmt.Errorf("stats: empty sample: %w", ErrDomain)
+	}
+	type group struct {
+		count  int
+		events int
+	}
+	groups := make(map[float64]*group)
+	events := 0
+	for i, f := range forecast {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return BrierDecomposition{}, fmt.Errorf("stats: forecast %g outside [0,1]: %w", f, ErrDomain)
+		}
+		g := groups[f]
+		if g == nil {
+			g = &group{}
+			groups[f] = g
+		}
+		g.count++
+		if outcome[i] {
+			g.events++
+			events++
+		}
+	}
+	bs, err := BrierScore(forecast, outcome)
+	if err != nil {
+		return BrierDecomposition{}, err
+	}
+	nf := float64(n)
+	base := float64(events) / nf
+	d := BrierDecomposition{
+		Brier:    bs,
+		Variance: base * (1 - base),
+		BaseRate: base,
+		Groups:   len(groups),
+		N:        n,
+	}
+	for f, g := range groups {
+		w := float64(g.count) / nf
+		rate := float64(g.events) / float64(g.count)
+		d.Resolution += w * (rate - base) * (rate - base)
+		rel := w * (f - rate) * (f - rate)
+		d.Unreliability += rel
+		if f < rate {
+			d.Overconfidence += rel
+		}
+	}
+	d.Unspecificity = d.Variance - d.Resolution
+	d.Underconfidence = d.Unreliability - d.Overconfidence
+	return d, nil
+}
+
+// DecomposeBinned computes the Murphy partition after grouping samples into
+// equal-count quantile bins of the forecast value, for estimators whose
+// forecasts are (nearly) continuous — e.g. the naïve product fusion, where
+// exact-value grouping would put every sample in its own group and make the
+// reliability term meaningless. Each bin is represented by its mean
+// forecast; the identity bs = var - res + unrel then holds only up to the
+// within-bin forecast variance, which is the standard trade-off of binned
+// decompositions.
+func DecomposeBinned(forecast []float64, outcome []bool, bins int) (BrierDecomposition, error) {
+	if len(forecast) != len(outcome) {
+		return BrierDecomposition{}, fmt.Errorf("stats: forecast/outcome length mismatch %d vs %d: %w",
+			len(forecast), len(outcome), ErrDomain)
+	}
+	n := len(forecast)
+	if n == 0 {
+		return BrierDecomposition{}, fmt.Errorf("stats: empty sample: %w", ErrDomain)
+	}
+	if bins <= 0 {
+		return BrierDecomposition{}, fmt.Errorf("stats: bins must be positive, got %d: %w", bins, ErrDomain)
+	}
+	if bins > n {
+		bins = n
+	}
+	for _, f := range forecast {
+		if f < 0 || f > 1 || math.IsNaN(f) {
+			return BrierDecomposition{}, fmt.Errorf("stats: forecast %g outside [0,1]: %w", f, ErrDomain)
+		}
+	}
+	bs, err := BrierScore(forecast, outcome)
+	if err != nil {
+		return BrierDecomposition{}, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return forecast[idx[a]] < forecast[idx[b]] })
+	events := 0
+	for _, o := range outcome {
+		if o {
+			events++
+		}
+	}
+	nf := float64(n)
+	base := float64(events) / nf
+	d := BrierDecomposition{
+		Brier:    bs,
+		Variance: base * (1 - base),
+		BaseRate: base,
+		N:        n,
+	}
+	for b := 0; b < bins; b++ {
+		lo := b * n / bins
+		hi := (b + 1) * n / bins
+		if hi == lo {
+			continue
+		}
+		var sumF float64
+		ev := 0
+		for _, i := range idx[lo:hi] {
+			sumF += forecast[i]
+			if outcome[i] {
+				ev++
+			}
+		}
+		cnt := hi - lo
+		w := float64(cnt) / nf
+		meanF := sumF / float64(cnt)
+		rate := float64(ev) / float64(cnt)
+		d.Resolution += w * (rate - base) * (rate - base)
+		rel := w * (meanF - rate) * (meanF - rate)
+		d.Unreliability += rel
+		if meanF < rate {
+			d.Overconfidence += rel
+		}
+		d.Groups++
+	}
+	d.Unspecificity = d.Variance - d.Resolution
+	d.Underconfidence = d.Unreliability - d.Overconfidence
+	return d, nil
+}
+
+// CalibrationPoint is one bin of a reliability diagram: the mean predicted
+// certainty of the bin against the observed rate of correct outcomes.
+type CalibrationPoint struct {
+	// MeanPredicted is the mean predicted certainty (1 - uncertainty) of
+	// the samples in the bin.
+	MeanPredicted float64
+	// Observed is the fraction of samples in the bin whose outcome was
+	// correct.
+	Observed float64
+	// Count is the number of samples in the bin.
+	Count int
+}
+
+// CalibrationCurve bins samples into `bins` equal-count quantile bins by
+// predicted certainty and reports mean predicted certainty vs observed
+// correctness per bin, reproducing the paper's Fig. 6 plot. correct[i] must
+// be true when the i-th outcome was correct (i.e. the certainty "paid off").
+func CalibrationCurve(certainty []float64, correct []bool, bins int) ([]CalibrationPoint, error) {
+	if len(certainty) != len(correct) {
+		return nil, fmt.Errorf("stats: certainty/correct length mismatch %d vs %d: %w",
+			len(certainty), len(correct), ErrDomain)
+	}
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d: %w", bins, ErrDomain)
+	}
+	n := len(certainty)
+	if n < bins {
+		return nil, fmt.Errorf("stats: %d samples cannot fill %d bins: %w", n, bins, ErrDomain)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return certainty[idx[a]] < certainty[idx[b]] })
+	points := make([]CalibrationPoint, 0, bins)
+	for b := 0; b < bins; b++ {
+		lo := b * n / bins
+		hi := (b + 1) * n / bins
+		if hi == lo {
+			continue
+		}
+		var sum float64
+		hits := 0
+		for _, i := range idx[lo:hi] {
+			sum += certainty[i]
+			if correct[i] {
+				hits++
+			}
+		}
+		cnt := hi - lo
+		points = append(points, CalibrationPoint{
+			MeanPredicted: sum / float64(cnt),
+			Observed:      float64(hits) / float64(cnt),
+			Count:         cnt,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestDecomposeBinnedBasics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 5000
+	forecast := make([]float64, n)
+	outcome := make([]bool, n)
+	for i := range forecast {
+		f := rng.Float64()
+		forecast[i] = f
+		outcome[i] = rng.Float64() < f // perfectly calibrated
+	}
+	d, err := DecomposeBinned(forecast, outcome, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Groups != 20 {
+		t.Errorf("groups = %d, want 20", d.Groups)
+	}
+	// Perfect calibration: unreliability must be tiny.
+	if d.Unreliability > 0.002 {
+		t.Errorf("unreliability %g for calibrated forecasts", d.Unreliability)
+	}
+	// And the identity must hold approximately (within-bin variance of a
+	// 20-bin uniform forecast is ~(1/20)^2/12 per bin).
+	if math.Abs(d.Identity()) > 0.002 {
+		t.Errorf("identity residual %g too large", d.Identity())
+	}
+	if d.Overconfidence < 0 || d.Overconfidence > d.Unreliability+1e-15 {
+		t.Errorf("overconfidence %g outside [0, unrel]", d.Overconfidence)
+	}
+}
+
+func TestDecomposeBinnedDetectsOverconfidence(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 4000
+	forecast := make([]float64, n)
+	outcome := make([]bool, n)
+	for i := range forecast {
+		forecast[i] = 0.05 + 0.1*rng.Float64()
+		outcome[i] = rng.Float64() < 0.5 // true rate far above forecasts
+	}
+	d, err := DecomposeBinned(forecast, outcome, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Overconfidence < 0.9*d.Unreliability {
+		t.Errorf("all miscalibration is overconfident, got over=%g of unrel=%g",
+			d.Overconfidence, d.Unreliability)
+	}
+	if d.Unreliability < 0.1 {
+		t.Errorf("unreliability %g too small for a 0.1-vs-0.5 miscalibration", d.Unreliability)
+	}
+}
+
+func TestDecomposeBinnedErrors(t *testing.T) {
+	if _, err := DecomposeBinned(nil, nil, 5); err == nil {
+		t.Error("empty must fail")
+	}
+	if _, err := DecomposeBinned([]float64{0.5}, []bool{true, false}, 5); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := DecomposeBinned([]float64{0.5}, []bool{true}, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+	if _, err := DecomposeBinned([]float64{1.5}, []bool{true}, 2); err == nil {
+		t.Error("out-of-range forecast must fail")
+	}
+}
+
+func TestDecomposeBinnedMoreBinsThanSamples(t *testing.T) {
+	d, err := DecomposeBinned([]float64{0.2, 0.8}, []bool{false, true}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Groups != 2 {
+		t.Errorf("groups = %d, want clamped to 2", d.Groups)
+	}
+}
+
+func TestDecomposeBinnedAgreesWithExactOnDiscrete(t *testing.T) {
+	// When forecasts are already discrete and bins align, binned and exact
+	// decompositions must agree.
+	rng := rand.New(rand.NewPCG(9, 10))
+	n := 4000
+	forecast := make([]float64, n)
+	outcome := make([]bool, n)
+	for i := range forecast {
+		if i < n/2 {
+			forecast[i] = 0.1
+		} else {
+			forecast[i] = 0.9
+		}
+		outcome[i] = rng.Float64() < forecast[i]
+	}
+	exact, err := Decompose(forecast, outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned, err := DecomposeBinned(forecast, outcome, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Resolution-binned.Resolution) > 1e-12 ||
+		math.Abs(exact.Unreliability-binned.Unreliability) > 1e-12 {
+		t.Errorf("exact %+v vs binned %+v", exact, binned)
+	}
+}

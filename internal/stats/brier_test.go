@@ -1,0 +1,206 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrierScoreBasics(t *testing.T) {
+	tests := []struct {
+		name     string
+		forecast []float64
+		outcome  []bool
+		want     float64
+	}{
+		{"perfect", []float64{0, 1, 0, 1}, []bool{false, true, false, true}, 0},
+		{"worst", []float64{1, 0}, []bool{false, true}, 1},
+		{"uniform-half", []float64{0.5, 0.5}, []bool{true, false}, 0.25},
+		{"mixed", []float64{0.2, 0.8}, []bool{false, true}, (0.04 + 0.04) / 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := BrierScore(tt.forecast, tt.outcome)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("BrierScore = %g, want %g", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBrierScoreErrors(t *testing.T) {
+	if _, err := BrierScore([]float64{0.1}, []bool{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := BrierScore(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestDecomposeIdentityExact(t *testing.T) {
+	// When grouping by exact forecast values the Murphy identity holds
+	// exactly (up to float error).
+	rng := rand.New(rand.NewPCG(7, 11))
+	levels := []float64{0.01, 0.05, 0.2, 0.5, 0.9}
+	n := 5000
+	forecast := make([]float64, n)
+	outcome := make([]bool, n)
+	for i := 0; i < n; i++ {
+		f := levels[rng.IntN(len(levels))]
+		forecast[i] = f
+		outcome[i] = rng.Float64() < f*0.9 // slightly miscalibrated
+	}
+	d, err := Decompose(forecast, outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Identity()) > 1e-10 {
+		t.Errorf("Murphy identity residual = %g", d.Identity())
+	}
+	if d.Groups != len(levels) {
+		t.Errorf("groups = %d, want %d", d.Groups, len(levels))
+	}
+	if d.Resolution < 0 || d.Unreliability < 0 {
+		t.Errorf("components must be non-negative: res=%g unrel=%g", d.Resolution, d.Unreliability)
+	}
+	if d.Overconfidence < 0 || d.Overconfidence > d.Unreliability+1e-15 {
+		t.Errorf("overconfidence %g outside [0, unreliability=%g]", d.Overconfidence, d.Unreliability)
+	}
+	if !almostEqual(d.Underconfidence+d.Overconfidence, d.Unreliability, 1e-12) {
+		t.Error("over+under must sum to unreliability")
+	}
+	if !almostEqual(d.Unspecificity, d.Variance-d.Resolution, 1e-15) {
+		t.Error("unspecificity must equal variance - resolution")
+	}
+}
+
+func TestDecomposePerfectCalibration(t *testing.T) {
+	// Deterministic construction: forecast 0.25 on 4 samples with exactly
+	// 1 event -> perfectly reliable group.
+	forecast := []float64{0.25, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75, 0.75}
+	outcome := []bool{true, false, false, false, true, true, true, false}
+	d, err := Decompose(forecast, outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d.Unreliability, 0, 1e-12) {
+		t.Errorf("perfectly calibrated groups must have unreliability 0, got %g", d.Unreliability)
+	}
+	if !almostEqual(d.Brier, d.Variance-d.Resolution, 1e-12) {
+		t.Errorf("identity: %g != %g", d.Brier, d.Variance-d.Resolution)
+	}
+}
+
+func TestDecomposeOverconfidenceAttribution(t *testing.T) {
+	// One group predicts 0.1 but observes rate 0.5 -> overconfident.
+	// Another predicts 0.9 and observes 0.5 -> underconfident.
+	forecast := []float64{0.1, 0.1, 0.9, 0.9}
+	outcome := []bool{true, false, true, false}
+	d, err := Decompose(forecast, outcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEach := 0.5 * (0.4 * 0.4) // weight 1/2, deviation 0.4
+	if !almostEqual(d.Overconfidence, wantEach, 1e-12) {
+		t.Errorf("overconfidence = %g, want %g", d.Overconfidence, wantEach)
+	}
+	if !almostEqual(d.Underconfidence, wantEach, 1e-12) {
+		t.Errorf("underconfidence = %g, want %g", d.Underconfidence, wantEach)
+	}
+}
+
+func TestDecomposeRejectsBadForecasts(t *testing.T) {
+	if _, err := Decompose([]float64{1.2}, []bool{true}); err == nil {
+		t.Error("forecast > 1 should fail")
+	}
+	if _, err := Decompose([]float64{math.NaN()}, []bool{true}); err == nil {
+		t.Error("NaN forecast should fail")
+	}
+	if _, err := Decompose([]float64{0.5}, []bool{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Decompose(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+// Property: for random discrete forecasts the identity holds and all
+// components stay within their theoretical bounds.
+func TestDecomposePropertyIdentity(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN%300) + 10
+		rng := rand.New(rand.NewPCG(seed, 3))
+		forecast := make([]float64, n)
+		outcome := make([]bool, n)
+		for i := range forecast {
+			forecast[i] = float64(rng.IntN(6)) / 5.0
+			outcome[i] = rng.Float64() < 0.3
+		}
+		d, err := Decompose(forecast, outcome)
+		if err != nil {
+			return false
+		}
+		if math.Abs(d.Identity()) > 1e-9 {
+			return false
+		}
+		if d.Resolution < -1e-12 || d.Resolution > d.Variance+1e-9 {
+			return false
+		}
+		return d.Brier >= -1e-12 && d.Brier <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrationCurve(t *testing.T) {
+	// 100 samples, certainty equals index/100, correct iff certainty>0.5.
+	n := 100
+	certainty := make([]float64, n)
+	correct := make([]bool, n)
+	for i := 0; i < n; i++ {
+		certainty[i] = float64(i) / float64(n)
+		correct[i] = certainty[i] > 0.5
+	}
+	pts, err := CalibrationCurve(certainty, correct, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("got %d points, want 10", len(pts))
+	}
+	for i, p := range pts {
+		if p.Count != 10 {
+			t.Errorf("bin %d count = %d, want 10", i, p.Count)
+		}
+	}
+	// Lowest-certainty bins observe 0, highest observe 1.
+	if pts[0].Observed != 0 {
+		t.Errorf("first bin observed = %g, want 0", pts[0].Observed)
+	}
+	if pts[9].Observed != 1 {
+		t.Errorf("last bin observed = %g, want 1", pts[9].Observed)
+	}
+	// Mean predicted certainty must increase across bins.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MeanPredicted <= pts[i-1].MeanPredicted {
+			t.Errorf("bin %d mean %g not increasing", i, pts[i].MeanPredicted)
+		}
+	}
+}
+
+func TestCalibrationCurveErrors(t *testing.T) {
+	if _, err := CalibrationCurve([]float64{0.1}, []bool{true, false}, 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := CalibrationCurve([]float64{0.1, 0.2}, []bool{true, false}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := CalibrationCurve([]float64{0.1}, []bool{true}, 5); err == nil {
+		t.Error("fewer samples than bins should fail")
+	}
+}

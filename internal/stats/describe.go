@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a float sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // unbiased sample variance
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Describe computes a Summary of xs.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, fmt.Errorf("stats: empty sample: %w", ErrDomain)
+	}
+	var w Welford
+	minV, maxV := xs[0], xs[0]
+	for _, x := range xs {
+		w.Add(x)
+		minV = math.Min(minV, x)
+		maxV = math.Max(maxV, x)
+	}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:      len(xs),
+		Mean:   w.Mean(),
+		Var:    w.Variance(),
+		Std:    math.Sqrt(w.Variance()),
+		Min:    minV,
+		Max:    maxV,
+		Median: med,
+	}, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation between order statistics (the common "type 7" estimator).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return math.NaN(), fmt.Errorf("stats: empty sample: %w", ErrDomain)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN(), fmt.Errorf("stats: quantile %g outside [0,1]: %w", q, ErrDomain)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Welford accumulates mean and variance in one pass with the numerically
+// stable Welford update. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// HistogramBin is one bin of a fixed-width histogram.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram builds a fixed-width histogram of xs over [lo, hi] with the
+// given number of bins. Values outside the range are clamped into the edge
+// bins, which is the behaviour wanted for bounded uncertainty values.
+func Histogram(xs []float64, lo, hi float64, bins int) ([]HistogramBin, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d: %w", bins, ErrDomain)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: invalid histogram range [%g,%g]: %w", lo, hi, ErrDomain)
+	}
+	out := make([]HistogramBin, bins)
+	width := (hi - lo) / float64(bins)
+	for i := range out {
+		out[i].Lo = lo + float64(i)*width
+		out[i].Hi = lo + float64(i+1)*width
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b].Count++
+	}
+	return out, nil
+}
+
+// WeightedShare returns the fraction of xs that are <= threshold. It backs
+// the paper's Fig. 5 statement "lowest uncertainty guaranteed for X% of the
+// cases".
+func WeightedShare(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescribe(t *testing.T) {
+	s, err := Describe([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if !almostEqual(s.Var, 2.5, 1e-12) {
+		t.Errorf("variance = %g, want 2.5", s.Var)
+	}
+	if _, err := Describe(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{0.5, 25},
+		{0.25, 17.5},
+	}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q > 1 should fail")
+	}
+	if v, err := Quantile([]float64{7}, 0.9); err != nil || v != 7 {
+		t.Errorf("single element quantile = %g, %v", v, err)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 1000)
+	var w Welford
+	var sum float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		w.Add(xs[i])
+		sum += xs[i]
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	wantVar := ss / float64(len(xs)-1)
+	if !almostEqual(w.Mean(), mean, 1e-9) {
+		t.Errorf("mean %g != %g", w.Mean(), mean)
+	}
+	if !almostEqual(w.Variance(), wantVar, 1e-9) {
+		t.Errorf("variance %g != %g", w.Variance(), wantVar)
+	}
+	if w.N() != 1000 {
+		t.Errorf("n = %d", w.N())
+	}
+}
+
+func TestWelfordSmallSamples(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("zero value must report zeros")
+	}
+	w.Add(5)
+	if w.Variance() != 0 {
+		t.Error("variance of one sample must be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.15, 0.95, -1, 2}
+	bins, err := Histogram(xs, 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bins) != 10 {
+		t.Fatalf("len = %d", len(bins))
+	}
+	if bins[0].Count != 2 { // 0.05 and clamped -1
+		t.Errorf("bin0 = %d, want 2", bins[0].Count)
+	}
+	if bins[1].Count != 2 {
+		t.Errorf("bin1 = %d, want 2", bins[1].Count)
+	}
+	if bins[9].Count != 2 { // 0.95 and clamped 2
+		t.Errorf("bin9 = %d, want 2", bins[9].Count)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Errorf("histogram loses mass: %d != %d", total, len(xs))
+	}
+	if _, err := Histogram(xs, 0, 1, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	if _, err := Histogram(xs, 1, 0, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestWeightedShare(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4}
+	if got := WeightedShare(xs, 0.25); got != 0.5 {
+		t.Errorf("share = %g, want 0.5", got)
+	}
+	if got := WeightedShare(nil, 0.5); got != 0 {
+		t.Errorf("empty share = %g, want 0", got)
+	}
+}
+
+// Property: histogram conserves sample count for any input.
+func TestHistogramConservesMass(t *testing.T) {
+	f := func(seed uint64, rawN uint8) bool {
+		n := int(rawN) + 1
+		rng := rand.New(rand.NewPCG(seed, 9))
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()*4 - 2
+		}
+		bins, err := Histogram(xs, 0, 1, 7)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone in q.
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64, q1, q2 uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		a := float64(q1%1001) / 1000
+		b := float64(q2%1001) / 1000
+		if a > b {
+			a, b = b, a
+		}
+		va, err1 := Quantile(xs, a)
+		vb, err2 := Quantile(xs, b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return vb >= va-1e-12 && !math.IsNaN(va)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestLogBeta(t *testing.T) {
+	tests := []struct {
+		a, b float64
+		want float64
+	}{
+		{1, 1, 0},                  // B(1,1)=1
+		{2, 3, math.Log(1.0 / 12)}, // B(2,3)=1/12
+		{0.5, 0.5, math.Log(math.Pi)},
+		// B(10,10) = (9!)^2 / 19!
+		{10, 10, math.Log(362880.0 * 362880.0 / 1.21645100408832e17)},
+	}
+	for _, tt := range tests {
+		got, err := LogBeta(tt.a, tt.b)
+		if err != nil {
+			t.Fatalf("LogBeta(%g,%g): %v", tt.a, tt.b, err)
+		}
+		if !almostEqual(got, tt.want, 1e-10) {
+			t.Errorf("LogBeta(%g,%g) = %g, want %g", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLogBetaDomain(t *testing.T) {
+	if _, err := LogBeta(0, 1); err == nil {
+		t.Error("LogBeta(0,1) should fail")
+	}
+	if _, err := LogBeta(1, -2); err == nil {
+		t.Error("LogBeta(1,-2) should fail")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b, x float64
+		want    float64
+	}{
+		{1, 1, 0.3, 0.3},  // uniform CDF
+		{2, 1, 0.5, 0.25}, // I_x(2,1) = x^2
+		{1, 2, 0.5, 0.75}, // I_x(1,2) = 1-(1-x)^2
+		{2, 2, 0.5, 0.5},  // symmetric
+		// Integer case has a closed form:
+		// I_x(5,3) = sum_{j=5..7} C(7,j) x^j (1-x)^(7-j) = 0.6470695 at x=0.7.
+		{5, 3, 0.7, 0.6470695},
+		{0.5, 0.5, 0.25, 2 * math.Asin(math.Sqrt(0.25)) / math.Pi},
+	}
+	for _, tt := range tests {
+		got, err := RegIncBeta(tt.a, tt.b, tt.x)
+		if err != nil {
+			t.Fatalf("RegIncBeta(%g,%g,%g): %v", tt.a, tt.b, tt.x, err)
+		}
+		if !almostEqual(got, tt.want, 1e-7) {
+			t.Errorf("RegIncBeta(%g,%g,%g) = %g, want %g", tt.a, tt.b, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestRegIncBetaEdges(t *testing.T) {
+	if v, err := RegIncBeta(3, 4, 0); err != nil || v != 0 {
+		t.Errorf("I_0 = %g, %v; want 0, nil", v, err)
+	}
+	if v, err := RegIncBeta(3, 4, 1); err != nil || v != 1 {
+		t.Errorf("I_1 = %g, %v; want 1, nil", v, err)
+	}
+	if _, err := RegIncBeta(3, 4, -0.1); err == nil {
+		t.Error("x < 0 should fail")
+	}
+	if _, err := RegIncBeta(3, 4, 1.1); err == nil {
+		t.Error("x > 1 should fail")
+	}
+	if _, err := RegIncBeta(-1, 4, 0.5); err == nil {
+		t.Error("a <= 0 should fail")
+	}
+}
+
+// Property: I_x(a,b) is monotonically non-decreasing in x.
+func TestRegIncBetaMonotone(t *testing.T) {
+	f := func(rawA, rawB, rawX, rawY uint16) bool {
+		a := 0.1 + float64(rawA%500)/25   // (0.1, 20.1)
+		b := 0.1 + float64(rawB%500)/25   // (0.1, 20.1)
+		x := float64(rawX%1000) / 1000    // [0, 1)
+		y := x + float64(rawY%100)/1000.0 // x..x+0.099
+		if y > 1 {
+			y = 1
+		}
+		vx, err1 := RegIncBeta(a, b, x)
+		vy, err2 := RegIncBeta(a, b, y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return vy >= vx-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+func TestRegIncBetaSymmetry(t *testing.T) {
+	f := func(rawA, rawB, rawX uint16) bool {
+		a := 0.2 + float64(rawA%300)/20
+		b := 0.2 + float64(rawB%300)/20
+		x := float64(rawX%999+1) / 1001 // keep inside (0,1)
+		v1, err1 := RegIncBeta(a, b, x)
+		v2, err2 := RegIncBeta(b, a, 1-x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(v1, 1-v2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaQuantileRoundTrip(t *testing.T) {
+	f := func(rawA, rawB, rawP uint16) bool {
+		a := 0.5 + float64(rawA%200)/10
+		b := 0.5 + float64(rawB%200)/10
+		p := float64(rawP%998+1) / 1000
+		x, err := BetaQuantile(p, a, b)
+		if err != nil {
+			return false
+		}
+		v, err := RegIncBeta(a, b, x)
+		if err != nil {
+			return false
+		}
+		return almostEqual(v, p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetaQuantileEdges(t *testing.T) {
+	if x, err := BetaQuantile(0, 2, 3); err != nil || x != 0 {
+		t.Errorf("BetaQuantile(0) = %g, %v", x, err)
+	}
+	if x, err := BetaQuantile(1, 2, 3); err != nil || x != 1 {
+		t.Errorf("BetaQuantile(1) = %g, %v", x, err)
+	}
+	if _, err := BetaQuantile(0.5, 0, 3); err == nil {
+		t.Error("a = 0 should fail")
+	}
+	if _, err := BetaQuantile(math.NaN(), 1, 1); err == nil {
+		t.Error("NaN p should fail")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	tests := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963985},
+		{0.999, 3.090232306},
+		{0.025, -1.959963985},
+	}
+	for _, tt := range tests {
+		got, err := NormalQuantile(tt.p)
+		if err != nil {
+			t.Fatalf("NormalQuantile(%g): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-6) {
+			t.Errorf("NormalQuantile(%g) = %g, want %g", tt.p, got, tt.want)
+		}
+	}
+	if _, err := NormalQuantile(0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := NormalQuantile(1); err == nil {
+		t.Error("p=1 should fail")
+	}
+}

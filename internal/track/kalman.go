@@ -1,0 +1,154 @@
+// Package track implements the traffic-sign tracking substrate the paper
+// relies on to segment the input stream into timeseries: following the cited
+// road-sign trackers (Fang et al.; Gudigar et al.), detected sign positions
+// are filtered with a constant-velocity Kalman filter, and a new timeseries
+// begins whenever the observed location is incompatible with the predicted
+// track — i.e. the predictions now relate to a different physical sign, so
+// the timeseries buffer of the wrapper must be cleared.
+package track
+
+import (
+	"errors"
+	"fmt"
+)
+
+// KalmanFilter is a 2-D constant-velocity Kalman filter over the state
+// [x, y, vx, vy] with position-only measurements.
+type KalmanFilter struct {
+	x [4]float64    // state estimate
+	p [4][4]float64 // estimate covariance
+	q float64       // process-noise intensity
+	r float64       // measurement-noise variance
+	// initialised reports whether Init has been called.
+	initialised bool
+}
+
+// NewKalmanFilter creates a filter with the given process- and
+// measurement-noise levels (variances).
+func NewKalmanFilter(processNoise, measurementNoise float64) (*KalmanFilter, error) {
+	if processNoise <= 0 || measurementNoise <= 0 {
+		return nil, fmt.Errorf("track: noise levels must be positive, got q=%g r=%g",
+			processNoise, measurementNoise)
+	}
+	return &KalmanFilter{q: processNoise, r: measurementNoise}, nil
+}
+
+// Init (re)starts the filter at the given position with zero velocity and a
+// wide prior.
+func (k *KalmanFilter) Init(x, y float64) {
+	k.x = [4]float64{x, y, 0, 0}
+	k.p = [4][4]float64{}
+	for i := 0; i < 2; i++ {
+		k.p[i][i] = 4 * k.r
+	}
+	for i := 2; i < 4; i++ {
+		k.p[i][i] = 1
+	}
+	k.initialised = true
+}
+
+// Initialised reports whether the filter carries a state.
+func (k *KalmanFilter) Initialised() bool { return k.initialised }
+
+// State returns the current estimate (x, y, vx, vy).
+func (k *KalmanFilter) State() (x, y, vx, vy float64) {
+	return k.x[0], k.x[1], k.x[2], k.x[3]
+}
+
+// Predict advances the state by dt and returns the predicted position.
+func (k *KalmanFilter) Predict(dt float64) (x, y float64, err error) {
+	if !k.initialised {
+		return 0, 0, errors.New("track: filter not initialised")
+	}
+	if dt <= 0 {
+		return 0, 0, fmt.Errorf("track: dt must be positive, got %g", dt)
+	}
+	// State transition x' = F x with F adding velocity*dt to position.
+	k.x[0] += k.x[2] * dt
+	k.x[1] += k.x[3] * dt
+	// Covariance P' = F P F^T + Q. F couples (0,2) and (1,3).
+	var fp [4][4]float64
+	f := [4][4]float64{
+		{1, 0, dt, 0},
+		{0, 1, 0, dt},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for m := 0; m < 4; m++ {
+				s += f[i][m] * k.p[m][j]
+			}
+			fp[i][j] = s
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var s float64
+			for m := 0; m < 4; m++ {
+				s += fp[i][m] * f[j][m]
+			}
+			k.p[i][j] = s
+		}
+	}
+	// Discrete white-noise acceleration model.
+	dt2 := dt * dt
+	dt3 := dt2 * dt / 2
+	dt4 := dt2 * dt2 / 4
+	for d := 0; d < 2; d++ {
+		k.p[d][d] += k.q * dt4
+		k.p[d][d+2] += k.q * dt3
+		k.p[d+2][d] += k.q * dt3
+		k.p[d+2][d+2] += k.q * dt2
+	}
+	return k.x[0], k.x[1], nil
+}
+
+// Update folds in a position measurement and returns the squared
+// Mahalanobis distance of the innovation, the statistic used for gating
+// (chi-squared with 2 degrees of freedom under the same-object hypothesis).
+func (k *KalmanFilter) Update(mx, my float64) (float64, error) {
+	if !k.initialised {
+		return 0, errors.New("track: filter not initialised")
+	}
+	// Innovation y = z - Hx with H selecting position.
+	iy0 := mx - k.x[0]
+	iy1 := my - k.x[1]
+	// S = H P H^T + R is the top-left 2x2 block plus R.
+	s00 := k.p[0][0] + k.r
+	s01 := k.p[0][1]
+	s10 := k.p[1][0]
+	s11 := k.p[1][1] + k.r
+	det := s00*s11 - s01*s10
+	if det <= 0 {
+		return 0, errors.New("track: innovation covariance not positive definite")
+	}
+	inv00, inv01 := s11/det, -s01/det
+	inv10, inv11 := -s10/det, s00/det
+	d2 := iy0*(inv00*iy0+inv01*iy1) + iy1*(inv10*iy0+inv11*iy1)
+	// Kalman gain K = P H^T S^{-1} (4x2).
+	var gain [4][2]float64
+	for i := 0; i < 4; i++ {
+		gain[i][0] = k.p[i][0]*inv00 + k.p[i][1]*inv10
+		gain[i][1] = k.p[i][0]*inv01 + k.p[i][1]*inv11
+	}
+	for i := 0; i < 4; i++ {
+		k.x[i] += gain[i][0]*iy0 + gain[i][1]*iy1
+	}
+	// P = (I - K H) P ; KH only has columns 0,1.
+	var np [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			np[i][j] = k.p[i][j] - gain[i][0]*k.p[0][j] - gain[i][1]*k.p[1][j]
+		}
+	}
+	k.p = np
+	return d2, nil
+}
+
+// positionUncertainty returns the trace of the position covariance block,
+// a cheap health signal used in tests.
+func (k *KalmanFilter) positionUncertainty() float64 {
+	return k.p[0][0] + k.p[1][1]
+}

@@ -1,0 +1,155 @@
+package track
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MultiTracker maintains several concurrent sign tracks — a frame on a real
+// road often shows more than one traffic sign. Detections are associated to
+// the nearest compatible track by Mahalanobis gating; unmatched detections
+// open new tracks, and tracks that miss too many frames are retired. Each
+// track carries its own timeseries id, so one wrapper buffer per track can
+// be maintained downstream.
+type MultiTracker struct {
+	cfg       Config
+	maxTracks int
+	tracks    map[int]*trackState
+	nextID    int
+}
+
+type trackState struct {
+	kf  *KalmanFilter
+	gap int
+}
+
+// NewMultiTracker creates a tracker that maintains at most maxTracks
+// concurrent tracks.
+func NewMultiTracker(cfg Config, maxTracks int) (*MultiTracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxTracks <= 0 {
+		return nil, errors.New("track: maxTracks must be positive")
+	}
+	return &MultiTracker{
+		cfg:       cfg,
+		maxTracks: maxTracks,
+		tracks:    make(map[int]*trackState),
+	}, nil
+}
+
+// ActiveTracks returns the ids of the live tracks (order unspecified).
+func (m *MultiTracker) ActiveTracks() []int {
+	out := make([]int, 0, len(m.tracks))
+	for id := range m.tracks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ObserveFrame processes all detections of one frame jointly: every track
+// is predicted once, detections are greedily matched to the gate-compatible
+// track with the smallest innovation distance, leftover detections open new
+// tracks (respecting maxTracks), and unmatched tracks accrue a miss.
+// The i-th returned observation corresponds to detections[i]; a SeriesID of
+// -1 means the detection was dropped because the track budget is exhausted.
+func (m *MultiTracker) ObserveFrame(detections [][2]float64) ([]Observation, error) {
+	// Predict all live tracks once.
+	type candidate struct {
+		id    int
+		state *trackState
+	}
+	cands := make([]candidate, 0, len(m.tracks))
+	for id, st := range m.tracks {
+		if _, _, err := st.kf.Predict(1); err != nil {
+			return nil, fmt.Errorf("track: predict track %d: %w", id, err)
+		}
+		cands = append(cands, candidate{id: id, state: st})
+	}
+	out := make([]Observation, len(detections))
+	usedTrack := make(map[int]bool, len(cands))
+	usedDet := make(map[int]bool, len(detections))
+	// Greedy association: repeatedly take the globally closest
+	// (track, detection) pair within the gate. The innovation distance is
+	// approximated by the normalised Euclidean distance to the predicted
+	// position; the exact Mahalanobis statistic is evaluated on Update.
+	for {
+		bestD := math.Inf(1)
+		bestT, bestDet := -1, -1
+		for ti, c := range cands {
+			if usedTrack[ti] {
+				continue
+			}
+			px, py, _, _ := c.state.kf.State()
+			for di, det := range detections {
+				if usedDet[di] {
+					continue
+				}
+				dx := det[0] - px
+				dy := det[1] - py
+				d := (dx*dx + dy*dy) / m.cfg.MeasurementNoise
+				if d < bestD {
+					bestD = d
+					bestT, bestDet = ti, di
+				}
+			}
+		}
+		// The coarse gate is deliberately loose (4x) — the exact
+		// statistic from Update decides.
+		if bestT < 0 || bestD > 4*m.cfg.Gate {
+			break
+		}
+		usedTrack[bestT] = true
+		usedDet[bestDet] = true
+		c := cands[bestT]
+		det := detections[bestDet]
+		d2, err := c.state.kf.Update(det[0], det[1])
+		if err != nil {
+			return nil, fmt.Errorf("track: update track %d: %w", c.id, err)
+		}
+		if d2 > m.cfg.Gate {
+			// Exact statistic rejects: treat as unmatched; the
+			// track keeps its prediction and accrues a miss, the
+			// detection opens a new track below.
+			usedDet[bestDet] = false
+			c.state.gap++
+			continue
+		}
+		c.state.gap = 0
+		out[bestDet] = Observation{SeriesID: c.id, Distance2: d2}
+	}
+	// Unmatched tracks miss this frame.
+	for ti, c := range cands {
+		if !usedTrack[ti] {
+			c.state.gap++
+		}
+	}
+	// Unmatched detections open new tracks.
+	for di, det := range detections {
+		if usedDet[di] {
+			continue
+		}
+		if len(m.tracks) >= m.maxTracks {
+			out[di] = Observation{SeriesID: -1}
+			continue
+		}
+		kf, err := NewKalmanFilter(m.cfg.ProcessNoise, m.cfg.MeasurementNoise)
+		if err != nil {
+			return nil, err
+		}
+		kf.Init(det[0], det[1])
+		id := m.nextID
+		m.nextID++
+		m.tracks[id] = &trackState{kf: kf}
+		out[di] = Observation{SeriesID: id, NewSeries: true}
+	}
+	// Retire stale tracks.
+	for id, st := range m.tracks {
+		if st.gap > m.cfg.MaxGap {
+			delete(m.tracks, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package track
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestMultiTrackerValidation(t *testing.T) {
+	if _, err := NewMultiTracker(Config{}, 4); err == nil {
+		t.Error("invalid config must fail")
+	}
+	if _, err := NewMultiTracker(DefaultConfig(), 0); err == nil {
+		t.Error("zero track budget must fail")
+	}
+}
+
+func TestMultiTrackerTwoParallelSigns(t *testing.T) {
+	mt, err := NewMultiTracker(DefaultConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	// Two signs drifting apart; each must keep a stable series id.
+	idA, idB := -1, -1
+	for step := 0; step < 20; step++ {
+		ax := 0.3 + 0.01*float64(step) + 0.002*rng.NormFloat64()
+		ay := 0.4 + 0.002*rng.NormFloat64()
+		bx := 0.7 - 0.01*float64(step) + 0.002*rng.NormFloat64()
+		by := 0.6 + 0.002*rng.NormFloat64()
+		obs, err := mt.ObserveFrame([][2]float64{{ax, ay}, {bx, by}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(obs) != 2 {
+			t.Fatalf("got %d observations", len(obs))
+		}
+		if step == 0 {
+			if !obs[0].NewSeries || !obs[1].NewSeries {
+				t.Fatal("first frame must open two tracks")
+			}
+			idA, idB = obs[0].SeriesID, obs[1].SeriesID
+			if idA == idB {
+				t.Fatal("both signs assigned the same track")
+			}
+			continue
+		}
+		if obs[0].SeriesID != idA {
+			t.Errorf("step %d: sign A jumped from track %d to %d", step, idA, obs[0].SeriesID)
+		}
+		if obs[1].SeriesID != idB {
+			t.Errorf("step %d: sign B jumped from track %d to %d", step, idB, obs[1].SeriesID)
+		}
+		if obs[0].NewSeries || obs[1].NewSeries {
+			t.Errorf("step %d: spurious new series", step)
+		}
+	}
+	if got := len(mt.ActiveTracks()); got != 2 {
+		t.Errorf("active tracks = %d, want 2", got)
+	}
+}
+
+func TestMultiTrackerRetiresStaleTracks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxGap = 1
+	mt, err := NewMultiTracker(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.ObserveFrame([][2]float64{{0.5, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	// Two empty frames exceed MaxGap=1.
+	if _, err := mt.ObserveFrame(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.ObserveFrame(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mt.ActiveTracks()); got != 0 {
+		t.Errorf("active tracks = %d, want 0 after retirement", got)
+	}
+	// A new detection opens a fresh series.
+	obs, err := mt.ObserveFrame([][2]float64{{0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs[0].NewSeries {
+		t.Error("detection after retirement must start a new series")
+	}
+}
+
+func TestMultiTrackerBudget(t *testing.T) {
+	mt, err := NewMultiTracker(DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := mt.ObserveFrame([][2]float64{{0.1, 0.1}, {0.5, 0.5}, {0.9, 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := 0
+	for _, o := range obs {
+		if o.SeriesID == -1 {
+			dropped++
+		}
+	}
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1 (budget 2, detections 3)", dropped)
+	}
+}
+
+func TestMultiTrackerSeparatesJump(t *testing.T) {
+	mt, err := NewMultiTracker(DefaultConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle one track.
+	for i := 0; i < 5; i++ {
+		if _, err := mt.ObserveFrame([][2]float64{{0.4 + 0.01*float64(i), 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A far-away detection must open a second track, not steal the
+	// first.
+	obs, err := mt.ObserveFrame([][2]float64{{0.05, 0.95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs[0].NewSeries {
+		t.Error("distant detection must open a new series")
+	}
+	if got := len(mt.ActiveTracks()); got != 2 {
+		t.Errorf("active tracks = %d, want 2", got)
+	}
+}

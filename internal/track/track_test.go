@@ -1,0 +1,245 @@
+package track
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/gtsrb"
+)
+
+func TestKalmanValidation(t *testing.T) {
+	if _, err := NewKalmanFilter(0, 1); err == nil {
+		t.Error("zero process noise must fail")
+	}
+	if _, err := NewKalmanFilter(1, -1); err == nil {
+		t.Error("negative measurement noise must fail")
+	}
+	kf, err := NewKalmanFilter(0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kf.Initialised() {
+		t.Error("fresh filter must not be initialised")
+	}
+	if _, _, err := kf.Predict(1); err == nil {
+		t.Error("predict before init must fail")
+	}
+	if _, err := kf.Update(0, 0); err == nil {
+		t.Error("update before init must fail")
+	}
+	kf.Init(0.5, 0.5)
+	if _, _, err := kf.Predict(0); err == nil {
+		t.Error("non-positive dt must fail")
+	}
+}
+
+func TestKalmanTracksConstantVelocity(t *testing.T) {
+	kf, err := NewKalmanFilter(0.001, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	kf.Init(0, 0)
+	const vx, vy = 0.02, 0.01
+	for step := 1; step <= 50; step++ {
+		if _, _, err := kf.Predict(1); err != nil {
+			t.Fatal(err)
+		}
+		mx := vx*float64(step) + rng.NormFloat64()*0.01
+		my := vy*float64(step) + rng.NormFloat64()*0.01
+		if _, err := kf.Update(mx, my); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, y, evx, evy := kf.State()
+	if math.Abs(x-vx*50) > 0.05 || math.Abs(y-vy*50) > 0.05 {
+		t.Errorf("position estimate (%.3f,%.3f) far from (%.3f,%.3f)", x, y, vx*50, vy*50)
+	}
+	if math.Abs(evx-vx) > 0.01 || math.Abs(evy-vy) > 0.01 {
+		t.Errorf("velocity estimate (%.4f,%.4f) far from (%.3f,%.3f)", evx, evy, vx, vy)
+	}
+}
+
+func TestKalmanUncertaintyShrinksWithMeasurements(t *testing.T) {
+	kf, err := NewKalmanFilter(0.0001, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf.Init(0.5, 0.5)
+	before := kf.positionUncertainty()
+	for i := 0; i < 10; i++ {
+		if _, _, err := kf.Predict(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := kf.Update(0.5, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := kf.positionUncertainty(); after >= before {
+		t.Errorf("uncertainty must shrink: before %g after %g", before, after)
+	}
+}
+
+func TestKalmanInnovationDistance(t *testing.T) {
+	kf, err := NewKalmanFilter(0.001, 0.0001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf.Init(0.5, 0.5)
+	// Settle the filter on a stationary target.
+	for i := 0; i < 5; i++ {
+		kf.Predict(1)
+		if _, err := kf.Update(0.5, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kf.Predict(1)
+	dNear, err := kf.Update(0.505, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf2, _ := NewKalmanFilter(0.001, 0.0001)
+	kf2.Init(0.5, 0.5)
+	for i := 0; i < 5; i++ {
+		kf2.Predict(1)
+		kf2.Update(0.5, 0.5)
+	}
+	kf2.Predict(1)
+	dFar, err := kf2.Update(0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dFar <= dNear {
+		t.Errorf("far measurement distance %g must exceed near %g", dFar, dNear)
+	}
+	if dFar < 9.21 {
+		t.Errorf("jump to another sign must violate the 0.99 gate, got %g", dFar)
+	}
+}
+
+func TestTrackerConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ProcessNoise: 0, MeasurementNoise: 1, Gate: 9, MaxGap: 1},
+		{ProcessNoise: 1, MeasurementNoise: 0, Gate: 9, MaxGap: 1},
+		{ProcessNoise: 1, MeasurementNoise: 1, Gate: 0, MaxGap: 1},
+		{ProcessNoise: 1, MeasurementNoise: 1, Gate: 9, MaxGap: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewTracker(cfg); err == nil {
+			t.Errorf("config %d must fail", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestTrackerSegmentsSyntheticSeries(t *testing.T) {
+	// Two GTSRB series: one sign drifting smoothly, then a jump to the
+	// next sign. The tracker must emit exactly one NewSeries per sign.
+	cfg := gtsrb.DefaultGeneratorConfig()
+	cfg.NumSeries = 6
+	series, err := gtsrb.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTracker(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CurrentSeries() != -1 {
+		t.Error("fresh tracker must report no active series")
+	}
+	boundaries := 0
+	var lastID = -1
+	for _, s := range series {
+		for j, f := range s.Frames {
+			obs, err := tr.Observe(f.ImageX, f.ImageY)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obs.NewSeries {
+				boundaries++
+				if j != 0 {
+					t.Errorf("series %d frame %d spuriously started a new track (d2=%.1f)",
+						s.ID, j, obs.Distance2)
+				}
+			}
+			if obs.SeriesID < lastID {
+				t.Error("series ids must be monotone")
+			}
+			lastID = obs.SeriesID
+		}
+		// Between physical signs the detector loses the object; the
+		// tracker drops the track after MaxGap misses.
+		for g := 0; g < DefaultConfig().MaxGap+1; g++ {
+			tr.MissedFrame()
+		}
+	}
+	if boundaries != len(series) {
+		t.Errorf("detected %d series, want %d", boundaries, len(series))
+	}
+}
+
+func TestTrackerGateDetectsJump(t *testing.T) {
+	tr, err := NewTracker(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smooth track.
+	for i := 0; i < 10; i++ {
+		obs, err := tr.Observe(0.4+float64(i)*0.01, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && obs.NewSeries {
+			t.Fatalf("smooth motion misdetected as new series at step %d", i)
+		}
+	}
+	// Teleport: a different sign.
+	obs, err := tr.Observe(0.05, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.NewSeries {
+		t.Error("teleport must start a new series")
+	}
+	if obs.SeriesID != 1 {
+		t.Errorf("series id = %d, want 1", obs.SeriesID)
+	}
+}
+
+func TestTrackerMissedFramesDropTrack(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxGap = 2
+	tr, err := NewTracker(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe(0.5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	tr.MissedFrame()
+	tr.MissedFrame()
+	if tr.CurrentSeries() != 0 {
+		t.Error("track must survive MaxGap misses")
+	}
+	tr.MissedFrame()
+	if tr.CurrentSeries() != -1 {
+		t.Error("track must drop after MaxGap+1 misses")
+	}
+	obs, err := tr.Observe(0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.NewSeries {
+		t.Error("observation after dropped track must start a new series")
+	}
+	// MissedFrame on an idle tracker is a no-op.
+	tr.Reset()
+	tr.MissedFrame()
+	if tr.CurrentSeries() != -1 {
+		t.Error("reset tracker must stay idle")
+	}
+}

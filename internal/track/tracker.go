@@ -1,0 +1,133 @@
+package track
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config parameterises the sign tracker.
+type Config struct {
+	// ProcessNoise and MeasurementNoise configure the Kalman filter. The
+	// defaults suit normalised image coordinates in [0,1].
+	ProcessNoise, MeasurementNoise float64
+	// Gate is the squared-Mahalanobis gating threshold: an observation
+	// whose innovation exceeds the gate starts a new timeseries. 9.21 is
+	// the chi-squared(2) 0.99 quantile.
+	Gate float64
+	// MaxGap is the number of missed frames after which the track is
+	// dropped even without a gate violation.
+	MaxGap int
+}
+
+// DefaultConfig returns tracking parameters suited to normalised image
+// coordinates.
+func DefaultConfig() Config {
+	return Config{
+		ProcessNoise:     0.05,
+		MeasurementNoise: 0.0004, // ~2% of the image, squared
+		Gate:             9.21,
+		MaxGap:           3,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ProcessNoise <= 0 || c.MeasurementNoise <= 0:
+		return errors.New("track: noise levels must be positive")
+	case c.Gate <= 0:
+		return errors.New("track: gate must be positive")
+	case c.MaxGap < 0:
+		return errors.New("track: max gap must be non-negative")
+	}
+	return nil
+}
+
+// Observation is the tracker's verdict for one detection.
+type Observation struct {
+	// SeriesID numbers the timeseries this detection belongs to,
+	// starting at 0.
+	SeriesID int
+	// NewSeries is true when this detection started a new timeseries;
+	// the wrapper must clear its buffer then.
+	NewSeries bool
+	// Distance2 is the squared Mahalanobis innovation distance against
+	// the predicted track (0 for the first detection of a series).
+	Distance2 float64
+}
+
+// Tracker segments a stream of sign detections into timeseries. It is not
+// safe for concurrent use; wrap it if multiple goroutines feed detections.
+type Tracker struct {
+	cfg      Config
+	kf       *KalmanFilter
+	series   int
+	gap      int
+	hasTrack bool
+}
+
+// NewTracker creates a tracker.
+func NewTracker(cfg Config) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kf, err := NewKalmanFilter(cfg.ProcessNoise, cfg.MeasurementNoise)
+	if err != nil {
+		return nil, err
+	}
+	return &Tracker{cfg: cfg, kf: kf, series: -1}, nil
+}
+
+// Observe processes one detection at the given normalised image position.
+func (t *Tracker) Observe(x, y float64) (Observation, error) {
+	if !t.hasTrack {
+		return t.startSeries(x, y, 0), nil
+	}
+	if _, _, err := t.kf.Predict(1); err != nil {
+		return Observation{}, fmt.Errorf("track: predict: %w", err)
+	}
+	d2, err := t.kf.Update(x, y)
+	if err != nil {
+		return Observation{}, fmt.Errorf("track: update: %w", err)
+	}
+	if d2 > t.cfg.Gate {
+		// The detection is incompatible with the current track: a
+		// different physical sign.
+		return t.startSeries(x, y, d2), nil
+	}
+	t.gap = 0
+	return Observation{SeriesID: t.series, Distance2: d2}, nil
+}
+
+// MissedFrame tells the tracker that a frame contained no detection; after
+// MaxGap consecutive misses the track is dropped so the next detection
+// starts a new timeseries.
+func (t *Tracker) MissedFrame() {
+	if !t.hasTrack {
+		return
+	}
+	t.gap++
+	if t.gap > t.cfg.MaxGap {
+		t.hasTrack = false
+	}
+}
+
+// Reset drops the current track unconditionally.
+func (t *Tracker) Reset() { t.hasTrack = false }
+
+// CurrentSeries returns the id of the active series, or -1 when none is
+// active.
+func (t *Tracker) CurrentSeries() int {
+	if !t.hasTrack {
+		return -1
+	}
+	return t.series
+}
+
+func (t *Tracker) startSeries(x, y, d2 float64) Observation {
+	t.series++
+	t.kf.Init(x, y)
+	t.gap = 0
+	t.hasTrack = true
+	return Observation{SeriesID: t.series, NewSeries: true, Distance2: d2}
+}

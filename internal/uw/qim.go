@@ -1,0 +1,141 @@
+// Package uw implements the base (stateless) uncertainty wrapper framework
+// of Kläs & Sembach / Kläs & Jöckel that the paper extends: a model-agnostic
+// shell around a data-driven model that turns interpretable quality factors
+// into dependable, situation-aware uncertainty estimates. The quality impact
+// model is a CART decision tree whose leaves carry one-sided binomial upper
+// bounds on the failure probability at a requested confidence level; the
+// scope compliance model estimates the probability that the model is being
+// used outside its target application scope; the wrapper combines both.
+package uw
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// QIMConfig controls how a quality impact model is built and calibrated.
+type QIMConfig struct {
+	// TreeDepth is the maximum decision-tree depth (the paper uses 8).
+	TreeDepth int
+	// MinLeafCalibration is the minimum number of calibration samples per
+	// leaf after pruning (the paper uses 200).
+	MinLeafCalibration int
+	// Confidence is the one-sided confidence level of the leaf bounds
+	// (the paper uses 0.999).
+	Confidence float64
+	// Bound selects the binomial bound construction (default
+	// Clopper-Pearson).
+	Bound stats.BoundMethod
+	// Criterion selects the split impurity (default gini).
+	Criterion dtree.Criterion
+}
+
+// DefaultQIMConfig mirrors the paper's calibration protocol.
+func DefaultQIMConfig() QIMConfig {
+	return QIMConfig{
+		TreeDepth:          8,
+		MinLeafCalibration: 200,
+		Confidence:         0.999,
+		Bound:              stats.ClopperPearson,
+		Criterion:          dtree.Gini,
+	}
+}
+
+// Validate checks the configuration.
+func (c QIMConfig) Validate() error {
+	switch {
+	case c.TreeDepth <= 0:
+		return errors.New("uw: tree depth must be positive")
+	case c.MinLeafCalibration <= 0:
+		return errors.New("uw: min leaf calibration must be positive")
+	case c.Confidence <= 0 || c.Confidence >= 1:
+		return fmt.Errorf("uw: confidence %g outside (0,1)", c.Confidence)
+	}
+	return nil
+}
+
+// QualityImpactModel decomposes the target application scope into regions of
+// similar uncertainty using the quality factors and guarantees a calibrated
+// failure-probability bound per region.
+type QualityImpactModel struct {
+	tree  *dtree.Tree
+	cfg   QIMConfig
+	names []string
+}
+
+// FitQIM grows the decision tree on the training factors/labels (label true
+// = the DDM outcome was wrong) and calibrates its leaves on the held-out
+// calibration set, following the paper's two-phase protocol.
+func FitQIM(trainX [][]float64, trainY []bool, calibX [][]float64, calibY []bool,
+	featureNames []string, cfg QIMConfig) (*QualityImpactModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Bound == 0 {
+		cfg.Bound = stats.ClopperPearson
+	}
+	tree, err := dtree.Fit(trainX, trainY, dtree.Config{
+		MaxDepth:  cfg.TreeDepth,
+		Criterion: cfg.Criterion,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("uw: growing quality impact model: %w", err)
+	}
+	bound := func(k, n int) (float64, error) {
+		return stats.BinomialUpperBound(cfg.Bound, k, n, cfg.Confidence)
+	}
+	if err := tree.Calibrate(calibX, calibY, cfg.MinLeafCalibration, bound); err != nil {
+		return nil, fmt.Errorf("uw: calibrating quality impact model: %w", err)
+	}
+	names := make([]string, len(featureNames))
+	copy(names, featureNames)
+	return &QualityImpactModel{tree: tree, cfg: cfg, names: names}, nil
+}
+
+// Uncertainty returns the dependable input-quality uncertainty for the given
+// factor vector: with probability >= Confidence the true failure rate in
+// this region does not exceed the returned value.
+func (q *QualityImpactModel) Uncertainty(factors []float64) (float64, error) {
+	return q.tree.PredictValue(factors)
+}
+
+// LeafID returns the decision-tree region the factors fall into, which makes
+// estimates auditable.
+func (q *QualityImpactModel) LeafID(factors []float64) (int, error) {
+	return q.tree.Apply(factors)
+}
+
+// MinUncertainty is the lowest uncertainty the model can ever guarantee
+// (bounded away from zero by the calibration-set size).
+func (q *QualityImpactModel) MinUncertainty() (float64, error) {
+	return q.tree.MinLeafValue()
+}
+
+// NumRegions returns the number of calibrated leaves.
+func (q *QualityImpactModel) NumRegions() int { return q.tree.NumLeaves() }
+
+// Rules exports the model as a human-auditable rule list.
+func (q *QualityImpactModel) Rules() string { return q.tree.Rules(q.names) }
+
+// DOT exports the model in Graphviz format.
+func (q *QualityImpactModel) DOT() string { return q.tree.DOT(q.names) }
+
+// FeatureImportance maps factor names to normalised gini importance.
+func (q *QualityImpactModel) FeatureImportance() map[string]float64 {
+	imp := q.tree.FeatureImportance()
+	out := make(map[string]float64, len(imp))
+	for i, v := range imp {
+		name := fmt.Sprintf("x[%d]", i)
+		if i < len(q.names) && q.names[i] != "" {
+			name = q.names[i]
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// Config returns the configuration the model was built with.
+func (q *QualityImpactModel) Config() QIMConfig { return q.cfg }

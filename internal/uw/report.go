@@ -1,0 +1,71 @@
+package uw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+)
+
+// LeafInfo describes one calibrated region of a quality impact model: the
+// guaranteed bound, the calibration evidence behind it, and the factor
+// conditions that route an input there. This is the machine-readable form
+// of the transparency property domain experts use to audit the model.
+type LeafInfo struct {
+	// LeafID is the region index (what Wrapper estimates report).
+	LeafID int `json:"leaf_id"`
+	// Uncertainty is the calibrated bound of the region.
+	Uncertainty float64 `json:"uncertainty"`
+	// CalibSamples and CalibFailures are the calibration evidence.
+	CalibSamples  int `json:"calib_samples"`
+	CalibFailures int `json:"calib_failures"`
+	// Path lists the factor conditions from root to leaf, e.g.
+	// "rain <= 0.31".
+	Path []string `json:"path"`
+}
+
+// LeafReport returns every calibrated region sorted by increasing
+// uncertainty.
+func (q *QualityImpactModel) LeafReport() []LeafInfo {
+	var out []LeafInfo
+	var walk func(n *dtree.Node, path []string)
+	walk = func(n *dtree.Node, path []string) {
+		if n.IsLeaf() {
+			info := LeafInfo{
+				LeafID:        n.LeafID,
+				Uncertainty:   n.Value,
+				CalibSamples:  n.CalibCount,
+				CalibFailures: n.CalibEvents,
+				Path:          append([]string(nil), path...),
+			}
+			out = append(out, info)
+			return
+		}
+		name := fmt.Sprintf("x[%d]", n.Feature)
+		if n.Feature < len(q.names) && q.names[n.Feature] != "" {
+			name = q.names[n.Feature]
+		}
+		// Copy the prefix per branch: plain append would share the
+		// backing array between the two recursive calls.
+		left := append(append([]string(nil), path...), fmt.Sprintf("%s <= %.6g", name, n.Threshold))
+		right := append(append([]string(nil), path...), fmt.Sprintf("%s > %.6g", name, n.Threshold))
+		walk(n.Left, left)
+		walk(n.Right, right)
+	}
+	walk(q.tree.Root(), nil)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Uncertainty < out[b].Uncertainty })
+	return out
+}
+
+// ReportString renders the leaf report as a table.
+func (q *QualityImpactModel) ReportString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-14s %s\n", "leaf", "uncertainty", "calib (k/n)", "conditions")
+	for _, info := range q.LeafReport() {
+		fmt.Fprintf(&b, "%-6d %-12.6f %6d/%-7d %s\n",
+			info.LeafID, info.Uncertainty, info.CalibFailures, info.CalibSamples,
+			strings.Join(info.Path, " AND "))
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package uw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLeafReport(t *testing.T) {
+	qim := fitTestQIM(t)
+	report := qim.LeafReport()
+	if len(report) != qim.NumRegions() {
+		t.Fatalf("report has %d rows, want %d regions", len(report), qim.NumRegions())
+	}
+	seen := make(map[int]bool)
+	prevU := -1.0
+	for _, info := range report {
+		if seen[info.LeafID] {
+			t.Errorf("leaf %d reported twice", info.LeafID)
+		}
+		seen[info.LeafID] = true
+		if info.Uncertainty < prevU {
+			t.Error("report must be sorted by uncertainty")
+		}
+		prevU = info.Uncertainty
+		if info.CalibSamples <= 0 {
+			t.Errorf("leaf %d has no calibration evidence", info.LeafID)
+		}
+		if info.CalibFailures > info.CalibSamples {
+			t.Errorf("leaf %d: %d failures of %d samples", info.LeafID,
+				info.CalibFailures, info.CalibSamples)
+		}
+		// Every non-root leaf must carry at least one condition, and
+		// conditions must use the configured factor names.
+		if qim.NumRegions() > 1 && len(info.Path) == 0 {
+			t.Errorf("leaf %d has an empty path", info.LeafID)
+		}
+		for _, cond := range info.Path {
+			if !strings.Contains(cond, "severity") && !strings.Contains(cond, "noise") {
+				t.Errorf("condition %q does not use factor names", cond)
+			}
+		}
+	}
+	// Routing consistency: an input must land in a leaf whose reported
+	// bound matches the wrapper's estimate.
+	probe := []float64{0.9, 0.5}
+	u, err := qim.Uncertainty(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := qim.LeafID(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, info := range report {
+		if info.LeafID == id {
+			found = true
+			if info.Uncertainty != u {
+				t.Errorf("report bound %g != estimate %g", info.Uncertainty, u)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("leaf %d missing from report", id)
+	}
+	text := qim.ReportString()
+	if !strings.Contains(text, "severity") || !strings.Contains(text, "uncertainty") {
+		t.Errorf("report string unexpected:\n%s", text)
+	}
+}

@@ -1,0 +1,131 @@
+package uw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BoundaryCheck declares a hard limit of the target application scope on one
+// scope factor (e.g. GPS latitude within Germany).
+type BoundaryCheck struct {
+	// Name labels the check in reports.
+	Name string
+	// Index selects the scope-factor dimension the check applies to.
+	Index int
+	// Min and Max are the inclusive bounds of the scope.
+	Min, Max float64
+}
+
+// ScopeModel estimates scope-compliance-related uncertainty: the probability
+// that the DDM is applied outside its target application scope (TAS). It
+// combines hard boundary checks with a similarity degree between the runtime
+// input and the data seen during development, as described in the framework
+// papers. The study itself keeps all data inside the TAS and omits the scope
+// model; it is provided for completeness and used by the runtime examples.
+type ScopeModel struct {
+	checks []BoundaryCheck
+	dim    int
+	// Per-dimension Gaussian summary of in-scope development data for the
+	// similarity degree.
+	mean, std []float64
+	fitted    bool
+}
+
+// NewScopeModel creates a scope model for scope-factor vectors of the given
+// dimension.
+func NewScopeModel(dim int, checks ...BoundaryCheck) (*ScopeModel, error) {
+	if dim <= 0 {
+		return nil, errors.New("uw: scope dimension must be positive")
+	}
+	for _, c := range checks {
+		if c.Index < 0 || c.Index >= dim {
+			return nil, fmt.Errorf("uw: boundary check %q index %d outside dimension %d", c.Name, c.Index, dim)
+		}
+		if c.Min > c.Max {
+			return nil, fmt.Errorf("uw: boundary check %q has min %g > max %g", c.Name, c.Min, c.Max)
+		}
+	}
+	cs := make([]BoundaryCheck, len(checks))
+	copy(cs, checks)
+	return &ScopeModel{checks: cs, dim: dim}, nil
+}
+
+// FitSimilarity summarises in-scope development data so runtime inputs can
+// be scored by their similarity to it.
+func (s *ScopeModel) FitSimilarity(inScope [][]float64) error {
+	if len(inScope) < 2 {
+		return errors.New("uw: need at least 2 in-scope samples to fit similarity")
+	}
+	mean := make([]float64, s.dim)
+	std := make([]float64, s.dim)
+	for i, row := range inScope {
+		if len(row) != s.dim {
+			return fmt.Errorf("uw: in-scope row %d has %d factors, want %d", i, len(row), s.dim)
+		}
+		for d, v := range row {
+			mean[d] += v
+		}
+	}
+	n := float64(len(inScope))
+	for d := range mean {
+		mean[d] /= n
+	}
+	for _, row := range inScope {
+		for d, v := range row {
+			std[d] += (v - mean[d]) * (v - mean[d])
+		}
+	}
+	for d := range std {
+		std[d] = math.Sqrt(std[d] / (n - 1))
+		if std[d] == 0 {
+			std[d] = 1e-9
+		}
+	}
+	s.mean, s.std = mean, std
+	s.fitted = true
+	return nil
+}
+
+// Uncertainty returns the scope-compliance uncertainty for the scope-factor
+// vector: 1 when any hard boundary is violated, otherwise a similarity-based
+// estimate of the probability of being outside the TAS (0 when no similarity
+// model is fitted).
+func (s *ScopeModel) Uncertainty(factors []float64) (float64, error) {
+	if len(factors) != s.dim {
+		return math.NaN(), fmt.Errorf("uw: got %d scope factors, want %d", len(factors), s.dim)
+	}
+	for _, c := range s.checks {
+		v := factors[c.Index]
+		if v < c.Min || v > c.Max || math.IsNaN(v) {
+			return 1, nil
+		}
+	}
+	if !s.fitted {
+		return 0, nil
+	}
+	// Similarity degree: the largest per-dimension z-score against the
+	// development data, mapped through a smooth step so that inputs within
+	// ~3 sigma count as compliant and inputs beyond ~6 sigma as clearly
+	// out of scope.
+	var worstZ float64
+	for d, v := range factors {
+		z := math.Abs(v-s.mean[d]) / s.std[d]
+		worstZ = math.Max(worstZ, z)
+	}
+	switch {
+	case worstZ <= 3:
+		return 0, nil
+	case worstZ >= 6:
+		return 1, nil
+	default:
+		return (worstZ - 3) / 3, nil
+	}
+}
+
+// Checks returns a copy of the configured boundary checks.
+func (s *ScopeModel) Checks() []BoundaryCheck {
+	out := make([]BoundaryCheck, len(s.checks))
+	copy(out, s.checks)
+	return out
+}

@@ -1,0 +1,72 @@
+package uw
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// qimJSON is the on-disk representation of a calibrated quality impact
+// model: the tree with its leaf bounds plus the configuration and factor
+// names, enough to deploy the model without access to training data.
+type qimJSON struct {
+	Tree   json.RawMessage `json:"tree"`
+	Names  []string        `json:"factor_names"`
+	Config qimConfigJSON   `json:"config"`
+}
+
+type qimConfigJSON struct {
+	TreeDepth          int     `json:"tree_depth"`
+	MinLeafCalibration int     `json:"min_leaf_calibration"`
+	Confidence         float64 `json:"confidence"`
+	Bound              int     `json:"bound"`
+	Criterion          int     `json:"criterion"`
+}
+
+// MarshalJSON serialises the calibrated model.
+func (q *QualityImpactModel) MarshalJSON() ([]byte, error) {
+	treeData, err := json.Marshal(q.tree)
+	if err != nil {
+		return nil, fmt.Errorf("uw: encode tree: %w", err)
+	}
+	return json.Marshal(qimJSON{
+		Tree:  treeData,
+		Names: q.names,
+		Config: qimConfigJSON{
+			TreeDepth:          q.cfg.TreeDepth,
+			MinLeafCalibration: q.cfg.MinLeafCalibration,
+			Confidence:         q.cfg.Confidence,
+			Bound:              int(q.cfg.Bound),
+			Criterion:          int(q.cfg.Criterion),
+		},
+	})
+}
+
+// LoadQIM deserialises a model produced by MarshalJSON and validates it.
+func LoadQIM(data []byte) (*QualityImpactModel, error) {
+	var qj qimJSON
+	if err := json.Unmarshal(data, &qj); err != nil {
+		return nil, fmt.Errorf("uw: decode quality impact model: %w", err)
+	}
+	tree, err := dtree.Load(qj.Tree)
+	if err != nil {
+		return nil, fmt.Errorf("uw: decode tree: %w", err)
+	}
+	cfg := QIMConfig{
+		TreeDepth:          qj.Config.TreeDepth,
+		MinLeafCalibration: qj.Config.MinLeafCalibration,
+		Confidence:         qj.Config.Confidence,
+		Bound:              stats.BoundMethod(qj.Config.Bound),
+		Criterion:          dtree.Criterion(qj.Config.Criterion),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("uw: loaded model has invalid config: %w", err)
+	}
+	// A deployed model must be calibrated: every leaf needs a bound.
+	if _, err := tree.MinLeafValue(); err != nil {
+		return nil, fmt.Errorf("uw: loaded model is not calibrated: %w", err)
+	}
+	return &QualityImpactModel{tree: tree, cfg: cfg, names: qj.Names}, nil
+}

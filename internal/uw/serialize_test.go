@@ -1,0 +1,89 @@
+package uw
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestQIMSerialiseRoundTrip(t *testing.T) {
+	qim := fitTestQIM(t)
+	data, err := json.Marshal(qim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQIM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumRegions() != qim.NumRegions() {
+		t.Fatalf("regions differ: %d vs %d", loaded.NumRegions(), qim.NumRegions())
+	}
+	if loaded.Config() != qim.Config() {
+		t.Errorf("config differs: %+v vs %+v", loaded.Config(), qim.Config())
+	}
+	rng := rand.New(rand.NewPCG(3, 5))
+	for i := 0; i < 300; i++ {
+		p := []float64{rng.Float64(), rng.Float64()}
+		u1, err := qim.Uncertainty(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := loaded.Uncertainty(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u1 != u2 {
+			t.Fatalf("probe %v: %g != %g", p, u1, u2)
+		}
+	}
+	// Rule export keeps the factor names.
+	if loaded.Rules() != qim.Rules() {
+		t.Error("rules differ after round trip")
+	}
+	// A loaded model can back a wrapper immediately.
+	w, err := NewWrapper(loaded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Estimate(1, []float64{0.5, 0.5}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadQIMRejectsCorrupt(t *testing.T) {
+	if _, err := LoadQIM([]byte(`{nope`)); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := LoadQIM([]byte(`{"tree":{"num_features":0,"nodes":[]},"config":{}}`)); err == nil {
+		t.Error("corrupt tree must fail")
+	}
+	// Valid tree but invalid config.
+	qim := fitTestQIM(t)
+	data, err := json.Marshal(qim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["config"] = json.RawMessage(`{"tree_depth":0,"min_leaf_calibration":0,"confidence":2}`)
+	tampered, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadQIM(tampered); err == nil {
+		t.Error("invalid config must fail")
+	}
+	// Uncalibrated tree must be rejected for deployment.
+	uncal := []byte(`{
+	  "tree": {"num_features":1,"nodes":[{"feature":-1,"left":-1,"right":-1,"value":-1}],
+	           "config":{"max_depth":1,"min_split_samples":2,"min_leaf_samples":1,"criterion":1}},
+	  "factor_names": ["x"],
+	  "config": {"tree_depth":8,"min_leaf_calibration":200,"confidence":0.999,"bound":1,"criterion":1}
+	}`)
+	if _, err := LoadQIM(uncal); err == nil {
+		t.Error("uncalibrated model must fail to load")
+	}
+}

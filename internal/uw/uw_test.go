@@ -1,0 +1,349 @@
+package uw
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+// failureData builds factors where failures concentrate at high x0:
+// P(fail) = 0.02 for x0 <= 0.5, 0.4 above.
+func failureData(n int, seed uint64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		p := 0.02
+		if x[i][0] > 0.5 {
+			p = 0.4
+		}
+		y[i] = rng.Float64() < p
+	}
+	return x, y
+}
+
+func fitTestQIM(t *testing.T) *QualityImpactModel {
+	t.Helper()
+	tx, ty := failureData(4000, 3)
+	cx, cy := failureData(4000, 5)
+	qim, err := FitQIM(tx, ty, cx, cy, []string{"severity", "noise"}, DefaultQIMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qim
+}
+
+func TestQIMConfigValidate(t *testing.T) {
+	bad := []QIMConfig{
+		{TreeDepth: 0, MinLeafCalibration: 10, Confidence: 0.9},
+		{TreeDepth: 3, MinLeafCalibration: 0, Confidence: 0.9},
+		{TreeDepth: 3, MinLeafCalibration: 10, Confidence: 0},
+		{TreeDepth: 3, MinLeafCalibration: 10, Confidence: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d must fail", i)
+		}
+	}
+	if err := DefaultQIMConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestFitQIMSeparatesRegions(t *testing.T) {
+	qim := fitTestQIM(t)
+	uLow, err := qim.Uncertainty([]float64{0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uHigh, err := qim.Uncertainty([]float64{0.9, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uLow >= uHigh {
+		t.Errorf("clean region u=%g must be below degraded region u=%g", uLow, uHigh)
+	}
+	// Dependability: bounds must cover the true rates (0.02 and 0.4).
+	if uLow < 0.02 {
+		t.Errorf("clean bound %g below true rate 0.02", uLow)
+	}
+	if uHigh < 0.4 {
+		t.Errorf("degraded bound %g below true rate 0.4", uHigh)
+	}
+	// But not uselessly loose.
+	if uLow > 0.15 || uHigh > 0.6 {
+		t.Errorf("bounds too loose: %g / %g", uLow, uHigh)
+	}
+	if qim.NumRegions() < 2 {
+		t.Error("QIM must keep at least the informative split")
+	}
+	minU, err := qim.MinUncertainty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minU > uLow {
+		t.Errorf("MinUncertainty %g above observed low %g", minU, uLow)
+	}
+}
+
+func TestFitQIMErrors(t *testing.T) {
+	tx, ty := failureData(100, 1)
+	if _, err := FitQIM(nil, nil, tx, ty, nil, DefaultQIMConfig()); err == nil {
+		t.Error("empty training set must fail")
+	}
+	if _, err := FitQIM(tx, ty, nil, nil, nil, DefaultQIMConfig()); err == nil {
+		t.Error("empty calibration set must fail")
+	}
+	bad := DefaultQIMConfig()
+	bad.TreeDepth = 0
+	if _, err := FitQIM(tx, ty, tx, ty, nil, bad); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestQIMTransparency(t *testing.T) {
+	qim := fitTestQIM(t)
+	rules := qim.Rules()
+	if !strings.Contains(rules, "severity") {
+		t.Errorf("rules must show factor names:\n%s", rules)
+	}
+	if !strings.HasPrefix(qim.DOT(), "digraph") {
+		t.Error("DOT export broken")
+	}
+	imp := qim.FeatureImportance()
+	if imp["severity"] < 0.8 {
+		t.Errorf("severity importance %g, want > 0.8 (it drives all failures)", imp["severity"])
+	}
+	if qim.Config().Confidence != 0.999 {
+		t.Error("config not preserved")
+	}
+	if qim.LeafIDMustWork(t) {
+		// helper asserts inside
+	}
+}
+
+// LeafIDMustWork exercises LeafID; defined as a method on the test to keep
+// the production API clean.
+func (q *QualityImpactModel) LeafIDMustWork(t *testing.T) bool {
+	t.Helper()
+	id, err := q.LeafID([]float64{0.3, 0.3})
+	if err != nil {
+		t.Fatalf("LeafID: %v", err)
+	}
+	if id < 0 || id >= q.NumRegions() {
+		t.Fatalf("leaf id %d outside [0,%d)", id, q.NumRegions())
+	}
+	return true
+}
+
+func TestScopeModelBoundaries(t *testing.T) {
+	// Scope factors: [lat, lon]; TAS = Germany bounding box.
+	sm, err := NewScopeModel(2,
+		BoundaryCheck{Name: "lat", Index: 0, Min: 47.27, Max: 55.06},
+		BoundaryCheck{Name: "lon", Index: 1, Min: 5.87, Max: 15.04},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sm.Uncertainty([]float64{49.49, 8.47}) // Mannheim
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 0 {
+		t.Errorf("in-scope uncertainty = %g, want 0", u)
+	}
+	u, err = sm.Uncertainty([]float64{40.71, -74.01}) // New York
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Errorf("out-of-scope uncertainty = %g, want 1", u)
+	}
+	if _, err := sm.Uncertainty([]float64{49}); err == nil {
+		t.Error("wrong factor count must fail")
+	}
+	if len(sm.Checks()) != 2 {
+		t.Error("checks not preserved")
+	}
+}
+
+func TestScopeModelValidation(t *testing.T) {
+	if _, err := NewScopeModel(0); err == nil {
+		t.Error("zero dim must fail")
+	}
+	if _, err := NewScopeModel(1, BoundaryCheck{Index: 5, Min: 0, Max: 1}); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if _, err := NewScopeModel(1, BoundaryCheck{Index: 0, Min: 2, Max: 1}); err == nil {
+		t.Error("inverted bounds must fail")
+	}
+}
+
+func TestScopeModelSimilarity(t *testing.T) {
+	sm, err := NewScopeModel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.FitSimilarity(nil); err == nil {
+		t.Error("too few samples must fail")
+	}
+	if err := sm.FitSimilarity([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows must fail")
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	data := make([][]float64, 500)
+	for i := range data {
+		data[i] = []float64{10 + rng.NormFloat64()}
+	}
+	if err := sm.FitSimilarity(data); err != nil {
+		t.Fatal(err)
+	}
+	uNear, _ := sm.Uncertainty([]float64{10.5})
+	uMid, _ := sm.Uncertainty([]float64{14.5})
+	uFar, _ := sm.Uncertainty([]float64{30})
+	if uNear != 0 {
+		t.Errorf("similar input uncertainty = %g, want 0", uNear)
+	}
+	if !(uMid > 0 && uMid < 1) {
+		t.Errorf("borderline input uncertainty = %g, want in (0,1)", uMid)
+	}
+	if uFar != 1 {
+		t.Errorf("dissimilar input uncertainty = %g, want 1", uFar)
+	}
+}
+
+func TestWrapperCombination(t *testing.T) {
+	qim := fitTestQIM(t)
+	sm, err := NewScopeModel(1, BoundaryCheck{Name: "lat", Index: 0, Min: 47, Max: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWrapper(qim, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := w.Estimate(14, []float64{0.2, 0.5}, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Outcome != 14 {
+		t.Error("outcome not echoed")
+	}
+	if est.ScopeUncertainty != 0 {
+		t.Error("in-scope estimate must have zero scope uncertainty")
+	}
+	if est.Uncertainty != est.QualityUncertainty {
+		t.Error("with zero scope uncertainty, combined must equal quality")
+	}
+	if math.Abs(est.Certainty()-(1-est.Uncertainty)) > 1e-15 {
+		t.Error("certainty inconsistent")
+	}
+	// Out of scope dominates everything.
+	est, err = w.Estimate(14, []float64{0.2, 0.5}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Uncertainty != 1 {
+		t.Errorf("out-of-scope uncertainty = %g, want 1", est.Uncertainty)
+	}
+	if w.QIM() != qim || w.Scope() != sm {
+		t.Error("accessors broken")
+	}
+}
+
+func TestWrapperWithoutScope(t *testing.T) {
+	qim := fitTestQIM(t)
+	w, err := NewWrapper(qim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := w.Estimate(3, []float64{0.8, 0.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ScopeUncertainty != 0 {
+		t.Error("nil scope model must contribute zero uncertainty")
+	}
+	if _, err := NewWrapper(nil, nil); err == nil {
+		t.Error("nil QIM must fail")
+	}
+	if _, err := w.Estimate(3, []float64{0.8}, nil); err == nil {
+		t.Error("wrong factor width must fail")
+	}
+	if _, err := w.Estimate(3, []float64{math.NaN(), 0.5}, nil); err == nil {
+		t.Error("NaN quality factor must fail")
+	}
+	if _, err := w.Estimate(3, []float64{math.Inf(1), 0.5}, nil); err == nil {
+		t.Error("infinite quality factor must fail")
+	}
+}
+
+// Property: the combined uncertainty never falls below either component and
+// stays in [0,1].
+func TestCombinationProperty(t *testing.T) {
+	qim := fitTestQIM(t)
+	sm, err := NewScopeModel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(17, 18))
+	data := make([][]float64, 100)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64()}
+	}
+	if err := sm.FitSimilarity(data); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWrapper(qim, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c uint16) bool {
+		qf := []float64{float64(a) / 65535, float64(b) / 65535}
+		sf := []float64{float64(c)/6553.5 - 5}
+		est, err := w.Estimate(0, qf, sf)
+		if err != nil {
+			return false
+		}
+		return est.Uncertainty >= est.QualityUncertainty-1e-12 &&
+			est.Uncertainty >= est.ScopeUncertainty-1e-12 &&
+			est.Uncertainty >= 0 && est.Uncertainty <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's headline guarantee: with Clopper-Pearson at 0.999 the fraction
+// of regions whose true rate exceeds the bound must be tiny. We simulate
+// fresh data from the known generating process and check empirical coverage.
+func TestQIMCoverage(t *testing.T) {
+	qim := fitTestQIM(t)
+	rng := rand.New(rand.NewPCG(23, 29))
+	violations := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		trueRate := 0.02
+		if x[0] > 0.5 {
+			trueRate = 0.4
+		}
+		u, err := qim.Uncertainty(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < trueRate-1e-9 {
+			violations++
+		}
+	}
+	// Boundary leaves may mix the two rates; allow a small share.
+	if violations > trials/10 {
+		t.Errorf("%d/%d coverage violations", violations, trials)
+	}
+	_ = stats.ClopperPearson // documents which bound underwrites the guarantee
+}

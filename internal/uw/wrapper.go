@@ -1,0 +1,103 @@
+package uw
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Estimate is the wrapper's verdict for one DDM outcome.
+type Estimate struct {
+	// Outcome echoes the wrapped DDM outcome the estimate refers to.
+	Outcome int
+	// QualityUncertainty is the input-quality-related uncertainty from
+	// the quality impact model.
+	QualityUncertainty float64
+	// ScopeUncertainty is the scope-compliance-related uncertainty (0
+	// when no scope model is configured).
+	ScopeUncertainty float64
+	// Uncertainty is the combined dependable uncertainty.
+	Uncertainty float64
+	// LeafID is the quality-impact-model region that produced the
+	// estimate, for auditability.
+	LeafID int
+}
+
+// Certainty returns 1 - Uncertainty.
+func (e Estimate) Certainty() float64 { return 1 - e.Uncertainty }
+
+// Wrapper is the stateless uncertainty wrapper: it enriches each DDM outcome
+// with a dependable uncertainty estimate derived from the quality impact
+// model and, optionally, a scope compliance model. It holds no timeseries
+// state; the timeseries-aware extension lives in internal/core.
+type Wrapper struct {
+	qim   *QualityImpactModel
+	scope *ScopeModel
+}
+
+// NewWrapper builds a wrapper from a calibrated quality impact model and an
+// optional scope model (nil disables scope checking, as in the paper's
+// study).
+func NewWrapper(qim *QualityImpactModel, scope *ScopeModel) (*Wrapper, error) {
+	if qim == nil {
+		return nil, errors.New("uw: quality impact model is required")
+	}
+	return &Wrapper{qim: qim, scope: scope}, nil
+}
+
+// Estimate combines the uncertainty sources for one DDM outcome observed
+// under the given quality factors (and scope factors, ignored when no scope
+// model is configured): u = 1 - (1-u_quality)(1-u_scope).
+//
+// Non-finite quality factors are rejected: a NaN would silently fall
+// through every tree comparison and land in an arbitrary region, producing
+// a bound that means nothing — the opposite of dependable.
+func (w *Wrapper) Estimate(outcome int, qualityFactors, scopeFactors []float64) (Estimate, error) {
+	for i, f := range qualityFactors {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return Estimate{}, fmt.Errorf("uw: quality factor %d is not finite (%g)", i, f)
+		}
+	}
+	uq, err := w.qim.Uncertainty(qualityFactors)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("uw: quality uncertainty: %w", err)
+	}
+	leaf, err := w.qim.LeafID(qualityFactors)
+	if err != nil {
+		return Estimate{}, fmt.Errorf("uw: leaf lookup: %w", err)
+	}
+	us := 0.0
+	if w.scope != nil {
+		us, err = w.scope.Uncertainty(scopeFactors)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("uw: scope uncertainty: %w", err)
+		}
+	}
+	u := 1 - (1-uq)*(1-us)
+	// Keep single-source estimates bit-exact: 1-(1-x) loses precision.
+	switch {
+	case us == 0:
+		u = uq
+	case uq == 0:
+		u = us
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 || math.IsNaN(u) {
+		return Estimate{}, fmt.Errorf("uw: combined uncertainty %g invalid", u)
+	}
+	return Estimate{
+		Outcome:            outcome,
+		QualityUncertainty: uq,
+		ScopeUncertainty:   us,
+		Uncertainty:        u,
+		LeafID:             leaf,
+	}, nil
+}
+
+// QIM exposes the underlying quality impact model for inspection.
+func (w *Wrapper) QIM() *QualityImpactModel { return w.qim }
+
+// Scope exposes the scope model (nil when disabled).
+func (w *Wrapper) Scope() *ScopeModel { return w.scope }
