@@ -1,8 +1,11 @@
 package tauw_test
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/iese-repro/tauw/internal/core"
@@ -266,6 +269,182 @@ func BenchmarkBufferAppend(b *testing.B) {
 			buf.Append(core.Record{Outcome: i, Uncertainty: 0.1})
 		}
 	})
+}
+
+// ---- serving-layer benchmarks: sharded pool vs single-mutex baseline ----
+
+// mutexPool replicates the pre-sharding WrapperPool: one global mutex
+// guarding one track map, a per-track mutex serialising steps. It exists
+// only as the benchmark baseline the sharded pool is measured against.
+type mutexPool struct {
+	mu     sync.Mutex
+	tracks map[int]*mutexTrack
+}
+
+type mutexTrack struct {
+	mu sync.Mutex
+	w  *core.Wrapper
+}
+
+func (p *mutexPool) open(st *eval.Study, trackID int, cfg core.Config) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, err := core.NewWrapper(st.Base, st.TAQIM, cfg)
+	if err != nil {
+		return err
+	}
+	p.tracks[trackID] = &mutexTrack{w: w}
+	return nil
+}
+
+func (p *mutexPool) step(trackID, outcome int, quality []float64) (core.Result, error) {
+	p.mu.Lock()
+	tr := p.tracks[trackID]
+	p.mu.Unlock()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.w.Step(outcome, quality)
+}
+
+// benchPoolCfg keeps per-step work small so the lock path, not the fusion
+// math over a long buffer, dominates what the contention benchmarks measure.
+var benchPoolCfg = core.Config{BufferLimit: 16}
+
+const benchPoolTracks = 512
+
+// BenchmarkPoolStepParallel is the headline contention benchmark: many
+// goroutines step many tracks at once. "sharded" is the production
+// WrapperPool; "global-mutex" is the old design. Run with -cpu to scale the
+// stepper count.
+func BenchmarkPoolStepParallel(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+
+	// Each stepper goroutine owns a disjoint slice of the track space (as a
+	// connection handling its own sessions would), so per-track locks never
+	// collide and the benchmark isolates the pool's lookup layer — the lock
+	// the two designs differ in. RunParallel spawns GOMAXPROCS goroutines,
+	// so sizing the slices off that keeps the partition exact at any -cpu.
+	perG := benchPoolTracks / runtime.GOMAXPROCS(0)
+	if perG < 1 {
+		perG = 1
+	}
+
+	b.Run("sharded", func(b *testing.B) {
+		pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for id := 0; id < benchPoolTracks; id++ {
+			if err := pool.Open(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			base := (int(next.Add(1)-1) * perG) % benchPoolTracks
+			i := 0
+			for pb.Next() {
+				i++
+				if _, err := pool.Step(base+i%perG, outcome, quality); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+
+	b.Run("global-mutex", func(b *testing.B) {
+		pool := &mutexPool{tracks: make(map[int]*mutexTrack)}
+		for id := 0; id < benchPoolTracks; id++ {
+			if err := pool.open(st, id, benchPoolCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var next atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			base := (int(next.Add(1)-1) * perG) % benchPoolTracks
+			i := 0
+			for pb.Next() {
+				i++
+				if _, err := pool.step(base+i%perG, outcome, quality); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkPoolOpenCloseParallel measures session churn — the path a
+// tracker exercises whenever objects enter and leave the scene. The global
+// mutex serialises it fully; the shards keep it mostly parallel.
+func BenchmarkPoolOpenCloseParallel(b *testing.B) {
+	st := study(b)
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each goroutine churns its own ten-million-id space (the slot
+		// count keeps the arithmetic inside 32-bit int range); contention
+		// is purely on shard locks (or, pre-sharding, one global lock).
+		id := (int(next.Add(1)) % 200) * 10_000_000
+		for pb.Next() {
+			id++
+			if err := pool.Open(id); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := pool.Close(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkPoolStepBatch measures the batch fan-out path: one frame's worth
+// of steps for every open track, dispatched via StepBatch with a bounded
+// worker group versus sequentially.
+func BenchmarkPoolStepBatch(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	items := make([]core.StepItem, benchPoolTracks)
+	for id := range items {
+		items[id] = core.StepItem{TrackID: id, Outcome: outcome, Quality: quality}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for id := 0; id < benchPoolTracks; id++ {
+				if err := pool.Open(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range pool.StepBatch(items, workers) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQIMFit measures growing and calibrating a quality impact model

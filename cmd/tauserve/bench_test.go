@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+// benchServer builds a served study once (sharing the test fixture's
+// sync.Once) and returns a ready httptest server.
+func benchServer(b *testing.B, opts ...ServerOption) *httptest.Server {
+	b.Helper()
+	studyOnce.Do(func() {
+		cfg := eval.TinyConfig()
+		cfg.NumSeries = 90
+		cfg.TrainAugmentations = 3
+		cfg.EvalAugmentations = 3
+		studyVal, studyErr = eval.BuildStudy(cfg)
+	})
+	if studyErr != nil {
+		b.Fatalf("BuildStudy: %v", studyErr)
+	}
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, url string, body any) *http.Response {
+	b.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resp
+}
+
+func benchNewSeries(b *testing.B, ts *httptest.Server) string {
+	b.Helper()
+	resp := benchPost(b, ts.URL+"/v1/series", struct{}{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b.Fatalf("new series = %d", resp.StatusCode)
+	}
+	var created newSeriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		b.Fatal(err)
+	}
+	return created.SeriesID
+}
+
+// BenchmarkHTTPSingleStep measures the classic one-step-per-request path:
+// the per-step price is a full HTTP round trip plus JSON both ways.
+func BenchmarkHTTPSingleStep(b *testing.B) {
+	// The bounded buffer keeps per-step cost stationary, so the number
+	// measures HTTP+JSON+step, not an ever-growing fusion scan.
+	ts := benchServer(b, WithBufferLimit(64))
+	id := benchNewSeries(b, ts)
+	req := stepRequest{SeriesID: id, Outcome: 14, PixelSize: 160}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := benchPost(b, ts.URL+"/v1/step", req)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("step = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// BenchmarkHTTPBatchStep measures the batched path: 64 series advance one
+// step in a single request. Reported time is per request; divide by 64 for
+// the per-step price to compare against BenchmarkHTTPSingleStep.
+func BenchmarkHTTPBatchStep(b *testing.B) {
+	const batchSize = 64
+	ts := benchServer(b, WithBatchWorkers(4), WithBufferLimit(64))
+	req := batchStepRequest{}
+	for i := 0; i < batchSize; i++ {
+		id := benchNewSeries(b, ts)
+		req.Steps = append(req.Steps, stepRequest{SeriesID: id, Outcome: 14, PixelSize: 160})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := benchPost(b, ts.URL+"/v1/steps", req)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch = %d", resp.StatusCode)
+		}
+		var got batchStepResponse
+		err := json.NewDecoder(resp.Body).Decode(&got)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Failed != 0 {
+			b.Fatalf("batch failed %d items", got.Failed)
+		}
+	}
+}

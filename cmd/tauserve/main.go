@@ -4,16 +4,22 @@
 // serves fused outcomes with dependable uncertainties and simplex
 // countermeasures.
 //
+// Session state lives in a sharded wrapper pool: opens, steps, and closes
+// on different series never contend on a global lock, and the batch endpoint
+// fans a slice of steps out across the shards with a bounded worker group.
+//
 // Usage:
 //
 //	tauserve [-addr :8080] [-preset tiny|quick|paper]
+//	         [-shards 0] [-max-series 0] [-batch-workers 0] [-buffer-limit 0]
 //
 // Endpoints:
 //
 //	POST   /v1/series          start tracking a new physical object
 //	POST   /v1/step            {series_id, outcome, quality{...}, pixel_size}
+//	POST   /v1/steps           {steps: [per-series steps]} — batched, per-item statuses
 //	DELETE /v1/series/{id}     stop tracking
-//	GET    /v1/stats           monitor counters
+//	GET    /v1/stats           monitor counters, active series, shard count
 //	GET    /v1/model/rules     calibrated taQIM rules (transparency)
 //	GET    /healthz            liveness
 package main
@@ -40,8 +46,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tauserve", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", ":8080", "listen address")
-		preset = fs.String("preset", "tiny", "calibration preset: tiny, quick, or paper")
+		addr         = fs.String("addr", ":8080", "listen address")
+		preset       = fs.String("preset", "tiny", "calibration preset: tiny, quick, or paper")
+		shards       = fs.Int("shards", 0, "wrapper-pool shard count (0 = default, rounded up to a power of two)")
+		maxSeries    = fs.Int("max-series", 0, "cap on concurrently open series (0 = unlimited)")
+		batchWorkers = fs.Int("batch-workers", 0, "max goroutines per /v1/steps request (0 = GOMAXPROCS)")
+		bufferLimit  = fs.Int("buffer-limit", 0, "per-series timeseries buffer cap (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,7 +74,9 @@ func run(args []string) error {
 		return err
 	}
 	log.Printf("calibrated in %v (DDM test accuracy %.2f%%)", time.Since(start).Round(time.Millisecond), 100*st.DDMTestAccuracy)
-	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy())
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy(),
+		WithPoolShards(*shards), WithMaxSeries(*maxSeries),
+		WithBatchWorkers(*batchWorkers), WithBufferLimit(*bufferLimit))
 	if err != nil {
 		return err
 	}

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
-	"sync"
 
 	"github.com/iese-repro/tauw/internal/augment"
 	"github.com/iese-repro/tauw/internal/core"
@@ -14,39 +12,94 @@ import (
 	"github.com/iese-repro/tauw/internal/uw"
 )
 
+// maxBatchItems caps one POST /v1/steps request; larger batches should be
+// split by the client.
+const maxBatchItems = 4096
+
+// Request bodies are size-capped before decoding so a hostile payload is
+// rejected at the transport instead of allocated in full: the item cap
+// alone would only be checked after json.Decode had materialised the slice.
+const (
+	maxStepBodyBytes  = 1 << 20  // one step plus slack
+	maxBatchBodyBytes = 16 << 20 // maxBatchItems generously sized steps
+)
+
 // Server exposes a calibrated timeseries-aware uncertainty wrapper as a
 // runtime-monitoring HTTP service: perception components stream their
 // momentaneous outcomes and quality factors per tracked object, and receive
 // the fused outcome, its dependable uncertainty, and the simplex
 // countermeasure to take.
+//
+// All session state (series ids and their wrappers) lives in the sharded
+// core.WrapperPool; the server itself holds no lock and no mutable state, so
+// request handling scales with the pool's shard count.
 type Server struct {
-	taqim   *uw.QualityImpactModel
-	monitor *simplex.Monitor
-	pool    *core.WrapperPool
+	taqim        *uw.QualityImpactModel
+	monitor      *simplex.Monitor
+	pool         *core.WrapperPool
+	batchWorkers int
+}
 
-	mu     sync.Mutex
-	ids    map[string]int
-	nextID int
+// ServerOption customises server construction.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	maxSeries    int
+	shards       int
+	batchWorkers int
+	bufferLimit  int
+}
+
+// WithMaxSeries caps the number of concurrently open series (0 = unlimited).
+// When the cap is reached, POST /v1/series answers 503 until a series ends.
+func WithMaxSeries(n int) ServerOption {
+	return func(o *serverOptions) { o.maxSeries = n }
+}
+
+// WithPoolShards overrides the wrapper pool's shard count (0 = default).
+func WithPoolShards(n int) ServerOption {
+	return func(o *serverOptions) { o.shards = n }
+}
+
+// WithBatchWorkers bounds the per-request fan-out of POST /v1/steps
+// (0 = one worker per schedulable CPU).
+func WithBatchWorkers(n int) ServerOption {
+	return func(o *serverOptions) { o.batchWorkers = n }
+}
+
+// WithBufferLimit caps each series' timeseries buffer (0 = unbounded). An
+// unbounded buffer makes per-step cost grow with series length — fusion
+// scans the whole history — so long-lived deployments should set a cap.
+func WithBufferLimit(n int) ServerOption {
+	return func(o *serverOptions) { o.bufferLimit = n }
 }
 
 // NewServer wires a server from calibrated models.
-func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Policy) (*Server, error) {
+func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Policy, opts ...ServerOption) (*Server, error) {
 	if base == nil || taqim == nil {
 		return nil, errors.New("tauserve: base wrapper and taQIM are required")
+	}
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.maxSeries < 0 {
+		return nil, fmt.Errorf("tauserve: max series %d must be >= 0", o.maxSeries)
 	}
 	monitor, err := simplex.NewMonitor(policy)
 	if err != nil {
 		return nil, err
 	}
-	pool, err := core.NewWrapperPool(base, taqim, core.Config{}, 0)
+	pool, err := core.NewWrapperPool(base, taqim, core.Config{BufferLimit: o.bufferLimit},
+		o.maxSeries, core.WithShards(o.shards))
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
-		taqim:   taqim,
-		monitor: monitor,
-		pool:    pool,
-		ids:     make(map[string]int),
+		taqim:        taqim,
+		monitor:      monitor,
+		pool:         pool,
+		batchWorkers: o.batchWorkers,
 	}, nil
 }
 
@@ -56,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/series", s.handleNewSeries)
 	mux.HandleFunc("DELETE /v1/series/{id}", s.handleEndSeries)
 	mux.HandleFunc("POST /v1/step", s.handleStep)
+	mux.HandleFunc("POST /v1/steps", s.handleStepBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/model/rules", s.handleRules)
 	mux.HandleFunc("GET /v1/model/leaves", s.handleLeaves)
@@ -72,13 +126,12 @@ type newSeriesResponse struct {
 }
 
 func (s *Server) handleNewSeries(w http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	s.nextID++
-	track := s.nextID
-	id := "s" + strconv.Itoa(track)
-	s.ids[id] = track
-	s.mu.Unlock()
-	if err := s.pool.Open(track); err != nil {
+	id, err := s.pool.OpenSeries()
+	if err != nil {
+		if errors.Is(err, core.ErrTrackBudget) {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -87,15 +140,11 @@ func (s *Server) handleNewSeries(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleEndSeries(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	track, ok := s.ids[id]
-	delete(s.ids, id)
-	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", id))
-		return
-	}
-	if err := s.pool.Close(track); err != nil {
+	if err := s.pool.CloseSeries(id); err != nil {
+		if errors.Is(err, core.ErrUnknownSeries) || errors.Is(err, core.ErrUnknownTrack) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", id))
+			return
+		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -103,7 +152,8 @@ func (s *Server) handleEndSeries(w http.ResponseWriter, r *http.Request) {
 }
 
 // stepRequest is the body of POST /v1/step: one momentaneous DDM outcome
-// with the quality factors observed alongside it.
+// with the quality factors observed alongside it. It is also one item of
+// POST /v1/steps.
 type stepRequest struct {
 	SeriesID string `json:"series_id"`
 	// Outcome is the DDM's class decision for the current frame.
@@ -129,8 +179,8 @@ type stepResponse struct {
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	var req stepRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxStepBodyBytes)).Decode(&req); err != nil {
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	quality, err := qualityFromMap(req.Quality, req.PixelSize)
@@ -138,72 +188,189 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.Lock()
-	track, ok := s.ids[req.SeriesID]
-	s.mu.Unlock()
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", req.SeriesID))
+	res, err := s.pool.StepSeries(req.SeriesID, req.Outcome, quality)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownSeries) || errors.Is(err, core.ErrUnknownTrack) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", req.SeriesID))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	res, err := s.pool.Step(track, req.Outcome, quality)
+	resp, err := s.gate(req.SeriesID, res)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// gate runs one pool result through the simplex monitor and shapes the
+// response body shared by the single-step and batch endpoints.
+func (s *Server) gate(seriesID string, res core.Result) (stepResponse, error) {
 	decision, err := s.monitor.Gate(res.Fused, res.Uncertainty)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+		return stepResponse{}, err
 	}
-	writeJSON(w, http.StatusOK, stepResponse{
-		SeriesID:       req.SeriesID,
+	return stepResponse{
+		SeriesID:       seriesID,
 		FusedOutcome:   res.Fused,
 		Uncertainty:    res.Uncertainty,
 		StatelessU:     res.Stateless.Uncertainty,
 		SeriesLen:      res.SeriesLen,
 		Countermeasure: decision.Level.Name,
 		Accepted:       decision.Accepted,
-	})
+	}, nil
 }
 
-// qualityFromMap assembles the wrapper's quality-factor vector from named
-// channels; missing channels default to 0 (no deficit), unknown names fail.
-func qualityFromMap(m map[string]float64, pixelSize float64) ([]float64, error) {
+// batchStepRequest is the body of POST /v1/steps: a slice of per-series
+// steps processed in one round trip. Items are independent; one bad item
+// fails with its own status without failing the batch.
+type batchStepRequest struct {
+	Steps []stepRequest `json:"steps"`
+}
+
+// batchItemResponse carries one item's outcome: Status mirrors the code the
+// single-step endpoint would have answered (200, 400, 404, 500), and exactly
+// one of Step / Error is set.
+type batchItemResponse struct {
+	Status int           `json:"status"`
+	Step   *stepResponse `json:"step,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// batchStepResponse is the body of POST /v1/steps: per-item results in
+// request order plus summary counters.
+type batchStepResponse struct {
+	Results []batchItemResponse `json:"results"`
+	OK      int                 `json:"ok"`
+	Failed  int                 `json:"failed"`
+}
+
+func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchStepRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Steps) == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Steps) > maxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d exceeds limit %d", len(req.Steps), maxBatchItems))
+		return
+	}
+
+	resp := batchStepResponse{Results: make([]batchItemResponse, len(req.Steps))}
+	// Validate every item up front; only clean items enter the pool batch.
+	items := make([]core.SeriesStepItem, 0, len(req.Steps))
+	back := make([]int, 0, len(req.Steps))
+	for i, step := range req.Steps {
+		quality, err := qualityFromMap(step.Quality, step.PixelSize)
+		if err != nil {
+			resp.Results[i] = batchItemResponse{Status: http.StatusBadRequest, Error: err.Error()}
+			continue
+		}
+		items = append(items, core.SeriesStepItem{
+			SeriesID: step.SeriesID,
+			Outcome:  step.Outcome,
+			Quality:  quality,
+		})
+		back = append(back, i)
+	}
+
+	for j, br := range s.pool.StepBatchSeries(items, s.batchWorkers) {
+		i := back[j]
+		switch {
+		case br.Err == nil:
+			stepResp, err := s.gate(req.Steps[i].SeriesID, br.Result)
+			if err != nil {
+				resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: err.Error()}
+				continue
+			}
+			resp.Results[i] = batchItemResponse{Status: http.StatusOK, Step: &stepResp}
+		case errors.Is(br.Err, core.ErrUnknownSeries), errors.Is(br.Err, core.ErrUnknownTrack):
+			resp.Results[i] = batchItemResponse{
+				Status: http.StatusNotFound,
+				Error:  fmt.Sprintf("unknown series %q", req.Steps[i].SeriesID),
+			}
+		default:
+			resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: br.Err.Error()}
+		}
+	}
+	for _, item := range resp.Results {
+		if item.Status == http.StatusOK {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeStatus distinguishes "your JSON is broken" (400) from "your body
+// blew the size cap" (413) so batch clients know the remedy is splitting,
+// not fixing, the request.
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// qualityIndex maps each deficit-channel name to its vector slot; the
+// channel set is fixed at compile time, so build the index once instead of
+// per step (the batch endpoint calls qualityFromMap up to 4096 times per
+// request).
+var qualityIndex = func() map[string]int {
 	names := augment.Names()
 	index := make(map[string]int, len(names))
 	for i, n := range names {
 		index[n] = i
 	}
-	qf := make([]float64, len(names)+1)
+	return index
+}()
+
+// qualityFromMap assembles the wrapper's quality-factor vector from named
+// channels; missing channels default to 0 (no deficit), unknown names fail.
+func qualityFromMap(m map[string]float64, pixelSize float64) ([]float64, error) {
+	numNames := len(qualityIndex)
+	qf := make([]float64, numNames+1)
 	for name, v := range m {
-		i, ok := index[name]
+		i, ok := qualityIndex[name]
 		if !ok {
 			return nil, fmt.Errorf("unknown quality factor %q", name)
 		}
-		if v < 0 || v > 1 {
+		// The negated form also rejects NaN, which satisfies neither bound.
+		if !(v >= 0 && v <= 1) {
 			return nil, fmt.Errorf("quality factor %q = %g outside [0,1]", name, v)
 		}
 		qf[i] = v
 	}
-	if pixelSize <= 0 {
+	// Negated so NaN (which satisfies no comparison) is rejected too.
+	if !(pixelSize > 0) {
 		return nil, fmt.Errorf("pixel_size must be positive, got %g", pixelSize)
 	}
-	qf[len(names)] = pixelSize
+	qf[numNames] = pixelSize
 	return qf, nil
 }
 
 // statsResponse is the body of GET /v1/stats.
 type statsResponse struct {
 	ActiveSeries int            `json:"active_series"`
+	PoolShards   int            `json:"pool_shards"`
 	Gated        int            `json:"gated_total"`
 	PerLevel     map[string]int `json:"per_countermeasure"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.monitor.Snapshot()
-	active := s.pool.Active()
 	writeJSON(w, http.StatusOK, statsResponse{
-		ActiveSeries: active,
+		ActiveSeries: s.pool.Active(),
+		PoolShards:   s.pool.NumShards(),
 		Gated:        snap.Total,
 		PerLevel:     snap.PerLevel,
 	})

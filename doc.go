@@ -4,7 +4,8 @@
 // VERDI @ IEEE/IFIP DSN 2023).
 //
 // The library lives under internal/: the paper's contribution in
-// internal/core (timeseries buffer, taQF, taQIM, the taUW runtime wrapper),
+// internal/core (timeseries buffer, taQF, taQIM, the taUW runtime wrapper,
+// and the sharded WrapperPool serving substrate with its batch step API),
 // the base uncertainty-wrapper framework in internal/uw, and every substrate
 // it depends on — CART trees (internal/dtree), binomial bounds and Brier
 // decompositions (internal/stats), information/uncertainty fusion
@@ -13,7 +14,10 @@
 // (internal/ddm), Kalman tracking (internal/track), runtime gating
 // (internal/simplex), and the study harness (internal/eval).
 //
-// See README.md for the quickstart, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks in
-// bench_test.go regenerate every table and figure of the paper's evaluation.
+// See README.md for the architecture map, the tauserve HTTP API (including
+// the batched POST /v1/steps endpoint), and how to run the tier-1 tests,
+// the race-hardened concurrency suite, and the benchmarks. The benchmarks
+// in bench_test.go regenerate every table and figure of the paper's
+// evaluation and measure the serving layer (sharded pool vs global mutex,
+// batched vs single-step HTTP).
 package tauw

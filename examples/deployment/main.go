@@ -95,5 +95,42 @@ func loadAndServe(bundlePath string) error {
 		}
 		fmt.Printf("  step %d: fused=%d u=%.4f\n", step, res.Fused, res.Uncertainty)
 	}
+
+	// Batch serving: the production path. A sharded pool tracks every
+	// object concurrently, sessions come and go by string id, and each
+	// perception frame arrives as one batch fanned out across the shards —
+	// exactly what tauserve's POST /v1/steps does per request.
+	fmt.Println("[online] batch-serving three concurrent tracks via the sharded pool:")
+	pool, err := core.NewWrapperPool(wrapper.Base(), taqim, core.Config{BufferLimit: 64}, 0)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, 3)
+	for i := range ids {
+		if ids[i], err = pool.OpenSeries(); err != nil {
+			return err
+		}
+	}
+	outcomes := []int{14, 14, 3} // two stop signs, one "61" limit sign
+	for frame := 1; frame <= 3; frame++ {
+		batch := make([]core.SeriesStepItem, len(ids))
+		for i, id := range ids {
+			batch[i] = core.SeriesStepItem{SeriesID: id, Outcome: outcomes[i], Quality: quality}
+		}
+		for i, br := range pool.StepBatchSeries(batch, 2) {
+			if br.Err != nil {
+				return br.Err
+			}
+			fmt.Printf("  frame %d %s: fused=%d u=%.4f len=%d\n",
+				frame, ids[i], br.Result.Fused, br.Result.Uncertainty, br.Result.SeriesLen)
+		}
+	}
+	for _, id := range ids {
+		if err := pool.CloseSeries(id); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("[online] pool drained: %d active tracks across %d shards\n",
+		pool.Active(), pool.NumShards())
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/iese-repro/tauw
+
+go 1.24

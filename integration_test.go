@@ -160,6 +160,54 @@ func TestIntegrationMultiSignDrive(t *testing.T) {
 	}
 }
 
+// TestIntegrationShardedPoolBatch is the serving-layer scenario end to end:
+// a sharded wrapper pool tracks many concurrent objects, steps arrive as
+// mixed batches (as the /v1/steps endpoint delivers them), and the batched
+// results must agree bit-for-bit with a dedicated wrapper per object.
+func TestIntegrationShardedPoolBatch(t *testing.T) {
+	st := integrationStudy(t)
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, core.Config{}, 0, core.WithShards(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tracks = 6
+	references := make([]*core.Wrapper, tracks)
+	for id := 0; id < tracks; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+		references[id], err = core.NewWrapper(st.Base, st.TAQIM, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := len(st.TestSeries[0].Outcomes)
+	for j := 0; j < steps; j++ {
+		// One frame: every tracked object contributes one step to the batch.
+		items := make([]core.StepItem, tracks)
+		for id := 0; id < tracks; id++ {
+			s := st.TestSeries[id%len(st.TestSeries)]
+			items[id] = core.StepItem{TrackID: id, Outcome: s.Outcomes[j], Quality: s.Quality[j]}
+		}
+		for id, br := range pool.StepBatch(items, 4) {
+			if br.Err != nil {
+				t.Fatalf("frame %d track %d: %v", j, id, br.Err)
+			}
+			want, err := references[id].Step(items[id].Outcome, items[id].Quality)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br.Result.Fused != want.Fused || br.Result.Uncertainty != want.Uncertainty {
+				t.Fatalf("frame %d track %d diverges: batch (%d,%g) vs reference (%d,%g)",
+					j, id, br.Result.Fused, br.Result.Uncertainty, want.Fused, want.Uncertainty)
+			}
+		}
+	}
+	if pool.Active() != tracks {
+		t.Errorf("active = %d, want %d", pool.Active(), tracks)
+	}
+}
+
 // TestIntegrationCustomFusionRule verifies the pluggability contract: a
 // wrapper assembled with a different information-fusion rule trains and
 // serves consistently end to end.

@@ -1,0 +1,108 @@
+package core
+
+import "sync"
+
+// StepItem is one entry of a batch step: one timestep for one open track.
+type StepItem struct {
+	TrackID int
+	Outcome int
+	Quality []float64
+}
+
+// SeriesStepItem is one entry of a batch step addressed by string series id.
+type SeriesStepItem struct {
+	SeriesID string
+	Outcome  int
+	Quality  []float64
+}
+
+// BatchResult pairs one batch item's result with its error; exactly one of
+// the two is meaningful. Errors are per-item: one bad item never fails its
+// batch.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// StepBatch feeds a batch of timesteps to the pool, fanning the work out
+// across shards with at most `workers` goroutines (0 means one per
+// schedulable CPU). Results are returned in input order.
+//
+// Items are grouped by shard before dispatch, which has two effects: a
+// worker takes each shard lock once per batch instead of once per item, and
+// multiple items addressing the same track are applied in their input order
+// (they hash to the same shard, so one worker handles them sequentially).
+func (p *WrapperPool) StepBatch(items []StepItem, workers int) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+
+	// Group item indices by owning shard. For a single-item (or
+	// single-shard) batch the fan-out degenerates to a plain loop with no
+	// goroutine handoff.
+	groups := make(map[uint64][]int, workers)
+	for i, it := range items {
+		s := mix64(uint64(it.TrackID)) & uint64(len(p.shards)-1)
+		groups[s] = append(groups[s], i)
+	}
+	if len(groups) == 1 || workers == 1 {
+		for i := range items {
+			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
+		}
+		return out
+	}
+
+	work := make(chan []int, len(groups))
+	for _, idxs := range groups {
+		work <- idxs
+	}
+	close(work)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idxs := range work {
+				for _, i := range idxs {
+					out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// StepBatchSeries is StepBatch addressed by string series ids: each id is
+// resolved through the sharded registry, unknown ids fail their item with
+// ErrUnknownSeries (wrapped), and all resolvable items proceed as one track
+// batch. Results are returned in input order.
+func (p *WrapperPool) StepBatchSeries(items []SeriesStepItem, workers int) []BatchResult {
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	tracks := make([]StepItem, 0, len(items))
+	// back maps position in the resolved track batch to input position.
+	back := make([]int, 0, len(items))
+	for i, it := range items {
+		track, err := p.ResolveSeries(it.SeriesID)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		tracks = append(tracks, StepItem{TrackID: track, Outcome: it.Outcome, Quality: it.Quality})
+		back = append(back, i)
+	}
+	for j, r := range p.StepBatch(tracks, workers) {
+		out[back[j]] = r
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// batchFixture opens `tracks` tracks on a fresh pool and returns a quality
+// row to step with.
+func batchFixture(t *testing.T, tracks int) (*WrapperPool, *synthStudy) {
+	t.Helper()
+	pool, st := poolFixture(t, 0)
+	for id := 0; id < tracks; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pool, st
+}
+
+func TestStepBatchEmpty(t *testing.T) {
+	pool, _ := batchFixture(t, 1)
+	if got := pool.StepBatch(nil, 0); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+	if got := pool.StepBatchSeries(nil, 0); len(got) != 0 {
+		t.Errorf("empty series batch returned %d results", len(got))
+	}
+}
+
+// TestStepBatchOrderAndErrors checks the per-item contract: results come
+// back in input order, repeated items for one track apply in input order
+// (series length advances monotonically), and an unknown track fails only
+// its own item.
+func TestStepBatchOrderAndErrors(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		pool, st := batchFixture(t, 4)
+		s := st.testSeries[0]
+		items := []StepItem{
+			{TrackID: 0, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+			{TrackID: 1, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+			{TrackID: 0, Outcome: s.Outcomes[1], Quality: s.Quality[1]},
+			{TrackID: 999, Outcome: s.Outcomes[0], Quality: s.Quality[0]}, // not open
+			{TrackID: 0, Outcome: s.Outcomes[2], Quality: s.Quality[2]},
+			{TrackID: 3, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		}
+		got := pool.StepBatch(items, workers)
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(items))
+		}
+		for i, r := range got {
+			if i == 3 {
+				if !errors.Is(r.Err, ErrUnknownTrack) {
+					t.Errorf("workers=%d: item 3 err = %v, want ErrUnknownTrack", workers, r.Err)
+				}
+				continue
+			}
+			if r.Err != nil {
+				t.Errorf("workers=%d: item %d failed: %v", workers, i, r.Err)
+			}
+		}
+		// Track 0 received items 0, 2, 4 in that order.
+		for want, i := range []int{0, 2, 4} {
+			if got[i].Result.SeriesLen != want+1 {
+				t.Errorf("workers=%d: track-0 item %d series len %d, want %d",
+					workers, i, got[i].Result.SeriesLen, want+1)
+			}
+		}
+		// Single-item tracks are at length 1.
+		for _, i := range []int{1, 5} {
+			if got[i].Result.SeriesLen != 1 {
+				t.Errorf("workers=%d: item %d series len %d, want 1", workers, i, got[i].Result.SeriesLen)
+			}
+		}
+	}
+}
+
+// TestStepBatchMatchesSequential runs the same steps through StepBatch and
+// through a sequential loop on an identical pool: the per-track results must
+// agree exactly (batching must not change any estimate).
+func TestStepBatchMatchesSequential(t *testing.T) {
+	const tracks = 8
+	poolA, st := batchFixture(t, tracks)
+	poolB, _ := batchFixture(t, tracks)
+	var items []StepItem
+	for j := 0; j < 5; j++ {
+		for id := 0; id < tracks; id++ {
+			s := st.testSeries[id%len(st.testSeries)]
+			items = append(items, StepItem{TrackID: id, Outcome: s.Outcomes[j], Quality: s.Quality[j]})
+		}
+	}
+	batched := poolA.StepBatch(items, 4)
+	for i, it := range items {
+		seq, err := poolB.Step(it.TrackID, it.Outcome, it.Quality)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batched[i].Err != nil {
+			t.Fatalf("batched item %d: %v", i, batched[i].Err)
+		}
+		b := batched[i].Result
+		if b.Fused != seq.Fused || b.Uncertainty != seq.Uncertainty || b.SeriesLen != seq.SeriesLen {
+			t.Errorf("item %d diverges: batch (%d,%g,%d) vs sequential (%d,%g,%d)",
+				i, b.Fused, b.Uncertainty, b.SeriesLen, seq.Fused, seq.Uncertainty, seq.SeriesLen)
+		}
+	}
+}
+
+// TestStepBatchSeriesMixed feeds a batch with valid, never-issued, and
+// already-closed series ids: each item gets its own verdict.
+func TestStepBatchSeriesMixed(t *testing.T) {
+	pool, st := poolFixture(t, 0)
+	s := st.testSeries[0]
+	a, err := pool.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pool.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := pool.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.CloseSeries(closed); err != nil {
+		t.Fatal(err)
+	}
+	items := []SeriesStepItem{
+		{SeriesID: a, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: "never-issued", Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: b, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: closed, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: a, Outcome: s.Outcomes[1], Quality: s.Quality[1]},
+	}
+	got := pool.StepBatchSeries(items, 0)
+	if got[0].Err != nil || got[2].Err != nil || got[4].Err != nil {
+		t.Fatalf("valid items failed: %v %v %v", got[0].Err, got[2].Err, got[4].Err)
+	}
+	if !errors.Is(got[1].Err, ErrUnknownSeries) {
+		t.Errorf("never-issued err = %v, want ErrUnknownSeries", got[1].Err)
+	}
+	if !errors.Is(got[3].Err, ErrUnknownSeries) {
+		t.Errorf("closed err = %v, want ErrUnknownSeries", got[3].Err)
+	}
+	if got[0].Result.SeriesLen != 1 || got[4].Result.SeriesLen != 2 {
+		t.Errorf("series %q lengths = %d,%d, want 1,2", a, got[0].Result.SeriesLen, got[4].Result.SeriesLen)
+	}
+}
+
+// TestStepBatchConcurrent fires overlapping batches from several goroutines
+// (race-detector fodder): every item must succeed and the total number of
+// steps applied per track must equal the global step count.
+func TestStepBatchConcurrent(t *testing.T) {
+	const (
+		tracks     = 8
+		goroutines = 6
+		perBatch   = 32
+	)
+	pool, st := batchFixture(t, tracks)
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := st.testSeries[g%len(st.testSeries)]
+			items := make([]StepItem, perBatch)
+			for i := range items {
+				j := (g + i) % len(s.Outcomes)
+				items[i] = StepItem{TrackID: (g + i) % tracks, Outcome: s.Outcomes[j], Quality: s.Quality[j]}
+			}
+			for _, r := range pool.StepBatch(items, 3) {
+				if r.Err != nil {
+					errCh <- r.Err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Every goroutine contributed perBatch/tracks steps to each track.
+	wantLen := goroutines * perBatch / tracks
+	for id := 0; id < tracks; id++ {
+		s := st.testSeries[0]
+		res, err := pool.Step(id, s.Outcomes[0], s.Quality[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SeriesLen != wantLen+1 {
+			t.Errorf("track %d: series len %d, want %d", id, res.SeriesLen, wantLen+1)
+		}
+	}
+}

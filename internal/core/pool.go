@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"github.com/iese-repro/tauw/internal/uw"
 )
@@ -11,16 +13,30 @@ import (
 // WrapperPool manages one timeseries-aware wrapper per tracked object, the
 // session layer every runtime deployment needs: tracks open and close as
 // the tracker reports object changes, and each track's wrapper keeps its
-// own buffer. The pool is safe for concurrent use; steps for the same track
-// are serialised, steps for different tracks proceed independently.
+// own buffer.
+//
+// The pool is sharded: track ids hash to one of N shards, each with its own
+// lock and track map, so opens/steps/closes on different tracks almost never
+// contend. Shard selection itself is lock-free. Steps for the same track are
+// serialised; steps for different tracks proceed independently. The pool is
+// safe for concurrent use.
+//
+// Alongside the integer track ids the pool keeps a sharded registry of
+// string series ids (OpenSeries/StepSeries/CloseSeries), the session handle
+// a network serving layer hands to clients.
 type WrapperPool struct {
 	base      *uw.Wrapper
 	taqim     *uw.QualityImpactModel
 	cfg       Config
 	maxTracks int
 
-	mu     sync.Mutex
-	tracks map[int]*pooledWrapper
+	// active counts open tracks; nextSeries mints monotonically increasing
+	// series handles. Both are atomics so neither is a global hot spot.
+	active     atomic.Int64
+	nextSeries atomic.Uint64
+
+	shards []trackShard
+	series []seriesShard
 }
 
 type pooledWrapper struct {
@@ -28,27 +44,60 @@ type pooledWrapper struct {
 	w  *Wrapper
 }
 
+// PoolOption customises pool construction.
+type PoolOption func(*poolOptions)
+
+type poolOptions struct {
+	shards int
+}
+
+// WithShards overrides the shard count (rounded up to a power of two;
+// 0 keeps DefaultShards). More shards reduce contention at slightly more
+// memory; one shard degenerates to the classic single-mutex pool.
+func WithShards(n int) PoolOption {
+	return func(o *poolOptions) { o.shards = n }
+}
+
 // NewWrapperPool creates a pool that serves at most maxTracks concurrent
 // tracks (0 means unlimited).
-func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, maxTracks int) (*WrapperPool, error) {
+func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, maxTracks int, opts ...PoolOption) (*WrapperPool, error) {
 	if base == nil || taqim == nil {
 		return nil, errors.New("core: base wrapper and taQIM are required")
 	}
 	if maxTracks < 0 {
 		return nil, fmt.Errorf("core: maxTracks %d must be >= 0", maxTracks)
 	}
+	var o poolOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	nshards, err := normShards(o.shards)
+	if err != nil {
+		return nil, err
+	}
 	// Validate the config once by assembling a probe wrapper.
 	if _, err := NewWrapper(base, taqim, cfg); err != nil {
 		return nil, err
 	}
-	return &WrapperPool{
+	p := &WrapperPool{
 		base:      base,
 		taqim:     taqim,
 		cfg:       cfg,
 		maxTracks: maxTracks,
-		tracks:    make(map[int]*pooledWrapper),
-	}, nil
+		shards:    make([]trackShard, nshards),
+		series:    make([]seriesShard, nshards),
+	}
+	for i := range p.shards {
+		p.shards[i].tracks = make(map[int]*pooledWrapper)
+	}
+	for i := range p.series {
+		p.series[i].ids = make(map[string]int)
+	}
+	return p, nil
 }
+
+// NumShards reports the pool's shard count (a power of two).
+func (p *WrapperPool) NumShards() int { return len(p.shards) }
 
 // ErrTrackBudget is returned when opening a track would exceed the pool's
 // budget.
@@ -58,33 +107,55 @@ var ErrTrackBudget = errors.New("core: track budget exhausted")
 // open.
 var ErrUnknownTrack = errors.New("core: unknown track")
 
+// ErrUnknownSeries is returned when stepping or closing a string series id
+// that is not registered (never issued, or already closed).
+var ErrUnknownSeries = errors.New("core: unknown series")
+
 // Open starts a fresh timeseries for the given track id; an existing track
-// with the same id is reset (the tracker said the object changed).
+// with the same id is reset (the tracker said the object changed). Track
+// ids must be non-negative: the negative space is reserved for the series
+// registry (see OpenSeries), and letting callers open into it would alias
+// registry-owned tracks.
 func (p *WrapperPool) Open(trackID int) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if pw, ok := p.tracks[trackID]; ok {
+	if trackID < 0 {
+		return fmt.Errorf("core: track id %d must be >= 0 (negative ids are reserved for series)", trackID)
+	}
+	return p.open(trackID)
+}
+
+func (p *WrapperPool) open(trackID int) error {
+	sh := p.trackShardFor(trackID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if pw, ok := sh.tracks[trackID]; ok {
 		pw.mu.Lock()
 		pw.w.NewSeries()
 		pw.mu.Unlock()
 		return nil
 	}
-	if p.maxTracks > 0 && len(p.tracks) >= p.maxTracks {
-		return fmt.Errorf("%w: %d tracks open", ErrTrackBudget, len(p.tracks))
+	// The budget is enforced with an optimistic reservation: claim a slot,
+	// roll back if that overshot. Holding only the shard lock here means
+	// concurrent opens on other shards cannot be double-counted past the
+	// budget, only transiently rejected at the boundary.
+	if n := p.active.Add(1); p.maxTracks > 0 && n > int64(p.maxTracks) {
+		p.active.Add(-1)
+		return fmt.Errorf("%w: %d tracks open", ErrTrackBudget, p.maxTracks)
 	}
 	w, err := NewWrapper(p.base, p.taqim, p.cfg)
 	if err != nil {
+		p.active.Add(-1)
 		return err
 	}
-	p.tracks[trackID] = &pooledWrapper{w: w}
+	sh.tracks[trackID] = &pooledWrapper{w: w}
 	return nil
 }
 
 // Step feeds one timestep to the track's wrapper.
 func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
-	p.mu.Lock()
-	pw, ok := p.tracks[trackID]
-	p.mu.Unlock()
+	sh := p.trackShardFor(trackID)
+	sh.mu.Lock()
+	pw, ok := sh.tracks[trackID]
+	sh.mu.Unlock()
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
 	}
@@ -95,18 +166,80 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 
 // Close retires a track.
 func (p *WrapperPool) Close(trackID int) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.tracks[trackID]; !ok {
+	sh := p.trackShardFor(trackID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.tracks[trackID]; !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
 	}
-	delete(p.tracks, trackID)
+	delete(sh.tracks, trackID)
+	p.active.Add(-1)
 	return nil
 }
 
 // Active returns the number of open tracks.
-func (p *WrapperPool) Active() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.tracks)
+func (p *WrapperPool) Active() int { return int(p.active.Load()) }
+
+// OpenSeries mints a fresh string series id, opens its track, and registers
+// the id. The track opens before the id becomes resolvable, so a failed
+// open (e.g. exhausted budget) leaves nothing behind — later steps on the
+// minted id report ErrUnknownSeries, a not-found condition — and a raced
+// CloseSeries on a predicted id can never orphan a half-open track.
+//
+// Series tracks live in the negative track-id space (see seriesTrack), so
+// they never collide with tracker-assigned ids passed to Open directly.
+func (p *WrapperPool) OpenSeries() (string, error) {
+	n := p.nextSeries.Add(1)
+	id := "s" + strconv.FormatUint(n, 10)
+	track := seriesTrack(n)
+	if err := p.open(track); err != nil {
+		return "", err
+	}
+	ssh := p.seriesShardFor(id)
+	ssh.mu.Lock()
+	ssh.ids[id] = track
+	ssh.mu.Unlock()
+	return id, nil
+}
+
+// seriesTrack maps a minted series number onto the negative track-id space.
+// Trackers hand non-negative object ids to Open; keeping registry-minted
+// tracks negative means the two id families can share one pool without the
+// series layer ever resetting or closing a tracker's track.
+func seriesTrack(n uint64) int { return -int(n) }
+
+// ResolveSeries maps a series id to its track id.
+func (p *WrapperPool) ResolveSeries(id string) (int, error) {
+	ssh := p.seriesShardFor(id)
+	ssh.mu.Lock()
+	track, ok := ssh.ids[id]
+	ssh.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownSeries, id)
+	}
+	return track, nil
+}
+
+// StepSeries feeds one timestep to the series' wrapper.
+func (p *WrapperPool) StepSeries(id string, outcome int, quality []float64) (Result, error) {
+	track, err := p.ResolveSeries(id)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Step(track, outcome, quality)
+}
+
+// CloseSeries retires a series and its track.
+func (p *WrapperPool) CloseSeries(id string) error {
+	ssh := p.seriesShardFor(id)
+	ssh.mu.Lock()
+	track, ok := ssh.ids[id]
+	if ok {
+		delete(ssh.ids, id)
+	}
+	ssh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSeries, id)
+	}
+	return p.Close(track)
 }

@@ -98,6 +98,58 @@ func TestWrapperPoolValidation(t *testing.T) {
 	if _, err := NewWrapperPool(st.base, taqim, Config{Features: []Feature{Feature(99)}}, 0); err == nil {
 		t.Error("invalid config must fail")
 	}
+	pool, err := NewWrapperPool(st.base, taqim, Config{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Negative ids are the series registry's reserved space.
+	if err := pool.Open(-1); err == nil {
+		t.Error("negative track id must fail")
+	}
+}
+
+func TestWrapperPoolShardOptions(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	cases := []struct {
+		req, want int
+	}{
+		{0, DefaultShards}, // default
+		{1, 1},
+		{2, 2},
+		{3, 4}, // rounded up to a power of two
+		{30, 32},
+		{64, 64},
+	}
+	for _, c := range cases {
+		pool, err := NewWrapperPool(st.base, taqim, Config{}, 0, WithShards(c.req))
+		if err != nil {
+			t.Fatalf("WithShards(%d): %v", c.req, err)
+		}
+		if got := pool.NumShards(); got != c.want {
+			t.Errorf("WithShards(%d) => %d shards, want %d", c.req, got, c.want)
+		}
+	}
+	if _, err := NewWrapperPool(st.base, taqim, Config{}, 0, WithShards(-1)); err == nil {
+		t.Error("negative shard count must fail")
+	}
+	// The degenerate single-shard pool still honours the full lifecycle.
+	pool, err := NewWrapperPool(st.base, taqim, Config{}, 0, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	for id := 0; id < 5; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pool.Step(id, s.Outcomes[0], s.Quality[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pool.Active() != 5 {
+		t.Errorf("active = %d, want 5", pool.Active())
+	}
 }
 
 func TestWrapperPoolConcurrent(t *testing.T) {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultShards is the shard count used when a pool is created without an
+// explicit override: enough to keep lock contention negligible on common
+// core counts without wasting memory on tiny deployments.
+const DefaultShards = 32
+
+// trackShard holds one slice of the pool's track map under its own lock.
+// The padding rounds the struct up to a full 64-byte cache line (8-byte
+// mutex + 8-byte map header + 48) so that a hot shard does not false-share
+// with its neighbours in the shard array.
+type trackShard struct {
+	mu     sync.Mutex
+	tracks map[int]*pooledWrapper
+	_      [48]byte
+}
+
+// seriesShard holds one slice of the string-series-id registry. The registry
+// is sharded independently of the track maps: a series id hashes by string,
+// its track by integer, so the two layers scale without coordinating.
+type seriesShard struct {
+	mu  sync.Mutex
+	ids map[string]int
+	_   [48]byte
+}
+
+// normShards validates and normalises a shard-count request: 0 means
+// DefaultShards, and any positive value is rounded up to the next power of
+// two so shard selection stays a mask instead of a modulo.
+func normShards(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: shard count %d must be >= 0", n)
+	}
+	if n == 0 {
+		n = DefaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p, nil
+}
+
+// mix64 is the splitmix64 finaliser: a cheap, well-distributed integer hash
+// so that sequential track ids (the common allocation pattern) spread across
+// shards instead of marching through them in lockstep.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// trackShardFor selects the shard owning a track id. Shard selection is
+// lock-free: the shard slice is immutable after construction.
+func (p *WrapperPool) trackShardFor(trackID int) *trackShard {
+	return &p.shards[mix64(uint64(trackID))&uint64(len(p.shards)-1)]
+}
+
+// seriesShardFor selects the registry shard owning a series id (FNV-1a).
+func (p *WrapperPool) seriesShardFor(id string) *seriesShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	return &p.series[mix64(h)&uint64(len(p.series)-1)]
+}
+
+// defaultWorkers bounds a batch fan-out when the caller does not: one worker
+// per schedulable CPU, never more than one per shard group.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
