@@ -183,6 +183,72 @@ func BenchmarkWrapperStep(b *testing.B) {
 	}
 }
 
+// benchStepLens are the window lengths the O(1)-step claim is demonstrated
+// at: ns/op at len=10000 must stay within 2x of len=10 (see BENCH_*.json and
+// the CI regression gate).
+var benchStepLens = []int{10, 1000, 10000}
+
+// stepAtLen measures the per-step cost of a wrapper holding a series of
+// constant length L: the buffer is a ring of exactly L records, prefilled
+// before the timer starts, so every measured step runs at series length L —
+// including one eviction per step, the steady state of a long-lived stream.
+func stepAtLen(b *testing.B, w *core.Wrapper, L int, quality []float64) {
+	b.Helper()
+	for i := 0; i < L; i++ {
+		if _, err := w.Step(i&3, quality); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Step(i&3, quality); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWrapperStepLen is the O(1)-step proof: the incremental fast path
+// (running buffer stats + fusion tally + compiled tree + scratch row) must
+// hold ns/op flat and allocs/op at zero as the series length grows 10 → 10k.
+func BenchmarkWrapperStepLen(b *testing.B) {
+	st := study(b)
+	quality := st.TestSeries[0].Quality[0]
+	for _, L := range benchStepLens {
+		b.Run(fmt.Sprintf("len=%d", L), func(b *testing.B) {
+			w, err := core.NewWrapper(st.Base, st.TAQIM, core.Config{BufferLimit: L})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stepAtLen(b, w, L, quality)
+		})
+	}
+}
+
+// opaqueFuser hides the fuser's incremental form, forcing the wrapper onto
+// the reference full-series path — the pre-optimisation behaviour kept as
+// the benchmark baseline (O(series length) per step).
+type opaqueFuser struct{ fusion.OutcomeFuser }
+
+// BenchmarkWrapperStepLenReference is the "before" column: the same workload
+// on the reference path, whose per-step cost grows linearly with the series.
+func BenchmarkWrapperStepLenReference(b *testing.B) {
+	st := study(b)
+	quality := st.TestSeries[0].Quality[0]
+	for _, L := range benchStepLens {
+		b.Run(fmt.Sprintf("len=%d", L), func(b *testing.B) {
+			w, err := core.NewWrapper(st.Base, st.TAQIM, core.Config{
+				BufferLimit: L,
+				Fuser:       opaqueFuser{fusion.MajorityVote{}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stepAtLen(b, w, L, quality)
+		})
+	}
+}
+
 // BenchmarkStatelessEstimate measures the base wrapper's per-frame cost.
 func BenchmarkStatelessEstimate(b *testing.B) {
 	st := study(b)

@@ -67,9 +67,9 @@ func WithBatchWorkers(n int) ServerOption {
 	return func(o *serverOptions) { o.batchWorkers = n }
 }
 
-// WithBufferLimit caps each series' timeseries buffer (0 = unbounded). An
-// unbounded buffer makes per-step cost grow with series length — fusion
-// scans the whole history — so long-lived deployments should set a cap.
+// WithBufferLimit caps each series' timeseries buffer (0 = unbounded). The
+// step hot path is O(1) in series length either way; the cap bounds memory
+// and fixes the taQF window, so long-lived deployments should still set it.
 func WithBufferLimit(n int) ServerOption {
 	return func(o *serverOptions) { o.bufferLimit = n }
 }
@@ -168,13 +168,18 @@ type stepRequest struct {
 // stepResponse reports the fused outcome, its dependable uncertainty, and
 // the selected countermeasure.
 type stepResponse struct {
-	SeriesID       string  `json:"series_id"`
-	FusedOutcome   int     `json:"fused_outcome"`
-	Uncertainty    float64 `json:"uncertainty"`
-	StatelessU     float64 `json:"stateless_uncertainty"`
-	SeriesLen      int     `json:"series_len"`
-	Countermeasure string  `json:"countermeasure"`
-	Accepted       bool    `json:"accepted"`
+	SeriesID     string  `json:"series_id"`
+	FusedOutcome int     `json:"fused_outcome"`
+	Uncertainty  float64 `json:"uncertainty"`
+	StatelessU   float64 `json:"stateless_uncertainty"`
+	// SeriesLen is the buffered window length the taQF were computed over;
+	// TotalSteps counts every step since the series opened, including steps
+	// evicted once a -buffer-limit ring fills. They differ exactly when
+	// eviction has happened.
+	SeriesLen      int    `json:"series_len"`
+	TotalSteps     int    `json:"total_steps"`
+	Countermeasure string `json:"countermeasure"`
+	Accepted       bool   `json:"accepted"`
 }
 
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
@@ -218,6 +223,7 @@ func (s *Server) gate(seriesID string, res core.Result) (stepResponse, error) {
 		Uncertainty:    res.Uncertainty,
 		StatelessU:     res.Stateless.Uncertainty,
 		SeriesLen:      res.SeriesLen,
+		TotalSteps:     res.TotalSteps,
 		Countermeasure: decision.Level.Name,
 		Accepted:       decision.Accepted,
 	}, nil

@@ -102,6 +102,9 @@ func TestServerLifecycle(t *testing.T) {
 		if got.SeriesLen != step {
 			t.Errorf("step %d: series len %d", step, got.SeriesLen)
 		}
+		if got.TotalSteps != step {
+			t.Errorf("step %d: total steps %d (must equal series len without a buffer limit)", step, got.TotalSteps)
+		}
 		if got.FusedOutcome != 14 {
 			t.Errorf("step %d: fused outcome %d", step, got.FusedOutcome)
 		}
@@ -151,6 +154,44 @@ func TestServerLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("double delete = %d", resp.StatusCode)
+	}
+}
+
+// TestServerBufferLimitReportsBothCounts pins the eviction semantics at the
+// API surface: with a -buffer-limit ring, series_len saturates at the limit
+// (the taQF window) while total_steps keeps counting every step.
+func TestServerBufferLimitReportsBothCounts(t *testing.T) {
+	testServer(t) // ensures the shared study fixture is built
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy(), WithBufferLimit(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	resp := postJSON(t, ts.URL+"/v1/series", struct{}{})
+	created := decode[newSeriesResponse](t, resp)
+	for step := 1; step <= 8; step++ {
+		resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+			SeriesID:  created.SeriesID,
+			Outcome:   14,
+			Quality:   map[string]float64{"rain": 0.1},
+			PixelSize: 150,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d = %d", step, resp.StatusCode)
+		}
+		got := decode[stepResponse](t, resp)
+		wantLen := step
+		if wantLen > 3 {
+			wantLen = 3
+		}
+		if got.SeriesLen != wantLen {
+			t.Errorf("step %d: series_len %d, want %d (saturated window)", step, got.SeriesLen, wantLen)
+		}
+		if got.TotalSteps != step {
+			t.Errorf("step %d: total_steps %d, want %d", step, got.TotalSteps, step)
+		}
 	}
 }
 

@@ -1,3 +1,3 @@
 module github.com/iese-repro/tauw
 
-go 1.24
+go 1.23.0

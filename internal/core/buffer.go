@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Record stores the interim results of one timestep, as kept in the
@@ -31,11 +32,35 @@ type Record struct {
 // turns it into a ring that keeps only the most recent records, for
 // unbounded streams; the study uses unlimited buffers since GTSRB series
 // have at most 30 frames.
+//
+// Alongside the records the buffer maintains running per-outcome statistics
+// (vote counts and certainty sums), updated on every append and eviction, so
+// the four taQF can be derived in O(1) instead of a full-series scan (see
+// FeaturesAt). ComputeFeatures remains the reference oracle the incremental
+// stats are tested against.
 type Buffer struct {
 	records []Record
 	limit   int
 	start   int // ring start when limit > 0 and full
 	full    bool
+
+	// total counts every append since the last Reset, including records a
+	// full ring has since evicted; Len() is the buffered count. The taQF
+	// length factor uses the buffered count — the window the other factors
+	// are computed over — while total makes eviction observable.
+	total int
+	// stats holds the running per-outcome statistics. A key is deleted as
+	// soon as its count reaches zero, so len(stats) is the distinct-outcome
+	// taQF and floating-point eviction drift in a certainty sum dies with
+	// its class.
+	stats map[int]outcomeStat
+}
+
+// outcomeStat is the running state of one outcome class: how many buffered
+// records carry it and the sum of their certainties (1 - u_j).
+type outcomeStat struct {
+	count     int
+	certainty float64
 }
 
 // NewBuffer creates a buffer; limit 0 means unbounded.
@@ -43,44 +68,94 @@ func NewBuffer(limit int) (*Buffer, error) {
 	if limit < 0 {
 		return nil, fmt.Errorf("core: buffer limit %d must be >= 0", limit)
 	}
-	b := &Buffer{limit: limit}
+	b := &Buffer{
+		limit: limit,
+		stats: make(map[int]outcomeStat, 8),
+	}
 	if limit > 0 {
 		b.records = make([]Record, 0, limit)
 	}
 	return b, nil
 }
 
-// Append adds one timestep.
-func (b *Buffer) Append(r Record) {
-	if r.Uncertainty < 0 || r.Uncertainty > 1 {
-		// Clamp defensively; upstream validation should prevent this.
-		if r.Uncertainty < 0 {
-			r.Uncertainty = 0
-		} else {
-			r.Uncertainty = 1
-		}
+// Append adds one timestep. When the buffer is a full ring it returns the
+// record that was evicted to make room, so callers maintaining their own
+// incremental state (e.g. a fusion.Tally) can retire it.
+func (b *Buffer) Append(r Record) (evicted Record, wasEvicted bool) {
+	// Clamp defensively; upstream validation should prevent this. NaN is
+	// clamped to 1 (maximum uncertainty) so it cannot poison the running
+	// certainty sums.
+	if math.IsNaN(r.Uncertainty) || r.Uncertainty > 1 {
+		r.Uncertainty = 1
+	} else if r.Uncertainty < 0 {
+		r.Uncertainty = 0
 	}
-	if b.limit == 0 {
+	b.total++
+	b.statAdd(r)
+	if b.limit == 0 || len(b.records) < b.limit {
 		b.records = append(b.records, r)
-		return
+		return Record{}, false
 	}
-	if len(b.records) < b.limit {
-		b.records = append(b.records, r)
-		return
-	}
+	evicted = b.records[b.start]
 	b.records[b.start] = r
 	b.start = (b.start + 1) % b.limit
 	b.full = true
+	b.statRemove(evicted)
+	return evicted, true
+}
+
+func (b *Buffer) statAdd(r Record) {
+	s := b.stats[r.Outcome]
+	s.count++
+	s.certainty += 1 - r.Uncertainty
+	b.stats[r.Outcome] = s
+}
+
+func (b *Buffer) statRemove(r Record) {
+	s := b.stats[r.Outcome]
+	s.count--
+	if s.count <= 0 {
+		delete(b.stats, r.Outcome)
+		return
+	}
+	s.certainty -= 1 - r.Uncertainty
+	b.stats[r.Outcome] = s
 }
 
 // Len returns the number of buffered timesteps.
 func (b *Buffer) Len() int { return len(b.records) }
 
-// Reset clears the buffer at the onset of a new timeseries.
+// TotalSteps returns the number of timesteps appended since the last Reset,
+// including any a full ring has evicted. TotalSteps() == Len() while no
+// eviction has happened; under a BufferLimit the difference is the number of
+// evicted records.
+func (b *Buffer) TotalSteps() int { return b.total }
+
+// Reset clears the buffer at the onset of a new timeseries. Capacity is
+// retained so a steady-state stream of series allocates nothing.
 func (b *Buffer) Reset() {
 	b.records = b.records[:0]
 	b.start = 0
 	b.full = false
+	b.total = 0
+	clear(b.stats)
+}
+
+// FeaturesAt derives all four taQF for the given fused outcome from the
+// running statistics in O(1) — no series scan. It is the incremental
+// equivalent of ComputeFeatures(b.Outcomes(), b.Uncertainties(), fused).
+func (b *Buffer) FeaturesAt(fused int) ([4]float64, error) {
+	var out [4]float64
+	n := len(b.records)
+	if n == 0 {
+		return out, ErrEmptySeries
+	}
+	s := b.stats[fused]
+	out[Ratio-1] = float64(s.count) / float64(n)
+	out[Length-1] = float64(n)
+	out[Size-1] = float64(len(b.stats))
+	out[Certainty-1] = s.certainty
+	return out, nil
 }
 
 // Outcomes returns the buffered outcomes in time order (a fresh slice).

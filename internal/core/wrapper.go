@@ -20,8 +20,15 @@ type Result struct {
 	// TAQF holds the four timeseries-aware quality factors computed at
 	// this step (indexed Ratio-1..Certainty-1).
 	TAQF [4]float64
-	// SeriesLen is the series length including this step.
+	// SeriesLen is the buffered series length including this step: the
+	// window the taQF are computed over. Under a BufferLimit it saturates
+	// at the limit once the ring starts evicting.
 	SeriesLen int
+	// TotalSteps is the number of steps observed since the series began,
+	// including any a full ring buffer has evicted. TotalSteps ==
+	// SeriesLen while no eviction has happened; the difference is the
+	// number of evicted steps.
+	TotalSteps int
 }
 
 // Config assembles a timeseries-aware wrapper.
@@ -50,12 +57,23 @@ func (c Config) withDefaults() Config {
 // series, the fusion rule improves the outcome, and the taQIM turns
 // stateless factors plus taQF into a dependable uncertainty for the fused
 // outcome. It is not safe for concurrent use.
+//
+// When the fusion rule has an incremental form (fusion.Incremental — the
+// default majority vote does), Step runs a fast path that is O(1) in the
+// series length and allocation-free in steady state: the fused outcome comes
+// from a running tally, the taQF from the buffer's running statistics, and
+// the taQIM row is assembled into a reused scratch slice. Other fusers fall
+// back to the reference full-series path.
 type Wrapper struct {
 	base  *uw.Wrapper
 	taqim *uw.QualityImpactModel
 	fuser fusion.OutcomeFuser
 	feats []Feature
 	buf   *Buffer
+	// tally is the incremental fusion state (nil = reference path).
+	tally fusion.Tally
+	// row is the scratch slice taQIM input rows are assembled into.
+	row []float64
 }
 
 // NewWrapper assembles a taUW from a fitted base wrapper and a calibrated
@@ -78,22 +96,35 @@ func NewWrapper(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config) (*Wr
 	if err != nil {
 		return nil, err
 	}
-	return &Wrapper{
+	w := &Wrapper{
 		base:  base,
 		taqim: taqim,
 		fuser: cfg.Fuser,
 		feats: append([]Feature(nil), cfg.Features...),
 		buf:   buf,
-	}, nil
+	}
+	if inc, ok := cfg.Fuser.(fusion.Incremental); ok {
+		w.tally = inc.NewTally() // nil when the configuration has no incremental form
+	}
+	return w, nil
 }
 
 // NewSeries clears the timeseries buffer; call it when the tracking
 // component reports that subsequent predictions relate to a new physical
 // object.
-func (w *Wrapper) NewSeries() { w.buf.Reset() }
+func (w *Wrapper) NewSeries() {
+	w.buf.Reset()
+	if w.tally != nil {
+		w.tally.Reset()
+	}
+}
 
-// SeriesLen returns the current series length.
+// SeriesLen returns the current buffered series length.
 func (w *Wrapper) SeriesLen() int { return w.buf.Len() }
+
+// TotalSteps returns the number of steps observed since the series began,
+// including steps a full ring buffer has evicted.
+func (w *Wrapper) TotalSteps() int { return w.buf.TotalSteps() }
 
 // Step processes one timestep: the momentaneous DDM outcome and the
 // stateless quality factors observed with it. It returns the fused outcome
@@ -113,21 +144,40 @@ func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, err
 	if err != nil {
 		return Result{}, fmt.Errorf("core: base estimate: %w", err)
 	}
-	w.buf.Append(Record{Outcome: outcome, Uncertainty: est.Uncertainty, Quality: quality})
-	outcomes := w.buf.Outcomes()
-	us := w.buf.Uncertainties()
-	fused, err := w.fuser.Fuse(outcomes, us)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: information fusion: %w", err)
+	evicted, wasEvicted := w.buf.Append(Record{Outcome: outcome, Uncertainty: est.Uncertainty, Quality: quality})
+	var fused int
+	var taqf [4]float64
+	if w.tally != nil {
+		// Fast path: O(1) in the series length, allocation-free in steady
+		// state. Estimate guarantees the uncertainty the tally sees equals
+		// the one the buffer stored (both in [0,1]).
+		if wasEvicted {
+			w.tally.Evict(evicted.Outcome, evicted.Uncertainty)
+		}
+		w.tally.Push(outcome, est.Uncertainty)
+		fused, err = w.tally.Fused()
+		if err != nil {
+			return Result{}, fmt.Errorf("core: information fusion: %w", err)
+		}
+		taqf, err = w.buf.FeaturesAt(fused)
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		// Reference path for fusers without an incremental form: replay the
+		// buffered series through the fuser and the taQF oracle.
+		outcomes := w.buf.Outcomes()
+		us := w.buf.Uncertainties()
+		fused, err = w.fuser.Fuse(outcomes, us)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: information fusion: %w", err)
+		}
+		taqf, err = ComputeFeatures(outcomes, us, fused)
+		if err != nil {
+			return Result{}, err
+		}
 	}
-	taqf, err := ComputeFeatures(outcomes, us, fused)
-	if err != nil {
-		return Result{}, err
-	}
-	row, err := w.assembleRow(quality, taqf)
-	if err != nil {
-		return Result{}, err
-	}
+	row := w.assembleRow(quality, taqf)
 	u, err := w.taqim.Uncertainty(row)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: timeseries-aware estimate: %w", err)
@@ -146,20 +196,22 @@ func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, err
 		Stateless:   est,
 		TAQF:        taqf,
 		SeriesLen:   w.buf.Len(),
+		TotalSteps:  w.buf.TotalSteps(),
 	}, nil
 }
 
 // assembleRow concatenates the stateless quality factors with the selected
-// taQF, the input layout of the taQIM.
-func (w *Wrapper) assembleRow(quality []float64, taqf [4]float64) ([]float64, error) {
-	sel, err := SelectFeatures(taqf, w.feats)
-	if err != nil {
-		return nil, err
-	}
-	row := make([]float64, 0, len(quality)+len(sel))
+// taQF — the input layout of the taQIM — into the wrapper's scratch slice,
+// which is overwritten by the next step. The feature subset was validated at
+// construction, so selection cannot fail.
+func (w *Wrapper) assembleRow(quality []float64, taqf [4]float64) []float64 {
+	row := w.row[:0]
 	row = append(row, quality...)
-	row = append(row, sel...)
-	return row, nil
+	for _, f := range w.feats {
+		row = append(row, taqf[f-1])
+	}
+	w.row = row
+	return row
 }
 
 // TAQIM exposes the timeseries-aware quality impact model for inspection
@@ -173,7 +225,8 @@ func (w *Wrapper) Base() *uw.Wrapper { return w.base }
 // joint uncertainty with one of the uncertainty-fusion baselines (naïve,
 // opportune, worst-case, or the timeseries-unaware pass-through) instead of
 // a taQIM. It exists to reproduce the paper's comparisons and to let
-// deployments choose a baseline at runtime.
+// deployments choose a baseline at runtime. Uncertainty fusion consumes the
+// full uncertainty series, so UFWrapper has no O(1) fast path.
 type UFWrapper struct {
 	base  *uw.Wrapper
 	fuser fusion.OutcomeFuser
@@ -200,7 +253,7 @@ func NewUFWrapper(base *uw.Wrapper, uf fusion.UncertaintyFuser, cfg Config) (*UF
 // NewSeries clears the timeseries buffer.
 func (w *UFWrapper) NewSeries() { w.buf.Reset() }
 
-// SeriesLen returns the current series length.
+// SeriesLen returns the current buffered series length.
 func (w *UFWrapper) SeriesLen() int { return w.buf.Len() }
 
 // Step processes one timestep under the baseline uncertainty-fusion rule.
@@ -230,5 +283,6 @@ func (w *UFWrapper) Step(outcome int, quality []float64) (Result, error) {
 		Stateless:   est,
 		TAQF:        taqf,
 		SeriesLen:   w.buf.Len(),
+		TotalSteps:  w.buf.TotalSteps(),
 	}, nil
 }

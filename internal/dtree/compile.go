@@ -1,0 +1,139 @@
+package dtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Compiled is a tree flattened into struct-of-arrays form for inference: one
+// parallel slice per node attribute, children addressed by index, no
+// pointers. Traversal walks a few contiguous slices instead of chasing heap
+// nodes, which roughly halves the per-lookup cost and removes the tree from
+// the garbage collector's pointer graph. A Compiled tree is immutable and
+// safe for concurrent use.
+//
+// The pointer Tree stays canonical: rules, DOT export, serialisation, and
+// calibration all operate on it; Compile is a pure projection taken after
+// fit/calibrate/load.
+type Compiled struct {
+	// feature[i] is the split feature of node i, or -1 for a leaf.
+	feature []int32
+	// threshold[i] routes x[feature[i]] <= threshold[i] to left[i],
+	// otherwise to right[i]. NaN factors fail the comparison and go right,
+	// exactly as in the pointer tree.
+	threshold []float64
+	// left and right are child node indices (unset for leaves).
+	left, right []int32
+	// value[i] is the calibrated leaf value (NaN when uncalibrated or for
+	// internal nodes).
+	value []float64
+	// leafID[i] is the dense leaf id of node i, -1 for internal nodes.
+	leafID []int32
+
+	nFeatures int
+	nLeaves   int
+}
+
+// Compile flattens the tree into its inference form. Call it after Fit and
+// Calibrate (or Load); the result does not track later mutations of the
+// pointer tree.
+func (t *Tree) Compile() *Compiled {
+	n := countNodes(t.root)
+	c := &Compiled{
+		feature:   make([]int32, 0, n),
+		threshold: make([]float64, 0, n),
+		left:      make([]int32, 0, n),
+		right:     make([]int32, 0, n),
+		value:     make([]float64, 0, n),
+		leafID:    make([]int32, 0, n),
+		nFeatures: t.nFeatures,
+		nLeaves:   t.nLeaves,
+	}
+	c.flatten(t.root)
+	return c
+}
+
+func countNodes(n *Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return 1 + countNodes(n.Left) + countNodes(n.Right)
+}
+
+// flatten appends the subtree rooted at n in preorder and returns its index.
+func (c *Compiled) flatten(n *Node) int32 {
+	idx := int32(len(c.feature))
+	c.feature = append(c.feature, int32(n.Feature))
+	c.threshold = append(c.threshold, n.Threshold)
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.value = append(c.value, n.Value)
+	c.leafID = append(c.leafID, int32(n.LeafID))
+	if !n.IsLeaf() {
+		c.left[idx] = c.flatten(n.Left)
+		c.right[idx] = c.flatten(n.Right)
+	}
+	return idx
+}
+
+// leaf routes x to its leaf and returns the node index. The caller must have
+// validated len(x) == nFeatures.
+func (c *Compiled) leaf(x []float64) int32 {
+	i := int32(0)
+	for {
+		f := c.feature[i]
+		if f < 0 {
+			return i
+		}
+		if x[f] <= c.threshold[i] {
+			i = c.left[i]
+		} else {
+			i = c.right[i]
+		}
+	}
+}
+
+// PredictValue returns the calibrated uncertainty of the leaf x falls into,
+// matching Tree.PredictValue exactly.
+func (c *Compiled) PredictValue(x []float64) (float64, error) {
+	if len(x) != c.nFeatures {
+		return math.NaN(), fmt.Errorf("%w: got %d features, want %d", ErrShapeMismatch, len(x), c.nFeatures)
+	}
+	v := c.value[c.leaf(x)]
+	if math.IsNaN(v) {
+		return math.NaN(), ErrNotCalibrated
+	}
+	return v, nil
+}
+
+// Apply returns the dense LeafID that x falls into, matching Tree.Apply.
+func (c *Compiled) Apply(x []float64) (int, error) {
+	if len(x) != c.nFeatures {
+		return 0, fmt.Errorf("%w: got %d features, want %d", ErrShapeMismatch, len(x), c.nFeatures)
+	}
+	return int(c.leafID[c.leaf(x)]), nil
+}
+
+// PredictLeaf returns both the calibrated uncertainty and the dense LeafID of
+// the leaf x falls into in a single traversal — the hot-path combination the
+// uncertainty wrapper needs per estimate.
+func (c *Compiled) PredictLeaf(x []float64) (value float64, leafID int, err error) {
+	if len(x) != c.nFeatures {
+		return math.NaN(), 0, fmt.Errorf("%w: got %d features, want %d", ErrShapeMismatch, len(x), c.nFeatures)
+	}
+	i := c.leaf(x)
+	v := c.value[i]
+	if math.IsNaN(v) {
+		return math.NaN(), 0, ErrNotCalibrated
+	}
+	return v, int(c.leafID[i]), nil
+}
+
+// NumNodes returns the total node count.
+func (c *Compiled) NumNodes() int { return len(c.feature) }
+
+// NumLeaves returns the number of leaves.
+func (c *Compiled) NumLeaves() int { return c.nLeaves }
+
+// NumFeatures returns the number of input features.
+func (c *Compiled) NumFeatures() int { return c.nFeatures }

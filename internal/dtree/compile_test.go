@@ -1,0 +1,203 @@
+package dtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randData builds a noisy multi-feature dataset so fitted trees get varied
+// shapes (depth, leaf counts) across seeds.
+func randData(n, nf int, seed uint64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	x := make([][]float64, n)
+	y := make([]bool, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, nf)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		y[i] = rng.Float64() < 0.1+0.6*row[rng.IntN(nf)]
+	}
+	return x, y
+}
+
+// probeInputs generates traversal probes: in-range points, boundary echoes of
+// the training data, and non-finite factors (NaN, ±Inf) that must route
+// identically through both tree forms.
+func probeInputs(nf int, train [][]float64, seed uint64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, 13))
+	var probes [][]float64
+	for i := 0; i < 200; i++ {
+		row := make([]float64, nf)
+		for j := range row {
+			switch rng.IntN(10) {
+			case 0:
+				row[j] = math.NaN()
+			case 1:
+				row[j] = math.Inf(1)
+			case 2:
+				row[j] = math.Inf(-1)
+			case 3:
+				// Exact training values hit thresholds' <= boundary.
+				row[j] = train[rng.IntN(len(train))][j]
+			default:
+				row[j] = rng.Float64()*3 - 1
+			}
+		}
+		probes = append(probes, row)
+	}
+	return probes
+}
+
+// TestCompileMatchesPointerTree is the differential harness: across random
+// trees and probe inputs (including NaN/±Inf factors), the compiled
+// struct-of-arrays tree must agree bit-for-bit with the pointer tree on
+// value, leaf id, and the combined lookup.
+func TestCompileMatchesPointerTree(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		nf := 2 + int(seed%3)
+		x, y := randData(300+int(seed)*20, nf, seed)
+		tr, err := Fit(x, y, Config{MaxDepth: 2 + int(seed%6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Calibrate(x, y, 10+int(seed%40), cpBound); err != nil {
+			t.Fatal(err)
+		}
+		c := tr.Compile()
+		if c.NumLeaves() != tr.NumLeaves() || c.NumFeatures() != tr.NumFeatures() {
+			t.Fatalf("seed %d: compiled shape %d/%d, tree %d/%d",
+				seed, c.NumLeaves(), c.NumFeatures(), tr.NumLeaves(), tr.NumFeatures())
+		}
+		for pi, probe := range probeInputs(nf, x, seed) {
+			wantV, errV := tr.PredictValue(probe)
+			gotV, errGV := c.PredictValue(probe)
+			if (errV == nil) != (errGV == nil) {
+				t.Fatalf("seed %d probe %d: value errors diverge: %v vs %v", seed, pi, errV, errGV)
+			}
+			if errV == nil && wantV != gotV {
+				t.Fatalf("seed %d probe %d: value %g vs compiled %g", seed, pi, wantV, gotV)
+			}
+			wantID, err := tr.Apply(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotID, err := c.Apply(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantID != gotID {
+				t.Fatalf("seed %d probe %d: leaf %d vs compiled %d", seed, pi, wantID, gotID)
+			}
+			bothV, bothID, err := c.PredictLeaf(probe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bothV != wantV || bothID != wantID {
+				t.Fatalf("seed %d probe %d: PredictLeaf (%g, %d) vs (%g, %d)",
+					seed, pi, bothV, bothID, wantV, wantID)
+			}
+		}
+	}
+}
+
+func TestCompileUncalibratedAndShapeErrors(t *testing.T) {
+	x, y := sepData(200, 21)
+	tr, err := Fit(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Compile()
+	if _, err := c.PredictValue([]float64{0.1, 0.2}); err != ErrNotCalibrated {
+		t.Errorf("uncalibrated compiled tree must return ErrNotCalibrated, got %v", err)
+	}
+	if _, _, err := c.PredictLeaf([]float64{0.1, 0.2}); err != ErrNotCalibrated {
+		t.Errorf("uncalibrated PredictLeaf must return ErrNotCalibrated, got %v", err)
+	}
+	// Apply works without calibration, like the pointer tree.
+	if _, err := c.Apply([]float64{0.1, 0.2}); err != nil {
+		t.Errorf("Apply on uncalibrated compiled tree: %v", err)
+	}
+	if _, err := c.PredictValue([]float64{0.1}); err == nil {
+		t.Error("shape mismatch must fail")
+	}
+	if _, err := c.Apply(nil); err == nil {
+		t.Error("nil probe must fail")
+	}
+	if _, _, err := c.PredictLeaf([]float64{1, 2, 3}); err == nil {
+		t.Error("wide probe must fail")
+	}
+}
+
+// TestCompileRootLeaf covers the degenerate single-node tree (no split found).
+func TestCompileRootLeaf(t *testing.T) {
+	x := [][]float64{{0.1}, {0.2}, {0.3}}
+	y := []bool{false, false, false} // pure node: never splits
+	tr, err := Fit(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Calibrate(x, y, 1, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Compile()
+	if c.NumNodes() != 1 || c.NumLeaves() != 1 {
+		t.Fatalf("root-leaf compiled to %d nodes / %d leaves", c.NumNodes(), c.NumLeaves())
+	}
+	v, id, err := c.PredictLeaf([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.PredictValue([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want || id != 0 {
+		t.Errorf("root leaf = (%g, %d), want (%g, 0)", v, id, want)
+	}
+}
+
+// TestCompileSnapshotSemantics: Compile is a projection taken at a point in
+// time — recalibrating the pointer tree afterwards must not leak into an
+// already-compiled form, while a fresh Compile picks the new values up.
+func TestCompileSnapshotSemantics(t *testing.T) {
+	x, y := sepData(400, 33)
+	tr, err := Fit(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Calibrate(x, y, 20, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	before := tr.Compile()
+	probe := []float64{0.9, 0.5}
+	v1, err := before.PredictValue(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recalibrate with a much coarser minimum: leaves collapse, values move.
+	if err := tr.Calibrate(x, y, 200, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	v1Again, err := before.PredictValue(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1Again != v1 {
+		t.Errorf("compiled snapshot changed under recalibration: %g -> %g", v1, v1Again)
+	}
+	after := tr.Compile()
+	vNew, err := after.PredictValue(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.PredictValue(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vNew != want {
+		t.Errorf("fresh compile = %g, pointer tree = %g", vNew, want)
+	}
+}

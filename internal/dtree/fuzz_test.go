@@ -2,6 +2,7 @@ package dtree
 
 import (
 	"encoding/json"
+	"math"
 	"testing"
 )
 
@@ -44,5 +45,66 @@ func FuzzLoad(f *testing.F) {
 		}
 		// Rule export must not panic either.
 		_ = loaded.Rules(nil)
+	})
+}
+
+// FuzzCompile is the Compile round-trip target: any tree that loads must
+// compile, and the compiled form must agree with the pointer tree on routing
+// and values for arbitrary probes — including probes derived from the fuzzed
+// bytes themselves, which exercises threshold boundaries, NaN, and ±Inf.
+func FuzzCompile(f *testing.F) {
+	x, y := sepData(400, 55)
+	tr, err := Fit(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.Calibrate(x, y, 50, cpBound); err != nil {
+		f.Fatal(err)
+	}
+	good, err := json.Marshal(tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, 0.25, 0.75)
+	f.Add(good, math.NaN(), math.Inf(1))
+	f.Add([]byte(`{"num_features":1,"nodes":[{"feature":-1,"left":-1,"right":-1,"value":0.5}]}`), 0.0, 0.0)
+
+	f.Fuzz(func(t *testing.T, data []byte, p0, p1 float64) {
+		loaded, err := Load(data)
+		if err != nil {
+			return
+		}
+		c := loaded.Compile()
+		if c.NumLeaves() != loaded.NumLeaves() || c.NumFeatures() != loaded.NumFeatures() {
+			t.Fatalf("compiled shape %d/%d, tree %d/%d",
+				c.NumLeaves(), c.NumFeatures(), loaded.NumLeaves(), loaded.NumFeatures())
+		}
+		probe := make([]float64, loaded.NumFeatures())
+		for i := range probe {
+			if i%2 == 0 {
+				probe[i] = p0
+			} else {
+				probe[i] = p1
+			}
+		}
+		wantID, err := loaded.Apply(probe)
+		if err != nil {
+			t.Fatalf("pointer tree cannot route: %v", err)
+		}
+		gotID, err := c.Apply(probe)
+		if err != nil {
+			t.Fatalf("compiled tree cannot route: %v", err)
+		}
+		if wantID != gotID {
+			t.Fatalf("leaf %d vs compiled %d for probe %v", wantID, gotID, probe)
+		}
+		wantV, errW := loaded.PredictValue(probe)
+		gotV, errG := c.PredictValue(probe)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("value errors diverge: %v vs %v", errW, errG)
+		}
+		if errW == nil && wantV != gotV {
+			t.Fatalf("value %g vs compiled %g", wantV, gotV)
+		}
 	})
 }

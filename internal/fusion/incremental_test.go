@@ -1,0 +1,140 @@
+package fusion
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestMajorityTallyMatchesFuse is the differential check without eviction:
+// after every push, the tally's fused outcome must equal MajorityVote.Fuse
+// over the full prefix — including every tie resolved by recency.
+func TestMajorityTallyMatchesFuse(t *testing.T) {
+	mv := MajorityVote{}
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		tally := mv.NewTally()
+		if tally == nil {
+			t.Fatal("MostRecent majority vote must have an incremental form")
+		}
+		var outcomes []int
+		var us []float64
+		for step := 0; step < 120; step++ {
+			o := rng.IntN(4)
+			u := rng.Float64()
+			outcomes = append(outcomes, o)
+			us = append(us, u)
+			tally.Push(o, u)
+			want, err := mv.Fuse(outcomes, us)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tally.Fused()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d step %d: tally fused %d, Fuse %d (history %v)",
+					seed, step, got, want, outcomes)
+			}
+		}
+	}
+}
+
+// TestMajorityTallyUnderEviction simulates the ring-buffer protocol: pushes
+// beyond the window evict the oldest pair first. The tally must track
+// MajorityVote.Fuse over the visible window for every window size, including
+// windows that repeatedly shrink a class to zero and revive it.
+func TestMajorityTallyUnderEviction(t *testing.T) {
+	mv := MajorityVote{TieBreak: MostRecent}
+	for _, window := range []int{1, 2, 3, 7, 16} {
+		for seed := uint64(1); seed <= 10; seed++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(window)))
+			tally := mv.NewTally()
+			var outcomes []int
+			var us []float64
+			for step := 0; step < 200; step++ {
+				o := rng.IntN(3)
+				u := rng.Float64()
+				outcomes = append(outcomes, o)
+				us = append(us, u)
+				if len(outcomes) > window {
+					tally.Evict(outcomes[len(outcomes)-window-1], us[len(us)-window-1])
+				}
+				tally.Push(o, u)
+				lo := max(0, len(outcomes)-window)
+				want, err := mv.Fuse(outcomes[lo:], us[lo:])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tally.Fused()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("window %d seed %d step %d: tally %d, Fuse %d over %v",
+						window, seed, step, got, want, outcomes[lo:])
+				}
+			}
+		}
+	}
+}
+
+func TestMajorityTallyEmptyAndReset(t *testing.T) {
+	tally := MajorityVote{}.NewTally()
+	if _, err := tally.Fused(); !errors.Is(err, ErrNoOutcomes) {
+		t.Errorf("empty tally must return ErrNoOutcomes, got %v", err)
+	}
+	tally.Push(5, 0.3)
+	if got, err := tally.Fused(); err != nil || got != 5 {
+		t.Errorf("fused = %d, %v", got, err)
+	}
+	tally.Reset()
+	if _, err := tally.Fused(); !errors.Is(err, ErrNoOutcomes) {
+		t.Errorf("reset tally must return ErrNoOutcomes, got %v", err)
+	}
+	// Over-evicting (caller bug) must not panic or corrupt.
+	tally.Evict(5, 0.3)
+	tally.Push(7, 0.1)
+	if got, err := tally.Fused(); err != nil || got != 7 {
+		t.Errorf("after over-evict: fused = %d, %v", got, err)
+	}
+}
+
+func TestLowestUncertaintyHasNoTally(t *testing.T) {
+	if tally := (MajorityVote{TieBreak: LowestUncertainty}).NewTally(); tally != nil {
+		t.Error("lowest-uncertainty tie-break must report no incremental form")
+	}
+}
+
+func TestLatestTally(t *testing.T) {
+	tally := Latest{}.NewTally()
+	if _, err := tally.Fused(); !errors.Is(err, ErrNoOutcomes) {
+		t.Errorf("empty latest tally must fail, got %v", err)
+	}
+	tally.Push(1, 0.5)
+	tally.Push(2, 0.5)
+	tally.Push(3, 0.5)
+	tally.Evict(1, 0.5)
+	got, err := tally.Fused()
+	if err != nil || got != 3 {
+		t.Errorf("latest = %d, %v, want 3", got, err)
+	}
+	tally.Reset()
+	if _, err := tally.Fused(); !errors.Is(err, ErrNoOutcomes) {
+		t.Errorf("reset latest tally must fail, got %v", err)
+	}
+}
+
+// The incremental types must stay behind the existing OutcomeFuser interface.
+func TestIncrementalFusersAreOutcomeFusers(t *testing.T) {
+	var fusers = []OutcomeFuser{MajorityVote{}, Latest{}}
+	for _, f := range fusers {
+		if _, ok := f.(Incremental); !ok {
+			t.Errorf("%s must implement Incremental", f.Name())
+		}
+		if _, err := f.Fuse([]int{1, 2, 1}, []float64{0.1, 0.2, 0.3}); err != nil {
+			t.Errorf("%s: %v", f.Name(), err)
+		}
+	}
+}

@@ -61,7 +61,11 @@ func (c QIMConfig) Validate() error {
 // similar uncertainty using the quality factors and guarantees a calibrated
 // failure-probability bound per region.
 type QualityImpactModel struct {
-	tree  *dtree.Tree
+	tree *dtree.Tree
+	// flat is the compiled (struct-of-arrays) form of tree, built once
+	// after fit or load; all per-estimate lookups run on it. The pointer
+	// tree stays canonical for rules, DOT, and serialisation.
+	flat  *dtree.Compiled
 	cfg   QIMConfig
 	names []string
 }
@@ -92,20 +96,26 @@ func FitQIM(trainX [][]float64, trainY []bool, calibX [][]float64, calibY []bool
 	}
 	names := make([]string, len(featureNames))
 	copy(names, featureNames)
-	return &QualityImpactModel{tree: tree, cfg: cfg, names: names}, nil
+	return &QualityImpactModel{tree: tree, flat: tree.Compile(), cfg: cfg, names: names}, nil
 }
 
 // Uncertainty returns the dependable input-quality uncertainty for the given
 // factor vector: with probability >= Confidence the true failure rate in
 // this region does not exceed the returned value.
 func (q *QualityImpactModel) Uncertainty(factors []float64) (float64, error) {
-	return q.tree.PredictValue(factors)
+	return q.flat.PredictValue(factors)
 }
 
 // LeafID returns the decision-tree region the factors fall into, which makes
 // estimates auditable.
 func (q *QualityImpactModel) LeafID(factors []float64) (int, error) {
-	return q.tree.Apply(factors)
+	return q.flat.Apply(factors)
+}
+
+// Predict returns both the dependable uncertainty and the region id in a
+// single tree traversal — the hot-path combination Wrapper.Estimate needs.
+func (q *QualityImpactModel) Predict(factors []float64) (uncertainty float64, leafID int, err error) {
+	return q.flat.PredictLeaf(factors)
 }
 
 // MinUncertainty is the lowest uncertainty the model can ever guarantee

@@ -68,5 +68,5 @@ func LoadQIM(data []byte) (*QualityImpactModel, error) {
 	if _, err := tree.MinLeafValue(); err != nil {
 		return nil, fmt.Errorf("uw: loaded model is not calibrated: %w", err)
 	}
-	return &QualityImpactModel{tree: tree, cfg: cfg, names: qj.Names}, nil
+	return &QualityImpactModel{tree: tree, flat: tree.Compile(), cfg: cfg, names: qj.Names}, nil
 }

@@ -58,13 +58,9 @@ func (w *Wrapper) Estimate(outcome int, qualityFactors, scopeFactors []float64) 
 			return Estimate{}, fmt.Errorf("uw: quality factor %d is not finite (%g)", i, f)
 		}
 	}
-	uq, err := w.qim.Uncertainty(qualityFactors)
+	uq, leaf, err := w.qim.Predict(qualityFactors)
 	if err != nil {
 		return Estimate{}, fmt.Errorf("uw: quality uncertainty: %w", err)
-	}
-	leaf, err := w.qim.LeafID(qualityFactors)
-	if err != nil {
-		return Estimate{}, fmt.Errorf("uw: leaf lookup: %w", err)
 	}
 	us := 0.0
 	if w.scope != nil {
