@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -29,6 +31,7 @@ func benchServer(b *testing.B, opts ...ServerOption) *httptest.Server {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchSrv = srv
 	ts := httptest.NewServer(srv.Handler())
 	b.Cleanup(ts.Close)
 	return ts
@@ -106,6 +109,180 @@ func BenchmarkHTTPBatchStep(b *testing.B) {
 		}
 		if got.Failed != 0 {
 			b.Fatalf("batch failed %d items", got.Failed)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchSize), "ns/step")
+}
+
+// ---- server-side codec benchmarks: the handler without client or socket ----
+
+// discardWriter is the minimal ResponseWriter the handler benchmarks write
+// into: headers and body bytes are accepted and dropped.
+type discardWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *discardWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+func (w *discardWriter) WriteHeader(code int) { w.code = code }
+func (w *discardWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// benchHandlerServer builds a Server (not an httptest listener) plus n open
+// series ids for direct handler invocation.
+func benchHandlerServer(b *testing.B, n int, opts ...ServerOption) (http.Handler, []string) {
+	b.Helper()
+	ts := benchServer(b, opts...)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = benchNewSeries(b, ts)
+	}
+	// The httptest server and the handler share the Server instance; the
+	// benchmark drives the handler directly so no socket or client JSON
+	// appears in the measurement.
+	return benchSrv.Handler(), ids
+}
+
+// benchSrv is the Server behind benchServer's httptest listener, captured so
+// handler benchmarks can bypass the socket.
+var benchSrv *Server
+
+// BenchmarkServerStepBatch is the server-side price of one 64-item batch
+// request: reflection-free decode, pool dispatch, gate, append-based encode,
+// one Write — no client JSON, no network. Divide ns/op by 64 (or read the
+// ns/step metric) to compare with the HTTP benchmarks.
+func BenchmarkServerStepBatch(b *testing.B) {
+	const batchSize = 64
+	handler, ids := benchHandlerServer(b, batchSize, WithBatchWorkers(4), WithBufferLimit(64))
+	req := batchStepRequest{}
+	for _, id := range ids {
+		req.Steps = append(req.Steps, stepRequest{SeriesID: id, Outcome: 14, PixelSize: 160})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	httpReq := httptest.NewRequest(http.MethodPost, "/v1/steps", nil)
+	var rd bytes.Reader
+	w := &discardWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		httpReq.Body = io.NopCloser(&rd)
+		w.code = 0
+		handler.ServeHTTP(w, httpReq)
+		if w.code != http.StatusOK {
+			b.Fatalf("batch = %d", w.code)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchSize), "ns/step")
+}
+
+// BenchmarkServerStepSingle is the server-side price of one single-step
+// request through the hot codec.
+func BenchmarkServerStepSingle(b *testing.B) {
+	handler, ids := benchHandlerServer(b, 1, WithBufferLimit(64))
+	body, err := json.Marshal(stepRequest{SeriesID: ids[0], Outcome: 14, PixelSize: 160})
+	if err != nil {
+		b.Fatal(err)
+	}
+	httpReq := httptest.NewRequest(http.MethodPost, "/v1/step", nil)
+	var rd bytes.Reader
+	w := &discardWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		httpReq.Body = io.NopCloser(&rd)
+		w.code = 0
+		handler.ServeHTTP(w, httpReq)
+		if w.code != http.StatusOK {
+			b.Fatalf("step = %d", w.code)
+		}
+	}
+}
+
+// BenchmarkCodecDecodeBatch isolates the decoder: one 64-item body parsed
+// into pooled scratch per op.
+func BenchmarkCodecDecodeBatch(b *testing.B) {
+	const batchSize = 64
+	req := batchStepRequest{}
+	quality := map[string]float64{qualityNames[0]: 0.25, qualityNames[3]: 0.75}
+	for i := 0; i < batchSize; i++ {
+		req.Steps = append(req.Steps, stepRequest{
+			SeriesID: fmt.Sprintf("s%d", i+1), Outcome: 14, Quality: quality, PixelSize: 160,
+		})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d decoder
+	var steps []wireStep
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.reset(body)
+		steps, err = d.decodeBatchRequest(steps)
+		if err != nil || len(steps) != batchSize {
+			b.Fatalf("decode: %v (%d items)", err, len(steps))
+		}
+	}
+}
+
+// BenchmarkCodecEncodeBatch isolates the encoder: one 64-item response
+// rendered into a reused buffer per op.
+func BenchmarkCodecEncodeBatch(b *testing.B) {
+	const batchSize = 64
+	resp := batchStepResponse{OK: batchSize}
+	bodies := make([]stepResponse, batchSize)
+	for i := range bodies {
+		bodies[i] = stepResponse{
+			SeriesID: fmt.Sprintf("s%d", i+1), FusedOutcome: 14, Uncertainty: 0.0072,
+			StatelessU: 0.25, SeriesLen: 30, TotalSteps: 64, Countermeasure: "proceed", Accepted: true,
+		}
+		resp.Results = append(resp.Results, batchItemResponse{Status: http.StatusOK, Step: &bodies[i]})
+	}
+	var out []byte
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err = appendBatchStepResponse(out[:0], &resp)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = out
+}
+
+// BenchmarkCodecEncodeBatchStdlib is the same response through
+// encoding/json — the "before" column for the encoder swap.
+func BenchmarkCodecEncodeBatchStdlib(b *testing.B) {
+	const batchSize = 64
+	resp := batchStepResponse{OK: batchSize}
+	bodies := make([]stepResponse, batchSize)
+	for i := range bodies {
+		bodies[i] = stepResponse{
+			SeriesID: fmt.Sprintf("s%d", i+1), FusedOutcome: 14, Uncertainty: 0.0072,
+			StatelessU: 0.25, SeriesLen: 30, TotalSteps: 64, Countermeasure: "proceed", Accepted: true,
+		}
+		resp.Results = append(resp.Results, batchItemResponse{Status: http.StatusOK, Step: &bodies[i]})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(resp); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

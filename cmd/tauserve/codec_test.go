@@ -1,0 +1,501 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// ------------------------------------------------------- encoder vs stdlib --
+
+// TestAppendJSONFloatMatchesStdlib pins the float formatter byte-for-byte to
+// encoding/json across magnitude regimes, including both 'e'-notation edges
+// and the negative-exponent cleanup.
+func TestAppendJSONFloatMatchesStdlib(t *testing.T) {
+	cases := []float64{0, 1, -1, 0.5, 1e-6, 9.999e-7, 1e21, 9.99e20, -1e21,
+		1e-300, 1e300, 0.1, 1.0 / 3.0, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		42, 1e6, 123456789.123456789, -0.0072}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 500; i++ {
+		f := rng.NormFloat64() * math.Pow(10, float64(rng.IntN(40)-20))
+		cases = append(cases, f)
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := appendJSONFloat(nil, f)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("float %v: got %s, stdlib %s", f, got, want)
+		}
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := appendJSONFloat(nil, f); err == nil {
+			t.Errorf("%v: want non-finite error, like json.Marshal", f)
+		}
+		if _, err := json.Marshal(f); err == nil {
+			t.Errorf("%v: stdlib unexpectedly accepts", f)
+		}
+	}
+}
+
+// TestAppendJSONStringMatchesStdlib pins the string escaper byte-for-byte to
+// encoding/json, including HTML escapes, control characters, U+2028/U+2029,
+// surrogate-pair-worthy runes, and invalid UTF-8 replacement.
+func TestAppendJSONStringMatchesStdlib(t *testing.T) {
+	cases := []string{
+		"", "s1", "plain ascii", `quote " backslash \`, "new\nline\ttab\rret",
+		"\x00\x01\x1f", "<script>&amp;</script>", "päöüß", "日本語", "emoji 😀 pair",
+		"line\u2028sep\u2029para", "\xff\xfe invalid", "mixed\xc3\x28bad", "\u007f del",
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("string %q: got %s, stdlib %s", s, got, want)
+		}
+	}
+}
+
+// TestEncodeResponsesMatchStdlib renders full response bodies both ways:
+// the hand-rolled encoder must be byte-identical to json.Marshal, including
+// the omitempty handling of batch items.
+func TestEncodeResponsesMatchStdlib(t *testing.T) {
+	step := stepResponse{
+		SeriesID: "s42", FusedOutcome: 14, Uncertainty: 0.0072, StatelessU: 0.25,
+		SeriesLen: 9, TotalSteps: 31, Countermeasure: "warn<&>", Accepted: true,
+	}
+	wantStep, err := json.Marshal(step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotStep, err := appendStepResponse(nil, &step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotStep) != string(wantStep) {
+		t.Errorf("step body:\n got %s\nwant %s", gotStep, wantStep)
+	}
+
+	batch := batchStepResponse{
+		Results: []batchItemResponse{
+			{Status: http.StatusOK, Step: &step},
+			{Status: http.StatusNotFound, Error: `unknown series "s\u7"`},
+			{Status: http.StatusBadRequest, Error: "pixel_size must be positive, got -1"},
+		},
+		OK: 1, Failed: 2,
+	}
+	wantBatch, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBatch, err := appendBatchStepResponse(nil, &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBatch) != string(wantBatch) {
+		t.Errorf("batch body:\n got %s\nwant %s", gotBatch, wantBatch)
+	}
+
+	// Non-finite uncertainties must fail exactly like the stdlib encoder.
+	bad := step
+	bad.Uncertainty = math.NaN()
+	if _, err := appendStepResponse(nil, &bad); !errors.Is(err, errNonFiniteJSON) {
+		t.Errorf("NaN uncertainty: err = %v, want errNonFiniteJSON", err)
+	}
+	if _, err := json.Marshal(bad); err == nil {
+		t.Error("stdlib unexpectedly encodes NaN")
+	}
+}
+
+// ------------------------------------------------------- decoder vs stdlib --
+
+// stdlibDecodeStep is the reference pipeline the codec replaced: stdlib
+// JSON into stepRequest, then qualityFromMap.
+func stdlibDecodeStep(data []byte) (stepRequest, []float64, error, error) {
+	var req stepRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		return req, nil, err, nil
+	}
+	qf, semErr := qualityFromMap(req.Quality, req.PixelSize)
+	return req, qf, nil, semErr
+}
+
+// decodeStepBoth runs both decoders and fails the test on any divergence:
+// request-level success, semantic item errors, and the decoded values must
+// all agree.
+func decodeStepBoth(t *testing.T, data []byte) {
+	t.Helper()
+	var d decoder
+	d.reset(data)
+	var w wireStep
+	ourErr := d.decodeStepRequest(&w)
+	req, qf, stdErr, semErr := stdlibDecodeStep(data)
+	if (ourErr == nil) != (stdErr == nil) {
+		t.Fatalf("decode divergence on %q: ours %v, stdlib %v", data, ourErr, stdErr)
+	}
+	if ourErr != nil {
+		return
+	}
+	if (w.itemErr == nil) != (semErr == nil) {
+		t.Fatalf("semantic divergence on %q: ours %v, stdlib %v", data, w.itemErr, semErr)
+	}
+	if w.seriesID != req.SeriesID || w.outcome != req.Outcome {
+		t.Fatalf("value divergence on %q: ours (%q,%d), stdlib (%q,%d)",
+			data, w.seriesID, w.outcome, req.SeriesID, req.Outcome)
+	}
+	if w.itemErr == nil {
+		if len(w.qf) != len(qf) {
+			t.Fatalf("qf width divergence on %q: %d vs %d", data, len(w.qf), len(qf))
+		}
+		for i := range qf {
+			if w.qf[i] != qf[i] {
+				t.Fatalf("qf[%d] divergence on %q: %g vs %g", i, data, w.qf[i], qf[i])
+			}
+		}
+	}
+}
+
+func TestDecodeStepRequestMatchesStdlib(t *testing.T) {
+	name := qualityNames[0]
+	cases := []string{
+		`{"series_id":"s1","outcome":3,"quality":{"` + name + `":0.5},"pixel_size":120}`,
+		`{"series_id":"s1","outcome":3,"pixel_size":120}`,
+		`{}`,
+		`  { "outcome" : -7 , "pixel_size" : 1e2 }  `,
+		`{"quality":null,"pixel_size":5,"series_id":"x"}`,
+		`{"quality":{},"pixel_size":5}`,
+		`{"unknown":{"nested":[1,2,{"a":"b"}],"t":true},"pixel_size":3}`,
+		`{"series_id":"esc\"aped\u0041\n","pixel_size":1}`,
+		`{"series_id":"\ud83d\ude00","pixel_size":1}`,
+		`{"series_id":"\ud800 lone","pixel_size":1}`,
+		`{"SERIES_ID":"case fold","PIXEL_size":2,"OUTCOME":9}`,
+		`{"pixel_size":0}`,
+		`{"pixel_size":-4}`,
+		`{"quality":{"` + name + `":1.5},"pixel_size":1}`,
+		`{"quality":{"` + name + `":2,"` + name + `":0.5},"pixel_size":1}`,
+		`{"quality":{"no-such-factor":0.5},"pixel_size":1}`,
+		`{"quality":{"` + name + `":0.25},"quality":{"` + name + `":0.75},"pixel_size":1}`,
+		`{"series_id":"a","series_id":"b","pixel_size":1}`,
+		`{"outcome":3.5,"pixel_size":1}`,
+		`{"outcome":1e3,"pixel_size":1}`,
+		`{"outcome":12345678901234567890,"pixel_size":1}`,
+		`{"pixel_size":1e999}`,
+		`{"pixel_size":01}`,
+		`{"pixel_size":.5}`,
+		`{"pixel_size":5.}`,
+		`{"pixel_size":+5}`,
+		`{"series_id":123,"pixel_size":1}`,
+		`{"pixel_size":1} trailing`,
+		`{"pixel_size":1}{"pixel_size":2}`,
+		`[1,2,3]`,
+		`null`,
+		`{"pixel_size":1`,
+		`{"pixel_size":}`,
+		`{"series_id":"un` + "\x01" + `safe","pixel_size":1}`,
+		``,
+		`   `,
+	}
+	for _, c := range cases {
+		decodeStepBoth(t, []byte(c))
+	}
+}
+
+// TestDecodeBatchCapBindsDuringParse pins the DoS guard: a steps array past
+// maxBatchItems must fail while parsing, before the decoder has
+// materialised millions of items from a legal 16 MiB body (the scratch
+// pool would retain that slice capacity forever), while exactly
+// maxBatchItems items still decode.
+func TestDecodeBatchCapBindsDuringParse(t *testing.T) {
+	build := func(n int) []byte {
+		var sb strings.Builder
+		sb.WriteString(`{"steps":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(`{}`)
+		}
+		sb.WriteString(`]}`)
+		return []byte(sb.String())
+	}
+	var d decoder
+	d.reset(build(maxBatchItems))
+	items, err := d.decodeBatchRequest(nil)
+	if err != nil || len(items) != maxBatchItems {
+		t.Fatalf("exactly-at-cap batch: err=%v len=%d, want nil/%d", err, len(items), maxBatchItems)
+	}
+	d.reset(build(maxBatchItems + 1))
+	items, err = d.decodeBatchRequest(items[:0])
+	if !errors.Is(err, errBatchTooLarge) {
+		t.Fatalf("over-cap batch: err=%v, want errBatchTooLarge", err)
+	}
+	if len(items) > maxBatchItems {
+		t.Fatalf("over-cap batch materialised %d items before failing", len(items))
+	}
+}
+
+// stdlibDecodeBatch mirrors the old batch handler pipeline.
+func stdlibDecodeBatch(data []byte) (batchStepRequest, error) {
+	var req batchStepRequest
+	err := json.Unmarshal(data, &req)
+	return req, err
+}
+
+func decodeBatchBoth(t *testing.T, data []byte) {
+	t.Helper()
+	var d decoder
+	d.reset(data)
+	items, ourErr := d.decodeBatchRequest(nil)
+	req, stdErr := stdlibDecodeBatch(data)
+	if (ourErr == nil) != (stdErr == nil) {
+		t.Fatalf("batch decode divergence on %q: ours %v, stdlib %v", data, ourErr, stdErr)
+	}
+	if ourErr != nil {
+		return
+	}
+	if len(items) != len(req.Steps) {
+		t.Fatalf("batch length divergence on %q: %d vs %d", data, len(items), len(req.Steps))
+	}
+	for i := range items {
+		qf, semErr := qualityFromMap(req.Steps[i].Quality, req.Steps[i].PixelSize)
+		if (items[i].itemErr == nil) != (semErr == nil) {
+			t.Fatalf("item %d semantic divergence on %q: %v vs %v", i, data, items[i].itemErr, semErr)
+		}
+		if items[i].seriesID != req.Steps[i].SeriesID || items[i].outcome != req.Steps[i].Outcome {
+			t.Fatalf("item %d value divergence on %q", i, data)
+		}
+		if semErr == nil {
+			for j := range qf {
+				if items[i].qf[j] != qf[j] {
+					t.Fatalf("item %d qf[%d] divergence on %q", i, j, data)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBatchRequestMatchesStdlib(t *testing.T) {
+	cases := []string{
+		`{"steps":[]}`,
+		`{"steps":null}`,
+		`{}`,
+		`{"steps":[{"series_id":"s1","pixel_size":5}]}`,
+		`{"steps":[{"series_id":"s1","pixel_size":5},{"series_id":"s2","outcome":2,"pixel_size":9}]}`,
+		`{"extra":1,"steps":[{"pixel_size":5}],"more":[{}]}`,
+		`{"steps":[{"pixel_size":5}],"steps":[{"pixel_size":7,"series_id":"dup-replaces"}]}`,
+		`{"STEPS":[{"pixel_size":5}]}`,
+		`{"steps":[{"pixel_size":-1},{"pixel_size":5}]}`,
+		`{"steps":[5]}`,
+		`{"steps":{}}`,
+		`{"steps":[{}],}`,
+		`{"steps":[{}]} x`,
+	}
+	for _, c := range cases {
+		decodeBatchBoth(t, []byte(c))
+	}
+}
+
+// --------------------------------------------------------------- fuzzing --
+
+// FuzzStepRequestCodec is the differential soundness fuzz: whatever bytes
+// the decoder accepts, json.Unmarshal must accept with the same meaning
+// (request-level success, per-item semantics, and values), and our encoding
+// of the echoed series id must survive a stdlib decode.
+func FuzzStepRequestCodec(f *testing.F) {
+	name := qualityNames[0]
+	f.Add([]byte(`{"series_id":"s1","outcome":3,"quality":{"` + name + `":0.5},"pixel_size":120}`))
+	f.Add([]byte(`{"SERIES_id":"\ud83d\ude00","pixel_size":1e-3}`))
+	f.Add([]byte(`{"quality":{"` + name + `":2,"` + name + `":0.5},"pixel_size":1}`))
+	f.Add([]byte(`{"unknown":[[[{"a":null}]]],"pixel_size":0.25}`))
+	f.Add([]byte(`{"pixel_size":1}junk`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d decoder
+		d.reset(data)
+		var w wireStep
+		if err := d.decodeStepRequest(&w); err != nil {
+			// Our decoder may reject; soundness only requires that what we
+			// accept, the stdlib accepts identically.
+			return
+		}
+		req, qf, stdErr, semErr := stdlibDecodeStep(data)
+		if stdErr != nil {
+			t.Fatalf("ours accepted %q, stdlib rejected: %v", data, stdErr)
+		}
+		if w.seriesID != req.SeriesID || w.outcome != req.Outcome {
+			t.Fatalf("value divergence on %q: ours (%q,%d), stdlib (%q,%d)",
+				data, w.seriesID, w.outcome, req.SeriesID, req.Outcome)
+		}
+		if (w.itemErr == nil) != (semErr == nil) {
+			t.Fatalf("semantic divergence on %q: ours %v, stdlib %v", data, w.itemErr, semErr)
+		}
+		if w.itemErr == nil {
+			for i := range qf {
+				if w.qf[i] != qf[i] {
+					t.Fatalf("qf[%d] divergence on %q: %g vs %g", i, data, w.qf[i], qf[i])
+				}
+			}
+			// Encode the echo path and round-trip it through the stdlib.
+			resp := stepResponse{SeriesID: w.seriesID, FusedOutcome: w.outcome,
+				Uncertainty: 0.5, Countermeasure: "ok"}
+			out, err := appendStepResponse(nil, &resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back stepResponse
+			if err := json.Unmarshal(out, &back); err != nil {
+				t.Fatalf("stdlib cannot decode our encoding %q: %v", out, err)
+			}
+			if back.SeriesID != w.seriesID || back.FusedOutcome != w.outcome {
+				t.Fatalf("round trip mangled %q -> %q", w.seriesID, back.SeriesID)
+			}
+		}
+	})
+}
+
+// FuzzBatchRequestCodec extends the soundness fuzz to the batch shape and
+// the full response round trip: our batch encoding of whatever we decoded
+// must be byte-identical to json.Marshal of the equivalent response.
+func FuzzBatchRequestCodec(f *testing.F) {
+	name := qualityNames[0]
+	f.Add([]byte(`{"steps":[{"series_id":"s1","pixel_size":5}]}`))
+	f.Add([]byte(`{"steps":[{"pixel_size":-1},{"quality":{"` + name + `":0.5},"pixel_size":5}]}`))
+	f.Add([]byte(`{"steps":null,"x":[{}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d decoder
+		d.reset(data)
+		items, err := d.decodeBatchRequest(nil)
+		if err != nil {
+			return
+		}
+		req, stdErr := stdlibDecodeBatch(data)
+		if stdErr != nil {
+			t.Fatalf("ours accepted %q, stdlib rejected: %v", data, stdErr)
+		}
+		if len(items) != len(req.Steps) {
+			t.Fatalf("length divergence on %q: %d vs %d", data, len(items), len(req.Steps))
+		}
+		resp := batchStepResponse{}
+		for i := range items {
+			_, semErr := qualityFromMap(req.Steps[i].Quality, req.Steps[i].PixelSize)
+			if (items[i].itemErr == nil) != (semErr == nil) {
+				t.Fatalf("item %d semantic divergence on %q", i, data)
+			}
+			if items[i].itemErr != nil {
+				resp.Results = append(resp.Results, batchItemResponse{
+					Status: http.StatusBadRequest, Error: items[i].itemErr.Error()})
+				resp.Failed++
+				continue
+			}
+			resp.Results = append(resp.Results, batchItemResponse{
+				Status: http.StatusOK,
+				Step:   &stepResponse{SeriesID: items[i].seriesID, FusedOutcome: items[i].outcome},
+			})
+			resp.OK++
+		}
+		ours, err := appendBatchStepResponse(nil, &resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(ours) != string(want) {
+			t.Fatalf("batch encoding diverges on %q:\n ours %s\n std  %s", data, ours, want)
+		}
+	})
+}
+
+// FuzzResponseEncode drives the encoder with arbitrary values (including
+// non-finite floats): byte-identical output to json.Marshal, or matching
+// refusal.
+func FuzzResponseEncode(f *testing.F) {
+	f.Add("s1", 3, 0.25, 0.5, 7, 9, "warn", true)
+	f.Add("", -1, math.NaN(), 0.0, 0, 0, "<&>", false)
+	f.Add("\xff\xfe", 1<<40, math.Inf(1), -0.0, -3, 1, "line\u2028brk", true)
+	f.Fuzz(func(t *testing.T, id string, outcome int, u, su float64, sl, ts int, cm string, acc bool) {
+		resp := stepResponse{SeriesID: id, FusedOutcome: outcome, Uncertainty: u,
+			StatelessU: su, SeriesLen: sl, TotalSteps: ts, Countermeasure: cm, Accepted: acc}
+		ours, ourErr := appendStepResponse(nil, &resp)
+		want, stdErr := json.Marshal(resp)
+		if (ourErr == nil) != (stdErr == nil) {
+			t.Fatalf("encode error divergence: ours %v, stdlib %v", ourErr, stdErr)
+		}
+		if ourErr == nil && string(ours) != string(want) {
+			t.Fatalf("encoding diverges:\n ours %s\n std  %s", ours, want)
+		}
+	})
+}
+
+// ------------------------------------------------------------ write paths --
+
+// failingWriter implements http.ResponseWriter with a Write that always
+// fails — the "client vanished mid-response" case.
+type failingWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *failingWriter) Header() http.Header {
+	if w.header == nil {
+		w.header = make(http.Header)
+	}
+	return w.header
+}
+func (w *failingWriter) WriteHeader(code int)      { w.code = code }
+func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("connection lost") }
+
+// TestWriteJSONLogsEncoderErrors pins the satellite fix: writeJSON and
+// writeRaw must log write/encode failures instead of dropping them.
+func TestWriteJSONLogsEncoderErrors(t *testing.T) {
+	var logged []string
+	orig := logf
+	logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	defer func() { logf = orig }()
+
+	writeJSON(&failingWriter{}, http.StatusOK, errorResponse{Error: "x"})
+	if len(logged) != 1 || !strings.Contains(logged[0], "connection lost") {
+		t.Fatalf("writeJSON logged %q, want one entry containing the write error", logged)
+	}
+
+	logged = nil
+	// Unencodable value: the stdlib encoder itself fails before writing.
+	writeJSON(httptest.NewRecorder(), http.StatusOK, math.NaN())
+	if len(logged) != 1 || !strings.Contains(logged[0], "unsupported value") {
+		t.Fatalf("writeJSON logged %q, want one entry for the encoder failure", logged)
+	}
+
+	logged = nil
+	writeRaw(&failingWriter{}, http.StatusOK, []byte(`{}`))
+	if len(logged) != 1 || !strings.Contains(logged[0], "connection lost") {
+		t.Fatalf("writeRaw logged %q, want one entry containing the write error", logged)
+	}
+
+	// The success path must not log.
+	logged = nil
+	rec := httptest.NewRecorder()
+	writeRaw(rec, http.StatusCreated, []byte(`{"ok":true}`))
+	if len(logged) != 0 {
+		t.Fatalf("writeRaw logged %q on success", logged)
+	}
+	if rec.Code != http.StatusCreated || rec.Body.String() != `{"ok":true}` {
+		t.Fatalf("writeRaw wrote (%d, %q)", rec.Code, rec.Body.String())
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != "11" {
+		t.Fatalf("Content-Length = %q, want 11", cl)
+	}
+}

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 
 	"github.com/iese-repro/tauw/internal/augment"
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/uw"
+	"github.com/iese-repro/tauw/internal/xslice"
 )
 
 // maxBatchItems caps one POST /v1/steps request; larger batches should be
@@ -182,32 +185,49 @@ type stepResponse struct {
 	Accepted       bool   `json:"accepted"`
 }
 
+// handleStep is a hot endpoint: the request is parsed by the reflection-free
+// codec straight into pooled scratch and the response is rendered into a
+// pooled buffer flushed with one Write (see codec.go). The stdlib encoder
+// never runs on the success path.
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
-	var req stepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxStepBodyBytes)).Decode(&req); err != nil {
-		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	quality, err := qualityFromMap(req.Quality, req.PixelSize)
+	sc := getScratch()
+	defer sc.release()
+	var err error
+	sc.body, err = readBody(sc.body, http.MaxBytesReader(w, r.Body, maxStepBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, decodeStatus(err), fmt.Errorf("reading request: %w", err))
 		return
 	}
-	res, err := s.pool.StepSeries(req.SeriesID, req.Outcome, quality)
+	sc.dec.reset(sc.body)
+	var step wireStep
+	if err := sc.dec.decodeStepRequest(&step); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if step.itemErr != nil {
+		httpError(w, http.StatusBadRequest, step.itemErr)
+		return
+	}
+	res, err := s.pool.StepSeries(step.seriesID, step.outcome, step.qf)
 	if err != nil {
 		if errors.Is(err, core.ErrUnknownSeries) || errors.Is(err, core.ErrUnknownTrack) {
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", req.SeriesID))
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", step.seriesID))
 			return
 		}
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp, err := s.gate(req.SeriesID, res)
+	resp, err := s.gate(step.seriesID, res)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out, err = appendStepResponse(sc.out[:0], &resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, sc.out)
 }
 
 // gate runs one pool result through the simplex monitor and shapes the
@@ -253,67 +273,96 @@ type batchStepResponse struct {
 	Failed  int                 `json:"failed"`
 }
 
+// handleStepBatch is the hot batch endpoint: body, decoded items, pool
+// batch inputs/results, response structs, and the response bytes all live in
+// one pooled scratch, so a steady-state batch request allocates only the
+// per-item quality vectors the wrappers retain (slab-chunked, one
+// allocation per 256 items) plus transient error strings on failed items.
 func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchStepRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
-		httpError(w, decodeStatus(err), fmt.Errorf("decoding request: %w", err))
+	sc := getScratch()
+	defer sc.release()
+	var err error
+	sc.body, err = readBody(sc.body, http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	if err != nil {
+		httpError(w, decodeStatus(err), fmt.Errorf("reading request: %w", err))
 		return
 	}
-	if len(req.Steps) == 0 {
+	sc.dec.reset(sc.body)
+	sc.steps, err = sc.dec.decodeBatchRequest(sc.steps)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(sc.steps) == 0 {
 		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
-	if len(req.Steps) > maxBatchItems {
+	// The decoder already fails past-the-cap arrays mid-parse
+	// (errBatchTooLarge), so this is an unreachable backstop kept for the
+	// day the decode path changes.
+	if len(sc.steps) > maxBatchItems {
 		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("batch of %d exceeds limit %d", len(req.Steps), maxBatchItems))
+			fmt.Errorf("batch of %d exceeds limit %d", len(sc.steps), maxBatchItems))
 		return
 	}
 
-	resp := batchStepResponse{Results: make([]batchItemResponse, len(req.Steps))}
-	// Validate every item up front; only clean items enter the pool batch.
-	items := make([]core.SeriesStepItem, 0, len(req.Steps))
-	back := make([]int, 0, len(req.Steps))
-	for i, step := range req.Steps {
-		quality, err := qualityFromMap(step.Quality, step.PixelSize)
-		if err != nil {
-			resp.Results[i] = batchItemResponse{Status: http.StatusBadRequest, Error: err.Error()}
+	n := len(sc.steps)
+	sc.resp.Results = xslice.Grow(sc.resp.Results, n)
+	sc.resp.OK, sc.resp.Failed = 0, 0
+	// stepBodies is sized up front: Step pointers into it must stay valid,
+	// so it may not grow once the first address is taken.
+	sc.stepBodies = xslice.Grow(sc.stepBodies, n)
+	sc.items = sc.items[:0]
+	sc.back = sc.back[:0]
+	for i := range sc.steps {
+		st := &sc.steps[i]
+		if st.itemErr != nil {
+			sc.resp.Results[i] = batchItemResponse{Status: http.StatusBadRequest, Error: st.itemErr.Error()}
 			continue
 		}
-		items = append(items, core.SeriesStepItem{
-			SeriesID: step.SeriesID,
-			Outcome:  step.Outcome,
-			Quality:  quality,
+		sc.items = append(sc.items, core.SeriesStepItem{
+			SeriesID: st.seriesID,
+			Outcome:  st.outcome,
+			Quality:  st.qf,
 		})
-		back = append(back, i)
+		sc.back = append(sc.back, int32(i))
 	}
 
-	for j, br := range s.pool.StepBatchSeries(items, s.batchWorkers) {
-		i := back[j]
+	sc.results = s.pool.StepBatchSeriesInto(sc.items, s.batchWorkers, sc.results)
+	for j := range sc.results {
+		br := &sc.results[j]
+		i := sc.back[j]
 		switch {
 		case br.Err == nil:
-			stepResp, err := s.gate(req.Steps[i].SeriesID, br.Result)
+			stepResp, err := s.gate(sc.steps[i].seriesID, br.Result)
 			if err != nil {
-				resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: err.Error()}
+				sc.resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: err.Error()}
 				continue
 			}
-			resp.Results[i] = batchItemResponse{Status: http.StatusOK, Step: &stepResp}
+			sc.stepBodies[i] = stepResp
+			sc.resp.Results[i] = batchItemResponse{Status: http.StatusOK, Step: &sc.stepBodies[i]}
 		case errors.Is(br.Err, core.ErrUnknownSeries), errors.Is(br.Err, core.ErrUnknownTrack):
-			resp.Results[i] = batchItemResponse{
+			sc.resp.Results[i] = batchItemResponse{
 				Status: http.StatusNotFound,
-				Error:  fmt.Sprintf("unknown series %q", req.Steps[i].SeriesID),
+				Error:  fmt.Sprintf("unknown series %q", sc.steps[i].seriesID),
 			}
 		default:
-			resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: br.Err.Error()}
+			sc.resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: br.Err.Error()}
 		}
 	}
-	for _, item := range resp.Results {
-		if item.Status == http.StatusOK {
-			resp.OK++
+	for i := range sc.resp.Results {
+		if sc.resp.Results[i].Status == http.StatusOK {
+			sc.resp.OK++
 		} else {
-			resp.Failed++
+			sc.resp.Failed++
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sc.out, err = appendBatchStepResponse(sc.out[:0], &sc.resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, sc.out)
 }
 
 // decodeStatus distinguishes "your JSON is broken" (400) from "your body
@@ -402,10 +451,31 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorResponse{Error: err.Error()})
 }
 
+// logf is the server's error logger, a package variable so tests can
+// capture what the write paths report.
+var logf = log.Printf
+
+// writeJSON renders v with the stdlib encoder (cold endpoints only). The
+// header is already written when encoding or writing fails, so the error
+// cannot reach the client anymore — but it must not vanish either: every
+// failure is logged once with the status it was meant to carry.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	// Encoding failures after the header is written can only be logged;
-	// the stdlib encoder cannot fail on these plain structs.
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		logf("tauserve: writing %d response: %v", code, err)
+	}
+}
+
+// writeRaw flushes a pre-rendered hot-path body in a single Write with an
+// exact Content-Length. Write failures (client gone, connection reset) are
+// logged like writeJSON's.
+func writeRaw(w http.ResponseWriter, code int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		logf("tauserve: writing %d response: %v", code, err)
+	}
 }

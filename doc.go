@@ -15,9 +15,25 @@
 // (internal/simplex), and the study harness (internal/eval).
 //
 // See README.md for the architecture map, the tauserve HTTP API (including
-// the batched POST /v1/steps endpoint), and how to run the tier-1 tests,
-// the race-hardened concurrency suite, and the benchmarks. The benchmarks
-// in bench_test.go regenerate every table and figure of the paper's
-// evaluation and measure the serving layer (sharded pool vs global mutex,
-// batched vs single-step HTTP).
+// the batched POST /v1/steps endpoint with its 4096-item and body-size
+// caps), and how to run the tier-1 tests, the race-hardened concurrency
+// suite, and the benchmarks. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation and measure the serving
+// layer (sharded pool vs global mutex, batched vs single-step HTTP).
+//
+// # Allocation discipline
+//
+// The serving path is allocation-free in steady state, and CI enforces it:
+// any benchmark recorded at <= 2 allocs/op in the committed BENCH_*.json
+// trajectory fails the bench gate if it decays past that
+// (scripts/bench compare -alloc-gate). The zero-alloc paths are the
+// wrapper step (core.Wrapper.Step with an incremental fuser), the pool
+// batch with a recycled result slice (core.WrapperPool.StepBatchInto /
+// StepBatchSeriesInto: pooled counting-sort grouping, closure-free
+// fan-out), taQIM inference (dtree.Compiled, including the PredictBatch /
+// ApplyBatch block walks), and the tauserve hot-endpoint codec (pooled
+// request/response buffers, reflection-free encode/decode). The deliberate
+// exception: the per-item quality vectors the wrapper buffers retain are
+// carved from fresh slab chunks (they outlive the request), so a batch
+// request costs one allocation per slab chunk rather than zero.
 package tauw

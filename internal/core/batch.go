@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/iese-repro/tauw/internal/xslice"
+)
 
 // StepItem is one entry of a batch step: one timestep for one open track.
 type StepItem struct {
@@ -24,85 +29,213 @@ type BatchResult struct {
 	Err    error
 }
 
+// batchScratch is the reusable dispatch state of one StepBatch call: the
+// counting-sort arrays that group items by shard, the compacted list of
+// non-empty groups, and the worker coordination fields. Batches recycle it
+// through scratchPool, so a steady-state serving loop allocates nothing for
+// grouping or fan-out — the price PR 2's profile showed dominating the batch
+// path (a map of index slices plus a channel per call).
+type batchScratch struct {
+	// Counting sort by shard: counts/offsets are indexed by shard id,
+	// order holds item indices grouped by shard, groups lists the
+	// non-empty shards in ascending order.
+	counts []int32
+	order  []int32
+	groups []int32
+
+	// Series resolution scratch (StepBatchSeries only).
+	tracks  []StepItem
+	back    []int32
+	results []BatchResult
+
+	// Worker state, set per dispatch and cleared before release so the
+	// pool never pins a caller's items or results.
+	pool  *WrapperPool
+	items []StepItem
+	out   []BatchResult
+	next  atomic.Int32
+	wg    sync.WaitGroup
+
+	// runFn is the bound method value of run, created once per scratch:
+	// `go s.run()` would allocate a fresh closure per spawned worker,
+	// while `go s.runFn()` starts from the cached func value for free.
+	runFn func()
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // StepBatch feeds a batch of timesteps to the pool, fanning the work out
 // across shards with at most `workers` goroutines (0 means one per
-// schedulable CPU). Results are returned in input order.
+// schedulable CPU). Results are returned in input order in a freshly
+// allocated slice; hot loops that want the allocation-free path should hold
+// onto a result slice and use StepBatchInto.
+func (p *WrapperPool) StepBatch(items []StepItem, workers int) []BatchResult {
+	return p.StepBatchInto(items, workers, nil)
+}
+
+// StepBatchInto is StepBatch writing into dst: when cap(dst) >= len(items)
+// the results reuse dst's storage and the call allocates nothing in steady
+// state — the grouping scratch comes from a sync.Pool and the fan-out runs
+// without a channel or closures. The returned slice must be used instead of
+// dst (it may be reallocated, exactly like append).
 //
 // Items are grouped by shard before dispatch, which has two effects: a
 // worker takes each shard lock once per batch instead of once per item, and
 // multiple items addressing the same track are applied in their input order
 // (they hash to the same shard, so one worker handles them sequentially).
-func (p *WrapperPool) StepBatch(items []StepItem, workers int) []BatchResult {
-	out := make([]BatchResult, len(items))
+func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchResult) []BatchResult {
+	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
 		return out
 	}
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-
-	// Group item indices by owning shard. For a single-item (or
-	// single-shard) batch the fan-out degenerates to a plain loop with no
-	// goroutine handoff.
-	groups := make(map[uint64][]int, workers)
-	for i, it := range items {
-		s := mix64(uint64(it.TrackID)) & uint64(len(p.shards)-1)
-		groups[s] = append(groups[s], i)
-	}
-	if len(groups) == 1 || workers == 1 {
+	if workers == 1 || len(items) == 1 {
 		for i := range items {
 			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
 		}
 		return out
 	}
 
-	work := make(chan []int, len(groups))
-	for _, idxs := range groups {
-		work <- idxs
+	s := scratchPool.Get().(*batchScratch)
+	s.group(p, items)
+	if len(s.groups) == 1 {
+		// One shard owns every item: the fan-out would degenerate to a
+		// single worker, so run the plain loop without goroutine handoff.
+		for i := range items {
+			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
+		}
+		s.release()
+		return out
 	}
-	close(work)
-	if workers > len(groups) {
-		workers = len(groups)
+	if workers > len(s.groups) {
+		workers = len(s.groups)
 	}
-	var wg sync.WaitGroup
+	s.pool, s.items, s.out = p, items, out
+	s.next.Store(0)
+	if s.runFn == nil {
+		s.runFn = s.run
+	}
+	s.wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idxs := range work {
-				for _, i := range idxs {
-					out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
-				}
-			}
-		}()
+		go s.runFn()
 	}
-	wg.Wait()
+	s.wg.Wait()
+	s.release()
 	return out
+}
+
+// group builds the shard partition of items with a counting sort: counts[s]
+// becomes the start offset of shard s's run inside order, and groups lists
+// the non-empty shards. No maps, no per-group slices — three reusable int32
+// arrays sized by shard count and batch length.
+func (s *batchScratch) group(p *WrapperPool, items []StepItem) {
+	nshards := len(p.shards)
+	s.counts = xslice.Grow(s.counts, nshards+1)
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.order = xslice.Grow(s.order, len(items))
+	s.groups = s.groups[:0]
+	for _, it := range items {
+		s.counts[p.shardIndex(it.TrackID)]++
+	}
+	var sum int32
+	for sh := 0; sh < nshards; sh++ {
+		c := s.counts[sh]
+		if c > 0 {
+			s.groups = append(s.groups, int32(sh))
+		}
+		s.counts[sh] = sum
+		sum += c
+	}
+	s.counts[nshards] = sum
+	for i, it := range items {
+		sh := p.shardIndex(it.TrackID)
+		s.order[s.counts[sh]] = int32(i)
+		s.counts[sh]++
+	}
+	// Each placement advanced counts[sh] by the shard's item count, so
+	// counts[sh] is now the END of shard sh's run and counts[sh-1] its
+	// start (empty shards carry the boundary through unchanged).
+}
+
+// runBounds returns the [start, end) span of shard sh's run inside order.
+func (s *batchScratch) runBounds(sh int32) (int32, int32) {
+	start := int32(0)
+	if sh > 0 {
+		start = s.counts[sh-1]
+	}
+	return start, s.counts[sh]
+}
+
+// run is the worker loop: claim the next shard group, step its items in
+// input order, repeat until the groups are drained.
+func (s *batchScratch) run() {
+	defer s.wg.Done()
+	for {
+		g := int(s.next.Add(1)) - 1
+		if g >= len(s.groups) {
+			return
+		}
+		start, end := s.runBounds(s.groups[g])
+		for _, i := range s.order[start:end] {
+			it := &s.items[i]
+			s.out[i].Result, s.out[i].Err = s.pool.Step(it.TrackID, it.Outcome, it.Quality)
+		}
+	}
+}
+
+// release clears the caller-owned references and returns the scratch to the
+// pool; the int32 arrays keep their capacity for the next batch.
+func (s *batchScratch) release() {
+	s.pool, s.items, s.out = nil, nil, nil
+	for i := range s.tracks {
+		s.tracks[i] = StepItem{}
+	}
+	s.tracks = s.tracks[:0]
+	s.back = s.back[:0]
+	for i := range s.results {
+		s.results[i] = BatchResult{}
+	}
+	s.results = s.results[:0]
+	scratchPool.Put(s)
 }
 
 // StepBatchSeries is StepBatch addressed by string series ids: each id is
 // resolved through the sharded registry, unknown ids fail their item with
 // ErrUnknownSeries (wrapped), and all resolvable items proceed as one track
-// batch. Results are returned in input order.
+// batch. Results are returned in input order in a fresh slice.
 func (p *WrapperPool) StepBatchSeries(items []SeriesStepItem, workers int) []BatchResult {
-	out := make([]BatchResult, len(items))
+	return p.StepBatchSeriesInto(items, workers, nil)
+}
+
+// StepBatchSeriesInto is StepBatchSeries writing into dst (see
+// StepBatchInto): with a recycled dst the id resolution, grouping, and
+// dispatch all run on pooled scratch and the call is allocation-free in
+// steady state.
+func (p *WrapperPool) StepBatchSeriesInto(items []SeriesStepItem, workers int, dst []BatchResult) []BatchResult {
+	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
 		return out
 	}
-	tracks := make([]StepItem, 0, len(items))
-	// back maps position in the resolved track batch to input position.
-	back := make([]int, 0, len(items))
+	s := scratchPool.Get().(*batchScratch)
+	s.tracks = s.tracks[:0]
+	s.back = s.back[:0]
 	for i, it := range items {
 		track, err := p.ResolveSeries(it.SeriesID)
 		if err != nil {
-			out[i].Err = err
+			out[i].Result, out[i].Err = Result{}, err
 			continue
 		}
-		tracks = append(tracks, StepItem{TrackID: track, Outcome: it.Outcome, Quality: it.Quality})
-		back = append(back, i)
+		s.tracks = append(s.tracks, StepItem{TrackID: track, Outcome: it.Outcome, Quality: it.Quality})
+		s.back = append(s.back, int32(i))
 	}
-	for j, r := range p.StepBatch(tracks, workers) {
-		out[back[j]] = r
+	s.results = p.StepBatchInto(s.tracks, workers, xslice.Grow(s.results, len(s.tracks)))
+	for j, r := range s.results {
+		out[s.back[j]] = r
 	}
+	s.release()
 	return out
 }

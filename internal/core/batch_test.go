@@ -197,3 +197,125 @@ func TestStepBatchConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestStepBatchIntoReuse drives the allocation-free path: a recycled result
+// slice must come back with identical results to the allocating API, stale
+// contents (old errors, old results) must be fully overwritten, and an
+// undersized dst must be transparently reallocated.
+func TestStepBatchIntoReuse(t *testing.T) {
+	const tracks = 6
+	for _, workers := range []int{1, 4} {
+		poolA, st := batchFixture(t, tracks)
+		poolB, _ := batchFixture(t, tracks)
+		var items []StepItem
+		for j := 0; j < 4; j++ {
+			for id := 0; id < tracks; id++ {
+				s := st.testSeries[id%len(st.testSeries)]
+				items = append(items, StepItem{TrackID: id, Outcome: s.Outcomes[j], Quality: s.Quality[j]})
+			}
+		}
+		// Poison dst with stale state the reuse path must overwrite.
+		dst := make([]BatchResult, len(items), len(items)+8)
+		for i := range dst {
+			dst[i] = BatchResult{Result: Result{Fused: -77, SeriesLen: -77}, Err: ErrUnknownTrack}
+		}
+		got := poolA.StepBatchInto(items, workers, dst)
+		if &got[0] != &dst[0] {
+			t.Errorf("workers=%d: StepBatchInto reallocated despite sufficient capacity", workers)
+		}
+		want := poolB.StepBatch(items, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Err != nil || want[i].Err != nil {
+				t.Fatalf("workers=%d item %d: errs %v vs %v", workers, i, got[i].Err, want[i].Err)
+			}
+			if got[i].Result != want[i].Result {
+				t.Errorf("workers=%d item %d: %+v vs %+v", workers, i, got[i].Result, want[i].Result)
+			}
+		}
+		// Undersized dst: must grow, not truncate.
+		short := make([]BatchResult, 0, 1)
+		regrown := poolB.StepBatchInto(items[:2], workers, short)
+		if len(regrown) != 2 {
+			t.Errorf("workers=%d: undersized dst produced %d results, want 2", workers, len(regrown))
+		}
+	}
+}
+
+// TestStepBatchSeriesIntoReuse mirrors TestStepBatchIntoReuse for the
+// string-addressed entry point, including stale-error overwrite on items
+// that succeed and per-item failures on items that do not.
+func TestStepBatchSeriesIntoReuse(t *testing.T) {
+	pool, st := poolFixture(t, 0)
+	s := st.testSeries[0]
+	a, err := pool.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []SeriesStepItem{
+		{SeriesID: a, Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: "never-issued", Outcome: s.Outcomes[0], Quality: s.Quality[0]},
+		{SeriesID: a, Outcome: s.Outcomes[1], Quality: s.Quality[1]},
+	}
+	dst := make([]BatchResult, 3)
+	for i := range dst {
+		dst[i] = BatchResult{Result: Result{SeriesLen: -1}, Err: ErrTrackBudget}
+	}
+	got := pool.StepBatchSeriesInto(items, 2, dst)
+	if got[0].Err != nil || got[2].Err != nil {
+		t.Fatalf("valid items failed: %v %v", got[0].Err, got[2].Err)
+	}
+	if got[0].Result.SeriesLen != 1 || got[2].Result.SeriesLen != 2 {
+		t.Errorf("series lengths = %d,%d, want 1,2", got[0].Result.SeriesLen, got[2].Result.SeriesLen)
+	}
+	if !errors.Is(got[1].Err, ErrUnknownSeries) {
+		t.Errorf("item 1 err = %v, want ErrUnknownSeries", got[1].Err)
+	}
+	if got[1].Result.SeriesLen != 0 {
+		t.Errorf("failed item kept stale result: %+v", got[1].Result)
+	}
+}
+
+// TestStepBatchIntoSteadyStateAllocs is the zero-allocation claim as a unit
+// test: once every ring buffer is warm and the result slice is recycled, a
+// sequential batch must not allocate at all, and a parallel batch must stay
+// within the two-allocs-per-op budget the bench gate enforces.
+func TestStepBatchIntoSteadyStateAllocs(t *testing.T) {
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	const ringLimit = 8
+	pool, err := NewWrapperPool(st.base, taqim, Config{BufferLimit: ringLimit}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tracks = 64
+	s := st.testSeries[0]
+	items := make([]StepItem, tracks)
+	for id := 0; id < tracks; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+		items[id] = StepItem{TrackID: id, Outcome: s.Outcomes[0], Quality: s.Quality[0]}
+	}
+	var dst []BatchResult
+	// Warm up: fill every ring (plus one eviction round) and let the
+	// scratch pool and result slice reach steady state.
+	for i := 0; i < ringLimit+2; i++ {
+		dst = pool.StepBatchInto(items, 4, dst)
+	}
+	for _, workers := range []int{1, 4} {
+		avg := testing.AllocsPerRun(20, func() {
+			dst = pool.StepBatchInto(items, workers, dst)
+			for i := range dst {
+				if dst[i].Err != nil {
+					t.Fatal(dst[i].Err)
+				}
+			}
+		})
+		if avg > 2 {
+			t.Errorf("workers=%d: %.1f allocs per steady-state batch, want <= 2", workers, avg)
+		}
+	}
+}

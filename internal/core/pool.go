@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,9 @@ type WrapperPool struct {
 
 	shards []trackShard
 	series []seriesShard
+	// shardShift is 64 - log2(len(shards)): shard selection takes the top
+	// bits of the Fibonacci hash (see shardIndex).
+	shardShift uint8
 }
 
 type pooledWrapper struct {
@@ -80,12 +84,13 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 		return nil, err
 	}
 	p := &WrapperPool{
-		base:      base,
-		taqim:     taqim,
-		cfg:       cfg,
-		maxTracks: maxTracks,
-		shards:    make([]trackShard, nshards),
-		series:    make([]seriesShard, nshards),
+		base:       base,
+		taqim:      taqim,
+		cfg:        cfg,
+		maxTracks:  maxTracks,
+		shards:     make([]trackShard, nshards),
+		series:     make([]seriesShard, nshards),
+		shardShift: uint8(64 - bits.TrailingZeros(uint(nshards))),
 	}
 	for i := range p.shards {
 		p.shards[i].tracks = make(map[int]*pooledWrapper)
@@ -150,7 +155,10 @@ func (p *WrapperPool) open(trackID int) error {
 	return nil
 }
 
-// Step feeds one timestep to the track's wrapper.
+// Step feeds one timestep to the track's wrapper. The unlock is explicit
+// rather than deferred: Step is the pool's hottest function and the
+// wrapper's step is pure arithmetic over owned state, so there is no panic
+// path the defer would be protecting.
 func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
 	sh := p.trackShardFor(trackID)
 	sh.mu.Lock()
@@ -160,8 +168,9 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
 	}
 	pw.mu.Lock()
-	defer pw.mu.Unlock()
-	return pw.w.Step(outcome, quality)
+	res, err := pw.w.Step(outcome, quality)
+	pw.mu.Unlock()
+	return res, err
 }
 
 // Close retires a track.

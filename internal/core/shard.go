@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"unsafe"
 )
 
 // DefaultShards is the shard count used when a pool is created without an
@@ -11,23 +12,46 @@ import (
 // core counts without wasting memory on tiny deployments.
 const DefaultShards = 32
 
-// trackShard holds one slice of the pool's track map under its own lock.
-// The padding rounds the struct up to a full 64-byte cache line (8-byte
-// mutex + 8-byte map header + 48) so that a hot shard does not false-share
-// with its neighbours in the shard array.
-type trackShard struct {
+// shardPad is the stride shards are padded to. Two cache lines, not one:
+// slice backing arrays are not guaranteed 64-byte alignment, so a 64-byte
+// shard can still straddle a line boundary and share both halves with its
+// neighbours, and adjacent-line prefetchers pull lines in 128-byte pairs
+// anyway. At a 128-byte stride the hot head of a shard (mutex + map header)
+// can never land on the same line — or the same prefetch pair — as another
+// shard's, whatever the array's base alignment.
+const shardPad = 128
+
+// trackShardState is the payload of one track shard: one slice of the
+// pool's track map under its own lock.
+type trackShardState struct {
 	mu     sync.Mutex
 	tracks map[int]*pooledWrapper
-	_      [48]byte
 }
 
-// seriesShard holds one slice of the string-series-id registry. The registry
-// is sharded independently of the track maps: a series id hashes by string,
-// its track by integer, so the two layers scale without coordinating.
-type seriesShard struct {
+// trackShard pads the state to the next multiple of the shard stride; the
+// pad width is computed from the state's size, so growing the state keeps
+// the struct stride-aligned automatically (TestShardPadding pins the
+// invariant). The expression always pads by at least one byte, so a state
+// that is already an exact stride multiple carries one extra stride — a
+// non-issue at the current 16-byte state.
+type trackShard struct {
+	trackShardState
+	_ [shardPad - unsafe.Sizeof(trackShardState{})%shardPad]byte
+}
+
+// seriesShardState is the payload of one registry shard: one slice of the
+// string-series-id registry. The registry is sharded independently of the
+// track maps: a series id hashes by string, its track by integer, so the
+// two layers scale without coordinating.
+type seriesShardState struct {
 	mu  sync.Mutex
 	ids map[string]int
-	_   [48]byte
+}
+
+// seriesShard pads the registry shard to the shard stride (see trackShard).
+type seriesShard struct {
+	seriesShardState
+	_ [shardPad - unsafe.Sizeof(seriesShardState{})%shardPad]byte
 }
 
 // normShards validates and normalises a shard-count request: 0 means
@@ -47,25 +71,34 @@ func normShards(n int) (int, error) {
 	return p, nil
 }
 
-// mix64 is the splitmix64 finaliser: a cheap, well-distributed integer hash
-// so that sequential track ids (the common allocation pattern) spread across
-// shards instead of marching through them in lockstep.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+// fibMul is 2^64/φ, the Fibonacci-hashing multiplier: one multiply spreads
+// sequential track ids (the common allocation pattern) across the top bits,
+// from which the shard index is taken. Chosen over a full splitmix64
+// finaliser because shard selection sits on the per-step path, where the
+// sharded pool must not cost more than the single-mutex design it replaced
+// even at GOMAXPROCS=1 (one imul + one shift versus two imuls and three
+// xor-shifts).
+const fibMul = 0x9e3779b97f4a7c15
+
+// shardIndex maps a track id to the index of its owning shard (Fibonacci
+// hashing: top shardBits bits of id*fibMul). StepBatch's counting sort uses
+// the raw index to group items without touching the shards themselves.
+//
+// shardShift is 64-log2(nshards); for a single shard it is 64, and a Go
+// shift by >= 64 yields 0 — exactly the only valid index.
+func (p *WrapperPool) shardIndex(trackID int) uint64 {
+	return (uint64(trackID) * fibMul) >> p.shardShift
 }
 
 // trackShardFor selects the shard owning a track id. Shard selection is
 // lock-free: the shard slice is immutable after construction.
 func (p *WrapperPool) trackShardFor(trackID int) *trackShard {
-	return &p.shards[mix64(uint64(trackID))&uint64(len(p.shards)-1)]
+	return &p.shards[p.shardIndex(trackID)]
 }
 
-// seriesShardFor selects the registry shard owning a series id (FNV-1a).
+// seriesShardFor selects the registry shard owning a series id (FNV-1a,
+// then the same top-bits extraction as shardIndex — FNV mixes low bits
+// well, the multiply propagates them up).
 func (p *WrapperPool) seriesShardFor(id string) *seriesShard {
 	const (
 		offset64 = 14695981039346656037
@@ -76,7 +109,7 @@ func (p *WrapperPool) seriesShardFor(id string) *seriesShard {
 		h ^= uint64(id[i])
 		h *= prime64
 	}
-	return &p.series[mix64(h)&uint64(len(p.series)-1)]
+	return &p.series[(h*fibMul)>>p.shardShift]
 }
 
 // defaultWorkers bounds a batch fan-out when the caller does not: one worker

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestShardPadding pins the false-sharing defence: every shard struct must
+// be padded to a whole number of shardPad strides, so that in the pool's
+// shard arrays no two shards' hot fields (mutex + map header) can land on
+// the same cache line — or the same adjacent-line prefetch pair — whatever
+// the backing array's base alignment.
+func TestShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(trackShard{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("trackShard size %d is not a positive multiple of %d", s, shardPad)
+	}
+	if s := unsafe.Sizeof(seriesShard{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("seriesShard size %d is not a positive multiple of %d", s, shardPad)
+	}
+	// The pad must not displace the payload: the state must sit at offset 0
+	// so shard selection lands directly on the mutex's line.
+	if off := unsafe.Offsetof(trackShard{}.trackShardState); off != 0 {
+		t.Errorf("trackShardState at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(seriesShard{}.seriesShardState); off != 0 {
+		t.Errorf("seriesShardState at offset %d, want 0", off)
+	}
+}
+
+// TestShardIndexMatchesShardFor ties the counting sort's raw index to the
+// pointer selection Step uses: StepBatch groups by shardIndex and Step locks
+// trackShardFor, so the two must always agree or a batch's input-order
+// guarantee for same-track items would silently break.
+func TestShardIndexMatchesShardFor(t *testing.T) {
+	pool, _ := poolFixture(t, 0)
+	for _, id := range []int{0, 1, 31, 32, 1 << 20, -1, -63, 1<<31 - 1} {
+		if got, want := &pool.shards[pool.shardIndex(id)], pool.trackShardFor(id); got != want {
+			t.Errorf("track %d: shardIndex and trackShardFor disagree", id)
+		}
+	}
+}

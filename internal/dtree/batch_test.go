@@ -1,0 +1,99 @@
+package dtree
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestBatchMatchesPerRow is the block-inference differential: across random
+// trees and probe inputs (including NaN/±Inf factors and exact-threshold
+// echoes), PredictBatch and ApplyBatch must agree bit-for-bit with the
+// per-row PredictValue/Apply walk — at every batch length around the block
+// boundary, with and without a recycled output slice.
+func TestBatchMatchesPerRow(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		nf := 2 + int(seed%3)
+		x, y := randData(300+int(seed)*20, nf, seed)
+		tr, err := Fit(x, y, Config{MaxDepth: 2 + int(seed%6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Calibrate(x, y, 10+int(seed%40), cpBound); err != nil {
+			t.Fatal(err)
+		}
+		c := tr.Compile()
+		probes := probeInputs(nf, x, seed)
+		var values []float64
+		var leaves []int
+		// Lengths straddling the block size exercise the full-block path,
+		// the partial tail, and the empty batch.
+		for _, n := range []int{0, 1, treeBlock - 1, treeBlock, treeBlock + 1, len(probes)} {
+			batch := probes[:n]
+			values, err = c.PredictBatch(batch, values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaves, err = c.ApplyBatch(batch, leaves)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(values) != n || len(leaves) != n {
+				t.Fatalf("seed %d n=%d: got %d values, %d leaves", seed, n, len(values), len(leaves))
+			}
+			for i, probe := range batch {
+				wantV, err := c.PredictValue(probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantID, err := c.Apply(probe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if values[i] != wantV || leaves[i] != wantID {
+					t.Fatalf("seed %d n=%d row %d: batch (%g, %d) vs per-row (%g, %d)",
+						seed, n, i, values[i], leaves[i], wantV, wantID)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchErrors pins the batch error semantics to the per-row ones: shape
+// mismatches fail the whole batch before any walk, and an uncalibrated tree
+// fails PredictBatch with ErrNotCalibrated while ApplyBatch still works.
+func TestBatchErrors(t *testing.T) {
+	x, y := sepData(200, 21)
+	tr, err := Fit(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Compile()
+	good := [][]float64{{0.1, 0.2}, {0.3, 0.4}}
+	bad := [][]float64{{0.1, 0.2}, {0.3}}
+	if _, err := c.PredictBatch(bad, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("PredictBatch shape error = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := c.ApplyBatch(bad, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("ApplyBatch shape error = %v, want ErrShapeMismatch", err)
+	}
+	if _, err := c.PredictBatch(good, nil); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("uncalibrated PredictBatch = %v, want ErrNotCalibrated", err)
+	}
+	leaves, err := c.ApplyBatch(good, nil)
+	if err != nil || len(leaves) != 2 {
+		t.Errorf("uncalibrated ApplyBatch = (%v, %v), want two leaf ids", leaves, err)
+	}
+	if err := tr.Calibrate(x, y, 20, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	c = tr.Compile()
+	// Recycled output: a too-small dst grows, a large one is reused.
+	large := make([]float64, 0, 128)
+	out, err := c.PredictBatch(good, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || cap(out) != 128 {
+		t.Errorf("recycled dst not reused: len=%d cap=%d", len(out), cap(out))
+	}
+}

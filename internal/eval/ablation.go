@@ -38,7 +38,12 @@ func (st *Study) RunBoundAblation() (BoundAblationResult, error) {
 	for i, r := range recs {
 		fusedWrong[i] = r.fused != r.truth
 	}
+	// The factor rows are identical under every bound method; build them
+	// once and let each refitted model score the whole replay through the
+	// compiled tree's block inference.
+	rows := taqimRows(recs)
 	var out BoundAblationResult
+	var forecast []float64
 	for _, m := range []stats.BoundMethod{stats.ClopperPearson, stats.Wilson, stats.Jeffreys} {
 		cfg := st.Cfg.QIM
 		cfg.Bound = m
@@ -46,16 +51,9 @@ func (st *Study) RunBoundAblation() (BoundAblationResult, error) {
 		if err != nil {
 			return BoundAblationResult{}, err
 		}
-		forecast := make([]float64, len(recs))
-		for i, r := range recs {
-			row := make([]float64, 0, len(r.quality)+4)
-			row = append(row, r.quality...)
-			row = append(row, r.taqf[:]...)
-			u, err := qim.Uncertainty(row)
-			if err != nil {
-				return BoundAblationResult{}, err
-			}
-			forecast[i] = u
+		forecast, err = qim.UncertaintyBatch(rows, forecast)
+		if err != nil {
+			return BoundAblationResult{}, err
 		}
 		d, err := decomposeAdaptive(forecast, fusedWrong)
 		if err != nil {
@@ -175,7 +173,9 @@ func (st *Study) RunTreeAblation(depths, minLeaves []int) (TreeAblationResult, e
 	for i, r := range recs {
 		fusedWrong[i] = r.fused != r.truth
 	}
+	rows := taqimRows(recs)
 	var out TreeAblationResult
+	var forecast []float64
 	for _, depth := range depths {
 		for _, minLeaf := range minLeaves {
 			cfg := st.Cfg.QIM
@@ -188,16 +188,9 @@ func (st *Study) RunTreeAblation(depths, minLeaves []int) (TreeAblationResult, e
 			if err != nil {
 				return TreeAblationResult{}, err
 			}
-			forecast := make([]float64, len(recs))
-			for i, r := range recs {
-				row := make([]float64, 0, len(r.quality)+4)
-				row = append(row, r.quality...)
-				row = append(row, r.taqf[:]...)
-				u, err := qim.Uncertainty(row)
-				if err != nil {
-					return TreeAblationResult{}, err
-				}
-				forecast[i] = u
+			forecast, err = qim.UncertaintyBatch(rows, forecast)
+			if err != nil {
+				return TreeAblationResult{}, err
 			}
 			bs, err := stats.BrierScore(forecast, fusedWrong)
 			if err != nil {

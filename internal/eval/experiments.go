@@ -30,7 +30,9 @@ func (st *Study) replayTest() ([]stepRecord, error) {
 }
 
 // replayWith replays the test series under an arbitrary information-fusion
-// rule (used by the tie-break ablation).
+// rule (used by the tie-break ablation). The per-step fusion state is
+// sequential by nature; the taQIM scoring is not, so it runs as one batch
+// over the whole replay through the compiled tree's block inference.
 func (st *Study) replayWith(fuser fusion.OutcomeFuser) ([]stepRecord, error) {
 	var out []stepRecord
 	for si, s := range st.TestSeries {
@@ -62,13 +64,6 @@ func (st *Study) replayWith(fuser fusion.OutcomeFuser) ([]stepRecord, error) {
 			if err != nil {
 				return nil, err
 			}
-			row := make([]float64, 0, len(s.Quality[i])+4)
-			row = append(row, s.Quality[i]...)
-			row = append(row, taqf[:]...)
-			uTAUW, err := st.TAQIM.Uncertainty(row)
-			if err != nil {
-				return nil, fmt.Errorf("eval: replay taUW estimate: %w", err)
-			}
 			out = append(out, stepRecord{
 				truth:    s.Truth,
 				isolated: s.Outcomes[i],
@@ -78,7 +73,6 @@ func (st *Study) replayWith(fuser fusion.OutcomeFuser) ([]stepRecord, error) {
 				uNaive:   uNaive,
 				uOpp:     uOpp,
 				uWorst:   uWorst,
-				uTAUW:    uTAUW,
 				quality:  s.Quality[i],
 				taqf:     taqf,
 			})
@@ -87,7 +81,28 @@ func (st *Study) replayWith(fuser fusion.OutcomeFuser) ([]stepRecord, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("eval: empty test replay")
 	}
+	uTAUW, err := st.TAQIM.UncertaintyBatch(taqimRows(out), nil)
+	if err != nil {
+		return nil, fmt.Errorf("eval: replay taUW estimate: %w", err)
+	}
+	for i := range out {
+		out[i].uTAUW = uTAUW[i]
+	}
 	return out, nil
+}
+
+// taqimRows materialises the taQIM input rows — stateless quality factors
+// followed by the four taQF — for every replay record: the batch shape the
+// compiled tree scores in cache-friendly blocks.
+func taqimRows(recs []stepRecord) [][]float64 {
+	rows := make([][]float64, len(recs))
+	for i, r := range recs {
+		row := make([]float64, 0, len(r.quality)+4)
+		row = append(row, r.quality...)
+		row = append(row, r.taqf[:]...)
+		rows[i] = row
+	}
+	return rows
 }
 
 // ---------------------------------------------------------------- Fig. 4 --
@@ -416,25 +431,26 @@ func (st *Study) RunFig7() (Fig7Result, error) {
 		return Fig7Result{}, err
 	}
 	out := Fig7Result{ReferenceNoTAQF: ref, Best: Fig7Row{Brier: 2}}
+	rows := make([][]float64, len(recs))
+	var forecast []float64
 	for _, feats := range core.FeatureSubsets() {
 		qim, err := st.fitTAQIMSubset(feats)
 		if err != nil {
 			return Fig7Result{}, err
 		}
-		forecast := make([]float64, len(recs))
 		for i, r := range recs {
 			sel, err := core.SelectFeatures(r.taqf, feats)
 			if err != nil {
 				return Fig7Result{}, err
 			}
-			row := make([]float64, 0, len(r.quality)+len(sel))
+			row := rows[i][:0]
 			row = append(row, r.quality...)
 			row = append(row, sel...)
-			u, err := qim.Uncertainty(row)
-			if err != nil {
-				return Fig7Result{}, fmt.Errorf("eval: subset %v estimate: %w", feats, err)
-			}
-			forecast[i] = u
+			rows[i] = row
+		}
+		forecast, err = qim.UncertaintyBatch(rows, forecast)
+		if err != nil {
+			return Fig7Result{}, fmt.Errorf("eval: subset %v estimate: %w", feats, err)
 		}
 		bs, err := stats.BrierScore(forecast, fusedWrong)
 		if err != nil {

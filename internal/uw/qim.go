@@ -112,6 +112,21 @@ func (q *QualityImpactModel) LeafID(factors []float64) (int, error) {
 	return q.flat.Apply(factors)
 }
 
+// UncertaintyBatch scores many factor vectors in one call, routed through
+// the compiled tree's block inference (dtree.Compiled.PredictBatch): rows
+// descend the struct-of-arrays tree in cache-friendly blocks instead of one
+// root-to-leaf chase per row. out is reused when its capacity suffices (use
+// the returned slice). Results match an Uncertainty-per-row loop exactly.
+func (q *QualityImpactModel) UncertaintyBatch(rows [][]float64, out []float64) ([]float64, error) {
+	return q.flat.PredictBatch(rows, out)
+}
+
+// LeafIDBatch returns the region ids of many factor vectors in one call,
+// with the same block inference as UncertaintyBatch.
+func (q *QualityImpactModel) LeafIDBatch(rows [][]float64, out []int) ([]int, error) {
+	return q.flat.ApplyBatch(rows, out)
+}
+
 // Predict returns both the dependable uncertainty and the region id in a
 // single tree traversal — the hot-path combination Wrapper.Estimate needs.
 func (q *QualityImpactModel) Predict(factors []float64) (uncertainty float64, leafID int, err error) {

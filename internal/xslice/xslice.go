@@ -1,0 +1,16 @@
+// Package xslice holds the one slice helper the serving path's recycling
+// idiom is built on, shared so the packages that recycle buffers (core's
+// batch results, dtree's batch outputs, tauserve's scratch) cannot drift
+// apart on its semantics.
+package xslice
+
+// Grow returns s[:n], reallocating only when the capacity is insufficient.
+// Recycled storage is returned as-is: callers that care about stale
+// contents must overwrite every element (the batch paths do) or clear
+// explicitly.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,31 @@
+package xslice
+
+import "testing"
+
+func TestGrow(t *testing.T) {
+	s := make([]int, 2, 8)
+	s[0], s[1] = 7, 9
+	g := Grow(s, 5)
+	if len(g) != 5 || cap(g) != 8 {
+		t.Errorf("Grow within cap = len %d cap %d, want 5/8", len(g), cap(g))
+	}
+	if &g[0] != &s[:1][0] {
+		t.Error("Grow within cap reallocated")
+	}
+	if g[0] != 7 || g[1] != 9 {
+		t.Error("Grow clobbered recycled contents")
+	}
+	big := Grow(s, 9)
+	if len(big) != 9 {
+		t.Errorf("Grow beyond cap = len %d, want 9", len(big))
+	}
+	if big[0] != 0 {
+		t.Error("fresh allocation not zeroed")
+	}
+	if got := Grow[int](nil, 0); len(got) != 0 {
+		t.Errorf("Grow(nil, 0) = len %d, want 0", len(got))
+	}
+	if got := Grow[int](nil, 3); len(got) != 3 {
+		t.Errorf("Grow(nil, 3) = len %d, want 3", len(got))
+	}
+}

@@ -15,7 +15,15 @@
 //	    Compare two trajectory files. Gated benchmarks (name-prefix match)
 //	    warn above the warn threshold and fail the process (exit 1) above
 //	    the fail threshold of ns/op regression; everything else is
-//	    reported informationally.
+//	    reported informationally. Independently, the -alloc-gate threshold
+//	    (default 2) fails any benchmark that was at or under the threshold
+//	    in allocs/op in the baseline and now exceeds it: zero-alloc paths
+//	    may not silently decay, and unlike ns/op the check is
+//	    machine-independent so it applies to every benchmark.
+//
+// Benchmarks measured at GOMAXPROCS > 1 (-cpu=1,4) keep their own keys with
+// a " [procs=N]" suffix, so contention rows never min-merge with the
+// single-core rows.
 package main
 
 import (
@@ -31,8 +39,12 @@ import (
 
 // Entry is one benchmark's recorded cost.
 type Entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is -1 when the benchmark did not report allocations
+	// (no b.ReportAllocs / -benchmem): an absent metric is not zero, and
+	// recording it as zero would silently enroll the benchmark in the
+	// alloc-gate and fail it spuriously once it starts reporting.
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Samples is how many -count repeats the minimum was taken over.
 	Samples int `json:"samples"`
@@ -109,7 +121,13 @@ func parseBench(out string) map[string]Entry {
 			continue
 		}
 		name, procs := stripProcs(fields[0])
-		e := Entry{Samples: 1, Procs: procs}
+		if procs > 1 {
+			// A multi-procs run (-cpu=1,4) measures the same benchmark as a
+			// different workload; keep the rows apart instead of collapsing
+			// them onto one key and silently min-merging across core counts.
+			name = fmt.Sprintf("%s [procs=%d]", name, procs)
+		}
+		e := Entry{Samples: 1, Procs: procs, AllocsPerOp: -1}
 		seen := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -194,6 +212,9 @@ func runCompare(args []string) error {
 		"comma-separated name prefixes whose ns/op regressions are gated")
 	warn := fs.Float64("warn", 0.10, "gated regression fraction that triggers a warning")
 	fail := fs.Float64("fail", 0.50, "gated regression fraction that fails the gate")
+	allocGate := fs.Float64("alloc-gate", 2,
+		"zero-alloc decay gate: any benchmark at or under this many allocs/op in the baseline "+
+			"fails the gate if it now exceeds it (machine-independent; set negative to disable)")
 	flat := fs.String("flat", "",
 		"comma-separated within-run ratio gates 'fastName:slowName:maxRatio' — fails when "+
 			"current[slowName].ns_per_op > maxRatio * current[fastName].ns_per_op; "+
@@ -291,6 +312,16 @@ func runCompare(args []string) error {
 		if gated(n) && cur.AllocsPerOp > base.AllocsPerOp {
 			fmt.Printf("::warning::%s allocs/op grew %g -> %g\n", n, base.AllocsPerOp, cur.AllocsPerOp)
 		}
+		// The allocs/op gate is absolute and machine-independent: a path
+		// that was (near) allocation-free in the committed trajectory may
+		// not silently decay past the threshold, whatever its ns/op does.
+		// It applies to every comparable benchmark, not just the ns-gated
+		// set — zero-alloc is a property of the code, not the runner.
+		if allocRegressed(*allocGate, base.AllocsPerOp, cur.AllocsPerOp) {
+			fmt.Printf("::error::%s allocs/op regressed %g -> %g (gate: was <= %g in baseline, must stay there)\n",
+				n, base.AllocsPerOp, cur.AllocsPerOp, *allocGate)
+			failed = true
+		}
 	}
 	for n := range current {
 		if _, ok := baseline[n]; !ok {
@@ -305,6 +336,16 @@ func runCompare(args []string) error {
 		return fmt.Errorf("benchmark gate failed")
 	}
 	return nil
+}
+
+// allocRegressed is the zero-alloc decay rule: a benchmark whose baseline
+// sat at or under the gate in allocs/op fails if it now exceeds the gate.
+// Negative gates disable the check, and a negative allocs/op on either
+// side means the metric was not reported there (see Entry.AllocsPerOp) —
+// an absent measurement can neither enroll a benchmark in the gate nor
+// trip it.
+func allocRegressed(gate, base, cur float64) bool {
+	return gate >= 0 && base >= 0 && cur >= 0 && base <= gate && cur > gate
 }
 
 // checkFlat enforces within-run ratio gates: both sides are measured on the
