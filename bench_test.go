@@ -11,6 +11,7 @@ import (
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/eval"
 	"github.com/iese-repro/tauw/internal/fusion"
+	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/stats"
 	"github.com/iese-repro/tauw/internal/uw"
 )
@@ -546,6 +547,79 @@ func BenchmarkPoolStepBatch(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*benchPoolTracks), "ns/item")
 		})
+	}
+}
+
+// BenchmarkMonitorStepOverhead prices the runtime calibration monitoring on
+// the pool's step hot path: "off" is a plain pool, "on" a monitored one
+// (shard-local counters + provenance-ring write). Both sides must report
+// 0 allocs/op — the monitor may cost a few nanoseconds of atomics, never an
+// allocation — and the committed trajectory enrolls them in the alloc-decay
+// gate. The ring is prefilled past one wrap so the measured steps overwrite
+// slots, the steady state of a long-lived stream.
+func BenchmarkMonitorStepOverhead(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	run := func(b *testing.B, opts ...core.PoolOption) {
+		b.Helper()
+		pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pool.Open(1); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 300; i++ { // past ring wrap and buffer fill
+			if _, err := pool.Step(1, outcome, quality); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Step(1, outcome, quality); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("on", func(b *testing.B) { run(b, core.WithMonitoring(256)) })
+}
+
+// BenchmarkMonitorFeedback prices one ground-truth join: the provenance-
+// ring take plus the monitor's shard/bin/window/drift update. Each
+// iteration steps once and joins once, so the number is the full feedback
+// round minus HTTP.
+func BenchmarkMonitorFeedback(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0, core.WithMonitoring(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pool.Open(1); err != nil {
+		b.Fatal(err)
+	}
+	m, err := monitor.New(monitor.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := pool.Step(1, outcome, quality)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := pool.TakeFeedback(1, res.TotalSteps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Observe(1, rec.Uncertainty, rec.Fused != series.Truth); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"github.com/iese-repro/tauw/internal/eval"
@@ -209,6 +210,96 @@ func BenchmarkServerStepSingle(b *testing.B) {
 			b.Fatalf("step = %d", w.code)
 		}
 	}
+}
+
+// BenchmarkServerFeedback is the server-side price of one step + one
+// ground-truth feedback join through the hot codec — the full monitoring
+// round without HTTP. Each iteration serves a fresh step so its feedback is
+// never a duplicate.
+func BenchmarkServerFeedback(b *testing.B) {
+	handler, ids := benchHandlerServer(b, 1, WithBufferLimit(64))
+	stepBody, err := json.Marshal(stepRequest{SeriesID: ids[0], Outcome: 14, PixelSize: 160})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stepReq := httptest.NewRequest(http.MethodPost, "/v1/step", nil)
+	fbReq := httptest.NewRequest(http.MethodPost, "/v1/feedback", nil)
+	var stepRd, fbRd bytes.Reader
+	w := &discardWriter{}
+	// The series is freshly opened, so the timed steps are 1..b.N; the
+	// feedback body is re-rendered with the current step number each round.
+	fbBody := make([]byte, 0, 128)
+	step := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stepRd.Reset(stepBody)
+		stepReq.Body = io.NopCloser(&stepRd)
+		w.code = 0
+		handler.ServeHTTP(w, stepReq)
+		if w.code != http.StatusOK {
+			b.Fatalf("step = %d", w.code)
+		}
+		step++
+		fbBody = fbBody[:0]
+		fbBody = append(fbBody, `{"series_id":"`...)
+		fbBody = append(fbBody, ids[0]...)
+		fbBody = append(fbBody, `","step":`...)
+		fbBody = strconv.AppendInt(fbBody, int64(step), 10)
+		fbBody = append(fbBody, `,"truth":14}`...)
+		fbRd.Reset(fbBody)
+		fbReq.Body = io.NopCloser(&fbRd)
+		w.code = 0
+		handler.ServeHTTP(w, fbReq)
+		if w.code != http.StatusOK {
+			b.Fatalf("feedback = %d at step %d", w.code, step)
+		}
+	}
+}
+
+// BenchmarkMetricsScrape is the price of one GET /metrics: shard-counter
+// aggregation plus the hand-rolled Prometheus rendering, with monitoring
+// state populated. The committed trajectory enrolls it in the alloc-decay
+// gate — a steady-state scrape must stay allocation-free.
+func BenchmarkMetricsScrape(b *testing.B) {
+	handler, ids := benchHandlerServer(b, 8, WithBufferLimit(64))
+	// Populate: steps on every series plus feedback so every exposition
+	// section renders real data.
+	for _, id := range ids {
+		for s := 0; s < 4; s++ {
+			res, err := benchSrv.pool.StepSeries(id, 14, qualityVec(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := benchSrv.pool.TakeFeedbackSeries(id, res.TotalSteps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := benchSrv.calib.Observe(s, rec.Uncertainty, rec.Fused != 14); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := &discardWriter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.code = 0
+		handler.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("metrics = %d", w.code)
+		}
+	}
+}
+
+// qualityVec is the fixture quality vector for direct pool calls (nine
+// deficit channels at zero plus a healthy pixel size).
+func qualityVec(b *testing.B) []float64 {
+	b.Helper()
+	qf := make([]float64, len(qualityNames)+1)
+	qf[len(qf)-1] = 160
+	return qf
 }
 
 // BenchmarkCodecDecodeBatch isolates the decoder: one 64-item body parsed

@@ -1,0 +1,194 @@
+// codec_feedback.go extends the reflection-free codec (codec.go) to the
+// ground-truth feedback endpoint: POST /v1/feedback requests are scanned by
+// the same zero-copy decoder, and responses rendered by the same
+// append-based writers, so the feedback path inherits the hot endpoints'
+// allocation discipline even though it is orders of magnitude colder than
+// the step path.
+package main
+
+import (
+	"errors"
+	"strconv"
+)
+
+// wireFeedback is one decoded feedback report: the ground truth for one
+// step of one series. hasStep/hasTruth record field presence — both are
+// required by the contract, and "absent" is not distinguishable from the
+// zero value otherwise (0 is a valid truth class).
+type wireFeedback struct {
+	seriesID string
+	step     int
+	truth    int
+	hasStep  bool
+	hasTruth bool
+}
+
+// feedbackField maps a feedback-object key to its field number (0 =
+// unknown), with the same matching rules as stepField.
+func feedbackField(key []byte) int {
+	switch string(key) {
+	case "series_id":
+		return 1
+	case "step":
+		return 2
+	case "truth":
+		return 3
+	}
+	switch {
+	case foldEq(key, "series_id"):
+		return 1
+	case foldEq(key, "step"):
+		return 2
+	case foldEq(key, "truth"):
+		return 3
+	}
+	return 0
+}
+
+// errFeedbackStep / errFeedbackTruth are the missing-required-field errors
+// of the feedback contract.
+var (
+	errFeedbackStep  = errors.New("step is required (the total_steps of the step being judged)")
+	errFeedbackTruth = errors.New("truth is required (the ground-truth outcome class)")
+)
+
+// decodeFeedbackRequest parses a complete POST /v1/feedback body. Syntax
+// follows json.Unmarshal semantics exactly as the step decoder does
+// (whitespace, unknown fields, duplicate keys, null no-ops); the
+// presence requirements are validated after the parse.
+func (d *decoder) decodeFeedbackRequest(out *wireFeedback) error {
+	*out = wireFeedback{}
+	if isNull, err := d.maybeNull(); isNull || err != nil {
+		if err != nil {
+			return err
+		}
+		if err := d.end(); err != nil {
+			return err
+		}
+		return errFeedbackStep
+	}
+	if d.pos >= len(d.buf) || d.buf[d.pos] != '{' {
+		return d.errAt("expected feedback object")
+	}
+	d.pos++
+	d.skipSpace()
+	if d.pos < len(d.buf) && d.buf[d.pos] == '}' {
+		d.pos++
+	} else {
+		for {
+			d.skipSpace()
+			key, err := d.stringBytes()
+			if err != nil {
+				return err
+			}
+			field := feedbackField(key)
+			d.skipSpace()
+			if d.pos >= len(d.buf) || d.buf[d.pos] != ':' {
+				return d.errAt("expected ':'")
+			}
+			d.pos++
+			isNull := false
+			if field != 0 {
+				if isNull, err = d.maybeNull(); err != nil {
+					return err
+				}
+			}
+			switch {
+			case isNull:
+			case field == 1:
+				d.skipSpace()
+				s, err := d.stringBytes()
+				if err != nil {
+					return err
+				}
+				if sameSlice(s, d.scratch) {
+					out.seriesID = string(s)
+				} else {
+					out.seriesID = bytesToString(s)
+				}
+			case field == 2:
+				d.skipSpace()
+				if out.step, err = d.int(); err != nil {
+					return err
+				}
+				out.hasStep = true
+			case field == 3:
+				d.skipSpace()
+				if out.truth, err = d.int(); err != nil {
+					return err
+				}
+				out.hasTruth = true
+			default:
+				if err := d.skipValue(); err != nil {
+					return err
+				}
+			}
+			d.skipSpace()
+			if d.pos >= len(d.buf) {
+				return d.errAt("unterminated object")
+			}
+			switch d.buf[d.pos] {
+			case ',':
+				d.pos++
+			case '}':
+				d.pos++
+			default:
+				return d.errAt("expected ',' or '}'")
+			}
+			if d.buf[d.pos-1] == '}' {
+				break
+			}
+		}
+	}
+	if err := d.end(); err != nil {
+		return err
+	}
+	if !out.hasStep {
+		return errFeedbackStep
+	}
+	if !out.hasTruth {
+		return errFeedbackTruth
+	}
+	return nil
+}
+
+// feedbackResponse is the body of a successful POST /v1/feedback: the
+// provenance of the estimate the report was joined to, with the verdict.
+type feedbackResponse struct {
+	SeriesID string `json:"series_id"`
+	Step     int    `json:"step"`
+	// Correct reports whether the fused outcome served at the step matched
+	// the reported truth.
+	Correct bool `json:"correct"`
+	// FusedOutcome and Uncertainty echo the joined estimate; TAQIMLeaf is
+	// its provenance region in the taQIM.
+	FusedOutcome int     `json:"fused_outcome"`
+	Uncertainty  float64 `json:"uncertainty"`
+	TAQIMLeaf    int     `json:"taqim_leaf"`
+	// DriftAlarm is true while a calibration-drift alarm is active, so
+	// feedback clients see degradation without scraping /metrics.
+	DriftAlarm bool `json:"drift_alarm"`
+}
+
+// appendFeedbackResponse renders the feedback success body; field order and
+// formatting match the struct's stdlib encoding.
+func appendFeedbackResponse(dst []byte, r *feedbackResponse) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"series_id":`...)
+	dst = appendJSONString(dst, r.SeriesID)
+	dst = append(dst, `,"step":`...)
+	dst = strconv.AppendInt(dst, int64(r.Step), 10)
+	dst = append(dst, `,"correct":`...)
+	dst = strconv.AppendBool(dst, r.Correct)
+	dst = append(dst, `,"fused_outcome":`...)
+	dst = strconv.AppendInt(dst, int64(r.FusedOutcome), 10)
+	dst = append(dst, `,"uncertainty":`...)
+	if dst, err = appendJSONFloat(dst, r.Uncertainty); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"taqim_leaf":`...)
+	dst = strconv.AppendInt(dst, int64(r.TAQIMLeaf), 10)
+	dst = append(dst, `,"drift_alarm":`...)
+	dst = strconv.AppendBool(dst, r.DriftAlarm)
+	return append(dst, '}'), nil
+}

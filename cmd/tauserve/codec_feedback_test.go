@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// stdlibFeedback is the reference shape the differential fuzz decodes
+// against; value semantics (not presence) are comparable with the stdlib,
+// since encoding/json cannot distinguish an absent int field from zero.
+type stdlibFeedback struct {
+	SeriesID string `json:"series_id"`
+	Step     int    `json:"step"`
+	Truth    int    `json:"truth"`
+}
+
+// FuzzFeedbackRequestCodec extends the codec's differential-fuzz
+// discipline to the feedback decoder: whatever our hand-rolled parser
+// accepts, json.Unmarshal must accept with identical values, and our
+// required-field rejections (the one documented divergence — stdlib cannot
+// express presence) must only ever fire on bodies the stdlib parses fine.
+// The success path also round-trips the response encoder through the
+// stdlib.
+func FuzzFeedbackRequestCodec(f *testing.F) {
+	f.Add([]byte(`{"series_id":"s1","step":3,"truth":14}`))
+	f.Add([]byte(`{"SERIES_ID":"😀","STEP":1,"Truth":-2,"extra":{"a":[null]}}`))
+	f.Add([]byte(`{"step":1,"step":null,"truth":0}`))
+	f.Add([]byte(`{"series_id":"s1","truth":14}`))
+	f.Add([]byte(`{"series_id":"s1","step":2,"truth":14} junk`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d decoder
+		d.reset(data)
+		var fb wireFeedback
+		err := d.decodeFeedbackRequest(&fb)
+		var ref stdlibFeedback
+		stdErr := json.Unmarshal(data, &ref)
+		switch {
+		case err == nil:
+			if stdErr != nil {
+				t.Fatalf("ours accepted %q, stdlib rejected: %v", data, stdErr)
+			}
+			if fb.seriesID != ref.SeriesID || fb.step != ref.Step || fb.truth != ref.Truth {
+				t.Fatalf("value divergence on %q: ours (%q,%d,%d), stdlib (%q,%d,%d)",
+					data, fb.seriesID, fb.step, fb.truth, ref.SeriesID, ref.Step, ref.Truth)
+			}
+			resp := feedbackResponse{
+				SeriesID: fb.seriesID, Step: fb.step, Correct: true,
+				FusedOutcome: fb.truth, Uncertainty: 0.25, TAQIMLeaf: 1,
+			}
+			out, err := appendFeedbackResponse(nil, &resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out, want) {
+				t.Fatalf("encoder divergence: %s vs %s", out, want)
+			}
+		case errors.Is(err, errFeedbackStep), errors.Is(err, errFeedbackTruth):
+			// Our documented stricter contract: the body was syntactically
+			// fine but a required field never got a non-null value. The
+			// stdlib must agree the syntax was fine.
+			if stdErr != nil {
+				t.Fatalf("presence error %v on %q, but stdlib rejected the syntax too: %v", err, data, stdErr)
+			}
+		default:
+			// Syntax-level rejection; ours may be stricter (trailing data),
+			// so no assertion on the stdlib.
+		}
+	})
+}

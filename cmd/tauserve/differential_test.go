@@ -1,0 +1,110 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+// TestOnlineOfflineMonitorDifferential is the subsystem's ground-truth
+// check: the same trace (every test series of the study, each step's truth
+// reported immediately) is driven once through the live HTTP path — series
+// open, /v1/step, /v1/feedback, series close — and once through the offline
+// replay (eval.RunMonitorReplay). Both are configured identically, so the
+// series→track→shard assignment, the join order, and every accumulator
+// update sequence coincide, and the resulting windowed Brier, cumulative
+// Brier, ECE, and reliability bins must be BIT-IDENTICAL, not just close:
+// offline evaluation and online monitoring are one implementation, and any
+// divergence is a bug in the wiring, not an approximation.
+func TestOnlineOfflineMonitorDifferential(t *testing.T) {
+	testServer(t) // build the shared study fixture
+	st := studyVal
+
+	// Offline: the replay harness.
+	offline, err := st.RunMonitorReplay(eval.MonitorReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Online: a fresh server at the replay's exact configuration (default
+	// shards, default monitor, DefaultFeedbackRing == DefaultReplayRing).
+	if DefaultFeedbackRing != eval.DefaultReplayRing {
+		t.Fatalf("server ring %d != replay ring %d: differential preconditions broken",
+			DefaultFeedbackRing, eval.DefaultReplayRing)
+	}
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	names := augment.Names()
+	steps := 0
+	for si, s := range st.TestSeries {
+		id := newSeries(t, ts)
+		for j := range s.Outcomes {
+			q := s.Quality[j]
+			qm := make(map[string]float64, len(names))
+			for k, name := range names {
+				qm[name] = q[k]
+			}
+			resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+				SeriesID: id, Outcome: s.Outcomes[j], Quality: qm, PixelSize: q[len(q)-1],
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("series %d step %d = %d", si, j, resp.StatusCode)
+			}
+			got := decode[stepResponse](t, resp)
+			fresp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{
+				SeriesID: id, Step: got.TotalSteps, Truth: s.Truth,
+			})
+			if fresp.StatusCode != http.StatusOK {
+				t.Fatalf("series %d step %d feedback = %d", si, j, fresp.StatusCode)
+			}
+			fresp.Body.Close()
+			steps++
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/series/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+	}
+	if steps != offline.Steps {
+		t.Fatalf("online drove %d steps, offline %d", steps, offline.Steps)
+	}
+
+	on := srv.Calibration().Snapshot()
+	off := offline.Snapshot
+	if on.Feedbacks != off.Feedbacks || on.Correct != off.Correct {
+		t.Errorf("feedback counts: online %d/%d, offline %d/%d",
+			on.Feedbacks, on.Correct, off.Feedbacks, off.Correct)
+	}
+	// Bit-exact float comparisons are the point of this test.
+	if on.Brier != off.Brier {
+		t.Errorf("cumulative Brier: online %.17g, offline %.17g", on.Brier, off.Brier)
+	}
+	if on.WindowedBrier != off.WindowedBrier {
+		t.Errorf("windowed Brier: online %.17g, offline %.17g", on.WindowedBrier, off.WindowedBrier)
+	}
+	if on.WindowCount != off.WindowCount {
+		t.Errorf("window count: online %d, offline %d", on.WindowCount, off.WindowCount)
+	}
+	if on.ECE != off.ECE {
+		t.Errorf("ECE: online %.17g, offline %.17g", on.ECE, off.ECE)
+	}
+	if len(on.Bins) != len(off.Bins) {
+		t.Fatalf("bin counts differ: %d vs %d", len(on.Bins), len(off.Bins))
+	}
+	for b := range on.Bins {
+		if on.Bins[b] != off.Bins[b] {
+			t.Errorf("bin %d: online %+v, offline %+v", b, on.Bins[b], off.Bins[b])
+		}
+	}
+}

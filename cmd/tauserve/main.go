@@ -7,32 +7,51 @@
 // Session state lives in a sharded wrapper pool: opens, steps, and closes
 // on different series never contend on a global lock, and the batch endpoint
 // fans a slice of steps out across the shards with a bounded worker group.
+// A runtime calibration monitor watches the estimates on live traffic:
+// ground truth reported to POST /v1/feedback is joined to the exact
+// estimates it judges, streamed into windowed Brier / reliability-bin / ECE
+// statistics, and guarded by a Page-Hinkley drift alarm; GET /metrics
+// exposes everything in Prometheus text format.
+//
+// On SIGINT/SIGTERM the server drains gracefully: /readyz flips to 503 so
+// load balancers stop routing, in-flight requests finish (bounded by
+// -drain-timeout), then the process exits.
 //
 // Usage:
 //
 //	tauserve [-addr :8080] [-preset tiny|quick|paper]
 //	         [-shards 0] [-max-series 0] [-batch-workers 0] [-buffer-limit 0]
+//	         [-feedback-ring 256] [-brier-window 1024] [-calib-bins 10]
+//	         [-drift-delta 0.005] [-drift-lambda 25] [-drift-min-samples 200]
+//	         [-drain-timeout 10s]
 //
 // Endpoints:
 //
 //	POST   /v1/series          start tracking a new physical object
 //	POST   /v1/step            {series_id, outcome, quality{...}, pixel_size}
 //	POST   /v1/steps           {steps: [per-series steps]} — batched, per-item statuses
+//	POST   /v1/feedback        {series_id, step, truth} — ground-truth join
 //	DELETE /v1/series/{id}     stop tracking
 //	GET    /v1/stats           monitor counters, active series, shard count
 //	GET    /v1/model/rules     calibrated taQIM rules (transparency)
+//	GET    /metrics            Prometheus text exposition (reliability, drift, latency)
 //	GET    /healthz            liveness
+//	GET    /readyz             readiness (503 while draining)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/simplex"
 )
 
@@ -52,6 +71,26 @@ func run(args []string) error {
 		maxSeries    = fs.Int("max-series", 0, "cap on concurrently open series (0 = unlimited)")
 		batchWorkers = fs.Int("batch-workers", 0, "max goroutines per /v1/steps request (0 = GOMAXPROCS)")
 		bufferLimit  = fs.Int("buffer-limit", 0, "per-series timeseries buffer cap (0 = unbounded)")
+		feedbackRing = fs.Int("feedback-ring", DefaultFeedbackRing,
+			"per-series provenance ring joined by /v1/feedback (0 disables feedback)")
+		brierWindow = fs.Int("brier-window", monitor.DefaultWindow,
+			"per-shard sliding window of the streaming Brier score")
+		calibBins = fs.Int("calib-bins", monitor.DefaultBins,
+			"reliability-histogram bins over predicted uncertainty")
+		driftDelta = fs.Float64("drift-delta", monitor.DefaultDriftDelta,
+			"Page-Hinkley tolerance on per-feedback Brier degradation "+
+				"(0 means the default; pass e.g. 1e-12 for a maximally sensitive detector)")
+		driftLambda = fs.Float64("drift-lambda", monitor.DefaultDriftLambda,
+			"Page-Hinkley alarm threshold (must be > 0)")
+		driftMinSamples = fs.Int("drift-min-samples", monitor.DefaultDriftMinSamples,
+			"feedbacks required before a drift alarm can fire "+
+				"(0 means the default; pass 1 to allow alarms from the first feedback)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second,
+			"how long a shutdown waits for in-flight requests")
+		drainGrace = fs.Duration("drain-grace", 0,
+			"pause between flipping /readyz to 503 and closing the listener; "+
+				"set it to the load balancer's readiness-probe interval so the probe "+
+				"observes the 503 while the listener still accepts traffic")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +115,17 @@ func run(args []string) error {
 	log.Printf("calibrated in %v (DDM test accuracy %.2f%%)", time.Since(start).Round(time.Millisecond), 100*st.DDMTestAccuracy)
 	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy(),
 		WithPoolShards(*shards), WithMaxSeries(*maxSeries),
-		WithBatchWorkers(*batchWorkers), WithBufferLimit(*bufferLimit))
+		WithBatchWorkers(*batchWorkers), WithBufferLimit(*bufferLimit),
+		WithFeedbackRing(*feedbackRing),
+		WithMonitorConfig(monitor.Config{
+			Window: *brierWindow,
+			Bins:   *calibBins,
+			Drift: monitor.DriftConfig{
+				Delta:      *driftDelta,
+				Lambda:     *driftLambda,
+				MinSamples: *driftMinSamples,
+			},
+		}))
 	if err != nil {
 		return err
 	}
@@ -85,6 +134,52 @@ func run(args []string) error {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM flips readiness and
+	// drains in-flight requests; a second signal (stop() restores default
+	// handling) kills the process the classic way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	log.Printf("listening on %s", *addr)
-	return httpServer.ListenAndServe()
+	return serveUntilShutdown(ctx, stop, httpServer, srv, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
+}
+
+// serveUntilShutdown runs the listener until it fails or ctx is cancelled
+// (a termination signal in production); on cancellation it flips readiness
+// off so load balancers drain the instance, keeps the listener open for
+// drainGrace so readiness probes can actually observe the 503 before new
+// connections start being refused, then waits up to drainTimeout for
+// in-flight requests via http.Server.Shutdown and logs a final monitoring
+// summary. restoreSignals (signal.NotifyContext's stop; nil in tests) runs
+// before the waits so a second signal regains its default disposition and
+// kills the process instead of being swallowed for the whole grace+timeout.
+// Factored out of run so the drain sequence is testable without sending
+// the test process a signal.
+func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *http.Server,
+	srv *Server, drainGrace, drainTimeout time.Duration, listen func() error) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- listen() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		if restoreSignals != nil {
+			restoreSignals()
+		}
+		srv.SetReady(false)
+		if drainGrace > 0 {
+			log.Printf("shutdown requested; /readyz now 503, accepting traffic for %v more (drain grace)...", drainGrace)
+			time.Sleep(drainGrace)
+		}
+		log.Printf("draining in-flight requests (timeout %v)...", drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		snap := srv.Calibration().Snapshot()
+		log.Printf("drained cleanly (%d steps served, %d feedbacks, windowed Brier %.4f)",
+			srv.pool.StepCount(), snap.Feedbacks, snap.WindowedBrier)
+		return nil
+	}
 }

@@ -1,0 +1,109 @@
+// metrics.go holds the observability endpoints of the serving layer: POST
+// /v1/feedback joins ground-truth reports to served estimates and feeds the
+// runtime calibration monitor, and GET /metrics exposes the aggregated
+// monitoring state in Prometheus text format. Both run on the reflection-
+// free codec and the pooled request scratch, so neither allocates in steady
+// state; /metrics aggregates the shard counters on scrape, so the step hot
+// path never maintains scrape-shaped state or contends with a scraper.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/core"
+)
+
+// handleFeedback is the ground-truth ingestion endpoint. The report names a
+// series, the step being judged (the total_steps echoed by the step
+// response), and the true outcome class; the server joins it to the
+// provenance ring's record of what was served at that step and folds the
+// verdict into the calibration monitor. Status codes spell out the join
+// result so clients can tell remediable conditions apart:
+//
+//	200 joined (body echoes the judged estimate and the verdict)
+//	400 malformed request, or step/truth missing
+//	404 unknown or closed series
+//	409 duplicate report for an already-judged step
+//	410 step no longer joinable (feedback arrived later than the ring
+//	    retains, the step never happened, or the series was reset)
+//	501 feedback disabled (-feedback-ring 0)
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latFeedback.Observe(time.Since(start)) }()
+	sc := getScratch()
+	defer sc.release()
+	var err error
+	sc.body, err = readBody(sc.body, http.MaxBytesReader(w, r.Body, maxStepBodyBytes))
+	if err != nil {
+		httpError(w, decodeStatus(err), fmt.Errorf("reading request: %w", err))
+		return
+	}
+	sc.dec.reset(sc.body)
+	var fb wireFeedback
+	if err := sc.dec.decodeFeedbackRequest(&fb); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	track, err := s.pool.ResolveSeries(fb.seriesID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", fb.seriesID))
+		return
+	}
+	rec, err := s.pool.TakeFeedback(track, fb.step)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrFeedbackDisabled):
+			httpError(w, http.StatusNotImplemented, err)
+		case errors.Is(err, core.ErrDuplicateFeedback):
+			httpError(w, http.StatusConflict, err)
+		case errors.Is(err, core.ErrStepUnavailable):
+			httpError(w, http.StatusGone, err)
+		case errors.Is(err, core.ErrUnknownTrack):
+			// The series closed between resolution and the join.
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", fb.seriesID))
+		default:
+			httpError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if err := s.calib.Observe(track, rec.Uncertainty, rec.Fused != fb.truth); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := feedbackResponse{
+		SeriesID:     fb.seriesID,
+		Step:         rec.Step,
+		Correct:      rec.Fused == fb.truth,
+		FusedOutcome: rec.Fused,
+		Uncertainty:  rec.Uncertainty,
+		TAQIMLeaf:    rec.TAQIMLeaf,
+		DriftAlarm:   s.calib.DriftAlarmed(),
+	}
+	sc.out, err = appendFeedbackResponse(sc.out[:0], &resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, sc.out)
+}
+
+// handleMetrics renders the Prometheus exposition into the pooled response
+// buffer and flushes it with one Write. The scrape path allocates only the
+// Content-Type header slot (BenchmarkMetricsScrape records 1 alloc/op,
+// which enrolls it in the bench alloc-decay gate): the rendering itself is
+// allocation-free, and no Content-Length is set — formatting the length
+// would cost two more allocations per scrape and net/http frames the
+// response itself.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	sc := getScratch()
+	defer sc.release()
+	sc.out = s.expo.AppendMetrics(sc.out[:0])
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(sc.out); err != nil {
+		logf("tauserve: writing metrics response: %v", err)
+	}
+}

@@ -1,0 +1,407 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/simplex"
+)
+
+// feedbackWire is the client-side shape of POST /v1/feedback.
+type feedbackWire struct {
+	SeriesID string `json:"series_id"`
+	Step     int    `json:"step"`
+	Truth    int    `json:"truth"`
+}
+
+// monitoredServer builds a server with explicit monitoring options plus its
+// httptest listener.
+func monitoredServer(t *testing.T, opts ...ServerOption) (*Server, *httptest.Server) {
+	t.Helper()
+	testServer(t) // builds the shared study fixture
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func stepOnce(t *testing.T, ts *httptest.Server, id string, outcome int) stepResponse {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+		SeriesID: id, Outcome: outcome, PixelSize: 180,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("step = %d", resp.StatusCode)
+	}
+	return decode[stepResponse](t, resp)
+}
+
+func TestFeedbackJoin(t *testing.T) {
+	srv, ts := monitoredServer(t, WithFeedbackRing(4))
+	id := newSeries(t, ts)
+	var steps []stepResponse
+	for i := 0; i < 6; i++ {
+		steps = append(steps, stepOnce(t, ts, id, 14))
+	}
+
+	// Happy path: judge step 6 as correct (truth == fused).
+	resp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: 6, Truth: steps[5].FusedOutcome})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback = %d", resp.StatusCode)
+	}
+	fb := decode[feedbackResponse](t, resp)
+	if !fb.Correct || fb.Step != 6 || fb.FusedOutcome != steps[5].FusedOutcome {
+		t.Errorf("feedback join = %+v", fb)
+	}
+	if fb.Uncertainty != steps[5].Uncertainty {
+		t.Errorf("joined uncertainty %g, served %g", fb.Uncertainty, steps[5].Uncertainty)
+	}
+
+	// Judge step 5 as wrong (a truth the fused outcome did not match).
+	resp = postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: 5, Truth: steps[4].FusedOutcome + 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback = %d", resp.StatusCode)
+	}
+	if fb := decode[feedbackResponse](t, resp); fb.Correct {
+		t.Error("wrong outcome reported as correct")
+	}
+
+	// Duplicate: step 6 was already judged.
+	resp = postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: 6, Truth: 14})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate feedback = %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Late: steps 1 and 2 fell out of the 4-slot ring; future steps were
+	// never served.
+	for _, step := range []int{1, 2, 99} {
+		resp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: step, Truth: 14})
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("feedback for step %d = %d, want 410", step, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Unknown series.
+	resp = postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: "nope", Step: 1, Truth: 14})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown series feedback = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Closed series: the join must be a not-found, not a stale hit.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/series/"+id, nil)
+	if dresp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		dresp.Body.Close()
+	}
+	resp = postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: 4, Truth: 14})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("closed series feedback = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// The monitor saw exactly the two joined feedbacks, one of them wrong.
+	snap := srv.Calibration().Snapshot()
+	if snap.Feedbacks != 2 || snap.Correct != 1 {
+		t.Errorf("monitor snapshot = %d feedbacks / %d correct, want 2/1", snap.Feedbacks, snap.Correct)
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	_, ts := monitoredServer(t)
+	id := newSeries(t, ts)
+	stepOnce(t, ts, id, 14)
+
+	for name, body := range map[string]string{
+		"missing step":   fmt.Sprintf(`{"series_id":%q,"truth":14}`, id),
+		"missing truth":  fmt.Sprintf(`{"series_id":%q,"step":1}`, id),
+		"malformed":      `{"series_id":`,
+		"null top-level": `null`,
+		"trailing junk":  fmt.Sprintf(`{"series_id":%q,"step":1,"truth":14} x`, id),
+	} {
+		resp, err := http.Post(ts.URL+"/v1/feedback", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Unknown fields and fold-cased keys follow json.Unmarshal semantics.
+	resp, err := http.Post(ts.URL+"/v1/feedback", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"SERIES_ID":%q,"Step":1,"truth":14,"extra":{"a":[1,2]}}`, id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("fold-cased feedback = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestFeedbackDisabled(t *testing.T) {
+	_, ts := monitoredServer(t, WithFeedbackRing(0))
+	id := newSeries(t, ts)
+	stepOnce(t, ts, id, 14)
+	resp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: 1, Truth: 14})
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("disabled feedback = %d, want 501", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestFeedbackEncodingMatchesStdlib pins the hand-rolled response encoder
+// byte-for-byte against encoding/json for the feedback body.
+func TestFeedbackEncodingMatchesStdlib(t *testing.T) {
+	r := feedbackResponse{
+		SeriesID: "s\"42 ", Step: 17, Correct: true,
+		FusedOutcome: -3, Uncertainty: 0.00721, TAQIMLeaf: 12, DriftAlarm: false,
+	}
+	got, err := appendFeedbackResponse(nil, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("encoder mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := monitoredServer(t, WithFeedbackRing(16))
+	id := newSeries(t, ts)
+	var last stepResponse
+	for i := 0; i < 5; i++ {
+		last = stepOnce(t, ts, id, 14)
+	}
+	resp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: last.TotalSteps, Truth: 14})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("feedback = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", mresp.StatusCode)
+	}
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"tauw_steps_total 5\n",
+		"tauw_feedback_total 1\n",
+		"tauw_feedback_correct_total 1\n",
+		"tauw_active_series 1\n",
+		`tauw_steps_outcome_total{outcome="14"} 5`,
+		"tauw_brier_windowed ",
+		"tauw_ece ",
+		"tauw_drift_alarms_total 0\n",
+		`tauw_gate_total{countermeasure=`,
+		`tauw_request_duration_seconds_count{endpoint="step"} 5`,
+		`tauw_request_duration_seconds_count{endpoint="feedback"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The windowed Brier in the exposition must equal the monitor's own.
+	snap := srv.Calibration().Snapshot()
+	line := fmt.Sprintf("tauw_brier_windowed %s\n", strconv.FormatFloat(snap.WindowedBrier, 'g', -1, 64))
+	if !strings.Contains(out, line) {
+		t.Errorf("metrics missing %q\n%s", line, out)
+	}
+}
+
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	srv, ts := monitoredServer(t)
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz = %d, want 200", got)
+	}
+	srv.SetReady(false)
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d, want 503", got)
+	}
+	// Liveness is unaffected: the process is healthy, just out of rotation.
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200", got)
+	}
+	srv.SetReady(true)
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("re-ready readyz = %d, want 200", got)
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight drives the real drain sequence: a
+// request is held in flight (its body kept open), shutdown is requested,
+// and the request must still complete before the listener closes.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: srv.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- serveUntilShutdown(ctx, nil, httpServer, srv, 100*time.Millisecond, 5*time.Second,
+			func() error { return httpServer.Serve(ln) })
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// Open a series, then hold a step request in flight with a pipe body.
+	resp, err := http.Post(base+"/v1/series", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created newSeriesResponse
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	pr, pw := io.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var stepStatus int
+	go func() {
+		defer wg.Done()
+		resp, err := http.Post(base+"/v1/step", "application/json", pr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		stepStatus = resp.StatusCode
+		resp.Body.Close()
+	}()
+	body := fmt.Sprintf(`{"series_id":%q,"outcome":14,"pixel_size":160}`, created.SeriesID)
+	if _, err := pw.Write([]byte(body[:10])); err != nil {
+		t.Fatal(err)
+	}
+	// Give the server time to accept the connection and enter the handler
+	// (it blocks reading the rest of the body), so the request is genuinely
+	// in flight when shutdown begins.
+	time.Sleep(150 * time.Millisecond)
+	cancel()
+	time.Sleep(30 * time.Millisecond)
+	// Inside the drain-grace window the listener still accepts new
+	// connections and /readyz already answers 503 — the observable window
+	// a load balancer's probe needs to take the instance out of rotation.
+	if resp, err := http.Get(base + "/readyz"); err != nil {
+		t.Errorf("readyz during drain grace: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("readyz during drain grace = %d, want 503", resp.StatusCode)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := pw.Write([]byte(body[10:])); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	wg.Wait()
+	if stepStatus != http.StatusOK {
+		t.Errorf("in-flight step during drain = %d, want 200", stepStatus)
+	}
+	if err := <-done; err != nil {
+		t.Errorf("serveUntilShutdown = %v", err)
+	}
+	// Readiness flipped and the listener is closed for new connections.
+	if srv.ready.Load() {
+		t.Error("server still ready after drain")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestConcurrentFeedbackAndStepsHTTP races step and feedback traffic on the
+// same series through the full HTTP stack — run under -race it pins the
+// ring/monitor synchronisation end to end.
+func TestConcurrentFeedbackAndStepsHTTP(t *testing.T) {
+	_, ts := monitoredServer(t, WithFeedbackRing(64))
+	const series = 4
+	ids := make([]string, series)
+	for i := range ids {
+		ids[i] = newSeries(t, ts)
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(2)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				r := postJSONNoT(ts.URL+"/v1/step", stepRequest{SeriesID: id, Outcome: 14, PixelSize: 170})
+				if r == nil || r.StatusCode != http.StatusOK {
+					t.Errorf("step failed")
+					return
+				}
+				r.Body.Close()
+			}
+		}(id)
+		go func(id string) {
+			defer wg.Done()
+			for step := 1; step <= 40; step++ {
+				r := postJSONNoT(ts.URL+"/v1/feedback", feedbackWire{SeriesID: id, Step: step, Truth: 14})
+				if r == nil {
+					t.Errorf("feedback transport failed")
+					return
+				}
+				switch r.StatusCode {
+				case http.StatusOK, http.StatusGone, http.StatusConflict:
+					// All legal interleavings.
+				default:
+					t.Errorf("feedback = %d", r.StatusCode)
+					r.Body.Close()
+					return
+				}
+				r.Body.Close()
+			}
+		}(id)
+	}
+	wg.Wait()
+}

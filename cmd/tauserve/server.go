@@ -7,9 +7,12 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"github.com/iese-repro/tauw/internal/augment"
 	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/uw"
 	"github.com/iese-repro/tauw/internal/xslice"
@@ -31,16 +34,34 @@ const (
 // runtime-monitoring HTTP service: perception components stream their
 // momentaneous outcomes and quality factors per tracked object, and receive
 // the fused outcome, its dependable uncertainty, and the simplex
-// countermeasure to take.
+// countermeasure to take. Ground truth reported back through POST
+// /v1/feedback feeds the runtime calibration monitor, whose reliability
+// statistics and drift alarms GET /metrics exposes in Prometheus text
+// format.
 //
 // All session state (series ids and their wrappers) lives in the sharded
-// core.WrapperPool; the server itself holds no lock and no mutable state, so
-// request handling scales with the pool's shard count.
+// core.WrapperPool; the server itself holds no lock and no per-request
+// mutable state beyond shard-aligned monitoring counters, so request
+// handling scales with the pool's shard count.
 type Server struct {
 	taqim        *uw.QualityImpactModel
-	monitor      *simplex.Monitor
+	gate         *simplex.Monitor
 	pool         *core.WrapperPool
 	batchWorkers int
+
+	// calib is the runtime calibration monitor fed by /v1/feedback; expo
+	// renders it (plus the pool counters, gate counts, and the latency
+	// histograms) for /metrics.
+	calib       *monitor.Monitor
+	expo        *monitor.Exposition
+	latStep     *monitor.LatencyHist
+	latBatch    *monitor.LatencyHist
+	latFeedback *monitor.LatencyHist
+
+	// ready gates /readyz: flipped false by SetReady when the process
+	// starts draining, so load balancers stop routing new work while
+	// in-flight batches finish.
+	ready atomic.Bool
 }
 
 // ServerOption customises server construction.
@@ -51,7 +72,15 @@ type serverOptions struct {
 	shards       int
 	batchWorkers int
 	bufferLimit  int
+	feedbackRing int
+	monitorCfg   monitor.Config
 }
+
+// DefaultFeedbackRing is the default per-series provenance-ring length:
+// ground truth may trail a served estimate by up to this many steps of the
+// same series and still join. At 32 bytes per slot the default costs 8 KiB
+// per open series.
+const DefaultFeedbackRing = 256
 
 // WithMaxSeries caps the number of concurrently open series (0 = unlimited).
 // When the cap is reached, POST /v1/series answers 503 until a series ends.
@@ -77,34 +106,80 @@ func WithBufferLimit(n int) ServerOption {
 	return func(o *serverOptions) { o.bufferLimit = n }
 }
 
+// WithFeedbackRing sets the per-series provenance-ring length that POST
+// /v1/feedback joins ground truth against (default DefaultFeedbackRing;
+// 0 disables the feedback endpoint, which then answers 501).
+func WithFeedbackRing(n int) ServerOption {
+	return func(o *serverOptions) { o.feedbackRing = n }
+}
+
+// WithMonitorConfig overrides the runtime calibration monitor's
+// configuration (Brier window, reliability bins, drift detection); zero
+// fields keep the monitor package defaults.
+func WithMonitorConfig(cfg monitor.Config) ServerOption {
+	return func(o *serverOptions) { o.monitorCfg = cfg }
+}
+
 // NewServer wires a server from calibrated models.
 func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Policy, opts ...ServerOption) (*Server, error) {
 	if base == nil || taqim == nil {
 		return nil, errors.New("tauserve: base wrapper and taQIM are required")
 	}
-	var o serverOptions
+	o := serverOptions{feedbackRing: DefaultFeedbackRing}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.maxSeries < 0 {
 		return nil, fmt.Errorf("tauserve: max series %d must be >= 0", o.maxSeries)
 	}
-	monitor, err := simplex.NewMonitor(policy)
+	if o.feedbackRing < 0 {
+		return nil, fmt.Errorf("tauserve: feedback ring %d must be >= 0", o.feedbackRing)
+	}
+	gate, err := simplex.NewMonitor(policy)
+	if err != nil {
+		return nil, err
+	}
+	calib, err := monitor.New(o.monitorCfg)
 	if err != nil {
 		return nil, err
 	}
 	pool, err := core.NewWrapperPool(base, taqim, core.Config{BufferLimit: o.bufferLimit},
-		o.maxSeries, core.WithShards(o.shards))
+		o.maxSeries, core.WithShards(o.shards), core.WithMonitoring(o.feedbackRing))
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		taqim:        taqim,
-		monitor:      monitor,
+		gate:         gate,
 		pool:         pool,
 		batchWorkers: o.batchWorkers,
-	}, nil
+		calib:        calib,
+		latStep:      monitor.NewLatencyHist(),
+		latBatch:     monitor.NewLatencyHist(),
+		latFeedback:  monitor.NewLatencyHist(),
+	}
+	s.expo = &monitor.Exposition{
+		Monitor: calib,
+		Pool:    pool,
+		Gate:    gate,
+		Latencies: []monitor.EndpointLatency{
+			{Name: "step", Hist: s.latStep},
+			{Name: "steps", Hist: s.latBatch},
+			{Name: "feedback", Hist: s.latFeedback},
+		},
+	}
+	s.ready.Store(true)
+	return s, nil
 }
+
+// SetReady flips the /readyz verdict: the shutdown path calls
+// SetReady(false) before http.Server.Shutdown so load balancers drain the
+// instance before in-flight work is waited on.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Calibration exposes the runtime calibration monitor (tests, the drain
+// summary log).
+func (s *Server) Calibration() *monitor.Monitor { return s.calib }
 
 // Handler returns the HTTP routing table.
 func (s *Server) Handler() http.Handler {
@@ -113,14 +188,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/series/{id}", s.handleEndSeries)
 	mux.HandleFunc("POST /v1/step", s.handleStep)
 	mux.HandleFunc("POST /v1/steps", s.handleStepBatch)
+	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/model/rules", s.handleRules)
 	mux.HandleFunc("GET /v1/model/leaves", s.handleLeaves)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady is the readiness probe: 200 while the server accepts new
+// work, 503 once draining has begun. Liveness (/healthz) stays 200 through
+// a drain — the process is healthy, just leaving the rotation.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.ready.Load() {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "draining")
 }
 
 // newSeriesResponse is the body of POST /v1/series.
@@ -190,6 +281,8 @@ type stepResponse struct {
 // pooled buffer flushed with one Write (see codec.go). The stdlib encoder
 // never runs on the success path.
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latStep.Observe(time.Since(start)) }()
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -217,7 +310,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp, err := s.gate(step.seriesID, res)
+	resp, err := s.gateResult(step.seriesID, res)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
@@ -232,8 +325,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 
 // gate runs one pool result through the simplex monitor and shapes the
 // response body shared by the single-step and batch endpoints.
-func (s *Server) gate(seriesID string, res core.Result) (stepResponse, error) {
-	decision, err := s.monitor.Gate(res.Fused, res.Uncertainty)
+func (s *Server) gateResult(seriesID string, res core.Result) (stepResponse, error) {
+	decision, err := s.gate.Gate(res.Fused, res.Uncertainty)
 	if err != nil {
 		return stepResponse{}, err
 	}
@@ -279,6 +372,8 @@ type batchStepResponse struct {
 // per-item quality vectors the wrappers retain (slab-chunked, one
 // allocation per 256 items) plus transient error strings on failed items.
 func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.latBatch.Observe(time.Since(start)) }()
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -334,7 +429,7 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 		i := sc.back[j]
 		switch {
 		case br.Err == nil:
-			stepResp, err := s.gate(sc.steps[i].seriesID, br.Result)
+			stepResp, err := s.gateResult(sc.steps[i].seriesID, br.Result)
 			if err != nil {
 				sc.resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: err.Error()}
 				continue
@@ -422,7 +517,7 @@ type statsResponse struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	snap := s.monitor.Snapshot()
+	snap := s.gate.Snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
 		ActiveSeries: s.pool.Active(),
 		PoolShards:   s.pool.NumShards(),

@@ -12,7 +12,13 @@
 // (internal/fusion), the synthetic GTSRB benchmark (internal/gtsrb), the
 // augmentation pipeline (internal/augment), the DDM classifiers
 // (internal/ddm), Kalman tracking (internal/track), runtime gating
-// (internal/simplex), and the study harness (internal/eval).
+// (internal/simplex), runtime calibration monitoring (internal/monitor:
+// streaming reliability statistics over ground-truth feedback, Page-
+// Hinkley drift alarms, and the zero-allocation Prometheus exposition
+// behind tauserve's POST /v1/feedback and GET /metrics), and the study
+// harness (internal/eval, whose offline replay is re-scored through the
+// same monitor so offline and online reliability numbers come from one
+// implementation).
 //
 // See README.md for the architecture map, the tauserve HTTP API (including
 // the batched POST /v1/steps endpoint with its 4096-item and body-size
@@ -31,8 +37,12 @@
 // batch with a recycled result slice (core.WrapperPool.StepBatchInto /
 // StepBatchSeriesInto: pooled counting-sort grouping, closure-free
 // fan-out), taQIM inference (dtree.Compiled, including the PredictBatch /
-// ApplyBatch block walks), and the tauserve hot-endpoint codec (pooled
-// request/response buffers, reflection-free encode/decode). The deliberate
+// ApplyBatch block walks), the tauserve hot-endpoint codec (pooled
+// request/response buffers, reflection-free encode/decode), the runtime
+// calibration monitoring on the step path (shard-local atomic counters
+// plus a preallocated provenance ring), and the Prometheus scrape
+// (monitor.Exposition renders into a pooled buffer with cached visitor
+// closures). The deliberate
 // exception: the per-item quality vectors the wrapper buffers retain are
 // carved from fresh slab chunks (they outlive the request), so a batch
 // request costs one allocation per slab chunk rather than zero.

@@ -8,12 +8,18 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/uw"
 )
 
 func main() {
@@ -132,5 +138,84 @@ func loadAndServe(bundlePath string) error {
 	}
 	fmt.Printf("[online] pool drained: %d active tracks across %d shards\n",
 		pool.Active(), pool.NumShards())
+	return monitorAndScrape(wrapper, taqim)
+}
+
+// monitorAndScrape is the observability half of a deployment: a monitored
+// pool serves traffic, ground truth is joined back through the provenance
+// ring into the runtime calibration monitor, the state is exposed at
+// /metrics exactly as tauserve exposes it, and a scraper (here: a plain
+// HTTP GET, standing in for Prometheus) reads the reliability summary.
+func monitorAndScrape(wrapper *core.Wrapper, taqim *uw.QualityImpactModel) error {
+	fmt.Println("[online] runtime calibration monitoring:")
+	pool, err := core.NewWrapperPool(wrapper.Base(), taqim, core.Config{BufferLimit: 64}, 0,
+		core.WithMonitoring(128))
+	if err != nil {
+		return err
+	}
+	calib, err := monitor.New(monitor.Config{})
+	if err != nil {
+		return err
+	}
+	expo := &monitor.Exposition{Monitor: calib, Pool: pool}
+
+	// Serve traffic with ground truth trailing by one frame, as a tracker
+	// that confirms objects a frame later would.
+	id, err := pool.OpenSeries()
+	if err != nil {
+		return err
+	}
+	track, err := pool.ResolveSeries(id)
+	if err != nil {
+		return err
+	}
+	quality := []float64{0, 0.05, 0, 0, 0, 0.02, 0, 0, 0.1, 180}
+	const truth = 14
+	for step := 1; step <= 20; step++ {
+		res, err := pool.StepSeries(id, truth, quality)
+		if err != nil {
+			return err
+		}
+		if step > 1 {
+			rec, err := pool.TakeFeedback(track, res.TotalSteps-1)
+			if err != nil {
+				return err
+			}
+			if err := calib.Observe(track, rec.Uncertainty, rec.Fused != truth); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Expose and scrape: the handler renders the same Prometheus text
+	// tauserve serves at GET /metrics.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(expo.AppendMetrics(nil))
+	}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Println("[online] scraped /metrics; reliability summary:")
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "tauw_steps_total"),
+			strings.HasPrefix(line, "tauw_feedback_total"),
+			strings.HasPrefix(line, "tauw_brier_windowed"),
+			strings.HasPrefix(line, "tauw_ece"),
+			strings.HasPrefix(line, "tauw_drift_active"):
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	snap := calib.Snapshot()
+	fmt.Printf("[online] monitor verdict: %d joins, windowed Brier %.4f, ECE %.4f, drift active=%v\n",
+		snap.Feedbacks, snap.WindowedBrier, snap.ECE, snap.Drift.Active)
 	return nil
 }

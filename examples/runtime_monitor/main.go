@@ -1,76 +1,155 @@
 // runtime_monitor demonstrates runtime V&V with the simplex pattern the
-// paper motivates: a monitor compares every fused outcome's dependable
-// uncertainty against an escalation ladder of countermeasures (accept →
-// advisory-only → ignore → handover) so the system never acts on
-// undependable perception.
+// paper motivates, now wired through the runtime calibration-monitoring
+// subsystem: every fused outcome's dependable uncertainty is gated against
+// an escalation ladder of countermeasures (accept → advisory-only → ignore
+// → handover), served steps are tracked in a monitored wrapper pool, and
+// ground truth is fed back through the provenance-ring join so streaming
+// reliability statistics — windowed Brier, reliability bins, ECE, and a
+// Page-Hinkley drift alarm — are maintained by the same implementation a
+// production deployment scrapes at /metrics.
 package main
 
 import (
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"strings"
 
-	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/simplex"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	fmt.Println("calibrating wrappers (tiny preset)...")
 	study, err := eval.BuildStudy(eval.TinyConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	monitor, err := simplex.NewMonitor(simplex.DefaultTSRPolicy())
+	gate, err := simplex.NewMonitor(simplex.DefaultTSRPolicy())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	wrapper, err := study.Wrapper()
+	// The serving substrate: a monitored pool (shard-local step counters +
+	// per-series provenance rings) and the calibration monitor fed by
+	// ground-truth joins. The aggressive drift thresholds make the alarm
+	// demonstrable on a tiny stream.
+	pool, err := core.NewWrapperPool(study.Base, study.TAQIM, core.Config{}, 0,
+		core.WithMonitoring(64))
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	calib, err := monitor.New(monitor.Config{
+		Window: 512,
+		Drift:  monitor.DriftConfig{Delta: 0.01, Lambda: 3, MinSamples: 100},
+	})
+	if err != nil {
+		return err
 	}
 
-	// Stream a mix of clean and degraded test series through the gate.
+	// Stream a mix of clean and degraded test series through the gate,
+	// reporting each step's ground truth back to the monitor — in a real
+	// deployment the truth arrives later (a map match, a human label); here
+	// the benchmark knows it immediately.
 	rng := rand.New(rand.NewPCG(7, 7))
 	shown := 0
 	for _, series := range study.TestSeries {
 		if rng.Float64() > 0.15 {
 			continue
 		}
-		wrapper.NewSeries()
-		var lastLevel string
-		var lastU float64
-		lastFused := -1
-		for j := range series.Outcomes {
-			res, err := wrapper.Step(series.Outcomes[j], series.Quality[j])
-			if err != nil {
-				log.Fatal(err)
-			}
-			decision, err := monitor.Gate(res.Fused, res.Uncertainty)
-			if err != nil {
-				log.Fatal(err)
-			}
-			lastLevel = decision.Level.Name
-			lastU = decision.Uncertainty
-			lastFused = res.Fused
+		id, err := pool.OpenSeries()
+		if err != nil {
+			return err
 		}
-		if shown < 12 {
-			// The darkness channel hints at why a series is hard.
-			dark := series.Quality[0][augment.Darkness]
+		track, err := pool.ResolveSeries(id)
+		if err != nil {
+			return err
+		}
+		var last core.Result
+		var lastLevel string
+		for j := range series.Outcomes {
+			res, err := pool.StepSeries(id, series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				return err
+			}
+			decision, err := gate.Gate(res.Fused, res.Uncertainty)
+			if err != nil {
+				return err
+			}
+			// Ground-truth feedback: join the report to the exact estimate
+			// it judges, then fold the verdict into the reliability stats.
+			rec, err := pool.TakeFeedback(track, res.TotalSteps)
+			if err != nil {
+				return err
+			}
+			if err := calib.Observe(track, rec.Uncertainty, rec.Fused != series.Truth); err != nil {
+				return err
+			}
+			last, lastLevel = res, decision.Level.Name
+		}
+		if shown < 8 {
 			verdict := "correct"
-			if lastFused != series.Truth {
+			if last.Fused != series.Truth {
 				verdict = "WRONG"
 			}
-			fmt.Printf("series truth=%2d darkness=%.2f -> final u=%.4f, countermeasure=%-14s fused %s\n",
-				series.Truth, dark, lastU, lastLevel, verdict)
+			fmt.Printf("series truth=%2d -> final u=%.4f, countermeasure=%-14s fused %s (taQIM leaf %d)\n",
+				series.Truth, last.Uncertainty, lastLevel, verdict, last.TAQIMLeaf)
 			shown++
+		}
+		if err := pool.CloseSeries(id); err != nil {
+			return err
 		}
 	}
 
-	stats := monitor.Snapshot()
-	fmt.Printf("\nmonitor gated %d outcomes:\n", stats.Total)
-	for _, level := range append(simplex.DefaultTSRPolicy().Levels, simplex.DefaultTSRPolicy().Terminal) {
-		fmt.Printf("  %-16s %6d (%.1f%%)\n", level.Name, stats.PerLevel[level.Name],
-			100*float64(stats.PerLevel[level.Name])/float64(stats.Total))
+	// The reliability summary — the numbers a dashboard would plot.
+	snap := calib.Snapshot()
+	fmt.Printf("\ncalibration monitor over %d ground-truth joins (%d steps served):\n",
+		snap.Feedbacks, pool.StepCount())
+	fmt.Printf("  accuracy        %.1f%%\n", 100*float64(snap.Correct)/float64(snap.Feedbacks))
+	fmt.Printf("  windowed Brier  %.4f (last %d feedbacks)\n", snap.WindowedBrier, snap.WindowCount)
+	fmt.Printf("  cumulative      %.4f\n", snap.Brier)
+	fmt.Printf("  ECE             %.4f\n", snap.ECE)
+	fmt.Println("  reliability bins (predicted vs observed error rate):")
+	for _, b := range snap.Bins {
+		if b.Count == 0 {
+			continue
+		}
+		fmt.Printf("    u in [%.1f,%.1f): predicted %.3f observed %.3f (%d joins)\n",
+			b.Lo, b.Hi, b.MeanPredicted, b.ErrorRate, b.Count)
+	}
+	fmt.Printf("  drift: %d alarms, active=%v (PH stat %.2f over %d samples)\n",
+		snap.Drift.Alarms, snap.Drift.Active, snap.Drift.Stat, snap.Drift.Samples)
+
+	gateStats := gate.Snapshot()
+	fmt.Printf("\nsimplex gate over %d outcomes:\n", gateStats.Total)
+	gate.EachCount(func(name string, count int) {
+		fmt.Printf("  %-16s %6d (%.1f%%)\n", name, count, 100*float64(count)/float64(gateStats.Total))
+	})
+
+	// The same state, as Prometheus would scrape it.
+	expo := &monitor.Exposition{Monitor: calib, Pool: pool, Gate: gate}
+	fmt.Println("\nselected /metrics lines:")
+	printMetricLines(expo.AppendMetrics(nil), 6)
+	return nil
+}
+
+// printMetricLines prints the first n sample lines (skipping comments).
+func printMetricLines(metrics []byte, n int) {
+	shown := 0
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		fmt.Printf("  %s\n", line)
+		if shown++; shown == n {
+			return
+		}
 	}
 }

@@ -41,18 +41,31 @@ type WrapperPool struct {
 	// shardShift is 64 - log2(len(shards)): shard selection takes the top
 	// bits of the Fibonacci hash (see shardIndex).
 	shardShift uint8
+
+	// monitored enables the runtime calibration-monitoring hooks (see
+	// monitor.go): shard-local step counters in stepStats and, when
+	// ringSize > 0, a per-track provenance ring feedback is joined against.
+	monitored bool
+	ringSize  int
+	stepStats []stepStatsShard
 }
 
 type pooledWrapper struct {
 	mu sync.Mutex
 	w  *Wrapper
+	// ring is the track's provenance ring (nil unless the pool was built
+	// WithMonitoring and a positive ring size). Slots are addressed by the
+	// step's TotalSteps modulo the ring length; guarded by mu.
+	ring []provRecord
 }
 
 // PoolOption customises pool construction.
 type PoolOption func(*poolOptions)
 
 type poolOptions struct {
-	shards int
+	shards    int
+	monitored bool
+	ringSize  int
 }
 
 // WithShards overrides the shard count (rounded up to a power of two;
@@ -79,6 +92,9 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 	if err != nil {
 		return nil, err
 	}
+	if o.ringSize < 0 {
+		return nil, fmt.Errorf("core: feedback ring size %d must be >= 0", o.ringSize)
+	}
 	// Validate the config once by assembling a probe wrapper.
 	if _, err := NewWrapper(base, taqim, cfg); err != nil {
 		return nil, err
@@ -91,6 +107,11 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 		shards:     make([]trackShard, nshards),
 		series:     make([]seriesShard, nshards),
 		shardShift: uint8(64 - bits.TrailingZeros(uint(nshards))),
+		monitored:  o.monitored,
+		ringSize:   o.ringSize,
+	}
+	if p.monitored {
+		p.stepStats = make([]stepStatsShard, nshards)
 	}
 	for i := range p.shards {
 		p.shards[i].tracks = make(map[int]*pooledWrapper)
@@ -135,6 +156,12 @@ func (p *WrapperPool) open(trackID int) error {
 	if pw, ok := sh.tracks[trackID]; ok {
 		pw.mu.Lock()
 		pw.w.NewSeries()
+		// A reset restarts TotalSteps at 1, so surviving ring slots from
+		// the previous series would collide with the new step numbers:
+		// clear them, making feedback for the dead series unjoinable
+		// (ErrStepUnavailable) instead of silently joined to the wrong
+		// estimate.
+		clear(pw.ring)
 		pw.mu.Unlock()
 		return nil
 	}
@@ -151,7 +178,11 @@ func (p *WrapperPool) open(trackID int) error {
 		p.active.Add(-1)
 		return err
 	}
-	sh.tracks[trackID] = &pooledWrapper{w: w}
+	pw := &pooledWrapper{w: w}
+	if p.monitored && p.ringSize > 0 {
+		pw.ring = make([]provRecord, p.ringSize)
+	}
+	sh.tracks[trackID] = pw
 	return nil
 }
 
@@ -160,7 +191,8 @@ func (p *WrapperPool) open(trackID int) error {
 // wrapper's step is pure arithmetic over owned state, so there is no panic
 // path the defer would be protecting.
 func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
-	sh := p.trackShardFor(trackID)
+	shard := p.shardIndex(trackID)
+	sh := &p.shards[shard]
 	sh.mu.Lock()
 	pw, ok := sh.tracks[trackID]
 	sh.mu.Unlock()
@@ -169,6 +201,9 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 	}
 	pw.mu.Lock()
 	res, err := pw.w.Step(outcome, quality)
+	if err == nil && p.monitored {
+		p.recordStep(pw, shard, &res)
+	}
 	pw.mu.Unlock()
 	return res, err
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func monitoredPoolFixture(t *testing.T, ringSize int) (*WrapperPool, *synthStudy) {
+	t.Helper()
+	st := buildStudy(t)
+	taqim := fitTAQIM(t, st, nil)
+	pool, err := NewWrapperPool(st.base, taqim, Config{}, 0, WithMonitoring(ringSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, st
+}
+
+func TestPoolStepStats(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 8)
+	if err := pool.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	var wantU float64
+	var fusedCounts [NumOutcomeBuckets + 1]uint64
+	for j := range s.Outcomes {
+		res, err := pool.Step(1, s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU += res.Uncertainty
+		fusedCounts[outcomeBucket(res.Fused)]++
+	}
+	if got, want := pool.StepCount(), uint64(len(s.Outcomes)); got != want {
+		t.Errorf("StepCount = %d, want %d", got, want)
+	}
+	if got := pool.UncertaintySum(); got < wantU-1e-4 || got > wantU+1e-4 {
+		t.Errorf("UncertaintySum = %g, want ~%g", got, wantU)
+	}
+	var seen uint64
+	pool.OutcomeCounts(func(outcome int, count uint64) {
+		seen += count
+		b := outcomeBucket(outcome)
+		if outcome == -1 {
+			b = NumOutcomeBuckets
+		}
+		if fusedCounts[b] != count {
+			t.Errorf("outcome %d count = %d, want %d", outcome, count, fusedCounts[b])
+		}
+	})
+	if seen != uint64(len(s.Outcomes)) {
+		t.Errorf("OutcomeCounts total = %d, want %d", seen, len(s.Outcomes))
+	}
+}
+
+func TestPoolStatsDisabledByDefault(t *testing.T) {
+	pool, st := poolFixture(t, 0)
+	if err := pool.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	if _, err := pool.Step(1, s.Outcomes[0], s.Quality[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.StepCount(); got != 0 {
+		t.Errorf("unmonitored StepCount = %d, want 0", got)
+	}
+	if got := pool.FeedbackRingSize(); got != 0 {
+		t.Errorf("unmonitored FeedbackRingSize = %d, want 0", got)
+	}
+	if _, err := pool.TakeFeedback(1, 1); !errors.Is(err, ErrFeedbackDisabled) {
+		t.Errorf("TakeFeedback on unmonitored pool = %v, want ErrFeedbackDisabled", err)
+	}
+}
+
+func TestTakeFeedbackJoin(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 4)
+	id, err := pool.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	var results []Result
+	for j := 0; j < 6; j++ {
+		res, err := pool.StepSeries(id, s.Outcomes[j], s.Quality[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	// Steps 1 and 2 have been evicted by the 4-slot ring (6 steps taken).
+	for _, late := range []int{1, 2} {
+		if _, err := pool.TakeFeedbackSeries(id, late); !errors.Is(err, ErrStepUnavailable) {
+			t.Errorf("late feedback for step %d = %v, want ErrStepUnavailable", late, err)
+		}
+	}
+	// Steps 3..6 join and echo the exact estimate that was served.
+	for j := 2; j < 6; j++ {
+		rec, err := pool.TakeFeedbackSeries(id, j+1)
+		if err != nil {
+			t.Fatalf("feedback step %d: %v", j+1, err)
+		}
+		want := results[j]
+		if rec.Step != j+1 || rec.Fused != want.Fused ||
+			rec.Uncertainty != want.Uncertainty || rec.TAQIMLeaf != want.TAQIMLeaf {
+			t.Errorf("step %d joined %+v, want fused=%d u=%g leaf=%d",
+				j+1, rec, want.Fused, want.Uncertainty, want.TAQIMLeaf)
+		}
+	}
+	// A second report for a consumed step is a duplicate, not a re-join.
+	if _, err := pool.TakeFeedbackSeries(id, 6); !errors.Is(err, ErrDuplicateFeedback) {
+		t.Errorf("duplicate feedback = %v, want ErrDuplicateFeedback", err)
+	}
+	// Future and non-positive steps were never recorded.
+	for _, bad := range []int{0, -3, 7} {
+		if _, err := pool.TakeFeedbackSeries(id, bad); !errors.Is(err, ErrStepUnavailable) {
+			t.Errorf("feedback for step %d = %v, want ErrStepUnavailable", bad, err)
+		}
+	}
+	// Closing the series makes feedback a not-found condition.
+	if err := pool.CloseSeries(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.TakeFeedbackSeries(id, 3); !errors.Is(err, ErrUnknownSeries) {
+		t.Errorf("feedback after close = %v, want ErrUnknownSeries", err)
+	}
+	if _, err := pool.TakeFeedbackSeries("never-issued", 1); !errors.Is(err, ErrUnknownSeries) {
+		t.Errorf("feedback for unknown series = %v, want ErrUnknownSeries", err)
+	}
+}
+
+func TestReopenClearsFeedbackRing(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 8)
+	if err := pool.Open(7); err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+	for j := 0; j < 3; j++ {
+		if _, err := pool.Step(7, s.Outcomes[j], s.Quality[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The tracker reports a new physical object: the old series' estimates
+	// must no longer be joinable under the restarted step numbering.
+	if err := pool.Open(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.TakeFeedback(7, 2); !errors.Is(err, ErrStepUnavailable) {
+		t.Errorf("feedback across reset = %v, want ErrStepUnavailable", err)
+	}
+	res, err := pool.Step(7, s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := pool.TakeFeedback(7, res.TotalSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Uncertainty != res.Uncertainty {
+		t.Errorf("post-reset join u = %g, want %g", rec.Uncertainty, res.Uncertainty)
+	}
+}
+
+// TestConcurrentFeedbackAndSteps races feedback joins against ongoing steps
+// on many tracks: run under -race it pins that the ring writes (track lock)
+// and the shard counters (atomics) never conflict, and that every join
+// returns either a consistent record or a typed error.
+func TestConcurrentFeedbackAndSteps(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 16)
+	const tracks = 8
+	for id := 0; id < tracks; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.testSeries[0]
+	var wg sync.WaitGroup
+	for id := 0; id < tracks; id++ {
+		wg.Add(2)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := pool.Step(id, s.Outcomes[j%len(s.Outcomes)], s.Quality[j%len(s.Quality)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+		go func(id int) {
+			defer wg.Done()
+			for step := 1; step <= 200; step++ {
+				rec, err := pool.TakeFeedback(id, step)
+				switch {
+				case err == nil:
+					if rec.Step != step || rec.Uncertainty < 0 || rec.Uncertainty > 1 {
+						t.Errorf("inconsistent join: %+v", rec)
+						return
+					}
+				case errors.Is(err, ErrStepUnavailable), errors.Is(err, ErrDuplicateFeedback):
+					// Expected interleavings: the step has not happened yet,
+					// was evicted, or a retry raced us.
+				default:
+					t.Errorf("unexpected feedback error: %v", err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got, want := pool.StepCount(), uint64(tracks*200); got != want {
+		t.Errorf("StepCount = %d, want %d", got, want)
+	}
+}

@@ -17,6 +17,9 @@ func TestShardPadding(t *testing.T) {
 	if s := unsafe.Sizeof(seriesShard{}); s%shardPad != 0 || s == 0 {
 		t.Errorf("seriesShard size %d is not a positive multiple of %d", s, shardPad)
 	}
+	if s := unsafe.Sizeof(stepStatsShard{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("stepStatsShard size %d is not a positive multiple of %d", s, shardPad)
+	}
 	// The pad must not displace the payload: the state must sit at offset 0
 	// so shard selection lands directly on the mutex's line.
 	if off := unsafe.Offsetof(trackShard{}.trackShardState); off != 0 {
@@ -24,6 +27,9 @@ func TestShardPadding(t *testing.T) {
 	}
 	if off := unsafe.Offsetof(seriesShard{}.seriesShardState); off != 0 {
 		t.Errorf("seriesShardState at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(stepStatsShard{}.stepStatsState); off != 0 {
+		t.Errorf("stepStatsState at offset %d, want 0", off)
 	}
 }
 

@@ -29,6 +29,11 @@ type Result struct {
 	// SeriesLen while no eviction has happened; the difference is the
 	// number of evicted steps.
 	TotalSteps int
+	// TAQIMLeaf is the timeseries-aware quality-impact-model region that
+	// produced Uncertainty — the estimate's provenance, the taQIM
+	// counterpart of Stateless.LeafID. It is -1 when no taQIM was involved
+	// (the uncertainty-fusion baselines).
+	TAQIMLeaf int
 }
 
 // Config assembles a timeseries-aware wrapper.
@@ -178,7 +183,7 @@ func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, err
 		}
 	}
 	row := w.assembleRow(quality, taqf)
-	u, err := w.taqim.Uncertainty(row)
+	u, leaf, err := w.taqim.Predict(row)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: timeseries-aware estimate: %w", err)
 	}
@@ -197,6 +202,7 @@ func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, err
 		TAQF:        taqf,
 		SeriesLen:   w.buf.Len(),
 		TotalSteps:  w.buf.TotalSteps(),
+		TAQIMLeaf:   leaf,
 	}, nil
 }
 
@@ -284,5 +290,6 @@ func (w *UFWrapper) Step(outcome int, quality []float64) (Result, error) {
 		TAQF:        taqf,
 		SeriesLen:   w.buf.Len(),
 		TotalSteps:  w.buf.TotalSteps(),
+		TAQIMLeaf:   -1,
 	}, nil
 }

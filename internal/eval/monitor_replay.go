@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/monitor"
+)
+
+// MonitorReplayConfig parameterises an offline replay through the runtime
+// calibration monitor.
+type MonitorReplayConfig struct {
+	// Monitor configures the calibration monitor the replay is scored
+	// through (zero fields take the monitor defaults).
+	Monitor monitor.Config
+	// FeedbackRing is the per-series provenance ring length (0 takes
+	// DefaultReplayRing). The replay joins each step's truth immediately,
+	// so any positive ring suffices; the size only matters when comparing
+	// against an online run that must be configured identically.
+	FeedbackRing int
+	// PoolShards overrides the wrapper pool's shard count (0 = default).
+	PoolShards int
+	// BufferLimit caps each series' timeseries buffer (0 = unbounded).
+	BufferLimit int
+}
+
+// DefaultReplayRing comfortably covers the study's series lengths.
+const DefaultReplayRing = 256
+
+// MonitorReplayResult is the outcome of an offline monitor replay.
+type MonitorReplayResult struct {
+	// Snapshot is the monitor's final aggregate — the same windowed
+	// Brier / ECE / reliability bins a live /metrics scrape reports.
+	Snapshot monitor.Snapshot
+	// Steps is the number of steps replayed and Joined the number of
+	// ground-truth joins folded into the monitor (equal unless a join
+	// fails, which the replay treats as an error).
+	Steps, Joined int
+}
+
+// RunMonitorReplay replays every test series through the serving substrate
+// — the sharded, monitored wrapper pool — and feeds each step's known
+// ground truth back through the same provenance-ring join and calibration
+// monitor the live /v1/feedback path uses. Offline evaluation and online
+// monitoring therefore share one implementation: the reliability numbers a
+// deployment scrapes from /metrics are directly comparable to (and, on an
+// identical trace, bit-identical with) the numbers this replay reports,
+// which is pinned by the tauserve differential test.
+func (st *Study) RunMonitorReplay(cfg MonitorReplayConfig) (MonitorReplayResult, error) {
+	if cfg.FeedbackRing == 0 {
+		cfg.FeedbackRing = DefaultReplayRing
+	}
+	m, err := monitor.New(cfg.Monitor)
+	if err != nil {
+		return MonitorReplayResult{}, err
+	}
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, core.Config{BufferLimit: cfg.BufferLimit}, 0,
+		core.WithShards(cfg.PoolShards), core.WithMonitoring(cfg.FeedbackRing))
+	if err != nil {
+		return MonitorReplayResult{}, err
+	}
+	var out MonitorReplayResult
+	for si, s := range st.TestSeries {
+		id, err := pool.OpenSeries()
+		if err != nil {
+			return MonitorReplayResult{}, fmt.Errorf("eval: monitor replay series %d: %w", si, err)
+		}
+		track, err := pool.ResolveSeries(id)
+		if err != nil {
+			return MonitorReplayResult{}, err
+		}
+		for j := range s.Outcomes {
+			res, err := pool.StepSeries(id, s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				return MonitorReplayResult{}, fmt.Errorf("eval: monitor replay series %d step %d: %w", si, j, err)
+			}
+			out.Steps++
+			rec, err := pool.TakeFeedback(track, res.TotalSteps)
+			if err != nil {
+				return MonitorReplayResult{}, fmt.Errorf("eval: monitor replay join series %d step %d: %w", si, j, err)
+			}
+			if err := m.Observe(track, rec.Uncertainty, rec.Fused != s.Truth); err != nil {
+				return MonitorReplayResult{}, err
+			}
+			out.Joined++
+		}
+		if err := pool.CloseSeries(id); err != nil {
+			return MonitorReplayResult{}, err
+		}
+	}
+	out.Snapshot = m.Snapshot()
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/stats"
+)
+
+func TestRunMonitorReplay(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunMonitorReplay(MonitorReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := 0
+	for _, s := range st.TestSeries {
+		wantSteps += len(s.Outcomes)
+	}
+	if res.Steps != wantSteps || res.Joined != wantSteps {
+		t.Errorf("steps/joined = %d/%d, want %d/%d", res.Steps, res.Joined, wantSteps, wantSteps)
+	}
+	snap := res.Snapshot
+	if snap.Feedbacks != uint64(wantSteps) {
+		t.Errorf("monitor saw %d feedbacks, want %d", snap.Feedbacks, wantSteps)
+	}
+	if snap.Brier < 0 || snap.Brier > 1 || math.IsNaN(snap.Brier) {
+		t.Errorf("cumulative Brier %g outside [0,1]", snap.Brier)
+	}
+	if snap.ECE < 0 || snap.ECE > 1 {
+		t.Errorf("ECE %g outside [0,1]", snap.ECE)
+	}
+	if snap.WindowCount == 0 {
+		t.Error("empty sliding window after replay")
+	}
+	var binned uint64
+	for _, b := range snap.Bins {
+		binned += b.Count
+	}
+	if binned != snap.Feedbacks {
+		t.Errorf("reliability bins cover %d of %d feedbacks", binned, snap.Feedbacks)
+	}
+}
+
+// TestMonitorReplayMatchesTable1 ties the monitor's cumulative Brier to the
+// study's established scoring path: the monitor judges the taUW estimates
+// against fused-outcome errors over the full test replay, which is exactly
+// the "IF + taUW" condition of Table I — computed by completely different
+// code (batch tree inference + stats.BrierScore there, streaming shard
+// accumulators here).
+func TestMonitorReplayMatchesTable1(t *testing.T) {
+	st := tinyStudy(t)
+	res, err := st.RunMonitorReplay(MonitorReplayConfig{
+		// One huge window so the windowed and cumulative scores coincide.
+		Monitor: monitor.Config{Window: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.replayTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forecast := make([]float64, len(recs))
+	wrong := make([]bool, len(recs))
+	for i, r := range recs {
+		forecast[i] = r.uTAUW
+		wrong[i] = r.fused != r.truth
+	}
+	want, err := stats.BrierScore(forecast, wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Snapshot.Brier-want) > 1e-12 {
+		t.Errorf("monitor Brier = %g, Table-1 scoring = %g", res.Snapshot.Brier, want)
+	}
+	if math.Abs(res.Snapshot.WindowedBrier-res.Snapshot.Brier) > 1e-12 {
+		t.Errorf("windowed %g != cumulative %g with an unfilled window",
+			res.Snapshot.WindowedBrier, res.Snapshot.Brier)
+	}
+}

@@ -1,0 +1,291 @@
+// expo.go is the hand-rolled Prometheus text-format exposition
+// (version 0.0.4) of the calibration-monitoring subsystem. A scrape
+// aggregates the shard-local counters on demand — the step and feedback hot
+// paths never maintain scrape-shaped state — and renders with append-based
+// writers into the caller's buffer, so a steady-state scrape allocates
+// nothing: label values are appended digit by digit, aggregation scratch is
+// owned by the Exposition and reused, and the visitor closures handed to
+// the pool and gate sources are created once and cached (a fresh func
+// literal per scrape would allocate).
+package monitor
+
+import (
+	"strconv"
+	"sync"
+)
+
+// PoolSource is the step-side counter surface the exposition scrapes —
+// implemented by core.WrapperPool. All methods must be allocation-free.
+type PoolSource interface {
+	// Active is the number of open tracks/series.
+	Active() int
+	// NumShards is the pool's shard count.
+	NumShards() int
+	// StepCount is the total number of monitored steps served.
+	StepCount() uint64
+	// UncertaintySum is the sum of served dependable uncertainties.
+	UncertaintySum() float64
+	// OutcomeCounts visits per-fused-outcome step counts in ascending
+	// order (-1 for the overflow bucket).
+	OutcomeCounts(visit func(outcome int, count uint64))
+}
+
+// GateSource is the countermeasure-counter surface — implemented by
+// simplex.Monitor.
+type GateSource interface {
+	// EachCount visits per-countermeasure activation counts.
+	EachCount(visit func(name string, count int))
+}
+
+// EndpointLatency pairs a latency histogram with its endpoint label.
+type EndpointLatency struct {
+	Name string
+	Hist *LatencyHist
+}
+
+// Exposition renders the monitoring state as Prometheus text. Monitor is
+// required; Pool, Gate, and Latencies are optional sections. An Exposition
+// is safe for concurrent use (scrapes serialise on its scratch).
+type Exposition struct {
+	Monitor   *Monitor
+	Pool      PoolSource
+	Gate      GateSource
+	Latencies []EndpointLatency
+
+	mu sync.Mutex
+	// Reused aggregation scratch and cached visitor closures: both exist
+	// so a scrape allocates nothing after the first.
+	bins      []binStat
+	latCounts []uint64
+	dst       []byte
+	outcomeFn func(outcome int, count uint64)
+	gateFn    func(name string, count int)
+}
+
+// latBoundLabels are the `le` label strings of the latency buckets, built
+// once so scrapes never format them.
+var latBoundLabels = func() [len(latBoundsNanos)]string {
+	var out [len(latBoundsNanos)]string
+	for i, n := range latBoundsNanos {
+		out[i] = strconv.FormatFloat(float64(n)/1e9, 'g', -1, 64)
+	}
+	return out
+}()
+
+// AppendMetrics renders every metric into dst and returns the extended
+// slice (append semantics: use the return value). The scrape holds each
+// accumulator shard's lock only while summing it, so it never stalls the
+// hot paths for the duration of the render.
+func (e *Exposition) AppendMetrics(dst []byte) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.dst = dst
+	if e.Pool != nil {
+		e.appendPool()
+	}
+	if e.Monitor != nil {
+		e.appendReliability()
+		e.appendDrift()
+	}
+	if e.Gate != nil {
+		e.appendGate()
+	}
+	if len(e.Latencies) > 0 {
+		// One HELP/TYPE preamble for the family; the per-endpoint label
+		// sets follow (a repeated TYPE line for the same name would be
+		// rejected by strict exposition parsers).
+		e.header("tauw_request_duration_seconds", "Request latency by endpoint.", "histogram")
+		for i := range e.Latencies {
+			e.appendLatency(&e.Latencies[i])
+		}
+	}
+	dst = e.dst
+	e.dst = nil
+	return dst
+}
+
+// header appends one metric's # HELP / # TYPE preamble.
+func (e *Exposition) header(name, help, typ string) {
+	e.dst = append(e.dst, "# HELP "...)
+	e.dst = append(e.dst, name...)
+	e.dst = append(e.dst, ' ')
+	e.dst = append(e.dst, help...)
+	e.dst = append(e.dst, "\n# TYPE "...)
+	e.dst = append(e.dst, name...)
+	e.dst = append(e.dst, ' ')
+	e.dst = append(e.dst, typ...)
+	e.dst = append(e.dst, '\n')
+}
+
+func (e *Exposition) sampleUint(name string, v uint64) {
+	e.dst = append(e.dst, name...)
+	e.dst = append(e.dst, ' ')
+	e.dst = strconv.AppendUint(e.dst, v, 10)
+	e.dst = append(e.dst, '\n')
+}
+
+func (e *Exposition) sampleFloat(name string, v float64) {
+	e.dst = append(e.dst, name...)
+	e.dst = append(e.dst, ' ')
+	e.dst = strconv.AppendFloat(e.dst, v, 'g', -1, 64)
+	e.dst = append(e.dst, '\n')
+}
+
+func (e *Exposition) appendPool() {
+	e.header("tauw_active_series", "Open series/tracks in the wrapper pool.", "gauge")
+	e.sampleUint("tauw_active_series", uint64(e.Pool.Active()))
+	e.header("tauw_pool_shards", "Shard count of the wrapper pool.", "gauge")
+	e.sampleUint("tauw_pool_shards", uint64(e.Pool.NumShards()))
+	e.header("tauw_steps_total", "Monitored wrapper steps served.", "counter")
+	e.sampleUint("tauw_steps_total", e.Pool.StepCount())
+	e.header("tauw_step_uncertainty_sum",
+		"Sum of served dependable uncertainties; divide by tauw_steps_total for the mean.", "counter")
+	e.sampleFloat("tauw_step_uncertainty_sum", e.Pool.UncertaintySum())
+	e.header("tauw_steps_outcome_total",
+		"Monitored steps by fused outcome; outcome=\"other\" aggregates classes beyond the counter range.", "counter")
+	if e.outcomeFn == nil {
+		e.outcomeFn = func(outcome int, count uint64) {
+			e.dst = append(e.dst, `tauw_steps_outcome_total{outcome="`...)
+			if outcome < 0 {
+				e.dst = append(e.dst, "other"...)
+			} else {
+				e.dst = strconv.AppendInt(e.dst, int64(outcome), 10)
+			}
+			e.dst = append(e.dst, `"} `...)
+			e.dst = strconv.AppendUint(e.dst, count, 10)
+			e.dst = append(e.dst, '\n')
+		}
+	}
+	e.Pool.OutcomeCounts(e.outcomeFn)
+}
+
+// appendReliability aggregates the feedback shards through the same
+// aggregateInto/eceFrom implementation Snapshot uses (into the
+// Exposition's reused scratch, so the scrape stays allocation-free) and
+// renders the Brier, window, ECE, and per-bin reliability metrics.
+func (e *Exposition) appendReliability() {
+	m := e.Monitor
+	if cap(e.bins) < m.cfg.Bins {
+		e.bins = make([]binStat, m.cfg.Bins)
+	}
+	e.bins = e.bins[:m.cfg.Bins]
+	t := m.aggregateInto(e.bins)
+
+	e.header("tauw_feedback_total", "Ground-truth feedback reports joined to served estimates.", "counter")
+	e.sampleUint("tauw_feedback_total", t.n)
+	e.header("tauw_feedback_correct_total", "Joined feedbacks whose fused outcome matched the truth.", "counter")
+	e.sampleUint("tauw_feedback_correct_total", t.correct)
+	brier := 0.0
+	if t.n > 0 {
+		brier = t.brierSum / float64(t.n)
+	}
+	e.header("tauw_brier_cumulative", "Cumulative Brier score of served uncertainties against feedback.", "gauge")
+	e.sampleFloat("tauw_brier_cumulative", brier)
+	windowed := 0.0
+	if t.winLen > 0 {
+		windowed = t.winSum / float64(t.winLen)
+	}
+	e.header("tauw_brier_windowed", "Sliding-window Brier score (see tauw_brier_window_count).", "gauge")
+	e.sampleFloat("tauw_brier_windowed", windowed)
+	e.header("tauw_brier_window_count", "Feedbacks currently inside the sliding windows.", "gauge")
+	e.sampleUint("tauw_brier_window_count", uint64(t.winLen))
+
+	e.header("tauw_ece", "Expected calibration error over the reliability bins.", "gauge")
+	e.sampleFloat("tauw_ece", eceFrom(e.bins, t.n))
+
+	e.header("tauw_reliability_count",
+		"Feedbacks per equal-width predicted-uncertainty bin (bin label is the bin index).", "counter")
+	e.appendBinSamples("tauw_reliability_count", func(b binStat) uint64 { return b.count })
+	e.header("tauw_reliability_errors", "Wrong fused outcomes per reliability bin.", "counter")
+	e.appendBinSamples("tauw_reliability_errors", func(b binStat) uint64 { return b.errors })
+	e.header("tauw_reliability_uncertainty_sum",
+		"Sum of predicted uncertainties per reliability bin; divide by tauw_reliability_count for the bin's mean forecast.", "counter")
+	for b := range e.bins {
+		e.dst = append(e.dst, "tauw_reliability_uncertainty_sum{bin=\""...)
+		e.dst = strconv.AppendInt(e.dst, int64(b), 10)
+		e.dst = append(e.dst, `"} `...)
+		e.dst = strconv.AppendFloat(e.dst, e.bins[b].uSum, 'g', -1, 64)
+		e.dst = append(e.dst, '\n')
+	}
+}
+
+// appendBinSamples renders one per-bin counter family. The selector is a
+// plain func value over the value type, so no closure is created per call.
+func (e *Exposition) appendBinSamples(name string, sel func(binStat) uint64) {
+	for b := range e.bins {
+		e.dst = append(e.dst, name...)
+		e.dst = append(e.dst, `{bin="`...)
+		e.dst = strconv.AppendInt(e.dst, int64(b), 10)
+		e.dst = append(e.dst, `"} `...)
+		e.dst = strconv.AppendUint(e.dst, sel(e.bins[b]), 10)
+		e.dst = append(e.dst, '\n')
+	}
+}
+
+func (e *Exposition) appendDrift() {
+	d := e.Monitor.drift.status()
+	e.header("tauw_drift_alarms_total", "Calibration-drift alarms raised by the Page-Hinkley detector.", "counter")
+	e.sampleUint("tauw_drift_alarms_total", uint64(d.Alarms))
+	e.header("tauw_drift_active", "1 while a drift alarm is active (until acknowledged).", "gauge")
+	active := uint64(0)
+	if d.Active {
+		active = 1
+	}
+	e.sampleUint("tauw_drift_active", active)
+	e.header("tauw_drift_stat", "Current Page-Hinkley statistic (alarms above the configured lambda).", "gauge")
+	e.sampleFloat("tauw_drift_stat", d.Stat)
+	e.header("tauw_drift_samples", "Feedbacks folded into the detector since its last alarm.", "gauge")
+	e.sampleUint("tauw_drift_samples", uint64(d.Samples))
+}
+
+func (e *Exposition) appendGate() {
+	e.header("tauw_gate_total", "Simplex-gate activations by countermeasure.", "counter")
+	if e.gateFn == nil {
+		e.gateFn = func(name string, count int) {
+			e.dst = append(e.dst, `tauw_gate_total{countermeasure="`...)
+			e.dst = append(e.dst, name...)
+			e.dst = append(e.dst, `"} `...)
+			e.dst = strconv.AppendInt(e.dst, int64(count), 10)
+			e.dst = append(e.dst, '\n')
+		}
+	}
+	e.Gate.EachCount(e.gateFn)
+}
+
+// appendLatency renders one endpoint's label set of the
+// tauw_request_duration_seconds family in the standard Prometheus
+// histogram shape (cumulative le buckets, _sum, _count); the family's
+// single HELP/TYPE preamble is emitted by AppendMetrics before the
+// endpoint loop.
+func (e *Exposition) appendLatency(l *EndpointLatency) {
+	if cap(e.latCounts) < len(latBoundsNanos)+1 {
+		e.latCounts = make([]uint64, len(latBoundsNanos)+1)
+	}
+	e.latCounts = e.latCounts[:len(latBoundsNanos)+1]
+	l.Hist.bucketCounts(e.latCounts)
+	var cum uint64
+	for b := range e.latCounts {
+		cum += e.latCounts[b]
+		e.dst = append(e.dst, `tauw_request_duration_seconds_bucket{endpoint="`...)
+		e.dst = append(e.dst, l.Name...)
+		e.dst = append(e.dst, `",le="`...)
+		if b < len(latBoundLabels) {
+			e.dst = append(e.dst, latBoundLabels[b]...)
+		} else {
+			e.dst = append(e.dst, "+Inf"...)
+		}
+		e.dst = append(e.dst, `"} `...)
+		e.dst = strconv.AppendUint(e.dst, cum, 10)
+		e.dst = append(e.dst, '\n')
+	}
+	e.dst = append(e.dst, `tauw_request_duration_seconds_sum{endpoint="`...)
+	e.dst = append(e.dst, l.Name...)
+	e.dst = append(e.dst, `"} `...)
+	e.dst = strconv.AppendFloat(e.dst, l.Hist.SumSeconds(), 'g', -1, 64)
+	e.dst = append(e.dst, '\n')
+	e.dst = append(e.dst, `tauw_request_duration_seconds_count{endpoint="`...)
+	e.dst = append(e.dst, l.Name...)
+	e.dst = append(e.dst, `"} `...)
+	e.dst = strconv.AppendUint(e.dst, cum, 10)
+	e.dst = append(e.dst, '\n')
+}

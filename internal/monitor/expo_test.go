@@ -1,0 +1,182 @@
+package monitor
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakePool is a minimal PoolSource fixture.
+type fakePool struct {
+	active, shards int
+	steps          uint64
+	uSum           float64
+	outcomes       []struct {
+		outcome int
+		count   uint64
+	}
+}
+
+func (p *fakePool) Active() int             { return p.active }
+func (p *fakePool) NumShards() int          { return p.shards }
+func (p *fakePool) StepCount() uint64       { return p.steps }
+func (p *fakePool) UncertaintySum() float64 { return p.uSum }
+func (p *fakePool) OutcomeCounts(visit func(int, uint64)) {
+	for _, o := range p.outcomes {
+		visit(o.outcome, o.count)
+	}
+}
+
+type fakeGate struct{}
+
+func (fakeGate) EachCount(visit func(string, int)) {
+	visit("accept", 12)
+	visit("handover", 3)
+}
+
+func expoFixture(t *testing.T) *Exposition {
+	t.Helper()
+	m, err := New(Config{Bins: 4, Window: 64, Drift: DriftConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := m.Observe(i, float64(i%4)/4, i%5 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := NewLatencyHist()
+	for i := 0; i < 10; i++ {
+		lat.Observe(time.Duration(i) * 10 * time.Microsecond)
+	}
+	pool := &fakePool{active: 3, shards: 32, steps: 100, uSum: 4.25}
+	pool.outcomes = append(pool.outcomes, struct {
+		outcome int
+		count   uint64
+	}{14, 90}, struct {
+		outcome int
+		count   uint64
+	}{-1, 10})
+	return &Exposition{
+		Monitor:   m,
+		Pool:      pool,
+		Gate:      fakeGate{},
+		Latencies: []EndpointLatency{{Name: "step", Hist: lat}},
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	e := expoFixture(t)
+	out := string(e.AppendMetrics(nil))
+
+	for _, want := range []string{
+		"tauw_active_series 3\n",
+		"tauw_pool_shards 32\n",
+		"tauw_steps_total 100\n",
+		"tauw_step_uncertainty_sum 4.25\n",
+		`tauw_steps_outcome_total{outcome="14"} 90` + "\n",
+		`tauw_steps_outcome_total{outcome="other"} 10` + "\n",
+		"tauw_feedback_total 20\n",
+		`tauw_gate_total{countermeasure="accept"} 12` + "\n",
+		`tauw_gate_total{countermeasure="handover"} 3` + "\n",
+		`tauw_request_duration_seconds_count{endpoint="step"} 10` + "\n",
+		`le="+Inf"`,
+		"# TYPE tauw_brier_windowed gauge\n",
+		"# TYPE tauw_request_duration_seconds histogram\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Every sample line must parse as "name{labels} value" with a numeric
+	// value, and every metric family must carry exactly one TYPE line.
+	types := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			types[strings.Fields(line)[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Errorf("non-numeric value in %q", line)
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Errorf("metric %s has %d TYPE lines", name, n)
+		}
+	}
+
+	// The cumulative bucket counts must be monotone and end at the count.
+	var last uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "tauw_request_duration_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative at %q", line)
+		}
+		last = v
+	}
+	if last != 10 {
+		t.Errorf("final bucket count = %d, want 10", last)
+	}
+}
+
+func TestExpositionSteadyStateAllocs(t *testing.T) {
+	e := expoFixture(t)
+	buf := e.AppendMetrics(nil) // warm-up sizes the scratch and the buffer
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = e.AppendMetrics(buf[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state scrape allocates %.1f times, want 0", allocs)
+	}
+}
+
+func TestExpositionMatchesSnapshot(t *testing.T) {
+	e := expoFixture(t)
+	out := string(e.AppendMetrics(nil))
+	s := e.Monitor.Snapshot()
+	for name, want := range map[string]float64{
+		"tauw_brier_cumulative":   s.Brier,
+		"tauw_brier_windowed":     s.WindowedBrier,
+		"tauw_ece":                s.ECE,
+		"tauw_feedback_total":     float64(s.Feedbacks),
+		"tauw_brier_window_count": float64(s.WindowCount),
+	} {
+		got, ok := sampleValue(out, name)
+		if !ok {
+			t.Errorf("metric %s not found", name)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s = %g, exposition says %g", name, want, got)
+		}
+	}
+}
+
+// sampleValue extracts the value of an unlabelled sample line.
+func sampleValue(out, name string) (float64, bool) {
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}

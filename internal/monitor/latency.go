@@ -1,0 +1,97 @@
+package monitor
+
+import (
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// latBoundsNanos are the histogram bucket upper bounds in nanoseconds,
+// spanning handler-direct microsecond costs up to pathological full-second
+// requests; everything above the last bound lands in the +Inf bucket.
+// Exposed in seconds as Prometheus `le` labels (see expo.go).
+var latBoundsNanos = [...]uint64{
+	1_000, 2_500, 10_000, 25_000, 100_000, 250_000, // 1µs .. 250µs
+	1_000_000, 2_500_000, 10_000_000, 25_000_000, // 1ms .. 25ms
+	100_000_000, 1_000_000_000, // 100ms, 1s
+}
+
+// latStripes is the number of independent copies the histogram counters are
+// striped across: concurrent requests usually update different stripes, so
+// the atomic adds do not all hammer one cache line.
+const latStripes = 8
+
+// latStripeState is one stripe's counters: per-bucket counts plus the sum
+// and count that make the exposition a standard Prometheus histogram.
+type latStripeState struct {
+	buckets  [len(latBoundsNanos) + 1]atomic.Uint64
+	sumNanos atomic.Uint64
+	count    atomic.Uint64
+}
+
+// latStripe pads a stripe to the shard stride, the same false-sharing
+// defence the accumulator shards use.
+type latStripe struct {
+	latStripeState
+	_ [shardPad - unsafe.Sizeof(latStripeState{})%shardPad]byte
+}
+
+// LatencyHist is a striped, allocation-free latency histogram. Recording is
+// a bucket scan plus three atomic adds on one stripe; scraping aggregates
+// the stripes (expo.go). The zero value is ready to use; NewLatencyHist
+// exists so callers hold the (large, padded) struct behind a pointer.
+type LatencyHist struct {
+	stripes [latStripes]latStripe
+}
+
+// NewLatencyHist creates a latency histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// Observe records one duration. The stripe is picked from the duration's
+// own low-entropy bits through the Fibonacci multiplier — effectively
+// random across concurrent requests without any shared stripe counter.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	nanos := uint64(d)
+	s := &h.stripes[(nanos*fibMul)>>(64-3)] // top 3 bits: 8 stripes
+	b := 0
+	for b < len(latBoundsNanos) && nanos > latBoundsNanos[b] {
+		b++
+	}
+	s.buckets[b].Add(1)
+	s.sumNanos.Add(nanos)
+	s.count.Add(1)
+}
+
+// Count returns the number of observations recorded.
+func (h *LatencyHist) Count() uint64 {
+	var n uint64
+	for i := range h.stripes {
+		n += h.stripes[i].count.Load()
+	}
+	return n
+}
+
+// SumSeconds returns the sum of all observed durations in seconds.
+func (h *LatencyHist) SumSeconds() float64 {
+	var nanos uint64
+	for i := range h.stripes {
+		nanos += h.stripes[i].sumNanos.Load()
+	}
+	return float64(nanos) / 1e9
+}
+
+// bucketCounts writes the aggregated per-bucket counts (non-cumulative)
+// into out, which must have len(latBoundsNanos)+1 entries.
+func (h *LatencyHist) bucketCounts(out []uint64) {
+	for b := range out {
+		out[b] = 0
+	}
+	for i := range h.stripes {
+		for b := range out {
+			out[b] += h.stripes[i].buckets[b].Load()
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package monitor implements the feedback side of the runtime
+// calibration-monitoring subsystem: streaming reliability statistics over
+// ground-truth feedback joined to served estimates (see
+// core.WrapperPool.TakeFeedback), a calibration-drift detector, request
+// latency histograms, and a zero-allocation Prometheus text exposition.
+//
+// The paper's value proposition is that the wrapper's uncertainties are
+// *dependable*; decision-tree QIMs are known to drift into miscalibration
+// at region boundaries as traffic shifts (Gerber/Jöckel/Kläs). This package
+// is the observability layer that makes such drift visible on live traffic:
+// every ground-truth report updates a sliding-window Brier score, a binned
+// reliability histogram (predicted uncertainty vs. observed error rate,
+// summarised as the expected calibration error), and a Page-Hinkley drift
+// detector that raises a per-pool alarm when the per-feedback squared error
+// degrades beyond the configured tolerance.
+//
+// Accumulators are sharded by track id with the same Fibonacci-hash shard
+// selection the wrapper pool uses and padded to the same 128-byte stride,
+// so concurrent feedback for different tracks almost never contends and the
+// shards never false-share. The offline evaluation replays through this
+// exact implementation (eval.RunMonitorReplay), so offline and online
+// reliability numbers can never diverge by construction.
+package monitor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// DefaultShards is the accumulator shard count used when the configuration
+// does not override it — matching core.DefaultShards so a monitor composed
+// with a default pool has the same contention profile.
+const DefaultShards = 32
+
+// shardPad is the padding stride of the accumulator shards (two cache
+// lines, for the same reasons core's shards use it: unaligned backing
+// arrays and adjacent-line prefetching).
+const shardPad = 128
+
+// fibMul is 2^64/φ, the same Fibonacci-hashing multiplier the wrapper pool
+// uses for shard selection, so a track's feedback shard is as cheap to find
+// as its pool shard.
+const fibMul = 0x9e3779b97f4a7c15
+
+// Config assembles a Monitor.
+type Config struct {
+	// Shards is the accumulator shard count (rounded up to a power of two;
+	// 0 means DefaultShards).
+	Shards int
+	// Window is the per-shard sliding-window length of the streaming Brier
+	// score: the windowed Brier aggregates the most recent Window
+	// feedbacks of every shard (0 means DefaultWindow). Because feedback
+	// shards by track id, the effective pool-level window is the union of
+	// the per-shard windows — at most Shards*Window most recent joins.
+	Window int
+	// Bins is the number of equal-width predicted-uncertainty bins of the
+	// reliability histogram (0 means DefaultBins).
+	Bins int
+	// Drift configures the Page-Hinkley calibration-drift detector.
+	Drift DriftConfig
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultWindow = 1024
+	DefaultBins   = 10
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = DefaultShards
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Bins == 0 {
+		c.Bins = DefaultBins
+	}
+	c.Drift = c.Drift.withDefaults()
+	return c
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// binStat is one reliability bin: feedbacks whose predicted uncertainty
+// fell into the bin's range, how many of them were actually wrong, and the
+// sum of the predictions (for the bin's mean forecast).
+type binStat struct {
+	count  uint64
+	errors uint64
+	uSum   float64
+}
+
+// feedShardState is the payload of one accumulator shard. Everything is
+// guarded by mu; feedback for different tracks hashes to different shards,
+// so the lock is effectively per-track-group.
+type feedShardState struct {
+	mu sync.Mutex
+	// Cumulative totals since construction.
+	n        uint64
+	correct  uint64
+	brierSum float64 // Σ (u - err)² over every feedback
+	// Reliability bins (cumulative).
+	bins []binStat
+	// Sliding window of per-feedback squared errors: win is a ring of
+	// capacity Window, winSum the running sum over it.
+	win      []float64
+	winStart int
+	winLen   int
+	winSum   float64
+}
+
+// feedShard pads the accumulator to the shard stride (the trackShard
+// pattern; TestShardPadding pins it).
+type feedShard struct {
+	feedShardState
+	_ [shardPad - unsafe.Sizeof(feedShardState{})%shardPad]byte
+}
+
+// Monitor is the runtime calibration monitor. It is safe for concurrent
+// use; the hot Observe path takes exactly one shard lock plus the drift
+// detector's and allocates nothing.
+type Monitor struct {
+	cfg    Config
+	shards []feedShard
+	// shardShift is 64 - log2(len(shards)), as in the wrapper pool.
+	shardShift uint8
+	drift      pageHinkley
+}
+
+// New creates a monitor.
+func New(cfg Config) (*Monitor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("monitor: shard count %d must be >= 0", cfg.Shards)
+	}
+	if cfg.Window < 0 {
+		return nil, fmt.Errorf("monitor: window %d must be >= 0", cfg.Window)
+	}
+	if cfg.Bins < 0 {
+		return nil, fmt.Errorf("monitor: bins %d must be >= 0", cfg.Bins)
+	}
+	if err := cfg.Drift.validate(); err != nil {
+		return nil, err
+	}
+	nshards := 1
+	for nshards < cfg.Shards {
+		nshards <<= 1
+	}
+	cfg.Shards = nshards
+	m := &Monitor{
+		cfg:        cfg,
+		shards:     make([]feedShard, nshards),
+		shardShift: uint8(64 - bits.TrailingZeros(uint(nshards))),
+		drift:      newPageHinkley(cfg.Drift),
+	}
+	for i := range m.shards {
+		m.shards[i].bins = make([]binStat, cfg.Bins)
+		m.shards[i].win = make([]float64, 0, cfg.Window)
+	}
+	return m, nil
+}
+
+// Config returns the (normalised) configuration the monitor was built with.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// shardFor selects the accumulator shard of a track id — the same
+// Fibonacci-hash top-bits extraction the wrapper pool uses.
+func (m *Monitor) shardFor(trackID int) *feedShard {
+	return &m.shards[(uint64(trackID)*fibMul)>>m.shardShift]
+}
+
+// Observe folds one ground-truth feedback into the reliability statistics:
+// the estimate served uncertainty for the step, and the fused outcome
+// turned out wrong or not. The squared error (u - err)² — the per-sample
+// Brier contribution — updates the cumulative and windowed sums, the
+// reliability bin the prediction falls into, and the drift detector.
+func (m *Monitor) Observe(trackID int, uncertainty float64, wrong bool) error {
+	// Negated so NaN (which satisfies no comparison) is rejected too.
+	if !(uncertainty >= 0 && uncertainty <= 1) {
+		return fmt.Errorf("monitor: uncertainty %g outside [0,1]", uncertainty)
+	}
+	errv := 0.0
+	if wrong {
+		errv = 1
+	}
+	d := uncertainty - errv
+	se := d * d
+
+	sh := m.shardFor(trackID)
+	sh.mu.Lock()
+	sh.n++
+	if !wrong {
+		sh.correct++
+	}
+	sh.brierSum += se
+	if len(sh.bins) > 0 {
+		b := int(uncertainty * float64(len(sh.bins)))
+		if b >= len(sh.bins) { // u == 1 lands in the top bin
+			b = len(sh.bins) - 1
+		}
+		sh.bins[b].count++
+		sh.bins[b].uSum += uncertainty
+		if wrong {
+			sh.bins[b].errors++
+		}
+	}
+	if cap(sh.win) > 0 {
+		if sh.winLen == cap(sh.win) {
+			sh.winSum -= sh.win[sh.winStart]
+			sh.win[sh.winStart] = se
+			sh.winStart++
+			if sh.winStart == cap(sh.win) {
+				sh.winStart = 0
+			}
+		} else {
+			sh.win = append(sh.win, se)
+			sh.winLen++
+		}
+		sh.winSum += se
+	}
+	sh.mu.Unlock()
+
+	m.drift.observe(se)
+	return nil
+}
+
+// Bin is one aggregated reliability bin of a Snapshot.
+type Bin struct {
+	// Lo and Hi are the bin's predicted-uncertainty bounds.
+	Lo, Hi float64
+	// Count and Errors are the feedbacks binned here and how many of them
+	// were wrong.
+	Count, Errors uint64
+	// MeanPredicted is the mean predicted uncertainty of the bin (0 when
+	// empty) and ErrorRate the observed error rate — a calibrated
+	// estimator keeps the two close in every bin.
+	MeanPredicted, ErrorRate float64
+}
+
+// Snapshot is a point-in-time aggregate of the monitor.
+type Snapshot struct {
+	// Feedbacks is the number of ground-truth reports folded in; Correct
+	// counts those whose fused outcome matched the truth.
+	Feedbacks, Correct uint64
+	// Brier is the cumulative mean squared error between predicted
+	// uncertainty and the error indicator (0 when no feedback yet).
+	Brier float64
+	// WindowedBrier is the same score over the sliding windows
+	// (WindowCount recent feedbacks).
+	WindowedBrier float64
+	WindowCount   int
+	// ECE is the expected calibration error of the reliability bins:
+	// Σ (count/total)·|mean predicted - observed error rate|.
+	ECE float64
+	// Bins is the aggregated reliability histogram.
+	Bins []Bin
+	// Drift is the drift detector's state.
+	Drift DriftStatus
+}
+
+// feedTotals is the shard-aggregate of the feedback accumulators.
+type feedTotals struct {
+	n, correct       uint64
+	brierSum, winSum float64
+	winLen           int
+}
+
+// aggregateInto sums the shard accumulators into bins (zeroed first; len
+// must be m.cfg.Bins) and returns the scalar totals. Shards are visited in
+// index order with plain float64 sums and nothing is allocated, so both
+// Snapshot and the exposition scrape build on this one implementation —
+// they can never diverge, and two monitors fed the same per-track feedback
+// sequence aggregate bit-identically (the property the offline/online
+// differential test relies on).
+func (m *Monitor) aggregateInto(bins []binStat) feedTotals {
+	for b := range bins {
+		bins[b] = binStat{}
+	}
+	var t feedTotals
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		t.n += sh.n
+		t.correct += sh.correct
+		t.brierSum += sh.brierSum
+		t.winSum += sh.winSum
+		t.winLen += sh.winLen
+		for b := range sh.bins {
+			bins[b].count += sh.bins[b].count
+			bins[b].errors += sh.bins[b].errors
+			bins[b].uSum += sh.bins[b].uSum
+		}
+		sh.mu.Unlock()
+	}
+	return t
+}
+
+// eceFrom computes the expected calibration error of aggregated bins:
+// Σ (count/total)·|mean predicted − observed error rate|.
+func eceFrom(bins []binStat, total uint64) float64 {
+	var ece float64
+	for b := range bins {
+		if bins[b].count == 0 {
+			continue
+		}
+		gap := bins[b].uSum/float64(bins[b].count) - float64(bins[b].errors)/float64(bins[b].count)
+		if gap < 0 {
+			gap = -gap
+		}
+		ece += float64(bins[b].count) / float64(total) * gap
+	}
+	return ece
+}
+
+// Snapshot aggregates the shard accumulators (see aggregateInto).
+func (m *Monitor) Snapshot() Snapshot {
+	bins := make([]binStat, m.cfg.Bins)
+	t := m.aggregateInto(bins)
+	s := Snapshot{
+		Feedbacks:   t.n,
+		Correct:     t.correct,
+		WindowCount: t.winLen,
+		ECE:         eceFrom(bins, t.n),
+	}
+	if t.n > 0 {
+		s.Brier = t.brierSum / float64(t.n)
+	}
+	if t.winLen > 0 {
+		s.WindowedBrier = t.winSum / float64(t.winLen)
+	}
+	s.Bins = make([]Bin, len(bins))
+	width := 1.0 / float64(max(len(bins), 1))
+	for b := range bins {
+		out := &s.Bins[b]
+		out.Lo = float64(b) * width
+		out.Hi = float64(b+1) * width
+		out.Count = bins[b].count
+		out.Errors = bins[b].errors
+		if bins[b].count > 0 {
+			out.MeanPredicted = bins[b].uSum / float64(bins[b].count)
+			out.ErrorRate = float64(bins[b].errors) / float64(bins[b].count)
+		}
+	}
+	s.Drift = m.drift.status()
+	return s
+}
+
+// DriftAlarmed reports whether a calibration-drift alarm is currently
+// active (raised and not yet cleared by ResetDriftAlarm).
+func (m *Monitor) DriftAlarmed() bool { return m.drift.alarmed() }
+
+// ResetDriftAlarm clears an active drift alarm after the operator has
+// acknowledged it (e.g. recalibrated the QIMs); the alarm counter keeps its
+// value.
+func (m *Monitor) ResetDriftAlarm() { m.drift.resetAlarm() }

@@ -1,0 +1,300 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// refStats recomputes the monitor's aggregates from a flat feedback trace —
+// the oracle the streaming implementation is checked against.
+type refStats struct {
+	us    []float64
+	wrong []bool
+}
+
+func (r *refStats) add(u float64, wrong bool) {
+	r.us = append(r.us, u)
+	r.wrong = append(r.wrong, wrong)
+}
+
+func (r *refStats) brier() float64 {
+	var sum float64
+	for i, u := range r.us {
+		e := 0.0
+		if r.wrong[i] {
+			e = 1
+		}
+		sum += (u - e) * (u - e)
+	}
+	return sum / float64(len(r.us))
+}
+
+func (r *refStats) ece(bins int) float64 {
+	type agg struct {
+		n, errs int
+		uSum    float64
+	}
+	bs := make([]agg, bins)
+	for i, u := range r.us {
+		b := int(u * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		bs[b].n++
+		bs[b].uSum += u
+		if r.wrong[i] {
+			bs[b].errs++
+		}
+	}
+	var ece float64
+	for _, b := range bs {
+		if b.n == 0 {
+			continue
+		}
+		ece += float64(b.n) / float64(len(r.us)) * math.Abs(b.uSum/float64(b.n)-float64(b.errs)/float64(b.n))
+	}
+	return ece
+}
+
+func TestMonitorAgainstOracle(t *testing.T) {
+	m, err := New(Config{Bins: 10, Window: 4096, Drift: DriftConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref refStats
+	// A deterministic synthetic trace: uncertainty levels cycling through
+	// the bins, error realised whenever a pseudo-random residue undercuts
+	// the predicted uncertainty (a perfectly calibrated long-run stream).
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 5000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		u := float64(i%100) / 100
+		wrong := float64(rng>>40)/float64(1<<24) < u
+		track := i % 37
+		if err := m.Observe(track, u, wrong); err != nil {
+			t.Fatal(err)
+		}
+		ref.add(u, wrong)
+	}
+	s := m.Snapshot()
+	if s.Feedbacks != 5000 {
+		t.Fatalf("feedbacks = %d, want 5000", s.Feedbacks)
+	}
+	if got, want := s.Brier, ref.brier(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("cumulative Brier = %g, want %g", got, want)
+	}
+	if got, want := s.ECE, ref.ece(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ECE = %g, want %g", got, want)
+	}
+	// The window (4096 per shard) has not filled anywhere, so the windowed
+	// score equals the cumulative score exactly.
+	if s.WindowCount != 5000 {
+		t.Errorf("window count = %d, want 5000", s.WindowCount)
+	}
+	if math.Abs(s.WindowedBrier-s.Brier) > 1e-12 {
+		t.Errorf("windowed Brier %g != cumulative %g with unfilled window", s.WindowedBrier, s.Brier)
+	}
+	var correct uint64
+	for _, w := range ref.wrong {
+		if !w {
+			correct++
+		}
+	}
+	if s.Correct != correct {
+		t.Errorf("correct = %d, want %d", s.Correct, correct)
+	}
+	var binTotal uint64
+	for _, b := range s.Bins {
+		binTotal += b.Count
+		if b.Count > 0 && (b.MeanPredicted < b.Lo-1e-9 || b.MeanPredicted > b.Hi+1e-9) {
+			t.Errorf("bin [%g,%g) mean predicted %g outside its bounds", b.Lo, b.Hi, b.MeanPredicted)
+		}
+	}
+	if binTotal != s.Feedbacks {
+		t.Errorf("bin counts sum to %d, want %d", binTotal, s.Feedbacks)
+	}
+}
+
+func TestMonitorWindowSlides(t *testing.T) {
+	// One shard so the window semantics are exact: after 40 feedbacks into
+	// a window of 16, only the last 16 squared errors remain.
+	m, err := New(Config{Shards: 1, Window: 16, Bins: 4, Drift: DriftConfig{Disabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []float64
+	for i := 0; i < 40; i++ {
+		u := float64(i) / 40
+		wrong := i%3 == 0
+		if err := m.Observe(i, u, wrong); err != nil {
+			t.Fatal(err)
+		}
+		e := 0.0
+		if wrong {
+			e = 1
+		}
+		tail = append(tail, (u-e)*(u-e))
+	}
+	var want float64
+	for _, se := range tail[len(tail)-16:] {
+		want += se
+	}
+	want /= 16
+	s := m.Snapshot()
+	if s.WindowCount != 16 {
+		t.Fatalf("window count = %d, want 16", s.WindowCount)
+	}
+	if math.Abs(s.WindowedBrier-want) > 1e-12 {
+		t.Errorf("windowed Brier = %g, want %g", s.WindowedBrier, want)
+	}
+	if s.Feedbacks != 40 {
+		t.Errorf("feedbacks = %d, want 40", s.Feedbacks)
+	}
+}
+
+func TestMonitorRejectsBadUncertainty(t *testing.T) {
+	m, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{-0.1, 1.1, math.NaN(), math.Inf(1)} {
+		if err := m.Observe(0, u, false); err == nil {
+			t.Errorf("Observe(%g) accepted", u)
+		}
+	}
+	if s := m.Snapshot(); s.Feedbacks != 0 {
+		t.Errorf("rejected observations were counted: %d", s.Feedbacks)
+	}
+}
+
+func TestPageHinkleyAlarmsOnDegradation(t *testing.T) {
+	m, err := New(Config{Drift: DriftConfig{Delta: 0.01, Lambda: 2, MinSamples: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated phase: low uncertainty, always right — squared error 0.01.
+	for i := 0; i < 200; i++ {
+		if err := m.Observe(i, 0.1, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.DriftAlarmed() {
+		t.Fatal("alarm during calibrated phase")
+	}
+	// Drift phase: the same low uncertainty now systematically wrong —
+	// squared error 0.81 per feedback, mean degradation far above delta.
+	for i := 0; i < 200 && !m.DriftAlarmed(); i++ {
+		if err := m.Observe(i, 0.1, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.DriftAlarmed() {
+		t.Fatal("no alarm after sustained miscalibration")
+	}
+	s := m.Snapshot()
+	if s.Drift.Alarms < 1 || !s.Drift.Active {
+		t.Errorf("drift status = %+v, want >=1 alarm and active", s.Drift)
+	}
+	m.ResetDriftAlarm()
+	if m.DriftAlarmed() {
+		t.Error("alarm still active after reset")
+	}
+	if got := m.Snapshot().Drift.Alarms; got < 1 {
+		t.Errorf("alarm counter lost on reset: %d", got)
+	}
+}
+
+func TestPageHinkleyMinSamplesGate(t *testing.T) {
+	m, err := New(Config{Drift: DriftConfig{Delta: 0.001, Lambda: 0.5, MinSamples: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Immediately terrible feedback, but fewer samples than the gate.
+	for i := 0; i < 999; i++ {
+		if err := m.Observe(i, 0, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.DriftAlarmed() {
+		t.Error("alarm before MinSamples")
+	}
+}
+
+func TestFeedShardPadding(t *testing.T) {
+	if s := unsafe.Sizeof(feedShard{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("feedShard size %d is not a positive multiple of %d", s, shardPad)
+	}
+	if off := unsafe.Offsetof(feedShard{}.feedShardState); off != 0 {
+		t.Errorf("feedShardState at offset %d, want 0", off)
+	}
+	if s := unsafe.Sizeof(latStripe{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("latStripe size %d is not a positive multiple of %d", s, shardPad)
+	}
+}
+
+func TestLatencyHist(t *testing.T) {
+	h := NewLatencyHist()
+	durations := []int64{500, 2_000, 30_000, 500_000, 2_000_000_000}
+	for _, d := range durations {
+		h.Observe(dur(d))
+	}
+	if got := h.Count(); got != uint64(len(durations)) {
+		t.Errorf("count = %d, want %d", got, len(durations))
+	}
+	var wantSum float64
+	for _, d := range durations {
+		wantSum += float64(d) / 1e9
+	}
+	if got := h.SumSeconds(); math.Abs(got-wantSum) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	counts := make([]uint64, len(latBoundsNanos)+1)
+	h.bucketCounts(counts)
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != uint64(len(durations)) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(durations))
+	}
+	// 2s exceeds the last bound (1s): it must land in the +Inf bucket.
+	if counts[len(counts)-1] != 1 {
+		t.Errorf("+Inf bucket = %d, want 1", counts[len(counts)-1])
+	}
+	// Negative durations clamp to zero instead of corrupting a bucket.
+	h.Observe(dur(-5))
+	if got := h.Count(); got != uint64(len(durations))+1 {
+		t.Errorf("count after negative = %d", got)
+	}
+}
+
+// dur converts plain nanoseconds to a time.Duration.
+func dur(nanos int64) time.Duration { return time.Duration(nanos) }
+
+func TestMonitorConcurrentObserve(t *testing.T) {
+	m, err := New(Config{Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := m.Observe(g*1000+i%17, float64(i%10)/10, i%4 == 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := m.Snapshot(); s.Feedbacks != goroutines*per {
+		t.Errorf("feedbacks = %d, want %d", s.Feedbacks, goroutines*per)
+	}
+}

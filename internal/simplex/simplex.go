@@ -146,6 +146,20 @@ func (m *Monitor) Snapshot() Stats {
 	return Stats{Total: m.total, PerLevel: per}
 }
 
+// EachCount visits the per-countermeasure activation counts in escalation
+// order (levels ascending by bound, then the terminal countermeasure),
+// including levels that have never fired. Unlike Snapshot it allocates
+// nothing, so a metrics scrape can sit directly on top of it; visit must
+// not call back into the monitor.
+func (m *Monitor) EachCount(visit func(name string, count int)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, l := range m.policy.Levels {
+		visit(l.Name, m.counts[l.Name])
+	}
+	visit(m.policy.Terminal.Name, m.counts[m.policy.Terminal.Name])
+}
+
 // Policy returns the monitor's (sorted) policy.
 func (m *Monitor) Policy() Policy {
 	levels := make([]Countermeasure, len(m.policy.Levels))
