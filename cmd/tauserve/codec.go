@@ -143,6 +143,8 @@ func appendStepResponse(dst []byte, r *stepResponse) ([]byte, error) {
 	dst = strconv.AppendInt(dst, int64(r.SeriesLen), 10)
 	dst = append(dst, `,"total_steps":`...)
 	dst = strconv.AppendInt(dst, int64(r.TotalSteps), 10)
+	dst = append(dst, `,"model_version":`...)
+	dst = strconv.AppendUint(dst, r.ModelVersion, 10)
 	dst = append(dst, `,"countermeasure":`...)
 	dst = appendJSONString(dst, r.Countermeasure)
 	dst = append(dst, `,"accepted":`...)

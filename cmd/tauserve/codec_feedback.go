@@ -161,10 +161,12 @@ type feedbackResponse struct {
 	// the reported truth.
 	Correct bool `json:"correct"`
 	// FusedOutcome and Uncertainty echo the joined estimate; TAQIMLeaf is
-	// its provenance region in the taQIM.
+	// its provenance region in the taQIM and ModelVersion the taQIM
+	// revision that served it (feedback may arrive after a hot-swap).
 	FusedOutcome int     `json:"fused_outcome"`
 	Uncertainty  float64 `json:"uncertainty"`
 	TAQIMLeaf    int     `json:"taqim_leaf"`
+	ModelVersion uint64  `json:"model_version"`
 	// DriftAlarm is true while a calibration-drift alarm is active, so
 	// feedback clients see degradation without scraping /metrics.
 	DriftAlarm bool `json:"drift_alarm"`
@@ -188,6 +190,8 @@ func appendFeedbackResponse(dst []byte, r *feedbackResponse) ([]byte, error) {
 	}
 	dst = append(dst, `,"taqim_leaf":`...)
 	dst = strconv.AppendInt(dst, int64(r.TAQIMLeaf), 10)
+	dst = append(dst, `,"model_version":`...)
+	dst = strconv.AppendUint(dst, r.ModelVersion, 10)
 	dst = append(dst, `,"drift_alarm":`...)
 	dst = strconv.AppendBool(dst, r.DriftAlarm)
 	return append(dst, '}'), nil

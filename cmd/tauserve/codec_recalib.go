@@ -1,0 +1,131 @@
+// codec_recalib.go extends the reflection-free codec to the recalibration
+// endpoint: POST /v1/recalibrate responses — the old/new model version and
+// the per-leaf bound deltas of the swap — are rendered with the same
+// append-based writers as the hot endpoints, byte-identical to the structs'
+// stdlib encoding.
+package main
+
+import (
+	"strconv"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+	"github.com/iese-repro/tauw/internal/recalib"
+)
+
+// recalibLeafDelta is one leaf's audit line in the recalibration response.
+type recalibLeafDelta struct {
+	Leaf     int     `json:"leaf"`
+	OldBound float64 `json:"old_bound"`
+	NewBound float64 `json:"new_bound"`
+	// OnlineCount/OnlineEvents are the evidence offered for the leaf;
+	// PriorCount/PriorEvents the calibration statistics it held before.
+	OnlineCount  int `json:"online_count"`
+	OnlineEvents int `json:"online_events"`
+	PriorCount   int `json:"prior_count"`
+	PriorEvents  int `json:"prior_events"`
+	// Refreshed reports whether the bound was recomputed (evidence met the
+	// min-feedback-per-leaf guard) or kept.
+	Refreshed bool `json:"refreshed"`
+}
+
+// recalibResponse is the body of POST /v1/recalibrate.
+type recalibResponse struct {
+	// Swapped reports whether a new model revision went live; when false,
+	// Reason says which guard refused.
+	Swapped    bool   `json:"swapped"`
+	Reason     string `json:"reason,omitempty"`
+	OldVersion uint64 `json:"old_version"`
+	NewVersion uint64 `json:"new_version"`
+	// Leaves is the per-leaf delta audit (null when no swap happened).
+	Leaves []recalibLeafDelta `json:"leaves"`
+}
+
+// recalibResponseFrom shapes a policy report into the wire form.
+func recalibResponseFrom(rep recalib.Report) recalibResponse {
+	resp := recalibResponse{
+		Swapped:    rep.Swapped,
+		Reason:     rep.Reason,
+		OldVersion: rep.OldVersion,
+		NewVersion: rep.NewVersion,
+	}
+	if rep.Deltas != nil {
+		resp.Leaves = make([]recalibLeafDelta, len(rep.Deltas))
+		for i, d := range rep.Deltas {
+			resp.Leaves[i] = leafDeltaFrom(d)
+		}
+	}
+	return resp
+}
+
+func leafDeltaFrom(d dtree.LeafDelta) recalibLeafDelta {
+	return recalibLeafDelta{
+		Leaf:         d.LeafID,
+		OldBound:     d.OldValue,
+		NewBound:     d.NewValue,
+		OnlineCount:  d.OnlineCount,
+		OnlineEvents: d.OnlineEvents,
+		PriorCount:   d.PriorCount,
+		PriorEvents:  d.PriorEvents,
+		Refreshed:    d.Refreshed,
+	}
+}
+
+// appendRecalibLeafDelta renders one leaf delta; field order and formatting
+// match the struct's stdlib encoding.
+func appendRecalibLeafDelta(dst []byte, d *recalibLeafDelta) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"leaf":`...)
+	dst = strconv.AppendInt(dst, int64(d.Leaf), 10)
+	dst = append(dst, `,"old_bound":`...)
+	if dst, err = appendJSONFloat(dst, d.OldBound); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"new_bound":`...)
+	if dst, err = appendJSONFloat(dst, d.NewBound); err != nil {
+		return dst, err
+	}
+	dst = append(dst, `,"online_count":`...)
+	dst = strconv.AppendInt(dst, int64(d.OnlineCount), 10)
+	dst = append(dst, `,"online_events":`...)
+	dst = strconv.AppendInt(dst, int64(d.OnlineEvents), 10)
+	dst = append(dst, `,"prior_count":`...)
+	dst = strconv.AppendInt(dst, int64(d.PriorCount), 10)
+	dst = append(dst, `,"prior_events":`...)
+	dst = strconv.AppendInt(dst, int64(d.PriorEvents), 10)
+	dst = append(dst, `,"refreshed":`...)
+	dst = strconv.AppendBool(dst, d.Refreshed)
+	return append(dst, '}'), nil
+}
+
+// appendRecalibResponse renders the recalibration body with the omitempty
+// semantics of the struct tags (reason omitted when empty, nil leaves as
+// null).
+func appendRecalibResponse(dst []byte, r *recalibResponse) ([]byte, error) {
+	var err error
+	dst = append(dst, `{"swapped":`...)
+	dst = strconv.AppendBool(dst, r.Swapped)
+	if r.Reason != "" {
+		dst = append(dst, `,"reason":`...)
+		dst = appendJSONString(dst, r.Reason)
+	}
+	dst = append(dst, `,"old_version":`...)
+	dst = strconv.AppendUint(dst, r.OldVersion, 10)
+	dst = append(dst, `,"new_version":`...)
+	dst = strconv.AppendUint(dst, r.NewVersion, 10)
+	dst = append(dst, `,"leaves":`...)
+	if r.Leaves == nil {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, '[')
+		for i := range r.Leaves {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			if dst, err = appendRecalibLeafDelta(dst, &r.Leaves[i]); err != nil {
+				return dst, err
+			}
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}'), nil
+}

@@ -428,8 +428,12 @@ func FuzzResponseEncode(f *testing.F) {
 	f.Add("", -1, math.NaN(), 0.0, 0, 0, "<&>", false)
 	f.Add("\xff\xfe", 1<<40, math.Inf(1), -0.0, -3, 1, "line\u2028brk", true)
 	f.Fuzz(func(t *testing.T, id string, outcome int, u, su float64, sl, ts int, cm string, acc bool) {
+		// ModelVersion derives from the fuzzed ints (a negative ts wraps to
+		// a huge uint64 — exactly the edge the encoder must agree on) so
+		// the corpus keeps its original arity.
 		resp := stepResponse{SeriesID: id, FusedOutcome: outcome, Uncertainty: u,
-			StatelessU: su, SeriesLen: sl, TotalSteps: ts, Countermeasure: cm, Accepted: acc}
+			StatelessU: su, SeriesLen: sl, TotalSteps: ts, ModelVersion: uint64(ts) * 31,
+			Countermeasure: cm, Accepted: acc}
 		ours, ourErr := appendStepResponse(nil, &resp)
 		want, stdErr := json.Marshal(resp)
 		if (ourErr == nil) != (stdErr == nil) {

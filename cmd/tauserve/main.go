@@ -17,12 +17,24 @@
 // load balancers stop routing, in-flight requests finish (bounded by
 // -drain-timeout), then the process exits.
 //
+// The drift loop is closed: ground-truth feedback is also attributed to the
+// taQIM region (leaf) that produced each judged estimate, and the
+// accumulated per-leaf evidence can be folded back into the model — POST
+// /v1/recalibrate refreshes every sufficiently-evidenced leaf's binomial
+// bound and hot-swaps the refreshed model into the serving pool with zero
+// downtime (in-flight steps finish on the old revision; a monotonically
+// increasing model version is stamped into every step response). With
+// -auto-recalib the swap also happens automatically when the drift alarm
+// fires, guarded by a cooldown and a min-feedback-per-leaf requirement.
+//
 // Usage:
 //
 //	tauserve [-addr :8080] [-preset tiny|quick|paper]
 //	         [-shards 0] [-max-series 0] [-batch-workers 0] [-buffer-limit 0]
 //	         [-feedback-ring 256] [-brier-window 1024] [-calib-bins 10]
-//	         [-drift-delta 0.005] [-drift-lambda 25] [-drift-min-samples 200]
+//	         [-drift-delta -1] [-drift-lambda 25] [-drift-min-samples 200]
+//	         [-auto-recalib] [-recalib-min-leaf 50] [-recalib-cooldown 1m]
+//	         [-recalib-laplace 0] [-recalib-drop-prior]
 //	         [-drain-timeout 10s]
 //
 // Endpoints:
@@ -31,10 +43,11 @@
 //	POST   /v1/step            {series_id, outcome, quality{...}, pixel_size}
 //	POST   /v1/steps           {steps: [per-series steps]} — batched, per-item statuses
 //	POST   /v1/feedback        {series_id, step, truth} — ground-truth join
+//	POST   /v1/recalibrate     refresh leaf bounds from feedback, hot-swap the model
 //	DELETE /v1/series/{id}     stop tracking
 //	GET    /v1/stats           monitor counters, active series, shard count
 //	GET    /v1/model/rules     calibrated taQIM rules (transparency)
-//	GET    /metrics            Prometheus text exposition (reliability, drift, latency)
+//	GET    /metrics            Prometheus text exposition (reliability, drift, model version, latency)
 //	GET    /healthz            liveness
 //	GET    /readyz             readiness (503 while draining)
 package main
@@ -52,6 +65,7 @@ import (
 
 	"github.com/iese-repro/tauw/internal/eval"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
 )
 
@@ -77,14 +91,27 @@ func run(args []string) error {
 			"per-shard sliding window of the streaming Brier score")
 		calibBins = fs.Int("calib-bins", monitor.DefaultBins,
 			"reliability-histogram bins over predicted uncertainty")
-		driftDelta = fs.Float64("drift-delta", monitor.DefaultDriftDelta,
+		driftDelta = fs.Float64("drift-delta", -1,
 			"Page-Hinkley tolerance on per-feedback Brier degradation "+
-				"(0 means the default; pass e.g. 1e-12 for a maximally sensitive detector)")
+				"(negative means the package default; 0 is honoured as the strict "+
+				"every-deviation-counts detector)")
 		driftLambda = fs.Float64("drift-lambda", monitor.DefaultDriftLambda,
 			"Page-Hinkley alarm threshold (must be > 0)")
 		driftMinSamples = fs.Int("drift-min-samples", monitor.DefaultDriftMinSamples,
 			"feedbacks required before a drift alarm can fire "+
 				"(0 means the default; pass 1 to allow alarms from the first feedback)")
+		autoRecalib = fs.Bool("auto-recalib", false,
+			"recalibrate and hot-swap the taQIM automatically when the drift alarm fires")
+		recalibMinLeaf = fs.Int("recalib-min-leaf", recalib.DefaultMinLeafFeedback,
+			"minimum ground-truth feedbacks a taQIM leaf needs before its bound is refreshed "+
+				"(0 means the default; negative disables the guard entirely)")
+		recalibCooldown = fs.Duration("recalib-cooldown", recalib.DefaultCooldown,
+			"minimum time between automatic recalibration attempts "+
+				"(0 means the default; negative disables the cooldown)")
+		recalibLaplace = fs.Int("recalib-laplace", 0,
+			"add-alpha Laplace smoothing applied to refreshed leaf bounds (0 = off)")
+		recalibDropPrior = fs.Bool("recalib-drop-prior", false,
+			"recompute refreshed bounds from online evidence alone, discarding the offline calibration counts")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second,
 			"how long a shutdown waits for in-flight requests")
 		drainGrace = fs.Duration("drain-grace", 0,
@@ -120,12 +147,15 @@ func run(args []string) error {
 		WithMonitorConfig(monitor.Config{
 			Window: *brierWindow,
 			Bins:   *calibBins,
-			Drift: monitor.DriftConfig{
-				Delta:      *driftDelta,
-				Lambda:     *driftLambda,
-				MinSamples: *driftMinSamples,
-			},
-		}))
+			Drift:  driftConfigFromFlags(*driftDelta, *driftLambda, *driftMinSamples),
+		}),
+		WithRecalibration(recalib.Config{
+			MinLeafFeedback: *recalibMinLeaf,
+			Cooldown:        *recalibCooldown,
+			LaplaceAlpha:    *recalibLaplace,
+			DropPrior:       *recalibDropPrior,
+		}),
+		WithAutoRecalib(*autoRecalib))
 	if err != nil {
 		return err
 	}
@@ -142,6 +172,23 @@ func run(args []string) error {
 	defer stop()
 	log.Printf("listening on %s", *addr)
 	return serveUntilShutdown(ctx, stop, httpServer, srv, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
+}
+
+// driftConfigFromFlags maps the drift flags onto monitor.DriftConfig. The
+// -drift-delta flag uses a negative sentinel for "package default" so that
+// an explicit 0 — the strict detector where every deviation above the
+// running mean counts — survives to the detector instead of being folded
+// into the default (the DriftConfig.DeltaSet regression).
+func driftConfigFromFlags(delta, lambda float64, minSamples int) monitor.DriftConfig {
+	cfg := monitor.DriftConfig{
+		Lambda:     lambda,
+		MinSamples: minSamples,
+	}
+	if delta >= 0 {
+		cfg.Delta = delta
+		cfg.DeltaSet = true
+	}
+	return cfg
 }
 
 // serveUntilShutdown runs the listener until it fails or ctx is cancelled

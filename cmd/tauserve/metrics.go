@@ -69,20 +69,65 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	if err := s.calib.Observe(track, rec.Uncertainty, rec.Fused != fb.truth); err != nil {
+	wrong := rec.Fused != fb.truth
+	if err := s.calib.Observe(track, rec.Uncertainty, wrong); err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
+	}
+	// Attribute the verdict to the taQIM region that produced the judged
+	// estimate — the per-leaf evidence the recalibration loop refreshes
+	// bounds from.
+	s.leafStats.Observe(track, rec.TAQIMLeaf, wrong)
+	if s.autoRecalib && s.calib.DriftAlarmed() {
+		// The drift alarm is active and the operator armed the automatic
+		// response: attempt a recalibration swap. The policy's cooldown and
+		// min-feedback-per-leaf guards make this cheap to call per feedback
+		// while an alarm churns; a successful swap clears the alarm.
+		if rep, err := s.recal.TryAuto(); err != nil {
+			logf("tauserve: auto recalibration failed: %v", err)
+		} else if rep.Swapped {
+			logf("tauserve: drift alarm triggered recalibration: model v%d -> v%d", rep.OldVersion, rep.NewVersion)
+		}
 	}
 	resp := feedbackResponse{
 		SeriesID:     fb.seriesID,
 		Step:         rec.Step,
-		Correct:      rec.Fused == fb.truth,
+		Correct:      !wrong,
 		FusedOutcome: rec.Fused,
 		Uncertainty:  rec.Uncertainty,
 		TAQIMLeaf:    rec.TAQIMLeaf,
+		ModelVersion: rec.ModelVersion,
 		DriftAlarm:   s.calib.DriftAlarmed(),
 	}
 	sc.out, err = appendFeedbackResponse(sc.out[:0], &resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, sc.out)
+}
+
+// handleRecalibrate is the manual recalibration trigger: refresh every taQIM
+// leaf bound that has accumulated enough ground-truth feedback, hot-swap the
+// refreshed model into the pool, and answer with the old/new version plus
+// the per-leaf deltas (the audit trail of the swap). The policy's cooldown
+// does not apply to manual triggers; the min-feedback-per-leaf guard does,
+// and when no leaf qualifies the response reports swapped=false with the
+// reason instead of bumping the version for nothing. The body is rendered by
+// the reflection-free codec like every other v1 endpoint.
+func (s *Server) handleRecalibrate(w http.ResponseWriter, _ *http.Request) {
+	rep, err := s.recal.Recalibrate()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if rep.Swapped {
+		logf("tauserve: manual recalibration: model v%d -> v%d", rep.OldVersion, rep.NewVersion)
+	}
+	sc := getScratch()
+	defer sc.release()
+	resp := recalibResponseFrom(rep)
+	sc.out, err = appendRecalibResponse(sc.out[:0], &resp)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return

@@ -13,6 +13,7 @@ import (
 	"github.com/iese-repro/tauw/internal/augment"
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/uw"
 	"github.com/iese-repro/tauw/internal/xslice"
@@ -44,7 +45,6 @@ const (
 // mutable state beyond shard-aligned monitoring counters, so request
 // handling scales with the pool's shard count.
 type Server struct {
-	taqim        *uw.QualityImpactModel
 	gate         *simplex.Monitor
 	pool         *core.WrapperPool
 	batchWorkers int
@@ -57,6 +57,14 @@ type Server struct {
 	latStep     *monitor.LatencyHist
 	latBatch    *monitor.LatencyHist
 	latFeedback *monitor.LatencyHist
+
+	// leafStats attributes each feedback verdict to the taQIM region that
+	// produced the judged estimate; recal turns that evidence into model
+	// hot-swaps (POST /v1/recalibrate, and — when autoRecalib is set — the
+	// automatic response to a drift alarm).
+	leafStats   *monitor.LeafStats
+	recal       *recalib.Recalibrator
+	autoRecalib bool
 
 	// ready gates /readyz: flipped false by SetReady when the process
 	// starts draining, so load balancers stop routing new work while
@@ -74,11 +82,13 @@ type serverOptions struct {
 	bufferLimit  int
 	feedbackRing int
 	monitorCfg   monitor.Config
+	recalibCfg   recalib.Config
+	autoRecalib  bool
 }
 
 // DefaultFeedbackRing is the default per-series provenance-ring length:
 // ground truth may trail a served estimate by up to this many steps of the
-// same series and still join. At 32 bytes per slot the default costs 8 KiB
+// same series and still join. At 40 bytes per slot the default costs 10 KiB
 // per open series.
 const DefaultFeedbackRing = 256
 
@@ -120,6 +130,23 @@ func WithMonitorConfig(cfg monitor.Config) ServerOption {
 	return func(o *serverOptions) { o.monitorCfg = cfg }
 }
 
+// WithRecalibration overrides the online-recalibration policy (min feedback
+// per leaf, auto-trigger cooldown, Laplace smoothing, prior handling); zero
+// fields keep the recalib package defaults. The recalibration machinery is
+// always wired — this only tunes it.
+func WithRecalibration(cfg recalib.Config) ServerOption {
+	return func(o *serverOptions) { o.recalibCfg = cfg }
+}
+
+// WithAutoRecalib arms the automatic drift response: when the calibration-
+// drift alarm is active, the feedback path triggers a recalibration swap
+// (subject to the policy's cooldown and evidence guards). Off by default —
+// the drift alarm then only reports, and recalibration happens through
+// POST /v1/recalibrate.
+func WithAutoRecalib(on bool) ServerOption {
+	return func(o *serverOptions) { o.autoRecalib = on }
+}
+
 // NewServer wires a server from calibrated models.
 func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Policy, opts ...ServerOption) (*Server, error) {
 	if base == nil || taqim == nil {
@@ -148,8 +175,15 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 	if err != nil {
 		return nil, err
 	}
+	leafStats, err := monitor.NewLeafStats(taqim.NumRegions(), o.shards)
+	if err != nil {
+		return nil, err
+	}
+	recal, err := recalib.New(pool, leafStats, calib, o.recalibCfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		taqim:        taqim,
 		gate:         gate,
 		pool:         pool,
 		batchWorkers: o.batchWorkers,
@@ -157,11 +191,15 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 		latStep:      monitor.NewLatencyHist(),
 		latBatch:     monitor.NewLatencyHist(),
 		latFeedback:  monitor.NewLatencyHist(),
+		leafStats:    leafStats,
+		recal:        recal,
+		autoRecalib:  o.autoRecalib,
 	}
 	s.expo = &monitor.Exposition{
 		Monitor: calib,
 		Pool:    pool,
 		Gate:    gate,
+		Swap:    recal,
 		Latencies: []monitor.EndpointLatency{
 			{Name: "step", Hist: s.latStep},
 			{Name: "steps", Hist: s.latBatch},
@@ -189,6 +227,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/step", s.handleStep)
 	mux.HandleFunc("POST /v1/steps", s.handleStepBatch)
 	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /v1/recalibrate", s.handleRecalibrate)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/model/rules", s.handleRules)
 	mux.HandleFunc("GET /v1/model/leaves", s.handleLeaves)
@@ -270,8 +309,11 @@ type stepResponse struct {
 	// TotalSteps counts every step since the series opened, including steps
 	// evicted once a -buffer-limit ring fills. They differ exactly when
 	// eviction has happened.
-	SeriesLen      int    `json:"series_len"`
-	TotalSteps     int    `json:"total_steps"`
+	SeriesLen  int `json:"series_len"`
+	TotalSteps int `json:"total_steps"`
+	// ModelVersion is the taQIM revision that produced the uncertainty
+	// (increments on every runtime recalibration hot-swap).
+	ModelVersion   uint64 `json:"model_version"`
 	Countermeasure string `json:"countermeasure"`
 	Accepted       bool   `json:"accepted"`
 }
@@ -337,6 +379,7 @@ func (s *Server) gateResult(seriesID string, res core.Result) (stepResponse, err
 		StatelessU:     res.Stateless.Uncertainty,
 		SeriesLen:      res.SeriesLen,
 		TotalSteps:     res.TotalSteps,
+		ModelVersion:   res.ModelVersion,
 		Countermeasure: decision.Level.Name,
 		Accepted:       decision.Accepted,
 	}, nil
@@ -526,16 +569,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleRules renders the rules of the taQIM revision currently serving —
+// after a recalibration hot-swap the transparency surface must describe the
+// refreshed bounds, not the construction-time model.
 func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "=== timeseries-aware quality impact model ===")
-	fmt.Fprint(w, s.taqim.Rules())
+	fmt.Fprint(w, s.pool.CurrentTAQIM().Rules())
 }
 
 // handleLeaves exposes the machine-readable audit report: every calibrated
-// region with its bound, calibration evidence, and routing conditions.
+// region of the serving revision with its bound, calibration evidence, and
+// routing conditions.
 func (s *Server) handleLeaves(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.taqim.LeafReport())
+	writeJSON(w, http.StatusOK, s.pool.CurrentTAQIM().LeafReport())
 }
 
 type errorResponse struct {

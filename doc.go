@@ -13,12 +13,19 @@
 // augmentation pipeline (internal/augment), the DDM classifiers
 // (internal/ddm), Kalman tracking (internal/track), runtime gating
 // (internal/simplex), runtime calibration monitoring (internal/monitor:
-// streaming reliability statistics over ground-truth feedback, Page-
-// Hinkley drift alarms, and the zero-allocation Prometheus exposition
-// behind tauserve's POST /v1/feedback and GET /metrics), and the study
-// harness (internal/eval, whose offline replay is re-scored through the
-// same monitor so offline and online reliability numbers come from one
-// implementation).
+// streaming reliability statistics over ground-truth feedback, per-leaf
+// evidence accumulators, Page-Hinkley drift alarms, and the
+// zero-allocation Prometheus exposition behind tauserve's POST
+// /v1/feedback and GET /metrics), the adaptive recalibration loop
+// (internal/recalib: refreshing taQIM leaf bounds from the accumulated
+// online evidence and hot-swapping the refreshed model into the serving
+// pool with zero downtime, either on the operator's POST /v1/recalibrate
+// or automatically when the drift alarm fires), and the study harness
+// (internal/eval, whose offline replay is re-scored through the same
+// monitor so offline and online reliability numbers come from one
+// implementation, and whose drifted replay pins the closed loop: injected
+// label noise raises the alarm, recalibration lifts the degraded leaf
+// bounds, and the post-swap windowed Brier recovers).
 //
 // See README.md for the architecture map, the tauserve HTTP API (including
 // the batched POST /v1/steps endpoint with its 4096-item and body-size
@@ -40,7 +47,9 @@
 // ApplyBatch block walks), the tauserve hot-endpoint codec (pooled
 // request/response buffers, reflection-free encode/decode), the runtime
 // calibration monitoring on the step path (shard-local atomic counters
-// plus a preallocated provenance ring), and the Prometheus scrape
+// plus a preallocated provenance ring — both still zero-alloc while models
+// hot-swap underneath, which BenchmarkPoolStepDuringSwap gates), and the
+// Prometheus scrape
 // (monitor.Exposition renders into a pooled buffer with cached visitor
 // closures). The deliberate
 // exception: the per-item quality vectors the wrapper buffers retain are

@@ -7,6 +7,13 @@
 // reliability statistics — windowed Brier, reliability bins, ECE, and a
 // Page-Hinkley drift alarm — are maintained by the same implementation a
 // production deployment scrapes at /metrics.
+//
+// The second act closes the drift loop: a corrupted ground-truth regime
+// (label noise) degrades the windowed Brier until the drift alarm fires,
+// the recalibrator refreshes the degraded taQIM leaf bounds from the
+// accumulated per-leaf evidence, and the refreshed model is hot-swapped
+// into the pool with zero downtime — the model version in every result
+// ticks up while traffic keeps flowing.
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/gtsrb"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
 )
 
@@ -49,6 +58,21 @@ func run() error {
 	calib, err := monitor.New(monitor.Config{
 		Window: 512,
 		Drift:  monitor.DriftConfig{Delta: 0.01, Lambda: 3, MinSamples: 100},
+	})
+	if err != nil {
+		return err
+	}
+	// The recalibration loop: per-leaf evidence accumulators and the policy
+	// engine that refreshes leaf bounds and hot-swaps the model when the
+	// drift alarm fires.
+	leafs, err := monitor.NewLeafStats(study.TAQIM.NumRegions(), 0)
+	if err != nil {
+		return err
+	}
+	recalibrator, err := recalib.New(pool, leafs, calib, recalib.Config{
+		MinLeafFeedback: 25,
+		Cooldown:        -1, // demo stream, no wall-clock pacing
+		DropPrior:       true,
 	})
 	if err != nil {
 		return err
@@ -89,9 +113,11 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			if err := calib.Observe(track, rec.Uncertainty, rec.Fused != series.Truth); err != nil {
+			wrong := rec.Fused != series.Truth
+			if err := calib.Observe(track, rec.Uncertainty, wrong); err != nil {
 				return err
 			}
+			leafs.Observe(track, rec.TAQIMLeaf, wrong)
 			last, lastLevel = res, decision.Level.Name
 		}
 		if shown < 8 {
@@ -133,8 +159,73 @@ func run() error {
 		fmt.Printf("  %-16s %6d (%.1f%%)\n", name, count, 100*float64(count)/float64(gateStats.Total))
 	})
 
-	// The same state, as Prometheus would scrape it.
-	expo := &monitor.Exposition{Monitor: calib, Pool: pool, Gate: gate}
+	// ---- Act two: drift and the closed recalibration loop. ----------------
+	// A corrupted truth regime (uniform label noise on half the verdicts)
+	// stands in for traffic drifting out of the offline calibration: the
+	// squared errors degrade, the Page-Hinkley alarm fires, and the armed
+	// recalibrator refreshes the degraded leaf bounds and hot-swaps the
+	// model — all while the pool keeps serving.
+	fmt.Printf("\ninjecting label noise (model version %d serving)...\n", pool.ModelVersion())
+	swaps := 0
+	for _, series := range study.TestSeries {
+		if rng.Float64() > 0.3 {
+			continue
+		}
+		id, err := pool.OpenSeries()
+		if err != nil {
+			return err
+		}
+		track, err := pool.ResolveSeries(id)
+		if err != nil {
+			return err
+		}
+		for j := range series.Outcomes {
+			res, err := pool.StepSeries(id, series.Outcomes[j], series.Quality[j])
+			if err != nil {
+				return err
+			}
+			rec, err := pool.TakeFeedback(track, res.TotalSteps)
+			if err != nil {
+				return err
+			}
+			truth := series.Truth
+			if rng.Float64() < 0.5 {
+				truth = (truth + 1) % gtsrb.NumClasses // corrupted verdict
+			}
+			wrong := rec.Fused != truth
+			if err := calib.Observe(track, rec.Uncertainty, wrong); err != nil {
+				return err
+			}
+			leafs.Observe(track, rec.TAQIMLeaf, wrong)
+			if calib.DriftAlarmed() {
+				rep, err := recalibrator.TryAuto()
+				if err != nil {
+					return err
+				}
+				if rep.Swapped {
+					swaps++
+					lifted := 0
+					for _, d := range rep.Deltas {
+						if d.Refreshed {
+							lifted++
+						}
+					}
+					fmt.Printf("  drift alarm -> recalibrated: model v%d -> v%d (%d leaf bounds refreshed)\n",
+						rep.OldVersion, rep.NewVersion, lifted)
+				}
+			}
+		}
+		if err := pool.CloseSeries(id); err != nil {
+			return err
+		}
+	}
+	snap = calib.Snapshot()
+	fmt.Printf("after the drifted regime: model version %d (%d swaps), windowed Brier %.4f, drift alarms %d\n",
+		pool.ModelVersion(), swaps, snap.WindowedBrier, snap.Drift.Alarms)
+
+	// The same state, as Prometheus would scrape it — now including the
+	// model-version gauges the recalibrator exposes.
+	expo := &monitor.Exposition{Monitor: calib, Pool: pool, Gate: gate, Swap: recalibrator}
 	fmt.Println("\nselected /metrics lines:")
 	printMetricLines(expo.AppendMetrics(nil), 6)
 	return nil

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestBufferRingEvictionWithInfUncertainties drives ring-eviction sequences
+// whose uncertainties include ±Inf (and NaN) — the values a buggy upstream
+// could hand the buffer — and checks after every append that the defensive
+// clamp holds (+Inf → 1, -Inf → 0, NaN → 1), that the evicted record
+// returns exactly what was stored (so a fusion tally retires the clamped
+// pair, not the raw one), and that the O(1) running statistics stay equal
+// to the ComputeFeatures oracle across evictions of non-finite entries.
+func TestBufferRingEvictionWithInfUncertainties(t *testing.T) {
+	specials := []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0, 1, 0.5}
+	clamp := func(u float64) float64 {
+		switch {
+		case math.IsNaN(u) || u > 1:
+			return 1
+		case u < 0:
+			return 0
+		default:
+			return u
+		}
+	}
+	for _, limit := range []int{1, 2, 3, 8} {
+		for seed := uint64(1); seed <= 6; seed++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(limit)))
+			b, err := NewBuffer(limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pushed []float64 // clamped values in push order
+			for step := 0; step < 400; step++ {
+				var u float64
+				if rng.IntN(2) == 0 {
+					u = specials[rng.IntN(len(specials))]
+				} else {
+					u = rng.Float64()
+				}
+				o := rng.IntN(3)
+				evicted, wasEvicted := b.Append(Record{Outcome: o, Uncertainty: u})
+				pushed = append(pushed, clamp(u))
+				if wantEvict := len(pushed) > limit; wasEvicted != wantEvict {
+					t.Fatalf("limit %d step %d: wasEvicted %v, want %v", limit, step, wasEvicted, wantEvict)
+				}
+				if wasEvicted {
+					wantU := pushed[len(pushed)-limit-1]
+					if evicted.Uncertainty != wantU {
+						t.Fatalf("limit %d step %d: evicted uncertainty %g, want clamped %g",
+							limit, step, evicted.Uncertainty, wantU)
+					}
+				}
+				// The buffered series must hold only clamped values...
+				for i, got := range b.Uncertainties() {
+					want := pushed[len(pushed)-b.Len()+i]
+					if got != want || math.IsInf(got, 0) || math.IsNaN(got) {
+						t.Fatalf("limit %d step %d: buffered u[%d] = %g, want %g", limit, step, i, got, want)
+					}
+				}
+				// ...and the running stats must match the oracle on them.
+				outs := b.Outcomes()
+				us := b.Uncertainties()
+				for fused := 0; fused < 3; fused++ {
+					want, err := ComputeFeatures(outs, us, fused)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := b.FeaturesAt(fused)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if math.Abs(want[i]-got[i]) > taqfTol {
+							t.Fatalf("limit %d seed %d step %d fused %d: taQF[%d] oracle %g, incremental %g",
+								limit, seed, step, fused, i, want[i], got[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

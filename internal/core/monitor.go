@@ -77,6 +77,7 @@ func outcomeBucket(outcome int) int {
 type provRecord struct {
 	step        uint64
 	uncertainty float64
+	modelVer    uint64
 	fused       int32
 	taqimLeaf   int32
 	taken       bool
@@ -95,6 +96,10 @@ type FeedbackRecord struct {
 	// TAQIMLeaf is the taQIM region that produced the estimate (-1 when
 	// the wrapper had no taQIM, e.g. an uncertainty-fusion baseline).
 	TAQIMLeaf int
+	// ModelVersion is the taQIM revision that served the estimate, so
+	// feedback arriving after a hot-swap is still attributed to the model
+	// that actually produced the judged uncertainty.
+	ModelVersion uint64
 }
 
 // ErrFeedbackDisabled is returned by TakeFeedback on a pool built without
@@ -114,7 +119,7 @@ var ErrDuplicateFeedback = errors.New("core: duplicate feedback for step")
 // shard-local step accounting (StepCount, UncertaintySum, OutcomeCounts)
 // and, when ringSize > 0, a per-track provenance ring of the last ringSize
 // estimates that ground-truth feedback is joined against (TakeFeedback).
-// The ring costs about 32 bytes per slot per open track; monitoring adds a
+// The ring costs about 40 bytes per slot per open track; monitoring adds a
 // few atomic increments and one ring write to each step and allocates
 // nothing.
 func WithMonitoring(ringSize int) PoolOption {
@@ -132,6 +137,7 @@ func (p *WrapperPool) recordStep(pw *pooledWrapper, shard uint64, res *Result) {
 		slot := &pw.ring[(uint64(res.TotalSteps)-1)%uint64(len(pw.ring))]
 		slot.step = uint64(res.TotalSteps)
 		slot.uncertainty = res.Uncertainty
+		slot.modelVer = res.ModelVersion
 		slot.fused = int32(res.Fused)
 		slot.taqimLeaf = int32(res.TAQIMLeaf)
 		slot.taken = false
@@ -172,10 +178,11 @@ func (p *WrapperPool) TakeFeedback(trackID, step int) (FeedbackRecord, error) {
 	}
 	slot.taken = true
 	return FeedbackRecord{
-		Step:        step,
-		Fused:       int(slot.fused),
-		Uncertainty: slot.uncertainty,
-		TAQIMLeaf:   int(slot.taqimLeaf),
+		Step:         step,
+		Fused:        int(slot.fused),
+		Uncertainty:  slot.uncertainty,
+		TAQIMLeaf:    int(slot.taqimLeaf),
+		ModelVersion: slot.modelVer,
 	}, nil
 }
 

@@ -31,6 +31,14 @@ type WrapperPool struct {
 	cfg       Config
 	maxTracks int
 
+	// model is the serving taQIM revision, hot-swappable at runtime
+	// (SwapModel) without blocking or tearing concurrent steps: every step
+	// loads the pointer exactly once, so it sees one consistent
+	// (model, version) pair, and the version is stamped into its Result.
+	// The construction-time taqim field above stays as revision 1 and as
+	// the probe for validating new tracks' configuration.
+	model atomic.Pointer[modelState]
+
 	// active counts open tracks; nextSeries mints monotonically increasing
 	// series handles. Both are atomics so neither is a global hot spot.
 	active     atomic.Int64
@@ -113,6 +121,7 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 	if p.monitored {
 		p.stepStats = make([]stepStatsShard, nshards)
 	}
+	p.model.Store(&modelState{qim: taqim, version: 1})
 	for i := range p.shards {
 		p.shards[i].tracks = make(map[int]*pooledWrapper)
 	}
@@ -200,9 +209,16 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
 	}
 	pw.mu.Lock()
-	res, err := pw.w.Step(outcome, quality)
-	if err == nil && p.monitored {
-		p.recordStep(pw, shard, &res)
+	// One atomic load pins this step's model revision: a concurrent
+	// SwapModel replaces the pointer for later steps but can never tear
+	// this one (the compiled tree behind pm.qim is immutable).
+	pm := p.model.Load()
+	res, err := pw.w.stepScopedModel(pm.qim, outcome, quality, nil)
+	if err == nil {
+		res.ModelVersion = pm.version
+		if p.monitored {
+			p.recordStep(pw, shard, &res)
+		}
 	}
 	pw.mu.Unlock()
 	return res, err

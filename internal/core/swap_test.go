@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+)
+
+func TestSwapModelVersioning(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 8)
+	if err := pool.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.ModelVersion(); got != 1 {
+		t.Fatalf("initial ModelVersion = %d, want 1", got)
+	}
+	s := st.testSeries[0]
+	res, err := pool.Step(1, s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelVersion != 1 {
+		t.Fatalf("pre-swap step stamped version %d, want 1", res.ModelVersion)
+	}
+
+	// Recalibrate the serving model with heavy failure evidence for the
+	// region the fixture's steps land in: the swapped-in revision must
+	// serve a higher bound under version 2.
+	ev := []dtree.LeafEvidence{{LeafID: res.TAQIMLeaf, Count: 5000, Events: 4500}}
+	next, deltas, err := pool.CurrentTAQIM().Recalibrate(ev, dtree.RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refreshed *dtree.LeafDelta
+	for i := range deltas {
+		if deltas[i].LeafID == res.TAQIMLeaf {
+			refreshed = &deltas[i]
+		}
+	}
+	if refreshed == nil || !refreshed.Refreshed || refreshed.NewValue <= refreshed.OldValue {
+		t.Fatalf("evidence did not lift the target leaf: %+v", refreshed)
+	}
+	oldV, newV, err := pool.SwapModel(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldV != 1 || newV != 2 {
+		t.Fatalf("swap versions = (%d, %d), want (1, 2)", oldV, newV)
+	}
+	if got := pool.ModelVersion(); got != 2 {
+		t.Fatalf("post-swap ModelVersion = %d, want 2", got)
+	}
+	res2, err := pool.Step(1, s.Outcomes[0], s.Quality[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ModelVersion != 2 {
+		t.Fatalf("post-swap step stamped version %d, want 2", res2.ModelVersion)
+	}
+	// Feedback joined to pre- and post-swap steps reports each step's own
+	// model revision.
+	rec1, err := pool.TakeFeedback(1, res.TotalSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := pool.TakeFeedback(1, res2.TotalSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.ModelVersion != 1 || rec2.ModelVersion != 2 {
+		t.Fatalf("joined versions = (%d, %d), want (1, 2)", rec1.ModelVersion, rec2.ModelVersion)
+	}
+}
+
+func TestSwapModelGuards(t *testing.T) {
+	pool, st := poolFixture(t, 0)
+	if _, _, err := pool.SwapModel(nil); err == nil {
+		t.Error("nil model must not swap")
+	}
+	// A taQIM fitted on a narrower feature subset scores a different row
+	// width than the pool's wrappers assemble.
+	narrow := fitTAQIM(t, st, []Feature{Ratio})
+	if _, _, err := pool.SwapModel(narrow); !errors.Is(err, ErrModelShape) {
+		t.Errorf("narrow model swap = %v, want ErrModelShape", err)
+	}
+	if got := pool.ModelVersion(); got != 1 {
+		t.Errorf("failed swaps must not advance the version: %d", got)
+	}
+}
+
+// TestPoolStepDuringSwapRace drives concurrent steps, feedback joins,
+// repeated model swaps, and scrape reads through one pool. Under -race it is
+// the tentpole's core safety claim: a hot-swap never blocks or tears a step,
+// and every step observes exactly one (model, version) pair — visible as a
+// non-decreasing version sequence per track (steps of a track are
+// serialised) whose uncertainty matches one of the two models' bounds.
+func TestPoolStepDuringSwapRace(t *testing.T) {
+	pool, st := monitoredPoolFixture(t, 32)
+	const tracks = 8
+	const stepsPerTrack = 300
+	for id := 0; id < tracks; id++ {
+		if err := pool.Open(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := pool.CurrentTAQIM()
+	lifted, _, err := base.Recalibrate(
+		[]dtree.LeafEvidence{{LeafID: 0, Count: 1000, Events: 900}}, dtree.RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.testSeries[0]
+
+	var stop atomic.Bool
+	var aux sync.WaitGroup
+	// Swapper: flip between the two revisions as fast as it can.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for i := 0; !stop.Load(); i++ {
+			m := base
+			if i%2 == 0 {
+				m = lifted
+			}
+			if _, _, err := pool.SwapModel(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Scraper: aggregate the monitoring counters continuously.
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		for !stop.Load() {
+			_ = pool.StepCount()
+			_ = pool.UncertaintySum()
+			_ = pool.ModelVersion()
+			pool.OutcomeCounts(func(int, uint64) {})
+		}
+	}()
+	// Steppers + feedback per track.
+	var wg sync.WaitGroup
+	for id := 0; id < tracks; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var lastVer uint64
+			for j := 0; j < stepsPerTrack; j++ {
+				res, err := pool.Step(id, s.Outcomes[j%len(s.Outcomes)], s.Quality[j%len(s.Quality)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.ModelVersion < lastVer {
+					t.Errorf("track %d: model version went backwards %d -> %d", id, lastVer, res.ModelVersion)
+					return
+				}
+				lastVer = res.ModelVersion
+				if rec, err := pool.TakeFeedback(id, res.TotalSteps); err == nil {
+					if rec.ModelVersion != res.ModelVersion {
+						t.Errorf("track %d: feedback version %d, step version %d", id, rec.ModelVersion, res.ModelVersion)
+						return
+					}
+				} else if !errors.Is(err, ErrStepUnavailable) && !errors.Is(err, ErrDuplicateFeedback) {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	stop.Store(true)
+	aux.Wait()
+}

@@ -34,6 +34,11 @@ type Result struct {
 	// counterpart of Stateless.LeafID. It is -1 when no taQIM was involved
 	// (the uncertainty-fusion baselines).
 	TAQIMLeaf int
+	// ModelVersion identifies the taQIM revision that produced Uncertainty
+	// when the step ran through a WrapperPool (versions start at 1 and
+	// increment on every hot-swap, see WrapperPool.SwapModel). Standalone
+	// wrappers have no version registry and report 0.
+	ModelVersion uint64
 }
 
 // Config assembles a timeseries-aware wrapper.
@@ -145,6 +150,16 @@ func (w *Wrapper) Step(outcome int, quality []float64) (Result, error) {
 // behaviour of the full framework. With a nil scope model the scope factors
 // are ignored.
 func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, error) {
+	return w.stepScopedModel(w.taqim, outcome, quality, scope)
+}
+
+// stepScopedModel is StepScoped parameterised by the taQIM revision scoring
+// this step. The pool's hot-swap path loads the current model once per step
+// and passes it here, so every step sees exactly one model revision even
+// while a swap lands concurrently; standalone wrappers pass their own taqim.
+// The model must share the construction-time feature layout
+// (SwapModel guards this).
+func (w *Wrapper) stepScopedModel(taqim *uw.QualityImpactModel, outcome int, quality, scope []float64) (Result, error) {
 	est, err := w.base.Estimate(outcome, quality, scope)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: base estimate: %w", err)
@@ -183,7 +198,7 @@ func (w *Wrapper) StepScoped(outcome int, quality, scope []float64) (Result, err
 		}
 	}
 	row := w.assembleRow(quality, taqf)
-	u, leaf, err := w.taqim.Predict(row)
+	u, leaf, err := taqim.Predict(row)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: timeseries-aware estimate: %w", err)
 	}

@@ -1,0 +1,174 @@
+// recalibrate.go implements online leaf recalibration: refreshing the
+// calibrated leaf bounds of an already-fitted tree from the offline
+// calibration counts combined with ground-truth evidence collected at
+// runtime. The tree structure (splits, leaf ids) is never changed — only the
+// per-leaf binomial bounds move — so provenance recorded against the old
+// model (leaf ids, feature layout) stays meaningful across a recalibration,
+// which is what makes zero-downtime model hot-swap possible one level up.
+//
+// The evidence-combination scheme follows the framework's dependability
+// argument: each leaf's bound is a one-sided binomial upper bound on the
+// failure probability computed from (k, n) counts, so online evidence is
+// folded in by adding the observed (events, count) to the offline
+// calibration statistics and recomputing the same bound. Optional Laplace
+// smoothing (add-alpha pseudo-counts, per Gerber/Jöckel/Kläs's mitigation of
+// hard region boundaries) regularises leaves whose online evidence is thin.
+package dtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeafEvidence is the online ground-truth evidence accumulated for one leaf
+// region since the last (re)calibration: how many served estimates were
+// judged by feedback, and how many of those judgements found the fused
+// outcome wrong.
+type LeafEvidence struct {
+	LeafID int
+	Count  int
+	Events int
+}
+
+// RecalibConfig tunes Recalibrate.
+type RecalibConfig struct {
+	// MinLeafEvidence guards thin evidence: a leaf's bound is refreshed
+	// only when its online Count reaches this minimum; leaves below it (or
+	// absent from the evidence) keep their current bound unchanged. Zero
+	// refreshes every leaf named in the evidence, however thin.
+	MinLeafEvidence int
+	// LaplaceAlpha adds alpha pseudo-events out of 2*alpha pseudo-trials to
+	// each refreshed leaf's combined counts before the bound is recomputed
+	// (add-alpha smoothing, Gerber et al.): it pulls bounds computed from
+	// thin evidence towards 1/2 instead of letting a handful of lucky
+	// feedbacks collapse them. Zero disables smoothing. The pseudo-counts
+	// only enter the bound computation; the stored calibration statistics
+	// stay the true observed counts.
+	LaplaceAlpha int
+	// DropPrior discards the offline calibration counts and recomputes
+	// refreshed leaves from online evidence alone — the aggressive policy
+	// for regime changes where the offline data no longer describes the
+	// traffic. Default keeps the prior (offline + online).
+	DropPrior bool
+}
+
+func (c RecalibConfig) validate() error {
+	if c.MinLeafEvidence < 0 {
+		return fmt.Errorf("dtree: min leaf evidence %d must be >= 0", c.MinLeafEvidence)
+	}
+	if c.LaplaceAlpha < 0 {
+		return fmt.Errorf("dtree: laplace alpha %d must be >= 0", c.LaplaceAlpha)
+	}
+	return nil
+}
+
+// LeafDelta reports how one leaf moved through a recalibration, the
+// per-region audit trail of a model swap.
+type LeafDelta struct {
+	// LeafID is the dense leaf id (stable across recalibrations, since the
+	// structure never changes).
+	LeafID int
+	// OldValue and NewValue are the leaf's bound before and after; equal
+	// when the leaf was not refreshed.
+	OldValue, NewValue float64
+	// PriorCount and PriorEvents are the calibration statistics the leaf
+	// held before the online evidence was folded in.
+	PriorCount, PriorEvents int
+	// OnlineCount and OnlineEvents are the online evidence offered for the
+	// leaf (zero when none was).
+	OnlineCount, OnlineEvents int
+	// Refreshed reports whether the bound was recomputed (evidence met
+	// MinLeafEvidence) or kept.
+	Refreshed bool
+}
+
+// Clone returns a deep copy of the tree: nodes, split parameters, counts,
+// calibrated values, and leaf numbering. The copy shares nothing mutable
+// with the original, so one can be recalibrated while the other keeps
+// serving.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		root:      cloneNode(t.root),
+		nFeatures: t.nFeatures,
+		nLeaves:   t.nLeaves,
+		cfg:       t.cfg,
+	}
+}
+
+func cloneNode(n *Node) *Node {
+	c := *n
+	if !n.IsLeaf() {
+		c.Left = cloneNode(n.Left)
+		c.Right = cloneNode(n.Right)
+	}
+	return &c
+}
+
+// Recalibrate returns a copy of the calibrated tree whose leaf bounds have
+// been refreshed from the combined (offline-prior + online-feedback) counts,
+// leaving the receiver untouched — the old tree keeps serving until the
+// caller swaps the new one in. Evidence entries name leaves by their dense
+// LeafID; a leaf may appear at most once. The returned deltas cover every
+// leaf in LeafID order, refreshed or not, so the caller can render a full
+// audit of the swap.
+//
+// Refreshed leaves store the combined counts as their new calibration
+// statistics, so a later recalibration compounds on top of the absorbed
+// evidence instead of double-counting it (the caller is expected to reset
+// its online accumulators after a successful swap).
+func (t *Tree) Recalibrate(evidence []LeafEvidence, bound BoundFunc, cfg RecalibConfig) (*Tree, []LeafDelta, error) {
+	if bound == nil {
+		return nil, nil, fmt.Errorf("dtree: recalibrate needs a bound function")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	byLeaf := make(map[int]LeafEvidence, len(evidence))
+	for _, ev := range evidence {
+		if ev.LeafID < 0 || ev.LeafID >= t.nLeaves {
+			return nil, nil, fmt.Errorf("dtree: evidence names leaf %d outside [0,%d)", ev.LeafID, t.nLeaves)
+		}
+		if ev.Count < 0 || ev.Events < 0 || ev.Events > ev.Count {
+			return nil, nil, fmt.Errorf("dtree: leaf %d evidence %d/%d is not a valid (events, count) pair",
+				ev.LeafID, ev.Events, ev.Count)
+		}
+		if _, dup := byLeaf[ev.LeafID]; dup {
+			return nil, nil, fmt.Errorf("dtree: duplicate evidence for leaf %d", ev.LeafID)
+		}
+		byLeaf[ev.LeafID] = ev
+	}
+	nt := t.Clone()
+	deltas := make([]LeafDelta, 0, nt.nLeaves)
+	for _, leaf := range nt.Leaves() {
+		if math.IsNaN(leaf.Value) {
+			return nil, nil, fmt.Errorf("dtree: recalibrating leaf %d: %w", leaf.LeafID, ErrNotCalibrated)
+		}
+		ev := byLeaf[leaf.LeafID]
+		d := LeafDelta{
+			LeafID:       leaf.LeafID,
+			OldValue:     leaf.Value,
+			NewValue:     leaf.Value,
+			PriorCount:   leaf.CalibCount,
+			PriorEvents:  leaf.CalibEvents,
+			OnlineCount:  ev.Count,
+			OnlineEvents: ev.Events,
+		}
+		if ev.Count > 0 && ev.Count >= cfg.MinLeafEvidence {
+			k, n := ev.Events, ev.Count
+			if !cfg.DropPrior {
+				k += leaf.CalibEvents
+				n += leaf.CalibCount
+			}
+			v, err := bound(k+cfg.LaplaceAlpha, n+2*cfg.LaplaceAlpha)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dtree: recalibrating leaf %d: %w", leaf.LeafID, err)
+			}
+			leaf.Value = v
+			leaf.CalibCount, leaf.CalibEvents = n, k
+			d.NewValue = v
+			d.Refreshed = true
+		}
+		deltas = append(deltas, d)
+	}
+	return nt, deltas, nil
+}

@@ -1,0 +1,209 @@
+package dtree
+
+import (
+	"testing"
+)
+
+// calibratedTree builds a fitted, calibrated tree on the separable fixture.
+func calibratedTree(t *testing.T, minLeaf int) *Tree {
+	t.Helper()
+	x, y := sepData(600, 11)
+	tr, err := Fit(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cx, cy := sepData(600, 12)
+	if err := tr.Calibrate(cx, cy, minLeaf, cpBound); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	tr := calibratedTree(t, 50)
+	cl := tr.Clone()
+	if cl.NumLeaves() != tr.NumLeaves() || cl.NumFeatures() != tr.NumFeatures() {
+		t.Fatalf("clone shape %d/%d, want %d/%d", cl.NumLeaves(), cl.NumFeatures(), tr.NumLeaves(), tr.NumFeatures())
+	}
+	x, _ := sepData(200, 13)
+	for _, row := range x {
+		a, err := tr.PredictValue(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cl.PredictValue(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("clone predicts %g, original %g", b, a)
+		}
+	}
+	// Mutating the clone's leaves must not touch the original.
+	before := make([]float64, 0, tr.NumLeaves())
+	for _, l := range tr.Leaves() {
+		before = append(before, l.Value)
+	}
+	for _, l := range cl.Leaves() {
+		l.Value = 0.5
+	}
+	for i, l := range tr.Leaves() {
+		if l.Value != before[i] {
+			t.Fatalf("clone mutation leaked into original leaf %d", l.LeafID)
+		}
+	}
+}
+
+func TestRecalibrateFoldsOnlineEvidence(t *testing.T) {
+	tr := calibratedTree(t, 50)
+	leaves := tr.Leaves()
+	target := leaves[0]
+	// Heavy online failure evidence for leaf 0 must raise its bound.
+	ev := []LeafEvidence{{LeafID: target.LeafID, Count: 400, Events: 390}}
+	nt, deltas, err := tr.Recalibrate(ev, cpBound, RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != tr.NumLeaves() {
+		t.Fatalf("got %d deltas, want one per leaf (%d)", len(deltas), tr.NumLeaves())
+	}
+	d := deltas[0]
+	if !d.Refreshed {
+		t.Fatal("leaf 0 with 400 feedbacks was not refreshed")
+	}
+	if d.NewValue <= d.OldValue {
+		t.Fatalf("390/400 failures must raise the bound: %g -> %g", d.OldValue, d.NewValue)
+	}
+	// The refreshed leaf stores the combined counts; the bound equals the
+	// one computed directly from them.
+	nl := nt.Leaves()[0]
+	wantN := target.CalibCount + 400
+	wantK := target.CalibEvents + 390
+	if nl.CalibCount != wantN || nl.CalibEvents != wantK {
+		t.Fatalf("combined counts %d/%d, want %d/%d", nl.CalibEvents, nl.CalibCount, wantK, wantN)
+	}
+	want, err := cpBound(wantK, wantN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Value != want {
+		t.Fatalf("leaf value %g, want bound(%d,%d) = %g", nl.Value, wantK, wantN, want)
+	}
+	// Leaves without evidence keep their bound exactly.
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i].Refreshed || deltas[i].NewValue != deltas[i].OldValue {
+			t.Fatalf("leaf %d without evidence moved: %+v", deltas[i].LeafID, deltas[i])
+		}
+	}
+	// The original tree is untouched.
+	if leaves[0].Value != deltas[0].OldValue {
+		t.Fatal("recalibration mutated the source tree")
+	}
+}
+
+func TestRecalibrateMinLeafEvidenceGuard(t *testing.T) {
+	tr := calibratedTree(t, 50)
+	ev := []LeafEvidence{
+		{LeafID: 0, Count: 10, Events: 9},
+	}
+	_, deltas, err := tr.Recalibrate(ev, cpBound, RecalibConfig{MinLeafEvidence: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas[0].Refreshed {
+		t.Fatal("10 feedbacks refreshed a leaf guarded at 50")
+	}
+	if deltas[0].OnlineCount != 10 || deltas[0].OnlineEvents != 9 {
+		t.Fatalf("delta must still report the offered evidence: %+v", deltas[0])
+	}
+}
+
+func TestRecalibrateDropPriorAndLaplace(t *testing.T) {
+	tr := calibratedTree(t, 50)
+	ev := []LeafEvidence{{LeafID: 0, Count: 100, Events: 50}}
+
+	nt, _, err := tr.Recalibrate(ev, cpBound, RecalibConfig{DropPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cpBound(50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nt.Leaves()[0].Value; got != want {
+		t.Fatalf("DropPrior bound %g, want bound(50,100) = %g", got, want)
+	}
+
+	nt2, _, err := tr.Recalibrate(ev, cpBound, RecalibConfig{DropPrior: true, LaplaceAlpha: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want2, err := cpBound(55, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nt2.Leaves()[0].Value; got != want2 {
+		t.Fatalf("Laplace bound %g, want bound(55,110) = %g", got, want2)
+	}
+	// Pseudo-counts must not leak into the stored statistics.
+	if nl := nt2.Leaves()[0]; nl.CalibCount != 100 || nl.CalibEvents != 50 {
+		t.Fatalf("Laplace pseudo-counts leaked into stored stats: %d/%d", nl.CalibEvents, nl.CalibCount)
+	}
+}
+
+func TestRecalibrateCompounds(t *testing.T) {
+	// Recalibrating twice with the accumulators reset in between must equal
+	// recalibrating once with the summed evidence.
+	tr := calibratedTree(t, 50)
+	ev1 := []LeafEvidence{{LeafID: 0, Count: 100, Events: 20}}
+	ev2 := []LeafEvidence{{LeafID: 0, Count: 150, Events: 60}}
+	step1, _, err := tr.Recalibrate(ev1, cpBound, RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step2, _, err := step1.Recalibrate(ev2, cpBound, RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, _, err := tr.Recalibrate([]LeafEvidence{{LeafID: 0, Count: 250, Events: 80}}, cpBound, RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := step2.Leaves()[0].Value, both.Leaves()[0].Value; a != b {
+		t.Fatalf("two-step recalibration %g != one-step %g", a, b)
+	}
+}
+
+func TestRecalibrateErrors(t *testing.T) {
+	tr := calibratedTree(t, 50)
+	cases := []struct {
+		name string
+		ev   []LeafEvidence
+		cfg  RecalibConfig
+	}{
+		{"leaf out of range", []LeafEvidence{{LeafID: tr.NumLeaves(), Count: 1}}, RecalibConfig{}},
+		{"negative leaf", []LeafEvidence{{LeafID: -1, Count: 1}}, RecalibConfig{}},
+		{"events above count", []LeafEvidence{{LeafID: 0, Count: 2, Events: 3}}, RecalibConfig{}},
+		{"negative count", []LeafEvidence{{LeafID: 0, Count: -1}}, RecalibConfig{}},
+		{"duplicate leaf", []LeafEvidence{{LeafID: 0, Count: 1}, {LeafID: 0, Count: 2}}, RecalibConfig{}},
+		{"negative min evidence", nil, RecalibConfig{MinLeafEvidence: -1}},
+		{"negative laplace", nil, RecalibConfig{LaplaceAlpha: -1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := tr.Recalibrate(tc.ev, cpBound, tc.cfg); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, _, err := tr.Recalibrate(nil, nil, RecalibConfig{}); err == nil {
+		t.Error("nil bound: no error")
+	}
+	// An uncalibrated tree cannot be recalibrated.
+	x, y := sepData(100, 21)
+	raw, err := Fit(x, y, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := raw.Recalibrate(nil, cpBound, RecalibConfig{}); err == nil {
+		t.Error("uncalibrated tree: no error")
+	}
+}

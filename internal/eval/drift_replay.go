@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/gtsrb"
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
+)
+
+// DriftReplayConfig parameterises the drifted-replay experiment: an offline
+// replay of the test series through the full serving substrate (monitored
+// pool, calibration monitor, per-leaf accumulators, recalibrator) with label
+// noise injected from a chosen point on — the controlled stand-in for a
+// deployment whose traffic drifts out of the offline calibration's regime.
+type DriftReplayConfig struct {
+	// Monitor configures the calibration monitor (zero fields take the
+	// package defaults). Pick Drift.MinSamples/Lambda so the detector can
+	// fire within the replay's length.
+	Monitor monitor.Config
+	// FeedbackRing is the per-series provenance ring (0 takes
+	// DefaultReplayRing).
+	FeedbackRing int
+	// PoolShards and BufferLimit configure the pool as in
+	// MonitorReplayConfig.
+	PoolShards  int
+	BufferLimit int
+	// NoiseFrac is the probability that a post-onset step's ground-truth
+	// label is replaced by a uniformly drawn different class — the injected
+	// drift. Must be in [0, 1].
+	NoiseFrac float64
+	// DriftAt is the fraction of the replay after which the noise starts
+	// (0.5 = halfway). Must be in [0, 1).
+	DriftAt float64
+	// Recalibrate turns the adaptive response on: when the drift alarm is
+	// active, the recalibrator's auto trigger runs after the feedback that
+	// observed it. Off, the replay is the no-recalibration control arm.
+	Recalibrate bool
+	// Recalib tunes the recalibration policy (auto trigger guards,
+	// smoothing). The wall-clock cooldown is meaningless inside a replay,
+	// so leave it negative (disabled) unless testing the guard itself.
+	Recalib recalib.Config
+	// Seed drives the label-noise draws.
+	Seed uint64
+}
+
+// DriftReplayResult is the outcome of a drifted replay.
+type DriftReplayResult struct {
+	// Steps is the number of steps replayed; DriftOnsetStep the 1-based
+	// step index at which label noise began.
+	Steps, DriftOnsetStep int
+	// AlarmStep is the 1-based step at which the drift detector first
+	// alarmed (0 = never).
+	AlarmStep int
+	// SwapStep is the step at which the first recalibration swap landed
+	// (0 = never); Recalibrations counts all swaps over the replay.
+	SwapStep       int
+	Recalibrations int
+	// VersionBefore and VersionAfter are the pool's model versions at the
+	// start and end of the replay.
+	VersionBefore, VersionAfter uint64
+	// PreDriftBrier is the windowed Brier just before the noise onset;
+	// FinalWindowedBrier the windowed Brier at the end of the replay. Their
+	// gap is what recalibration is supposed to close.
+	PreDriftBrier, FinalWindowedBrier float64
+	// RefreshedLeaves and MeanBoundLift summarise the first swap: how many
+	// leaf bounds were refreshed and their mean increase (positive when the
+	// injected noise degraded the regions, as it should).
+	RefreshedLeaves int
+	MeanBoundLift   float64
+	// Snapshot is the monitor's final aggregate.
+	Snapshot monitor.Snapshot
+}
+
+// RunDriftedReplay replays the test series through the serving substrate
+// while injecting label noise from DriftAt on, and (optionally) lets the
+// recalibration loop respond. It is the end-to-end proof of the closed
+// loop: the monitor alarms on the degradation, the recalibrator refreshes
+// the degraded leaf bounds from the joined feedback, the pool hot-swaps the
+// refreshed model, and the post-swap windowed Brier recovers relative to
+// the control arm that keeps serving the stale offline calibration.
+func (st *Study) RunDriftedReplay(cfg DriftReplayConfig) (DriftReplayResult, error) {
+	if cfg.NoiseFrac < 0 || cfg.NoiseFrac > 1 {
+		return DriftReplayResult{}, fmt.Errorf("eval: noise fraction %g outside [0,1]", cfg.NoiseFrac)
+	}
+	if cfg.DriftAt < 0 || cfg.DriftAt >= 1 {
+		return DriftReplayResult{}, fmt.Errorf("eval: drift onset %g outside [0,1)", cfg.DriftAt)
+	}
+	if cfg.FeedbackRing == 0 {
+		cfg.FeedbackRing = DefaultReplayRing
+	}
+	m, err := monitor.New(cfg.Monitor)
+	if err != nil {
+		return DriftReplayResult{}, err
+	}
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, core.Config{BufferLimit: cfg.BufferLimit}, 0,
+		core.WithShards(cfg.PoolShards), core.WithMonitoring(cfg.FeedbackRing))
+	if err != nil {
+		return DriftReplayResult{}, err
+	}
+	leafs, err := monitor.NewLeafStats(st.TAQIM.NumRegions(), cfg.PoolShards)
+	if err != nil {
+		return DriftReplayResult{}, err
+	}
+	var rec *recalib.Recalibrator
+	if cfg.Recalibrate {
+		rec, err = recalib.New(pool, leafs, m, cfg.Recalib)
+		if err != nil {
+			return DriftReplayResult{}, err
+		}
+	}
+
+	total := 0
+	for _, s := range st.TestSeries {
+		total += len(s.Outcomes)
+	}
+	onset := int(cfg.DriftAt * float64(total))
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x0d21f7))
+	out := DriftReplayResult{
+		Steps:          total,
+		DriftOnsetStep: onset + 1,
+		VersionBefore:  pool.ModelVersion(),
+	}
+	g := 0 // global step counter across series
+	for si, s := range st.TestSeries {
+		id, err := pool.OpenSeries()
+		if err != nil {
+			return DriftReplayResult{}, fmt.Errorf("eval: drifted replay series %d: %w", si, err)
+		}
+		track, err := pool.ResolveSeries(id)
+		if err != nil {
+			return DriftReplayResult{}, err
+		}
+		for j := range s.Outcomes {
+			if g == onset {
+				out.PreDriftBrier = m.Snapshot().WindowedBrier
+			}
+			g++
+			res, err := pool.StepSeries(id, s.Outcomes[j], s.Quality[j])
+			if err != nil {
+				return DriftReplayResult{}, fmt.Errorf("eval: drifted replay series %d step %d: %w", si, j, err)
+			}
+			fb, err := pool.TakeFeedback(track, res.TotalSteps)
+			if err != nil {
+				return DriftReplayResult{}, fmt.Errorf("eval: drifted replay join series %d step %d: %w", si, j, err)
+			}
+			truth := s.Truth
+			if g > onset && rng.Float64() < cfg.NoiseFrac {
+				// Uniform label noise: replace the truth with a different
+				// class, the standard corruption model.
+				truth = (truth + 1 + rng.IntN(gtsrb.NumClasses-1)) % gtsrb.NumClasses
+			}
+			wrong := fb.Fused != truth
+			if err := m.Observe(track, fb.Uncertainty, wrong); err != nil {
+				return DriftReplayResult{}, err
+			}
+			leafs.Observe(track, fb.TAQIMLeaf, wrong)
+			if m.DriftAlarmed() {
+				if out.AlarmStep == 0 {
+					out.AlarmStep = g
+				}
+				if rec != nil {
+					rep, err := rec.TryAuto()
+					if err != nil {
+						return DriftReplayResult{}, fmt.Errorf("eval: drifted replay recalibration at step %d: %w", g, err)
+					}
+					if rep.Swapped {
+						out.Recalibrations++
+						if out.SwapStep == 0 {
+							out.SwapStep = g
+							var lift float64
+							for _, d := range rep.Deltas {
+								if d.Refreshed {
+									out.RefreshedLeaves++
+									lift += d.NewValue - d.OldValue
+								}
+							}
+							if out.RefreshedLeaves > 0 {
+								out.MeanBoundLift = lift / float64(out.RefreshedLeaves)
+							}
+						}
+					}
+				}
+			}
+		}
+		if err := pool.CloseSeries(id); err != nil {
+			return DriftReplayResult{}, err
+		}
+	}
+	out.VersionAfter = pool.ModelVersion()
+	out.Snapshot = m.Snapshot()
+	out.FinalWindowedBrier = out.Snapshot.WindowedBrier
+	return out, nil
+}

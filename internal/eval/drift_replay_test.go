@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
+)
+
+// driftCfg is the shared experiment configuration of the two arms: heavy
+// label noise from the halfway point, a drift detector tuned to fire within
+// the tiny study's post-onset steps, and an online-evidence-only refresh
+// policy (the injected corruption is a regime change, so the offline prior
+// is exactly what must be dropped).
+func driftCfg(adaptive bool) DriftReplayConfig {
+	return DriftReplayConfig{
+		Monitor: monitor.Config{
+			Shards: 1,
+			Window: 512,
+			Drift:  monitor.DriftConfig{Lambda: 10, MinSamples: 100},
+		},
+		NoiseFrac:   0.5,
+		DriftAt:     0.5,
+		Seed:        7,
+		Recalibrate: adaptive,
+		Recalib: recalib.Config{
+			MinLeafFeedback: 25,
+			Cooldown:        -1, // wall-clock cooldowns are meaningless in a replay
+			DropPrior:       true,
+		},
+	}
+}
+
+// TestDriftedReplayClosesTheLoop pins the full adaptive loop end to end:
+// the injected label noise degrades the windowed Brier, the Page-Hinkley
+// alarm fires after the onset, the recalibrator hot-swaps a refreshed model
+// (version increment observable), the refreshed bounds moved up (the
+// degraded regions' evidence got worse), and the post-swap windowed Brier
+// beats the control arm that kept serving the stale offline calibration.
+func TestDriftedReplayClosesTheLoop(t *testing.T) {
+	st := tinyStudy(t)
+
+	control, err := st.RunDriftedReplay(driftCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := st.RunDriftedReplay(driftCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The injected noise must actually degrade the control arm.
+	if control.FinalWindowedBrier <= control.PreDriftBrier {
+		t.Fatalf("noise did not degrade the control arm: pre %g, final %g",
+			control.PreDriftBrier, control.FinalWindowedBrier)
+	}
+	// The monitor alarms in both arms, after the onset.
+	for name, res := range map[string]DriftReplayResult{"control": control, "adaptive": adaptive} {
+		if res.AlarmStep == 0 {
+			t.Fatalf("%s arm: drift alarm never fired", name)
+		}
+		if res.AlarmStep <= res.DriftOnsetStep {
+			t.Fatalf("%s arm: alarm at step %d, before the onset at %d", name, res.AlarmStep, res.DriftOnsetStep)
+		}
+	}
+	// The control arm never touches the model.
+	if control.VersionBefore != 1 || control.VersionAfter != 1 || control.Recalibrations != 0 {
+		t.Fatalf("control arm recalibrated: %+v", control)
+	}
+	// The adaptive arm swaps at least once, after (or at) the alarm.
+	if adaptive.Recalibrations == 0 || adaptive.VersionAfter < 2 {
+		t.Fatalf("adaptive arm never swapped: %+v", adaptive)
+	}
+	if adaptive.SwapStep < adaptive.AlarmStep {
+		t.Fatalf("swap at step %d before the alarm at %d", adaptive.SwapStep, adaptive.AlarmStep)
+	}
+	if adaptive.VersionAfter != adaptive.VersionBefore+uint64(adaptive.Recalibrations) {
+		t.Fatalf("version accounting off: %+v", adaptive)
+	}
+	// Recalibration lifted the degraded regions' bounds.
+	if adaptive.RefreshedLeaves == 0 || adaptive.MeanBoundLift <= 0 {
+		t.Fatalf("recalibration did not lift the degraded bounds: refreshed %d, mean lift %g",
+			adaptive.RefreshedLeaves, adaptive.MeanBoundLift)
+	}
+	// And the closed loop pays off: the post-swap windowed Brier recovers
+	// relative to the stale control.
+	if adaptive.FinalWindowedBrier >= control.FinalWindowedBrier {
+		t.Fatalf("recalibration did not improve the windowed Brier: adaptive %g vs control %g",
+			adaptive.FinalWindowedBrier, control.FinalWindowedBrier)
+	}
+	t.Logf("pre-drift Brier %.4f; control final %.4f; adaptive final %.4f (alarm@%d, swap@%d, %d swaps, %d leaves, mean lift %+.4f)",
+		control.PreDriftBrier, control.FinalWindowedBrier, adaptive.FinalWindowedBrier,
+		adaptive.AlarmStep, adaptive.SwapStep, adaptive.Recalibrations,
+		adaptive.RefreshedLeaves, adaptive.MeanBoundLift)
+}
+
+// TestDriftedReplayDeterministic: same seed, same trajectory.
+func TestDriftedReplayDeterministic(t *testing.T) {
+	st := tinyStudy(t)
+	a, err := st.RunDriftedReplay(driftCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.RunDriftedReplay(driftCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AlarmStep != b.AlarmStep || a.SwapStep != b.SwapStep ||
+		a.Recalibrations != b.Recalibrations ||
+		a.FinalWindowedBrier != b.FinalWindowedBrier {
+		t.Fatalf("replay is not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDriftedReplayValidation(t *testing.T) {
+	st := tinyStudy(t)
+	bad := driftCfg(false)
+	bad.NoiseFrac = 1.5
+	if _, err := st.RunDriftedReplay(bad); err == nil {
+		t.Error("noise fraction above 1 must fail")
+	}
+	bad = driftCfg(false)
+	bad.DriftAt = 1
+	if _, err := st.RunDriftedReplay(bad); err == nil {
+		t.Error("onset at 1 must fail")
+	}
+}

@@ -37,6 +37,18 @@ type GateSource interface {
 	EachCount(visit func(name string, count int))
 }
 
+// SwapSource is the model-hot-swap surface — implemented by
+// recalib.Recalibrator. All methods must be allocation-free.
+type SwapSource interface {
+	// ModelVersion is the serving taQIM revision (1 until the first swap).
+	ModelVersion() uint64
+	// RecalibrationCount is the number of completed recalibration swaps.
+	RecalibrationCount() uint64
+	// LastSwapUnixNano is the wall-clock time of the most recent swap in
+	// Unix nanoseconds (0 when no swap has happened yet).
+	LastSwapUnixNano() int64
+}
+
 // EndpointLatency pairs a latency histogram with its endpoint label.
 type EndpointLatency struct {
 	Name string
@@ -50,6 +62,7 @@ type Exposition struct {
 	Monitor   *Monitor
 	Pool      PoolSource
 	Gate      GateSource
+	Swap      SwapSource
 	Latencies []EndpointLatency
 
 	mu sync.Mutex
@@ -86,6 +99,9 @@ func (e *Exposition) AppendMetrics(dst []byte) []byte {
 	if e.Monitor != nil {
 		e.appendReliability()
 		e.appendDrift()
+	}
+	if e.Swap != nil {
+		e.appendSwap()
 	}
 	if e.Gate != nil {
 		e.appendGate()
@@ -236,6 +252,19 @@ func (e *Exposition) appendDrift() {
 	e.sampleFloat("tauw_drift_stat", d.Stat)
 	e.header("tauw_drift_samples", "Feedbacks folded into the detector since its last alarm.", "gauge")
 	e.sampleUint("tauw_drift_samples", uint64(d.Samples))
+}
+
+// appendSwap renders the adaptive-recalibration gauges: which model
+// revision is serving, how many recalibration swaps have completed, and
+// when the last one landed.
+func (e *Exposition) appendSwap() {
+	e.header("tauw_model_version", "Serving taQIM revision (increments on every hot-swap).", "gauge")
+	e.sampleUint("tauw_model_version", e.Swap.ModelVersion())
+	e.header("tauw_recalibrations_total", "Completed online recalibration swaps.", "counter")
+	e.sampleUint("tauw_recalibrations_total", e.Swap.RecalibrationCount())
+	e.header("tauw_model_last_swap_timestamp_seconds",
+		"Unix time of the most recent model hot-swap (0 before the first).", "gauge")
+	e.sampleFloat("tauw_model_last_swap_timestamp_seconds", float64(e.Swap.LastSwapUnixNano())/1e9)
 }
 
 func (e *Exposition) appendGate() {

@@ -35,6 +35,16 @@ func (fakeGate) EachCount(visit func(string, int)) {
 	visit("handover", 3)
 }
 
+// fakeSwap is a minimal SwapSource fixture.
+type fakeSwap struct {
+	version, count uint64
+	lastSwap       int64
+}
+
+func (s *fakeSwap) ModelVersion() uint64       { return s.version }
+func (s *fakeSwap) RecalibrationCount() uint64 { return s.count }
+func (s *fakeSwap) LastSwapUnixNano() int64    { return s.lastSwap }
+
 func expoFixture(t *testing.T) *Exposition {
 	t.Helper()
 	m, err := New(Config{Bins: 4, Window: 64, Drift: DriftConfig{Disabled: true}})
@@ -62,6 +72,7 @@ func expoFixture(t *testing.T) *Exposition {
 		Monitor:   m,
 		Pool:      pool,
 		Gate:      fakeGate{},
+		Swap:      &fakeSwap{version: 3, count: 2, lastSwap: 1_500_000_000_000_000_000},
 		Latencies: []EndpointLatency{{Name: "step", Hist: lat}},
 	}
 }
@@ -78,6 +89,9 @@ func TestExpositionFormat(t *testing.T) {
 		`tauw_steps_outcome_total{outcome="14"} 90` + "\n",
 		`tauw_steps_outcome_total{outcome="other"} 10` + "\n",
 		"tauw_feedback_total 20\n",
+		"tauw_model_version 3\n",
+		"tauw_recalibrations_total 2\n",
+		"tauw_model_last_swap_timestamp_seconds 1.5e+09\n",
 		`tauw_gate_total{countermeasure="accept"} 12` + "\n",
 		`tauw_gate_total{countermeasure="handover"} 3` + "\n",
 		`tauw_request_duration_seconds_count{endpoint="step"} 10` + "\n",

@@ -1,0 +1,167 @@
+// leafstats.go holds the per-leaf feedback accumulators of the adaptive
+// recalibration loop: every ground-truth feedback joined to a served
+// estimate is attributed to the taQIM region (leaf) that produced the
+// estimate — the Result.TAQIMLeaf provenance the wrapper pool records — so
+// the recalibration policy can refresh each leaf's binomial bound from the
+// evidence that actually accumulated in that region.
+//
+// Like the reliability accumulators, the counters are sharded by track id
+// with the pool's Fibonacci-hash shard selection and padded to the 128-byte
+// shard stride, so concurrent feedback for different tracks almost never
+// contends and shards never false-share. Within a shard the per-leaf
+// counters are plain atomics (two adds per observation), which keeps the
+// feedback path allocation-free.
+package monitor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"unsafe"
+)
+
+// LeafCounts is the aggregated online evidence of one leaf region.
+type LeafCounts struct {
+	// Count is the number of feedbacks attributed to the leaf; Events is
+	// how many of them judged the fused outcome wrong.
+	Count, Events uint64
+}
+
+// leafShardState is the payload of one leaf-accumulator shard: interleaved
+// (count, events) atomic pairs, one per leaf, plus a trailing overflow pair
+// for unattributable feedback (leaf id -1 — estimates served without a
+// taQIM — or out of range). The slice is sized at construction and never
+// grows, so the write path is two lock-free adds.
+type leafShardState struct {
+	counters []atomic.Uint64
+}
+
+// leafShard pads the state to the shard stride (the trackShard pattern;
+// TestShardPadding pins it).
+type leafShard struct {
+	leafShardState
+	_ [shardPad - unsafe.Sizeof(leafShardState{})%shardPad]byte
+}
+
+// LeafStats accumulates ground-truth feedback per taQIM leaf. It is safe
+// for concurrent use; Observe is lock-free.
+type LeafStats struct {
+	nLeaves    int
+	shards     []leafShard
+	shardShift uint8
+}
+
+// NewLeafStats creates accumulators for a model with nLeaves regions.
+// shards is rounded up to a power of two (0 means DefaultShards).
+func NewLeafStats(nLeaves, shards int) (*LeafStats, error) {
+	if nLeaves <= 0 {
+		return nil, fmt.Errorf("monitor: leaf count %d must be positive", nLeaves)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("monitor: shard count %d must be >= 0", shards)
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	nshards := 1
+	for nshards < shards {
+		nshards <<= 1
+	}
+	s := &LeafStats{
+		nLeaves:    nLeaves,
+		shards:     make([]leafShard, nshards),
+		shardShift: uint8(64 - bits.TrailingZeros(uint(nshards))),
+	}
+	for i := range s.shards {
+		s.shards[i].counters = make([]atomic.Uint64, 2*(nLeaves+1))
+	}
+	return s, nil
+}
+
+// NumLeaves reports the leaf count the accumulators were sized for.
+func (s *LeafStats) NumLeaves() int { return s.nLeaves }
+
+// slot maps a leaf id to its counter pair index; ids outside [0, nLeaves)
+// (including the -1 "no taQIM" marker) land in the overflow pair.
+func (s *LeafStats) slot(leafID int) int {
+	if leafID >= 0 && leafID < s.nLeaves {
+		return 2 * leafID
+	}
+	return 2 * s.nLeaves
+}
+
+// Observe attributes one ground-truth verdict to the leaf that produced the
+// judged estimate: two atomic adds, no locks, no allocation. The count is
+// bumped before the event; paired with the readers' event-before-count
+// order, an aggregate can therefore never report more events than
+// observations for a leaf, however the adds interleave.
+func (s *LeafStats) Observe(trackID, leafID int, wrong bool) {
+	sh := &s.shards[(uint64(trackID)*fibMul)>>s.shardShift]
+	i := s.slot(leafID)
+	sh.counters[i].Add(1)
+	if wrong {
+		sh.counters[i+1].Add(1)
+	}
+}
+
+// Totals aggregates the per-leaf evidence across shards into dst (grown as
+// needed; index = leaf id) and returns it. The aggregation allocates nothing
+// when cap(dst) >= NumLeaves.
+func (s *LeafStats) Totals(dst []LeafCounts) []LeafCounts {
+	if cap(dst) < s.nLeaves {
+		dst = make([]LeafCounts, s.nLeaves)
+	}
+	dst = dst[:s.nLeaves]
+	for i := range dst {
+		dst[i] = LeafCounts{}
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for leaf := 0; leaf < s.nLeaves; leaf++ {
+			// Events before count (see Observe): a concurrent observation
+			// can make the pair read low, never inconsistent.
+			dst[leaf].Events += sh.counters[2*leaf+1].Load()
+			dst[leaf].Count += sh.counters[2*leaf].Load()
+		}
+	}
+	return dst
+}
+
+// Unattributed returns the evidence that could not be attributed to a leaf
+// (feedback for estimates served without a taQIM, or with a leaf id outside
+// the accumulators' range).
+func (s *LeafStats) Unattributed() LeafCounts {
+	var out LeafCounts
+	for i := range s.shards {
+		sh := &s.shards[i]
+		out.Events += sh.counters[2*s.nLeaves+1].Load()
+		out.Count += sh.counters[2*s.nLeaves].Load()
+	}
+	return out
+}
+
+// TotalCount returns the number of attributed feedbacks across all leaves.
+func (s *LeafStats) TotalCount() uint64 {
+	var n uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for leaf := 0; leaf < s.nLeaves; leaf++ {
+			n += sh.counters[2*leaf].Load()
+		}
+	}
+	return n
+}
+
+// Reset clears every counter, called after a recalibration has absorbed the
+// accumulated evidence into the model. Feedback racing the reset may be
+// lost from the next cycle's accumulators — bounded by the in-flight joins
+// of the reset instant, and safe: evidence is only ever under-, never
+// double-counted.
+func (s *LeafStats) Reset() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j := range sh.counters {
+			sh.counters[j].Store(0)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLeafStatsAttribution(t *testing.T) {
+	s, err := NewLeafStats(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumLeaves() != 4 {
+		t.Fatalf("NumLeaves = %d, want 4", s.NumLeaves())
+	}
+	// Spread observations across tracks (hence shards) and leaves.
+	for track := 0; track < 50; track++ {
+		s.Observe(track, track%4, track%3 == 0)
+	}
+	s.Observe(1, -1, true)  // no-taQIM estimate
+	s.Observe(2, 99, false) // out-of-range leaf
+	totals := s.Totals(nil)
+	if len(totals) != 4 {
+		t.Fatalf("Totals length %d, want 4", len(totals))
+	}
+	var count, events uint64
+	for leaf, lc := range totals {
+		count += lc.Count
+		events += lc.Events
+		var wantC, wantE uint64
+		for track := 0; track < 50; track++ {
+			if track%4 == leaf {
+				wantC++
+				if track%3 == 0 {
+					wantE++
+				}
+			}
+		}
+		if lc.Count != wantC || lc.Events != wantE {
+			t.Errorf("leaf %d: %d/%d, want %d/%d", leaf, lc.Events, lc.Count, wantE, wantC)
+		}
+	}
+	if count != 50 {
+		t.Errorf("attributed count %d, want 50", count)
+	}
+	if got := s.TotalCount(); got != 50 {
+		t.Errorf("TotalCount = %d, want 50", got)
+	}
+	if un := s.Unattributed(); un.Count != 2 || un.Events != 1 {
+		t.Errorf("Unattributed = %+v, want {2 1}", un)
+	}
+	// Totals reuses the caller's slice without allocating.
+	reused := s.Totals(totals)
+	if &reused[0] != &totals[0] {
+		t.Error("Totals did not reuse the caller's slice")
+	}
+	s.Reset()
+	if got := s.TotalCount(); got != 0 {
+		t.Errorf("TotalCount after Reset = %d, want 0", got)
+	}
+	if un := s.Unattributed(); un.Count != 0 {
+		t.Errorf("Unattributed after Reset = %+v, want zero", un)
+	}
+}
+
+func TestLeafStatsValidation(t *testing.T) {
+	if _, err := NewLeafStats(0, 0); err == nil {
+		t.Error("zero leaves must fail")
+	}
+	if _, err := NewLeafStats(3, -1); err == nil {
+		t.Error("negative shards must fail")
+	}
+	s, err := NewLeafStats(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.shards) != DefaultShards {
+		t.Errorf("default shard count %d, want %d", len(s.shards), DefaultShards)
+	}
+}
+
+func TestLeafStatsConcurrent(t *testing.T) {
+	s, err := NewLeafStats(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tracks, perTrack = 16, 500
+	var wg sync.WaitGroup
+	for track := 0; track < tracks; track++ {
+		wg.Add(1)
+		go func(track int) {
+			defer wg.Done()
+			for j := 0; j < perTrack; j++ {
+				s.Observe(track, j%8, j%2 == 0)
+			}
+		}(track)
+	}
+	// A concurrent aggregator must never observe events > count.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var scratch []LeafCounts
+		for i := 0; i < 200; i++ {
+			scratch = s.Totals(scratch)
+			for leaf, lc := range scratch {
+				if lc.Events > lc.Count {
+					t.Errorf("leaf %d: events %d > count %d", leaf, lc.Events, lc.Count)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := s.TotalCount(), uint64(tracks*perTrack); got != want {
+		t.Errorf("TotalCount = %d, want %d", got, want)
+	}
+}
+
+// TestLeafStatsObserveAllocs pins the feedback-side hot path at zero
+// allocations.
+func TestLeafStatsObserveAllocs(t *testing.T) {
+	s, err := NewLeafStats(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(7, 3, true)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %g per run, want 0", allocs)
+	}
+}

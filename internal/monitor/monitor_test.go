@@ -233,6 +233,12 @@ func TestFeedShardPadding(t *testing.T) {
 	if s := unsafe.Sizeof(latStripe{}); s%shardPad != 0 || s == 0 {
 		t.Errorf("latStripe size %d is not a positive multiple of %d", s, shardPad)
 	}
+	if s := unsafe.Sizeof(leafShard{}); s%shardPad != 0 || s == 0 {
+		t.Errorf("leafShard size %d is not a positive multiple of %d", s, shardPad)
+	}
+	if off := unsafe.Offsetof(leafShard{}.leafShardState); off != 0 {
+		t.Errorf("leafShardState at offset %d, want 0", off)
+	}
 }
 
 func TestLatencyHist(t *testing.T) {

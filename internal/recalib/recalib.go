@@ -1,0 +1,238 @@
+// Package recalib closes the drift loop: it turns the observability signals
+// PR 4 added (per-leaf ground-truth feedback, the Page-Hinkley calibration-
+// drift alarm) into a model update, by refreshing the serving taQIM's leaf
+// bounds from the accumulated online evidence (dtree.Recalibrate via
+// uw.QualityImpactModel.Recalibrate) and hot-swapping the refreshed revision
+// into the wrapper pool with zero downtime (core.WrapperPool.SwapModel).
+//
+// Two triggers share one engine: a manual trigger (the operator's POST
+// /v1/recalibrate) that runs whenever called, and an automatic trigger
+// (TryAuto) meant to be invoked when the drift alarm is active, guarded by a
+// cooldown (no swap storms while an alarm churns) and a min-feedback-per-
+// leaf requirement (no bound is refreshed from thin evidence — the
+// Gerber/Jöckel/Kläs failure mode where a handful of lucky feedbacks
+// collapses a region's bound). Either way a swap is atomic for the serving
+// path: steps in flight finish on the old revision, later steps see the new
+// one, and nothing blocks.
+package recalib
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/dtree"
+	"github.com/iese-repro/tauw/internal/monitor"
+)
+
+// Config tunes the recalibration policy.
+type Config struct {
+	// MinLeafFeedback is the minimum online feedback a leaf needs before
+	// its bound is refreshed (leaves below it keep their current bound),
+	// and the auto trigger's evidence guard: an automatic recalibration
+	// only runs when at least one leaf qualifies. 0 means
+	// DefaultMinLeafFeedback; negative disables the guard (any leaf with
+	// evidence is refreshed, however thin).
+	MinLeafFeedback int
+	// Cooldown is the minimum time between automatic recalibration
+	// attempts — swaps and guard-rejected tries alike — so an alarm that
+	// stays active across many feedbacks can neither trigger a swap storm
+	// nor pay the per-leaf evidence aggregation on every feedback. 0 means
+	// DefaultCooldown; negative disables the cooldown. Manual
+	// recalibrations ignore it.
+	Cooldown time.Duration
+	// LaplaceAlpha is the add-alpha smoothing applied to refreshed bounds
+	// (see dtree.RecalibConfig.LaplaceAlpha); 0 disables smoothing.
+	LaplaceAlpha int
+	// DropPrior recomputes refreshed leaves from online evidence alone
+	// instead of combining it with the offline calibration counts.
+	DropPrior bool
+	// Now injects the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// Policy defaults.
+const (
+	DefaultMinLeafFeedback = 50
+	DefaultCooldown        = time.Minute
+)
+
+func (c Config) withDefaults() Config {
+	if c.MinLeafFeedback == 0 {
+		c.MinLeafFeedback = DefaultMinLeafFeedback
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = DefaultCooldown
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Report is the outcome of one recalibration attempt.
+type Report struct {
+	// Swapped reports whether a new model revision was swapped in; when
+	// false, Reason says why not and the versions are equal.
+	Swapped bool
+	Reason  string
+	// OldVersion and NewVersion are the serving model versions before and
+	// after the attempt.
+	OldVersion, NewVersion uint64
+	// Deltas is the per-leaf audit of the swap (nil when no swap
+	// happened): every leaf with its old and new bound, the online
+	// evidence offered, and whether it was refreshed.
+	Deltas []dtree.LeafDelta
+}
+
+// Reasons a recalibration attempt reports without swapping.
+const (
+	ReasonCooldown   = "cooldown active"
+	ReasonNoEvidence = "no leaf reached the feedback minimum"
+)
+
+// Recalibrator binds the pool, the per-leaf evidence, and the calibration
+// monitor into the recalibration policy engine. It is safe for concurrent
+// use: attempts serialise on an internal mutex while the pool keeps serving.
+type Recalibrator struct {
+	pool  *core.WrapperPool
+	leafs *monitor.LeafStats
+	calib *monitor.Monitor
+	cfg   Config
+
+	mu           sync.Mutex // serialises recalibration attempts
+	lastAuto     time.Time
+	count        atomic.Uint64
+	lastSwapNano atomic.Int64
+
+	// scratch reused across attempts (guarded by mu).
+	totals   []monitor.LeafCounts
+	evidence []dtree.LeafEvidence
+}
+
+// New wires a recalibrator. The leaf accumulators must be sized for the
+// pool's serving model (monitor.NewLeafStats(taqim.NumRegions(), ...));
+// calib may be nil when no drift monitor participates (the alarm is then
+// never re-armed by a swap).
+func New(pool *core.WrapperPool, leafs *monitor.LeafStats, calib *monitor.Monitor, cfg Config) (*Recalibrator, error) {
+	if pool == nil || leafs == nil {
+		return nil, errors.New("recalib: pool and leaf accumulators are required")
+	}
+	if cfg.LaplaceAlpha < 0 {
+		return nil, errors.New("recalib: laplace alpha must be >= 0")
+	}
+	if got, want := leafs.NumLeaves(), pool.CurrentTAQIM().NumRegions(); got != want {
+		return nil, errors.New("recalib: leaf accumulators sized for a different model")
+	}
+	return &Recalibrator{pool: pool, leafs: leafs, calib: calib, cfg: cfg.withDefaults()}, nil
+}
+
+// Recalibrate runs a manual recalibration: refresh every leaf with enough
+// online evidence, swap the refreshed model in, reset the accumulators, and
+// clear an active drift alarm. The cooldown does not apply — an operator
+// who asks, gets. When no leaf has enough evidence the model is left
+// untouched and the report says so.
+func (r *Recalibrator) Recalibrate() (Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempt(false)
+}
+
+// TryAuto runs the automatic trigger, meant to be called when the drift
+// alarm fires: it applies the cooldown and evidence guards, and on success
+// swaps, resets the accumulators, and re-arms the alarm. Guard rejections
+// are reported, not errors. The cooldown window restarts on every
+// attempt — successful or guard-rejected — so an alarm churning across
+// many feedbacks costs one timestamp comparison per feedback, not a
+// per-leaf evidence aggregation.
+func (r *Recalibrator) TryAuto() (Report, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.attempt(true)
+}
+
+// attempt is the shared engine; the caller holds r.mu.
+func (r *Recalibrator) attempt(auto bool) (Report, error) {
+	now := r.cfg.Now()
+	version := r.pool.ModelVersion()
+	rep := Report{OldVersion: version, NewVersion: version}
+	if auto {
+		if r.cfg.Cooldown > 0 && !r.lastAuto.IsZero() && now.Sub(r.lastAuto) < r.cfg.Cooldown {
+			rep.Reason = ReasonCooldown
+			return rep, nil
+		}
+		r.lastAuto = now
+	}
+	minLeaf := r.cfg.MinLeafFeedback
+	if minLeaf < 0 {
+		minLeaf = 0 // guard disabled: any leaf with evidence qualifies
+	}
+	r.totals = r.leafs.Totals(r.totals)
+	r.evidence = r.evidence[:0]
+	qualifying := 0
+	for leaf, lc := range r.totals {
+		if lc.Count == 0 {
+			continue
+		}
+		// A feedback racing the post-swap Reset can be torn — its count
+		// zeroed, its event landing after — leaving events briefly above
+		// the count. Clamp rather than fail: the pair is evidence either
+		// way, and dtree.Recalibrate rejects events > count outright.
+		events := lc.Events
+		if events > lc.Count {
+			events = lc.Count
+		}
+		r.evidence = append(r.evidence, dtree.LeafEvidence{
+			LeafID: leaf,
+			Count:  int(lc.Count),
+			Events: int(events),
+		})
+		if int(lc.Count) >= minLeaf {
+			qualifying++
+		}
+	}
+	if qualifying == 0 {
+		rep.Reason = ReasonNoEvidence
+		return rep, nil
+	}
+	cur := r.pool.CurrentTAQIM()
+	next, deltas, err := cur.Recalibrate(r.evidence, dtree.RecalibConfig{
+		MinLeafEvidence: minLeaf,
+		LaplaceAlpha:    r.cfg.LaplaceAlpha,
+		DropPrior:       r.cfg.DropPrior,
+	})
+	if err != nil {
+		return rep, err
+	}
+	oldV, newV, err := r.pool.SwapModel(next)
+	if err != nil {
+		return rep, err
+	}
+	// The swapped model has absorbed the accumulated evidence: restart the
+	// accumulators so the next cycle measures the new revision, stamp the
+	// swap, and clear the alarm so the detector re-arms against post-swap
+	// traffic.
+	r.leafs.Reset()
+	r.count.Add(1)
+	r.lastSwapNano.Store(now.UnixNano())
+	if r.calib != nil {
+		r.calib.ResetDriftAlarm()
+	}
+	rep.Swapped = true
+	rep.OldVersion = oldV
+	rep.NewVersion = newV
+	rep.Deltas = deltas
+	return rep, nil
+}
+
+// ModelVersion implements monitor.SwapSource: the serving model revision.
+func (r *Recalibrator) ModelVersion() uint64 { return r.pool.ModelVersion() }
+
+// RecalibrationCount implements monitor.SwapSource: completed swaps.
+func (r *Recalibrator) RecalibrationCount() uint64 { return r.count.Load() }
+
+// LastSwapUnixNano implements monitor.SwapSource: when the last swap
+// landed (0 before the first).
+func (r *Recalibrator) LastSwapUnixNano() int64 { return r.lastSwapNano.Load() }

@@ -1,0 +1,315 @@
+package recalib_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/eval"
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/recalib"
+)
+
+var (
+	studyOnce sync.Once
+	studyVal  *eval.Study
+	studyErr  error
+)
+
+func testStudy(t *testing.T) *eval.Study {
+	t.Helper()
+	studyOnce.Do(func() {
+		studyVal, studyErr = eval.BuildStudy(eval.TinyConfig())
+	})
+	if studyErr != nil {
+		t.Fatalf("BuildStudy: %v", studyErr)
+	}
+	return studyVal
+}
+
+// fixture builds a monitored pool, leaf accumulators, and a recalibrator
+// with an injectable clock.
+func fixture(t *testing.T, cfg recalib.Config) (*core.WrapperPool, *monitor.LeafStats, *monitor.Monitor, *recalib.Recalibrator) {
+	t.Helper()
+	st := testStudy(t)
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, core.Config{}, 0, core.WithMonitoring(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafs, err := monitor.NewLeafStats(st.TAQIM.NumRegions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := monitor.New(monitor.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := recalib.New(pool, leafs, calib, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, leafs, calib, r
+}
+
+// feed runs steps through the pool and attributes deliberately wrong
+// feedback so the stepped leaf accumulates heavy failure evidence.
+func feed(t *testing.T, pool *core.WrapperPool, leafs *monitor.LeafStats, n int) {
+	t.Helper()
+	st := testStudy(t)
+	if err := pool.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	s := st.TestSeries[0]
+	for j := 0; j < n; j++ {
+		if j%len(s.Outcomes) == 0 {
+			if err := pool.Open(1); err != nil { // restart the series
+				t.Fatal(err)
+			}
+		}
+		res, err := pool.Step(1, s.Outcomes[j%len(s.Outcomes)], s.Quality[j%len(s.Quality)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pool.TakeFeedback(1, res.TotalSteps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leafs.Observe(1, rec.TAQIMLeaf, true) // every estimate judged wrong
+	}
+}
+
+func TestRecalibrateSwapsAndLiftsBounds(t *testing.T) {
+	pool, leafs, _, r := fixture(t, recalib.Config{MinLeafFeedback: 20})
+	feed(t, pool, leafs, 200)
+	if got := leafs.TotalCount(); got != 200 {
+		t.Fatalf("accumulated %d feedbacks, want 200", got)
+	}
+	rep, err := r.Recalibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped {
+		t.Fatalf("manual recalibration with 200 feedbacks did not swap: %+v", rep)
+	}
+	if rep.OldVersion != 1 || rep.NewVersion != 2 {
+		t.Fatalf("versions (%d, %d), want (1, 2)", rep.OldVersion, rep.NewVersion)
+	}
+	if pool.ModelVersion() != 2 {
+		t.Fatalf("pool version %d, want 2", pool.ModelVersion())
+	}
+	lifted := 0
+	for _, d := range rep.Deltas {
+		if d.Refreshed {
+			if d.NewValue <= d.OldValue {
+				t.Errorf("all-wrong evidence must lift leaf %d: %g -> %g", d.LeafID, d.OldValue, d.NewValue)
+			}
+			lifted++
+		}
+	}
+	if lifted == 0 {
+		t.Fatal("no leaf was refreshed")
+	}
+	// The accumulators restart after the swap.
+	if got := leafs.TotalCount(); got != 0 {
+		t.Errorf("accumulators not reset: %d", got)
+	}
+	if r.RecalibrationCount() != 1 {
+		t.Errorf("RecalibrationCount = %d, want 1", r.RecalibrationCount())
+	}
+	if r.LastSwapUnixNano() == 0 {
+		t.Error("LastSwapUnixNano not stamped")
+	}
+	if r.ModelVersion() != 2 {
+		t.Errorf("ModelVersion = %d, want 2", r.ModelVersion())
+	}
+}
+
+func TestRecalibrateNoEvidence(t *testing.T) {
+	_, _, _, r := fixture(t, recalib.Config{MinLeafFeedback: 20})
+	rep, err := r.Recalibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped || rep.Reason != recalib.ReasonNoEvidence {
+		t.Fatalf("empty accumulators must not swap: %+v", rep)
+	}
+	if rep.OldVersion != rep.NewVersion {
+		t.Fatalf("versions moved without a swap: %+v", rep)
+	}
+}
+
+func TestTryAutoGuards(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	cfg := recalib.Config{
+		MinLeafFeedback: 10,
+		Cooldown:        time.Minute,
+		Now:             func() time.Time { return clock },
+	}
+	pool, leafs, calib, r := fixture(t, cfg)
+
+	// Thin evidence: the auto trigger must refuse.
+	feed(t, pool, leafs, 5)
+	rep, err := r.TryAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped || rep.Reason != recalib.ReasonNoEvidence {
+		t.Fatalf("thin evidence must not auto-swap: %+v", rep)
+	}
+	// A guard-rejected attempt arms the cooldown too: the alarm churning
+	// across feedbacks must not pay the evidence aggregation every time.
+	rep, err = r.TryAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped || rep.Reason != recalib.ReasonCooldown {
+		t.Fatalf("immediate retry after a rejected attempt must hit the cooldown: %+v", rep)
+	}
+	clock = clock.Add(2 * time.Minute)
+
+	// Enough evidence: swap, and the drift alarm is cleared.
+	feed(t, pool, leafs, 100)
+	// Drive the detector into an alarm: a calibrated baseline, then a
+	// sustained squared-error degradation.
+	for i := 0; i < 250; i++ {
+		if err := calib.Observe(1, 0.05, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300 && !calib.DriftAlarmed(); i++ {
+		if err := calib.Observe(1, 0.9, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !calib.DriftAlarmed() {
+		t.Fatal("fixture failed to raise a drift alarm")
+	}
+	rep, err = r.TryAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped {
+		t.Fatalf("auto recalibration with evidence did not swap: %+v", rep)
+	}
+	if calib.DriftAlarmed() {
+		t.Error("swap must re-arm (clear) the drift alarm")
+	}
+
+	// Within the cooldown the next auto attempt is refused however much
+	// evidence exists; manual still works.
+	feed(t, pool, leafs, 100)
+	clock = clock.Add(30 * time.Second)
+	rep, err = r.TryAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Swapped || rep.Reason != recalib.ReasonCooldown {
+		t.Fatalf("cooldown must refuse the auto trigger: %+v", rep)
+	}
+	rep, err = r.Recalibrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped {
+		t.Fatalf("manual recalibration must ignore the cooldown: %+v", rep)
+	}
+
+	// After the cooldown the auto trigger works again.
+	feed(t, pool, leafs, 100)
+	clock = clock.Add(2 * time.Minute)
+	rep, err = r.TryAuto()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Swapped {
+		t.Fatalf("expired cooldown must allow the auto trigger: %+v", rep)
+	}
+	if got := r.RecalibrationCount(); got != 3 {
+		t.Errorf("RecalibrationCount = %d, want 3", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	st := testStudy(t)
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, core.Config{}, 0, core.WithMonitoring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafs, err := monitor.NewLeafStats(st.TAQIM.NumRegions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recalib.New(nil, leafs, nil, recalib.Config{}); err == nil {
+		t.Error("nil pool must fail")
+	}
+	if _, err := recalib.New(pool, nil, nil, recalib.Config{}); err == nil {
+		t.Error("nil leaf stats must fail")
+	}
+	// Negative min feedback is the explicit "no guard" setting.
+	if _, err := recalib.New(pool, leafs, nil, recalib.Config{MinLeafFeedback: -1}); err != nil {
+		t.Errorf("negative min feedback (guard disabled): %v", err)
+	}
+	if _, err := recalib.New(pool, leafs, nil, recalib.Config{LaplaceAlpha: -1}); err == nil {
+		t.Error("negative laplace must fail")
+	}
+	wrong, err := monitor.NewLeafStats(st.TAQIM.NumRegions()+3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recalib.New(pool, wrong, nil, recalib.Config{}); err == nil {
+		t.Error("mis-sized accumulators must fail")
+	}
+	// nil calib is allowed.
+	if _, err := recalib.New(pool, leafs, nil, recalib.Config{}); err != nil {
+		t.Errorf("nil calib: %v", err)
+	}
+}
+
+// TestRecalibrateConcurrentWithTraffic races manual recalibrations against
+// live steps and feedback — the policy-layer slice of the tentpole's race
+// story (run under -race).
+func TestRecalibrateConcurrentWithTraffic(t *testing.T) {
+	pool, leafs, _, r := fixture(t, recalib.Config{MinLeafFeedback: 5, Cooldown: -1})
+	st := testStudy(t)
+	s := st.TestSeries[0]
+	// Seed enough evidence that the first attempt can swap whatever the
+	// goroutine interleaving does.
+	feed(t, pool, leafs, 20)
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(track int) {
+			defer wg.Done()
+			if err := pool.Open(track); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < 300; j++ {
+				res, err := pool.Step(track, s.Outcomes[j%len(s.Outcomes)], s.Quality[j%len(s.Quality)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rec, err := pool.TakeFeedback(track, res.TotalSteps); err == nil {
+					leafs.Observe(track, rec.TAQIMLeaf, j%2 == 0)
+				}
+			}
+		}(w + 10)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := r.Recalibrate(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if v := pool.ModelVersion(); v < 2 {
+		t.Errorf("no recalibration landed under traffic: version %d", v)
+	}
+}

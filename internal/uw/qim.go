@@ -99,6 +99,27 @@ func FitQIM(trainX [][]float64, trainY []bool, calibX [][]float64, calibY []bool
 	return &QualityImpactModel{tree: tree, flat: tree.Compile(), cfg: cfg, names: names}, nil
 }
 
+// Recalibrate returns a new model whose leaf bounds have been refreshed
+// from the combined offline-prior and online-feedback counts (see
+// dtree.Recalibrate), computed with the same bound construction and
+// confidence level the model was calibrated with, and recompiled for
+// inference. The receiver is untouched and keeps serving — the returned
+// model is meant to be hot-swapped in (core.WrapperPool.SwapModel). The tree
+// structure, feature layout, and leaf numbering are preserved, so estimate
+// provenance (leaf ids) stays comparable across the swap.
+func (q *QualityImpactModel) Recalibrate(evidence []dtree.LeafEvidence, cfg dtree.RecalibConfig) (*QualityImpactModel, []dtree.LeafDelta, error) {
+	bound := func(k, n int) (float64, error) {
+		return stats.BinomialUpperBound(q.cfg.Bound, k, n, q.cfg.Confidence)
+	}
+	tree, deltas, err := q.tree.Recalibrate(evidence, bound, cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("uw: recalibrating quality impact model: %w", err)
+	}
+	names := make([]string, len(q.names))
+	copy(names, q.names)
+	return &QualityImpactModel{tree: tree, flat: tree.Compile(), cfg: q.cfg, names: names}, deltas, nil
+}
+
 // Uncertainty returns the dependable input-quality uncertainty for the given
 // factor vector: with probability >= Confidence the true failure rate in
 // this region does not exceed the returned value.
@@ -141,6 +162,10 @@ func (q *QualityImpactModel) MinUncertainty() (float64, error) {
 
 // NumRegions returns the number of calibrated leaves.
 func (q *QualityImpactModel) NumRegions() int { return q.tree.NumLeaves() }
+
+// NumFeatures returns the width of the factor vectors the model scores —
+// the compatibility check a model hot-swap must pass.
+func (q *QualityImpactModel) NumFeatures() int { return q.tree.NumFeatures() }
 
 // Rules exports the model as a human-auditable rule list.
 func (q *QualityImpactModel) Rules() string { return q.tree.Rules(q.names) }

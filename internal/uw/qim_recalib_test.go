@@ -1,0 +1,75 @@
+package uw
+
+import (
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/dtree"
+)
+
+func TestQIMRecalibrate(t *testing.T) {
+	qim := fitTestQIM(t)
+	probe := []float64{0.2, 0.5} // the clean region
+	leaf, err := qim.LeafID(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := qim.Uncertainty(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy online failure evidence for the clean region: the refreshed
+	// bound must rise, the structure must not change, and the receiver must
+	// keep serving the old bound.
+	ev := []dtree.LeafEvidence{{LeafID: leaf, Count: 2000, Events: 1500}}
+	next, deltas, err := qim.Recalibrate(ev, dtree.RecalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.NumRegions() != qim.NumRegions() || next.NumFeatures() != qim.NumFeatures() {
+		t.Fatalf("recalibration changed the model shape: %d/%d -> %d/%d",
+			qim.NumRegions(), qim.NumFeatures(), next.NumRegions(), next.NumFeatures())
+	}
+	after, err := next.Uncertainty(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Fatalf("1500/2000 online failures must raise the bound: %g -> %g", before, after)
+	}
+	still, err := qim.Uncertainty(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still != before {
+		t.Fatalf("recalibration mutated the serving model: %g -> %g", before, still)
+	}
+	// The same leaf routes the same input on both models (structure
+	// preserved), and the delta records the move.
+	leafAfter, err := next.LeafID(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leafAfter != leaf {
+		t.Fatalf("leaf id moved across recalibration: %d -> %d", leaf, leafAfter)
+	}
+	found := false
+	for _, d := range deltas {
+		if d.LeafID == leaf {
+			found = true
+			if !d.Refreshed || d.OldValue != before || d.NewValue != after {
+				t.Fatalf("delta for leaf %d inconsistent: %+v (want %g -> %g)", leaf, d, before, after)
+			}
+		} else if d.Refreshed {
+			t.Fatalf("leaf %d refreshed without evidence", d.LeafID)
+		}
+	}
+	if !found {
+		t.Fatalf("no delta for leaf %d", leaf)
+	}
+
+	// Invalid evidence propagates as an error.
+	if _, _, err := qim.Recalibrate([]dtree.LeafEvidence{{LeafID: -3, Count: 1}}, dtree.RecalibConfig{}); err == nil {
+		t.Fatal("invalid evidence must fail")
+	}
+}

@@ -101,6 +101,17 @@ func (s *ScopeModel) Uncertainty(factors []float64) (float64, error) {
 			return 1, nil
 		}
 	}
+	// A NaN factor is out of scope whichever dimension carries it, hard
+	// boundary check or not: a sensor that reports not-a-number is not
+	// reporting an in-scope value. Without this, a NaN in an unchecked
+	// dimension would poison worstZ below (math.Abs(NaN)/std propagates NaN
+	// through math.Max and out of the smooth step) and the unfitted path
+	// would even report 0 — fully in scope — for garbage input.
+	for _, v := range factors {
+		if math.IsNaN(v) {
+			return 1, nil
+		}
+	}
 	if !s.fitted {
 		return 0, nil
 	}

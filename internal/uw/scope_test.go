@@ -1,0 +1,89 @@
+package uw
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScopeModelNaNFactors pins the NaN regression: a NaN scope factor means
+// "out of scope" (uncertainty 1) in every configuration — whether the NaN
+// dimension carries a hard boundary check or not, and whether a similarity
+// model has been fitted or not. Before the fix, a NaN in an unchecked
+// dimension returned NaN on the fitted path (poisoned worstZ) and 0 — fully
+// in scope — on the unfitted path.
+func TestScopeModelNaNFactors(t *testing.T) {
+	nan := math.NaN()
+	fit := func(sm *ScopeModel) *ScopeModel {
+		t.Helper()
+		data := [][]float64{{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}, {0.2, 0.1}}
+		if err := sm.FitSimilarity(data); err != nil {
+			t.Fatal(err)
+		}
+		return sm
+	}
+	check := BoundaryCheck{Name: "dim0", Index: 0, Min: 0, Max: 1}
+	newModel := func(fitted bool, checks ...BoundaryCheck) *ScopeModel {
+		t.Helper()
+		sm, err := NewScopeModel(2, checks...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fitted {
+			fit(sm)
+		}
+		return sm
+	}
+
+	cases := []struct {
+		name    string
+		model   *ScopeModel
+		factors []float64
+		want    float64
+	}{
+		{"NaN in checked dim, unfitted", newModel(false, check), []float64{nan, 0.2}, 1},
+		{"NaN in checked dim, fitted", newModel(true, check), []float64{nan, 0.2}, 1},
+		{"NaN in unchecked dim, unfitted", newModel(false, check), []float64{0.2, nan}, 1},
+		{"NaN in unchecked dim, fitted", newModel(true, check), []float64{0.2, nan}, 1},
+		{"NaN with no checks at all, unfitted", newModel(false), []float64{0.2, nan}, 1},
+		{"NaN with no checks at all, fitted", newModel(true), []float64{0.2, nan}, 1},
+		{"finite in-scope input still passes, unfitted", newModel(false, check), []float64{0.2, 0.2}, 0},
+		{"finite in-scope input still passes, fitted", newModel(true, check), []float64{0.2, 0.2}, 0},
+	}
+	for _, tc := range cases {
+		got, err := tc.model.Uncertainty(tc.factors)
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: Uncertainty = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestScopeModelUncertaintyNeverNaN sweeps NaN through every dimension of a
+// fitted model: the returned uncertainty must always be a number in [0,1].
+func TestScopeModelUncertaintyNeverNaN(t *testing.T) {
+	sm, err := NewScopeModel(3, BoundaryCheck{Name: "d1", Index: 1, Min: -1, Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.FitSimilarity([][]float64{{0, 0, 0}, {1, 1, 1}, {0.5, 0.2, 0.8}}); err != nil {
+		t.Fatal(err)
+	}
+	base := []float64{0.5, 0.5, 0.5}
+	for d := 0; d < 3; d++ {
+		factors := append([]float64(nil), base...)
+		factors[d] = math.NaN()
+		u, err := sm.Uncertainty(factors)
+		if err != nil {
+			t.Fatalf("dim %d: %v", d, err)
+		}
+		if math.IsNaN(u) || u < 0 || u > 1 {
+			t.Fatalf("dim %d: Uncertainty = %g, want a number in [0,1]", d, u)
+		}
+		if u != 1 {
+			t.Fatalf("dim %d: NaN factor scored %g, want out of scope (1)", d, u)
+		}
+	}
+}
