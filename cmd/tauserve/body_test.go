@@ -1,0 +1,134 @@
+// body_test.go pins the request-body hygiene of the handlers: endpoints
+// that never read their body must still drain it so pipelined keep-alive
+// connections survive (net/http cuts the connection when more than its
+// post-handler limit of unread body remains), and endpoints that do read
+// must answer an oversized body with 413 and the structured JSON error
+// shape, not a generic 400.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestKeepAliveSurvivesUnreadLargeBodies is the drain-and-limit regression
+// test: two POSTs with ~512 KiB bodies ride one pipelined connection to an
+// endpoint that ignores its body. Without the handler draining the body,
+// net/http abandons keep-alive (it only auto-drains 256 KiB) and the second
+// pipelined request dies with a reset instead of a response.
+func TestKeepAliveSurvivesUnreadLargeBodies(t *testing.T) {
+	ts := testServer(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	body := bytes.Repeat([]byte{' '}, 512<<10)
+	var req bytes.Buffer
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&req, "POST /v1/series HTTP/1.1\r\nHost: tauserve\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", len(body))
+		req.Write(body)
+	}
+	if _, err := conn.Write(req.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodPost})
+		if err != nil {
+			t.Fatalf("response %d: %v (keep-alive broken by unread body?)", i, err)
+		}
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("response %d = %d", i, resp.StatusCode)
+		}
+		if resp.Close {
+			t.Fatalf("response %d asked to close the connection", i)
+		}
+		created := decode[newSeriesResponse](t, resp)
+		if created.SeriesID == "" {
+			t.Fatalf("response %d: empty series id", i)
+		}
+	}
+}
+
+// TestRecalibrateDrainsBody covers the same hygiene on the other body-less
+// POST endpoint: /v1/recalibrate with a large body keeps the connection.
+func TestRecalibrateDrainsBody(t *testing.T) {
+	ts := testServer(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+
+	body := bytes.Repeat([]byte{' '}, 512<<10)
+	var req bytes.Buffer
+	for i := 0; i < 2; i++ {
+		fmt.Fprintf(&req, "POST /v1/recalibrate HTTP/1.1\r\nHost: tauserve\r\nContent-Length: %d\r\n\r\n", len(body))
+		req.Write(body)
+	}
+	if _, err := conn.Write(req.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodPost})
+		if err != nil {
+			t.Fatalf("response %d: %v (keep-alive broken by unread body?)", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("response %d = %d", i, resp.StatusCode)
+		}
+		if resp.Close {
+			t.Fatalf("response %d asked to close the connection", i)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// TestOversizedBodies413 pins the MaxBytesError mapping: a body above the
+// endpoint's limit answers 413 with the structured JSON error shape on
+// every body-reading v1 endpoint.
+func TestOversizedBodies413(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		path  string
+		bytes int
+	}{
+		{"/v1/step", maxStepBodyBytes + 2},
+		{"/v1/feedback", maxStepBodyBytes + 2},
+		{"/v1/steps", maxBatchBodyBytes + 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			// Spaces are valid JSON leading whitespace, so a rejection can
+			// only come from the size limit, never the parser.
+			body := bytes.Repeat([]byte{' '}, tc.bytes)
+			resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status %d, want 413", resp.StatusCode)
+			}
+			got := decode[errorResponse](t, resp)
+			if got.Error == "" {
+				t.Fatal("413 without a structured error body")
+			}
+		})
+	}
+}

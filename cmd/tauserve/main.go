@@ -57,6 +57,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -79,7 +80,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tauserve", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address")
+		addr    = fs.String("addr", ":8080", "listen address")
+		tcpAddr = fs.String("tcp-addr", "",
+			"binary streaming transport listen address (empty disables it); "+
+				"persistent-connection frame protocol for clients that outgrow "+
+				"the JSON endpoints' per-request HTTP overhead")
 		preset       = fs.String("preset", "tiny", "calibration preset: tiny, quick, or paper")
 		shards       = fs.Int("shards", 0, "wrapper-pool shard count (0 = default, rounded up to a power of two)")
 		maxSeries    = fs.Int("max-series", 0, "cap on concurrently open series (0 = unlimited)")
@@ -165,6 +170,21 @@ func run(args []string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
+	// The binary streaming transport listens alongside HTTP when enabled;
+	// its drain rides the same shutdown sequence (see serveUntilShutdown).
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			return fmt.Errorf("binary transport listener: %w", err)
+		}
+		go func() {
+			if err := srv.ServeWire(ln); err != nil {
+				log.Printf("binary transport listener failed: %v", err)
+			}
+		}()
+		log.Printf("binary transport listening on %s", *tcpAddr)
+	}
+
 	// Graceful shutdown: the first SIGINT/SIGTERM flips readiness and
 	// drains in-flight requests; a second signal (stop() restores default
 	// handling) kills the process the classic way.
@@ -223,6 +243,11 @@ func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		// The binary transport drains inside the same timeout window: idle
+		// connections unblock immediately, in-flight frames complete.
+		if err := srv.ShutdownWire(shutdownCtx); err != nil {
+			return err
 		}
 		snap := srv.Calibration().Snapshot()
 		log.Printf("drained cleanly (%d steps served, %d feedbacks, windowed Brier %.4f)",

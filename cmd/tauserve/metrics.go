@@ -47,32 +47,50 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	track, err := s.pool.ResolveSeries(fb.seriesID)
+	resp, status, err := s.joinFeedback(fb.seriesID, fb.step, fb.truth)
 	if err != nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", fb.seriesID))
+		httpError(w, status, err)
 		return
 	}
-	rec, err := s.pool.TakeFeedback(track, fb.step)
+	sc.out, err = appendFeedbackResponse(sc.out[:0], &resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, http.StatusOK, sc.out)
+}
+
+// joinFeedback performs the ground-truth join shared by POST /v1/feedback
+// and the binary transport's feedback frame: resolve the series, join the
+// report against the provenance ring, fold the verdict into the calibration
+// monitor and the per-leaf evidence, and (when armed) attempt the automatic
+// drift response. On failure the returned status carries the HTTP code of
+// the condition; the wire dispatch reuses it verbatim, so the two
+// transports cannot drift apart on error semantics.
+func (s *Server) joinFeedback(seriesID string, step, truth int) (feedbackResponse, int, error) {
+	track, err := s.pool.ResolveSeries(seriesID)
+	if err != nil {
+		return feedbackResponse{}, http.StatusNotFound, fmt.Errorf("unknown series %q", seriesID)
+	}
+	rec, err := s.pool.TakeFeedback(track, step)
 	if err != nil {
 		switch {
 		case errors.Is(err, core.ErrFeedbackDisabled):
-			httpError(w, http.StatusNotImplemented, err)
+			return feedbackResponse{}, http.StatusNotImplemented, err
 		case errors.Is(err, core.ErrDuplicateFeedback):
-			httpError(w, http.StatusConflict, err)
+			return feedbackResponse{}, http.StatusConflict, err
 		case errors.Is(err, core.ErrStepUnavailable):
-			httpError(w, http.StatusGone, err)
+			return feedbackResponse{}, http.StatusGone, err
 		case errors.Is(err, core.ErrUnknownTrack):
 			// The series closed between resolution and the join.
-			httpError(w, http.StatusNotFound, fmt.Errorf("unknown series %q", fb.seriesID))
+			return feedbackResponse{}, http.StatusNotFound, fmt.Errorf("unknown series %q", seriesID)
 		default:
-			httpError(w, http.StatusInternalServerError, err)
+			return feedbackResponse{}, http.StatusInternalServerError, err
 		}
-		return
 	}
-	wrong := rec.Fused != fb.truth
+	wrong := rec.Fused != truth
 	if err := s.calib.Observe(track, rec.Uncertainty, wrong); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
+		return feedbackResponse{}, http.StatusInternalServerError, err
 	}
 	// Attribute the verdict to the taQIM region that produced the judged
 	// estimate — the per-leaf evidence the recalibration loop refreshes
@@ -89,8 +107,8 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			logf("tauserve: drift alarm triggered recalibration: model v%d -> v%d", rep.OldVersion, rep.NewVersion)
 		}
 	}
-	resp := feedbackResponse{
-		SeriesID:     fb.seriesID,
+	return feedbackResponse{
+		SeriesID:     seriesID,
 		Step:         rec.Step,
 		Correct:      !wrong,
 		FusedOutcome: rec.Fused,
@@ -98,13 +116,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		TAQIMLeaf:    rec.TAQIMLeaf,
 		ModelVersion: rec.ModelVersion,
 		DriftAlarm:   s.calib.DriftAlarmed(),
-	}
-	sc.out, err = appendFeedbackResponse(sc.out[:0], &resp)
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
-		return
-	}
-	writeRaw(w, http.StatusOK, sc.out)
+	}, http.StatusOK, nil
 }
 
 // handleRecalibrate is the manual recalibration trigger: refresh every taQIM
@@ -115,7 +127,8 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 // and when no leaf qualifies the response reports swapped=false with the
 // reason instead of bumping the version for nothing. The body is rendered by
 // the reflection-free codec like every other v1 endpoint.
-func (s *Server) handleRecalibrate(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
+	drainBody(w, r)
 	rep, err := s.recal.Recalibrate()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)

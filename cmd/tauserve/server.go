@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +72,11 @@ type Server struct {
 	// starts draining, so load balancers stop routing new work while
 	// in-flight batches finish.
 	ready atomic.Bool
+
+	// wire is the binary-transport listener when one is serving (see
+	// wire.go); ShutdownWire drains it alongside the HTTP drain.
+	wireMu sync.Mutex
+	wire   *wireServer
 }
 
 // ServerOption customises server construction.
@@ -258,7 +265,8 @@ type newSeriesResponse struct {
 	SeriesID string `json:"series_id"`
 }
 
-func (s *Server) handleNewSeries(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleNewSeries(w http.ResponseWriter, r *http.Request) {
+	drainBody(w, r)
 	id, err := s.pool.OpenSeries()
 	if err != nil {
 		if errors.Is(err, core.ErrTrackBudget) {
@@ -501,6 +509,22 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeRaw(w, http.StatusOK, sc.out)
+}
+
+// drainBody consumes (and discards) the request body on endpoints whose
+// contract takes none. Handlers that return without reading the body force
+// net/http to either drain it (small bodies) or tear the connection down
+// (bodies past its internal post-handler limit, 256 KiB), so a keep-alive
+// client that POSTs a non-empty body would lose its connection — and every
+// pipelined request behind it — to a handler that simply didn't look. The
+// drain is size-capped like every other endpoint; a body past the cap still
+// costs the connection, by MaxBytesReader design, but reads as a deliberate
+// limit instead of an accident.
+func drainBody(w http.ResponseWriter, r *http.Request) {
+	if r.Body == nil {
+		return
+	}
+	io.Copy(io.Discard, http.MaxBytesReader(w, r.Body, maxStepBodyBytes)) //nolint:errcheck // best-effort drain
 }
 
 // decodeStatus distinguishes "your JSON is broken" (400) from "your body

@@ -1,0 +1,441 @@
+// wire_test.go pins the binary transport to the JSON endpoints: the
+// differential test drives the same traffic through both and requires
+// byte-identical results and monitor state, and the error-status tests
+// require the same status codes for the same failure conditions. The drain
+// test covers the shutdown path ShutdownWire shares with the HTTP drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/augment"
+	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/wire"
+)
+
+// startWire attaches a binary listener to srv on a loopback port and
+// returns its address; the listener drains on test cleanup.
+func startWire(t *testing.T, srv *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ServeWire(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.ShutdownWire(ctx); err != nil {
+			t.Errorf("ShutdownWire: %v", err)
+		}
+		if err := <-serveErr; err != nil {
+			t.Errorf("ServeWire: %v", err)
+		}
+	})
+	return ln.Addr().String()
+}
+
+func dialWire(t *testing.T, addr string) *wire.Client {
+	t.Helper()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestWireHTTPDifferential drives identical traffic — series opens, every
+// step of the study's test series, immediate ground-truth feedback, series
+// closes — through a wire server and an HTTP server built from the same
+// study, and requires the results to be identical down to the float bits:
+// every step response field, every feedback join, and the final calibration
+// monitor state. The two transports share one implementation behind the
+// codec boundary, so any divergence is a wiring bug, not noise.
+func TestWireHTTPDifferential(t *testing.T) {
+	testServer(t) // build the shared study fixture
+	st := studyVal
+
+	newSrv := func() *Server {
+		srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	wireSrv := newSrv()
+	httpSrv := newSrv()
+	wc := dialWire(t, startWire(t, wireSrv))
+	ts := httptest.NewServer(httpSrv.Handler())
+	t.Cleanup(ts.Close)
+
+	names := augment.Names()
+	var wres wire.StepResult
+	var wfb wire.FeedbackResult
+	for si, s := range st.TestSeries {
+		if si >= 12 {
+			break // a dozen series exercise every shard without a slow test
+		}
+		wid, err := wc.OpenSeries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hid := newSeries(t, ts)
+		// Both pools mint ids from the same deterministic counter; the
+		// monitor state comparison below needs the same series→shard map.
+		if wid != hid {
+			t.Fatalf("series %d: wire id %q, http id %q", si, wid, hid)
+		}
+		for j := range s.Outcomes {
+			q := s.Quality[j]
+			if err := wc.Step(wid, s.Outcomes[j], q, &wres); err != nil {
+				t.Fatalf("series %d step %d (wire): %v", si, j, err)
+			}
+			qm := make(map[string]float64, len(names))
+			for k, name := range names {
+				qm[name] = q[k]
+			}
+			resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+				SeriesID: hid, Outcome: s.Outcomes[j], Quality: qm, PixelSize: q[len(q)-1],
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("series %d step %d (http) = %d", si, j, resp.StatusCode)
+			}
+			hres := decode[stepResponse](t, resp)
+			if wres.Fused != hres.FusedOutcome ||
+				math.Float64bits(wres.Uncertainty) != math.Float64bits(hres.Uncertainty) ||
+				math.Float64bits(wres.StatelessU) != math.Float64bits(hres.StatelessU) ||
+				wres.SeriesLen != hres.SeriesLen || wres.TotalSteps != hres.TotalSteps ||
+				wres.ModelVersion != hres.ModelVersion ||
+				wres.Countermeasure != hres.Countermeasure || wres.Accepted != hres.Accepted {
+				t.Fatalf("series %d step %d diverged:\nwire %+v\nhttp %+v", si, j, wres, hres)
+			}
+
+			if err := wc.Feedback(wid, wres.TotalSteps, s.Truth, &wfb); err != nil {
+				t.Fatalf("series %d step %d feedback (wire): %v", si, j, err)
+			}
+			fresp := postJSON(t, ts.URL+"/v1/feedback", feedbackWire{
+				SeriesID: hid, Step: hres.TotalSteps, Truth: s.Truth,
+			})
+			if fresp.StatusCode != http.StatusOK {
+				t.Fatalf("series %d step %d feedback (http) = %d", si, j, fresp.StatusCode)
+			}
+			hfb := decode[feedbackResponse](t, fresp)
+			if wfb.Step != hfb.Step || wfb.Correct != hfb.Correct ||
+				wfb.FusedOutcome != hfb.FusedOutcome ||
+				math.Float64bits(wfb.Uncertainty) != math.Float64bits(hfb.Uncertainty) ||
+				wfb.TAQIMLeaf != hfb.TAQIMLeaf || wfb.ModelVersion != hfb.ModelVersion ||
+				wfb.DriftAlarm != hfb.DriftAlarm {
+				t.Fatalf("series %d step %d feedback diverged:\nwire %+v\nhttp %+v", si, j, wfb, hfb)
+			}
+		}
+		if err := wc.CloseSeries(wid); err != nil {
+			t.Fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/series/"+hid, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+	}
+
+	// The aggregate monitor state must coincide bit-exactly too: same joins
+	// in the same per-shard order on both sides.
+	won := wireSrv.Calibration().Snapshot()
+	hon := httpSrv.Calibration().Snapshot()
+	if won.Feedbacks != hon.Feedbacks || won.Correct != hon.Correct {
+		t.Errorf("feedback counts: wire %d/%d, http %d/%d", won.Feedbacks, won.Correct, hon.Feedbacks, hon.Correct)
+	}
+	if won.Brier != hon.Brier || won.WindowedBrier != hon.WindowedBrier || won.WindowCount != hon.WindowCount {
+		t.Errorf("Brier state: wire %.17g/%.17g/%d, http %.17g/%.17g/%d",
+			won.Brier, won.WindowedBrier, won.WindowCount, hon.Brier, hon.WindowedBrier, hon.WindowCount)
+	}
+	if won.ECE != hon.ECE {
+		t.Errorf("ECE: wire %.17g, http %.17g", won.ECE, hon.ECE)
+	}
+	if len(won.Bins) != len(hon.Bins) {
+		t.Fatalf("bin counts differ: %d vs %d", len(won.Bins), len(hon.Bins))
+	}
+	for b := range won.Bins {
+		if won.Bins[b] != hon.Bins[b] {
+			t.Errorf("bin %d: wire %+v, http %+v", b, won.Bins[b], hon.Bins[b])
+		}
+	}
+}
+
+// wantWireError asserts err is a *wire.Error with the given status and
+// message substring.
+func wantWireError(t *testing.T, err error, status int, msgPart string) {
+	t.Helper()
+	var werr *wire.Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("error %T %v, want *wire.Error", err, err)
+	}
+	if werr.Status != status {
+		t.Fatalf("status %d (%q), want %d", werr.Status, werr.Msg, status)
+	}
+	if !strings.Contains(werr.Msg, msgPart) {
+		t.Fatalf("message %q, want it to mention %q", werr.Msg, msgPart)
+	}
+}
+
+// TestWireErrorStatuses pins each failure condition to the status code the
+// HTTP endpoint answers for the same condition.
+func TestWireErrorStatuses(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialWire(t, startWire(t, srv))
+
+	quality := validQuality()
+	var res wire.StepResult
+	var fb wire.FeedbackResult
+
+	wantWireError(t, c.Step("ghost", 1, quality, &res), wire.StatusNotFound, `unknown series "ghost"`)
+	wantWireError(t, c.CloseSeries("ghost"), wire.StatusNotFound, `unknown series "ghost"`)
+	wantWireError(t, c.Feedback("ghost", 1, 1, &fb), wire.StatusNotFound, `unknown series "ghost"`)
+
+	id, err := c.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong factor count and out-of-range factors are per-request 400s.
+	wantWireError(t, c.Step(id, 1, quality[:2], &res), wire.StatusBadRequest, "quality factors")
+	bad := append([]float64(nil), quality...)
+	bad[0] = 1.5
+	wantWireError(t, c.Step(id, 1, bad, &res), wire.StatusBadRequest, "outside [0,1]")
+	bad[0] = 0
+	bad[len(bad)-1] = -1
+	wantWireError(t, c.Step(id, 1, bad, &res), wire.StatusBadRequest, "pixel_size must be positive")
+
+	// Feedback join conditions: 410 for a step never served, 409 for a
+	// duplicate report.
+	if err := c.Step(id, 7, quality, &res); err != nil {
+		t.Fatal(err)
+	}
+	wantWireError(t, c.Feedback(id, res.TotalSteps+100, 7, &fb), wire.StatusGone, "")
+	if err := c.Feedback(id, res.TotalSteps, 7, &fb); err != nil {
+		t.Fatal(err)
+	}
+	wantWireError(t, c.Feedback(id, res.TotalSteps, 7, &fb), wire.StatusConflict, "")
+	if err := c.CloseSeries(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireFeedbackDisabled pins the 501 a feedback frame answers on a
+// server running without provenance rings, matching POST /v1/feedback.
+func TestWireFeedbackDisabled(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy(), WithFeedbackRing(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialWire(t, startWire(t, srv))
+	id, err := c.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.StepResult
+	if err := c.Step(id, 1, validQuality(), &res); err != nil {
+		t.Fatal(err)
+	}
+	var fb wire.FeedbackResult
+	wantWireError(t, c.Feedback(id, res.TotalSteps, 1, &fb), wire.StatusNotImplemented, "")
+}
+
+// TestWireBatchPerItemStatuses mixes valid, unknown-series, and malformed
+// items in one batch frame: items fail individually with the single-step
+// status, never the batch as a whole.
+func TestWireBatchPerItemStatuses(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dialWire(t, startWire(t, srv))
+	id, err := c.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quality := validQuality()
+	bad := append([]float64(nil), quality...)
+	bad[1] = 2
+
+	items := []wire.StepRequest{
+		{SeriesID: id, Outcome: 14, Quality: quality},
+		{SeriesID: "ghost", Outcome: 1, Quality: quality},
+		{SeriesID: id, Outcome: 3, Quality: bad},
+		{SeriesID: id, Outcome: 14, Quality: quality},
+	}
+	out := make([]wire.BatchItemResult, len(items))
+	if err := c.StepBatch(items, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Status != wire.StatusOK || out[0].Step.Fused != 14 || out[0].Step.SeriesLen != 1 {
+		t.Fatalf("item 0 = %+v", out[0])
+	}
+	if out[1].Status != wire.StatusNotFound || !strings.Contains(out[1].Err, `unknown series "ghost"`) {
+		t.Fatalf("item 1 = %+v", out[1])
+	}
+	if out[2].Status != wire.StatusBadRequest || !strings.Contains(out[2].Err, "outside [0,1]") {
+		t.Fatalf("item 2 = %+v", out[2])
+	}
+	if out[3].Status != wire.StatusOK || out[3].Step.SeriesLen != 2 {
+		t.Fatalf("item 3 = %+v", out[3])
+	}
+	if out[0].Step.Countermeasure == "" {
+		t.Fatal("item 0 missing countermeasure")
+	}
+}
+
+// TestWireProtocolViolations talks raw frames: an unknown frame type gets a
+// 400 error frame; a version mismatch kills the connection.
+func TestWireProtocolViolations(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startWire(t, srv)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf, lenOff := wire.BeginFrame(nil, 0x42, 9)
+	buf = wire.EndFrame(buf, lenOff)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewReader(conn, nil)
+	f, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.FrameError || f.ReqID != 9 {
+		t.Fatalf("frame type %#x reqID %d", f.Type, f.ReqID)
+	}
+	status, msg, err := wire.DecodeErrorPayload(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != wire.StatusBadRequest || !strings.Contains(msg, "unknown frame type") {
+		t.Fatalf("error %d %q", status, msg)
+	}
+
+	// A wrong version byte is unrecoverable: the server drops the
+	// connection instead of answering.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	raw := []byte{8, 0, 0, 0, 99, wire.FrameHello, 0, 0, 0, 0, 0, 0}
+	if _, err := conn2.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var one [1]byte
+	if _, err := conn2.Read(one[:]); err == nil {
+		t.Fatal("server answered a wrong-version frame")
+	}
+}
+
+// TestWireDrain covers ShutdownWire: idle connections unblock immediately
+// (the read deadline, not the ctx timeout), callers racing the drain either
+// complete or fail with a connection error, and the listener refuses new
+// connections afterwards.
+func TestWireDrain(t *testing.T) {
+	testServer(t)
+	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ServeWire(ln) }()
+	addr := ln.Addr().String()
+
+	idle := dialWire(t, addr)
+	active := dialWire(t, addr)
+	id, err := active.OpenSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quality := validQuality()
+
+	// Callers hammer the active connection while the drain fires: every
+	// call must resolve (success before the cut, connection error after),
+	// never hang.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var res wire.StepResult
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := active.Step(id, 1, quality, &res); err != nil {
+					return // the drain cut the connection mid-burst
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.ShutdownWire(ctx); err != nil {
+		t.Fatalf("ShutdownWire: %v", err)
+	}
+	if since := time.Since(start); since > 3*time.Second {
+		t.Fatalf("drain of mostly-idle connections took %v", since)
+	}
+	close(stop)
+	wg.Wait()
+	if err := <-serveErr; err != nil {
+		t.Fatalf("ServeWire after drain: %v", err)
+	}
+
+	// The idle connection was unblocked and closed by the drain: its next
+	// call must fail rather than hang.
+	var res wire.StepResult
+	if err := idle.Step(id, 1, quality, &res); err == nil {
+		t.Fatal("step over a drained connection succeeded")
+	}
+	if _, err := wire.Dial(addr); err == nil {
+		t.Fatal("dial succeeded after drain closed the listener")
+	}
+}
+
+// validQuality is a clean positional factor vector: all deficit channels
+// zero, pixel size 200.
+func validQuality() []float64 {
+	q := make([]float64, len(augment.Names())+1)
+	q[len(q)-1] = 200
+	return q
+}

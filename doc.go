@@ -20,7 +20,10 @@
 // (internal/recalib: refreshing taQIM leaf bounds from the accumulated
 // online evidence and hot-swapping the refreshed model into the serving
 // pool with zero downtime, either on the operator's POST /v1/recalibrate
-// or automatically when the drift alarm fires), and the study harness
+// or automatically when the drift alarm fires), the binary streaming
+// transport (internal/wire: the length-prefixed frame protocol, its
+// zero-copy reader and append-based codec, and the pipelining client
+// behind tauserve's -tcp-addr listener), and the study harness
 // (internal/eval, whose offline replay is re-scored through the same
 // monitor so offline and online reliability numbers come from one
 // implementation, and whose drifted replay pins the closed loop: injected

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -19,7 +20,9 @@ import (
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/eval"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/uw"
+	"github.com/iese-repro/tauw/internal/wire"
 )
 
 func main() {
@@ -138,7 +141,10 @@ func loadAndServe(bundlePath string) error {
 	}
 	fmt.Printf("[online] pool drained: %d active tracks across %d shards\n",
 		pool.Active(), pool.NumShards())
-	return monitorAndScrape(wrapper, taqim)
+	if err := monitorAndScrape(wrapper, taqim); err != nil {
+		return err
+	}
+	return wireTransport(wrapper, taqim)
 }
 
 // monitorAndScrape is the observability half of a deployment: a monitored
@@ -218,4 +224,134 @@ func monitorAndScrape(wrapper *core.Wrapper, taqim *uw.QualityImpactModel) error
 	fmt.Printf("[online] monitor verdict: %d joins, windowed Brier %.4f, ECE %.4f, drift active=%v\n",
 		snap.Feedbacks, snap.WindowedBrier, snap.ECE, snap.Drift.Active)
 	return nil
+}
+
+// wireTransport is the binary-transport half of a deployment: instead of
+// one HTTP request per perception frame, the client keeps a persistent
+// connection and exchanges length-prefixed frames (what `tauserve
+// -tcp-addr` serves). The server side here is a miniature of tauserve's
+// dispatch — hello, open-series, step, close — backed by the same pool and
+// simplex gate, enough to show the client API and the hello ladder.
+func wireTransport(wrapper *core.Wrapper, taqim *uw.QualityImpactModel) error {
+	fmt.Println("[online] binary streaming transport:")
+	pool, err := core.NewWrapperPool(wrapper.Base(), taqim, core.Config{BufferLimit: 64}, 0)
+	if err != nil {
+		return err
+	}
+	gate, err := simplex.NewMonitor(simplex.DefaultTSRPolicy())
+	if err != nil {
+		return err
+	}
+	policy := gate.Policy()
+	levels := make([]string, 0, len(policy.Levels)+1)
+	for _, l := range policy.Levels {
+		levels = append(levels, l.Name)
+	}
+	levels = append(levels, policy.Terminal.Name)
+	levelIdx := make(map[string]uint8, len(levels))
+	for i, name := range levels {
+		levelIdx[name] = uint8(i)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		fr := wire.NewReader(conn, nil)
+		var out []byte
+		for {
+			f, err := fr.Next()
+			if err != nil {
+				return
+			}
+			out = out[:0]
+			var lenOff int
+			switch f.Type {
+			case wire.FrameHello:
+				out, lenOff = wire.BeginFrame(out, wire.ResponseType(wire.FrameHello), f.ReqID)
+				out, _ = wire.AppendHelloPayload(out, &wire.Hello{Levels: levels})
+			case wire.FrameOpenSeries:
+				id, err := pool.OpenSeries()
+				if err != nil {
+					out, lenOff = wire.BeginFrame(out, wire.FrameError, f.ReqID)
+					out = wire.AppendErrorPayload(out, wire.StatusInternal, err.Error())
+					break
+				}
+				out, lenOff = wire.BeginFrame(out, wire.ResponseType(wire.FrameOpenSeries), f.ReqID)
+				out = wire.AppendSeriesIDPayload(out, id)
+			case wire.FrameStep:
+				v, _, err := wire.DecodeStepItemView(f.Payload)
+				if err != nil {
+					return
+				}
+				qf := make([]float64, v.NumQuality())
+				for i := range qf {
+					qf[i] = v.QualityAt(i)
+				}
+				res, err := pool.StepSeries(string(v.SeriesID), v.Outcome, qf)
+				if err != nil {
+					out, lenOff = wire.BeginFrame(out, wire.FrameError, f.ReqID)
+					out = wire.AppendErrorPayload(out, wire.StatusNotFound, err.Error())
+					break
+				}
+				decision, err := gate.Gate(res.Fused, res.Uncertainty)
+				if err != nil {
+					return
+				}
+				out, lenOff = wire.BeginFrame(out, wire.ResponseType(wire.FrameStep), f.ReqID)
+				out = wire.AppendStepResultPayload(out, &wire.StepResult{
+					Fused: res.Fused, Uncertainty: res.Uncertainty,
+					StatelessU: res.Stateless.Uncertainty,
+					SeriesLen:  res.SeriesLen, TotalSteps: res.TotalSteps,
+					ModelVersion: res.ModelVersion, Accepted: decision.Accepted,
+				}, levelIdx[decision.Level.Name])
+			case wire.FrameCloseSeries:
+				id, err := wire.DecodeSeriesIDPayload(f.Payload)
+				if err != nil {
+					return
+				}
+				if err := pool.CloseSeries(string(id)); err != nil {
+					out, lenOff = wire.BeginFrame(out, wire.FrameError, f.ReqID)
+					out = wire.AppendErrorPayload(out, wire.StatusNotFound, err.Error())
+					break
+				}
+				out, lenOff = wire.BeginFrame(out, wire.ResponseType(wire.FrameCloseSeries), f.ReqID)
+			default:
+				out, lenOff = wire.BeginFrame(out, wire.FrameError, f.ReqID)
+				out = wire.AppendErrorPayload(out, wire.StatusBadRequest, "unsupported frame")
+			}
+			out = wire.EndFrame(out, lenOff)
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+
+	client, err := wire.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	fmt.Printf("  connected; countermeasure ladder from hello: %v\n", client.Levels())
+	id, err := client.OpenSeries()
+	if err != nil {
+		return err
+	}
+	quality := []float64{0, 0.05, 0, 0, 0, 0.02, 0, 0, 0.1, 180}
+	var res wire.StepResult
+	for step := 1; step <= 3; step++ {
+		if err := client.Step(id, 14, quality, &res); err != nil {
+			return err
+		}
+		fmt.Printf("  %s step %d: fused=%d u=%.4f countermeasure=%s\n",
+			id, step, res.Fused, res.Uncertainty, res.Countermeasure)
+	}
+	return client.CloseSeries(id)
 }

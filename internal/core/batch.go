@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -64,6 +65,42 @@ type batchScratch struct {
 
 var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
+// minItemsPerWorker is the fan-out threshold: a worker goroutine must have
+// at least this many items of expected work before spawning it can win.
+// Below it, the ~1-2 µs of spawn plus wg wake latency exceeds the stepping
+// work being handed off (a pool step is ~300 ns), so small batches run
+// inline regardless of the requested worker count.
+const minItemsPerWorker = 256
+
+// batchParallelism reports how many workers can make concurrent progress:
+// min(NumCPU, GOMAXPROCS), evaluated per batch because GOMAXPROCS can change
+// at runtime. GOMAXPROCS alone is not enough — when it exceeds the physical
+// core count (common in containers and under `go test -cpu`), extra workers
+// are pure scheduler churn on cores that do not exist, which is exactly the
+// workers=16 slower than workers=1 regression BENCH_5 measured. A var so
+// tests can force the fan-out path on machines with too few cores to reach
+// it naturally.
+var batchParallelism = func() int {
+	p := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < p {
+		return n
+	}
+	return p
+}
+
+// maxUsefulWorkers caps a requested worker count at the parallelism that can
+// actually help for n items: one worker per minItemsPerWorker chunk of
+// expected work, and never more than the schedulable CPUs.
+func maxUsefulWorkers(n, workers int) int {
+	if byWork := (n + minItemsPerWorker - 1) / minItemsPerWorker; workers > byWork {
+		workers = byWork
+	}
+	if p := batchParallelism(); workers > p {
+		workers = p
+	}
+	return workers
+}
+
 // StepBatch feeds a batch of timesteps to the pool, fanning the work out
 // across shards with at most `workers` goroutines (0 means one per
 // schedulable CPU). Results are returned in input order in a freshly
@@ -91,7 +128,8 @@ func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchRe
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
-	if workers == 1 || len(items) == 1 {
+	workers = maxUsefulWorkers(len(items), workers)
+	if workers <= 1 || len(items) == 1 {
 		for i := range items {
 			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
 		}
@@ -117,10 +155,15 @@ func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchRe
 	if s.runFn == nil {
 		s.runFn = s.run
 	}
-	s.wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	// The caller is a worker too: spawn workers-1 goroutines and drain the
+	// claim loop inline. The batch never parks its own goroutine in
+	// wg.Wait while a freshly scheduled worker does all the work, and the
+	// spawned workers only pick up what the caller hasn't claimed yet.
+	s.wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
 		go s.runFn()
 	}
+	s.work()
 	s.wg.Wait()
 	s.release()
 	return out
@@ -170,10 +213,16 @@ func (s *batchScratch) runBounds(sh int32) (int32, int32) {
 	return start, s.counts[sh]
 }
 
-// run is the worker loop: claim the next shard group, step its items in
-// input order, repeat until the groups are drained.
+// run wraps work for spawned goroutines; the dispatching caller invokes
+// work directly and is not registered in the WaitGroup.
 func (s *batchScratch) run() {
 	defer s.wg.Done()
+	s.work()
+}
+
+// work is the worker loop: claim the next shard group, step its items in
+// input order, repeat until the groups are drained.
+func (s *batchScratch) work() {
 	for {
 		g := int(s.next.Add(1)) - 1
 		if g >= len(s.groups) {

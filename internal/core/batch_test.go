@@ -278,6 +278,116 @@ func TestStepBatchSeriesIntoReuse(t *testing.T) {
 	}
 }
 
+// forceBatchParallelism overrides the CPU cap so the goroutine fan-out path
+// runs even on machines with a single schedulable core, restoring the real
+// cap when the test ends. Tests in this package run sequentially, so the
+// override cannot leak into a concurrent batch.
+func forceBatchParallelism(t *testing.T, p int) {
+	t.Helper()
+	prev := batchParallelism
+	batchParallelism = func() int { return p }
+	t.Cleanup(func() { batchParallelism = prev })
+}
+
+// TestStepBatchIntoGrowShrinkProperty drives one recycled dst through a
+// sequence of batches whose sizes grow and shrink across calls — the exact
+// recycle pattern a serving loop produces — and checks every call against a
+// per-item Step oracle on a twin pool. A dst-reuse bug (stale results
+// surviving a shrink, length mismatch after a grow) shows up as a divergence
+// or a leftover poison value.
+func TestStepBatchIntoGrowShrinkProperty(t *testing.T) {
+	const tracks = 16
+	sizes := []int{3, 40, 7, 40, 1, 25, 0, 40, 12}
+	for _, workers := range []int{1, 16} {
+		poolA, st := batchFixture(t, tracks)
+		poolB, _ := batchFixture(t, tracks)
+		var dst []BatchResult
+		step := 0
+		for round, n := range sizes {
+			items := make([]StepItem, n)
+			for i := range items {
+				s := st.testSeries[(step+i)%len(st.testSeries)]
+				j := (step + i) % len(s.Outcomes)
+				items[i] = StepItem{TrackID: (step + i) % tracks, Outcome: s.Outcomes[j], Quality: s.Quality[j]}
+			}
+			// Poison the recycled storage beyond this call's length so any
+			// read of stale capacity is distinguishable from real output.
+			for i := range dst {
+				dst[i] = BatchResult{Result: Result{Fused: -99, SeriesLen: -99}, Err: ErrTrackBudget}
+			}
+			dst = poolA.StepBatchInto(items, workers, dst)
+			if len(dst) != n {
+				t.Fatalf("workers=%d round %d: len %d, want %d", workers, round, len(dst), n)
+			}
+			for i, it := range items {
+				want, err := poolB.Step(it.TrackID, it.Outcome, it.Quality)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dst[i].Err != nil {
+					t.Fatalf("workers=%d round %d item %d: %v", workers, round, i, dst[i].Err)
+				}
+				if dst[i].Result != want {
+					t.Errorf("workers=%d round %d item %d: %+v vs oracle %+v",
+						workers, round, i, dst[i].Result, want)
+				}
+			}
+			step += n
+		}
+	}
+}
+
+// TestStepBatchFanOutForced pins the goroutine fan-out path itself: with the
+// CPU cap lifted and batches larger than minItemsPerWorker, multiple workers
+// genuinely run, and the results must still match the allocating API
+// (ordering per track, per-item errors, no lost or duplicated items).
+func TestStepBatchFanOutForced(t *testing.T) {
+	forceBatchParallelism(t, 8)
+	const tracks = 32
+	poolA, st := batchFixture(t, tracks)
+	poolB, _ := batchFixture(t, tracks)
+	n := 3*minItemsPerWorker + 17
+	items := make([]StepItem, n)
+	for i := range items {
+		s := st.testSeries[i%len(st.testSeries)]
+		j := i % len(s.Outcomes)
+		items[i] = StepItem{TrackID: i % tracks, Outcome: s.Outcomes[j], Quality: s.Quality[j]}
+	}
+	if got := maxUsefulWorkers(n, 16); got < 2 {
+		t.Fatalf("maxUsefulWorkers(%d, 16) = %d, want >= 2 with forced parallelism", n, got)
+	}
+	got := poolA.StepBatchInto(items, 16, nil)
+	want := poolB.StepBatch(items, 1)
+	for i := range want {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("item %d: errs %v vs %v", i, got[i].Err, want[i].Err)
+		}
+		if got[i].Result != want[i].Result {
+			t.Errorf("item %d: fan-out %+v vs sequential %+v", i, got[i].Result, want[i].Result)
+		}
+	}
+}
+
+// TestMaxUsefulWorkers pins the capping arithmetic: small batches always run
+// inline, the per-worker floor splits large batches, and the CPU cap wins
+// over the request.
+func TestMaxUsefulWorkers(t *testing.T) {
+	forceBatchParallelism(t, 4)
+	cases := []struct{ n, workers, want int }{
+		{1, 16, 1},
+		{minItemsPerWorker, 16, 1},
+		{minItemsPerWorker + 1, 16, 2},
+		{4 * minItemsPerWorker, 16, 4},
+		{100 * minItemsPerWorker, 16, 4}, // CPU cap
+		{100 * minItemsPerWorker, 2, 2},  // request below caps is honoured
+	}
+	for _, c := range cases {
+		if got := maxUsefulWorkers(c.n, c.workers); got != c.want {
+			t.Errorf("maxUsefulWorkers(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
 // TestStepBatchIntoSteadyStateAllocs is the zero-allocation claim as a unit
 // test: once every ring buffer is warm and the result slice is recycled, a
 // sequential batch must not allocate at all, and a parallel batch must stay

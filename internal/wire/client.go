@@ -1,0 +1,421 @@
+// client.go is the Go client of the binary transport: one persistent
+// connection multiplexing any number of concurrent callers. Each call
+// appends its frame to a shared output buffer under a mutex and one caller
+// at a time drains it to the socket (write combining: concurrent callers'
+// frames leave in a single syscall), while a background read loop decodes
+// responses straight into the caller-supplied result structs and wakes the
+// matching caller. The steady-state step path allocates nothing: calls are
+// pooled, payloads are appended to recycled buffers, and responses are
+// decoded from the reader's buffer views before the reader advances.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClientClosed fails calls issued after Close (or after a connection
+// error tore the client down).
+var ErrClientClosed = errors.New("wire: client closed")
+
+// call is one in-flight request. done carries the call's verdict from the
+// read loop; the result fields tell the read loop where to decode to, so
+// decoding happens inside the loop while the frame's payload view is still
+// valid, not after handoff.
+type call struct {
+	done  chan error
+	step  *StepResult       // FrameStep
+	batch []BatchItemResult // FrameStepBatch, len = expected items
+	fb    *FeedbackResult   // FrameFeedback
+	id    *string           // FrameOpenSeries
+}
+
+// Client is a connection to a tauserve binary listener. It is safe for
+// concurrent use; concurrency is the pipelining mechanism (each blocked
+// caller is one in-flight frame).
+type Client struct {
+	conn   net.Conn
+	levels []string // hello table: countermeasure index -> name
+
+	// Write side: out accumulates frames under mu; the first caller to
+	// find no active flusher drains it (and whatever arrives meanwhile).
+	mu       sync.Mutex
+	out      []byte
+	spare    []byte
+	flushing bool
+
+	// Read side: pending maps request ids to in-flight calls.
+	pmu     sync.Mutex
+	pending map[uint32]*call
+	closed  bool
+	err     error
+
+	reqID    atomic.Uint32
+	callPool sync.Pool
+}
+
+// Dial connects to a tauserve binary listener and performs the hello
+// handshake, returning a ready-to-use client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient performs the hello handshake over an established connection
+// (any net.Conn — tests use in-memory pipes) and starts the read loop.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		out:     make([]byte, 0, 4096),
+		spare:   make([]byte, 0, 4096),
+		pending: make(map[uint32]*call),
+	}
+	c.callPool.New = func() any { return &call{done: make(chan error, 1)} }
+
+	// The handshake runs synchronously before the read loop exists: one
+	// hello frame out, one response in.
+	buf, lenOff := BeginFrame(nil, FrameHello, 0)
+	buf = EndFrame(buf, lenOff)
+	if _, err := conn.Write(buf); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	fr := NewReader(conn, nil)
+	f, err := fr.Next()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	if f.Type == FrameError {
+		conn.Close()
+		if status, msg, derr := DecodeErrorPayload(f.Payload); derr == nil {
+			return nil, &Error{Status: status, Msg: msg}
+		}
+		return nil, errors.New("wire: hello rejected")
+	}
+	if f.Type != ResponseType(FrameHello) {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello answered with frame type %#x", f.Type)
+	}
+	hello, err := DecodeHelloPayload(f.Payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: hello: %w", err)
+	}
+	c.levels = hello.Levels
+	go c.readLoop(fr)
+	return c, nil
+}
+
+// Levels returns the server's countermeasure ladder from the handshake.
+func (c *Client) Levels() []string { return c.levels }
+
+// Close tears the connection down; in-flight calls fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	return c.conn.Close()
+}
+
+// fail marks the client dead and wakes every in-flight call with err.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = err
+	pending := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	for _, cl := range pending {
+		cl.done <- err
+	}
+}
+
+// readLoop drains response frames, decoding each into its caller's result
+// before advancing the reader (the payload view dies on the next frame).
+func (c *Client) readLoop(fr *Reader) {
+	for {
+		f, err := fr.Next()
+		if err != nil {
+			c.fail(fmt.Errorf("wire: connection lost: %w", err))
+			c.conn.Close()
+			return
+		}
+		c.pmu.Lock()
+		cl := c.pending[f.ReqID]
+		delete(c.pending, f.ReqID)
+		c.pmu.Unlock()
+		if cl == nil {
+			// A response to a call that no longer exists (impossible under
+			// normal operation); drop it rather than kill the connection.
+			continue
+		}
+		cl.done <- c.decodeResponse(&f, cl)
+	}
+}
+
+// decodeResponse dispatches one response frame into the call's result.
+func (c *Client) decodeResponse(f *Frame, cl *call) error {
+	if f.Type == FrameError {
+		status, msg, err := DecodeErrorPayload(f.Payload)
+		if err != nil {
+			return err
+		}
+		return &Error{Status: status, Msg: msg}
+	}
+	switch {
+	case cl.step != nil:
+		if f.Type != ResponseType(FrameStep) {
+			return fmt.Errorf("wire: step answered with frame type %#x", f.Type)
+		}
+		rest, err := DecodeStepResultPayload(f.Payload, cl.step, c.levels)
+		if err == nil && len(rest) != 0 {
+			err = fmt.Errorf("wire: %d trailing bytes after step result", len(rest))
+		}
+		return err
+	case cl.batch != nil:
+		if f.Type != ResponseType(FrameStepBatch) {
+			return fmt.Errorf("wire: batch answered with frame type %#x", f.Type)
+		}
+		n, p, err := DecodeBatchHeader(f.Payload)
+		if err != nil {
+			return err
+		}
+		if n != len(cl.batch) {
+			return fmt.Errorf("wire: batch answered %d items, want %d", n, len(cl.batch))
+		}
+		for i := range cl.batch {
+			if p, err = DecodeBatchItemResult(p, &cl.batch[i], c.levels); err != nil {
+				return err
+			}
+		}
+		if len(p) != 0 {
+			return fmt.Errorf("wire: %d trailing bytes after batch result", len(p))
+		}
+		return nil
+	case cl.fb != nil:
+		if f.Type != ResponseType(FrameFeedback) {
+			return fmt.Errorf("wire: feedback answered with frame type %#x", f.Type)
+		}
+		return DecodeFeedbackResultPayload(f.Payload, cl.fb)
+	case cl.id != nil:
+		if f.Type != ResponseType(FrameOpenSeries) {
+			return fmt.Errorf("wire: open-series answered with frame type %#x", f.Type)
+		}
+		id, err := DecodeSeriesIDPayload(f.Payload)
+		if err != nil {
+			return err
+		}
+		*cl.id = string(id)
+		return nil
+	default: // close-series: empty payload
+		if f.Type != ResponseType(FrameCloseSeries) {
+			return fmt.Errorf("wire: close-series answered with frame type %#x", f.Type)
+		}
+		return nil
+	}
+}
+
+// register checks a pooled call out and enrolls it under a fresh request
+// id.
+func (c *Client) register(cl *call) (uint32, error) {
+	id := c.reqID.Add(1)
+	c.pmu.Lock()
+	if c.closed {
+		err := c.err
+		c.pmu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return 0, err
+	}
+	c.pending[id] = cl
+	c.pmu.Unlock()
+	return id, nil
+}
+
+// flushAndUnlock drains the shared output buffer to the socket. Exactly
+// one caller flushes at a time; others append and leave, and the active
+// flusher keeps going until the buffer stays empty (their frames ride the
+// flusher's syscalls — the write-combining that makes pipelining cheap).
+// The caller must hold c.mu; it is released on return.
+func (c *Client) flushAndUnlock() {
+	if c.flushing {
+		c.mu.Unlock()
+		return
+	}
+	c.flushing = true
+	for len(c.out) > 0 {
+		// Swap the double buffer: callers append to the old spare while this
+		// flush writes; the written storage rotates back in on the next pass
+		// (never nil — a nil write target would cost one allocation per
+		// flush cycle under load).
+		buf := c.out
+		c.out = c.spare[:0]
+		c.spare = buf
+		c.mu.Unlock()
+		_, err := c.conn.Write(buf)
+		if err != nil {
+			c.fail(fmt.Errorf("wire: write: %w", err))
+			c.conn.Close()
+		}
+		c.mu.Lock()
+	}
+	c.flushing = false
+	c.mu.Unlock()
+}
+
+// await blocks on the call's verdict and returns it to the pool.
+func (c *Client) await(cl *call) error {
+	err := <-cl.done
+	cl.step, cl.batch, cl.fb, cl.id = nil, nil, nil, nil
+	c.callPool.Put(cl)
+	return err
+}
+
+// OpenSeries starts a new series on the server and returns its id.
+func (c *Client) OpenSeries() (string, error) {
+	cl := c.callPool.Get().(*call)
+	var id string
+	cl.id = &id
+	reqID, err := c.register(cl)
+	if err != nil {
+		c.callPool.Put(cl)
+		return "", err
+	}
+	c.mu.Lock()
+	out, lenOff := BeginFrame(c.out, FrameOpenSeries, reqID)
+	c.out = EndFrame(out, lenOff)
+	c.flushAndUnlock()
+	if err := c.await(cl); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Step feeds one timestep and decodes the response into res. quality is
+// the positional factor vector (deficit channels in augment.Names() order,
+// pixel size last); it is copied into the frame before Step returns, so
+// the caller may reuse it immediately.
+func (c *Client) Step(seriesID string, outcome int, quality []float64, res *StepResult) error {
+	cl := c.callPool.Get().(*call)
+	cl.step = res
+	reqID, err := c.register(cl)
+	if err != nil {
+		c.callPool.Put(cl)
+		return err
+	}
+	c.mu.Lock()
+	out, lenOff := BeginFrame(c.out, FrameStep, reqID)
+	if out, err = AppendStepItem(out, seriesID, outcome, quality); err != nil {
+		c.out = out[:lenOff]
+		c.flushAndUnlock()
+		c.unregister(reqID, cl)
+		return err
+	}
+	c.out = EndFrame(out, lenOff)
+	c.flushAndUnlock()
+	return c.await(cl)
+}
+
+// StepBatch feeds a batch of timesteps in one frame; results land in out,
+// which must have the items' length. Items fail individually (Status per
+// item), exactly as the JSON batch endpoint's per-item statuses.
+func (c *Client) StepBatch(items []StepRequest, out []BatchItemResult) error {
+	if len(items) != len(out) {
+		return fmt.Errorf("wire: %d items but %d result slots", len(items), len(out))
+	}
+	cl := c.callPool.Get().(*call)
+	cl.batch = out
+	reqID, err := c.register(cl)
+	if err != nil {
+		c.callPool.Put(cl)
+		return err
+	}
+	c.mu.Lock()
+	buf, lenOff := BeginFrame(c.out, FrameStepBatch, reqID)
+	buf, err = AppendBatchHeader(buf, len(items))
+	if err == nil {
+		for i := range items {
+			it := &items[i]
+			if buf, err = AppendStepItem(buf, it.SeriesID, it.Outcome, it.Quality); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		c.out = buf[:lenOff]
+		c.flushAndUnlock()
+		c.unregister(reqID, cl)
+		return err
+	}
+	c.out = EndFrame(buf, lenOff)
+	c.flushAndUnlock()
+	return c.await(cl)
+}
+
+// Feedback reports the ground truth for one served step and decodes the
+// join result into res.
+func (c *Client) Feedback(seriesID string, step, truth int, res *FeedbackResult) error {
+	cl := c.callPool.Get().(*call)
+	cl.fb = res
+	reqID, err := c.register(cl)
+	if err != nil {
+		c.callPool.Put(cl)
+		return err
+	}
+	c.mu.Lock()
+	out, lenOff := BeginFrame(c.out, FrameFeedback, reqID)
+	if out, err = AppendFeedbackRequestPayload(out, seriesID, step, truth); err != nil {
+		c.out = out[:lenOff]
+		c.flushAndUnlock()
+		c.unregister(reqID, cl)
+		return err
+	}
+	c.out = EndFrame(out, lenOff)
+	c.flushAndUnlock()
+	return c.await(cl)
+}
+
+// CloseSeries ends a series on the server.
+func (c *Client) CloseSeries(seriesID string) error {
+	cl := c.callPool.Get().(*call)
+	reqID, err := c.register(cl)
+	if err != nil {
+		c.callPool.Put(cl)
+		return err
+	}
+	c.mu.Lock()
+	out, lenOff := BeginFrame(c.out, FrameCloseSeries, reqID)
+	out = AppendSeriesIDPayload(out, seriesID)
+	c.out = EndFrame(out, lenOff)
+	c.flushAndUnlock()
+	return c.await(cl)
+}
+
+// unregister withdraws a call whose frame never left (encode failure),
+// tolerating the race where the read loop already claimed it.
+func (c *Client) unregister(reqID uint32, cl *call) {
+	c.pmu.Lock()
+	_, mine := c.pending[reqID]
+	if mine {
+		delete(c.pending, reqID)
+	}
+	c.pmu.Unlock()
+	if !mine {
+		// The read loop (or fail) owns the call now; consume its verdict so
+		// the pooled call is not returned with a pending send.
+		<-cl.done
+	}
+	cl.step, cl.batch, cl.fb, cl.id = nil, nil, nil, nil
+	c.callPool.Put(cl)
+}

@@ -1,0 +1,373 @@
+// codec.go defines the payload shapes of each frame type and their
+// append-based encoders / view-based decoders. Every encoder appends to a
+// caller-owned buffer and every decoder reads from a frame's payload view,
+// so neither side allocates on the steady-state path; strings cross the
+// boundary as length-prefixed byte runs, floats as IEEE-754 bits.
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------- hello --
+
+// Hello is the handshake response: the server's countermeasure ladder in
+// escalation order (terminal last). Step responses refer to a level by its
+// index in this table, so the per-frame cost of naming the countermeasure
+// is one byte and the client-side string is interned once per connection.
+type Hello struct {
+	Levels []string
+}
+
+// AppendHelloPayload renders the hello response payload: u8 level count,
+// then per level u8 name length + bytes.
+func AppendHelloPayload(dst []byte, h *Hello) ([]byte, error) {
+	if len(h.Levels) > 0xFF {
+		return dst, fmt.Errorf("wire: %d countermeasure levels exceed the u8 table", len(h.Levels))
+	}
+	dst = append(dst, byte(len(h.Levels)))
+	for _, name := range h.Levels {
+		if len(name) > 0xFF {
+			return dst, fmt.Errorf("wire: countermeasure name %d bytes long exceeds the u8 length", len(name))
+		}
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+	}
+	return dst, nil
+}
+
+// DecodeHelloPayload parses a hello response payload. The level names are
+// copied out (once per connection — this is the interning moment).
+func DecodeHelloPayload(p []byte) (Hello, error) {
+	if len(p) < 1 {
+		return Hello{}, errShortPayload
+	}
+	n := int(p[0])
+	p = p[1:]
+	h := Hello{Levels: make([]string, 0, n)}
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return Hello{}, errShortPayload
+		}
+		l := int(p[0])
+		p = p[1:]
+		if len(p) < l {
+			return Hello{}, errShortPayload
+		}
+		h.Levels = append(h.Levels, string(p[:l]))
+		p = p[l:]
+	}
+	return h, nil
+}
+
+// ---------------------------------------------------------------- series --
+
+// AppendSeriesIDPayload renders a payload that is just a series id (the
+// open-series response and the close-series request): u16 length + bytes.
+func AppendSeriesIDPayload(dst []byte, id string) []byte {
+	dst = appendU16(dst, uint16(len(id)))
+	return append(dst, id...)
+}
+
+// DecodeSeriesIDPayload parses a series-id payload as a zero-copy view.
+func DecodeSeriesIDPayload(p []byte) ([]byte, error) {
+	if len(p) < 2 {
+		return nil, errShortPayload
+	}
+	n := int(getU16(p))
+	if len(p) != 2+n {
+		return nil, errShortPayload
+	}
+	return p[2 : 2+n], nil
+}
+
+// ---------------------------------------------------------------- step --
+
+// StepRequest is one timestep: the momentaneous outcome and the quality
+// factor vector (the deficit channels in augment.Names() order with the
+// pixel size as the trailing element — positional, unlike the JSON map).
+type StepRequest struct {
+	SeriesID string
+	Outcome  int
+	Quality  []float64
+}
+
+// AppendStepItem renders one step item (the step request payload, and one
+// element of a batch payload): u16 id length + bytes, i64 outcome, u8
+// factor count, then each factor as f64 bits.
+func AppendStepItem(dst []byte, seriesID string, outcome int, quality []float64) ([]byte, error) {
+	if len(seriesID) > 0xFFFF {
+		return dst, fmt.Errorf("wire: series id %d bytes long exceeds the u16 length", len(seriesID))
+	}
+	if len(quality) > 0xFF {
+		return dst, fmt.Errorf("wire: %d quality factors exceed the u8 count", len(quality))
+	}
+	dst = appendU16(dst, uint16(len(seriesID)))
+	dst = append(dst, seriesID...)
+	dst = appendU64(dst, uint64(int64(outcome)))
+	dst = append(dst, byte(len(quality)))
+	for _, q := range quality {
+		dst = appendU64(dst, math.Float64bits(q))
+	}
+	return dst, nil
+}
+
+// StepItemView is a decoded step item; SeriesID and the quality bytes
+// alias the payload (factors are re-read per element, see QualityAt) so
+// decoding one item allocates nothing.
+type StepItemView struct {
+	SeriesID []byte
+	Outcome  int
+	quality  []byte // NumQuality * 8 raw bytes
+	nq       int
+}
+
+// DecodeStepItemView parses one step item starting at p and returns the
+// remaining bytes (batch payloads concatenate items).
+func DecodeStepItemView(p []byte) (StepItemView, []byte, error) {
+	var v StepItemView
+	if len(p) < 2 {
+		return v, nil, errShortPayload
+	}
+	idLen := int(getU16(p))
+	p = p[2:]
+	if len(p) < idLen+9 {
+		return v, nil, errShortPayload
+	}
+	v.SeriesID = p[:idLen]
+	p = p[idLen:]
+	v.Outcome = int(int64(getU64(p)))
+	v.nq = int(p[8])
+	p = p[9:]
+	if len(p) < v.nq*8 {
+		return v, nil, errShortPayload
+	}
+	v.quality = p[: v.nq*8 : v.nq*8]
+	return v, p[v.nq*8:], nil
+}
+
+// NumQuality reports the item's quality-factor count.
+func (v *StepItemView) NumQuality() int { return v.nq }
+
+// QualityAt returns factor i of a decoded item.
+func (v *StepItemView) QualityAt(i int) float64 {
+	return math.Float64frombits(getU64(v.quality[i*8:]))
+}
+
+// StepResult is a decoded step response — the binary twin of the JSON
+// step response body. Countermeasure is resolved by the client from the
+// hello table (the wire carries only the level index).
+type StepResult struct {
+	Fused          int
+	Uncertainty    float64
+	StatelessU     float64
+	SeriesLen      int
+	TotalSteps     int
+	ModelVersion   uint64
+	Countermeasure string
+	Accepted       bool
+}
+
+// stepResultSize is the fixed payload size of a step response.
+const stepResultSize = 8 + 8 + 8 + 4 + 8 + 8 + 1 + 1
+
+// AppendStepResultPayload renders a step response payload.
+func AppendStepResultPayload(dst []byte, r *StepResult, levelIdx uint8) []byte {
+	dst = appendU64(dst, uint64(int64(r.Fused)))
+	dst = appendU64(dst, math.Float64bits(r.Uncertainty))
+	dst = appendU64(dst, math.Float64bits(r.StatelessU))
+	dst = appendU32(dst, uint32(r.SeriesLen))
+	dst = appendU64(dst, uint64(r.TotalSteps))
+	dst = appendU64(dst, r.ModelVersion)
+	accepted := byte(0)
+	if r.Accepted {
+		accepted = 1
+	}
+	return append(dst, levelIdx, accepted)
+}
+
+// DecodeStepResultPayload parses a step response payload into out,
+// resolving the countermeasure index through levels (nil levels leave the
+// name empty). Returns the remaining bytes for batch decoding.
+func DecodeStepResultPayload(p []byte, out *StepResult, levels []string) ([]byte, error) {
+	if len(p) < stepResultSize {
+		return nil, errShortPayload
+	}
+	out.Fused = int(int64(getU64(p)))
+	out.Uncertainty = math.Float64frombits(getU64(p[8:]))
+	out.StatelessU = math.Float64frombits(getU64(p[16:]))
+	out.SeriesLen = int(int32(getU32(p[24:])))
+	out.TotalSteps = int(getU64(p[28:]))
+	out.ModelVersion = getU64(p[36:])
+	levelIdx, accepted := p[44], p[45]
+	if int(levelIdx) >= len(levels) {
+		return nil, fmt.Errorf("wire: countermeasure index %d outside the %d-level hello table", levelIdx, len(levels))
+	}
+	out.Countermeasure = levels[levelIdx]
+	out.Accepted = accepted != 0
+	return p[stepResultSize:], nil
+}
+
+// ---------------------------------------------------------------- batch --
+
+// BatchItemResult is one item of a step-batch response: Status mirrors the
+// code the single-step exchange would have answered, and exactly one of
+// Step / Err is meaningful.
+type BatchItemResult struct {
+	Status int
+	Step   StepResult
+	Err    string
+}
+
+// AppendBatchHeader renders the item count that opens both batch payload
+// directions.
+func AppendBatchHeader(dst []byte, n int) ([]byte, error) {
+	if n > MaxBatchItems {
+		return dst, fmt.Errorf("wire: batch of %d exceeds limit %d", n, MaxBatchItems)
+	}
+	return appendU16(dst, uint16(n)), nil
+}
+
+// DecodeBatchHeader parses a batch item count and returns the rest.
+func DecodeBatchHeader(p []byte) (int, []byte, error) {
+	if len(p) < 2 {
+		return 0, nil, errShortPayload
+	}
+	n := int(getU16(p))
+	if n > MaxBatchItems {
+		return 0, nil, fmt.Errorf("wire: batch of %d exceeds limit %d", n, MaxBatchItems)
+	}
+	return n, p[2:], nil
+}
+
+// AppendBatchItemStatus writes just the status word of a batch item, for
+// callers that render a success body through their own step-result path.
+func AppendBatchItemStatus(dst []byte, status int) []byte {
+	return appendU16(dst, uint16(status))
+}
+
+// AppendBatchItemResult renders one item of a batch response: u16 status,
+// then the step result (status 200) or u16 message length + bytes.
+func AppendBatchItemResult(dst []byte, status int, r *StepResult, levelIdx uint8, errMsg string) []byte {
+	dst = appendU16(dst, uint16(status))
+	if status == StatusOK {
+		return AppendStepResultPayload(dst, r, levelIdx)
+	}
+	if len(errMsg) > 0xFFFF {
+		errMsg = errMsg[:0xFFFF]
+	}
+	dst = appendU16(dst, uint16(len(errMsg)))
+	return append(dst, errMsg...)
+}
+
+// DecodeBatchItemResult parses one batch response item into out and
+// returns the rest. The error message is copied (error path only).
+func DecodeBatchItemResult(p []byte, out *BatchItemResult, levels []string) ([]byte, error) {
+	if len(p) < 2 {
+		return nil, errShortPayload
+	}
+	out.Status = int(getU16(p))
+	out.Err = ""
+	p = p[2:]
+	if out.Status == StatusOK {
+		return DecodeStepResultPayload(p, &out.Step, levels)
+	}
+	if len(p) < 2 {
+		return nil, errShortPayload
+	}
+	n := int(getU16(p))
+	p = p[2:]
+	if len(p) < n {
+		return nil, errShortPayload
+	}
+	out.Step = StepResult{}
+	out.Err = string(p[:n])
+	return p[n:], nil
+}
+
+// ---------------------------------------------------------------- feedback --
+
+// FeedbackRequest reports the ground truth for one served step.
+type FeedbackRequest struct {
+	SeriesID string
+	Step     int
+	Truth    int
+}
+
+// AppendFeedbackRequestPayload renders a feedback request payload: u16 id
+// length + bytes, u64 step, i64 truth.
+func AppendFeedbackRequestPayload(dst []byte, seriesID string, step, truth int) ([]byte, error) {
+	if len(seriesID) > 0xFFFF {
+		return dst, fmt.Errorf("wire: series id %d bytes long exceeds the u16 length", len(seriesID))
+	}
+	dst = appendU16(dst, uint16(len(seriesID)))
+	dst = append(dst, seriesID...)
+	dst = appendU64(dst, uint64(step))
+	dst = appendU64(dst, uint64(int64(truth)))
+	return dst, nil
+}
+
+// DecodeFeedbackRequestPayload parses a feedback request payload; the
+// series id aliases the payload.
+func DecodeFeedbackRequestPayload(p []byte) (seriesID []byte, step, truth int, err error) {
+	if len(p) < 2 {
+		return nil, 0, 0, errShortPayload
+	}
+	n := int(getU16(p))
+	p = p[2:]
+	if len(p) != n+16 {
+		return nil, 0, 0, errShortPayload
+	}
+	seriesID = p[:n]
+	step = int(getU64(p[n:]))
+	truth = int(int64(getU64(p[n+8:])))
+	return seriesID, step, truth, nil
+}
+
+// FeedbackResult is a decoded feedback response — the binary twin of the
+// JSON feedback response body.
+type FeedbackResult struct {
+	Step         int
+	Correct      bool
+	FusedOutcome int
+	Uncertainty  float64
+	TAQIMLeaf    int
+	ModelVersion uint64
+	DriftAlarm   bool
+}
+
+// feedbackResultSize is the fixed payload size of a feedback response.
+const feedbackResultSize = 8 + 8 + 8 + 4 + 8 + 1 + 1
+
+// AppendFeedbackResultPayload renders a feedback response payload.
+func AppendFeedbackResultPayload(dst []byte, r *FeedbackResult) []byte {
+	dst = appendU64(dst, uint64(r.Step))
+	dst = appendU64(dst, uint64(int64(r.FusedOutcome)))
+	dst = appendU64(dst, math.Float64bits(r.Uncertainty))
+	dst = appendU32(dst, uint32(r.TAQIMLeaf))
+	dst = appendU64(dst, r.ModelVersion)
+	correct, alarm := byte(0), byte(0)
+	if r.Correct {
+		correct = 1
+	}
+	if r.DriftAlarm {
+		alarm = 1
+	}
+	return append(dst, correct, alarm)
+}
+
+// DecodeFeedbackResultPayload parses a feedback response payload into out.
+func DecodeFeedbackResultPayload(p []byte, out *FeedbackResult) error {
+	if len(p) != feedbackResultSize {
+		return errShortPayload
+	}
+	out.Step = int(getU64(p))
+	out.FusedOutcome = int(int64(getU64(p[8:])))
+	out.Uncertainty = math.Float64frombits(getU64(p[16:]))
+	out.TAQIMLeaf = int(int32(getU32(p[24:])))
+	out.ModelVersion = getU64(p[28:])
+	out.Correct = p[36] != 0
+	out.DriftAlarm = p[37] != 0
+	return nil
+}

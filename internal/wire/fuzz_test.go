@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReaderNext feeds arbitrary bytes through the frame reader: it must
+// never panic, never return a payload inconsistent with the header it
+// decoded, and always terminate (every error path ends the stream).
+func FuzzReaderNext(f *testing.F) {
+	f.Add(buildFrame(FrameStep, 1, []byte("payload")))
+	f.Add(buildFrame(FrameHello, 0, nil))
+	multi := append(buildFrame(FrameOpenSeries, 2, nil), buildFrame(FrameError, 3, AppendErrorPayload(nil, StatusNotFound, "x"))...)
+	f.Add(multi)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 3, 0, 0})
+	f.Add([]byte{8, 0, 0, 0, 2, 3, 0, 0, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewReader(bytes.NewReader(data), nil)
+		consumed := 0
+		for {
+			frame, err := fr.Next()
+			if err != nil {
+				if err == io.EOF && consumed != len(data) {
+					t.Fatalf("clean EOF after %d of %d bytes", consumed, len(data))
+				}
+				return
+			}
+			if len(frame.Payload) > MaxPayload {
+				t.Fatalf("payload %d bytes exceeds MaxPayload", len(frame.Payload))
+			}
+			consumed += HeaderSize + len(frame.Payload)
+			if consumed > len(data) {
+				t.Fatalf("consumed %d of %d input bytes", consumed, len(data))
+			}
+		}
+	})
+}
+
+// FuzzDecodePayloads runs every payload decoder over arbitrary bytes: none
+// may panic or read out of bounds, whatever the input.
+func FuzzDecodePayloads(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendErrorPayload(nil, StatusInternal, "boom"))
+	hello, _ := AppendHelloPayload(nil, &Hello{Levels: []string{"accept", "handover"}})
+	f.Add(hello)
+	f.Add(AppendSeriesIDPayload(nil, "s-1"))
+	item, _ := AppendStepItem(nil, "s-1", 14, []float64{0, 0.5, 1})
+	f.Add(item)
+	f.Add(AppendStepResultPayload(nil, &StepResult{Fused: 3, Accepted: true}, 1))
+	fbReq, _ := AppendFeedbackRequestPayload(nil, "s-1", 7, 14)
+	f.Add(fbReq)
+	f.Add(AppendFeedbackResultPayload(nil, &FeedbackResult{Step: 7, Correct: true}))
+	batch, _ := AppendBatchHeader(nil, 2)
+	batch = AppendBatchItemResult(batch, StatusOK, &StepResult{}, 0, "")
+	batch = AppendBatchItemResult(batch, StatusNotFound, nil, 0, "missing")
+	f.Add(batch)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		levels := []string{"accept", "advisory-only", "handover"}
+		_, _, _ = DecodeErrorPayload(data)
+		_, _ = DecodeHelloPayload(data)
+		_, _ = DecodeSeriesIDPayload(data)
+		_, _, _, _ = DecodeFeedbackRequestPayload(data)
+		var fb FeedbackResult
+		_ = DecodeFeedbackResultPayload(data, &fb)
+		var sr StepResult
+		_, _ = DecodeStepResultPayload(data, &sr, levels)
+
+		// Step items and batch results concatenate; walk until an error,
+		// guarding against decoders that fail to consume input.
+		rest := data
+		for len(rest) > 0 {
+			v, next, err := DecodeStepItemView(rest)
+			if err != nil {
+				break
+			}
+			for i := 0; i < v.NumQuality(); i++ {
+				_ = v.QualityAt(i)
+			}
+			if len(next) >= len(rest) {
+				t.Fatalf("step item decode consumed nothing (%d -> %d bytes)", len(rest), len(next))
+			}
+			rest = next
+		}
+		if n, p, err := DecodeBatchHeader(data); err == nil {
+			var item BatchItemResult
+			for i := 0; i < n; i++ {
+				prev := len(p)
+				if p, err = DecodeBatchItemResult(p, &item, levels); err != nil {
+					break
+				}
+				if len(p) >= prev {
+					t.Fatalf("batch item decode consumed nothing (%d -> %d bytes)", prev, len(p))
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Reader decodes frames from a byte stream into zero-copy payload views.
+// It owns one growable buffer: complete frames already buffered are served
+// without touching the underlying reader, which is what lets a server
+// coalesce responses (flush only when Buffered() == 0, i.e. the client is
+// about to wait) and lets a drain deadline interrupt only idle connections,
+// never frames already received.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+	// buf[start:end] holds unconsumed bytes; the frame returned by Next
+	// occupies buf[start-frameLen:start] until the following Next call.
+	start, end int
+}
+
+// NewReader wraps r, reusing buf as the initial window when non-nil (the
+// pooling hook: a connection handler checks one scratch buffer out per
+// connection, not per frame).
+func NewReader(r io.Reader, buf []byte) *Reader {
+	if cap(buf) < HeaderSize {
+		buf = make([]byte, 4096)
+	}
+	return &Reader{r: r, buf: buf[:cap(buf)]}
+}
+
+// Buffer returns the reader's current buffer for re-pooling after the
+// stream ends.
+func (fr *Reader) Buffer() []byte { return fr.buf }
+
+// Buffered reports how many unconsumed bytes sit in the buffer. Zero means
+// the next frame needs a fresh read from the stream — the peer has nothing
+// else in flight, so now is the moment to flush pending responses.
+func (fr *Reader) Buffered() int { return fr.end - fr.start }
+
+// fill reads more bytes until at least need are buffered, compacting or
+// growing the buffer as required.
+func (fr *Reader) fill(need int) error {
+	if fr.end-fr.start >= need {
+		return nil
+	}
+	if fr.start > 0 && (len(fr.buf)-fr.start < need || fr.start > len(fr.buf)/2) {
+		copy(fr.buf, fr.buf[fr.start:fr.end])
+		fr.end -= fr.start
+		fr.start = 0
+	}
+	if need > len(fr.buf) {
+		grown := make([]byte, roundUp(need))
+		copy(grown, fr.buf[fr.start:fr.end])
+		fr.end -= fr.start
+		fr.start = 0
+		fr.buf = grown
+	}
+	for fr.end-fr.start < need {
+		n, err := fr.r.Read(fr.buf[fr.end:])
+		fr.end += n
+		if err != nil {
+			if err == io.EOF && fr.end-fr.start >= need {
+				return nil
+			}
+			if err == io.EOF && fr.end > fr.start {
+				return io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func roundUp(n int) int {
+	size := 4096
+	for size < n {
+		size *= 2
+	}
+	return size
+}
+
+// Next returns the next frame. The payload aliases the internal buffer and
+// is valid only until the following Next call. Header violations (bad
+// version, non-zero flags or reserved byte, oversized length) are returned
+// as errors: the stream cannot be trusted past them, so the connection
+// should be closed.
+func (fr *Reader) Next() (Frame, error) {
+	if err := fr.fill(HeaderSize); err != nil {
+		return Frame{}, err
+	}
+	h := fr.buf[fr.start:]
+	n := int(getU32(h))
+	if n < headerAfterLen {
+		return Frame{}, fmt.Errorf("wire: frame length %d below header size", n)
+	}
+	if n-headerAfterLen > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	if v := h[4]; v != Version {
+		return Frame{}, fmt.Errorf("wire: protocol version %d, want %d", v, Version)
+	}
+	if h[6] != 0 || h[7] != 0 {
+		return Frame{}, fmt.Errorf("wire: non-zero flags/reserved (%d/%d) in version %d frame", h[6], h[7], Version)
+	}
+	total := 4 + n
+	if err := fr.fill(total); err != nil {
+		return Frame{}, err
+	}
+	h = fr.buf[fr.start:]
+	f := Frame{
+		Type:    h[5],
+		ReqID:   getU32(h[8:]),
+		Payload: h[HeaderSize:total:total],
+	}
+	fr.start += total
+	return f, nil
+}
