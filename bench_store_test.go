@@ -1,0 +1,200 @@
+package tauw_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/store"
+)
+
+// benchStorePool builds a journaled, monitored pool with every track warmed
+// past one ring eviction, the steady state a checkpoint would capture in a
+// long-running server.
+func benchStorePool(b *testing.B) *core.WrapperPool {
+	b.Helper()
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0,
+		core.WithMonitoring(64), core.WithStateJournal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := 0; id < benchPoolTracks; id++ {
+		if err := pool.Open(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < benchPoolCfg.BufferLimit+2; i++ {
+		for id := 0; id < benchPoolTracks; id++ {
+			if _, err := pool.Step(id, outcome, quality); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return pool
+}
+
+// BenchmarkCheckpoint prices one full checkpoint of a populated pool: the
+// snapshot encode of every track plus meta and monitor records, against the
+// in-memory store (pure encode cost) and the file store (encode + tmp file
+// + fsync + rename). The blob size is reported so a regression in encoding
+// density shows up alongside one in speed.
+func BenchmarkCheckpoint(b *testing.B) {
+	run := func(b *testing.B, s store.Store) {
+		pool := benchStorePool(b)
+		cp, err := store.NewCheckpointer(s, pool, nil, nil, store.CheckpointConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cp.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(cp.CheckpointStats().LastCheckpointBytes), "bytes/checkpoint")
+	}
+	b.Run("mem", func(b *testing.B) { run(b, store.NewMemStore()) })
+	b.Run("file", func(b *testing.B) {
+		s, err := store.OpenFileStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		run(b, s)
+	})
+}
+
+// BenchmarkFlush prices one incremental flush sweep with every track dirty —
+// the worst case the background flusher meets between checkpoints. The mem
+// store isolates the harvest+encode cost; the durability window a deployment
+// can afford follows from this number times its track count fraction dirty.
+func BenchmarkFlush(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	pool := benchStorePool(b)
+	cp, err := store.NewCheckpointer(store.NewMemStore(), pool, nil, nil, store.CheckpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Re-dirty every track; the flush itself is the timed section.
+		for id := 0; id < benchPoolTracks; id++ {
+			if _, err := pool.Step(id, outcome, quality); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := cp.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestore measures cold-start recovery: replaying a full-pool
+// checkpoint blob into a fresh pool, the time a restarted server spends
+// before it can serve. Pool construction is excluded (it happens with or
+// without durability); the timed section is exactly store.Recover.
+func BenchmarkRestore(b *testing.B) {
+	st := study(b)
+	src := benchStorePool(b)
+	s := store.NewMemStore()
+	cp, err := store.NewCheckpointer(s, src, nil, nil, store.CheckpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cp.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0,
+			core.WithMonitoring(64), core.WithStateJournal())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := store.Recover(s, pool, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolStepDuringCheckpoint is BenchmarkPoolStepParallel/sharded
+// with the write-behind checkpointer flushing and checkpointing as fast as
+// it can on a background goroutine: the step hot path must stay
+// allocation-free (the bench gate enforces 0 allocs/op) and within a few
+// nanoseconds of the durability-free number — dirty marking is one bool
+// store under a lock the step already holds, and the harvest happens on the
+// flusher's clock, never the caller's.
+func BenchmarkPoolStepDuringCheckpoint(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	pool := benchStorePool(b)
+	cp, err := store.NewCheckpointer(store.NewMemStore(), pool, nil, nil, store.CheckpointConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%8 == 7 {
+				if err := cp.Checkpoint(); err != nil {
+					b.Error(err)
+					return
+				}
+			} else if err := cp.Flush(); err != nil {
+				b.Error(err)
+				return
+			}
+			// About one flush per millisecond — already ~40× the default
+			// cadence; flat-out flushing would only measure the harvester's
+			// own allocations, which belong to BenchmarkFlush.
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	perG := benchPoolTracks / runtime.GOMAXPROCS(0)
+	if perG < 1 {
+		perG = 1
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := (int(next.Add(1)-1) * perG) % benchPoolTracks
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := pool.Step(base+i%perG, outcome, quality); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

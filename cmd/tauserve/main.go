@@ -17,6 +17,15 @@
 // load balancers stop routing, in-flight requests finish (bounded by
 // -drain-timeout), then the process exits.
 //
+// With -state-dir the serving state is durable: series rings, feedback
+// provenance, monitor accumulators, and the serving model revision are
+// checkpointed to disk write-behind (a background flusher harvests
+// dirty series every -flush-interval; a full checkpoint runs every
+// -checkpoint-interval or when the WAL outgrows -wal-max-bytes), and on
+// startup the server restores them before accepting traffic. A crash loses
+// at most one flush interval of series history; a graceful drain ends with
+// a final checkpoint that loses nothing.
+//
 // The drift loop is closed: ground-truth feedback is also attributed to the
 // taQIM region (leaf) that produced each judged estimate, and the
 // accumulated per-leaf evidence can be folded back into the model — POST
@@ -35,6 +44,8 @@
 //	         [-drift-delta -1] [-drift-lambda 25] [-drift-min-samples 200]
 //	         [-auto-recalib] [-recalib-min-leaf 50] [-recalib-cooldown 1m]
 //	         [-recalib-laplace 0] [-recalib-drop-prior]
+//	         [-state-dir ""] [-flush-interval 1s] [-checkpoint-interval 1m]
+//	         [-wal-max-bytes 16777216]
 //	         [-drain-timeout 10s]
 //
 // Endpoints:
@@ -68,6 +79,7 @@ import (
 	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/store"
 )
 
 func main() {
@@ -117,6 +129,19 @@ func run(args []string) error {
 			"add-alpha Laplace smoothing applied to refreshed leaf bounds (0 = off)")
 		recalibDropPrior = fs.Bool("recalib-drop-prior", false,
 			"recompute refreshed bounds from online evidence alone, discarding the offline calibration counts")
+		stateDir = fs.String("state-dir", "",
+			"directory for durable serving state (checkpoint + write-ahead log); "+
+				"empty disables durability. On startup the directory is replayed, so "+
+				"a restart resumes every open series, the calibration monitor, and "+
+				"the recalibrated model where the previous process left them")
+		flushInterval = fs.Duration("flush-interval", store.DefaultFlushInterval,
+			"write-behind flush period: dirty series state is appended to the WAL "+
+				"and fsynced this often, so a crash loses at most this much history")
+		checkpointInterval = fs.Duration("checkpoint-interval", store.DefaultCheckpointInterval,
+			"full-checkpoint period: how often the WAL is compacted into a "+
+				"complete snapshot of every open series plus monitor state")
+		walMaxBytes = fs.Int64("wal-max-bytes", store.DefaultMaxWALBytes,
+			"WAL size that triggers an early compacting checkpoint (negative disables the size trigger)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second,
 			"how long a shutdown waits for in-flight requests")
 		drainGrace = fs.Duration("drain-grace", 0,
@@ -145,7 +170,7 @@ func run(args []string) error {
 		return err
 	}
 	log.Printf("calibrated in %v (DDM test accuracy %.2f%%)", time.Since(start).Round(time.Millisecond), 100*st.DDMTestAccuracy)
-	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy(),
+	opts := []ServerOption{
 		WithPoolShards(*shards), WithMaxSeries(*maxSeries),
 		WithBatchWorkers(*batchWorkers), WithBufferLimit(*bufferLimit),
 		WithFeedbackRing(*feedbackRing),
@@ -160,9 +185,30 @@ func run(args []string) error {
 			LaplaceAlpha:    *recalibLaplace,
 			DropPrior:       *recalibDropPrior,
 		}),
-		WithAutoRecalib(*autoRecalib))
+		WithAutoRecalib(*autoRecalib),
+	}
+	if *stateDir != "" {
+		opts = append(opts, WithDurability())
+	}
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy(), opts...)
 	if err != nil {
 		return err
+	}
+
+	// Durability attaches before the listener opens: recovery replays the
+	// previous process's state into the still-idle pool, then the
+	// write-behind checkpointer starts persisting on its own clock.
+	var cp *store.Checkpointer
+	if *stateDir != "" {
+		cp, err = srv.attachDurability(durabilityConfig{
+			stateDir:           *stateDir,
+			flushInterval:      *flushInterval,
+			checkpointInterval: *checkpointInterval,
+			walMaxBytes:        *walMaxBytes,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	httpServer := &http.Server{
 		Addr:              *addr,
@@ -191,7 +237,7 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	log.Printf("listening on %s", *addr)
-	return serveUntilShutdown(ctx, stop, httpServer, srv, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
+	return serveUntilShutdown(ctx, stop, httpServer, srv, cp, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
 }
 
 // driftConfigFromFlags maps the drift flags onto monitor.DriftConfig. The
@@ -217,13 +263,16 @@ func driftConfigFromFlags(delta, lambda float64, minSamples int) monitor.DriftCo
 // drainGrace so readiness probes can actually observe the 503 before new
 // connections start being refused, then waits up to drainTimeout for
 // in-flight requests via http.Server.Shutdown and logs a final monitoring
-// summary. restoreSignals (signal.NotifyContext's stop; nil in tests) runs
-// before the waits so a second signal regains its default disposition and
-// kills the process instead of being swallowed for the whole grace+timeout.
-// Factored out of run so the drain sequence is testable without sending
-// the test process a signal.
+// summary. When durability is attached (cp non-nil), the drain ends with a
+// final full checkpoint after the last in-flight request has finished, so a
+// clean shutdown persists every served step. restoreSignals
+// (signal.NotifyContext's stop; nil in tests) runs before the waits so a
+// second signal regains its default disposition and kills the process
+// instead of being swallowed for the whole grace+timeout. Factored out of
+// run so the drain sequence is testable without sending the test process a
+// signal.
 func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *http.Server,
-	srv *Server, drainGrace, drainTimeout time.Duration, listen func() error) error {
+	srv *Server, cp *store.Checkpointer, drainGrace, drainTimeout time.Duration, listen func() error) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- listen() }()
 	select {
@@ -248,6 +297,16 @@ func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *
 		// connections unblock immediately, in-flight frames complete.
 		if err := srv.ShutdownWire(shutdownCtx); err != nil {
 			return err
+		}
+		// The final checkpoint runs after the last in-flight request: at
+		// this point no step is mutating pool state anymore, so the blob is
+		// the complete serving history.
+		if cp != nil {
+			if err := cp.Stop(); err != nil {
+				return fmt.Errorf("final checkpoint: %w", err)
+			}
+			log.Printf("final checkpoint written (%d checkpoints, %d flushes this run)",
+				cp.CheckpointStats().Checkpoints, cp.CheckpointStats().Flushes)
 		}
 		snap := srv.Calibration().Snapshot()
 		log.Printf("drained cleanly (%d steps served, %d feedbacks, windowed Brier %.4f)",

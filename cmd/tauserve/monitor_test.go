@@ -287,7 +287,7 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		done <- serveUntilShutdown(ctx, nil, httpServer, srv, 100*time.Millisecond, 5*time.Second,
+		done <- serveUntilShutdown(ctx, nil, httpServer, srv, nil, 100*time.Millisecond, 5*time.Second,
 			func() error { return httpServer.Serve(ln) })
 	}()
 	base := "http://" + ln.Addr().String()

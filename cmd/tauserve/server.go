@@ -91,6 +91,7 @@ type serverOptions struct {
 	monitorCfg   monitor.Config
 	recalibCfg   recalib.Config
 	autoRecalib  bool
+	journal      bool
 }
 
 // DefaultFeedbackRing is the default per-series provenance-ring length:
@@ -177,8 +178,12 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 	if err != nil {
 		return nil, err
 	}
+	poolOpts := []core.PoolOption{core.WithShards(o.shards), core.WithMonitoring(o.feedbackRing)}
+	if o.journal {
+		poolOpts = append(poolOpts, core.WithStateJournal())
+	}
 	pool, err := core.NewWrapperPool(base, taqim, core.Config{BufferLimit: o.bufferLimit},
-		o.maxSeries, core.WithShards(o.shards), core.WithMonitoring(o.feedbackRing))
+		o.maxSeries, poolOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -23,7 +23,12 @@
 // or automatically when the drift alarm fires), the binary streaming
 // transport (internal/wire: the length-prefixed frame protocol, its
 // zero-copy reader and append-based codec, and the pipelining client
-// behind tauserve's -tcp-addr listener), and the study harness
+// behind tauserve's -tcp-addr listener), the durability layer
+// (internal/store: a versioned reflection-free snapshot codec for every
+// piece of serving state, a CRC-framed torn-write-safe write-ahead log
+// behind a pluggable Store interface, and the write-behind Checkpointer
+// that restores a crashed server bit-identically from tauserve's
+// -state-dir), and the study harness
 // (internal/eval, whose offline replay is re-scored through the same
 // monitor so offline and online reliability numbers come from one
 // implementation, and whose drifted replay pins the closed loop: injected
@@ -51,7 +56,10 @@
 // request/response buffers, reflection-free encode/decode), the runtime
 // calibration monitoring on the step path (shard-local atomic counters
 // plus a preallocated provenance ring — both still zero-alloc while models
-// hot-swap underneath, which BenchmarkPoolStepDuringSwap gates), and the
+// hot-swap underneath, which BenchmarkPoolStepDuringSwap gates, and while
+// the checkpointer flushes underneath, which
+// BenchmarkPoolStepDuringCheckpoint gates: durability marks a series dirty
+// with one bool store under a lock the step already holds), and the
 // Prometheus scrape
 // (monitor.Exposition renders into a pooled buffer with cached visitor
 // closures). The deliberate

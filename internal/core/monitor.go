@@ -177,6 +177,7 @@ func (p *WrapperPool) TakeFeedback(trackID, step int) (FeedbackRecord, error) {
 		return FeedbackRecord{}, fmt.Errorf("%w: step %d", ErrDuplicateFeedback, step)
 	}
 	slot.taken = true
+	pw.dirty = true
 	return FeedbackRecord{
 		Step:         step,
 		Fused:        int(slot.fused),

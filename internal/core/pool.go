@@ -56,6 +56,14 @@ type WrapperPool struct {
 	monitored bool
 	ringSize  int
 	stepStats []stepStatsShard
+
+	// journaling enables the close journal the durability layer drains (see
+	// WithStateJournal / DrainClosed in state.go). journalMu only guards the
+	// journal slice; it is taken inside shard locks (Close) and never the
+	// other way around.
+	journaling bool
+	journalMu  sync.Mutex
+	journal    []int
 }
 
 type pooledWrapper struct {
@@ -65,6 +73,11 @@ type pooledWrapper struct {
 	// WithMonitoring and a positive ring size). Slots are addressed by the
 	// step's TotalSteps modulo the ring length; guarded by mu.
 	ring []provRecord
+	// dirty marks state mutated since the durability layer's last capture
+	// (see CollectDirty in state.go); guarded by mu. Set unconditionally on
+	// the mutation paths — a plain store under a lock the path already
+	// holds is cheaper than branching on whether anyone collects it.
+	dirty bool
 }
 
 // PoolOption customises pool construction.
@@ -74,6 +87,7 @@ type poolOptions struct {
 	shards    int
 	monitored bool
 	ringSize  int
+	journal   bool
 }
 
 // WithShards overrides the shard count (rounded up to a power of two;
@@ -117,6 +131,7 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 		shardShift: uint8(64 - bits.TrailingZeros(uint(nshards))),
 		monitored:  o.monitored,
 		ringSize:   o.ringSize,
+		journaling: o.journal,
 	}
 	if p.monitored {
 		p.stepStats = make([]stepStatsShard, nshards)
@@ -171,6 +186,7 @@ func (p *WrapperPool) open(trackID int) error {
 		// (ErrStepUnavailable) instead of silently joined to the wrong
 		// estimate.
 		clear(pw.ring)
+		pw.dirty = true
 		pw.mu.Unlock()
 		return nil
 	}
@@ -187,7 +203,7 @@ func (p *WrapperPool) open(trackID int) error {
 		p.active.Add(-1)
 		return err
 	}
-	pw := &pooledWrapper{w: w}
+	pw := &pooledWrapper{w: w, dirty: true}
 	if p.monitored && p.ringSize > 0 {
 		pw.ring = make([]provRecord, p.ringSize)
 	}
@@ -216,6 +232,7 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 	res, err := pw.w.stepScopedModel(pm.qim, outcome, quality, nil)
 	if err == nil {
 		res.ModelVersion = pm.version
+		pw.dirty = true
 		if p.monitored {
 			p.recordStep(pw, shard, &res)
 		}
@@ -234,6 +251,11 @@ func (p *WrapperPool) Close(trackID int) error {
 	}
 	delete(sh.tracks, trackID)
 	p.active.Add(-1)
+	if p.journaling {
+		p.journalMu.Lock()
+		p.journal = append(p.journal, trackID)
+		p.journalMu.Unlock()
+	}
 	return nil
 }
 

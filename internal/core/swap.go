@@ -62,3 +62,12 @@ func (p *WrapperPool) ModelVersion() uint64 { return p.model.Load().version }
 // recalibration refreshes. The returned model is immutable; it may be
 // superseded by a swap the moment this returns.
 func (p *WrapperPool) CurrentTAQIM() *uw.QualityImpactModel { return p.model.Load().qim }
+
+// ServingModel returns the serving model and its version as one consistent
+// pair (a single atomic load — reading CurrentTAQIM and ModelVersion
+// separately can straddle a swap). The durability layer checkpoints the
+// pair.
+func (p *WrapperPool) ServingModel() (*uw.QualityImpactModel, uint64) {
+	ms := p.model.Load()
+	return ms.qim, ms.version
+}

@@ -49,6 +49,27 @@ type SwapSource interface {
 	LastSwapUnixNano() int64
 }
 
+// CheckpointStats is the durability-layer counter set the exposition
+// renders — implemented by store.Checkpointer (defined here so the monitor
+// package never imports the store).
+type CheckpointStats struct {
+	// Checkpoints and Flushes count completed full checkpoints and
+	// incremental WAL flushes; Errors counts failed cycles.
+	Checkpoints, Flushes, Errors uint64
+	// WALRecords and WALBytes count records/bytes appended to the WAL.
+	WALRecords, WALBytes uint64
+	// LastCheckpointUnixNano is the completion time of the newest
+	// checkpoint (0 before the first); LastCheckpointBytes its blob size.
+	LastCheckpointUnixNano int64
+	LastCheckpointBytes    uint64
+}
+
+// CheckpointSource is the durability-counter surface. CheckpointStats must
+// be allocation-free.
+type CheckpointSource interface {
+	CheckpointStats() CheckpointStats
+}
+
 // EndpointLatency pairs a latency histogram with its endpoint label.
 type EndpointLatency struct {
 	Name string
@@ -59,11 +80,12 @@ type EndpointLatency struct {
 // required; Pool, Gate, and Latencies are optional sections. An Exposition
 // is safe for concurrent use (scrapes serialise on its scratch).
 type Exposition struct {
-	Monitor   *Monitor
-	Pool      PoolSource
-	Gate      GateSource
-	Swap      SwapSource
-	Latencies []EndpointLatency
+	Monitor    *Monitor
+	Pool       PoolSource
+	Gate       GateSource
+	Swap       SwapSource
+	Checkpoint CheckpointSource
+	Latencies  []EndpointLatency
 
 	mu sync.Mutex
 	// Reused aggregation scratch and cached visitor closures: both exist
@@ -105,6 +127,9 @@ func (e *Exposition) AppendMetrics(dst []byte) []byte {
 	}
 	if e.Gate != nil {
 		e.appendGate()
+	}
+	if e.Checkpoint != nil {
+		e.appendCheckpoint()
 	}
 	if len(e.Latencies) > 0 {
 		// One HELP/TYPE preamble for the family; the per-endpoint label
@@ -279,6 +304,29 @@ func (e *Exposition) appendGate() {
 		}
 	}
 	e.Gate.EachCount(e.gateFn)
+}
+
+// appendCheckpoint renders the durability-layer counters: checkpoint and
+// flush cadence, WAL growth, and the age of the newest durable checkpoint
+// (alert on a stale tauw_checkpoint_last_timestamp_seconds — it means the
+// write-behind loop is stuck or erroring).
+func (e *Exposition) appendCheckpoint() {
+	st := e.Checkpoint.CheckpointStats()
+	e.header("tauw_checkpoint_total", "Completed full state checkpoints.", "counter")
+	e.sampleUint("tauw_checkpoint_total", st.Checkpoints)
+	e.header("tauw_checkpoint_flushes_total", "Completed incremental WAL flushes.", "counter")
+	e.sampleUint("tauw_checkpoint_flushes_total", st.Flushes)
+	e.header("tauw_checkpoint_errors_total", "Failed flush/checkpoint cycles (state stays dirty and is retried).", "counter")
+	e.sampleUint("tauw_checkpoint_errors_total", st.Errors)
+	e.header("tauw_checkpoint_wal_records_total", "Records appended to the write-ahead log.", "counter")
+	e.sampleUint("tauw_checkpoint_wal_records_total", st.WALRecords)
+	e.header("tauw_checkpoint_wal_bytes_total", "Bytes appended to the write-ahead log.", "counter")
+	e.sampleUint("tauw_checkpoint_wal_bytes_total", st.WALBytes)
+	e.header("tauw_checkpoint_last_timestamp_seconds",
+		"Unix time of the newest durable checkpoint (0 before the first).", "gauge")
+	e.sampleFloat("tauw_checkpoint_last_timestamp_seconds", float64(st.LastCheckpointUnixNano)/1e9)
+	e.header("tauw_checkpoint_last_bytes", "Blob size of the newest checkpoint.", "gauge")
+	e.sampleUint("tauw_checkpoint_last_bytes", st.LastCheckpointBytes)
 }
 
 // appendLatency renders one endpoint's label set of the

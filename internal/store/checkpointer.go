@@ -1,0 +1,429 @@
+// checkpointer.go is the write-behind glue between the serving state and a
+// Store. The serving hot path never sees it: steps only flip a per-track
+// dirty bit under a lock they already hold, and the checkpointer harvests
+// those bits on its own clock — an incremental flush (dirty series +
+// drained closes + changed meta, appended to the WAL and synced) every
+// FlushInterval, compacted into a full checkpoint (every open series +
+// monitor state + meta, atomically replacing the previous checkpoint) every
+// CheckpointInterval or once the WAL outgrows MaxWALBytes.
+//
+// Monitor state is deliberately checkpoint-granular: the reliability
+// windows are the bulk of the state (shards × window × 8 bytes), far too
+// heavy to append per flush, and unlike series state they degrade
+// gracefully — losing the tail of a sliding statistic costs precision, not
+// correctness. Series state is flush-granular; a crash loses at most the
+// last FlushInterval of steps.
+package store
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/uw"
+)
+
+// Defaults for CheckpointConfig's zero values.
+const (
+	DefaultFlushInterval      = time.Second
+	DefaultCheckpointInterval = time.Minute
+	DefaultMaxWALBytes        = 16 << 20
+)
+
+// CheckpointConfig tunes the write-behind cadence.
+type CheckpointConfig struct {
+	// FlushInterval is the incremental-flush period (0 means
+	// DefaultFlushInterval) — the durability window: a crash loses at most
+	// this much serving history.
+	FlushInterval time.Duration
+	// CheckpointInterval is the full-checkpoint period (0 means
+	// DefaultCheckpointInterval).
+	CheckpointInterval time.Duration
+	// MaxWALBytes triggers an early checkpoint once the WAL outgrows it
+	// (0 means DefaultMaxWALBytes; negative disables the size trigger).
+	MaxWALBytes int64
+}
+
+func (c CheckpointConfig) withDefaults() CheckpointConfig {
+	if c.FlushInterval == 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if c.MaxWALBytes == 0 {
+		c.MaxWALBytes = DefaultMaxWALBytes
+	}
+	return c
+}
+
+// Stats is a point-in-time read of the checkpointer's counters, the
+// backing of the tauw_checkpoint_* metrics.
+type Stats struct {
+	// Checkpoints and Flushes count completed full checkpoints and
+	// incremental flushes; Errors counts failed ones (state stays dirty and
+	// is retried on the next tick).
+	Checkpoints, Flushes, Errors uint64
+	// WALRecords and WALBytes count records appended to the log since
+	// construction (not reset by checkpoints).
+	WALRecords, WALBytes uint64
+	// LastCheckpointUnixNano is the completion time of the newest
+	// checkpoint (0 before the first); LastCheckpointBytes its blob size.
+	LastCheckpointUnixNano int64
+	LastCheckpointBytes    uint64
+}
+
+// Checkpointer drives the write-behind loop. Flush/Checkpoint serialise
+// through an internal mutex, so the background loop and a drain-time final
+// checkpoint can overlap safely.
+type Checkpointer struct {
+	store  Store
+	pool   *core.WrapperPool
+	mon    *monitor.Monitor
+	leaves *monitor.LeafStats
+	cfg    CheckpointConfig
+
+	mu      sync.Mutex // serialises flush/checkpoint cycles
+	scratch core.SeriesState
+	buf     []byte // record scratch
+	blob    []byte // checkpoint blob scratch
+	closed  []int
+	mrec    MonitorRecord
+
+	// lastMeta* dedupe the meta record: flushes rewrite it only on change.
+	lastMetaCounter uint64
+	lastMetaVersion uint64
+
+	checkpoints atomic.Uint64
+	flushes     atomic.Uint64
+	errorsN     atomic.Uint64
+	walRecords  atomic.Uint64
+	walBytes    atomic.Uint64
+	lastCPNanos atomic.Int64
+	lastCPBytes atomic.Uint64
+	stopOnce    sync.Once
+	stop        chan struct{}
+	done        chan struct{}
+	loopStarted bool
+	loopStartMu sync.Mutex
+}
+
+// NewCheckpointer wires a pool (required) and the optional feedback-side
+// state to a store. The pool should be built with core.WithStateJournal so
+// closes reach the log.
+func NewCheckpointer(s Store, pool *core.WrapperPool, mon *monitor.Monitor, leaves *monitor.LeafStats, cfg CheckpointConfig) (*Checkpointer, error) {
+	if s == nil || pool == nil {
+		return nil, fmt.Errorf("store: checkpointer needs a store and a pool")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.FlushInterval < 0 || cfg.CheckpointInterval < 0 {
+		return nil, fmt.Errorf("store: flush interval %v and checkpoint interval %v must be >= 0",
+			cfg.FlushInterval, cfg.CheckpointInterval)
+	}
+	return &Checkpointer{
+		store:  s,
+		pool:   pool,
+		mon:    mon,
+		leaves: leaves,
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background loop. Safe to call once.
+func (c *Checkpointer) Start() {
+	c.loopStartMu.Lock()
+	defer c.loopStartMu.Unlock()
+	if c.loopStarted {
+		return
+	}
+	c.loopStarted = true
+	go c.run()
+}
+
+func (c *Checkpointer) run() {
+	defer close(c.done)
+	flushT := time.NewTicker(c.cfg.FlushInterval)
+	defer flushT.Stop()
+	cpT := time.NewTicker(c.cfg.CheckpointInterval)
+	defer cpT.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-flushT.C:
+			trip := c.cfg.MaxWALBytes > 0 && c.store.LogSize() >= c.cfg.MaxWALBytes
+			var err error
+			if trip {
+				err = c.Checkpoint()
+			} else {
+				err = c.Flush()
+			}
+			if err != nil {
+				c.errorsN.Add(1)
+				log.Printf("store: flush failed (state stays dirty, retrying next tick): %v", err)
+			}
+		case <-cpT.C:
+			if err := c.Checkpoint(); err != nil {
+				c.errorsN.Add(1)
+				log.Printf("store: checkpoint failed (retrying next interval): %v", err)
+			}
+		}
+	}
+}
+
+// Stop halts the loop and writes a final full checkpoint — the drain-time
+// hook: after it returns, every served step is in the checkpoint.
+func (c *Checkpointer) Stop() error {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.loopStartMu.Lock()
+	started := c.loopStarted
+	c.loopStartMu.Unlock()
+	if started {
+		<-c.done
+	}
+	return c.Checkpoint()
+}
+
+// Flush appends every dirty series, the drained closes, and a changed meta
+// record to the log, then syncs. One failed append aborts the cycle with
+// the affected series re-marked dirty.
+func (c *Checkpointer) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.pool.CollectDirty(&c.scratch, func(st *core.SeriesState) error {
+		c.buf = AppendSeriesRecord(c.buf[:0], st)
+		return c.append(c.buf)
+	})
+	if err != nil {
+		return err
+	}
+	// Closes drain strictly after the sweep's snapshots (see
+	// core.CollectDirty's ordering contract).
+	c.closed = c.pool.DrainClosed(c.closed[:0])
+	for _, track := range c.closed {
+		c.buf = AppendCloseRecord(c.buf[:0], track)
+		if err := c.append(c.buf); err != nil {
+			return err
+		}
+	}
+	if err := c.appendMetaIfChanged(); err != nil {
+		return err
+	}
+	if err := c.store.Sync(); err != nil {
+		return err
+	}
+	c.flushes.Add(1)
+	return nil
+}
+
+func (c *Checkpointer) append(rec []byte) error {
+	if err := c.store.Append(rec); err != nil {
+		return err
+	}
+	c.walRecords.Add(1)
+	c.walBytes.Add(uint64(len(rec)))
+	return nil
+}
+
+// appendMetaIfChanged writes the meta record when the series counter or
+// serving model moved since the last write.
+func (c *Checkpointer) appendMetaIfChanged() error {
+	counter := c.pool.SeriesCounter()
+	_, version := c.pool.ServingModel()
+	if counter == c.lastMetaCounter && version == c.lastMetaVersion {
+		return nil
+	}
+	rec, err := c.metaRecord(c.buf[:0])
+	if err != nil {
+		return err
+	}
+	c.buf = rec
+	if err := c.append(rec); err != nil {
+		return err
+	}
+	c.lastMetaCounter = counter
+	c.lastMetaVersion = version
+	return nil
+}
+
+// metaRecord renders the current meta record, embedding the serving model
+// as JSON once it has been swapped past the construction revision.
+func (c *Checkpointer) metaRecord(dst []byte) ([]byte, error) {
+	qim, version := c.pool.ServingModel()
+	m := Meta{SeriesCounter: c.pool.SeriesCounter(), ModelVersion: version}
+	if version > 1 {
+		js, err := qim.MarshalJSON()
+		if err != nil {
+			return dst, fmt.Errorf("store: encode serving model: %w", err)
+		}
+		m.ModelJSON = js
+	}
+	return AppendMetaRecord(dst, &m), nil
+}
+
+// Checkpoint captures the complete state — meta, monitor, every open
+// series — into one blob and atomically replaces the previous checkpoint,
+// clearing the WAL.
+func (c *Checkpointer) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob := c.blob[:0]
+	rec, err := c.metaRecord(c.buf[:0])
+	if err != nil {
+		return err
+	}
+	c.buf = rec
+	blob = AppendBlobRecord(blob, rec)
+
+	c.mrec.HasMonitor = c.mon != nil
+	if c.mon != nil {
+		c.mon.ExportState(&c.mrec.Monitor)
+	}
+	c.mrec.HasLeaves = c.leaves != nil
+	if c.leaves != nil {
+		c.leaves.ExportState(&c.mrec.Leaves)
+	}
+	c.pool.ExportStats(&c.mrec.PoolStats)
+	c.buf = AppendMonitorRecord(c.buf[:0], &c.mrec)
+	blob = AppendBlobRecord(blob, c.buf)
+
+	_, err = c.pool.ForEachTrack(&c.scratch, func(st *core.SeriesState) error {
+		c.buf = AppendSeriesRecord(c.buf[:0], st)
+		blob = AppendBlobRecord(blob, c.buf)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	c.blob = blob
+	if err := c.store.Checkpoint(blob); err != nil {
+		return err
+	}
+	// The checkpoint holds everything, including any pending closes and the
+	// current meta: drop the journal backlog and re-arm the meta dedupe.
+	c.closed = c.pool.DrainClosed(c.closed[:0])
+	c.lastMetaCounter = c.pool.SeriesCounter()
+	_, c.lastMetaVersion = c.pool.ServingModel()
+	c.checkpoints.Add(1)
+	c.lastCPNanos.Store(time.Now().UnixNano())
+	c.lastCPBytes.Store(uint64(len(blob)))
+	return nil
+}
+
+// CheckpointStats implements the exposition's CheckpointSource.
+func (c *Checkpointer) CheckpointStats() monitor.CheckpointStats {
+	return monitor.CheckpointStats{
+		Checkpoints:            c.checkpoints.Load(),
+		Flushes:                c.flushes.Load(),
+		Errors:                 c.errorsN.Load(),
+		WALRecords:             c.walRecords.Load(),
+		WALBytes:               c.walBytes.Load(),
+		LastCheckpointUnixNano: c.lastCPNanos.Load(),
+		LastCheckpointBytes:    c.lastCPBytes.Load(),
+	}
+}
+
+// RecoverStats summarises what a recovery restored.
+type RecoverStats struct {
+	// Series is the number of live series after recovery; Closes the close
+	// records applied; Records the log records replayed on top of the
+	// checkpoint; ModelVersion the restored serving version (1 = the
+	// construction model, nothing was restored over it).
+	Series, Closes, Records int
+	ModelVersion            uint64
+	HadCheckpoint           bool
+}
+
+// Recover replays a store into a freshly built pool (and optional monitor
+// state), before any traffic: checkpoint records first, then the WAL tail.
+// Unknown record kinds are skipped — a newer writer's records do not brick
+// an older reader — and close records for tracks that never materialised
+// are ignored.
+func Recover(s Store, pool *core.WrapperPool, mon *monitor.Monitor, leaves *monitor.LeafStats) (RecoverStats, error) {
+	var rs RecoverStats
+	var st core.SeriesState
+	var meta Meta
+	var mrec MonitorRecord
+	apply := func(rec []byte) error {
+		kind, err := RecordKind(rec)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case kindSeries:
+			if err := DecodeSeriesRecord(rec, &st); err != nil {
+				return err
+			}
+			if err := pool.RestoreTrack(&st); err != nil {
+				return err
+			}
+		case kindClose:
+			track, err := DecodeCloseRecord(rec)
+			if err != nil {
+				return err
+			}
+			if id := (&core.SeriesState{Track: track}).SeriesID(); id != "" {
+				if pool.CloseSeries(id) == nil {
+					rs.Closes++
+				}
+			} else if pool.Close(track) == nil {
+				rs.Closes++
+			}
+		case kindMeta:
+			if err := DecodeMetaRecord(rec, &meta); err != nil {
+				return err
+			}
+			pool.SetSeriesCounter(meta.SeriesCounter)
+			if len(meta.ModelJSON) > 0 && meta.ModelVersion > 1 {
+				qim, err := uw.LoadQIM(meta.ModelJSON)
+				if err != nil {
+					return fmt.Errorf("store: restore serving model: %w", err)
+				}
+				if err := pool.InstallModel(qim, meta.ModelVersion); err != nil {
+					return err
+				}
+			}
+		case kindMonitor:
+			if err := DecodeMonitorRecord(rec, &mrec); err != nil {
+				return err
+			}
+			if mrec.HasMonitor && mon != nil {
+				if err := mon.RestoreState(&mrec.Monitor); err != nil {
+					return err
+				}
+			}
+			if mrec.HasLeaves && leaves != nil {
+				if err := leaves.RestoreState(&mrec.Leaves); err != nil {
+					return err
+				}
+			}
+			pool.RestoreStats(&mrec.PoolStats)
+		}
+		return nil
+	}
+	err := s.Recover(
+		func(blob []byte) error {
+			rs.HadCheckpoint = true
+			return WalkBlob(blob, apply)
+		},
+		func(rec []byte) error {
+			rs.Records++
+			return apply(rec)
+		},
+	)
+	if err != nil {
+		return rs, err
+	}
+	// Recovery's own Close calls journalled themselves; those tracks are
+	// gone, so drop the entries instead of logging tombstones for ghosts.
+	pool.DrainClosed(nil)
+	rs.Series = pool.Active()
+	rs.ModelVersion = pool.ModelVersion()
+	return rs, nil
+}

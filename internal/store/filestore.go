@@ -1,0 +1,353 @@
+// filestore.go is the durable Store: a CRC-framed write-ahead log plus an
+// atomically replaced checkpoint file in one state directory.
+//
+// Layout:
+//
+//	<dir>/checkpoint   header {magic, version, LSN, length, CRC32-C} + blob
+//	<dir>/wal          frames {length, LSN, CRC32-C(LSN‖payload), payload}
+//
+// Every record carries a log sequence number. A checkpoint consumes an LSN
+// and is written as checkpoint.tmp → fsync → rename → fsync(dir), so a
+// crash anywhere leaves either the old checkpoint or the new one, never a
+// torn mixture; the WAL is truncated only after the rename, and records
+// with LSN below the checkpoint's are skipped at recovery — which makes
+// the crash window between rename and truncate safe too. Recovery scans
+// the WAL until the first short or corrupt frame and truncates there: a
+// torn tail (crash mid-write) silently loses only the unsynced suffix,
+// exactly the contract Sync advertises.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	checkpointName = "checkpoint"
+	walName        = "wal"
+
+	// formatMagic opens the checkpoint header ("TAUW" as a little-endian
+	// u32); formatVersion is bumped when the record encoding changes
+	// incompatibly.
+	formatMagic   = uint32('T') | uint32('A')<<8 | uint32('U')<<16 | uint32('W')<<24
+	formatVersion = 1
+
+	// checkpointHeaderSize is magic u32 + version u8 + lsn u64 + len u32 +
+	// crc u32.
+	checkpointHeaderSize = 4 + 1 + 8 + 4 + 4
+	// frameHeaderSize is len u32 + lsn u64 + crc u32.
+	frameHeaderSize = 4 + 8 + 4
+
+	// maxFramePayload bounds one WAL frame; larger state belongs in a
+	// checkpoint. Also the recovery scanner's plausibility cap, so a
+	// corrupt length field cannot demand a giant read.
+	maxFramePayload = 64 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptCheckpoint is returned by Recover when the checkpoint file
+// exists but fails validation — durable state is present and cannot be
+// trusted, so the layer above must decide (fail startup, or move the
+// directory aside and start empty) rather than silently losing it.
+var ErrCorruptCheckpoint = errors.New("store: corrupt checkpoint")
+
+// FileStore is the file-backed Store.
+type FileStore struct {
+	dir string
+
+	mu      sync.Mutex
+	closed  bool
+	wal     *os.File
+	walSize int64
+	nextLSN uint64
+	cpLSN   uint64
+	scratch []byte
+}
+
+// OpenFileStore opens (creating if needed) a state directory. The existing
+// checkpoint header and WAL are scanned so LSNs continue monotonically; a
+// torn WAL tail is truncated here as well as in Recover, so appends after
+// a partial recovery never interleave with garbage.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: state dir: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: wal: %w", err)
+	}
+	s := &FileStore{dir: dir, wal: wal}
+	if _, _, err := s.readCheckpoint(nil); err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Corruption is surfaced at Recover, where the caller handles it;
+		// Open only needs the LSN floor, and a corrupt header contributes
+		// none.
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			wal.Close()
+			return nil, err
+		}
+	}
+	lastLSN, validSize, err := s.scanWAL(nil)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if err := s.truncateWAL(validSize); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s.nextLSN = max(s.cpLSN, lastLSN) + 1
+	return s, nil
+}
+
+// readCheckpoint validates the checkpoint file and returns its blob
+// (appended to dst) and LSN; it also refreshes s.cpLSN on success.
+func (s *FileStore) readCheckpoint(dst []byte) ([]byte, uint64, error) {
+	raw, err := os.ReadFile(filepath.Join(s.dir, checkpointName))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < checkpointHeaderSize {
+		return nil, 0, fmt.Errorf("%w: %d-byte file is shorter than the header", ErrCorruptCheckpoint, len(raw))
+	}
+	if got := binary.LittleEndian.Uint32(raw); got != formatMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic %#x", ErrCorruptCheckpoint, got)
+	}
+	if got := raw[4]; got != formatVersion {
+		return nil, 0, fmt.Errorf("%w: format version %d, this build reads %d", ErrCorruptCheckpoint, got, formatVersion)
+	}
+	lsn := binary.LittleEndian.Uint64(raw[5:])
+	blobLen := binary.LittleEndian.Uint32(raw[13:])
+	crc := binary.LittleEndian.Uint32(raw[17:])
+	blob := raw[checkpointHeaderSize:]
+	if uint32(len(blob)) != blobLen {
+		return nil, 0, fmt.Errorf("%w: header claims %d blob bytes, file holds %d", ErrCorruptCheckpoint, blobLen, len(blob))
+	}
+	if got := crc32.Checksum(blob, castagnoli); got != crc {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrCorruptCheckpoint)
+	}
+	s.cpLSN = lsn
+	return append(dst, blob...), lsn, nil
+}
+
+// scanWAL walks the frames from the start, optionally visiting each
+// (payload views are only valid during the callback), and returns the last
+// valid frame's LSN and the byte offset where validity ends.
+func (s *FileStore) scanWAL(visit func(lsn uint64, payload []byte) error) (lastLSN uint64, validSize int64, err error) {
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, fmt.Errorf("store: wal seek: %w", err)
+	}
+	r := io.Reader(s.wal)
+	var header [frameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			// A short header is a torn tail, not an error.
+			return lastLSN, validSize, nil
+		}
+		n := binary.LittleEndian.Uint32(header[0:])
+		lsn := binary.LittleEndian.Uint64(header[4:])
+		crc := binary.LittleEndian.Uint32(header[12:])
+		if n > maxFramePayload {
+			return lastLSN, validSize, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return lastLSN, validSize, nil
+		}
+		if crc32.Update(crc32.Checksum(header[4:12], castagnoli), castagnoli, payload) != crc {
+			return lastLSN, validSize, nil
+		}
+		if visit != nil {
+			if err := visit(lsn, payload); err != nil {
+				return lastLSN, validSize, err
+			}
+		}
+		lastLSN = lsn
+		validSize += frameHeaderSize + int64(n)
+	}
+}
+
+// truncateWAL cuts the log to size and positions the writer at its end.
+func (s *FileStore) truncateWAL(size int64) error {
+	if err := s.wal.Truncate(size); err != nil {
+		return fmt.Errorf("store: wal truncate: %w", err)
+	}
+	if _, err := s.wal.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal seek: %w", err)
+	}
+	s.walSize = size
+	return nil
+}
+
+// Append implements Store: one CRC-framed record, durable at the next
+// Sync.
+func (s *FileStore) Append(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("store: %d-byte record exceeds the %d-byte frame cap", len(payload), maxFramePayload)
+	}
+	lsn := s.nextLSN
+	s.nextLSN++
+	buf := s.scratch[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint64(buf, lsn)
+	crc := crc32.Update(crc32.Checksum(buf[4:12], castagnoli), castagnoli, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, payload...)
+	s.scratch = buf
+	if _, err := s.wal.Write(buf); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	s.walSize += int64(len(buf))
+	return nil
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint implements Store: tmp + fsync + rename + fsync(dir), then WAL
+// truncation.
+func (s *FileStore) Checkpoint(blob []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	lsn := s.nextLSN
+	s.nextLSN++
+
+	header := make([]byte, 0, checkpointHeaderSize)
+	header = binary.LittleEndian.AppendUint32(header, formatMagic)
+	header = append(header, formatVersion)
+	header = binary.LittleEndian.AppendUint64(header, lsn)
+	header = binary.LittleEndian.AppendUint32(header, uint32(len(blob)))
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(blob, castagnoli))
+
+	tmpPath := filepath.Join(s.dir, checkpointName+".tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint tmp: %w", err)
+	}
+	if _, err := tmp.Write(header); err == nil {
+		_, err = tmp.Write(blob)
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: checkpoint write: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, checkpointName)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: checkpoint rename: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.cpLSN = lsn
+	// From here the checkpoint is durable; clearing the WAL is safe, and if
+	// the truncate is lost to a crash, recovery skips the stale records by
+	// LSN.
+	if err := s.truncateWAL(0); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: dir open: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("store: dir sync: %w", err)
+	}
+	return nil
+}
+
+// Recover implements Store.
+func (s *FileStore) Recover(checkpoint func([]byte) error, record func([]byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	blob, cpLSN, err := s.readCheckpoint(nil)
+	switch {
+	case err == nil:
+		if err := checkpoint(blob); err != nil {
+			return err
+		}
+	case errors.Is(err, os.ErrNotExist):
+		cpLSN = 0
+	default:
+		return err
+	}
+	_, validSize, err := s.scanWAL(func(lsn uint64, payload []byte) error {
+		if lsn <= cpLSN {
+			return nil // pre-checkpoint leftover (crash between rename and truncate)
+		}
+		return record(payload)
+	})
+	if err != nil {
+		return err
+	}
+	return s.truncateWAL(validSize)
+}
+
+// LogSize implements Store.
+func (s *FileStore) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSize
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}
+
+// Dir reports the state directory.
+func (s *FileStore) Dir() string { return s.dir }
