@@ -198,3 +198,68 @@ func BenchmarkPoolStepDuringCheckpoint(b *testing.B) {
 	close(stop)
 	wg.Wait()
 }
+
+// BenchmarkPoolStepDuringStoreFault is the same hot path with the store
+// failing every operation: flush cycles error and retry behind the pool, and
+// steps must stay allocation-free and at full speed regardless — the fault
+// isolation the degraded mode depends on. The bench gate holds this to
+// 0 allocs/op alongside the healthy-store variant.
+func BenchmarkPoolStepDuringStoreFault(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	pool := benchStorePool(b)
+	fs := store.NewFaultStore(store.NewMemStore())
+	for op := store.Op(0); op < store.NumOps(); op++ {
+		fs.FailOps(op, 0, -1, nil)
+	}
+	// One attempt, no backoff: the flusher fails fast and spins again, the
+	// worst interference the breaker would ever let reach the store.
+	cp, err := store.NewCheckpointer(fs, pool, nil, nil,
+		store.CheckpointConfig{RetryAttempts: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Every cycle fails by construction; the errors are the point.
+			if i%8 == 7 {
+				_ = cp.Checkpoint()
+			} else {
+				_ = cp.Flush()
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	perG := benchPoolTracks / runtime.GOMAXPROCS(0)
+	if perG < 1 {
+		perG = 1
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := (int(next.Add(1)-1) * perG) % benchPoolTracks
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := pool.Step(base+i%perG, outcome, quality); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,162 @@
+// admission.go is the overload-protection layer of the hot endpoints
+// (step, steps, feedback): a per-endpoint concurrency cap with a bounded
+// admission queue and deadline-aware shedding. The accept path is
+// allocation-free — admission is one non-blocking channel send, release one
+// receive — and only a request that finds the endpoint saturated pays for a
+// queue slot (an atomic counter) and a pooled timer. Shed responses carry
+// Retry-After and the same {"error": ...} JSON shape as every other 4xx/5xx,
+// pre-rendered so shedding a request under overload costs no allocation
+// either: the cheaper rejection is, the better it protects the work that was
+// admitted.
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shed response bodies, pre-rendered: the overload path must not allocate.
+var (
+	errQueueFullBody = []byte(`{"error":"server overloaded: admission queue full"}`)
+	errDeadlineBody  = []byte(`{"error":"request deadline exceeded in admission queue"}`)
+)
+
+// limiter is one endpoint's admission gate. A nil tokens channel disables
+// the gate entirely (the default): admit/release reduce to one nil check,
+// so deployments that never set -max-inflight pay nothing.
+type limiter struct {
+	name string
+	// tokens holds one slot per admitted in-flight request; admission is a
+	// channel send, release a receive, so saturation and FIFO-ish wakeup
+	// come from the runtime instead of hand-rolled queueing.
+	tokens chan struct{}
+	// queued counts requests waiting for a token; maxQueue bounds them. The
+	// bound is what turns sustained overload into fast 429s instead of an
+	// unbounded pile of goroutines all destined to time out.
+	queued   atomic.Int64
+	maxQueue int64
+	// timeout is the admission-wait budget (0 = wait indefinitely; the
+	// queue cap alone bounds exposure then).
+	timeout time.Duration
+
+	shedQueueFull atomic.Uint64
+	shedDeadline  atomic.Uint64
+}
+
+// admission is the server's limiter set, one per hot endpoint. It
+// implements monitor.ShedSource for the tauw_shed_total exposition.
+type admission struct {
+	step, batch, feedback limiter
+}
+
+// init configures one endpoint's gate in place (the limiter embeds
+// atomics, so it cannot be copied): maxInflight 0 disables it.
+func (l *limiter) init(name string, maxInflight, maxQueue int, timeout time.Duration) {
+	l.name = name
+	l.maxQueue = int64(maxQueue)
+	l.timeout = timeout
+	if maxInflight > 0 {
+		l.tokens = make(chan struct{}, maxInflight)
+	}
+}
+
+// EachShed implements monitor.ShedSource: every endpoint×reason series is
+// visited (zeros included, so the counters exist before the first shed).
+func (a *admission) EachShed(visit func(endpoint, reason string, count uint64)) {
+	for _, l := range [...]*limiter{&a.step, &a.batch, &a.feedback} {
+		visit(l.name, "queue_full", l.shedQueueFull.Load())
+		visit(l.name, "deadline", l.shedDeadline.Load())
+	}
+}
+
+// timerPool recycles the queue-wait timers so a saturated endpoint does not
+// allocate one timer per queued request.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Already fired; drain the channel if the value wasn't consumed so
+		// the next Reset starts clean.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// admit gates one request. It returns true when the request holds a token
+// (pair with release); on false it has already written the shed response —
+// 429 when the bounded queue is full (the client should back off and
+// retry), 503 when the request spent its whole -request-timeout waiting for
+// a token (the server is saturated beyond the queue's smoothing ability).
+// Both carry Retry-After per RFC 7231 §7.1.3.
+func (l *limiter) admit(w http.ResponseWriter) bool {
+	if l.tokens == nil {
+		return true
+	}
+	select {
+	case l.tokens <- struct{}{}:
+		return true
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shedQueueFull.Add(1)
+		shedResponse(w, http.StatusTooManyRequests, errQueueFullBody)
+		return false
+	}
+	if l.timeout <= 0 {
+		l.tokens <- struct{}{}
+		l.queued.Add(-1)
+		return true
+	}
+	t := getTimer(l.timeout)
+	select {
+	case l.tokens <- struct{}{}:
+		l.queued.Add(-1)
+		putTimer(t)
+		return true
+	case <-t.C:
+		l.queued.Add(-1)
+		l.shedDeadline.Add(1)
+		putTimer(t)
+		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
+		return false
+	}
+}
+
+// release returns the admission token. Must be called exactly once after a
+// true admit.
+func (l *limiter) release() {
+	if l.tokens == nil {
+		return
+	}
+	<-l.tokens
+}
+
+// shedResponse writes a pre-rendered overload rejection: JSON error shape,
+// exact Content-Length, and a Retry-After the client can obey. One second
+// is deliberate — shedding exists to smooth bursts, and a burst that is
+// still there a second later deserves to be shed again.
+func shedResponse(w http.ResponseWriter, code int, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Retry-After", "1")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(code)
+	if _, err := w.Write(body); err != nil {
+		logf("tauserve: writing %d shed response: %v", code, err)
+	}
+}

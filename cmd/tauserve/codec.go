@@ -125,6 +125,16 @@ func appendJSONString(dst []byte, s string) []byte {
 
 // appendStepResponse renders the single-step success body; field order and
 // float formatting match the struct's stdlib encoding.
+// appendErrorResponse renders the unified error body {"error": msg} —
+// the shape of every 4xx/5xx the server writes. String encoding cannot
+// fail, so unlike the response encoders it returns no error: httpError
+// must never itself need an error path.
+func appendErrorResponse(dst []byte, msg string) []byte {
+	dst = append(dst, `{"error":`...)
+	dst = appendJSONString(dst, msg)
+	return append(dst, '}', '\n')
+}
+
 func appendStepResponse(dst []byte, r *stepResponse) ([]byte, error) {
 	var err error
 	dst = append(dst, `{"series_id":`...)

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -46,14 +47,34 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
-type serveProc struct {
-	cmd *exec.Cmd
-	log *bytes.Buffer
+// syncBuffer is a mutex-guarded log sink: exec's pipe copier writes into it
+// from its own goroutine, and the chaos test reads it while the child is
+// still running, so the plain bytes.Buffer would be a data race under -race.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
 }
 
-func startServe(t *testing.T, bin, addr, stateDir string) *serveProc {
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+type serveProc struct {
+	cmd *exec.Cmd
+	log *syncBuffer
+}
+
+func startServe(t *testing.T, bin, addr, stateDir string, extra ...string) *serveProc {
 	t.Helper()
-	cmd := exec.Command(bin,
+	args := []string{
 		"-addr", addr,
 		"-preset", "tiny",
 		"-state-dir", stateDir,
@@ -61,14 +82,15 @@ func startServe(t *testing.T, bin, addr, stateDir string) *serveProc {
 		"-checkpoint-interval", "1h", // only the startup and drain checkpoints
 		"-buffer-limit", "16",
 		"-drain-timeout", "10s",
-	)
-	var log bytes.Buffer
-	cmd.Stdout = &log
-	cmd.Stderr = &log
+	}
+	cmd := exec.Command(bin, append(args, extra...)...)
+	log := &syncBuffer{}
+	cmd.Stdout = log
+	cmd.Stderr = log
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	p := &serveProc{cmd: cmd, log: &log}
+	p := &serveProc{cmd: cmd, log: log}
 	t.Cleanup(func() {
 		if p.cmd.ProcessState == nil {
 			p.cmd.Process.Kill() //nolint:errcheck // best-effort teardown

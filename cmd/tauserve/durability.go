@@ -29,6 +29,14 @@ type durabilityConfig struct {
 	flushInterval      time.Duration
 	checkpointInterval time.Duration
 	walMaxBytes        int64
+	retryAttempts      int
+	retryBase          time.Duration
+	breakerThreshold   int
+	probeInterval      time.Duration
+	// faultInject wraps the file store in a store.FaultStore and routes
+	// POST /debug/fault — the chaos harness's control surface. Testing
+	// only; never set it in production.
+	faultInject bool
 }
 
 // attachDurability opens the state directory, restores serving state into
@@ -42,8 +50,16 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 	if err != nil {
 		return nil, fmt.Errorf("opening state dir: %w", err)
 	}
+	var st store.Store = fs
+	if cfg.faultInject {
+		// The chaos harness's store: every operation passes through the
+		// runtime-scriptable fault plan that POST /debug/fault reprograms.
+		s.faults = store.NewFaultStore(fs)
+		st = s.faults
+		log.Printf("fault injection ARMED (-fault-inject): POST /debug/fault reprograms the store fault plan — testing only")
+	}
 	start := time.Now()
-	rs, err := store.Recover(fs, s.pool, s.calib, s.leafStats)
+	rs, err := store.Recover(st, s.pool, s.calib, s.leafStats)
 	if err != nil {
 		fs.Close()
 		return nil, fmt.Errorf("recovering state from %s: %w", cfg.stateDir, err)
@@ -51,10 +67,14 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 	log.Printf("recovered state from %s in %v: %d live series, %d WAL records, %d closes, model version %d (checkpoint: %v)",
 		cfg.stateDir, time.Since(start).Round(time.Millisecond),
 		rs.Series, rs.Records, rs.Closes, rs.ModelVersion, rs.HadCheckpoint)
-	cp, err := store.NewCheckpointer(fs, s.pool, s.calib, s.leafStats, store.CheckpointConfig{
+	cp, err := store.NewCheckpointer(st, s.pool, s.calib, s.leafStats, store.CheckpointConfig{
 		FlushInterval:      cfg.flushInterval,
 		CheckpointInterval: cfg.checkpointInterval,
 		MaxWALBytes:        cfg.walMaxBytes,
+		RetryAttempts:      cfg.retryAttempts,
+		RetryBase:          cfg.retryBase,
+		BreakerThreshold:   cfg.breakerThreshold,
+		ProbeInterval:      cfg.probeInterval,
 	})
 	if err != nil {
 		fs.Close()
@@ -66,5 +86,8 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 	}
 	cp.Start()
 	s.expo.Checkpoint = cp
+	// /readyz reports degraded mode from here on: before a store is
+	// attached there is no durability to suspend.
+	s.degraded = cp.Degraded
 	return cp, nil
 }

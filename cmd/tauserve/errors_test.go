@@ -1,0 +1,94 @@
+// errors_test.go pins the unified error contract: every 4xx/5xx on every
+// endpoint answers application/json with an {"error": "..."} body — including
+// the router's own 404/405 (with a correct Allow header) and the body-size
+// 413, which the stock ServeMux and MaxBytesReader would otherwise answer in
+// text/plain.
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestErrorResponseShape(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantAllow                string
+	}{
+		{"step bad json", "POST", "/v1/step", "{", http.StatusBadRequest, ""},
+		{"step unknown series", "POST", "/v1/step",
+			`{"series_id":"nope","outcome":1,"quality":{},"pixel_size":100}`, http.StatusNotFound, ""},
+		{"step quality out of range", "POST", "/v1/step",
+			`{"series_id":"nope","outcome":1,"quality":{"rain":7},"pixel_size":100}`, http.StatusBadRequest, ""},
+		{"step oversized body", "POST", "/v1/step",
+			`{"series_id":"` + strings.Repeat("x", maxStepBodyBytes+1) + `"}`, http.StatusRequestEntityTooLarge, ""},
+		{"batch bad json", "POST", "/v1/steps", `{"steps":`, http.StatusBadRequest, ""},
+		{"batch empty", "POST", "/v1/steps", `{"steps":[]}`, http.StatusBadRequest, ""},
+		{"feedback unknown series", "POST", "/v1/feedback",
+			`{"series_id":"nope","step":1,"truth":1}`, http.StatusNotFound, ""},
+		{"delete unknown series", "DELETE", "/v1/series/nope", "", http.StatusNotFound, ""},
+		{"series path too deep", "DELETE", "/v1/series/a/b", "", http.StatusNotFound, ""},
+		{"unknown endpoint", "GET", "/v1/nope", "", http.StatusNotFound, ""},
+		{"stats wrong method", "POST", "/v1/stats", "", http.StatusMethodNotAllowed, "GET, HEAD"},
+		{"step wrong method", "GET", "/v1/step", "", http.StatusMethodNotAllowed, "POST"},
+		{"series wrong method", "GET", "/v1/series", "", http.StatusMethodNotAllowed, "POST"},
+		{"metrics wrong method", "DELETE", "/metrics", "", http.StatusMethodNotAllowed, "GET, HEAD"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q, want application/json", ct)
+			}
+			var body errorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("error body is not JSON: %v", err)
+			}
+			if body.Error == "" {
+				t.Fatal("error body has an empty error field")
+			}
+			if tc.wantAllow != "" {
+				if got := resp.Header.Get("Allow"); got != tc.wantAllow {
+					t.Fatalf("Allow = %q, want %q", got, tc.wantAllow)
+				}
+			}
+		})
+	}
+}
+
+// TestReadyzDrainingJSON: the drain-time 503 speaks the same error shape as
+// every other failure, so probes and humans parse one format.
+func TestReadyzDrainingJSON(t *testing.T) {
+	ts, srv := testServerSrv(t)
+	srv.SetReady(false)
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", resp.StatusCode)
+	}
+	var body errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error != "draining" {
+		t.Fatalf("draining readyz body = %+v (%v), want {\"error\":\"draining\"}", body, err)
+	}
+}

@@ -26,6 +26,27 @@
 // at most one flush interval of series history; a graceful drain ends with
 // a final checkpoint that loses nothing.
 //
+// Durability failures never reach the hot path: each store operation is
+// retried with jittered exponential backoff (-store-retry-attempts,
+// -store-retry-base), and -breaker-threshold consecutive failed cycles trip
+// a circuit breaker into degraded mode — traffic keeps serving from RAM,
+// /readyz reports "degraded" (still 200, so the instance stays in load
+// balancer rotation), and tauw_degraded / tauw_store_errors_total expose
+// the state. While degraded, the store is probed every -breaker-probe; a
+// successful probe writes a full recovery checkpoint (closing the WAL gap
+// the outage opened) and restores durability. -fault-inject arms a
+// runtime-programmable fault injector (POST /debug/fault) for chaos
+// testing; never set it in production.
+//
+// Overload is shed, not queued unboundedly: -max-inflight caps concurrently
+// processed requests per hot endpoint (step/steps/feedback),
+// -admission-queue bounds how many may wait for a slot (excess answers 429
+// with Retry-After), and -request-timeout is a per-request deadline — spent
+// waiting in the admission queue (503 on expiry) and propagated as a
+// context through batch processing. Sheds are counted per endpoint and
+// reason in tauw_shed_total. -read-timeout / -write-timeout bound the
+// connection I/O itself.
+//
 // The drift loop is closed: ground-truth feedback is also attributed to the
 // taQIM region (leaf) that produced each judged estimate, and the
 // accumulated per-leaf evidence can be folded back into the model — POST
@@ -46,6 +67,10 @@
 //	         [-recalib-laplace 0] [-recalib-drop-prior]
 //	         [-state-dir ""] [-flush-interval 1s] [-checkpoint-interval 1m]
 //	         [-wal-max-bytes 16777216]
+//	         [-store-retry-attempts 3] [-store-retry-base 10ms]
+//	         [-breaker-threshold 3] [-breaker-probe 5s] [-fault-inject]
+//	         [-max-inflight 0] [-admission-queue 0] [-request-timeout 0]
+//	         [-read-timeout 1m] [-write-timeout 1m]
 //	         [-drain-timeout 10s]
 //
 // Endpoints:
@@ -60,7 +85,8 @@
 //	GET    /v1/model/rules     calibrated taQIM rules (transparency)
 //	GET    /metrics            Prometheus text exposition (reliability, drift, model version, latency)
 //	GET    /healthz            liveness
-//	GET    /readyz             readiness (503 while draining)
+//	GET    /readyz             readiness (503 while draining; 200 "degraded" while durability is suspended)
+//	POST   /debug/fault        reprogram the injected store fault plan (-fault-inject only)
 package main
 
 import (
@@ -142,6 +168,37 @@ func run(args []string) error {
 				"complete snapshot of every open series plus monitor state")
 		walMaxBytes = fs.Int64("wal-max-bytes", store.DefaultMaxWALBytes,
 			"WAL size that triggers an early compacting checkpoint (negative disables the size trigger)")
+		storeRetryAttempts = fs.Int("store-retry-attempts", store.DefaultRetryAttempts,
+			"tries per store operation before a flush/checkpoint cycle gives up "+
+				"(1 disables retries); between tries the checkpointer backs off "+
+				"exponentially from -store-retry-base with jitter")
+		storeRetryBase = fs.Duration("store-retry-base", store.DefaultRetryBase,
+			"initial backoff between store-operation retries")
+		breakerThreshold = fs.Int("breaker-threshold", store.DefaultBreakerThreshold,
+			"consecutive failed flush/checkpoint cycles that trip the circuit "+
+				"breaker into degraded mode — durability suspended, traffic keeps "+
+				"serving from RAM (negative disables the breaker)")
+		breakerProbe = fs.Duration("breaker-probe", store.DefaultProbeInterval,
+			"half-open probe interval while degraded; a successful probe writes "+
+				"a full recovery checkpoint and restores durability")
+		faultInject = fs.Bool("fault-inject", false,
+			"TESTING ONLY: wrap the store in a fault injector and serve "+
+				"POST /debug/fault to reprogram its fault plan at runtime")
+		maxInflight = fs.Int("max-inflight", 0,
+			"per-endpoint cap on concurrently processed hot requests "+
+				"(step/steps/feedback; 0 = unlimited)")
+		admissionQueue = fs.Int("admission-queue", 0,
+			"bounded wait queue per hot endpoint once -max-inflight is "+
+				"saturated; requests beyond it are shed with 429 (0 = shed "+
+				"immediately at the cap)")
+		requestTimeout = fs.Duration("request-timeout", 0,
+			"deadline per hot request: spent waiting for admission (503 on "+
+				"expiry) and propagated as a context through batch steps (0 = none)")
+		readTimeout = fs.Duration("read-timeout", time.Minute,
+			"max duration for reading an entire request, body included "+
+				"(0 = no limit)")
+		writeTimeout = fs.Duration("write-timeout", time.Minute,
+			"max duration for writing a response (0 = no limit)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second,
 			"how long a shutdown waits for in-flight requests")
 		drainGrace = fs.Duration("drain-grace", 0,
@@ -150,6 +207,25 @@ func run(args []string) error {
 				"observes the 503 while the listener still accepts traffic")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateServeFlags(serveFlagValues{
+		flushInterval:      *flushInterval,
+		checkpointInterval: *checkpointInterval,
+		walMaxBytes:        *walMaxBytes,
+		stateDir:           *stateDir,
+		faultInject:        *faultInject,
+		storeRetryAttempts: *storeRetryAttempts,
+		storeRetryBase:     *storeRetryBase,
+		breakerProbe:       *breakerProbe,
+		maxInflight:        *maxInflight,
+		admissionQueue:     *admissionQueue,
+		requestTimeout:     *requestTimeout,
+		readTimeout:        *readTimeout,
+		writeTimeout:       *writeTimeout,
+		drainTimeout:       *drainTimeout,
+		drainGrace:         *drainGrace,
+	}); err != nil {
 		return err
 	}
 	var cfg eval.StudyConfig
@@ -186,6 +262,8 @@ func run(args []string) error {
 			DropPrior:       *recalibDropPrior,
 		}),
 		WithAutoRecalib(*autoRecalib),
+		WithAdmission(*maxInflight, *admissionQueue),
+		WithRequestTimeout(*requestTimeout),
 	}
 	if *stateDir != "" {
 		opts = append(opts, WithDurability())
@@ -205,15 +283,26 @@ func run(args []string) error {
 			flushInterval:      *flushInterval,
 			checkpointInterval: *checkpointInterval,
 			walMaxBytes:        *walMaxBytes,
+			retryAttempts:      *storeRetryAttempts,
+			retryBase:          *storeRetryBase,
+			breakerThreshold:   *breakerThreshold,
+			probeInterval:      *breakerProbe,
+			faultInject:        *faultInject,
 		})
 		if err != nil {
 			return err
 		}
 	}
+	// Server-side timeouts bound what a slow or stalled client can hold: a
+	// connection that cannot deliver its body or take its response within
+	// the window is cut, freeing its goroutine and (under admission) its
+	// queue slot.
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
 
 	// The binary streaming transport listens alongside HTTP when enabled;
@@ -238,6 +327,78 @@ func run(args []string) error {
 	defer stop()
 	log.Printf("listening on %s", *addr)
 	return serveUntilShutdown(ctx, stop, httpServer, srv, cp, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
+}
+
+// serveFlagValues is the parsed flag subset validateServeFlags checks; a
+// struct (rather than a parameter list) so the table test in main_test.go
+// can name the field it perturbs.
+type serveFlagValues struct {
+	flushInterval      time.Duration
+	checkpointInterval time.Duration
+	walMaxBytes        int64
+	stateDir           string
+	faultInject        bool
+	storeRetryAttempts int
+	storeRetryBase     time.Duration
+	breakerProbe       time.Duration
+	maxInflight        int
+	admissionQueue     int
+	requestTimeout     time.Duration
+	readTimeout        time.Duration
+	writeTimeout       time.Duration
+	drainTimeout       time.Duration
+	drainGrace         time.Duration
+}
+
+// validateServeFlags rejects flag values whose runtime behavior would be
+// undefined (a negative ticker interval panics time.NewTicker; a zero
+// -wal-max-bytes means "default" to the config but reads like "no limit")
+// with one clear startup error instead of a crash or a silent surprise
+// minutes into serving.
+func validateServeFlags(v serveFlagValues) error {
+	if v.flushInterval < 0 {
+		return fmt.Errorf("-flush-interval %v must be >= 0", v.flushInterval)
+	}
+	if v.checkpointInterval < 0 {
+		return fmt.Errorf("-checkpoint-interval %v must be >= 0", v.checkpointInterval)
+	}
+	if v.walMaxBytes == 0 {
+		return fmt.Errorf("-wal-max-bytes 0 is ambiguous: pass a positive size, or a negative one to disable the size trigger")
+	}
+	if v.storeRetryAttempts < 0 {
+		return fmt.Errorf("-store-retry-attempts %d must be >= 0", v.storeRetryAttempts)
+	}
+	if v.storeRetryBase < 0 {
+		return fmt.Errorf("-store-retry-base %v must be >= 0", v.storeRetryBase)
+	}
+	if v.breakerProbe < 0 {
+		return fmt.Errorf("-breaker-probe %v must be >= 0", v.breakerProbe)
+	}
+	if v.maxInflight < 0 {
+		return fmt.Errorf("-max-inflight %d must be >= 0", v.maxInflight)
+	}
+	if v.admissionQueue < 0 {
+		return fmt.Errorf("-admission-queue %d must be >= 0", v.admissionQueue)
+	}
+	if v.requestTimeout < 0 {
+		return fmt.Errorf("-request-timeout %v must be >= 0", v.requestTimeout)
+	}
+	if v.readTimeout < 0 {
+		return fmt.Errorf("-read-timeout %v must be >= 0", v.readTimeout)
+	}
+	if v.writeTimeout < 0 {
+		return fmt.Errorf("-write-timeout %v must be >= 0", v.writeTimeout)
+	}
+	if v.drainTimeout < 0 {
+		return fmt.Errorf("-drain-timeout %v must be >= 0", v.drainTimeout)
+	}
+	if v.drainGrace < 0 {
+		return fmt.Errorf("-drain-grace %v must be >= 0", v.drainGrace)
+	}
+	if v.faultInject && v.stateDir == "" {
+		return fmt.Errorf("-fault-inject needs -state-dir: there is no store to inject faults into")
+	}
+	return nil
 }
 
 // driftConfigFromFlags maps the drift flags onto monitor.DriftConfig. The

@@ -33,6 +33,10 @@ import (
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.latFeedback.Observe(time.Since(start)) }()
+	if !s.adm.feedback.admit(w) {
+		return
+	}
+	defer s.adm.feedback.release()
 	sc := getScratch()
 	defer sc.release()
 	var err error

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"github.com/iese-repro/tauw/internal/monitor"
 	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/store"
 	"github.com/iese-repro/tauw/internal/uw"
 	"github.com/iese-repro/tauw/internal/xslice"
 )
@@ -73,6 +76,20 @@ type Server struct {
 	// in-flight batches finish.
 	ready atomic.Bool
 
+	// adm is the per-endpoint overload gate (see admission.go);
+	// requestTimeout is the hot-request deadline it sheds against, also
+	// propagated as a context through pool batch steps. degraded reports
+	// the durability circuit breaker's state for /readyz (nil when no
+	// store is attached — never degraded).
+	adm            admission
+	requestTimeout time.Duration
+	degraded       func() bool
+
+	// faults is the fault-injection wrapper around the store when the
+	// chaos harness armed it (-fault-inject); Handler registers the
+	// /debug/fault endpoint only then.
+	faults *store.FaultStore
+
 	// wire is the binary-transport listener when one is serving (see
 	// wire.go); ShutdownWire drains it alongside the HTTP drain.
 	wireMu sync.Mutex
@@ -83,15 +100,18 @@ type Server struct {
 type ServerOption func(*serverOptions)
 
 type serverOptions struct {
-	maxSeries    int
-	shards       int
-	batchWorkers int
-	bufferLimit  int
-	feedbackRing int
-	monitorCfg   monitor.Config
-	recalibCfg   recalib.Config
-	autoRecalib  bool
-	journal      bool
+	maxSeries      int
+	shards         int
+	batchWorkers   int
+	bufferLimit    int
+	feedbackRing   int
+	monitorCfg     monitor.Config
+	recalibCfg     recalib.Config
+	autoRecalib    bool
+	journal        bool
+	maxInflight    int
+	admissionQueue int
+	requestTimeout time.Duration
 }
 
 // DefaultFeedbackRing is the default per-series provenance-ring length:
@@ -146,6 +166,25 @@ func WithRecalibration(cfg recalib.Config) ServerOption {
 	return func(o *serverOptions) { o.recalibCfg = cfg }
 }
 
+// WithAdmission bounds the hot endpoints (step, steps, feedback):
+// maxInflight caps concurrently processed requests per endpoint (0 =
+// unlimited, the default), queue bounds how many more may wait for a slot
+// before the endpoint sheds with 429. Both caps are per endpoint, so a
+// batch stampede cannot starve single-step traffic of admission slots.
+func WithAdmission(maxInflight, queue int) ServerOption {
+	return func(o *serverOptions) { o.maxInflight, o.admissionQueue = maxInflight, queue }
+}
+
+// WithRequestTimeout sets the hot-request deadline (0 = none): a queued
+// request that waits this long for admission is shed with 503, and the
+// batch endpoint propagates the remaining budget as a context.Context
+// through the pool's batch stepper, so a deadline that expires mid-batch
+// fails the unstepped items instead of blocking the worker on work the
+// client has already abandoned.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.requestTimeout = d }
+}
+
 // WithAutoRecalib arms the automatic drift response: when the calibration-
 // drift alarm is active, the feedback path triggers a recalibration swap
 // (subject to the policy's cooldown and evidence guards). Off by default —
@@ -169,6 +208,13 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 	}
 	if o.feedbackRing < 0 {
 		return nil, fmt.Errorf("tauserve: feedback ring %d must be >= 0", o.feedbackRing)
+	}
+	if o.maxInflight < 0 || o.admissionQueue < 0 {
+		return nil, fmt.Errorf("tauserve: max inflight %d and admission queue %d must be >= 0",
+			o.maxInflight, o.admissionQueue)
+	}
+	if o.requestTimeout < 0 {
+		return nil, fmt.Errorf("tauserve: request timeout %v must be >= 0", o.requestTimeout)
 	}
 	gate, err := simplex.NewMonitor(policy)
 	if err != nil {
@@ -196,22 +242,27 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 		return nil, err
 	}
 	s := &Server{
-		gate:         gate,
-		pool:         pool,
-		batchWorkers: o.batchWorkers,
-		calib:        calib,
-		latStep:      monitor.NewLatencyHist(),
-		latBatch:     monitor.NewLatencyHist(),
-		latFeedback:  monitor.NewLatencyHist(),
-		leafStats:    leafStats,
-		recal:        recal,
-		autoRecalib:  o.autoRecalib,
+		gate:           gate,
+		pool:           pool,
+		batchWorkers:   o.batchWorkers,
+		calib:          calib,
+		latStep:        monitor.NewLatencyHist(),
+		latBatch:       monitor.NewLatencyHist(),
+		latFeedback:    monitor.NewLatencyHist(),
+		leafStats:      leafStats,
+		recal:          recal,
+		autoRecalib:    o.autoRecalib,
+		requestTimeout: o.requestTimeout,
 	}
+	s.adm.step.init("step", o.maxInflight, o.admissionQueue, o.requestTimeout)
+	s.adm.batch.init("steps", o.maxInflight, o.admissionQueue, o.requestTimeout)
+	s.adm.feedback.init("feedback", o.maxInflight, o.admissionQueue, o.requestTimeout)
 	s.expo = &monitor.Exposition{
 		Monitor: calib,
 		Pool:    pool,
 		Gate:    gate,
 		Swap:    recal,
+		Shed:    &s.adm,
 		Latencies: []monitor.EndpointLatency{
 			{Name: "step", Hist: s.latStep},
 			{Name: "steps", Hist: s.latBatch},
@@ -231,38 +282,106 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // summary log).
 func (s *Server) Calibration() *monitor.Monitor { return s.calib }
 
-// Handler returns the HTTP routing table.
+// route is one registered endpoint's method+path for the catch-all
+// handler's 404/405 distinction: path is the exact match, or — when wild is
+// set — a "/"-terminated prefix that must be followed by exactly one more
+// non-empty segment (the {id} patterns).
+type route struct {
+	method string
+	path   string
+	wild   bool
+}
+
+func (rt route) matchesPath(p string) bool {
+	if !rt.wild {
+		return p == rt.path
+	}
+	rest, ok := strings.CutPrefix(p, rt.path)
+	return ok && rest != "" && !strings.Contains(rest, "/")
+}
+
+// Handler returns the HTTP routing table. Every route also lands in a side
+// table consulted by the catch-all handler, so unmatched requests get the
+// same {"error": ...} JSON shape as every other failure — the stock
+// ServeMux writes text/plain 404s and 405s — with a correct Allow header on
+// 405.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/series", s.handleNewSeries)
-	mux.HandleFunc("DELETE /v1/series/{id}", s.handleEndSeries)
-	mux.HandleFunc("POST /v1/step", s.handleStep)
-	mux.HandleFunc("POST /v1/steps", s.handleStepBatch)
-	mux.HandleFunc("POST /v1/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /v1/recalibrate", s.handleRecalibrate)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/model/rules", s.handleRules)
-	mux.HandleFunc("GET /v1/model/leaves", s.handleLeaves)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	var routes []route
+	handle := func(method, pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+pattern, h)
+		rt := route{method: method, path: pattern}
+		if i := strings.Index(pattern, "{"); i >= 0 {
+			rt.path, rt.wild = pattern[:i], true
+		}
+		routes = append(routes, rt)
+	}
+	handle("POST", "/v1/series", s.handleNewSeries)
+	handle("DELETE", "/v1/series/{id}", s.handleEndSeries)
+	handle("POST", "/v1/step", s.handleStep)
+	handle("POST", "/v1/steps", s.handleStepBatch)
+	handle("POST", "/v1/feedback", s.handleFeedback)
+	handle("POST", "/v1/recalibrate", s.handleRecalibrate)
+	handle("GET", "/v1/stats", s.handleStats)
+	handle("GET", "/v1/model/rules", s.handleRules)
+	handle("GET", "/v1/model/leaves", s.handleLeaves)
+	handle("GET", "/metrics", s.handleMetrics)
+	handle("GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", s.handleReady)
+	handle("GET", "/readyz", s.handleReady)
+	if s.faults != nil {
+		handle("POST", "/debug/fault", s.handleFault)
+	}
+	mux.HandleFunc("/", s.catchAll(routes))
 	return mux
+}
+
+// catchAll answers requests no registered route matched: 405 with an Allow
+// header when the path exists under other methods, 404 otherwise — both in
+// the unified JSON error shape. Allocations here are fine; this is the
+// "client is confused" path, not a hot one.
+func (s *Server) catchAll(routes []route) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		drainBody(w, r)
+		var allow []string
+		for _, rt := range routes {
+			if rt.matchesPath(r.URL.Path) {
+				allow = append(allow, rt.method)
+				if rt.method == "GET" {
+					allow = append(allow, "HEAD")
+				}
+			}
+		}
+		if len(allow) > 0 {
+			w.Header().Set("Allow", strings.Join(allow, ", "))
+			httpError(w, http.StatusMethodNotAllowed,
+				fmt.Errorf("method %s not allowed for %s", r.Method, r.URL.Path))
+			return
+		}
+		httpError(w, http.StatusNotFound, fmt.Errorf("no such endpoint %s", r.URL.Path))
+	}
 }
 
 // handleReady is the readiness probe: 200 while the server accepts new
 // work, 503 once draining has begun. Liveness (/healthz) stays 200 through
-// a drain — the process is healthy, just leaving the rotation.
+// a drain — the process is healthy, just leaving the rotation. Degraded
+// mode (durability suspended by the store circuit breaker) answers 200
+// with body "degraded": the instance must stay in rotation — serving from
+// RAM is the whole point of the breaker — while orchestration and humans
+// can still see the state without scraping metrics.
 func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if s.ready.Load() {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
+	if !s.ready.Load() {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
-	w.WriteHeader(http.StatusServiceUnavailable)
-	fmt.Fprintln(w, "draining")
+	w.WriteHeader(http.StatusOK)
+	if s.degraded != nil && s.degraded() {
+		fmt.Fprintln(w, "degraded")
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // newSeriesResponse is the body of POST /v1/series.
@@ -338,6 +457,19 @@ type stepResponse struct {
 func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.latStep.Observe(time.Since(start)) }()
+	if !s.adm.step.admit(w) {
+		return
+	}
+	defer s.adm.step.release()
+	// Deadline-aware shedding: a request admitted with its whole budget
+	// already spent in the queue is refused, not half-served. A single step
+	// is sub-microsecond, so no context needs to flow further — the check at
+	// admission is the deadline.
+	if s.requestTimeout > 0 && time.Since(start) >= s.requestTimeout {
+		s.adm.step.shedDeadline.Add(1)
+		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
+		return
+	}
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -430,6 +562,15 @@ type batchStepResponse struct {
 func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.latBatch.Observe(time.Since(start)) }()
+	if !s.adm.batch.admit(w) {
+		return
+	}
+	defer s.adm.batch.release()
+	if s.requestTimeout > 0 && time.Since(start) >= s.requestTimeout {
+		s.adm.batch.shedDeadline.Add(1)
+		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
+		return
+	}
 	sc := getScratch()
 	defer sc.release()
 	var err error
@@ -479,7 +620,18 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 		sc.back = append(sc.back, int32(i))
 	}
 
-	sc.results = s.pool.StepBatchSeriesInto(sc.items, s.batchWorkers, sc.results)
+	// The remaining -request-timeout budget rides a context through the
+	// batch stepper: items not yet stepped when it expires fail per-item
+	// with 503 below instead of holding the batch worker hostage. The
+	// context pair allocates, but only on the deadline-armed configuration —
+	// the default path stays on the background context for free.
+	ctx := r.Context()
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(s.requestTimeout))
+		defer cancel()
+	}
+	sc.results = s.pool.StepBatchSeriesIntoCtx(ctx, sc.items, s.batchWorkers, sc.results)
 	for j := range sc.results {
 		br := &sc.results[j]
 		i := sc.back[j]
@@ -497,6 +649,11 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 				Status: http.StatusNotFound,
 				Error:  fmt.Sprintf("unknown series %q", sc.steps[i].seriesID),
 			}
+		case errors.Is(br.Err, context.DeadlineExceeded), errors.Is(br.Err, context.Canceled):
+			// The request deadline expired (or the client vanished)
+			// mid-batch: the item was shed, not failed — 503 tells the
+			// client a retry with a smaller batch or later can succeed.
+			sc.resp.Results[i] = batchItemResponse{Status: http.StatusServiceUnavailable, Error: br.Err.Error()}
 		default:
 			sc.resp.Results[i] = batchItemResponse{Status: http.StatusInternalServerError, Error: br.Err.Error()}
 		}
@@ -618,8 +775,14 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// httpError writes the unified {"error": "..."} shape every 4xx/5xx
+// carries, rendered by the reflection-free codec into pooled scratch so
+// even an error storm does not allocate response bodies.
 func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	sc := getScratch()
+	sc.out = appendErrorResponse(sc.out[:0], err.Error())
+	writeRaw(w, code, sc.out)
+	sc.release()
 }
 
 // logf is the server's error logger, a package variable so tests can

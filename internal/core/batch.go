@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,10 +51,14 @@ type batchScratch struct {
 	results []BatchResult
 
 	// Worker state, set per dispatch and cleared before release so the
-	// pool never pins a caller's items or results.
+	// pool never pins a caller's items or results. done is ctx.Done(),
+	// captured once at dispatch: nil for context.Background(), so the
+	// deadline-free path pays nothing for cancellation support.
 	pool  *WrapperPool
 	items []StepItem
 	out   []BatchResult
+	ctx   context.Context
+	done  <-chan struct{}
 	next  atomic.Int32
 	wg    sync.WaitGroup
 
@@ -121,18 +126,52 @@ func (p *WrapperPool) StepBatch(items []StepItem, workers int) []BatchResult {
 // multiple items addressing the same track are applied in their input order
 // (they hash to the same shard, so one worker handles them sequentially).
 func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchResult) []BatchResult {
+	return p.StepBatchIntoCtx(context.Background(), items, workers, dst)
+}
+
+// cancelStride is how many items a worker steps between cancellation
+// checks: a power of two so the check is a mask, and small enough that a
+// canceled batch stops within ~20 µs of the deadline at ~300 ns/step.
+const cancelStride = 64
+
+// stepSpan is the serial stepping loop with cancellation: once done is
+// closed, every remaining item fails with the context's error instead of
+// stepping. A nil done (context.Background()) reduces it to the plain loop.
+func stepSpan(ctx context.Context, done <-chan struct{}, p *WrapperPool, items []StepItem, out []BatchResult) {
+	for i := range items {
+		if done != nil && i&(cancelStride-1) == 0 {
+			select {
+			case <-done:
+				err := ctx.Err()
+				for j := i; j < len(items); j++ {
+					out[j].Result, out[j].Err = Result{}, err
+				}
+				return
+			default:
+			}
+		}
+		out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
+	}
+}
+
+// StepBatchIntoCtx is StepBatchInto honouring ctx: items not yet stepped
+// when ctx is canceled fail with ctx.Err() instead of blocking the batch on
+// work whose caller has already given up. Cancellation is polled every
+// cancelStride items, so a batch overruns its deadline by at most a few
+// microseconds of stepping; items already stepped keep their results (a
+// step that happened is not undone by a deadline).
+func (p *WrapperPool) StepBatchIntoCtx(ctx context.Context, items []StepItem, workers int, dst []BatchResult) []BatchResult {
 	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
 		return out
 	}
+	done := ctx.Done()
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
 	workers = maxUsefulWorkers(len(items), workers)
 	if workers <= 1 || len(items) == 1 {
-		for i := range items {
-			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
-		}
+		stepSpan(ctx, done, p, items, out)
 		return out
 	}
 
@@ -141,9 +180,7 @@ func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchRe
 	if len(s.groups) == 1 {
 		// One shard owns every item: the fan-out would degenerate to a
 		// single worker, so run the plain loop without goroutine handoff.
-		for i := range items {
-			out[i].Result, out[i].Err = p.Step(items[i].TrackID, items[i].Outcome, items[i].Quality)
-		}
+		stepSpan(ctx, done, p, items, out)
 		s.release()
 		return out
 	}
@@ -151,6 +188,7 @@ func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchRe
 		workers = len(s.groups)
 	}
 	s.pool, s.items, s.out = p, items, out
+	s.ctx, s.done = ctx, done
 	s.next.Store(0)
 	if s.runFn == nil {
 		s.runFn = s.run
@@ -221,7 +259,9 @@ func (s *batchScratch) run() {
 }
 
 // work is the worker loop: claim the next shard group, step its items in
-// input order, repeat until the groups are drained.
+// input order, repeat until the groups are drained. After cancellation the
+// claim loop keeps running so every group is still visited — its items are
+// filled with the context error by stepRun rather than left zero.
 func (s *batchScratch) work() {
 	for {
 		g := int(s.next.Add(1)) - 1
@@ -229,10 +269,28 @@ func (s *batchScratch) work() {
 			return
 		}
 		start, end := s.runBounds(s.groups[g])
-		for _, i := range s.order[start:end] {
-			it := &s.items[i]
-			s.out[i].Result, s.out[i].Err = s.pool.Step(it.TrackID, it.Outcome, it.Quality)
+		s.stepRun(s.order[start:end])
+	}
+}
+
+// stepRun steps one shard group's items in input order, honouring
+// cancellation every cancelStride items (see stepSpan; this is its
+// order-indirected twin for the fan-out path).
+func (s *batchScratch) stepRun(run []int32) {
+	for k, i := range run {
+		if s.done != nil && k&(cancelStride-1) == 0 {
+			select {
+			case <-s.done:
+				err := s.ctx.Err()
+				for _, j := range run[k:] {
+					s.out[j].Result, s.out[j].Err = Result{}, err
+				}
+				return
+			default:
+			}
 		}
+		it := &s.items[i]
+		s.out[i].Result, s.out[i].Err = s.pool.Step(it.TrackID, it.Outcome, it.Quality)
 	}
 }
 
@@ -240,6 +298,7 @@ func (s *batchScratch) work() {
 // pool; the int32 arrays keep their capacity for the next batch.
 func (s *batchScratch) release() {
 	s.pool, s.items, s.out = nil, nil, nil
+	s.ctx, s.done = nil, nil
 	for i := range s.tracks {
 		s.tracks[i] = StepItem{}
 	}
@@ -265,6 +324,14 @@ func (p *WrapperPool) StepBatchSeries(items []SeriesStepItem, workers int) []Bat
 // dispatch all run on pooled scratch and the call is allocation-free in
 // steady state.
 func (p *WrapperPool) StepBatchSeriesInto(items []SeriesStepItem, workers int, dst []BatchResult) []BatchResult {
+	return p.StepBatchSeriesIntoCtx(context.Background(), items, workers, dst)
+}
+
+// StepBatchSeriesIntoCtx is StepBatchSeriesInto honouring ctx (see
+// StepBatchIntoCtx): id resolution always completes — it is pure map
+// lookups — and the stepping pass sheds once ctx is canceled, so unknown
+// ids keep their specific error while unstepped items report ctx.Err().
+func (p *WrapperPool) StepBatchSeriesIntoCtx(ctx context.Context, items []SeriesStepItem, workers int, dst []BatchResult) []BatchResult {
 	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
 		return out
@@ -281,7 +348,7 @@ func (p *WrapperPool) StepBatchSeriesInto(items []SeriesStepItem, workers int, d
 		s.tracks = append(s.tracks, StepItem{TrackID: track, Outcome: it.Outcome, Quality: it.Quality})
 		s.back = append(s.back, int32(i))
 	}
-	s.results = p.StepBatchInto(s.tracks, workers, xslice.Grow(s.results, len(s.tracks)))
+	s.results = p.StepBatchIntoCtx(ctx, s.tracks, workers, xslice.Grow(s.results, len(s.tracks)))
 	for j, r := range s.results {
 		out[s.back[j]] = r
 	}

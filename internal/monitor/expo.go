@@ -62,12 +62,30 @@ type CheckpointStats struct {
 	// checkpoint (0 before the first); LastCheckpointBytes its blob size.
 	LastCheckpointUnixNano int64
 	LastCheckpointBytes    uint64
+	// StoreErrors counts individual failed store operations (each retry
+	// attempt that errored), as opposed to Errors which counts failed
+	// whole cycles after retries were exhausted.
+	StoreErrors uint64
+	// Degraded is true while the circuit breaker has durability suspended;
+	// DegradedEntries counts how many times the breaker has tripped.
+	Degraded        bool
+	DegradedEntries uint64
 }
 
 // CheckpointSource is the durability-counter surface. CheckpointStats must
 // be allocation-free.
 type CheckpointSource interface {
 	CheckpointStats() CheckpointStats
+}
+
+// ShedSource is the admission-control counter surface — implemented by
+// tauserve's limiter set. EachShed must be allocation-free; the visitor it
+// receives is created once and cached by the Exposition.
+type ShedSource interface {
+	// EachShed visits shed-request counts by endpoint and reason (e.g.
+	// "queue_full", "deadline"), including zero counts so the series exist
+	// before the first shed.
+	EachShed(visit func(endpoint, reason string, count uint64))
 }
 
 // EndpointLatency pairs a latency histogram with its endpoint label.
@@ -85,6 +103,7 @@ type Exposition struct {
 	Gate       GateSource
 	Swap       SwapSource
 	Checkpoint CheckpointSource
+	Shed       ShedSource
 	Latencies  []EndpointLatency
 
 	mu sync.Mutex
@@ -95,6 +114,7 @@ type Exposition struct {
 	dst       []byte
 	outcomeFn func(outcome int, count uint64)
 	gateFn    func(name string, count int)
+	shedFn    func(endpoint, reason string, count uint64)
 }
 
 // latBoundLabels are the `le` label strings of the latency buckets, built
@@ -130,6 +150,9 @@ func (e *Exposition) AppendMetrics(dst []byte) []byte {
 	}
 	if e.Checkpoint != nil {
 		e.appendCheckpoint()
+	}
+	if e.Shed != nil {
+		e.appendShed()
 	}
 	if len(e.Latencies) > 0 {
 		// One HELP/TYPE preamble for the family; the per-endpoint label
@@ -327,6 +350,37 @@ func (e *Exposition) appendCheckpoint() {
 	e.sampleFloat("tauw_checkpoint_last_timestamp_seconds", float64(st.LastCheckpointUnixNano)/1e9)
 	e.header("tauw_checkpoint_last_bytes", "Blob size of the newest checkpoint.", "gauge")
 	e.sampleUint("tauw_checkpoint_last_bytes", st.LastCheckpointBytes)
+	e.header("tauw_store_errors_total",
+		"Failed store operations, counting every errored retry attempt.", "counter")
+	e.sampleUint("tauw_store_errors_total", st.StoreErrors)
+	e.header("tauw_degraded",
+		"1 while durability is suspended by the circuit breaker (serving from RAM).", "gauge")
+	degraded := uint64(0)
+	if st.Degraded {
+		degraded = 1
+	}
+	e.sampleUint("tauw_degraded", degraded)
+	e.header("tauw_degraded_entered_total", "Times the store circuit breaker has tripped into degraded mode.", "counter")
+	e.sampleUint("tauw_degraded_entered_total", st.DegradedEntries)
+}
+
+// appendShed renders the admission-control shed counters by endpoint and
+// reason. The visitor closure is cached so a steady-state scrape stays
+// allocation-free.
+func (e *Exposition) appendShed() {
+	e.header("tauw_shed_total", "Requests shed by admission control, by endpoint and reason.", "counter")
+	if e.shedFn == nil {
+		e.shedFn = func(endpoint, reason string, count uint64) {
+			e.dst = append(e.dst, `tauw_shed_total{endpoint="`...)
+			e.dst = append(e.dst, endpoint...)
+			e.dst = append(e.dst, `",reason="`...)
+			e.dst = append(e.dst, reason...)
+			e.dst = append(e.dst, `"} `...)
+			e.dst = strconv.AppendUint(e.dst, count, 10)
+			e.dst = append(e.dst, '\n')
+		}
+	}
+	e.Shed.EachShed(e.shedFn)
 }
 
 // appendLatency renders one endpoint's label set of the

@@ -32,9 +32,17 @@ const (
 	DefaultFlushInterval      = time.Second
 	DefaultCheckpointInterval = time.Minute
 	DefaultMaxWALBytes        = 16 << 20
+	DefaultRetryAttempts      = 3
+	DefaultRetryBase          = 10 * time.Millisecond
+	DefaultBreakerThreshold   = 3
+	DefaultProbeInterval      = 5 * time.Second
 )
 
-// CheckpointConfig tunes the write-behind cadence.
+// maxProbeBackoffFactor caps the exponential growth of the degraded-mode
+// probe interval at this multiple of ProbeInterval.
+const maxProbeBackoffFactor = 8
+
+// CheckpointConfig tunes the write-behind cadence and its fault handling.
 type CheckpointConfig struct {
 	// FlushInterval is the incremental-flush period (0 means
 	// DefaultFlushInterval) — the durability window: a crash loses at most
@@ -46,6 +54,27 @@ type CheckpointConfig struct {
 	// MaxWALBytes triggers an early checkpoint once the WAL outgrows it
 	// (0 means DefaultMaxWALBytes; negative disables the size trigger).
 	MaxWALBytes int64
+
+	// RetryAttempts is the total tries per store operation before the cycle
+	// gives up on a transient failure (0 means DefaultRetryAttempts; 1
+	// disables retries). Between tries the checkpointer backs off
+	// exponentially from RetryBase (0 means DefaultRetryBase) with ±50%
+	// jitter, so a fleet recovering from a shared-storage hiccup does not
+	// hammer it in lockstep.
+	RetryAttempts int
+	RetryBase     time.Duration
+
+	// BreakerThreshold is the circuit breaker: after this many consecutive
+	// failed flush/checkpoint cycles the checkpointer enters degraded mode —
+	// durability is suspended, traffic keeps serving from RAM, and the
+	// store is only touched by half-open probes every ProbeInterval
+	// (backing off up to 8× while probes keep failing). A successful probe
+	// is a full recovery checkpoint, which reconciles everything the WAL
+	// missed while degraded in one blob. 0 means DefaultBreakerThreshold;
+	// negative disables the breaker (every failed cycle just logs and
+	// retries next tick, the pre-breaker behavior).
+	BreakerThreshold int
+	ProbeInterval    time.Duration
 }
 
 func (c CheckpointConfig) withDefaults() CheckpointConfig {
@@ -57,6 +86,18 @@ func (c CheckpointConfig) withDefaults() CheckpointConfig {
 	}
 	if c.MaxWALBytes == 0 {
 		c.MaxWALBytes = DefaultMaxWALBytes
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = DefaultRetryAttempts
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = DefaultRetryBase
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = DefaultProbeInterval
 	}
 	return c
 }
@@ -75,6 +116,13 @@ type Stats struct {
 	// checkpoint (0 before the first); LastCheckpointBytes its blob size.
 	LastCheckpointUnixNano int64
 	LastCheckpointBytes    uint64
+	// StoreErrors counts failed store operations (every attempt, so a retry
+	// that eventually succeeds still shows up here); Degraded is true while
+	// the circuit breaker holds durability suspended, and DegradedEntries
+	// counts how many times it has tripped.
+	StoreErrors     uint64
+	Degraded        bool
+	DegradedEntries uint64
 }
 
 // Checkpointer drives the write-behind loop. Flush/Checkpoint serialise
@@ -110,6 +158,24 @@ type Checkpointer struct {
 	done        chan struct{}
 	loopStarted bool
 	loopStartMu sync.Mutex
+
+	// Circuit-breaker state. degraded/degradedN/storeErrors are atomics so
+	// /readyz and the metrics scrape read them without touching c.mu; the
+	// rest is owned by the background loop (consecFails, nextProbe,
+	// probeBackoff never race — only tick/probe mutate them).
+	degraded     atomic.Bool
+	degradedN    atomic.Uint64
+	storeErrors  atomic.Uint64
+	consecFails  int
+	nextProbe    time.Time
+	probeBackoff time.Duration
+
+	// now/sleep/rng are the clock, backoff sleeper, and jitter source —
+	// fields so resilience tests run the whole retry/breaker machinery
+	// without real time passing.
+	now   func() time.Time
+	sleep func(time.Duration)
+	rng   uint64
 }
 
 // NewCheckpointer wires a pool (required) and the optional feedback-side
@@ -124,6 +190,13 @@ func NewCheckpointer(s Store, pool *core.WrapperPool, mon *monitor.Monitor, leav
 		return nil, fmt.Errorf("store: flush interval %v and checkpoint interval %v must be >= 0",
 			cfg.FlushInterval, cfg.CheckpointInterval)
 	}
+	if cfg.RetryAttempts < 0 || cfg.RetryBase < 0 {
+		return nil, fmt.Errorf("store: retry attempts %d and retry base %v must be >= 0",
+			cfg.RetryAttempts, cfg.RetryBase)
+	}
+	if cfg.ProbeInterval < 0 {
+		return nil, fmt.Errorf("store: probe interval %v must be >= 0", cfg.ProbeInterval)
+	}
 	return &Checkpointer{
 		store:  s,
 		pool:   pool,
@@ -132,6 +205,9 @@ func NewCheckpointer(s Store, pool *core.WrapperPool, mon *monitor.Monitor, leav
 		cfg:    cfg,
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		now:    time.Now,
+		sleep:  time.Sleep,
+		rng:    uint64(time.Now().UnixNano()) | 1,
 	}, nil
 }
 
@@ -157,28 +233,119 @@ func (c *Checkpointer) run() {
 		case <-c.stop:
 			return
 		case <-flushT.C:
-			trip := c.cfg.MaxWALBytes > 0 && c.store.LogSize() >= c.cfg.MaxWALBytes
-			var err error
-			if trip {
-				err = c.Checkpoint()
-			} else {
-				err = c.Flush()
-			}
-			if err != nil {
-				c.errorsN.Add(1)
-				log.Printf("store: flush failed (state stays dirty, retrying next tick): %v", err)
-			}
+			c.tick(false)
 		case <-cpT.C:
-			if err := c.Checkpoint(); err != nil {
-				c.errorsN.Add(1)
-				log.Printf("store: checkpoint failed (retrying next interval): %v", err)
-			}
+			c.tick(true)
 		}
 	}
 }
 
+// tick is one background-cycle attempt: while healthy it runs the scheduled
+// flush (or a full checkpoint on the checkpoint tick / WAL-size trip) and
+// feeds the breaker; while degraded it only probes. Exclusively called from
+// the run loop, so the breaker bookkeeping needs no lock.
+func (c *Checkpointer) tick(full bool) {
+	if c.degraded.Load() {
+		c.probe()
+		return
+	}
+	trip := full || (c.cfg.MaxWALBytes > 0 && c.store.LogSize() >= c.cfg.MaxWALBytes)
+	var err error
+	if trip {
+		err = c.Checkpoint()
+	} else {
+		err = c.Flush()
+	}
+	if err == nil {
+		c.consecFails = 0
+		return
+	}
+	c.errorsN.Add(1)
+	c.consecFails++
+	if c.cfg.BreakerThreshold > 0 && c.consecFails >= c.cfg.BreakerThreshold {
+		c.enterDegraded(err)
+		return
+	}
+	log.Printf("store: cycle failed (state stays dirty, retrying next tick): %v", err)
+}
+
+// enterDegraded trips the breaker: durability is suspended (ticks stop
+// touching the store, dirty bits keep accumulating in the pool at one bool
+// per mutated series) and half-open probes take over.
+func (c *Checkpointer) enterDegraded(err error) {
+	c.degraded.Store(true)
+	c.degradedN.Add(1)
+	c.probeBackoff = c.cfg.ProbeInterval
+	c.nextProbe = c.now().Add(c.probeBackoff)
+	log.Printf("store: %d consecutive cycle failures — entering degraded mode, durability suspended, serving from RAM (probing in %v): %v",
+		c.consecFails, c.probeBackoff, err)
+}
+
+// probe is the half-open state: at most one store attempt per backoff
+// window, and that attempt is a full recovery checkpoint — on success it
+// captures every series the WAL missed while degraded in one consistent
+// blob, so closing the breaker (done inside Checkpoint) and reconciling the
+// gap are the same act.
+func (c *Checkpointer) probe() {
+	if c.now().Before(c.nextProbe) {
+		return
+	}
+	if err := c.Checkpoint(); err != nil {
+		c.errorsN.Add(1)
+		if c.probeBackoff < maxProbeBackoffFactor*c.cfg.ProbeInterval {
+			c.probeBackoff *= 2
+		}
+		c.nextProbe = c.now().Add(c.probeBackoff)
+		log.Printf("store: degraded-mode probe failed (next probe in %v): %v", c.probeBackoff, err)
+		return
+	}
+	c.consecFails = 0
+}
+
+// Degraded reports whether the circuit breaker currently holds durability
+// suspended (the tauw_degraded gauge and the /readyz body).
+func (c *Checkpointer) Degraded() bool { return c.degraded.Load() }
+
+// withRetry runs one store operation with bounded exponential backoff and
+// jitter: transient failures (a flaky disk, a network-attached store
+// hiccuping) are absorbed here, persistent ones surface to the breaker.
+// Every failed attempt counts into StoreErrors.
+func (c *Checkpointer) withRetry(fn func() error) error {
+	delay := c.cfg.RetryBase
+	var err error
+	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		c.storeErrors.Add(1)
+		if attempt < c.cfg.RetryAttempts-1 {
+			c.sleep(c.jitter(delay))
+			delay *= 2
+		}
+	}
+	return err
+}
+
+// jitter spreads d over [d/2, 3d/2) with a xorshift64 step, so fleet-wide
+// retries against shared storage de-synchronise.
+func (c *Checkpointer) jitter(d time.Duration) time.Duration {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(x%uint64(d))
+}
+
 // Stop halts the loop and writes a final full checkpoint — the drain-time
-// hook: after it returns, every served step is in the checkpoint.
+// hook: after it returns, every served step is in the checkpoint. When the
+// store is still failing (degraded mode that never healed), the final
+// checkpoint fails after its bounded retries and Stop surfaces the error
+// instead of hanging — the operator learns the drain lost the un-flushed
+// window rather than the process wedging on a dead disk.
 func (c *Checkpointer) Stop() error {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.loopStartMu.Lock()
@@ -215,15 +382,19 @@ func (c *Checkpointer) Flush() error {
 	if err := c.appendMetaIfChanged(); err != nil {
 		return err
 	}
-	if err := c.store.Sync(); err != nil {
+	if err := c.withRetry(c.store.Sync); err != nil {
 		return err
 	}
 	c.flushes.Add(1)
 	return nil
 }
 
+// append writes one WAL record with the retry policy. Retrying an Append is
+// sound because the Store contract requires a failed Append to leave the log
+// as if the call never happened (FileStore truncates a partial frame back
+// out), so the retry can never land behind garbage of its own making.
 func (c *Checkpointer) append(rec []byte) error {
-	if err := c.store.Append(rec); err != nil {
+	if err := c.withRetry(func() error { return c.store.Append(rec) }); err != nil {
 		return err
 	}
 	c.walRecords.Add(1)
@@ -302,7 +473,7 @@ func (c *Checkpointer) Checkpoint() error {
 		return err
 	}
 	c.blob = blob
-	if err := c.store.Checkpoint(blob); err != nil {
+	if err := c.withRetry(func() error { return c.store.Checkpoint(blob) }); err != nil {
 		return err
 	}
 	// The checkpoint holds everything, including any pending closes and the
@@ -313,6 +484,13 @@ func (c *Checkpointer) Checkpoint() error {
 	c.checkpoints.Add(1)
 	c.lastCPNanos.Store(time.Now().UnixNano())
 	c.lastCPBytes.Store(uint64(len(blob)))
+	// A successful full checkpoint holds the complete serving state, so
+	// whatever WAL gap degraded mode opened is reconciled by construction:
+	// any path that lands one (background probe, drain-time Stop, a manual
+	// trigger) closes the breaker.
+	if c.degraded.Swap(false) {
+		log.Printf("store: store recovered — degraded mode cleared, recovery checkpoint reconciled the WAL gap")
+	}
 	return nil
 }
 
@@ -326,6 +504,9 @@ func (c *Checkpointer) CheckpointStats() monitor.CheckpointStats {
 		WALBytes:               c.walBytes.Load(),
 		LastCheckpointUnixNano: c.lastCPNanos.Load(),
 		LastCheckpointBytes:    c.lastCPBytes.Load(),
+		StoreErrors:            c.storeErrors.Load(),
+		Degraded:               c.degraded.Load(),
+		DegradedEntries:        c.degradedN.Load(),
 	}
 }
 

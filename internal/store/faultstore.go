@@ -1,0 +1,225 @@
+// faultstore.go is the fault-injection Store — the errfs pattern applied to
+// the durability layer. A FaultStore wraps any Store and injects failures on
+// a per-operation schedule (skip the next M calls, then fail the next N),
+// adds artificial latency, and can model torn appends; everything is
+// runtime-reconfigurable under one mutex, so a chaos harness can break and
+// heal a live store while the checkpointer is running against it.
+//
+// The torn-append mode deserves a note: the Store contract requires a failed
+// Append to leave the log as if the call never happened (FileStore repairs a
+// partial frame write by truncating back to the last known-good size), so at
+// this interface a torn write is observationally "an error with no durable
+// side effect". TornAppend models exactly that — it counts the bytes that
+// would have hit the platter before the tear and returns an error without
+// touching the inner store — while the byte-level torn-tail handling is
+// exercised directly against FileStore's recovery scanner (and fuzzed by
+// FuzzWALRecover).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Op names one Store operation for fault scheduling.
+type Op uint8
+
+const (
+	OpAppend Op = iota
+	OpCheckpoint
+	OpSync
+	numOps
+)
+
+// NumOps reports the number of schedulable operations — the length of the
+// FaultStats arrays, for callers iterating them.
+func NumOps() Op { return numOps }
+
+// String implements fmt.Stringer for log lines and test failure messages.
+func (o Op) String() string {
+	switch o {
+	case OpAppend:
+		return "append"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpSync:
+		return "sync"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ErrInjected is the default error a scheduled fault returns; schedules may
+// carry their own error instead (e.g. a wrapped syscall error) to exercise
+// specific classification paths.
+var ErrInjected = errors.New("store: injected fault")
+
+// faultSchedule is one operation's pending fault plan.
+type faultSchedule struct {
+	// after counts successful calls to let through before failing; count is
+	// how many subsequent calls fail (negative = until cleared).
+	after int
+	count int
+	err   error
+	torn  bool
+}
+
+// FaultStats is a point-in-time read of a FaultStore's counters.
+type FaultStats struct {
+	// Ops counts calls per operation (including failed ones); Faults counts
+	// injected failures per operation.
+	Ops    [numOps]uint64
+	Faults [numOps]uint64
+	// TornBytes is the total payload prefix length "lost to the platter"
+	// across torn appends — what a crash-consistency audit would reconcile.
+	TornBytes uint64
+}
+
+// FaultStore wraps a Store with a runtime-scriptable fault plan. It is safe
+// for concurrent use and adds one mutex acquisition per operation — fine for
+// the write-behind path it wraps, which serialises through the checkpointer
+// anyway.
+type FaultStore struct {
+	inner Store
+
+	mu      sync.Mutex
+	sched   [numOps]faultSchedule
+	latency [numOps]time.Duration
+	stats   FaultStats
+
+	// sleep is the latency injector, swappable so unit tests can observe
+	// injected delays without paying them.
+	sleep func(time.Duration)
+}
+
+// NewFaultStore wraps inner with an initially healthy fault plan.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner, sleep: time.Sleep}
+}
+
+// FailOps schedules op to succeed `after` more times and then fail `count`
+// times with err (nil err means ErrInjected; count < 0 fails until Clear or
+// a new schedule). Replaces any previous schedule for the op.
+func (f *FaultStore) FailOps(op Op, after, count int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	f.sched[op] = faultSchedule{after: after, count: count, err: err}
+	f.mu.Unlock()
+}
+
+// TornAppend schedules the next `count` Appends (after `after` successes) to
+// tear: the failure is reported with ErrInjected wrapped as a torn write,
+// and the would-be-partial payload bytes are tallied in FaultStats.TornBytes.
+// Per the Store contract the inner log is left untouched.
+func (f *FaultStore) TornAppend(after, count int) {
+	f.mu.Lock()
+	f.sched[OpAppend] = faultSchedule{after: after, count: count, err: ErrInjected, torn: true}
+	f.mu.Unlock()
+}
+
+// SetLatency injects a fixed delay before every call of op (0 clears it).
+func (f *FaultStore) SetLatency(op Op, d time.Duration) {
+	f.mu.Lock()
+	f.latency[op] = d
+	f.mu.Unlock()
+}
+
+// Clear heals the store: all schedules and latencies are dropped; counters
+// are kept.
+func (f *FaultStore) Clear() {
+	f.mu.Lock()
+	for i := range f.sched {
+		f.sched[i] = faultSchedule{}
+	}
+	for i := range f.latency {
+		f.latency[i] = 0
+	}
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of the operation and fault counters.
+func (f *FaultStore) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Inner exposes the wrapped Store (tests recover through it directly to
+// bypass the fault plan).
+func (f *FaultStore) Inner() Store { return f.inner }
+
+// gate consumes one call of op against the schedule: it returns the
+// scheduled error (and whether this failure is a torn append) or nil when
+// the call should pass through. Latency is sampled under the lock but slept
+// outside it, so a slow store never blocks rescheduling.
+func (f *FaultStore) gate(op Op) (err error, torn bool) {
+	f.mu.Lock()
+	f.stats.Ops[op]++
+	delay := f.latency[op]
+	s := &f.sched[op]
+	switch {
+	case s.count == 0:
+		// healthy (no schedule, or an exhausted one)
+	case s.after > 0:
+		s.after--
+	default:
+		err, torn = s.err, s.torn
+		if s.count > 0 {
+			s.count--
+		}
+		f.stats.Faults[op]++
+	}
+	sleep := f.sleep
+	f.mu.Unlock()
+	if delay > 0 {
+		sleep(delay)
+	}
+	return err, torn
+}
+
+// Append implements Store.
+func (f *FaultStore) Append(payload []byte) error {
+	if err, torn := f.gate(OpAppend); err != nil {
+		if torn {
+			f.mu.Lock()
+			f.stats.TornBytes += uint64(len(payload) / 2)
+			f.mu.Unlock()
+			return fmt.Errorf("store: torn write after %d bytes: %w", len(payload)/2, err)
+		}
+		return err
+	}
+	return f.inner.Append(payload)
+}
+
+// Checkpoint implements Store.
+func (f *FaultStore) Checkpoint(blob []byte) error {
+	if err, _ := f.gate(OpCheckpoint); err != nil {
+		return err
+	}
+	return f.inner.Checkpoint(blob)
+}
+
+// Sync implements Store.
+func (f *FaultStore) Sync() error {
+	if err, _ := f.gate(OpSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Recover implements Store (never faulted: recovery runs before the fault
+// window a chaos scenario scripts, and a recovery-time fault is a corrupt
+// store, which FileStore models itself).
+func (f *FaultStore) Recover(checkpoint func([]byte) error, record func([]byte) error) error {
+	return f.inner.Recover(checkpoint, record)
+}
+
+// LogSize implements Store.
+func (f *FaultStore) LogSize() int64 { return f.inner.LogSize() }
+
+// Close implements Store.
+func (f *FaultStore) Close() error { return f.inner.Close() }

@@ -1,0 +1,173 @@
+// faultstore_internal_test.go unit-tests the fault injector itself and the
+// checkpointer's retry/jitter primitives — in-package, so the tests can swap
+// the sleep seams and drive the machinery without real time passing.
+package store
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFaultStoreSchedule(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.FailOps(OpAppend, 2, 2, nil)
+	for i := 0; i < 2; i++ {
+		if err := f.Append([]byte("ok")); err != nil {
+			t.Fatalf("append %d before the window: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Append([]byte("boom")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("append %d inside the window: %v, want ErrInjected", i, err)
+		}
+	}
+	if err := f.Append([]byte("ok")); err != nil {
+		t.Fatalf("append after the window: %v", err)
+	}
+	st := f.Stats()
+	if st.Ops[OpAppend] != 5 || st.Faults[OpAppend] != 2 {
+		t.Fatalf("stats = %d ops, %d faults; want 5, 2", st.Ops[OpAppend], st.Faults[OpAppend])
+	}
+}
+
+func TestFaultStoreFailsUntilCleared(t *testing.T) {
+	f := NewFaultStore(NewMemStore())
+	f.FailOps(OpSync, 0, -1, nil)
+	for i := 0; i < 4; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: %v, want ErrInjected", i, err)
+		}
+	}
+	f.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after Clear: %v", err)
+	}
+	// Clear heals the schedule but keeps the evidence.
+	if st := f.Stats(); st.Faults[OpSync] != 4 || st.Ops[OpSync] != 5 {
+		t.Fatalf("stats after Clear = %d ops, %d faults; want 5, 4", st.Ops[OpSync], st.Faults[OpSync])
+	}
+}
+
+func TestFaultStoreCustomError(t *testing.T) {
+	diskFull := errors.New("disk full")
+	f := NewFaultStore(NewMemStore())
+	f.FailOps(OpCheckpoint, 0, 1, diskFull)
+	if err := f.Checkpoint([]byte("blob")); !errors.Is(err, diskFull) {
+		t.Fatalf("checkpoint error %v, want the scheduled one", err)
+	}
+	if err := f.Checkpoint([]byte("blob")); err != nil {
+		t.Fatalf("checkpoint after the schedule drained: %v", err)
+	}
+}
+
+func TestFaultStoreTornAppend(t *testing.T) {
+	inner := NewMemStore()
+	f := NewFaultStore(inner)
+	f.TornAppend(0, 1)
+	err := f.Append(make([]byte, 8))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn append error %v, want ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "torn") {
+		t.Fatalf("torn append error %q does not name the tear", err)
+	}
+	// Per the Store contract a failed Append leaves no partial frame behind.
+	if n := inner.LogSize(); n != 0 {
+		t.Fatalf("inner log grew to %d bytes through a torn append", n)
+	}
+	if tb := f.Stats().TornBytes; tb != 4 {
+		t.Fatalf("TornBytes = %d, want 4 (half the payload)", tb)
+	}
+	if err := f.Append(make([]byte, 8)); err != nil {
+		t.Fatalf("append after the tear: %v", err)
+	}
+	if inner.LogSize() == 0 {
+		t.Fatal("healed append never reached the inner store")
+	}
+}
+
+func TestFaultStoreLatency(t *testing.T) {
+	var slept []time.Duration
+	f := NewFaultStore(NewMemStore())
+	f.sleep = func(d time.Duration) { slept = append(slept, d) }
+	f.SetLatency(OpSync, 5*time.Millisecond)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 || slept[0] != 5*time.Millisecond {
+		t.Fatalf("slept %v, want exactly one 5ms delay", slept)
+	}
+	f.SetLatency(OpSync, 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != 1 {
+		t.Fatalf("cleared latency still slept: %v", slept)
+	}
+}
+
+func TestWithRetryEventualSuccess(t *testing.T) {
+	var slept []time.Duration
+	c := &Checkpointer{
+		cfg:   CheckpointConfig{RetryAttempts: 3, RetryBase: 8 * time.Millisecond},
+		sleep: func(d time.Duration) { slept = append(slept, d) },
+		rng:   1,
+	}
+	calls := 0
+	err := c.withRetry(func() error {
+		calls++
+		if calls < 3 {
+			return ErrInjected
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("withRetry: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn called %d times, want 3", calls)
+	}
+	if got := c.storeErrors.Load(); got != 2 {
+		t.Fatalf("storeErrors = %d, want 2 (every failed attempt counts)", got)
+	}
+	// Two backoffs, exponentially doubled with ±50% jitter.
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, base := range []time.Duration{8 * time.Millisecond, 16 * time.Millisecond} {
+		if slept[i] < base/2 || slept[i] >= base/2+base {
+			t.Fatalf("backoff %d = %v outside jitter range [%v, %v)", i, slept[i], base/2, base/2+base)
+		}
+	}
+}
+
+func TestWithRetryExhausted(t *testing.T) {
+	diskGone := errors.New("device vanished")
+	c := &Checkpointer{
+		cfg:   CheckpointConfig{RetryAttempts: 2, RetryBase: time.Microsecond},
+		sleep: func(time.Duration) {},
+		rng:   7,
+	}
+	err := c.withRetry(func() error { return diskGone })
+	if !errors.Is(err, diskGone) {
+		t.Fatalf("exhausted withRetry returned %v, want the last error", err)
+	}
+	if got := c.storeErrors.Load(); got != 2 {
+		t.Fatalf("storeErrors = %d, want 2", got)
+	}
+}
+
+func TestJitterRange(t *testing.T) {
+	c := &Checkpointer{rng: 99}
+	const d = 10 * time.Millisecond
+	for i := 0; i < 1000; i++ {
+		if j := c.jitter(d); j < d/2 || j >= d/2+d {
+			t.Fatalf("draw %d: jitter(%v) = %v outside [%v, %v)", i, d, j, d/2, d/2+d)
+		}
+	}
+	if j := c.jitter(0); j != 0 {
+		t.Fatalf("jitter(0) = %v, want 0", j)
+	}
+}

@@ -210,6 +210,17 @@ func (s *FileStore) Append(payload []byte) error {
 	buf = append(buf, payload...)
 	s.scratch = buf
 	if _, err := s.wal.Write(buf); err != nil {
+		// A partial frame may have reached the file before the write failed.
+		// Repair by truncating back to the last known-good size: the recovery
+		// scanner stops at the first torn frame and discards everything
+		// behind it, so leaving the fragment in place would make a later
+		// successful append (a retry, or just the next flush) silently
+		// unrecoverable. Both calls are best-effort — if they fail too, the
+		// next write lands at the known-good offset anyway (the seek target),
+		// overwriting the fragment.
+		s.wal.Truncate(s.walSize)           //nolint:errcheck // best-effort repair
+		s.wal.Seek(s.walSize, io.SeekStart) //nolint:errcheck
+		s.nextLSN--                         // the frame never happened
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	s.walSize += int64(len(buf))

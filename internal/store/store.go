@@ -16,7 +16,11 @@ import (
 // the writer starts.
 type Store interface {
 	// Append adds one record to the log. The payload is owned by the caller
-	// and copied (or written out) before Append returns.
+	// and copied (or written out) before Append returns. A failed Append
+	// must leave the log as if the call never happened — no partial frame a
+	// later successful append could land behind — which is what makes the
+	// checkpointer's retry-on-transient-failure policy sound (FileStore
+	// repairs a torn write by truncating back to the known-good size).
 	Append(payload []byte) error
 	// Checkpoint atomically replaces the checkpoint with blob and clears
 	// the log: after a successful Checkpoint, Recover yields the new blob
