@@ -1,0 +1,84 @@
+package tauw_test
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/trace"
+)
+
+// BenchmarkPoolStepTraced is the flight recorder's hot-path gate: the pool
+// contention benchmark (many goroutines, disjoint track partitions, same
+// shape as BenchmarkPoolStepParallel/sharded) with a recorder attached, so
+// the delta against the untraced runs prices the per-step trace record —
+// two clock reads plus two atomic operations on a striped spin word — and
+// the 0 allocs/op requirement is enforced by the CI alloc-decay gate.
+func BenchmarkPoolStepTraced(b *testing.B) {
+	st := study(b)
+	series := st.TestSeries[0]
+	outcome, quality := series.Outcomes[0], series.Quality[0]
+	rec := trace.New(trace.Config{})
+	pool, err := core.NewWrapperPool(st.Base, st.TAQIM, benchPoolCfg, 0, core.WithTrace(rec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for id := 0; id < benchPoolTracks; id++ {
+		if err := pool.Open(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Fill every ring (plus one eviction round) so the timed section never
+	// sees buffer growth — only the steady-state step plus trace cost.
+	for i := 0; i < benchPoolCfg.BufferLimit+2; i++ {
+		for id := 0; id < benchPoolTracks; id++ {
+			if _, err := pool.Step(id, outcome, quality); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	perG := benchPoolTracks / runtime.GOMAXPROCS(0)
+	if perG < 1 {
+		perG = 1
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := (int(next.Add(1)-1) * perG) % benchPoolTracks
+		i := 0
+		for pb.Next() {
+			i++
+			if _, err := pool.Step(base+i%perG, outcome, quality); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkFlightDump prices one merged /debug/flight snapshot of a full
+// recorder: drain every stripe under its spin word, then sort by timestamp.
+// The destination buffer is reused across iterations, so the steady state —
+// what a scrape loop or an anomaly freeze pays — must be allocation-free
+// (enforced by the CI alloc gate).
+func BenchmarkFlightDump(b *testing.B) {
+	rec := trace.New(trace.Config{})
+	// Fill every stripe past wraparound so the dump works at capacity.
+	perStripe := rec.Capacity() / trace.DefaultRings
+	for shard := 0; shard < trace.DefaultRings; shard++ {
+		for i := 0; i < perStripe+16; i++ {
+			rec.Record(trace.KindStep, trace.StatusOK, uint16(shard), uint64(i), 1)
+		}
+	}
+	dst := make([]trace.Event, 0, rec.Capacity())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = rec.Snapshot(dst)
+		if len(dst) != rec.Capacity() {
+			b.Fatalf("snapshot of a full recorder returned %d events, want %d", len(dst), rec.Capacity())
+		}
+	}
+}

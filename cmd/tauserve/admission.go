@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/iese-repro/tauw/internal/trace"
 )
 
 // Shed response bodies, pre-rendered: the overload path must not allocate.
@@ -44,6 +46,11 @@ type limiter struct {
 
 	shedQueueFull atomic.Uint64
 	shedDeadline  atomic.Uint64
+
+	// trace records each shed into the flight recorder under the gate's
+	// endpoint id (trace.EndpointStep/Steps/Feedback); nil disables it.
+	trace    *trace.Recorder
+	endpoint uint64
 }
 
 // admission is the server's limiter set, one per hot endpoint. It
@@ -113,7 +120,7 @@ func (l *limiter) admit(w http.ResponseWriter) bool {
 	}
 	if l.queued.Add(1) > l.maxQueue {
 		l.queued.Add(-1)
-		l.shedQueueFull.Add(1)
+		l.noteQueueFull()
 		shedResponse(w, http.StatusTooManyRequests, errQueueFullBody)
 		return false
 	}
@@ -130,11 +137,25 @@ func (l *limiter) admit(w http.ResponseWriter) bool {
 		return true
 	case <-t.C:
 		l.queued.Add(-1)
-		l.shedDeadline.Add(1)
+		l.noteDeadline()
 		putTimer(t)
 		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
 		return false
 	}
+}
+
+// noteQueueFull and noteDeadline tally one shed and mirror it into the
+// flight recorder — sheds are exactly the context an overload anomaly dump
+// needs, and enough of them inside one second freeze a "shed_rate" anomaly
+// on their own (trace.Config.ShedPerSec).
+func (l *limiter) noteQueueFull() {
+	l.shedQueueFull.Add(1)
+	l.trace.Record(trace.KindShed, trace.StatusQueueFull, 0, 0, l.endpoint)
+}
+
+func (l *limiter) noteDeadline() {
+	l.shedDeadline.Add(1)
+	l.trace.Record(trace.KindShed, trace.StatusDeadline, 0, 0, l.endpoint)
 }
 
 // release returns the admission token. Must be called exactly once after a
@@ -157,6 +178,6 @@ func shedResponse(w http.ResponseWriter, code int, body []byte) {
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(code)
 	if _, err := w.Write(body); err != nil {
-		logf("tauserve: writing %d shed response: %v", code, err)
+		logWriteFailure("shed", code, err)
 	}
 }

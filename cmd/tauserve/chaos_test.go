@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -21,6 +23,45 @@ import (
 	"testing"
 	"time"
 )
+
+// dumpFlightOnFailure registers a cleanup that, when the test has failed,
+// fetches the child's flight-recorder dumps and writes them into
+// $FLIGHT_DUMP_DIR — the CI chaos and crash-recovery jobs upload that
+// directory as an artifact, so a red run ships the seconds before the
+// failure along with the log. Best effort: by cleanup time the child may
+// already be gone.
+func dumpFlightOnFailure(t *testing.T, base string) {
+	t.Helper()
+	dir := os.Getenv("FLIGHT_DUMP_DIR")
+	if dir == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		client := &http.Client{Timeout: 2 * time.Second}
+		prefix := strings.ReplaceAll(t.Name(), "/", "_")
+		for _, ep := range []struct{ path, name string }{
+			{"/debug/flight", "flight.json"},
+			{"/debug/flight/last-anomaly", "last-anomaly.json"},
+		} {
+			resp, err := client.Get(base + ep.path)
+			if err != nil {
+				continue
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			name := prefix + "-" + ep.name
+			if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+				t.Logf("writing flight dump %s: %v", name, err)
+			}
+		}
+	})
+}
 
 // chaosFault reprograms the store fault plan through the debug endpoint.
 func chaosFault(t *testing.T, base string, req map[string]any) {
@@ -151,6 +192,7 @@ func TestChaosStoreFaultsAndOverload(t *testing.T) {
 	)
 	p1.waitReady(t, base)
 	p1.waitLog(t, "fault injection ARMED")
+	dumpFlightOnFailure(t, base)
 
 	var victim, burstSeries newSeriesResponse
 	postJSONBody(t, base+"/v1/series", struct{}{}, &victim)
@@ -207,6 +249,32 @@ func TestChaosStoreFaultsAndOverload(t *testing.T) {
 	postJSONBody(t, base+"/v1/recalibrate", struct{}{}, nil)
 	for i := 0; i < 10; i++ {
 		step()
+	}
+	// The breaker trip froze an anomaly snapshot: /debug/flight/last-anomaly
+	// must hold the window around the trip — the failed store attempts and
+	// the breaker transition itself. Checked before the overload burst so a
+	// later freeze cannot replace the snapshot under assertion.
+	anomResp, err := http.Get(base + "/debug/flight/last-anomaly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomBody, err := io.ReadAll(anomResp.Body)
+	anomResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anomResp.StatusCode != http.StatusOK || len(anomBody) == 0 {
+		t.Fatalf("last-anomaly after breaker trip = %d (%d bytes), want a populated 200",
+			anomResp.StatusCode, len(anomBody))
+	}
+	for _, want := range []string{
+		`"reason":"breaker_trip"`,
+		`"kind":"breaker"`, `"status":"tripped"`, // the transition itself
+		`"kind":"retry"`, `"status":"error"`, // the store failures before it
+	} {
+		if !strings.Contains(string(anomBody), want) {
+			t.Fatalf("anomaly snapshot missing %s:\n%s", want, anomBody)
+		}
 	}
 
 	// ---- Phase 3: overload burst while degraded. -------------------------

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // ------------------------------------------------------- encoder vs stdlib --
@@ -464,35 +465,50 @@ func (w *failingWriter) WriteHeader(code int)      { w.code = code }
 func (w *failingWriter) Write([]byte) (int, error) { return 0, errors.New("connection lost") }
 
 // TestWriteJSONLogsEncoderErrors pins the satellite fix: writeJSON and
-// writeRaw must log write/encode failures instead of dropping them.
+// writeRaw must log write/encode failures instead of dropping them — and
+// must rate-limit repeats, so a vanished client's burst is one line plus a
+// suppressed count, not a line per write.
 func TestWriteJSONLogsEncoderErrors(t *testing.T) {
 	var logged []string
 	orig := logf
 	logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
 	defer func() { logf = orig }()
+	// Fresh limiter: the test's endpoints must not inherit (or leak)
+	// per-endpoint windows from other tests in the same second.
+	origLim := writeFailures
+	writeFailures = newLogLimiter(time.Now)
+	defer func() { writeFailures = origLim }()
 
-	writeJSON(&failingWriter{}, http.StatusOK, errorResponse{Error: "x"})
+	writeJSON(&failingWriter{}, http.StatusOK, errorResponse{Error: "x"}, "t-json")
 	if len(logged) != 1 || !strings.Contains(logged[0], "connection lost") {
 		t.Fatalf("writeJSON logged %q, want one entry containing the write error", logged)
 	}
 
 	logged = nil
 	// Unencodable value: the stdlib encoder itself fails before writing.
-	writeJSON(httptest.NewRecorder(), http.StatusOK, math.NaN())
+	writeJSON(httptest.NewRecorder(), http.StatusOK, math.NaN(), "t-nan")
 	if len(logged) != 1 || !strings.Contains(logged[0], "unsupported value") {
 		t.Fatalf("writeJSON logged %q, want one entry for the encoder failure", logged)
 	}
 
 	logged = nil
-	writeRaw(&failingWriter{}, http.StatusOK, []byte(`{}`))
+	writeRaw(&failingWriter{}, http.StatusOK, []byte(`{}`), "t-raw")
 	if len(logged) != 1 || !strings.Contains(logged[0], "connection lost") {
 		t.Fatalf("writeRaw logged %q, want one entry containing the write error", logged)
+	}
+
+	// A repeat failure on the same endpoint inside the limiter window is
+	// suppressed, not logged again.
+	logged = nil
+	writeRaw(&failingWriter{}, http.StatusOK, []byte(`{}`), "t-raw")
+	if len(logged) != 0 {
+		t.Fatalf("writeRaw logged %q for a rate-limited repeat failure", logged)
 	}
 
 	// The success path must not log.
 	logged = nil
 	rec := httptest.NewRecorder()
-	writeRaw(rec, http.StatusCreated, []byte(`{"ok":true}`))
+	writeRaw(rec, http.StatusCreated, []byte(`{"ok":true}`), "t-ok")
 	if len(logged) != 0 {
 		t.Fatalf("writeRaw logged %q on success", logged)
 	}

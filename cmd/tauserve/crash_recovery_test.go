@@ -205,6 +205,7 @@ func TestCrashRecovery(t *testing.T) {
 	// ---- Phase 1: serve traffic, then die hard. --------------------------
 	p1 := startServe(t, bin, addr, stateDir)
 	p1.waitReady(t, base)
+	dumpFlightOnFailure(t, base)
 	var ns newSeriesResponse
 	postJSONBody(t, base+"/v1/series", struct{}{}, &ns)
 	if ns.SeriesID == "" {

@@ -9,11 +9,16 @@ package main
 
 import (
 	"fmt"
-	"log"
 	"time"
 
 	"github.com/iese-repro/tauw/internal/store"
+	"github.com/iese-repro/tauw/internal/xlog"
 )
+
+// durLog reports the durability layer's lifecycle (recovery, fault
+// injection arming) as structured component=durability records; the
+// checkpointer's own cycle reporting runs under component=store.
+var durLog = xlog.New("durability")
 
 // WithDurability arms the pool's close journal so series closes reach the
 // WAL. Must be set when a store will be attached: without the journal a
@@ -56,7 +61,7 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 		// runtime-scriptable fault plan that POST /debug/fault reprograms.
 		s.faults = store.NewFaultStore(fs)
 		st = s.faults
-		log.Printf("fault injection ARMED (-fault-inject): POST /debug/fault reprograms the store fault plan — testing only")
+		durLog.Warn("fault injection ARMED (-fault-inject): POST /debug/fault reprograms the store fault plan — testing only")
 	}
 	start := time.Now()
 	rs, err := store.Recover(st, s.pool, s.calib, s.leafStats)
@@ -64,9 +69,10 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 		fs.Close()
 		return nil, fmt.Errorf("recovering state from %s: %w", cfg.stateDir, err)
 	}
-	log.Printf("recovered state from %s in %v: %d live series, %d WAL records, %d closes, model version %d (checkpoint: %v)",
-		cfg.stateDir, time.Since(start).Round(time.Millisecond),
-		rs.Series, rs.Records, rs.Closes, rs.ModelVersion, rs.HadCheckpoint)
+	durLog.Info("recovered state",
+		"dir", cfg.stateDir, "took", time.Since(start).Round(time.Millisecond),
+		"series", rs.Series, "wal_records", rs.Records, "closes", rs.Closes,
+		"model_version", rs.ModelVersion, "had_checkpoint", rs.HadCheckpoint)
 	cp, err := store.NewCheckpointer(st, s.pool, s.calib, s.leafStats, store.CheckpointConfig{
 		FlushInterval:      cfg.flushInterval,
 		CheckpointInterval: cfg.checkpointInterval,
@@ -75,6 +81,8 @@ func (s *Server) attachDurability(cfg durabilityConfig) (*store.Checkpointer, er
 		RetryBase:          cfg.retryBase,
 		BreakerThreshold:   cfg.breakerThreshold,
 		ProbeInterval:      cfg.probeInterval,
+		Trace:              s.trace,
+		Stages:             s.stages,
 	})
 	if err != nil {
 		fs.Close()

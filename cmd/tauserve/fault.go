@@ -96,5 +96,5 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 		resp.Ops[op.String()] = st.Ops[op]
 		resp.Faults[op.String()] = st.Faults[op]
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, resp, "fault")
 }

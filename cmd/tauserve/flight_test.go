@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/simplex"
+	"github.com/iese-repro/tauw/internal/trace"
+)
+
+// flightJSON mirrors the /debug/flight body for decoding in tests.
+type flightJSON struct {
+	Now    int64        `json:"now"`
+	Count  int          `json:"count"`
+	Events []flightSpan `json:"events"`
+}
+
+type flightSpan struct {
+	TS     int64  `json:"ts"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	Shard  uint16 `json:"shard"`
+	Series int64  `json:"series"` // signed: series "sN" is track -N
+	DurNS  int64  `json:"dur_ns"`
+	Arg    uint64 `json:"arg"`
+}
+
+type anomalyJSON struct {
+	Reason string       `json:"reason"`
+	At     int64        `json:"at"`
+	Seq    uint64       `json:"seq"`
+	Count  int          `json:"count"`
+	Events []flightSpan `json:"events"`
+}
+
+// TestFlightEncodersMatchStdlib pins the reflection-free dump encoders to
+// the stdlib's view of the same values: everything the appender writes must
+// parse back field-for-field.
+func TestFlightEncodersMatchStdlib(t *testing.T) {
+	events := []trace.Event{
+		{TS: 1, Kind: trace.KindStep, Status: trace.StatusOK, Shard: 3, Series: 42, Dur: 900, Arg: 1},
+		{TS: 2, Kind: trace.KindBreaker, Status: trace.StatusTripped},
+		{TS: 3, Kind: trace.KindShed, Status: trace.StatusQueueFull, Arg: trace.EndpointSteps},
+		// Series "s7" is track -7: the dump must render the signed value.
+		{TS: 4, Kind: trace.KindStep, Status: trace.StatusOK, Series: ^uint64(6)},
+	}
+	var dump flightJSON
+	if err := json.Unmarshal(appendFlightDump(nil, 99, events), &dump); err != nil {
+		t.Fatalf("flight dump does not parse: %v", err)
+	}
+	if dump.Now != 99 || dump.Count != 4 || len(dump.Events) != 4 {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	want := []flightSpan{
+		{TS: 1, Kind: "step", Status: "ok", Shard: 3, Series: 42, DurNS: 900, Arg: 1},
+		{TS: 2, Kind: "breaker", Status: "tripped"},
+		{TS: 3, Kind: "shed", Status: "queue_full", Arg: trace.EndpointSteps},
+		{TS: 4, Kind: "step", Status: "ok", Series: -7},
+	}
+	for i, w := range want {
+		if dump.Events[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, dump.Events[i], w)
+		}
+	}
+
+	var anom anomalyJSON
+	body := appendAnomalyDump(nil, trace.AnomalyInfo{Reason: "breaker_trip", At: 7, Seq: 2}, events[:1])
+	if err := json.Unmarshal(body, &anom); err != nil {
+		t.Fatalf("anomaly dump does not parse: %v", err)
+	}
+	if anom.Reason != "breaker_trip" || anom.At != 7 || anom.Seq != 2 || anom.Count != 1 || len(anom.Events) != 1 {
+		t.Fatalf("anomaly dump = %+v", anom)
+	}
+
+	// Empty dumps render a valid empty array, not a null.
+	if got := string(appendFlightDump(nil, 0, nil)); got != `{"now":0,"count":0,"events":[]}` {
+		t.Fatalf("empty dump = %s", got)
+	}
+}
+
+// TestFlightEndpointUnderLoad drives step and feedback traffic from several
+// goroutines while /debug/flight is polled: every dump must parse, be
+// time-ordered, and contain no torn event (a kind outside the enum would
+// decode as "unknown"). Afterwards a Freeze must surface on last-anomaly.
+func TestFlightEndpointUnderLoad(t *testing.T) {
+	st := testStudy(t)
+	rec := trace.New(trace.Config{Rings: 2, RingEvents: 256})
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy(), WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// No anomaly yet: the endpoint must say so, not serve an empty dump.
+	resp, err := http.Get(ts.URL + "/debug/flight/last-anomaly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("last-anomaly before any freeze = %d, want 404", resp.StatusCode)
+	}
+
+	series := decode[newSeriesResponse](t, postJSON(t, ts.URL+"/v1/series", struct{}{}))
+
+	const writers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := postJSON(t, ts.URL+"/v1/step", stepRequest{
+					SeriesID: series.SeriesID, Outcome: 14,
+					Quality: map[string]float64{"rain": 0.3}, PixelSize: 170,
+				})
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	for i := 0; i < 20; i++ {
+		dump := decode[flightJSON](t, mustGet(t, ts.URL+"/debug/flight"))
+		if dump.Count != len(dump.Events) {
+			t.Fatalf("dump count %d, %d events", dump.Count, len(dump.Events))
+		}
+		for j, ev := range dump.Events {
+			if j > 0 && ev.TS < dump.Events[j-1].TS {
+				t.Fatalf("dump out of order at %d: %d after %d", j, ev.TS, dump.Events[j-1].TS)
+			}
+			if ev.Kind == "unknown" || ev.Status == "unknown" {
+				t.Fatalf("torn event in dump: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	rec.Freeze("test_freeze")
+	anom := decode[anomalyJSON](t, mustGet(t, ts.URL+"/debug/flight/last-anomaly"))
+	if anom.Reason != "test_freeze" || anom.Seq != 1 || len(anom.Events) == 0 {
+		t.Fatalf("anomaly after freeze = reason %q seq %d events %d",
+			anom.Reason, anom.Seq, len(anom.Events))
+	}
+	sawStep := false
+	for _, ev := range anom.Events {
+		if ev.Kind == "step" {
+			sawStep = true
+			break
+		}
+	}
+	if !sawStep {
+		t.Fatal("anomaly snapshot captured no step events from the load window")
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	return resp
+}
+
+// TestFlightRoutesAbsentWithoutTrace pins that the debug routes only exist
+// when a recorder is wired: an untraced server must 404 them.
+func TestFlightRoutesAbsentWithoutTrace(t *testing.T) {
+	ts := testServer(t)
+	for _, path := range []string{"/debug/flight", "/debug/flight/last-anomaly"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s without trace = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

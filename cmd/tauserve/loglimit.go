@@ -1,0 +1,57 @@
+// loglimit.go rate-limits the response-write-failure log path. A write
+// failure means the client vanished mid-response — and clients vanish in
+// herds (a load balancer drains, a batch driver is killed), so one dead
+// peer can turn into thousands of identical log lines in a second. The
+// limiter lets one line per second per endpoint through and counts the
+// rest, so the next allowed line reports how many it swallowed: the
+// operator keeps the signal (which endpoint, what error, how often)
+// without the log becoming the incident.
+package main
+
+import (
+	"sync"
+	"time"
+)
+
+// logLimiter caps a repetitive log path at one line per second per key.
+// Keys are endpoint names — low cardinality by construction — so the map
+// stays a handful of entries for the life of the process.
+type logLimiter struct {
+	// now injects the clock (tests); the production limiter uses time.Now.
+	now func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*logLimitEntry
+}
+
+type logLimitEntry struct {
+	last       time.Time
+	suppressed uint64
+}
+
+func newLogLimiter(now func() time.Time) *logLimiter {
+	return &logLimiter{now: now, m: make(map[string]*logLimitEntry)}
+}
+
+// allow reports whether a line keyed by key may be emitted now and, when it
+// may, how many lines were suppressed since the last allowed one — the
+// caller folds that count into the line it emits. The first line for a key
+// always passes.
+func (l *logLimiter) allow(key string) (ok bool, suppressed uint64) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.m[key]
+	if e == nil {
+		e = &logLimitEntry{}
+		l.m[key] = e
+	}
+	if !e.last.IsZero() && now.Sub(e.last) < time.Second {
+		e.suppressed++
+		return false, 0
+	}
+	suppressed = e.suppressed
+	e.suppressed = 0
+	e.last = now
+	return true, suppressed
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLogLimiter drives one limiter through a scripted clock: the first
+// line per key passes, repeats inside the same second are swallowed and
+// counted, the count is handed to the next allowed line exactly once, and
+// keys are independent.
+func TestLogLimiter(t *testing.T) {
+	base := time.Unix(1000, 0)
+	steps := []struct {
+		name           string
+		key            string
+		at             time.Duration // offset from base
+		wantOK         bool
+		wantSuppressed uint64
+	}{
+		{"first line passes", "step", 0, true, 0},
+		{"repeat in-window suppressed", "step", 100 * time.Millisecond, false, 0},
+		{"still suppressed at 999ms", "step", 999 * time.Millisecond, false, 0},
+		{"other key unaffected", "feedback", 999 * time.Millisecond, true, 0},
+		{"window over: passes with count", "step", time.Second, true, 2},
+		{"count was consumed", "step", 2100 * time.Millisecond, true, 0},
+		{"suppress one more", "step", 2200 * time.Millisecond, false, 0},
+		{"long gap still reports it", "step", time.Hour, true, 1},
+	}
+	var now time.Time
+	l := newLogLimiter(func() time.Time { return now })
+	for _, st := range steps {
+		now = base.Add(st.at)
+		ok, suppressed := l.allow(st.key)
+		if ok != st.wantOK || suppressed != st.wantSuppressed {
+			t.Fatalf("%s: allow(%q) = (%v, %d), want (%v, %d)",
+				st.name, st.key, ok, suppressed, st.wantOK, st.wantSuppressed)
+		}
+	}
+}

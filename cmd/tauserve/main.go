@@ -93,9 +93,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	// The pprof handlers register on http.DefaultServeMux, which only the
+	// -debug-addr listener serves (the API listener uses its own mux), so
+	// profiling never leaks onto the public port.
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -106,7 +109,12 @@ import (
 	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/store"
+	"github.com/iese-repro/tauw/internal/trace"
+	"github.com/iese-repro/tauw/internal/xlog"
 )
+
+// mainLog is the process-lifecycle logger (startup, shutdown, listeners).
+var mainLog = xlog.New("server")
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -205,6 +213,10 @@ func run(args []string) error {
 			"pause between flipping /readyz to 503 and closing the listener; "+
 				"set it to the load balancer's readiness-probe interval so the probe "+
 				"observes the 503 while the listener still accepts traffic")
+		debugAddr = fs.String("debug-addr", "",
+			"serve net/http/pprof on this separate listener (empty disables it); "+
+				"bind it to loopback — the profiler is an operator surface and must "+
+				"never share the public address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -239,14 +251,27 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown preset %q", *preset)
 	}
-	log.Printf("calibrating wrappers (preset %q)...", cfg.Name)
+	mainLog.Info("calibrating wrappers", "preset", cfg.Name)
 	start := time.Now()
 	st, err := eval.BuildStudy(cfg)
 	if err != nil {
 		return err
 	}
-	log.Printf("calibrated in %v (DDM test accuracy %.2f%%)", time.Since(start).Round(time.Millisecond), 100*st.DDMTestAccuracy)
+	mainLog.Info("calibrated",
+		"took", time.Since(start).Round(time.Millisecond),
+		"ddm_test_accuracy", fmt.Sprintf("%.2f%%", 100*st.DDMTestAccuracy))
+	// The flight recorder is always on (its hot-path cost is two atomic
+	// operations per event); anomaly freezes surface as a structured log
+	// line pointing the operator at /debug/flight/last-anomaly.
+	traceLog := xlog.New("trace")
+	flight := trace.New(trace.Config{
+		OnAnomaly: func(reason string, at int64, events int) {
+			traceLog.Error("anomaly snapshot frozen — GET /debug/flight/last-anomaly holds the window",
+				"reason", reason, "events", events, "at_unix_ns", at)
+		},
+	})
 	opts := []ServerOption{
+		WithTrace(flight),
 		WithPoolShards(*shards), WithMaxSeries(*maxSeries),
 		WithBatchWorkers(*batchWorkers), WithBufferLimit(*bufferLimit),
 		WithFeedbackRing(*feedbackRing),
@@ -314,10 +339,22 @@ func run(args []string) error {
 		}
 		go func() {
 			if err := srv.ServeWire(ln); err != nil {
-				log.Printf("binary transport listener failed: %v", err)
+				mainLog.Error("binary transport listener failed", "err", err)
 			}
 		}()
-		log.Printf("binary transport listening on %s", *tcpAddr)
+		mainLog.Info("binary transport listening", "addr", *tcpAddr)
+	}
+
+	// The debug listener serves the stdlib profiler (and nothing else) on
+	// its own address, so taking a CPU profile or a goroutine dump during an
+	// incident needs no redeploy — and no exposure on the public port.
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				mainLog.Error("debug (pprof) listener failed", "err", err)
+			}
+		}()
+		mainLog.Info("debug (pprof) listener enabled", "addr", *debugAddr)
 	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM flips readiness and
@@ -325,7 +362,7 @@ func run(args []string) error {
 	// handling) kills the process the classic way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("listening on %s", *addr)
+	mainLog.Info("listening", "addr", *addr)
 	return serveUntilShutdown(ctx, stop, httpServer, srv, cp, *drainGrace, *drainTimeout, httpServer.ListenAndServe)
 }
 
@@ -445,10 +482,11 @@ func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *
 		}
 		srv.SetReady(false)
 		if drainGrace > 0 {
-			log.Printf("shutdown requested; /readyz now 503, accepting traffic for %v more (drain grace)...", drainGrace)
+			mainLog.Info("shutdown requested; /readyz now 503, still accepting traffic (drain grace)",
+				"grace", drainGrace)
 			time.Sleep(drainGrace)
 		}
-		log.Printf("draining in-flight requests (timeout %v)...", drainTimeout)
+		mainLog.Info("draining in-flight requests", "timeout", drainTimeout)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := httpServer.Shutdown(shutdownCtx); err != nil {
@@ -466,12 +504,14 @@ func serveUntilShutdown(ctx context.Context, restoreSignals func(), httpServer *
 			if err := cp.Stop(); err != nil {
 				return fmt.Errorf("final checkpoint: %w", err)
 			}
-			log.Printf("final checkpoint written (%d checkpoints, %d flushes this run)",
-				cp.CheckpointStats().Checkpoints, cp.CheckpointStats().Flushes)
+			mainLog.Info("final checkpoint written",
+				"checkpoints", cp.CheckpointStats().Checkpoints,
+				"flushes", cp.CheckpointStats().Flushes)
 		}
 		snap := srv.Calibration().Snapshot()
-		log.Printf("drained cleanly (%d steps served, %d feedbacks, windowed Brier %.4f)",
-			srv.pool.StepCount(), snap.Feedbacks, snap.WindowedBrier)
+		mainLog.Info("drained cleanly",
+			"steps_served", srv.pool.StepCount(), "feedbacks", snap.Feedbacks,
+			"windowed_brier", fmt.Sprintf("%.4f", snap.WindowedBrier))
 		return nil
 	}
 }

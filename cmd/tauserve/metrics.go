@@ -14,7 +14,13 @@ import (
 	"time"
 
 	"github.com/iese-repro/tauw/internal/core"
+	"github.com/iese-repro/tauw/internal/xlog"
 )
+
+// recalibLog reports recalibration outcomes (swaps are rare,
+// operator-relevant events; failures doubly so) as structured
+// component=recalib records.
+var recalibLog = xlog.New("recalib")
 
 // handleFeedback is the ground-truth ingestion endpoint. The report names a
 // series, the step being judged (the total_steps echoed by the step
@@ -61,7 +67,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeRaw(w, http.StatusOK, sc.out)
+	writeRaw(w, http.StatusOK, sc.out, "feedback")
 }
 
 // joinFeedback performs the ground-truth join shared by POST /v1/feedback
@@ -106,9 +112,10 @@ func (s *Server) joinFeedback(seriesID string, step, truth int) (feedbackRespons
 		// min-feedback-per-leaf guards make this cheap to call per feedback
 		// while an alarm churns; a successful swap clears the alarm.
 		if rep, err := s.recal.TryAuto(); err != nil {
-			logf("tauserve: auto recalibration failed: %v", err)
+			recalibLog.Error("auto recalibration failed", "err", err)
 		} else if rep.Swapped {
-			logf("tauserve: drift alarm triggered recalibration: model v%d -> v%d", rep.OldVersion, rep.NewVersion)
+			recalibLog.Info("drift alarm triggered recalibration",
+				"old_version", rep.OldVersion, "new_version", rep.NewVersion)
 		}
 	}
 	return feedbackResponse{
@@ -139,7 +146,8 @@ func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if rep.Swapped {
-		logf("tauserve: manual recalibration: model v%d -> v%d", rep.OldVersion, rep.NewVersion)
+		recalibLog.Info("manual recalibration swapped the model",
+			"old_version", rep.OldVersion, "new_version", rep.NewVersion)
 	}
 	sc := getScratch()
 	defer sc.release()
@@ -149,7 +157,7 @@ func (s *Server) handleRecalibrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeRaw(w, http.StatusOK, sc.out)
+	writeRaw(w, http.StatusOK, sc.out, "recalibrate")
 }
 
 // handleMetrics renders the Prometheus exposition into the pooled response
@@ -166,6 +174,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	if _, err := w.Write(sc.out); err != nil {
-		logf("tauserve: writing metrics response: %v", err)
+		logWriteFailure("metrics", http.StatusOK, err)
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -20,7 +19,9 @@ import (
 	"github.com/iese-repro/tauw/internal/recalib"
 	"github.com/iese-repro/tauw/internal/simplex"
 	"github.com/iese-repro/tauw/internal/store"
+	"github.com/iese-repro/tauw/internal/trace"
 	"github.com/iese-repro/tauw/internal/uw"
+	"github.com/iese-repro/tauw/internal/xlog"
 	"github.com/iese-repro/tauw/internal/xslice"
 )
 
@@ -62,6 +63,18 @@ type Server struct {
 	latStep     *monitor.LatencyHist
 	latBatch    *monitor.LatencyHist
 	latFeedback *monitor.LatencyHist
+	// stages times the request pipeline's internal stages (decode, step,
+	// encode here; store_append/checkpoint/fsync in the durability layer)
+	// for the tauw_stage_duration_seconds exposition.
+	stages *monitor.StageSet
+
+	// trace is the flight recorder every layer records into (nil disables
+	// tracing and the /debug/flight routes); flightBuf and anomBuf are the
+	// dump endpoints' reusable event buffers, guarded by flightMu.
+	trace     *trace.Recorder
+	flightMu  sync.Mutex
+	flightBuf []trace.Event
+	anomBuf   []trace.Event
 
 	// leafStats attributes each feedback verdict to the taQIM region that
 	// produced the judged estimate; recal turns that evidence into model
@@ -112,6 +125,7 @@ type serverOptions struct {
 	maxInflight    int
 	admissionQueue int
 	requestTimeout time.Duration
+	trace          *trace.Recorder
 }
 
 // DefaultFeedbackRing is the default per-series provenance-ring length:
@@ -185,6 +199,16 @@ func WithRequestTimeout(d time.Duration) ServerOption {
 	return func(o *serverOptions) { o.requestTimeout = d }
 }
 
+// WithTrace wires a flight recorder through every layer of the server —
+// pool steps, batch fan-outs, feedback joins, swaps, admission sheds, and
+// (when durability is attached) store activity — and serves its dumps on
+// GET /debug/flight and /debug/flight/last-anomaly. Nil disables tracing;
+// every record site is nil-safe, so the untraced server pays one pointer
+// check per site.
+func WithTrace(rec *trace.Recorder) ServerOption {
+	return func(o *serverOptions) { o.trace = rec }
+}
+
 // WithAutoRecalib arms the automatic drift response: when the calibration-
 // drift alarm is active, the feedback path triggers a recalibration swap
 // (subject to the policy's cooldown and evidence guards). Off by default —
@@ -220,6 +244,11 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 	if err != nil {
 		return nil, err
 	}
+	// The flight recorder threads through every layer that records into it:
+	// the monitor (drift alarms), the recalibrator (retrain attempts), the
+	// pool (steps, batches, feedback, swaps), and the admission gates below.
+	o.monitorCfg.Trace = o.trace
+	o.recalibCfg.Trace = o.trace
 	calib, err := monitor.New(o.monitorCfg)
 	if err != nil {
 		return nil, err
@@ -227,6 +256,9 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 	poolOpts := []core.PoolOption{core.WithShards(o.shards), core.WithMonitoring(o.feedbackRing)}
 	if o.journal {
 		poolOpts = append(poolOpts, core.WithStateJournal())
+	}
+	if o.trace != nil {
+		poolOpts = append(poolOpts, core.WithTrace(o.trace))
 	}
 	pool, err := core.NewWrapperPool(base, taqim, core.Config{BufferLimit: o.bufferLimit},
 		o.maxSeries, poolOpts...)
@@ -253,10 +285,18 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 		recal:          recal,
 		autoRecalib:    o.autoRecalib,
 		requestTimeout: o.requestTimeout,
+		stages:         monitor.NewStageSet(),
+		trace:          o.trace,
 	}
 	s.adm.step.init("step", o.maxInflight, o.admissionQueue, o.requestTimeout)
 	s.adm.batch.init("steps", o.maxInflight, o.admissionQueue, o.requestTimeout)
 	s.adm.feedback.init("feedback", o.maxInflight, o.admissionQueue, o.requestTimeout)
+	// Sheds reach the flight recorder too (they are exactly the events an
+	// anomaly dump needs around an overload): each gate records under its
+	// endpoint id.
+	s.adm.step.trace, s.adm.step.endpoint = o.trace, trace.EndpointStep
+	s.adm.batch.trace, s.adm.batch.endpoint = o.trace, trace.EndpointSteps
+	s.adm.feedback.trace, s.adm.feedback.endpoint = o.trace, trace.EndpointFeedback
 	s.expo = &monitor.Exposition{
 		Monitor: calib,
 		Pool:    pool,
@@ -268,6 +308,8 @@ func NewServer(base *uw.Wrapper, taqim *uw.QualityImpactModel, policy simplex.Po
 			{Name: "steps", Hist: s.latBatch},
 			{Name: "feedback", Hist: s.latFeedback},
 		},
+		Stages: s.stages,
+		Go:     monitor.NewGoStats(),
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -333,6 +375,10 @@ func (s *Server) Handler() http.Handler {
 	handle("GET", "/readyz", s.handleReady)
 	if s.faults != nil {
 		handle("POST", "/debug/fault", s.handleFault)
+	}
+	if s.trace != nil {
+		handle("GET", "/debug/flight", s.handleFlight)
+		handle("GET", "/debug/flight/last-anomaly", s.handleFlightAnomaly)
 	}
 	mux.HandleFunc("/", s.catchAll(routes))
 	return mux
@@ -400,7 +446,7 @@ func (s *Server) handleNewSeries(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, newSeriesResponse{SeriesID: id})
+	writeJSON(w, http.StatusCreated, newSeriesResponse{SeriesID: id}, "series")
 }
 
 func (s *Server) handleEndSeries(w http.ResponseWriter, r *http.Request) {
@@ -466,7 +512,7 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	// is sub-microsecond, so no context needs to flow further — the check at
 	// admission is the deadline.
 	if s.requestTimeout > 0 && time.Since(start) >= s.requestTimeout {
-		s.adm.step.shedDeadline.Add(1)
+		s.adm.step.noteDeadline()
 		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
 		return
 	}
@@ -488,6 +534,8 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, step.itemErr)
 		return
 	}
+	decoded := time.Now()
+	s.stages.Decode.Observe(decoded.Sub(start))
 	res, err := s.pool.StepSeries(step.seriesID, step.outcome, step.qf)
 	if err != nil {
 		if errors.Is(err, core.ErrUnknownSeries) || errors.Is(err, core.ErrUnknownTrack) {
@@ -502,12 +550,15 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
+	stepped := time.Now()
+	s.stages.Step.Observe(stepped.Sub(decoded))
 	sc.out, err = appendStepResponse(sc.out[:0], &resp)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeRaw(w, http.StatusOK, sc.out)
+	writeRaw(w, http.StatusOK, sc.out, "step")
+	s.stages.Encode.Observe(time.Since(stepped))
 }
 
 // gate runs one pool result through the simplex monitor and shapes the
@@ -567,7 +618,7 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.adm.batch.release()
 	if s.requestTimeout > 0 && time.Since(start) >= s.requestTimeout {
-		s.adm.batch.shedDeadline.Add(1)
+		s.adm.batch.noteDeadline()
 		shedResponse(w, http.StatusServiceUnavailable, errDeadlineBody)
 		return
 	}
@@ -589,6 +640,8 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, errors.New("empty batch"))
 		return
 	}
+	decoded := time.Now()
+	s.stages.Decode.Observe(decoded.Sub(start))
 	// The decoder already fails past-the-cap arrays mid-parse
 	// (errBatchTooLarge), so this is an unreachable backstop kept for the
 	// day the decode path changes.
@@ -665,12 +718,15 @@ func (s *Server) handleStepBatch(w http.ResponseWriter, r *http.Request) {
 			sc.resp.Failed++
 		}
 	}
+	stepped := time.Now()
+	s.stages.Step.Observe(stepped.Sub(decoded))
 	sc.out, err = appendBatchStepResponse(sc.out[:0], &sc.resp)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeRaw(w, http.StatusOK, sc.out)
+	writeRaw(w, http.StatusOK, sc.out, "steps")
+	s.stages.Encode.Observe(time.Since(stepped))
 }
 
 // drainBody consumes (and discards) the request body on endpoints whose
@@ -752,7 +808,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PoolShards:   s.pool.NumShards(),
 		Gated:        snap.Total,
 		PerLevel:     snap.PerLevel,
-	})
+	}, "stats")
 }
 
 // handleRules renders the rules of the taQIM revision currently serving —
@@ -768,7 +824,7 @@ func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
 // region of the serving revision with its bound, calibration evidence, and
 // routing conditions.
 func (s *Server) handleLeaves(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.pool.CurrentTAQIM().LeafReport())
+	writeJSON(w, http.StatusOK, s.pool.CurrentTAQIM().LeafReport(), "leaves")
 }
 
 type errorResponse struct {
@@ -777,39 +833,66 @@ type errorResponse struct {
 
 // httpError writes the unified {"error": "..."} shape every 4xx/5xx
 // carries, rendered by the reflection-free codec into pooled scratch so
-// even an error storm does not allocate response bodies.
+// even an error storm does not allocate response bodies. All error bodies
+// share one write-failure limiter key: a client that vanishes mid-error is
+// one story regardless of which handler it was talking to.
 func httpError(w http.ResponseWriter, code int, err error) {
 	sc := getScratch()
 	sc.out = appendErrorResponse(sc.out[:0], err.Error())
-	writeRaw(w, code, sc.out)
+	writeRaw(w, code, sc.out, "error")
 	sc.release()
 }
 
 // logf is the server's error logger, a package variable so tests can
-// capture what the write paths report.
-var logf = log.Printf
+// capture what the write paths report. It keeps the printf signature the
+// historical call sites (and their tests) were written against; the xlog
+// backing renders each line as an error-level component=server record.
+var logf = xlog.New("server").Printf
+
+// writeFailures rate-limits the response-write-failure log path to one
+// line per second per endpoint: clients vanish in herds (a draining load
+// balancer, a killed batch driver), and the log should record the herd,
+// not echo it.
+var writeFailures = newLogLimiter(time.Now)
+
+// logWriteFailure reports one failed response write through the limiter,
+// folding the count of suppressed same-endpoint failures into the next
+// line that passes.
+func logWriteFailure(endpoint string, code int, err error) {
+	ok, suppressed := writeFailures.allow(endpoint)
+	if !ok {
+		return
+	}
+	if suppressed > 0 {
+		logf("tauserve: writing %d response (%s): %v (%d earlier write failures on this endpoint suppressed)",
+			code, endpoint, err, suppressed)
+		return
+	}
+	logf("tauserve: writing %d response (%s): %v", code, endpoint, err)
+}
 
 // writeJSON renders v with the stdlib encoder (cold endpoints only). The
 // header is already written when encoding or writing fails, so the error
 // cannot reach the client anymore — but it must not vanish either: every
-// failure is logged once with the status it was meant to carry.
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// failure is logged (rate-limited per endpoint) with the status it was
+// meant to carry.
+func writeJSON(w http.ResponseWriter, code int, v any, endpoint string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		logf("tauserve: writing %d response: %v", code, err)
+		logWriteFailure(endpoint, code, err)
 	}
 }
 
 // writeRaw flushes a pre-rendered hot-path body in a single Write with an
 // exact Content-Length. Write failures (client gone, connection reset) are
 // logged like writeJSON's.
-func writeRaw(w http.ResponseWriter, code int, body []byte) {
+func writeRaw(w http.ResponseWriter, code int, body []byte, endpoint string) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(code)
 	if _, err := w.Write(body); err != nil {
-		logf("tauserve: writing %d response: %v", code, err)
+		logWriteFailure(endpoint, code, err)
 	}
 }

@@ -20,7 +20,8 @@ var (
 	studyErr  error
 )
 
-func testServer(t *testing.T) *httptest.Server {
+// testStudy builds (once) and returns the shared calibrated study fixture.
+func testStudy(t *testing.T) *eval.Study {
 	t.Helper()
 	studyOnce.Do(func() {
 		cfg := eval.TinyConfig()
@@ -32,7 +33,13 @@ func testServer(t *testing.T) *httptest.Server {
 	if studyErr != nil {
 		t.Fatalf("BuildStudy: %v", studyErr)
 	}
-	srv, err := NewServer(studyVal.Base, studyVal.TAQIM, simplex.DefaultTSRPolicy())
+	return studyVal
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st := testStudy(t)
+	srv, err := NewServer(st.Base, st.TAQIM, simplex.DefaultTSRPolicy())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,13 @@
 // piece of serving state, a CRC-framed torn-write-safe write-ahead log
 // behind a pluggable Store interface, and the write-behind Checkpointer
 // that restores a crashed server bit-identically from tauserve's
-// -state-dir), and the study harness
+// -state-dir), the observability layer (internal/trace: the always-on
+// flight recorder — per-stripe event rings written lock-free from every
+// layer at two atomic operations per event, merged time-ordered on
+// tauserve's GET /debug/flight, with automatic anomaly snapshots on drift
+// alarms, breaker trips, and shed storms at /debug/flight/last-anomaly —
+// and internal/xlog, the leveled logfmt logging shim every component logs
+// through), and the study harness
 // (internal/eval, whose offline replay is re-scored through the same
 // monitor so offline and online reliability numbers come from one
 // implementation, and whose drifted replay pins the closed loop: injected

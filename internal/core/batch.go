@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/iese-repro/tauw/internal/trace"
 	"github.com/iese-repro/tauw/internal/xslice"
 )
 
@@ -129,6 +130,12 @@ func (p *WrapperPool) StepBatchInto(items []StepItem, workers int, dst []BatchRe
 	return p.StepBatchIntoCtx(context.Background(), items, workers, dst)
 }
 
+// traceBatch records the batch envelope event at dispatch exit (deferred
+// from StepBatchIntoCtx so every return path is covered).
+func (p *WrapperPool) traceBatch(start int64, n int) {
+	p.trace.RecordSince(start, trace.KindBatch, trace.StatusOK, 0, 0, uint64(n))
+}
+
 // cancelStride is how many items a worker steps between cancellation
 // checks: a power of two so the check is a mask, and small enough that a
 // canceled batch stops within ~20 µs of the deadline at ~300 ns/step.
@@ -164,6 +171,12 @@ func (p *WrapperPool) StepBatchIntoCtx(ctx context.Context, items []StepItem, wo
 	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
 		return out
+	}
+	// The fan-out envelope event: per-item detail is recorded by each
+	// Step; this one attributes the dispatch itself (grouping, handoff,
+	// stragglers) with the item count as its argument.
+	if p.trace != nil {
+		defer p.traceBatch(p.trace.Now(), len(items))
 	}
 	done := ctx.Done()
 	if workers <= 0 {

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"unsafe"
+
+	"github.com/iese-repro/tauw/internal/trace"
 )
 
 // NumOutcomeBuckets is the number of distinct outcome classes the per-shard
@@ -154,6 +156,24 @@ func (p *WrapperPool) recordStep(pw *pooledWrapper, shard uint64, res *Result) {
 // reset) fail with ErrStepUnavailable — the caller decides whether late
 // feedback is dropped or logged.
 func (p *WrapperPool) TakeFeedback(trackID, step int) (FeedbackRecord, error) {
+	rec, err := p.takeFeedback(trackID, step)
+	if p.trace != nil {
+		status := trace.StatusOK
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrDuplicateFeedback):
+			status = trace.StatusDuplicate
+		case errors.Is(err, ErrUnknownTrack):
+			status = trace.StatusNotFound
+		default:
+			status = trace.StatusError
+		}
+		p.trace.Record(trace.KindFeedback, status, uint16(p.shardIndex(trackID)), uint64(trackID), uint64(step))
+	}
+	return rec, err
+}
+
+func (p *WrapperPool) takeFeedback(trackID, step int) (FeedbackRecord, error) {
 	if !p.monitored || p.ringSize <= 0 {
 		return FeedbackRecord{}, ErrFeedbackDisabled
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/iese-repro/tauw/internal/trace"
 	"github.com/iese-repro/tauw/internal/uw"
 )
 
@@ -64,6 +65,10 @@ type WrapperPool struct {
 	journaling bool
 	journalMu  sync.Mutex
 	journal    []int
+
+	// trace is the flight recorder (nil on untraced pools: the hot paths
+	// pay one predictable branch per event site and nothing else).
+	trace *trace.Recorder
 }
 
 type pooledWrapper struct {
@@ -88,6 +93,16 @@ type poolOptions struct {
 	monitored bool
 	ringSize  int
 	journal   bool
+	trace     *trace.Recorder
+}
+
+// WithTrace wires the pool's event sites — step enter/exit, batch fan-out,
+// feedback join, model swap — into the flight recorder. Recording one
+// event costs two atomic operations and zero allocations (see
+// internal/trace), so the step path keeps its 0 allocs/op contract;
+// BenchmarkPoolStepTraced holds the line in CI.
+func WithTrace(rec *trace.Recorder) PoolOption {
+	return func(o *poolOptions) { o.trace = rec }
 }
 
 // WithShards overrides the shard count (rounded up to a power of two;
@@ -132,6 +147,7 @@ func NewWrapperPool(base *uw.Wrapper, taqim *uw.QualityImpactModel, cfg Config, 
 		monitored:  o.monitored,
 		ringSize:   o.ringSize,
 		journaling: o.journal,
+		trace:      o.trace,
 	}
 	if p.monitored {
 		p.stepStats = make([]stepStatsShard, nshards)
@@ -216,12 +232,22 @@ func (p *WrapperPool) open(trackID int) error {
 // wrapper's step is pure arithmetic over owned state, so there is no panic
 // path the defer would be protecting.
 func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
+	// Trace timing reads the clock only on traced pools; the event itself
+	// is recorded after the wrapper lock drops so the ring's spin word
+	// never nests inside pw.mu.
+	var traceStart int64
+	if p.trace != nil {
+		traceStart = p.trace.Now()
+	}
 	shard := p.shardIndex(trackID)
 	sh := &p.shards[shard]
 	sh.mu.Lock()
 	pw, ok := sh.tracks[trackID]
 	sh.mu.Unlock()
 	if !ok {
+		if p.trace != nil {
+			p.trace.RecordSince(traceStart, trace.KindStep, trace.StatusNotFound, uint16(shard), uint64(trackID), 0)
+		}
 		return Result{}, fmt.Errorf("%w: %d", ErrUnknownTrack, trackID)
 	}
 	pw.mu.Lock()
@@ -238,6 +264,13 @@ func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, err
 		}
 	}
 	pw.mu.Unlock()
+	if p.trace != nil {
+		status := trace.StatusOK
+		if err != nil {
+			status = trace.StatusError
+		}
+		p.trace.RecordSince(traceStart, trace.KindStep, status, uint16(shard), uint64(trackID), pm.version)
+	}
 	return res, err
 }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/iese-repro/tauw/internal/trace"
 	"github.com/iese-repro/tauw/internal/uw"
 )
 
@@ -50,6 +51,9 @@ func (p *WrapperPool) SwapModel(next *uw.QualityImpactModel) (oldVersion, newVer
 		}
 		ns := &modelState{qim: next, version: cur.version + 1}
 		if p.model.CompareAndSwap(cur, ns) {
+			if p.trace != nil {
+				p.trace.Record(trace.KindSwap, trace.StatusOK, 0, 0, ns.version)
+			}
 			return cur.version, ns.version, nil
 		}
 	}

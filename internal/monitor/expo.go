@@ -105,6 +105,12 @@ type Exposition struct {
 	Checkpoint CheckpointSource
 	Shed       ShedSource
 	Latencies  []EndpointLatency
+	// Stages renders tauw_stage_duration_seconds{stage=...} — per-stage
+	// latency attribution across the serving and durability layers.
+	Stages *StageSet
+	// Go renders the Go runtime section (goroutines, heap, GC, build
+	// info); construct with NewGoStats.
+	Go *GoStats
 
 	mu sync.Mutex
 	// Reused aggregation scratch and cached visitor closures: both exist
@@ -160,8 +166,19 @@ func (e *Exposition) AppendMetrics(dst []byte) []byte {
 		// rejected by strict exposition parsers).
 		e.header("tauw_request_duration_seconds", "Request latency by endpoint.", "histogram")
 		for i := range e.Latencies {
-			e.appendLatency(&e.Latencies[i])
+			e.appendHist("tauw_request_duration_seconds", "endpoint", e.Latencies[i].Name, e.Latencies[i].Hist)
 		}
+	}
+	if e.Stages != nil {
+		e.header("tauw_stage_duration_seconds",
+			"Per-stage latency attribution (decode/step/encode in the handlers, store_append/checkpoint/fsync in the durability loop).",
+			"histogram")
+		for _, st := range e.Stages.stages() {
+			e.appendHist("tauw_stage_duration_seconds", "stage", st.name, st.hist)
+		}
+	}
+	if e.Go != nil {
+		e.appendGoStats()
 	}
 	dst = e.dst
 	e.dst = nil
@@ -383,22 +400,29 @@ func (e *Exposition) appendShed() {
 	e.Shed.EachShed(e.shedFn)
 }
 
-// appendLatency renders one endpoint's label set of the
-// tauw_request_duration_seconds family in the standard Prometheus
-// histogram shape (cumulative le buckets, _sum, _count); the family's
-// single HELP/TYPE preamble is emitted by AppendMetrics before the
-// endpoint loop.
-func (e *Exposition) appendLatency(l *EndpointLatency) {
+// appendHist renders one label set of a histogram family in the standard
+// Prometheus shape (cumulative le buckets, _sum, _count); the family's
+// single HELP/TYPE preamble is emitted by AppendMetrics before the label
+// loop. Shared by the per-endpoint request histograms and the per-stage
+// attribution histograms, which differ only in family and label key.
+func (e *Exposition) appendHist(family, labelKey, labelVal string, h *LatencyHist) {
 	if cap(e.latCounts) < len(latBoundsNanos)+1 {
 		e.latCounts = make([]uint64, len(latBoundsNanos)+1)
 	}
 	e.latCounts = e.latCounts[:len(latBoundsNanos)+1]
-	l.Hist.bucketCounts(e.latCounts)
+	h.bucketCounts(e.latCounts)
+	label := func(suffix string) {
+		e.dst = append(e.dst, family...)
+		e.dst = append(e.dst, suffix...)
+		e.dst = append(e.dst, '{')
+		e.dst = append(e.dst, labelKey...)
+		e.dst = append(e.dst, `="`...)
+		e.dst = append(e.dst, labelVal...)
+	}
 	var cum uint64
 	for b := range e.latCounts {
 		cum += e.latCounts[b]
-		e.dst = append(e.dst, `tauw_request_duration_seconds_bucket{endpoint="`...)
-		e.dst = append(e.dst, l.Name...)
+		label("_bucket")
 		e.dst = append(e.dst, `",le="`...)
 		if b < len(latBoundLabels) {
 			e.dst = append(e.dst, latBoundLabels[b]...)
@@ -409,13 +433,11 @@ func (e *Exposition) appendLatency(l *EndpointLatency) {
 		e.dst = strconv.AppendUint(e.dst, cum, 10)
 		e.dst = append(e.dst, '\n')
 	}
-	e.dst = append(e.dst, `tauw_request_duration_seconds_sum{endpoint="`...)
-	e.dst = append(e.dst, l.Name...)
+	label("_sum")
 	e.dst = append(e.dst, `"} `...)
-	e.dst = strconv.AppendFloat(e.dst, l.Hist.SumSeconds(), 'g', -1, 64)
+	e.dst = strconv.AppendFloat(e.dst, h.SumSeconds(), 'g', -1, 64)
 	e.dst = append(e.dst, '\n')
-	e.dst = append(e.dst, `tauw_request_duration_seconds_count{endpoint="`...)
-	e.dst = append(e.dst, l.Name...)
+	label("_count")
 	e.dst = append(e.dst, `"} `...)
 	e.dst = strconv.AppendUint(e.dst, cum, 10)
 	e.dst = append(e.dst, '\n')

@@ -1,0 +1,118 @@
+package monitor
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+)
+
+// goStatNames are the runtime/metrics samples the exposition publishes.
+// The indices are fixed so appendGoStats reads by position.
+const (
+	goStatGoroutines = iota
+	goStatHeapBytes
+	goStatTotalBytes
+	goStatGCCycles
+	goStatGCPauses
+	numGoStats
+)
+
+var goStatNames = [numGoStats]string{
+	goStatGoroutines: "/sched/goroutines:goroutines",
+	goStatHeapBytes:  "/memory/classes/heap/objects:bytes",
+	goStatTotalBytes: "/memory/classes/total:bytes",
+	goStatGCCycles:   "/gc/cycles/total:gc-cycles",
+	goStatGCPauses:   "/gc/pauses:seconds",
+}
+
+// GoStats reads Go runtime telemetry for the exposition. The sample slice
+// is built once and reused, and runtime/metrics reuses histogram memory
+// across Read calls on the same samples, so a steady-state scrape stays
+// allocation-free after the warm-up Read in NewGoStats.
+type GoStats struct {
+	samples []metrics.Sample
+	// buildInfo is the pre-rendered tauw_build_info sample line: the
+	// labels never change over a process lifetime.
+	buildInfo []byte
+}
+
+// NewGoStats prepares the runtime sample set and the build-info line.
+func NewGoStats() *GoStats {
+	g := &GoStats{samples: make([]metrics.Sample, numGoStats)}
+	for i, name := range goStatNames {
+		g.samples[i].Name = name
+	}
+	metrics.Read(g.samples) // warm: allocates the pause histogram once
+	g.buildInfo = append(g.buildInfo, `tauw_build_info{go_version="`...)
+	g.buildInfo = append(g.buildInfo, runtime.Version()...)
+	g.buildInfo = append(g.buildInfo, `",goos="`...)
+	g.buildInfo = append(g.buildInfo, runtime.GOOS...)
+	g.buildInfo = append(g.buildInfo, `",goarch="`...)
+	g.buildInfo = append(g.buildInfo, runtime.GOARCH...)
+	g.buildInfo = append(g.buildInfo, "\"} 1\n"...)
+	return g
+}
+
+// uintValue extracts a sample's value as uint64, tolerating KindBad (a
+// name this runtime does not export) as 0 so a Go-version skew degrades to
+// a zero sample instead of a broken scrape.
+func uintValue(s *metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+// pauseSeconds estimates the cumulative GC stop-the-world pause time from
+// the /gc/pauses:seconds distribution: Σ count × bucket midpoint, using
+// the finite neighbour for the open-ended edge buckets. An estimate is the
+// best any exporter can do here — the runtime publishes the distribution,
+// not a running sum — and midpoints of the runtime's fine-grained buckets
+// keep the error well under the bucket width.
+func pauseSeconds(s *metrics.Sample) float64 {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := s.Value.Float64Histogram()
+	if h == nil || len(h.Buckets) != len(h.Counts)+1 {
+		return 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case math.IsInf(lo, -1):
+			lo = hi
+		case math.IsInf(hi, 1):
+			hi = lo
+		}
+		total += float64(n) * (lo + hi) / 2
+	}
+	return total
+}
+
+// appendGoStats renders the Go runtime section: scheduler and memory
+// gauges, GC counters, and the constant build-info sample.
+func (e *Exposition) appendGoStats() {
+	g := e.Go
+	metrics.Read(g.samples)
+	e.header("tauw_go_goroutines", "Live goroutines.", "gauge")
+	e.sampleUint("tauw_go_goroutines", uintValue(&g.samples[goStatGoroutines]))
+	e.header("tauw_go_heap_bytes", "Bytes of live heap objects (/memory/classes/heap/objects).", "gauge")
+	e.sampleUint("tauw_go_heap_bytes", uintValue(&g.samples[goStatHeapBytes]))
+	e.header("tauw_go_mem_total_bytes", "Total bytes of memory mapped by the Go runtime.", "gauge")
+	e.sampleUint("tauw_go_mem_total_bytes", uintValue(&g.samples[goStatTotalBytes]))
+	e.header("tauw_go_gc_cycles_total", "Completed GC cycles.", "counter")
+	e.sampleUint("tauw_go_gc_cycles_total", uintValue(&g.samples[goStatGCCycles]))
+	e.header("tauw_go_gc_pause_seconds",
+		"Estimated cumulative GC stop-the-world pause time (midpoint sum of /gc/pauses).", "counter")
+	e.dst = append(e.dst, "tauw_go_gc_pause_seconds "...)
+	e.dst = strconv.AppendFloat(e.dst, pauseSeconds(&g.samples[goStatGCPauses]), 'g', -1, 64)
+	e.dst = append(e.dst, '\n')
+	e.header("tauw_build_info", "Constant 1 labelled with the build's Go version and platform.", "gauge")
+	e.dst = append(e.dst, g.buildInfo...)
+}

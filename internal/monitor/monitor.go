@@ -27,6 +27,8 @@ import (
 	"math/bits"
 	"sync"
 	"unsafe"
+
+	"github.com/iese-repro/tauw/internal/trace"
 )
 
 // DefaultShards is the accumulator shard count used when the configuration
@@ -60,6 +62,10 @@ type Config struct {
 	Bins int
 	// Drift configures the Page-Hinkley calibration-drift detector.
 	Drift DriftConfig
+	// Trace, when set, receives a KindDrift event and an anomaly freeze
+	// the moment the detector raises an alarm, capturing the feedbacks
+	// that pushed it over the threshold in the flight recorder.
+	Trace *trace.Recorder
 }
 
 // Defaults for Config's zero values.
@@ -224,7 +230,13 @@ func (m *Monitor) Observe(trackID int, uncertainty float64, wrong bool) error {
 	}
 	sh.mu.Unlock()
 
-	m.drift.observe(se)
+	if m.drift.observe(se) {
+		// Alarm edge: stamp the event and freeze the window that led here.
+		// cfg.Trace is nil-safe, so unmonitored deployments pay only the
+		// branch inside the returned-false path above.
+		m.cfg.Trace.Record(trace.KindDrift, trace.StatusAlarm, 0, uint64(trackID), 0)
+		m.cfg.Trace.Freeze("drift_alarm")
+	}
 	return nil
 }
 

@@ -112,11 +112,13 @@ func newPageHinkley(cfg DriftConfig) pageHinkley {
 }
 
 // observe folds one squared error into the statistic, alarming and
-// re-arming on threshold crossing.
-func (p *pageHinkley) observe(se float64) {
+// re-arming on threshold crossing. It reports whether this sample raised
+// an alarm — the transition edge the flight recorder snapshots on.
+func (p *pageHinkley) observe(se float64) bool {
 	if p.cfg.Disabled {
-		return
+		return false
 	}
+	raised := false
 	p.mu.Lock()
 	p.n++
 	p.mean += (se - p.mean) / float64(p.n)
@@ -127,6 +129,7 @@ func (p *pageHinkley) observe(se float64) {
 	if p.n >= p.cfg.MinSamples && p.mT-p.minMT > p.cfg.Lambda {
 		p.alarms++
 		p.active = true
+		raised = true
 		// Re-arm: restart the statistic (and the running mean, so the
 		// detector adapts to the post-drift regime instead of alarming
 		// forever against the stale baseline).
@@ -136,6 +139,7 @@ func (p *pageHinkley) observe(se float64) {
 		p.minMT = 0
 	}
 	p.mu.Unlock()
+	return raised
 }
 
 func (p *pageHinkley) status() DriftStatus {

@@ -1,0 +1,41 @@
+package monitor
+
+// StageSet is the per-stage latency attribution of one request's path
+// through the stack: the serving layer times decode/step/encode around its
+// handlers, the durability layer times store_append/checkpoint/fsync
+// inside the write-behind loop. Each stage is a full LatencyHist (striped,
+// allocation-free), rendered on /metrics as one
+// tauw_stage_duration_seconds histogram family with a stage label — the
+// per-stage breakdown that finally attributes the HTTP-vs-handler latency
+// gap (ROADMAP item 2).
+type StageSet struct {
+	Decode      LatencyHist
+	Step        LatencyHist
+	Encode      LatencyHist
+	StoreAppend LatencyHist
+	Checkpoint  LatencyHist
+	Fsync       LatencyHist
+}
+
+// NewStageSet creates a stage set; the struct is large (striped, padded
+// histograms), so callers hold it behind the pointer.
+func NewStageSet() *StageSet { return &StageSet{} }
+
+// stageLabels pairs each stage's exposition label with its histogram, in
+// render order.
+func (s *StageSet) stages() [6]struct {
+	name string
+	hist *LatencyHist
+} {
+	return [6]struct {
+		name string
+		hist *LatencyHist
+	}{
+		{"decode", &s.Decode},
+		{"step", &s.Step},
+		{"encode", &s.Encode},
+		{"store_append", &s.StoreAppend},
+		{"checkpoint", &s.Checkpoint},
+		{"fsync", &s.Fsync},
+	}
+}

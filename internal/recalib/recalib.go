@@ -25,6 +25,7 @@ import (
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/dtree"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/trace"
 )
 
 // Config tunes the recalibration policy.
@@ -51,6 +52,11 @@ type Config struct {
 	DropPrior bool
 	// Now injects the clock (tests); nil means time.Now.
 	Now func() time.Time
+	// Trace wires substantive recalibration attempts (a retrain that
+	// swapped, or failed trying) into the flight recorder as KindRecalib
+	// events with the retrain duration; guard rejections are not recorded
+	// — the cooldown path runs per feedback and would only be noise.
+	Trace *trace.Recorder
 }
 
 // Policy defaults.
@@ -197,6 +203,10 @@ func (r *Recalibrator) attempt(auto bool) (Report, error) {
 		rep.Reason = ReasonNoEvidence
 		return rep, nil
 	}
+	var traceStart int64
+	if r.cfg.Trace != nil {
+		traceStart = r.cfg.Trace.Now()
+	}
 	cur := r.pool.CurrentTAQIM()
 	next, deltas, err := cur.Recalibrate(r.evidence, dtree.RecalibConfig{
 		MinLeafEvidence: minLeaf,
@@ -204,10 +214,12 @@ func (r *Recalibrator) attempt(auto bool) (Report, error) {
 		DropPrior:       r.cfg.DropPrior,
 	})
 	if err != nil {
+		r.traceAttempt(traceStart, trace.StatusError, 0)
 		return rep, err
 	}
 	oldV, newV, err := r.pool.SwapModel(next)
 	if err != nil {
+		r.traceAttempt(traceStart, trace.StatusError, 0)
 		return rep, err
 	}
 	// The swapped model has absorbed the accumulated evidence: restart the
@@ -224,7 +236,17 @@ func (r *Recalibrator) attempt(auto bool) (Report, error) {
 	rep.OldVersion = oldV
 	rep.NewVersion = newV
 	rep.Deltas = deltas
+	r.traceAttempt(traceStart, trace.StatusOK, newV)
 	return rep, nil
+}
+
+// traceAttempt records one substantive recalibration attempt (the retrain
+// duration, and the swapped-in version on success).
+func (r *Recalibrator) traceAttempt(start int64, status trace.Status, newVersion uint64) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	r.cfg.Trace.RecordSince(start, trace.KindRecalib, status, 0, 0, newVersion)
 }
 
 // ModelVersion implements monitor.SwapSource: the serving model revision.

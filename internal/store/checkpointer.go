@@ -17,14 +17,15 @@ package store
 
 import (
 	"fmt"
-	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/iese-repro/tauw/internal/core"
 	"github.com/iese-repro/tauw/internal/monitor"
+	"github.com/iese-repro/tauw/internal/trace"
 	"github.com/iese-repro/tauw/internal/uw"
+	"github.com/iese-repro/tauw/internal/xlog"
 )
 
 // Defaults for CheckpointConfig's zero values.
@@ -75,6 +76,18 @@ type CheckpointConfig struct {
 	// retries next tick, the pre-breaker behavior).
 	BreakerThreshold int
 	ProbeInterval    time.Duration
+
+	// Trace wires the durability layer into the flight recorder: WAL
+	// appends, flush/checkpoint cycles, every failed retry attempt, and
+	// breaker transitions (a trip also freezes the anomaly snapshot that
+	// explains it). Nil disables tracing.
+	Trace *trace.Recorder
+	// Stages, when set, receives the store_append/checkpoint/fsync stage
+	// timings of the tauw_stage_duration_seconds attribution.
+	Stages *monitor.StageSet
+	// Log is the structured logger for cycle failures and breaker
+	// transitions; nil means a default component=store logger.
+	Log *xlog.Logger
 }
 
 func (c CheckpointConfig) withDefaults() CheckpointConfig {
@@ -98,6 +111,9 @@ func (c CheckpointConfig) withDefaults() CheckpointConfig {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.Log == nil {
+		c.Log = xlog.New("store")
 	}
 	return c
 }
@@ -266,7 +282,7 @@ func (c *Checkpointer) tick(full bool) {
 		c.enterDegraded(err)
 		return
 	}
-	log.Printf("store: cycle failed (state stays dirty, retrying next tick): %v", err)
+	c.cfg.Log.Warn("cycle failed — state stays dirty, retrying next tick", "err", err)
 }
 
 // enterDegraded trips the breaker: durability is suspended (ticks stop
@@ -277,8 +293,12 @@ func (c *Checkpointer) enterDegraded(err error) {
 	c.degradedN.Add(1)
 	c.probeBackoff = c.cfg.ProbeInterval
 	c.nextProbe = c.now().Add(c.probeBackoff)
-	log.Printf("store: %d consecutive cycle failures — entering degraded mode, durability suspended, serving from RAM (probing in %v): %v",
-		c.consecFails, c.probeBackoff, err)
+	// Record the transition before freezing so the anomaly snapshot holds
+	// the breaker event alongside the store errors that tripped it.
+	c.cfg.Trace.Record(trace.KindBreaker, trace.StatusTripped, 0, 0, uint64(c.consecFails))
+	c.cfg.Trace.Freeze("breaker_trip")
+	c.cfg.Log.Error("entering degraded mode — durability suspended, serving from RAM",
+		"consecutive_failures", c.consecFails, "probe_in", c.probeBackoff, "err", err)
 }
 
 // probe is the half-open state: at most one store attempt per backoff
@@ -296,7 +316,7 @@ func (c *Checkpointer) probe() {
 			c.probeBackoff *= 2
 		}
 		c.nextProbe = c.now().Add(c.probeBackoff)
-		log.Printf("store: degraded-mode probe failed (next probe in %v): %v", c.probeBackoff, err)
+		c.cfg.Log.Warn("degraded-mode probe failed", "next_probe", c.probeBackoff, "err", err)
 		return
 	}
 	c.consecFails = 0
@@ -318,6 +338,7 @@ func (c *Checkpointer) withRetry(fn func() error) error {
 			return nil
 		}
 		c.storeErrors.Add(1)
+		c.cfg.Trace.Record(trace.KindRetry, trace.StatusError, 0, 0, uint64(attempt+1))
 		if attempt < c.cfg.RetryAttempts-1 {
 			c.sleep(c.jitter(delay))
 			delay *= 2
@@ -363,6 +384,23 @@ func (c *Checkpointer) Stop() error {
 func (c *Checkpointer) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var traceStart int64
+	if c.cfg.Trace != nil {
+		traceStart = c.cfg.Trace.Now()
+	}
+	recs0 := c.walRecords.Load()
+	err := c.flushLocked()
+	if c.cfg.Trace != nil {
+		status := trace.StatusOK
+		if err != nil {
+			status = trace.StatusError
+		}
+		c.cfg.Trace.RecordSince(traceStart, trace.KindFlush, status, 0, 0, c.walRecords.Load()-recs0)
+	}
+	return err
+}
+
+func (c *Checkpointer) flushLocked() error {
 	_, err := c.pool.CollectDirty(&c.scratch, func(st *core.SeriesState) error {
 		c.buf = AppendSeriesRecord(c.buf[:0], st)
 		return c.append(c.buf)
@@ -382,11 +420,24 @@ func (c *Checkpointer) Flush() error {
 	if err := c.appendMetaIfChanged(); err != nil {
 		return err
 	}
-	if err := c.withRetry(c.store.Sync); err != nil {
+	if err := c.timedSync(); err != nil {
 		return err
 	}
 	c.flushes.Add(1)
 	return nil
+}
+
+// timedSync is the store Sync with fsync-stage attribution: of a flush's
+// cost, the Sync is the part the deployment's storage determines, so it
+// gets its own stage histogram.
+func (c *Checkpointer) timedSync() error {
+	if c.cfg.Stages == nil {
+		return c.withRetry(c.store.Sync)
+	}
+	t0 := time.Now()
+	err := c.withRetry(c.store.Sync)
+	c.cfg.Stages.Fsync.Observe(time.Since(t0))
+	return err
 }
 
 // append writes one WAL record with the retry policy. Retrying an Append is
@@ -394,7 +445,26 @@ func (c *Checkpointer) Flush() error {
 // as if the call never happened (FileStore truncates a partial frame back
 // out), so the retry can never land behind garbage of its own making.
 func (c *Checkpointer) append(rec []byte) error {
-	if err := c.withRetry(func() error { return c.store.Append(rec) }); err != nil {
+	var traceStart int64
+	if c.cfg.Trace != nil {
+		traceStart = c.cfg.Trace.Now()
+	}
+	var t0 time.Time
+	if c.cfg.Stages != nil {
+		t0 = time.Now()
+	}
+	err := c.withRetry(func() error { return c.store.Append(rec) })
+	if c.cfg.Stages != nil {
+		c.cfg.Stages.StoreAppend.Observe(time.Since(t0))
+	}
+	if c.cfg.Trace != nil {
+		status := trace.StatusOK
+		if err != nil {
+			status = trace.StatusError
+		}
+		c.cfg.Trace.RecordSince(traceStart, trace.KindWALAppend, status, 0, 0, uint64(len(rec)))
+	}
+	if err != nil {
 		return err
 	}
 	c.walRecords.Add(1)
@@ -444,6 +514,29 @@ func (c *Checkpointer) metaRecord(dst []byte) ([]byte, error) {
 func (c *Checkpointer) Checkpoint() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var traceStart int64
+	if c.cfg.Trace != nil {
+		traceStart = c.cfg.Trace.Now()
+	}
+	var t0 time.Time
+	if c.cfg.Stages != nil {
+		t0 = time.Now()
+	}
+	err := c.checkpointLocked()
+	if c.cfg.Stages != nil {
+		c.cfg.Stages.Checkpoint.Observe(time.Since(t0))
+	}
+	if c.cfg.Trace != nil {
+		status := trace.StatusOK
+		if err != nil {
+			status = trace.StatusError
+		}
+		c.cfg.Trace.RecordSince(traceStart, trace.KindCheckpoint, status, 0, 0, c.lastCPBytes.Load())
+	}
+	return err
+}
+
+func (c *Checkpointer) checkpointLocked() error {
 	blob := c.blob[:0]
 	rec, err := c.metaRecord(c.buf[:0])
 	if err != nil {
@@ -489,7 +582,8 @@ func (c *Checkpointer) Checkpoint() error {
 	// any path that lands one (background probe, drain-time Stop, a manual
 	// trigger) closes the breaker.
 	if c.degraded.Swap(false) {
-		log.Printf("store: store recovered — degraded mode cleared, recovery checkpoint reconciled the WAL gap")
+		c.cfg.Trace.Record(trace.KindBreaker, trace.StatusRecovered, 0, 0, 0)
+		c.cfg.Log.Info("store recovered — degraded mode cleared, recovery checkpoint reconciled the WAL gap")
 	}
 	return nil
 }

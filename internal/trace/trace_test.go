@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tornMagic ties an event's fields together: writers set Arg = Series ^
+// tornMagic and Dur = -int64(Series), so any event assembled from two
+// different writes (a torn slot) breaks the invariant.
+const tornMagic = 0x5bd1e995c3b4a717
+
+func checkNotTorn(t *testing.T, evs []Event) {
+	t.Helper()
+	for i, ev := range evs {
+		if ev.Kind != KindStep {
+			continue
+		}
+		if ev.Arg != ev.Series^tornMagic || ev.Dur != -int64(ev.Series) {
+			t.Fatalf("event %d torn: series=%d arg=%#x dur=%d", i, ev.Series, ev.Arg, ev.Dur)
+		}
+	}
+}
+
+func checkOrdered(t *testing.T, evs []Event) {
+	t.Helper()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot out of order at %d: %d after %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+}
+
+// TestSnapshotWraparoundOrdering is the property test of the satellite:
+// overfill every stripe several times over from interleaved writers, then
+// require the merged snapshot to be time-ordered, capacity-bounded, and
+// free of torn events.
+func TestSnapshotWraparoundOrdering(t *testing.T) {
+	r := New(Config{Rings: 4, RingEvents: 64})
+	const total = 4 * 64 * 5 // 5x overfill
+	for i := 0; i < total; i++ {
+		s := uint64(i)
+		r.record(Event{
+			TS: r.Now(), Series: s, Dur: -int64(s), Arg: s ^ tornMagic,
+			Kind: KindStep, Shard: uint16(i % 16),
+		})
+	}
+	evs := r.Snapshot(nil)
+	if len(evs) != r.Capacity() {
+		t.Fatalf("snapshot has %d events, want full capacity %d", len(evs), r.Capacity())
+	}
+	checkOrdered(t, evs)
+	checkNotTorn(t, evs)
+	// Every stripe must have kept its *newest* events: series below the
+	// eviction horizon of the most-overwritten stripe are gone.
+	minSeries := evs[0].Series
+	for _, ev := range evs {
+		if ev.Series < minSeries {
+			minSeries = ev.Series
+		}
+	}
+	if minSeries < total-uint64(r.Capacity())-16*4 {
+		t.Fatalf("snapshot kept stale series %d after %d writes", minSeries, total)
+	}
+}
+
+// TestConcurrentRecordDumpFreeze is the race test: step/feedback/swap/
+// checkpoint writers on every stripe, concurrent snapshots, and concurrent
+// freezes, all while the shed trigger fires. Run under -race this proves
+// the spin-word protocol establishes the happens-before edges; the torn
+// check proves slot writes are atomic with respect to readers.
+func TestConcurrentRecordDumpFreeze(t *testing.T) {
+	r := New(Config{Rings: 4, RingEvents: 128, ShedPerSec: 8})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	writer := func(kind Kind, worker uint64) {
+		defer wg.Done()
+		for i := uint64(0); !stop.Load(); i++ {
+			s := worker<<32 | i
+			switch kind {
+			case KindStep:
+				start := r.Now()
+				r.record(Event{
+					TS: r.Now(), Series: s, Dur: -int64(s), Arg: s ^ tornMagic,
+					Kind: KindStep, Shard: uint16(i % 32),
+				})
+				_ = start
+			case KindShed:
+				r.Record(KindShed, StatusQueueFull, 0, 0, EndpointStep)
+			default:
+				r.RecordSince(r.Now(), kind, StatusOK, uint16(i%32), s, i)
+			}
+		}
+	}
+	for w, kind := range []Kind{KindStep, KindStep, KindFeedback, KindSwap, KindCheckpoint, KindShed} {
+		wg.Add(1)
+		go writer(kind, uint64(w))
+	}
+	wg.Add(1)
+	go func() { // the /debug/flight reader
+		defer wg.Done()
+		var buf []Event
+		for !stop.Load() {
+			buf = r.Snapshot(buf)
+			checkOrdered(t, buf)
+			checkNotTorn(t, buf)
+		}
+	}()
+	wg.Add(1)
+	go func() { // the anomaly freezer + /debug/flight/last-anomaly reader
+		defer wg.Done()
+		var buf []Event
+		for !stop.Load() {
+			r.Freeze("breaker_trip")
+			_, buf = r.LastAnomaly(buf)
+			checkNotTorn(t, buf)
+		}
+	}()
+
+	time.Sleep(200 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	info, evs := r.LastAnomaly(nil)
+	if info.Seq == 0 || len(evs) == 0 {
+		t.Fatalf("no anomaly captured after concurrent freezes (seq=%d, %d events)", info.Seq, len(evs))
+	}
+}
+
+// TestFreezeWindowAndHook pins the anomaly contract: the snapshot keeps
+// only the window, the marker event lands in the live stream, and the hook
+// reports the freeze exactly once per call.
+func TestFreezeWindowAndHook(t *testing.T) {
+	var hookReason string
+	var hookCalls, hookEvents int
+	r := New(Config{Rings: 1, RingEvents: 16, Window: time.Hour,
+		OnAnomaly: func(reason string, at int64, events int) {
+			hookReason, hookCalls, hookEvents = reason, hookCalls+1, events
+		}})
+	r.Record(KindBreaker, StatusTripped, 0, 0, 0)
+	r.Freeze("breaker_trip")
+	if hookCalls != 1 || hookReason != "breaker_trip" || hookEvents < 1 {
+		t.Fatalf("hook saw (%q, calls=%d, events=%d)", hookReason, hookCalls, hookEvents)
+	}
+	info, evs := r.LastAnomaly(nil)
+	if info.Reason != "breaker_trip" || info.Seq != 1 || info.At == 0 {
+		t.Fatalf("anomaly info = %+v", info)
+	}
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == KindBreaker && ev.Status == StatusTripped {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("frozen snapshot lost the breaker event: %+v", evs)
+	}
+	// The marker of the freeze itself must be visible to a later live dump.
+	live := r.Snapshot(nil)
+	found = false
+	for _, ev := range live {
+		if ev.Kind == KindAnomaly {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("live snapshot missing the KindAnomaly freeze marker")
+	}
+
+	// An old event outside the window must not survive a freeze.
+	r2 := New(Config{Rings: 1, RingEvents: 16, Window: time.Millisecond})
+	r2.Record(KindStep, StatusOK, 0, 7, 0)
+	time.Sleep(5 * time.Millisecond)
+	r2.Freeze("drift_alarm")
+	_, evs = r2.LastAnomaly(nil)
+	for _, ev := range evs {
+		if ev.Kind == KindStep {
+			t.Fatalf("freeze kept an event older than the window: %+v", ev)
+		}
+	}
+}
+
+// TestShedRateTrigger pins the shed-rate anomaly: crossing ShedPerSec
+// inside one second freezes exactly one "shed_rate" snapshot.
+func TestShedRateTrigger(t *testing.T) {
+	r := New(Config{Rings: 1, RingEvents: 64, ShedPerSec: 5})
+	for i := 0; i < 20; i++ {
+		r.Record(KindShed, StatusQueueFull, 0, 0, EndpointSteps)
+	}
+	info, evs := r.LastAnomaly(nil)
+	if info.Reason != "shed_rate" || info.Seq != 1 {
+		t.Fatalf("shed storm froze %+v, want one shed_rate anomaly", info)
+	}
+	sheds := 0
+	for _, ev := range evs {
+		if ev.Kind == KindShed {
+			sheds++
+		}
+	}
+	if sheds < 5 {
+		t.Fatalf("shed_rate snapshot holds %d shed events, want >= 5", sheds)
+	}
+}
+
+// TestNilRecorder pins the no-op contract every call site relies on.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Now() != 0 {
+		t.Fatal("nil Now != 0")
+	}
+	r.Record(KindStep, StatusOK, 0, 1, 2)
+	r.RecordSince(0, KindStep, StatusOK, 0, 1, 2)
+	r.Freeze("x")
+	if got := r.Snapshot(nil); len(got) != 0 {
+		t.Fatalf("nil Snapshot returned %d events", len(got))
+	}
+	if info, evs := r.LastAnomaly(nil); info.Seq != 0 || len(evs) != 0 {
+		t.Fatal("nil LastAnomaly returned data")
+	}
+	if r.Capacity() != 0 {
+		t.Fatal("nil Capacity != 0")
+	}
+}
+
+// TestNames pins the wire names the flight encoder emits.
+func TestNames(t *testing.T) {
+	if KindStep.Name() != "step" || KindWALAppend.Name() != "wal_append" ||
+		KindAnomaly.Name() != "anomaly" || Kind(200).Name() != "unknown" {
+		t.Fatal("kind names diverged from the wire contract")
+	}
+	if StatusOK.Name() != "ok" || StatusTripped.Name() != "tripped" ||
+		StatusDeadline.Name() != "deadline" || Status(200).Name() != "unknown" {
+		t.Fatal("status names diverged from the wire contract")
+	}
+}
+
+// TestConfigNormalisation pins the power-of-two rounding and defaults.
+func TestConfigNormalisation(t *testing.T) {
+	r := New(Config{})
+	if len(r.rings) != DefaultRings || len(r.rings[0].buf) != DefaultRingEvents {
+		t.Fatalf("zero config gave %d rings x %d events", len(r.rings), len(r.rings[0].buf))
+	}
+	r = New(Config{Rings: 3, RingEvents: 100})
+	if len(r.rings) != 4 || len(r.rings[0].buf) != 128 {
+		t.Fatalf("rounding gave %d rings x %d events, want 4 x 128", len(r.rings), len(r.rings[0].buf))
+	}
+	r = New(Config{ShedPerSec: -1})
+	for i := 0; i < 100; i++ {
+		r.Record(KindShed, StatusQueueFull, 0, 0, 0)
+	}
+	if info, _ := r.LastAnomaly(nil); info.Seq != 0 {
+		t.Fatal("ShedPerSec < 0 must disable the shed trigger")
+	}
+}

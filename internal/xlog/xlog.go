@@ -1,0 +1,160 @@
+// Package xlog is the serving stack's structured-logging shim: leveled
+// key=value lines with a consistent component field and an injectable
+// sink. It deliberately stays tiny — logfmt rendering onto the standard
+// library's log package, no dependencies, no background state — because
+// its job is uniformity (every subsystem logs `level=... component=...
+// msg="..." k=v`), not a logging framework. Log sites are cold paths
+// (startup, shutdown, failures, transitions); the hot path's telemetry
+// lives in internal/monitor and internal/trace.
+package xlog
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"sync/atomic"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's logfmt name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// Sink receives one rendered line (no trailing newline). The default sink
+// hands lines to the standard library logger, keeping its timestamps so a
+// migrated subsystem's output stays greppable next to unmigrated lines.
+type Sink func(line string)
+
+// defaultSink is process-wide and swappable for tests that capture every
+// component's output at once.
+var defaultSink atomic.Pointer[Sink]
+
+func init() {
+	s := Sink(func(line string) { log.Print(line) })
+	defaultSink.Store(&s)
+}
+
+// SetDefaultSink replaces the process-wide sink and returns the previous
+// one, for tests to restore.
+func SetDefaultSink(s Sink) Sink {
+	old := defaultSink.Swap(&s)
+	return *old
+}
+
+// Logger renders leveled logfmt lines for one component. The zero value is
+// unusable; construct with New. Loggers are immutable — With* methods
+// return copies — so handing one to another goroutine is always safe.
+type Logger struct {
+	component string
+	min       Level
+	sink      Sink // nil means the process default
+}
+
+// New returns a logger for a component ("server", "durability",
+// "admission", "recalib", "trace", ...) at the default Info threshold.
+func New(component string) *Logger {
+	return &Logger{component: component, min: LevelInfo}
+}
+
+// WithSink returns a copy whose lines go to s instead of the process
+// default.
+func (l *Logger) WithSink(s Sink) *Logger {
+	c := *l
+	c.sink = s
+	return &c
+}
+
+// WithLevel returns a copy that drops records below min.
+func (l *Logger) WithLevel(min Level) *Logger {
+	c := *l
+	c.min = min
+	return &c
+}
+
+// Component returns the logger's component name.
+func (l *Logger) Component() string { return l.component }
+
+func (l *Logger) emit(lv Level, msg string, kv []any) {
+	if lv < l.min {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + len(msg))
+	b.WriteString("level=")
+	b.WriteString(lv.String())
+	b.WriteString(" component=")
+	b.WriteString(l.component)
+	b.WriteString(" msg=")
+	appendValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		appendValue(&b, fmt.Sprint(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		// An odd trailing key is a programming error at the call site;
+		// surface it in the line instead of silently dropping the value.
+		b.WriteString(" !BADKEY=")
+		appendValue(&b, fmt.Sprint(kv[len(kv)-1]))
+	}
+	sink := l.sink
+	if sink == nil {
+		sink = *defaultSink.Load()
+	}
+	sink(b.String())
+}
+
+// appendValue writes v, quoting when it contains logfmt metacharacters so
+// lines stay machine-splittable on spaces.
+func appendValue(b *strings.Builder, v string) {
+	if strings.ContainsAny(v, " \t\n\"=") || v == "" {
+		b.WriteString(fmt.Sprintf("%q", v))
+		return
+	}
+	b.WriteString(v)
+}
+
+// Debug logs at LevelDebug; kv is alternating key/value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.emit(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.emit(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.emit(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.emit(LevelError, msg, kv) }
+
+// Printf is the migration escape hatch: printf-style sites that predate
+// the shim render their formatted text as the msg of an error-level record
+// (the historical logf sites all reported failures). New call sites should
+// use the structured methods instead.
+func (l *Logger) Printf(format string, args ...any) {
+	l.emit(LevelError, fmt.Sprintf(format, args...), nil)
+}

@@ -1,0 +1,91 @@
+package xlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func capture(l *Logger) (*Logger, *[]string) {
+	lines := &[]string{}
+	return l.WithSink(func(line string) { *lines = append(*lines, line) }), lines
+}
+
+func TestRendering(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(l *Logger)
+		want string
+	}{
+		{"plain", func(l *Logger) { l.Info("listening", "addr", ":8080") },
+			`level=info component=server msg=listening addr=:8080`},
+		{"quoted msg", func(l *Logger) { l.Warn("degraded mode cleared", "errors", 3) },
+			`level=warn component=server msg="degraded mode cleared" errors=3`},
+		{"quoted value", func(l *Logger) { l.Error("write failed", "err", "connection lost") },
+			`level=error component=server msg="write failed" err="connection lost"`},
+		{"empty value", func(l *Logger) { l.Info("x", "k", "") },
+			`level=info component=server msg=x k=""`},
+		{"equals in value", func(l *Logger) { l.Info("x", "k", "a=b") },
+			`level=info component=server msg=x k="a=b"`},
+		{"non-string key", func(l *Logger) { l.Info("x", 7, "v") },
+			`level=info component=server msg=x 7=v`},
+		{"odd kv", func(l *Logger) { l.Info("x", "orphan") },
+			`level=info component=server msg=x !BADKEY=orphan`},
+		{"printf", func(l *Logger) { l.Printf("writing %d response: %v", 200, "connection lost") },
+			`level=error component=server msg="writing 200 response: connection lost"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, lines := capture(New("server"))
+			tc.emit(l)
+			if len(*lines) != 1 || (*lines)[0] != tc.want {
+				t.Fatalf("got %q\nwant %q", *lines, tc.want)
+			}
+		})
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	l, lines := capture(New("store"))
+	l.Debug("hidden")
+	if len(*lines) != 0 {
+		t.Fatalf("debug leaked through the default Info threshold: %q", *lines)
+	}
+	dl, dlines := capture(New("store"))
+	dl = dl.WithLevel(LevelDebug)
+	dl.Debug("visible")
+	if len(*dlines) != 1 || !strings.Contains((*dlines)[0], "level=debug") {
+		t.Fatalf("debug level lost a record: %q", *dlines)
+	}
+	el, elines := capture(New("store"))
+	el = el.WithLevel(LevelError)
+	el.Warn("hidden")
+	el.Error("kept")
+	if len(*elines) != 1 || !strings.Contains((*elines)[0], "msg=kept") {
+		t.Fatalf("error threshold kept %q", *elines)
+	}
+}
+
+func TestDefaultSinkSwap(t *testing.T) {
+	var got []string
+	old := SetDefaultSink(func(line string) { got = append(got, line) })
+	defer SetDefaultSink(old)
+	New("durability").Info("final checkpoint written", "checkpoints", 2, "flushes", 9)
+	if len(got) != 1 ||
+		got[0] != `level=info component=durability msg="final checkpoint written" checkpoints=2 flushes=9` {
+		t.Fatalf("default sink saw %q", got)
+	}
+}
+
+// TestImmutability pins that With* returns copies: a leveled variant must
+// not change the original's threshold.
+func TestImmutability(t *testing.T) {
+	l, lines := capture(New("a"))
+	_ = l.WithLevel(LevelError)
+	l.Info("still visible")
+	if len(*lines) != 1 {
+		t.Fatalf("WithLevel mutated the receiver: %q", *lines)
+	}
+	if l.Component() != "a" {
+		t.Fatalf("component = %q", l.Component())
+	}
+}
