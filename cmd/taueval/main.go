@@ -7,6 +7,8 @@
 //
 //	taueval [-preset quick|paper|tiny] [-experiment all|fig4|table1|fig5|fig6|fig7|ablations]
 //	        [-seed N] [-rules] [-json out.json]
+//
+//tauw:cli
 package main
 
 import (

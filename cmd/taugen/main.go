@@ -6,6 +6,8 @@
 // Usage:
 //
 //	taugen [-series N] [-seed N] [-format summary|json|csv] [-out file]
+//
+//tauw:cli
 package main
 
 import (

@@ -135,6 +135,7 @@ func appendErrorResponse(dst []byte, msg string) []byte {
 	return append(dst, '}', '\n')
 }
 
+//tauw:hotpath
 func appendStepResponse(dst []byte, r *stepResponse) ([]byte, error) {
 	var err error
 	dst = append(dst, `{"series_id":`...)
@@ -185,6 +186,8 @@ func appendBatchItemResponse(dst []byte, r *batchItemResponse) ([]byte, error) {
 // renders as null, as the stdlib encodes nil slices (the handlers never
 // produce one — an empty batch is rejected before encoding — but the
 // differential fuzz covers the shape).
+//
+//tauw:hotpath
 func appendBatchStepResponse(dst []byte, r *batchStepResponse) ([]byte, error) {
 	var err error
 	if r.Results == nil {
@@ -259,7 +262,8 @@ func (d *decoder) reset(buf []byte) {
 }
 
 func (d *decoder) errAt(format string, args ...any) error {
-	return fmt.Errorf("invalid JSON at offset %d: %s", d.pos, fmt.Sprintf(format, args...))
+	args = append([]any{d.pos}, args...)
+	return fmt.Errorf("invalid JSON at offset %d: "+format, args...)
 }
 
 func (d *decoder) skipSpace() {
@@ -619,6 +623,8 @@ func (d *decoder) maybeNull() (bool, error) {
 // whole decode; semantic quality errors land in out.itemErr with parsing
 // continuing, so one bad item cannot fail a batch. A null in place of the
 // object yields the zero item, as the stdlib decoder would.
+//
+//tauw:hotpath
 func (d *decoder) decodeStepItem(out *wireStep) error {
 	*out = wireStep{qf: d.qfVector()}
 	pixelSize := 0.0

@@ -8,6 +8,7 @@
 package main
 
 import (
+	//tauwcheck:ignore codecpure debug-only fault-plan endpoint, not a serving codec
 	"encoding/json"
 	"fmt"
 	"net/http"

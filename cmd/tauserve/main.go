@@ -87,6 +87,13 @@
 //	GET    /healthz            liveness
 //	GET    /readyz             readiness (503 while draining; 200 "degraded" while durability is suspended)
 //	POST   /debug/fault        reprogram the injected store fault plan (-fault-inject only)
+//
+// The step/steps/feedback codecs in this package are hand-rolled
+// (codec.go); //tauw:codec machine-enforces that they stay that way. The
+// two encoding/json imports that remain (debug fault config, cold admin
+// responses) carry explicit tauwcheck:ignore exemptions.
+//
+//tauw:codec
 package main
 
 import (

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	//tauwcheck:ignore codecpure cold admin responses only; hot codecs are hand-rolled in codec.go
 	"encoding/json"
 	"errors"
 	"fmt"

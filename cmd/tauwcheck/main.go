@@ -1,0 +1,124 @@
+// Command tauwcheck runs the repo's invariant analyzers — hotpath, seam,
+// xlogonly, shardpad, lockorder, codecpure — over the module. It speaks two
+// protocols:
+//
+//	tauwcheck [packages]            standalone: load, analyze, print, exit 1
+//	go vet -vettool=$(which tauwcheck) ./...
+//
+// The second form is the CI gate: cmd/go drives the tool once per package
+// (plus facts-only passes over dependencies), caches results, and relays
+// diagnostics. Run `tauwcheck -help` for the suite's documentation.
+//
+//tauw:cli
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/driver"
+	"github.com/iese-repro/tauw/internal/analysis/load"
+	"github.com/iese-repro/tauw/internal/analysis/suite"
+	"github.com/iese-repro/tauw/internal/analysis/unit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	analyzers := suite.Analyzers()
+
+	// The `go vet` handshake: cmd/go first asks for the tool's flags
+	// (JSON), then its version (for the build cache key), then invokes it
+	// with a single vet.cfg argument per package.
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(a, "-V"):
+			printVersion()
+			return 0
+		case a == "-help" || a == "--help" || a == "help":
+			usage(analyzers)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		fset, diags, err := unit.Run(args[0], analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tauwcheck: %v\n", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			}
+			return 2
+		}
+		return 0
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := load.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tauwcheck: %v\n", err)
+		return 1
+	}
+	diags, err := driver.Run(res, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tauwcheck: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", res.Fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tauwcheck: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// printVersion implements the -V=full protocol: cmd/go hashes the output
+// into the vet cache key, so it must change whenever the tool's behavior
+// does — hashing the executable itself guarantees that without manual
+// version bumps during analyzer development.
+func printVersion() {
+	h := fnv.New64a()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("tauwcheck version devel buildID=%x\n", h.Sum64())
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Println("tauwcheck: static enforcement of the repo's hot-path, codec, and seam invariants")
+	fmt.Println()
+	fmt.Println("usage:")
+	fmt.Println("  tauwcheck [packages]                     # standalone, e.g. tauwcheck ./...")
+	fmt.Println("  go vet -vettool=$(which tauwcheck) ./... # as the CI gate runs it")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	sorted := append([]*analysis.Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("suppress one finding with `//tauwcheck:ignore <analyzer> <reason>` on or")
+	fmt.Println("directly above the offending line; see CONTRIBUTING.md for the annotation")
+	fmt.Println("reference (//tauw:hotpath, //tauw:seam, //tauw:pad=N, ...).")
+}

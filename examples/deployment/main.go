@@ -4,6 +4,8 @@
 // function with no access to the training objects) loads the bundle,
 // reassembles the wrapper, and audits the model through its leaf report —
 // the workflow a safety team would follow.
+//
+//tauw:cli
 package main
 
 import (

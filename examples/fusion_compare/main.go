@@ -2,6 +2,8 @@
 // timeseries and shows how to plug a custom information-fusion rule into the
 // wrapper stack. It needs no training: the per-step uncertainties are given,
 // which isolates the behaviour of the fusion rules themselves.
+//
+//tauw:cli
 package main
 
 import (

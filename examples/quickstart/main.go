@@ -13,6 +13,8 @@
 // The "model" here is a simulated classifier whose error rate depends on a
 // single quality factor, so the example runs in milliseconds; swap in any
 // real model that yields (outcome, quality factors) per frame.
+//
+//tauw:cli
 package main
 
 import (

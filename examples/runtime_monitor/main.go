@@ -14,6 +14,8 @@
 // accumulated per-leaf evidence, and the refreshed model is hot-swapped
 // into the pool with zero downtime — the model version in every result
 // ticks up while traffic keeps flowing.
+//
+//tauw:cli
 package main
 
 import (

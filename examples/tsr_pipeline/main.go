@@ -3,6 +3,8 @@
 // situation settings, DDM training, Kalman tracking for series segmentation,
 // majority-vote information fusion, and the timeseries-aware uncertainty
 // wrapper — the architecture of the paper's Fig. 2.
+//
+//tauw:cli
 package main
 
 import (

@@ -1,0 +1,125 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer / Pass /
+// Diagnostic / object-fact machinery to drive the repo's tauwcheck suite
+// from both a standalone loader and the `go vet -vettool` protocol. It is
+// deliberately stdlib-only — the toolchain image this repo builds in has
+// no module proxy, so the framework the analyzers run on is part of the
+// codebase, pinned and testable like everything else.
+//
+// The shape mirrors x/tools so the analyzers would port with trivial
+// mechanical changes if the dependency ever becomes available: an Analyzer
+// has a Name, a Doc string, and a Run function over a Pass; a Pass exposes
+// the parsed files, the type-checked package, sizes, and fact import/export
+// for cross-package reasoning.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //tauwcheck:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description: first line is a summary.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+
+	// FactTypes lists prototype values of every fact type the analyzer
+	// exports or imports. An analyzer with no FactTypes is skipped
+	// entirely on facts-only (VetxOnly) passes.
+	FactTypes []Fact
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Module is the module path of the package under analysis, or "" when
+	// unknown. Analyzers use it to distinguish module-internal callees
+	// (which carry facts) from external ones.
+	Module string
+
+	report func(Diagnostic)
+	facts  *FactStore
+}
+
+// NewPass assembles a Pass. The report callback receives every diagnostic;
+// facts may be nil for analyzers that declare no FactTypes.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes, module string, facts *FactStore, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+		Module:     module,
+		report:     report,
+		facts:      facts,
+	}
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExportObjectFact attaches fact to obj, which must be a package-level
+// object of the package under analysis. The fact becomes visible to later
+// passes over packages that import this one.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) error {
+	if p.facts == nil {
+		return fmt.Errorf("analysis: %s declared no FactTypes", p.Analyzer.Name)
+	}
+	if obj == nil || obj.Pkg() != p.Pkg {
+		return fmt.Errorf("analysis: fact on object %v outside package %v", obj, p.Pkg)
+	}
+	return p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact previously exported for obj (by this
+// analyzer, possibly while analyzing another package) into the pointer
+// fact, reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	return p.facts.importInto(p.Analyzer.Name, obj, fact)
+}
+
+// Validate checks the analyzer set for driver use: unique non-empty names.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Name == "" || a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q missing name or run function", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// InTestFile reports whether pos lies in a _test.go file. Several analyzers
+// exempt tests by policy (tests may use encoding/json oracles, real clocks,
+// and plain printing freely).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Callee resolves the static callee of a call expression: a package-level
+// function, or a method called on a concrete (non-interface) receiver.
+// Returns nil for calls through interfaces, function values, conversions,
+// and builtins — those have no statically known body.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch: no static body
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier pkg.Func.
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// InModule reports whether pkg belongs to the module under analysis.
+func (p *Pass) InModule(pkg *types.Package) bool {
+	if pkg == nil || p.Module == "" {
+		return false
+	}
+	path := pkg.Path()
+	return path == p.Module || strings.HasPrefix(path, p.Module+"/")
+}
+
+// PkgPathSuffix reports whether pkg's import path is path or ends in
+// "/"+path. Analyzers match repo packages by suffix (e.g. "internal/trace")
+// so their test fixtures — separate little modules — can stand in for the
+// real packages.
+func PkgPathSuffix(pkg *types.Package, path string) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == path || strings.HasSuffix(pkg.Path(), "/"+path)
+}
+
+// FuncDeclRanges maps each function declaration to its source extent, for
+// analyzers that need "is this position inside a //tauw:<x> function".
+type FuncDeclRanges struct {
+	decls []declRange
+}
+
+type declRange struct {
+	start, end token.Pos
+}
+
+// CollectFuncDirectiveRanges records the extents of all function
+// declarations in files whose doc comment carries //tauw:<name>.
+func CollectFuncDirectiveRanges(files []*ast.File, name string) *FuncDeclRanges {
+	r := &FuncDeclRanges{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !HasDirective(fd.Doc, name) {
+				continue
+			}
+			r.decls = append(r.decls, declRange{start: fd.Pos(), end: fd.End()})
+		}
+	}
+	return r
+}
+
+// Contains reports whether pos falls inside any recorded declaration.
+func (r *FuncDeclRanges) Contains(pos token.Pos) bool {
+	for _, d := range r.decls {
+		if d.start <= pos && pos < d.end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+// Package atest is the repo's analysistest equivalent: it drives the
+// tauwcheck analyzers over a hermetic fixture module and checks the
+// diagnostics against `// want "regexp"` comments in the fixture sources.
+//
+// A fixture is a directory under testdata containing a self-contained Go
+// module (conventionally `module tauwfix`, stdlib-only so the load works
+// offline). Run copies it into t.TempDir() — so a test can freely mutate
+// the copy for red→green proofs — loads it through the same loader the
+// standalone tauwcheck binary uses, runs the analyzers through the same
+// driver, and then matches:
+//
+//   - every diagnostic must be claimed by a want on its file:line;
+//   - every want must be claimed by a diagnostic.
+//
+// Want syntax, on the line the diagnostic is expected:
+//
+//	code() // want "first regexp" "second regexp"
+//
+// Each quoted string is one expected diagnostic whose message must match
+// the regexp. Fixture files must be gofmt-clean and must compile: CI's
+// gofmt sweep covers testdata, and the loader type-checks fixtures with
+// the same strictness as real packages.
+package atest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/driver"
+	"github.com/iese-repro/tauw/internal/analysis/load"
+)
+
+// wantRE extracts the quoted regexps of one want comment: double-quoted
+// or backquoted, as in analysistest.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`")
+
+type want struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run copies the fixture module at dir (a path relative to the test's
+// working directory, conventionally testdata/<name>) into a fresh temp
+// dir, analyzes ./... with the given analyzers, and reports every mismatch
+// between diagnostics and want comments as a test error. It returns the
+// temp dir so callers can mutate the fixture and re-run for red→green
+// proofs.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer) string {
+	t.Helper()
+	tmp := t.TempDir()
+	if err := copyTree(dir, tmp); err != nil {
+		t.Fatalf("atest: copying fixture %s: %v", dir, err)
+	}
+	RunDir(t, tmp, analyzers)
+	return tmp
+}
+
+// RunDir is Run on a fixture already on disk (no copy): the module at dir
+// is analyzed in place and diagnostics are matched against its current
+// want comments. Use after mutating the copy Run returned.
+func RunDir(t *testing.T, dir string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	res, err := load.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("atest: loading fixture %s: %v", dir, err)
+	}
+	diags, err := driver.Run(res, analyzers)
+	if err != nil {
+		t.Fatalf("atest: running analyzers: %v", err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatalf("atest: scanning want comments: %v", err)
+	}
+
+	for _, d := range diags {
+		pos := res.Fset.Position(d.Pos)
+		if w := claim(wants, filepath.Base(pos.Filename), pos.Line, d.Message); w == nil {
+			t.Errorf("atest: unexpected diagnostic at %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("atest: no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks and returns the first unclaimed want on file:line whose
+// regexp matches msg.
+func claim(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants scans every .go file under dir for `// want` comments. The
+// scan is textual (line-based) rather than AST-based so wants attach to
+// the exact line they sit on, test files included.
+func collectWants(dir string) ([]*want, error) {
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			ms := wantRE.FindAllStringSubmatch(spec, -1)
+			if len(ms) == 0 {
+				return fmt.Errorf("%s:%d: want comment without a quoted regexp", path, i+1)
+			}
+			for _, m := range ms {
+				raw := m[1]
+				if m[2] != "" {
+					raw = m[2]
+				}
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, raw, err)
+				}
+				wants = append(wants, &want{file: filepath.Base(path), line: i + 1, re: re, raw: raw})
+			}
+		}
+		return nil
+	})
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return wants, err
+}
+
+// copyTree copies the fixture tree at src into dst (which must exist).
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}

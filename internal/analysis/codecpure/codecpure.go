@@ -1,0 +1,43 @@
+// Package codecpure enforces the repo's reflection-free codec discipline:
+// a package marked //tauw:codec (the wire protocol, the snapshot codec,
+// the tauserve request/response codecs) must not import reflect or
+// encoding/json outside its _test.go files. Tests are exempt by design —
+// the codecs are proven byte-identical to encoding/json by differential
+// tests, so the stdlib package is their oracle, never their implementation.
+package codecpure
+
+import (
+	"strconv"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+var forbidden = map[string]bool{
+	"reflect":       true,
+	"encoding/json": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "codecpure",
+	Doc:  "packages marked //tauw:codec may not import reflect or encoding/json outside tests",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMarked(pass.Files, "codec") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !forbidden[path] {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "codecpure: //tauw:codec package imports %s outside tests (codecs must stay reflection-free; keep stdlib JSON as a test oracle only)", path)
+		}
+	}
+	return nil
+}

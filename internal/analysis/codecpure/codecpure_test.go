@@ -1,0 +1,94 @@
+package codecpure_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/codecpure"
+	"github.com/iese-repro/tauw/internal/analysis/driver"
+	"github.com/iese-repro/tauw/internal/analysis/load"
+)
+
+func TestCodecpure(t *testing.T) {
+	atest.Run(t, "testdata/codec", []*analysis.Analyzer{codecpure.Analyzer})
+}
+
+// TestCodecpureRedToGreen proves the analyzer goes quiet once the banned
+// import is removed — the finding is driven by the code, not the fixture's
+// want comments.
+func TestCodecpureRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/codec", []*analysis.Analyzer{codecpure.Analyzer})
+
+	green := `//tauw:codec
+package wire
+
+// Uses is the hand-rolled replacement: no reflective codec imports left.
+func Uses() string { return "ok" }
+`
+	if err := os.WriteFile(filepath.Join(tmp, "wire", "wire.go"), []byte(green), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{codecpure.Analyzer})
+}
+
+// TestIgnoreNeedsReason pins the driver-level rule that an exemption
+// without a reason is itself a finding — and that the finding cannot be
+// suppressed by another ignore.
+func TestIgnoreNeedsReason(t *testing.T) {
+	tmp := atest.Run(t, "testdata/codec", []*analysis.Analyzer{codecpure.Analyzer})
+
+	path := filepath.Join(tmp, "wire", "exempt.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the reason: the import it used to exempt becomes a real finding
+	// again, and the reasonless directive is reported on top.
+	bad := strings.Replace(string(src),
+		"//tauwcheck:ignore codecpure cold debug endpoint, not a serving codec",
+		"//tauwcheck:ignore codecpure",
+		1)
+	if bad == string(src) {
+		t.Fatal("fixture ignore directive not found")
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := load.Load(tmp, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(res, []*analysis.Analyzer{codecpure.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawReasonless, sawImport bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "needs a reason") {
+			sawReasonless = true
+		}
+		if d.Analyzer == "codecpure" && strings.Contains(d.Message, "encoding/json") &&
+			strings.HasSuffix(res.Fset.Position(d.Pos).Filename, "exempt.go") {
+			sawImport = true
+		}
+	}
+	if !sawReasonless {
+		t.Errorf("reasonless ignore directive not reported: %v", messages(diags))
+	}
+	if !sawImport {
+		t.Errorf("import behind the broken exemption not reported: %v", messages(diags))
+	}
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Message
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package plain is not marked //tauw:codec: stdlib JSON is fine here.
+package plain
+
+import "encoding/json"
+
+// Valid reports whether b is valid JSON.
+func Valid(b []byte) bool { return json.Valid(b) }

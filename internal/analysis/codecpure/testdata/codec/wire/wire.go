@@ -1,0 +1,15 @@
+// Package wire is a fixture codec package: marked //tauw:codec, so the
+// reflective stdlib codecs are banned outside tests.
+//
+//tauw:codec
+package wire
+
+import (
+	"encoding/json" // want "codecpure: //tauw:codec package imports encoding/json"
+	"reflect"       // want "codecpure: //tauw:codec package imports reflect"
+)
+
+// Uses keeps the banned imports referenced so the fixture compiles.
+func Uses() string {
+	return reflect.TypeOf(json.Valid).String()
+}

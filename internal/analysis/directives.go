@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's machine-readable annotations are line comments of the form
+//
+//	//tauw:<name>            e.g. //tauw:hotpath, //tauw:codec
+//	//tauw:<name>=<value>    e.g. //tauw:pad=128
+//
+// attached to the declaration they describe (function, struct type, field,
+// or — for package-scope marks like //tauw:codec and //tauw:seam — any
+// standalone comment in a non-test file, conventionally next to the
+// package clause). Like go:build constraints they must start the comment:
+// no space after //, nothing before tauw:.
+//
+// Suppression uses a separate namespace so greps for policy exceptions stay
+// trivial:
+//
+//	//tauwcheck:ignore <analyzer> <reason...>
+//
+// which silences that analyzer on the directive's own line and the line
+// directly below it (covering both trailing and standalone placement). The
+// reason is mandatory; a directive without one is itself a finding.
+
+const (
+	directivePrefix = "//tauw:"
+	ignorePrefix    = "//tauwcheck:ignore"
+)
+
+// HasDirective reports whether the comment group carries //tauw:<name>.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	_, ok := DirectiveValue(doc, name)
+	return ok
+}
+
+// DirectiveValue returns the value of a //tauw:<name>=<value> directive in
+// doc ("" for the value-less form) and whether the directive is present.
+func DirectiveValue(doc *ast.CommentGroup, name string) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if v, ok := parseDirective(c.Text, name); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func parseDirective(text, name string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == name {
+		return "", true
+	}
+	if v, ok := strings.CutPrefix(rest, name+"="); ok {
+		return strings.TrimSpace(v), true
+	}
+	return "", false
+}
+
+// PackageMarked reports whether any comment in the given files carries the
+// package-scope directive //tauw:<name>. Test files are conventionally
+// excluded by the caller (the loader only parses non-test files).
+func PackageMarked(files []*ast.File, name string) bool {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			if HasDirective(cg, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IgnoreSet records, per file and line, which analyzers are suppressed.
+type IgnoreSet struct {
+	// byLine maps "filename\x00line" -> set of analyzer names ("*" never
+	// used; suppression is always analyzer-specific by design).
+	byLine map[ignoreKey]map[string]bool
+}
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// CollectIgnores scans the files' comments for //tauwcheck:ignore
+// directives. Malformed directives (missing analyzer or reason) are
+// returned as diagnostics attributed to the pseudo-analyzer "tauwcheck";
+// those cannot themselves be suppressed.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) (*IgnoreSet, []Diagnostic) {
+	set := &IgnoreSet{byLine: make(map[ignoreKey]map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "ignore directive needs an analyzer name and a reason: //tauwcheck:ignore <analyzer> <reason>",
+						Analyzer: "tauwcheck",
+					})
+					continue
+				}
+				if len(fields) == 1 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  "ignore directive for " + fields[0] + " needs a reason: //tauwcheck:ignore " + fields[0] + " <reason>",
+						Analyzer: "tauwcheck",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := ignoreKey{file: pos.Filename, line: line}
+					if set.byLine[k] == nil {
+						set.byLine[k] = make(map[string]bool)
+					}
+					set.byLine[k][fields[0]] = true
+				}
+			}
+		}
+	}
+	return set, bad
+}
+
+// Suppressed reports whether d is silenced by an ignore directive.
+func (s *IgnoreSet) Suppressed(fset *token.FileSet, d Diagnostic) bool {
+	if d.Analyzer == "tauwcheck" {
+		return false
+	}
+	return s.SuppressedAt(fset, d.Pos, d.Analyzer)
+}
+
+// SuppressedAt reports whether the given analyzer is silenced at pos.
+// Analyzers that model code structure (hotpath's call-graph traversal) use
+// this during analysis, not just at report time, so an exempted line also
+// stops propagation — an ignore on a call site severs the hot-path edge
+// instead of merely hiding one diagnostic.
+func (s *IgnoreSet) SuppressedAt(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	if s == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return s.byLine[ignoreKey{file: p.Filename, line: p.Line}][analyzer]
+}

@@ -1,0 +1,64 @@
+// Package driver runs a tauwcheck analyzer suite over packages loaded by
+// internal/analysis/load: dependency order, facts threaded forward in
+// memory, //tauwcheck:ignore directives applied, diagnostics reported only
+// for the packages the caller actually named (dependencies are analyzed
+// for facts alone).
+package driver
+
+import (
+	"sort"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/load"
+)
+
+// Run applies analyzers to every type-checked package in res.
+func Run(res *load.Result, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var all []analysis.Diagnostic
+	var facts []analysis.FactRecord
+	for _, pkg := range res.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		store := analysis.NewFactStore(pkg.PkgPath, facts)
+		var diags []analysis.Diagnostic
+		report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+		for _, a := range analyzers {
+			if pkg.DepOnly && len(a.FactTypes) == 0 {
+				continue // facts-only pass: nothing to produce
+			}
+			pass := analysis.NewPass(a, res.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Sizes, pkg.Module, store, report)
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		facts = append(facts, store.Exported()...)
+		if pkg.DepOnly {
+			continue
+		}
+		ignores, bad := analysis.CollectIgnores(res.Fset, pkg.Files)
+		all = append(all, bad...)
+		for _, d := range diags {
+			if !ignores.Suppressed(res.Fset, d) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := res.Fset.Position(all[i].Pos), res.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Message < all[j].Message
+	})
+	return all, nil
+}

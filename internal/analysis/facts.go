@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// Fact is a marker interface for analyzer facts: serializable statements
+// about package-level objects that cross package boundaries. Implementations
+// must be gob-encodable.
+type Fact interface{ AFact() }
+
+// ObjectKey returns a stable, export-data-independent key for a
+// package-level object: "Name" for functions/vars/types, "(T).Name" or
+// "(*T).Name" for methods. The second result is false for objects facts
+// cannot address (locals, fields, imported dot idents, ...).
+//
+// The key is deliberately independent of go/types object identity: the same
+// function is a *types.Func from source when its package is under analysis
+// and a different *types.Func from export data when an importer looks it
+// up, and the key must match across the two.
+func ObjectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		recv := sig.Recv()
+		if recv == nil {
+			if fn.Parent() != nil && fn.Parent() != obj.Pkg().Scope() {
+				return "", false // function literal or local
+			}
+			return fn.Name(), true
+		}
+		t := recv.Type()
+		ptr := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			ptr = "*"
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return "", false
+		}
+		return "(" + ptr + named.Obj().Name() + ")." + fn.Name(), true
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// FactRecord is the serialized form of one exported fact.
+type FactRecord struct {
+	Analyzer string // analyzer name
+	PkgPath  string // package of the object the fact is about
+	ObjKey   string // ObjectKey of the object
+	Type     string // fmt.Sprintf("%T") of the concrete fact value
+	Data     []byte // gob encoding of the concrete fact value
+}
+
+// FactStore holds the facts visible while analyzing one package (imported
+// from dependencies) plus the facts that package exports. A store is built
+// per analyzed package; the driver threads dependency facts forward either
+// in memory (standalone mode) or through vetx files (vettool mode).
+type FactStore struct {
+	in  map[string]FactRecord // (analyzer, pkg, key, type) -> record
+	out []FactRecord
+	pkg string // path of the package under analysis
+}
+
+// NewFactStore returns a store for analyzing package pkgPath with the given
+// imported dependency facts available.
+func NewFactStore(pkgPath string, imported []FactRecord) *FactStore {
+	in := make(map[string]FactRecord, len(imported))
+	for _, r := range imported {
+		in[factKey(r.Analyzer, r.PkgPath, r.ObjKey, r.Type)] = r
+	}
+	return &FactStore{in: in, pkg: pkgPath}
+}
+
+func factKey(analyzer, pkg, obj, typ string) string {
+	return analyzer + "\x00" + pkg + "\x00" + obj + "\x00" + typ
+}
+
+func (s *FactStore) export(analyzer string, obj types.Object, fact Fact) error {
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return fmt.Errorf("analysis: object %v is not fact-addressable", obj)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return fmt.Errorf("analysis: encoding %T fact: %w", fact, err)
+	}
+	rec := FactRecord{
+		Analyzer: analyzer,
+		PkgPath:  obj.Pkg().Path(),
+		ObjKey:   key,
+		Type:     fmt.Sprintf("%T", fact),
+		Data:     buf.Bytes(),
+	}
+	s.out = append(s.out, rec)
+	// Facts about the package under analysis are importable within the
+	// same run (an analyzer may consult facts it just exported).
+	s.in[factKey(rec.Analyzer, rec.PkgPath, rec.ObjKey, rec.Type)] = rec
+	return nil
+}
+
+func (s *FactStore) importInto(analyzer string, obj types.Object, fact Fact) bool {
+	key, ok := ObjectKey(obj)
+	if !ok {
+		return false
+	}
+	rec, ok := s.in[factKey(analyzer, obj.Pkg().Path(), key, fmt.Sprintf("%T", fact))]
+	if !ok {
+		return false
+	}
+	return gob.NewDecoder(bytes.NewReader(rec.Data)).Decode(fact) == nil
+}
+
+// Exported returns the facts the analyzed package exported, in a
+// deterministic order.
+func (s *FactStore) Exported() []FactRecord {
+	out := append([]FactRecord(nil), s.out...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.ObjKey != b.ObjKey {
+			return a.ObjKey < b.ObjKey
+		}
+		return a.Type < b.Type
+	})
+	return out
+}
+
+// WriteFactFile serializes fact records to path (the vettool VetxOutput
+// contract: the file must exist even when there are no facts).
+func WriteFactFile(path string, recs []FactRecord) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o666)
+}
+
+// ReadFactFile reads records written by WriteFactFile.
+func ReadFactFile(path string) ([]FactRecord, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []FactRecord
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("analysis: fact file %s: %w", path, err)
+	}
+	return recs, nil
+}

@@ -1,0 +1,287 @@
+// Package hotpath machine-enforces the repo's zero-allocation discipline:
+// a function annotated //tauw:hotpath — the pool step/batch paths, the wire
+// codec, the tauserve request codecs, the trace recorder — and everything
+// it statically calls within the module may not use the constructs the
+// discipline bans: defer (measurable per-call cost on a ~200ns path),
+// encoding/json and the fmt.Sprint* family (allocation by contract),
+// map/channel/closure literals (allocation by construction), and explicit
+// interface-boxing conversions.
+//
+// Reachability is computed over static calls: in-package calls are followed
+// transitively, calls into other module packages are resolved through
+// exported Impure facts (each package exports, for every package-level
+// function, why it would be illegal on a hot path — so `go vet`'s
+// per-package fact pipeline carries the transitive closure across package
+// boundaries). Dynamic calls (interface methods, function values) cannot be
+// followed and are trusted; the benchmark alloc-gate remains the runtime
+// backstop for those.
+//
+// fmt.Errorf is deliberately allowed: hot functions keep error paths, the
+// discipline is about the happy path, and the benchmark gate pins 0
+// allocs/op there. What the analyzer bans is the set of constructs that
+// allocate on *every* invocation.
+//
+// //tauwcheck:ignore hotpath <reason> has edge-severing semantics here: an
+// ignored line not only silences its own violation, it also stops the
+// traversal through any call on that line. That is how a hot function
+// declares a deliberate cold branch — the pool's reference replay path, the
+// recorder's once-per-storm anomaly freeze — without exempting the callee
+// for every other caller.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+// Impure is the exported fact: the function cannot appear on a hot path,
+// with human-readable reasons (capped; the first is the primary).
+type Impure struct {
+	Reasons []string
+}
+
+func (*Impure) AFact() {}
+
+const maxReasons = 3
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotpath",
+	Doc:       "//tauw:hotpath functions and their static callees may not defer, allocate literals, box interfaces, or call fmt.Sprint*/encoding/json",
+	FactTypes: []analysis.Fact{(*Impure)(nil)},
+	Run:       run,
+}
+
+// bannedStdlib maps stdlib callees to the reason they are banned. Any
+// function in encoding/json is banned wholesale.
+var bannedFmt = map[string]bool{"Sprintf": true, "Sprint": true, "Sprintln": true}
+
+type violation struct {
+	pos token.Pos
+	msg string
+}
+
+type calleeRef struct {
+	fn  *types.Func
+	pos token.Pos
+}
+
+type funcInfo struct {
+	obj     *types.Func
+	decl    *ast.FuncDecl
+	hot     bool
+	direct  []violation
+	inPkg   []calleeRef // static calls to package-level funcs/methods of this package
+	crossed []calleeRef // static calls into other packages of the module
+}
+
+func run(pass *analysis.Pass) error {
+	// The ignore set severs traversal (see the package comment); malformed
+	// directives are the driver's to report.
+	ignores, _ := analysis.CollectIgnores(pass.Fset, pass.Files)
+	funcs := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj, decl: fd, hot: analysis.HasDirective(fd.Doc, "hotpath")}
+			scanBody(pass, ignores, fi)
+			funcs[obj] = fi
+			order = append(order, fi)
+		}
+	}
+
+	// Transitive impurity for fact export: every package-level function
+	// that is (or calls into) something banned gets an Impure fact, so a
+	// hot path in another package sees through the call.
+	memo := map[*types.Func][]string{}
+	onStack := map[*types.Func]bool{}
+	var impurity func(fi *funcInfo) []string
+	impurity = func(fi *funcInfo) []string {
+		if r, ok := memo[fi.obj]; ok {
+			return r
+		}
+		if onStack[fi.obj] {
+			return nil // cycle: resolved by the other frames
+		}
+		onStack[fi.obj] = true
+		defer func() { onStack[fi.obj] = false }()
+		var reasons []string
+		for _, v := range fi.direct {
+			reasons = appendReason(reasons, fmt.Sprintf("%s (at %s)", v.msg, shortPos(pass, v.pos)))
+		}
+		for _, c := range fi.inPkg {
+			if callee, ok := funcs[c.fn]; ok {
+				if sub := impurity(callee); len(sub) > 0 {
+					reasons = appendReason(reasons, fmt.Sprintf("calls %s: %s", c.fn.Name(), sub[0]))
+				}
+			}
+		}
+		for _, c := range fi.crossed {
+			var fact Impure
+			if pass.ImportObjectFact(c.fn, &fact) && len(fact.Reasons) > 0 {
+				reasons = appendReason(reasons, fmt.Sprintf("calls %s.%s: %s", c.fn.Pkg().Name(), c.fn.Name(), fact.Reasons[0]))
+			}
+		}
+		memo[fi.obj] = reasons
+		return reasons
+	}
+	for _, fi := range order {
+		if reasons := impurity(fi); len(reasons) > 0 {
+			if err := pass.ExportObjectFact(fi.obj, &Impure{Reasons: reasons}); err != nil {
+				// Non-addressable objects (none in practice: FuncDecls are
+				// package-level) just don't export.
+				continue
+			}
+		}
+	}
+
+	// Diagnostics: BFS from each //tauw:hotpath root through in-package
+	// static calls; report direct violations where they occur, and
+	// cross-package calls whose target carries an Impure fact at the call
+	// site.
+	type visit struct {
+		fi  *funcInfo
+		via string
+	}
+	reported := map[*types.Func]bool{}
+	for _, root := range order {
+		if !root.hot {
+			continue
+		}
+		queue := []visit{{fi: root, via: root.obj.Name()}}
+		seen := map[*types.Func]bool{root.obj: true}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if !reported[v.fi.obj] {
+				reported[v.fi.obj] = true
+				suffix := ""
+				if v.fi != root || !v.fi.hot {
+					suffix = fmt.Sprintf(" (hot via %s)", v.via)
+				}
+				for _, viol := range v.fi.direct {
+					pass.Reportf(viol.pos, "hotpath: %s in hot path%s", viol.msg, suffix)
+				}
+				for _, c := range v.fi.crossed {
+					var fact Impure
+					if pass.ImportObjectFact(c.fn, &fact) && len(fact.Reasons) > 0 {
+						pass.Reportf(c.pos, "hotpath: call to %s.%s in hot path%s: %s", c.fn.Pkg().Name(), c.fn.Name(), suffix, fact.Reasons[0])
+					}
+				}
+			}
+			for _, c := range v.fi.inPkg {
+				callee, ok := funcs[c.fn]
+				if !ok || seen[c.fn] {
+					continue
+				}
+				seen[c.fn] = true
+				queue = append(queue, visit{fi: callee, via: v.via + " -> " + c.fn.Name()})
+			}
+		}
+	}
+	return nil
+}
+
+// scanBody records a function's direct violations and static call edges.
+// Nodes on an ignored line are skipped entirely — no violation, no edge.
+func scanBody(pass *analysis.Pass, ignores *analysis.IgnoreSet, fi *funcInfo) {
+	severed := func(pos token.Pos) bool {
+		return ignores.SuppressedAt(pass.Fset, pos, "hotpath")
+	}
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if !severed(n.Pos()) {
+				fi.direct = append(fi.direct, violation{n.Pos(), "defer"})
+			}
+		case *ast.FuncLit:
+			if !severed(n.Pos()) {
+				fi.direct = append(fi.direct, violation{n.Pos(), "closure literal"})
+			}
+		case *ast.CompositeLit:
+			if severed(n.Pos()) {
+				break
+			}
+			if t := pass.TypesInfo.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					fi.direct = append(fi.direct, violation{n.Pos(), "map literal"})
+				}
+			}
+		case *ast.CallExpr:
+			if !severed(n.Pos()) {
+				scanCall(pass, fi, n)
+			}
+		}
+		return true
+	})
+}
+
+func scanCall(pass *analysis.Pass, fi *funcInfo, call *ast.CallExpr) {
+	// Conversions: flag concrete-to-interface boxing.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if len(call.Args) == 1 && types.IsInterface(target) {
+			if at := pass.TypesInfo.TypeOf(call.Args[0]); at != nil && !types.IsInterface(at) {
+				if b, ok := at.Underlying().(*types.Basic); !ok || b.Kind() != types.UntypedNil {
+					fi.direct = append(fi.direct, violation{call.Pos(), fmt.Sprintf("interface-boxing conversion to %s", types.TypeString(target, types.RelativeTo(pass.Pkg)))})
+				}
+			}
+		}
+		return
+	}
+	// Builtins: make(map...) / make(chan...).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "make" && len(call.Args) >= 1 {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			if t := pass.TypesInfo.TypeOf(call.Args[0]); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					fi.direct = append(fi.direct, violation{call.Pos(), "make(map)"})
+				case *types.Chan:
+					fi.direct = append(fi.direct, violation{call.Pos(), "make(chan)"})
+				}
+			}
+			return
+		}
+	}
+	fn := pass.Callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return // dynamic call: trusted, the alloc-gate benchmarks backstop it
+	}
+	switch {
+	case fn.Pkg().Path() == "fmt" && bannedFmt[fn.Name()]:
+		fi.direct = append(fi.direct, violation{call.Pos(), "call to fmt." + fn.Name()})
+	case fn.Pkg().Path() == "encoding/json":
+		fi.direct = append(fi.direct, violation{call.Pos(), "call to encoding/json." + fn.Name()})
+	case fn.Pkg() == pass.Pkg:
+		fi.inPkg = append(fi.inPkg, calleeRef{fn: fn, pos: call.Pos()})
+	case pass.InModule(fn.Pkg()):
+		fi.crossed = append(fi.crossed, calleeRef{fn: fn, pos: call.Pos()})
+	}
+}
+
+func appendReason(reasons []string, r string) []string {
+	if len(reasons) >= maxReasons {
+		return reasons
+	}
+	return append(reasons, r)
+}
+
+func shortPos(pass *analysis.Pass, pos token.Pos) string {
+	p := pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,74 @@
+package hotpath_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	atest.Run(t, "testdata/hot", []*analysis.Analyzer{hotpath.Analyzer})
+}
+
+// TestHotpathRedToGreen removes the root annotation: with no hot root in
+// the package, every finding must disappear (cold code may allocate).
+func TestHotpathRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/hot", []*analysis.Analyzer{hotpath.Analyzer})
+
+	path := filepath.Join(tmp, "step", "step.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := strings.ReplaceAll(string(src), "//tauw:hotpath\n", "")
+	if cold == string(src) {
+		t.Fatal("fixture //tauw:hotpath roots not found")
+	}
+	cold = stripWants(cold)
+	if err := os.WriteFile(path, []byte(cold), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{hotpath.Analyzer})
+}
+
+// TestSeveringRemovedGoesRed drops the edge-severing exemption in Severed:
+// the cross-package call must surface with the transitive reason.
+func TestSeveringRemovedGoesRed(t *testing.T) {
+	tmp := atest.Run(t, "testdata/hot", []*analysis.Analyzer{hotpath.Analyzer})
+
+	path := filepath.Join(tmp, "step", "step.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(src),
+		`		//tauwcheck:ignore hotpath reference replay branch, never taken in production
+		return dep.Indirect(x)`,
+		"\t\treturn dep.Indirect(x) // want `hotpath: call to dep.Indirect in hot path: calls Render: call to fmt.Sprintf`",
+		1)
+	if bad == string(src) {
+		t.Fatal("fixture severing exemption not found")
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{hotpath.Analyzer})
+}
+
+// stripWants drops the want comments so the mutated fixture expects
+// silence.
+func stripWants(src string) string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		if head, _, ok := strings.Cut(line, "// want "); ok {
+			line = strings.TrimRight(head, " \t")
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,14 @@
+// Package dep exports helpers whose (im)purity must cross the package
+// boundary as facts.
+package dep
+
+import "fmt"
+
+// Pure is fine to call from a hot path.
+func Pure(x int) int { return x * 2 }
+
+// Render allocates by contract: any hot caller must be flagged.
+func Render(x int) string { return fmt.Sprintf("%d", x) }
+
+// Indirect hides the allocation one hop deeper.
+func Indirect(x int) string { return Render(x) }

@@ -1,0 +1,62 @@
+// Package step exercises the hot-path discipline: direct violations,
+// transitive in-package calls, cross-package facts, and edge-severing
+// exemptions.
+package step
+
+import (
+	"fmt"
+
+	"tauwfix/dep"
+)
+
+// Step is the fixture hot root.
+//
+//tauw:hotpath
+func Step(x int) (int, error) {
+	defer release()              // want "hotpath: defer in hot path"
+	f := func() int { return x } // want "hotpath: closure literal in hot path"
+	m := map[int]int{x: x}       // want "hotpath: map literal in hot path"
+	c := make(chan int)          // want `hotpath: make\(chan\) in hot path`
+	s := fmt.Sprintf("%d", x)    // want "hotpath: call to fmt.Sprintf in hot path"
+	var sink any = x             // interface boxing via assignment is implicit; conversions are what the analyzer sees
+	box := any(x)                // want "hotpath: interface-boxing conversion to any in hot path"
+	helper(x)
+	_ = dep.Indirect(x) // want `hotpath: call to dep.Indirect in hot path: calls Render: call to fmt.Sprintf`
+	if x < 0 {
+		return 0, fmt.Errorf("step: negative input %d", x) // fmt.Errorf is allowed: error path
+	}
+	_, _, _, _, _ = f, m, c, s, sink
+	_ = box
+	_ = dep.Pure(x)
+	return x, nil
+}
+
+// helper is hot only by reachability from Step.
+func helper(x int) {
+	sink = fmt.Sprint(x) // want `hotpath: call to fmt.Sprint in hot path \(hot via Step -> helper\)`
+}
+
+// cold is never reached from a hot root: anything goes.
+func cold(x int) string {
+	defer release()
+	return fmt.Sprintf("%d", x)
+}
+
+// Severed demonstrates the edge-severing exemption: the ignored call into
+// the allocating oracle is a declared cold branch.
+//
+//tauw:hotpath
+func Severed(x int) string {
+	if x < 0 {
+		//tauwcheck:ignore hotpath reference replay branch, never taken in production
+		return dep.Indirect(x)
+	}
+	return ""
+}
+
+var sink string
+
+func release() {}
+
+// use keeps cold referenced so the fixture compiles vet-clean.
+var _ = cold

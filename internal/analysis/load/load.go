@@ -1,0 +1,180 @@
+// Package load turns `go list -export` output into type-checked packages
+// for the tauwcheck analyzers, with no dependency outside the standard
+// library: sources are parsed with go/parser and type-checked against the
+// gc export data the build cache already holds for every dependency. This
+// is the standalone driver's loader (cmd/tauwcheck run on package
+// patterns); the `go vet -vettool` path gets the same information from the
+// vet.cfg file instead.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded package. Standard-library and other
+// dependency-only packages carry their metadata but are not type-checked
+// from source (Files/Types are nil for them unless they are module
+// packages, which are analyzed for facts).
+type Package struct {
+	PkgPath string
+	Dir     string
+	GoFiles []string
+	Module  string // module path, "" for standard library
+	DepOnly bool   // true when listed only as a dependency of the patterns
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	Sizes   types.Sizes
+}
+
+// Result is a load in dependency order (dependencies before dependents),
+// sharing one FileSet.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+type listJSON struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (with -deps) in dir and type-checks every module
+// package from source. Returns an error if listing fails or any module
+// package does not type-check — tauwcheck is a checker for compiling
+// trees, not a compiler frontend.
+func Load(dir string, patterns []string) (*Result, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Module,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	var metas []listJSON
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listJSON
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		metas = append(metas, p)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+
+	res := &Result{Fset: fset}
+	for _, m := range metas {
+		pkg := &Package{
+			PkgPath: m.ImportPath,
+			Dir:     m.Dir,
+			GoFiles: absFiles(m.Dir, m.GoFiles),
+			DepOnly: m.DepOnly,
+			Fset:    fset,
+			Sizes:   sizes,
+		}
+		if m.Module != nil {
+			pkg.Module = m.Module.Path
+		}
+		// Only module packages are analyzed from source; the standard
+		// library (and any vendored dependency) is trusted at the
+		// analyzer-policy level, not re-checked.
+		if pkg.Module != "" && len(m.CgoFiles) == 0 {
+			if err := typecheck(pkg, m, imp); err != nil {
+				return nil, err
+			}
+		}
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+// absFiles resolves go list's Dir-relative file names.
+func absFiles(dir string, files []string) []string {
+	out := make([]string, len(files))
+	for i, f := range files {
+		if filepath.IsAbs(f) {
+			out[i] = f
+		} else {
+			out[i] = filepath.Join(dir, f)
+		}
+	}
+	return out
+}
+
+func typecheck(pkg *Package, m listJSON, imp types.Importer) error {
+	for _, f := range pkg.GoFiles {
+		af, err := parser.ParseFile(pkg.Fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		pkg.Files = append(pkg.Files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    pkg.Sizes,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(m.ImportPath, pkg.Fset, pkg.Files, info)
+	if len(typeErrs) > 0 {
+		return fmt.Errorf("load: %s does not type-check: %w", m.ImportPath, errors.Join(typeErrs...))
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}

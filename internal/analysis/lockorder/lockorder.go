@@ -1,0 +1,236 @@
+// Package lockorder machine-enforces the PR 9 tracing rule: the flight
+// recorder's ring stripes are guarded by a spin word, so a trace event must
+// never be recorded while a hot-path mutex is held — the spin would extend
+// the critical section, and a frozen ring would wedge every stepper stuck
+// behind the lock. Mutex fields annotated //tauw:notrace declare that
+// contract; this analyzer flags any internal/trace Record* call lexically
+// inside their Lock()...Unlock() window (a deferred Unlock extends the
+// window to the end of the function).
+//
+// The analysis is lexical, per function, per mutex *field* (not per
+// instance): exactly the shape of the invariant — "record after the wrapper
+// lock drops" is a source-layout rule, and a lexical checker catches the
+// regression the moment a refactor hoists a Record call above an Unlock.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "no internal/trace Record* call lexically inside a //tauw:notrace mutex's critical section",
+	Run:  run,
+}
+
+var lockNames = map[string]bool{"Lock": true, "RLock": true}
+var unlockNames = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func run(pass *analysis.Pass) error {
+	annotated := collectAnnotatedMutexFields(pass)
+	if len(annotated) == 0 {
+		return nil
+	}
+	w := &walker{pass: pass, annotated: annotated}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.stmts(fd.Body.List, map[*types.Var]token.Pos{})
+			}
+		}
+	}
+	return nil
+}
+
+// collectAnnotatedMutexFields finds struct fields whose declaration carries
+// //tauw:notrace (doc comment above, or line comment after).
+func collectAnnotatedMutexFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				if !analysis.HasDirective(fld.Doc, "notrace") && !analysis.HasDirective(fld.Comment, "notrace") {
+					continue
+				}
+				for _, name := range fld.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type walker struct {
+	pass      *analysis.Pass
+	annotated map[*types.Var]bool
+}
+
+// stmts processes a statement sequence, threading the held-lock set through
+// it. Nested control flow gets a copy: a Lock inside a branch does not leak
+// past the branch, matching the lexical reading of the invariant.
+func (w *walker) stmts(list []ast.Stmt, held map[*types.Var]token.Pos) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[*types.Var]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if fld, isLock, ok := w.lockCall(call); ok {
+				if isLock {
+					held[fld] = call.Pos()
+				} else {
+					delete(held, fld)
+				}
+				return
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the critical section open to the end of
+		// the function: leave held untouched. Any other deferred call is
+		// scanned like an expression — it is lexically inside the window.
+		if _, isLock, ok := w.lockCall(s.Call); ok && !isLock {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		w.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// The goroutine body runs outside the lexical critical section.
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// expr scans an expression subtree for trace-record calls while locks are
+// held.
+func (w *walker) expr(e ast.Expr, held map[*types.Var]token.Pos) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := w.pass.Callee(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if !analysis.PkgPathSuffix(fn.Pkg(), "internal/trace") || !strings.HasPrefix(fn.Name(), "Record") {
+			return true
+		}
+		for fld, lockPos := range held {
+			w.pass.Reportf(call.Pos(), "lockorder: trace.%s while holding //tauw:notrace mutex %s (locked at %s) — record after the lock drops, the ring spin word must never nest inside it",
+				fn.Name(), fld.Name(), w.pass.Fset.Position(lockPos))
+			break
+		}
+		return true
+	})
+}
+
+// lockCall matches calls of the form <expr>.<field>.Lock/Unlock where
+// <field> is an annotated mutex field, returning the field and whether the
+// call acquires.
+func (w *walker) lockCall(call *ast.CallExpr) (*types.Var, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	isLock := lockNames[sel.Sel.Name]
+	if !isLock && !unlockNames[sel.Sel.Name] {
+		return nil, false, false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fld, ok := w.pass.TypesInfo.Uses[inner.Sel].(*types.Var)
+	if !ok || !w.annotated[fld] {
+		return nil, false, false
+	}
+	return fld, isLock, true
+}
+
+func copyHeld(held map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

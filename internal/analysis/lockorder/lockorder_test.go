@@ -1,0 +1,44 @@
+package lockorder_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	atest.Run(t, "testdata/locks", []*analysis.Analyzer{lockorder.Analyzer})
+}
+
+// TestLockorderRedToGreen hoists the bad record below the unlock and
+// expects silence for that function.
+func TestLockorderRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/locks", []*analysis.Analyzer{lockorder.Analyzer})
+
+	path := filepath.Join(tmp, "pool", "pool.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(string(src),
+		`	w.mu.Lock()
+	w.n++
+	rec.Record(1) // want "lockorder: trace.Record while holding //tauw:notrace mutex mu"
+	w.mu.Unlock()`,
+		`	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+	rec.Record(1)`, 1)
+	if fixed == string(src) {
+		t.Fatal("fixture bad function not found")
+	}
+	if err := os.WriteFile(path, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{lockorder.Analyzer})
+}

@@ -1,0 +1,3 @@
+module tauwfix
+
+go 1.23

@@ -1,0 +1,15 @@
+// Package trace is the fixture stand-in for the real flight recorder: the
+// analyzer matches it by its internal/trace import-path suffix.
+package trace
+
+// Recorder is a minimal ring stand-in.
+type Recorder struct{}
+
+// Record logs one event.
+func (r *Recorder) Record(kind int) {}
+
+// RecordSince logs one timed event.
+func (r *Recorder) RecordSince(start int64, kind int) {}
+
+// Snapshot is not a Record* call and must never be flagged.
+func (r *Recorder) Snapshot() []int { return nil }

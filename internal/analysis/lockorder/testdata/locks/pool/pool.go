@@ -1,0 +1,83 @@
+// Package pool exercises the //tauw:notrace critical-section rule.
+package pool
+
+import (
+	"sync"
+
+	"tauwfix/internal/trace"
+)
+
+// wrapper is the fixture hot-path struct.
+type wrapper struct {
+	//tauw:notrace
+	mu sync.Mutex
+	// free is an ordinary mutex: tracing under it is allowed.
+	free sync.Mutex
+	n    int
+}
+
+// bad records while the annotated lock is held.
+func bad(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	w.n++
+	rec.Record(1) // want "lockorder: trace.Record while holding //tauw:notrace mutex mu"
+	w.mu.Unlock()
+}
+
+// badDefer holds to the end of the function: the deferred unlock does not
+// close the lexical window.
+func badDefer(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec.RecordSince(0, 1) // want "lockorder: trace.RecordSince while holding //tauw:notrace mutex mu"
+}
+
+// good records after the lock drops — the shape the rule wants.
+func good(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	w.n++
+	w.mu.Unlock()
+	rec.Record(1)
+}
+
+// goodBranch locks only inside the branch: the critical section cannot
+// leak past it.
+func goodBranch(w *wrapper, rec *trace.Recorder, cond bool) {
+	if cond {
+		w.mu.Lock()
+		w.n++
+		w.mu.Unlock()
+	}
+	rec.Record(1)
+}
+
+// goodOtherMutex holds an unannotated lock: not this analyzer's business.
+func goodOtherMutex(w *wrapper, rec *trace.Recorder) {
+	w.free.Lock()
+	rec.Record(1)
+	w.free.Unlock()
+}
+
+// goodGoroutine spawns the record into its own goroutine: it runs outside
+// the lexical critical section.
+func goodGoroutine(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	go rec.Record(1)
+}
+
+// goodSnapshot calls a non-Record trace function under the lock.
+func goodSnapshot(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_ = rec.Snapshot()
+}
+
+// exempted documents a reviewed exception: a frozen recorder can never
+// spin, so this call is safe despite its shape.
+func exempted(w *wrapper, rec *trace.Recorder) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	//tauwcheck:ignore lockorder recorder is frozen here, the stripe can never spin
+	rec.Record(1)
+}

@@ -1,0 +1,80 @@
+// Package seam enforces clock/rng injectability: a package marked
+// //tauw:seam (store, recalib, monitor) promises that every test can drive
+// its timing and randomness deterministically, so the ambient sources —
+// time.Now, time.Sleep, math/rand — may only be touched by the functions
+// that wire the injectable defaults, and those are annotated
+// //tauw:seamimpl. Everything else must go through the seam fields
+// (c.now, c.sleep, c.rng, ...), or a test somewhere is flaky by
+// construction.
+//
+// Both calls and bare references (e.g. storing time.Now in a field outside
+// a seamimpl constructor) are flagged; _test.go files are exempt.
+package seam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seam",
+	Doc:  "packages marked //tauw:seam may touch time.Now/time.Sleep/math/rand only inside //tauw:seamimpl functions",
+	Run:  run,
+}
+
+// forbiddenTime lists the ambient-clock entry points in package time.
+// Duration arithmetic and formatting are pure and stay allowed.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMarked(pass.Files, "seam") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		impl := analysis.CollectFuncDirectiveRanges([]*ast.File{f}, "seamimpl")
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			var what string
+			switch {
+			case obj.Pkg().Path() == "time" && forbiddenTime[obj.Name()]:
+				what = "time." + obj.Name()
+			case randPkgs[obj.Pkg().Path()]:
+				if _, isFn := obj.(*types.Func); !isFn {
+					if _, isVar := obj.(*types.Var); !isVar {
+						return true // types and constants are fine
+					}
+				}
+				what = obj.Pkg().Path() + "." + obj.Name()
+			default:
+				return true
+			}
+			if impl.Contains(sel.Pos()) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "seam: %s in a //tauw:seam package — route it through the injectable seam, or annotate the wiring function //tauw:seamimpl", what)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package seam_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/seam"
+)
+
+func TestSeam(t *testing.T) {
+	atest.Run(t, "testdata/seams", []*analysis.Analyzer{seam.Analyzer})
+}
+
+// TestSeamRedToGreen rewrites the leaky methods through the seam and
+// expects silence.
+func TestSeamRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/seams", []*analysis.Analyzer{seam.Analyzer})
+
+	path := filepath.Join(tmp, "clocked", "clocked.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	green := `// Package clocked is a fixture //tauw:seam package: ambient time and rand
+// belong in //tauw:seamimpl wiring functions only.
+//
+//tauw:seam
+package clocked
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Ticker owns an injectable clock.
+type Ticker struct {
+	now   func() time.Time
+	jit   func() float64
+	limit time.Duration
+}
+
+// New wires the ambient defaults — the one place they are allowed.
+//
+//tauw:seamimpl
+func New(limit time.Duration) *Ticker {
+	return &Ticker{now: time.Now, jit: rand.Float64, limit: limit}
+}
+
+// Leaky now routes everything through the seam.
+func (t *Ticker) Leaky(since time.Time) bool {
+	if t.now().Sub(since) > t.limit {
+		return true
+	}
+	return t.jit() < 0.5
+}
+`
+	_ = src
+	if err := os.WriteFile(path, []byte(green), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{seam.Analyzer})
+}
+
+// TestSeamimplRemovedGoesRed strips the //tauw:seamimpl mark from the
+// wiring constructor: its time.Now / rand.Float64 references must surface.
+func TestSeamimplRemovedGoesRed(t *testing.T) {
+	tmp := atest.Run(t, "testdata/seams", []*analysis.Analyzer{seam.Analyzer})
+
+	path := filepath.Join(tmp, "clocked", "clocked.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(src), "//\n//tauw:seamimpl\n", "//\n", 1)
+	if bad == string(src) {
+		t.Fatal("fixture //tauw:seamimpl mark not found")
+	}
+	bad = strings.Replace(bad,
+		"return &Ticker{now: time.Now, jit: rand.Float64, limit: limit}",
+		"return &Ticker{now: time.Now, jit: rand.Float64, limit: limit} // want \"seam: time.Now\" `seam: math/rand.Float64`",
+		1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{seam.Analyzer})
+}

@@ -1,0 +1,58 @@
+// Package clocked is a fixture //tauw:seam package: ambient time and rand
+// belong in //tauw:seamimpl wiring functions only.
+//
+//tauw:seam
+package clocked
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Ticker owns an injectable clock.
+type Ticker struct {
+	now   func() time.Time
+	jit   func() float64
+	limit time.Duration
+}
+
+// New wires the ambient defaults — the one place they are allowed.
+//
+//tauw:seamimpl
+func New(limit time.Duration) *Ticker {
+	return &Ticker{now: time.Now, jit: rand.Float64, limit: limit}
+}
+
+// Expired goes through the seam: allowed.
+func (t *Ticker) Expired(since time.Time) bool {
+	return t.now().Sub(since) > t.limit
+}
+
+// Leaky bypasses the seam in three ways.
+func (t *Ticker) Leaky(since time.Time) bool {
+	if time.Since(since) > t.limit { // want "seam: time.Since in a //tauw:seam package"
+		return true
+	}
+	time.Sleep(time.Millisecond) // want "seam: time.Sleep in a //tauw:seam package"
+	return rand.Float64() < 0.5  // want `seam: math/rand.Float64 in a //tauw:seam package`
+}
+
+// Stash stores the ambient clock outside a seamimpl function: a bare
+// reference is as much of a leak as a call.
+func (t *Ticker) Stash() {
+	t.now = time.Now // want "seam: time.Now in a //tauw:seam package"
+}
+
+// Bounded uses duration arithmetic and constants only: allowed.
+func (t *Ticker) Bounded(d time.Duration) time.Duration {
+	if d > t.limit {
+		return t.limit
+	}
+	return d
+}
+
+// Probe documents a reviewed exception inline.
+func (t *Ticker) Probe() time.Time {
+	//tauwcheck:ignore seam half-open probe timing is observability-only, never asserted in tests
+	return time.Now()
+}

@@ -1,0 +1,7 @@
+// Package free is not marked //tauw:seam: ambient time is fine.
+package free
+
+import "time"
+
+// Stamp returns the current wall clock.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,108 @@
+// Package shardpad machine-checks the false-sharing defence: a struct
+// annotated //tauw:pad=N must have a types.Sizes-verified size that is a
+// positive multiple of N, so no two shards in a backing array can share a
+// cache line (or an adjacent-line prefetch pair) whatever the array's base
+// alignment. It replaces the hand-written unsafe.Sizeof tests the repo
+// used to re-write for every new padded shard struct; one runtime test
+// remains as an analyzer-vs-runtime cross-check.
+//
+// The analyzer also pins the padding idiom itself: the annotated struct's
+// payload must sit at offset 0 (first field), so shard selection lands
+// directly on the hot head of the stride.
+package shardpad
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shardpad",
+	Doc:  "structs marked //tauw:pad=N must be sized to a positive multiple of N bytes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				// The directive may sit on the TypeSpec (grouped decls) or
+				// on the GenDecl (the common single-type form).
+				val, ok := DirectiveFor(gd, ts)
+				if !ok {
+					continue
+				}
+				check(pass, ts, val)
+			}
+		}
+	}
+	return nil
+}
+
+// DirectiveFor extracts //tauw:pad=N for one type spec.
+func DirectiveFor(gd *ast.GenDecl, ts *ast.TypeSpec) (string, bool) {
+	if v, ok := analysis.DirectiveValue(ts.Doc, "pad"); ok {
+		return v, true
+	}
+	if len(gd.Specs) == 1 {
+		if v, ok := analysis.DirectiveValue(gd.Doc, "pad"); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func check(pass *analysis.Pass, ts *ast.TypeSpec, val string) {
+	stride, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || stride <= 0 {
+		pass.Reportf(ts.Pos(), "shardpad: malformed //tauw:pad=%s on %s: the value must be a positive byte stride, e.g. //tauw:pad=128", val, ts.Name.Name)
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		pass.Reportf(ts.Pos(), "shardpad: //tauw:pad=%d on %s, which is not a struct", stride, ts.Name.Name)
+		return
+	}
+	size := pass.TypesSizes.Sizeof(obj.Type())
+	if size == 0 || size%stride != 0 {
+		pass.Reportf(ts.Pos(), "shardpad: %s is %d bytes, not a positive multiple of the declared %d-byte stride — false-sharing pad is broken", ts.Name.Name, size, stride)
+		return
+	}
+	// Payload-at-offset-0: the pad must trail the state, never displace it.
+	if st.NumFields() > 0 {
+		offsets := pass.TypesSizes.Offsetsof(structFields(st))
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() == "_" {
+				continue
+			}
+			if offsets[i] == 0 {
+				return // some payload field leads the struct: idiom intact
+			}
+		}
+		pass.Reportf(ts.Pos(), "shardpad: %s has no payload field at offset 0 — the pad must follow the shard state, not precede it", ts.Name.Name)
+	}
+}
+
+func structFields(st *types.Struct) []*types.Var {
+	fields := make([]*types.Var, st.NumFields())
+	for i := range fields {
+		fields[i] = st.Field(i)
+	}
+	return fields
+}

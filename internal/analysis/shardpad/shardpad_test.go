@@ -1,0 +1,43 @@
+package shardpad_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/shardpad"
+)
+
+func TestShardpad(t *testing.T) {
+	atest.Run(t, "testdata/pads", []*analysis.Analyzer{shardpad.Analyzer})
+}
+
+// TestShardpadRedToGreen adds the missing pad array to the broken shard
+// and expects its finding (and only its finding) to disappear.
+func TestShardpadRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/pads", []*analysis.Analyzer{shardpad.Analyzer})
+
+	path := filepath.Join(tmp, "shards", "shards.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := strings.Replace(string(src),
+		`type brokenShard struct { // want "shardpad: brokenShard is 16 bytes, not a positive multiple of the declared 128-byte stride"
+	goodState
+}`,
+		`type brokenShard struct {
+	goodState
+	_ [stride - unsafe.Sizeof(goodState{})%stride]byte
+}`, 1)
+	if fixed == string(src) {
+		t.Fatal("fixture brokenShard not found")
+	}
+	if err := os.WriteFile(path, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{shardpad.Analyzer})
+}

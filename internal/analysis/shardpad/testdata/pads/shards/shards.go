@@ -1,0 +1,54 @@
+// Package shards exercises the //tauw:pad size verification.
+package shards
+
+import (
+	"sync"
+	"unsafe"
+)
+
+const stride = 128
+
+// goodState is a small payload whose padded wrapper must be checked, not
+// trusted.
+type goodState struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// goodShard follows the repo idiom: payload first, computed tail pad.
+//
+//tauw:pad=128
+type goodShard struct {
+	goodState
+	_ [stride - unsafe.Sizeof(goodState{})%stride]byte
+}
+
+// brokenShard declares the stride but forgot the pad array.
+//
+//tauw:pad=128
+type brokenShard struct { // want "shardpad: brokenShard is 16 bytes, not a positive multiple of the declared 128-byte stride"
+	goodState
+}
+
+// padFirst puts the pad before the payload: size checks out, idiom broken.
+//
+//tauw:pad=128
+type padFirst struct { // want "shardpad: padFirst has no payload field at offset 0"
+	_ [stride - unsafe.Sizeof(goodState{})%stride]byte
+	goodState
+}
+
+// notAStruct cannot carry a stride at all.
+//
+//tauw:pad=128
+type notAStruct uint64 // want "shardpad: //tauw:pad=128 on notAStruct, which is not a struct"
+
+// badValue has an unparseable stride.
+//
+//tauw:pad=banana
+type badValue struct { // want "shardpad: malformed //tauw:pad=banana on badValue"
+	goodState
+}
+
+// use keeps the fixture compiling without exporting everything.
+var use = [...]any{goodShard{}, brokenShard{}, padFirst{}, notAStruct(0), badValue{}}

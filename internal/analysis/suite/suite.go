@@ -1,0 +1,26 @@
+// Package suite is the registry of the repo's tauwcheck analyzers: the
+// single list both driver modes (standalone and `go vet -vettool`) and the
+// docs are generated from.
+package suite
+
+import (
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/codecpure"
+	"github.com/iese-repro/tauw/internal/analysis/hotpath"
+	"github.com/iese-repro/tauw/internal/analysis/lockorder"
+	"github.com/iese-repro/tauw/internal/analysis/seam"
+	"github.com/iese-repro/tauw/internal/analysis/shardpad"
+	"github.com/iese-repro/tauw/internal/analysis/xlogonly"
+)
+
+// Analyzers returns the full tauwcheck suite, in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		hotpath.Analyzer,
+		seam.Analyzer,
+		xlogonly.Analyzer,
+		shardpad.Analyzer,
+		lockorder.Analyzer,
+		codecpure.Analyzer,
+	}
+}

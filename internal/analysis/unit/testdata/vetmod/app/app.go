@@ -1,0 +1,7 @@
+// Package app logs ambiently: the xlogonly finding for the vet run.
+package app
+
+import "log"
+
+// Warn is the violation.
+func Warn() { log.Printf("warn") }

@@ -1,0 +1,12 @@
+package app
+
+import (
+	"log"
+	"testing"
+)
+
+// TestWarn logs from a test file, which xlogonly exempts by design.
+func TestWarn(t *testing.T) {
+	log.Printf("test logging is fine")
+	Warn()
+}

@@ -1,0 +1,5 @@
+// Package clean violates nothing.
+package clean
+
+// Add is pure arithmetic.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,7 @@
+// Package dep carries impurity that must flow to dependents as vetx facts.
+package dep
+
+import "fmt"
+
+// Render allocates by contract.
+func Render(x int) string { return fmt.Sprintf("%d", x) }

@@ -1,0 +1,13 @@
+// Package hot has a hot root whose violation is only visible through the
+// dependency's facts — the cross-package case the unitchecker plumbing
+// must carry.
+package hot
+
+import "tauwfix/dep"
+
+// Step is hot; its dep.Render call is the finding.
+//
+//tauw:hotpath
+func Step(x int) string {
+	return dep.Render(x)
+}

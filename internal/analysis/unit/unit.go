@@ -1,0 +1,161 @@
+// Package unit implements the `go vet -vettool` side of tauwcheck: cmd/go
+// hands the tool one JSON config file per package (import maps, export-data
+// files for every dependency, fact files from already-vetted packages, and
+// an output path for this package's facts), and expects diagnostics on
+// stderr with a non-zero exit. The protocol was pinned empirically against
+// go1.24's cmd/go; the config schema below mirrors the fields cmd/go
+// writes (the same ones x/tools' unitchecker consumes).
+package unit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+// Config is the vet.cfg schema cmd/go writes for each vetted package.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Run executes the analyzers for one vet.cfg unit and returns the
+// diagnostics to print (already ignore-filtered) plus the FileSet to
+// position them with.
+func Run(cfgPath string, analyzers []*analysis.Analyzer) (*token.FileSet, []analysis.Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, nil, err
+	}
+	b, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return nil, nil, fmt.Errorf("unit: parsing %s: %w", cfgPath, err)
+	}
+
+	// Facts only flow between module packages; the standard library is
+	// policy-trusted, so its facts-only passes are a no-op with an empty
+	// (but mandatory) vetx file.
+	if cfg.ModulePath == "" || len(cfg.GoFiles) == 0 {
+		return nil, nil, analysis.WriteFactFile(cfg.VetxOutput, nil)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, f := range cfg.GoFiles {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil, analysis.WriteFactFile(cfg.VetxOutput, nil)
+			}
+			return nil, nil, err
+		}
+		files = append(files, af)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("unit: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	sizes := types.SizesFor(cfg.Compiler, goarch())
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		Sizes:     sizes,
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := tconf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil, analysis.WriteFactFile(cfg.VetxOutput, nil)
+		}
+		return nil, nil, fmt.Errorf("unit: %s does not type-check: %w", cfg.ImportPath, errors.Join(typeErrs...))
+	}
+
+	var imported []analysis.FactRecord
+	for path, vetx := range cfg.PackageVetx {
+		recs, err := analysis.ReadFactFile(vetx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("unit: facts of %s: %w", path, err)
+		}
+		imported = append(imported, recs...)
+	}
+	store := analysis.NewFactStore(cfg.ImportPath, imported)
+
+	var diags []analysis.Diagnostic
+	report := func(d analysis.Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		if cfg.VetxOnly && len(a.FactTypes) == 0 {
+			continue
+		}
+		pass := analysis.NewPass(a, fset, files, pkg, info, sizes, cfg.ModulePath, store, report)
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("unit: %s on %s: %w", a.Name, cfg.ImportPath, err)
+		}
+	}
+	if err := analysis.WriteFactFile(cfg.VetxOutput, store.Exported()); err != nil {
+		return nil, nil, err
+	}
+	if cfg.VetxOnly {
+		return fset, nil, nil // facts pass: the package gets its own diagnostic unit
+	}
+	ignores, bad := analysis.CollectIgnores(fset, files)
+	out := bad
+	for _, d := range diags {
+		if !ignores.Suppressed(fset, d) {
+			out = append(out, d)
+		}
+	}
+	return fset, out, nil
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}

@@ -1,0 +1,66 @@
+package unit_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetTool drives the real `go vet -vettool` pipeline end to end: it
+// builds the tauwcheck binary, runs it over a fixture module, and checks
+// that findings surface (including a cross-package hotpath finding that
+// can only exist if vetx fact files flow between per-package invocations),
+// that test files stay exempt, and that a clean package vets green.
+func TestVetTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "tauwcheck")
+	build := exec.Command("go", "build", "-o", tool, "github.com/iese-repro/tauw/cmd/tauwcheck")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building tauwcheck: %v\n%s", err, out)
+	}
+
+	fixture, err := filepath.Abs("testdata/vetmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func(patterns ...string) (string, error) {
+		cmd := exec.Command("go", append([]string{"vet", "-vettool=" + tool}, patterns...)...)
+		cmd.Dir = fixture
+		// A fresh GOFLAGS-independent run; vet caches per tool build, and
+		// the tool hashes itself into the version, so no manual busting.
+		cmd.Env = os.Environ()
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	t.Run("red", func(t *testing.T) {
+		out, err := vet("./...")
+		if err == nil {
+			t.Fatalf("vet passed on a fixture with seeded violations:\n%s", out)
+		}
+		for _, want := range []string{
+			"xlogonly: log.Printf outside internal/xlog",
+			"hotpath: call to dep.Render in hot path",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("vet output missing %q:\n%s", want, out)
+			}
+		}
+		if strings.Contains(out, "app_test.go") {
+			t.Errorf("test-file logging was flagged; xlogonly must exempt _test.go:\n%s", out)
+		}
+	})
+
+	t.Run("green", func(t *testing.T) {
+		out, err := vet("./clean")
+		if err != nil {
+			t.Fatalf("vet failed on the clean package: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,23 @@
+// Package app is a fixture library package: ambient logging and stdout
+// printing are banned here.
+package app
+
+import (
+	"fmt"
+	"log"
+)
+
+// Noisy exercises the banned emitters.
+func Noisy() {
+	log.Printf("x=%d", 1)  // want "xlogonly: log.Printf outside internal/xlog"
+	fmt.Println("hello")   // want "xlogonly: fmt.Println outside internal/xlog"
+	log.Println("goodbye") // want "xlogonly: log.Println outside internal/xlog"
+}
+
+// Quiet shows the allowed shapes: formatting without emitting, and a
+// deliberate, justified exemption.
+func Quiet() string {
+	//tauwcheck:ignore xlogonly startup banner, printed once before xlog exists
+	fmt.Println("banner")
+	return fmt.Sprintf("x=%d", 1)
+}

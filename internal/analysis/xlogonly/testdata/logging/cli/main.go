@@ -1,0 +1,10 @@
+// Command cli is a fixture CLI: //tauw:cli packages own their stdout.
+//
+//tauw:cli
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("cli output is the product here")
+}

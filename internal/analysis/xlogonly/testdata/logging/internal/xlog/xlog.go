@@ -1,0 +1,8 @@
+// Package xlog is the fixture stand-in for the real logging seam: the one
+// package allowed to touch the stdlib logger.
+package xlog
+
+import "log"
+
+// Emit forwards to the ambient logger.
+func Emit(msg string) { log.Println(msg) }

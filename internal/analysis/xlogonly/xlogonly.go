@@ -1,0 +1,67 @@
+// Package xlogonly enforces the serving stack's logging seam: all logging
+// goes through internal/xlog (leveled logfmt with an injectable sink), so
+// stray log.Printf / fmt.Print* calls cannot bypass the level gate, the
+// component fields, or the tests that capture log output through the sink.
+//
+// Exemptions, in policy order: _test.go files (tests print freely),
+// internal/xlog itself (it renders onto the stdlib logger), and packages
+// marked //tauw:cli — command-line tools and examples whose stdout IS the
+// product (bench tooling, generators, demo binaries).
+package xlogonly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "xlogonly",
+	Doc:  "forbid log.Print*/log.Fatal*/fmt.Print* outside internal/xlog, tests, and //tauw:cli packages",
+	Run:  run,
+}
+
+// emitFuncs are the stdlib entry points that write log or console output.
+var emitFuncs = map[string]map[string]bool{
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+		"Output": true,
+	},
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PkgPathSuffix(pass.Pkg, "internal/xlog") {
+		return nil
+	}
+	if analysis.PackageMarked(pass.Files, "cli") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			names, ok := emitFuncs[fn.Pkg().Path()]
+			if !ok || !names[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "xlogonly: %s.%s outside internal/xlog — log through internal/xlog (or mark the package //tauw:cli if stdout is its product)", fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package xlogonly_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/iese-repro/tauw/internal/analysis"
+	"github.com/iese-repro/tauw/internal/analysis/atest"
+	"github.com/iese-repro/tauw/internal/analysis/xlogonly"
+)
+
+func TestXlogonly(t *testing.T) {
+	atest.Run(t, "testdata/logging", []*analysis.Analyzer{xlogonly.Analyzer})
+}
+
+// TestXlogonlyRedToGreen proves the findings follow the code: rewriting the
+// noisy function through the xlog seam silences the analyzer.
+func TestXlogonlyRedToGreen(t *testing.T) {
+	tmp := atest.Run(t, "testdata/logging", []*analysis.Analyzer{xlogonly.Analyzer})
+
+	green := `package app
+
+import (
+	"fmt"
+
+	"tauwfix/internal/xlog"
+)
+
+// Noisy now routes through the logging seam.
+func Noisy() {
+	xlog.Emit(fmt.Sprintf("x=%d", 1))
+}
+
+// Quiet shows the allowed shapes: formatting without emitting, and a
+// deliberate, justified exemption.
+func Quiet() string {
+	//tauwcheck:ignore xlogonly startup banner, printed once before xlog exists
+	fmt.Println("banner")
+	return fmt.Sprintf("x=%d", 1)
+}
+`
+	if err := os.WriteFile(filepath.Join(tmp, "app", "app.go"), []byte(green), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{xlogonly.Analyzer})
+}
+
+// TestCLIUnmarkedGoesRed drops the //tauw:cli mark and expects the CLI's
+// println to surface — pinning that the exemption is the annotation, not
+// the package name.
+func TestCLIUnmarkedGoesRed(t *testing.T) {
+	tmp := atest.Run(t, "testdata/logging", []*analysis.Analyzer{xlogonly.Analyzer})
+
+	path := filepath.Join(tmp, "cli", "main.go")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(src), "//tauw:cli\n", "", 1)
+	if bad == string(src) {
+		t.Fatal("fixture //tauw:cli mark not found")
+	}
+	bad = strings.Replace(bad,
+		"fmt.Println(\"cli output is the product here\")",
+		"fmt.Println(\"cli output is the product here\") // want \"xlogonly: fmt.Println outside internal/xlog\"",
+		1)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atest.RunDir(t, tmp, []*analysis.Analyzer{xlogonly.Analyzer})
+}

@@ -167,6 +167,8 @@ func stepSpan(ctx context.Context, done <-chan struct{}, p *WrapperPool, items [
 // cancelStride items, so a batch overruns its deadline by at most a few
 // microseconds of stepping; items already stepped keep their results (a
 // step that happened is not undone by a deadline).
+//
+//tauw:hotpath
 func (p *WrapperPool) StepBatchIntoCtx(ctx context.Context, items []StepItem, workers int, dst []BatchResult) []BatchResult {
 	out := xslice.Grow(dst, len(items))
 	if len(items) == 0 {
@@ -176,6 +178,7 @@ func (p *WrapperPool) StepBatchIntoCtx(ctx context.Context, items []StepItem, wo
 	// Step; this one attributes the dispatch itself (grouping, handoff,
 	// stragglers) with the item count as its argument.
 	if p.trace != nil {
+		//tauwcheck:ignore hotpath one defer per batch envelope, amortised across the items
 		defer p.traceBatch(p.trace.Now(), len(items))
 	}
 	done := ctx.Done()

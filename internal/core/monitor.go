@@ -58,6 +58,8 @@ type stepStatsState struct {
 // stepStatsShard pads the counters to the shard stride so two shards'
 // counters never share a cache line or an adjacent-line prefetch pair (the
 // same defence trackShard uses; TestShardPadding pins it).
+//
+//tauw:pad=128
 type stepStatsShard struct {
 	stepStatsState
 	_ [shardPad - unsafe.Sizeof(stepStatsState{})%shardPad]byte

@@ -72,6 +72,11 @@ type WrapperPool struct {
 }
 
 type pooledWrapper struct {
+	// mu guards the wrapper and its ring. Trace recording while holding it
+	// is forbidden (the ring reservation spin must never extend a critical
+	// section); record after unlock, as Step does.
+	//
+	//tauw:notrace
 	mu sync.Mutex
 	w  *Wrapper
 	// ring is the track's provenance ring (nil unless the pool was built
@@ -231,6 +236,8 @@ func (p *WrapperPool) open(trackID int) error {
 // rather than deferred: Step is the pool's hottest function and the
 // wrapper's step is pure arithmetic over owned state, so there is no panic
 // path the defer would be protecting.
+//
+//tauw:hotpath
 func (p *WrapperPool) Step(trackID, outcome int, quality []float64) (Result, error) {
 	// Trace timing reads the clock only on traced pools; the event itself
 	// is recorded after the wrapper lock drops so the ring's spin word

@@ -24,6 +24,7 @@ const shardPad = 128
 // trackShardState is the payload of one track shard: one slice of the
 // pool's track map under its own lock.
 type trackShardState struct {
+	//tauw:notrace
 	mu     sync.Mutex
 	tracks map[int]*pooledWrapper
 }
@@ -34,6 +35,8 @@ type trackShardState struct {
 // invariant). The expression always pads by at least one byte, so a state
 // that is already an exact stride multiple carries one extra stride — a
 // non-issue at the current 16-byte state.
+//
+//tauw:pad=128
 type trackShard struct {
 	trackShardState
 	_ [shardPad - unsafe.Sizeof(trackShardState{})%shardPad]byte
@@ -44,11 +47,14 @@ type trackShard struct {
 // track maps: a series id hashes by string, its track by integer, so the
 // two layers scale without coordinating.
 type seriesShardState struct {
+	//tauw:notrace
 	mu  sync.Mutex
 	ids map[string]int
 }
 
 // seriesShard pads the registry shard to the shard stride (see trackShard).
+//
+//tauw:pad=128
 type seriesShard struct {
 	seriesShardState
 	_ [shardPad - unsafe.Sizeof(seriesShardState{})%shardPad]byte

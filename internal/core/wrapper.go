@@ -185,13 +185,18 @@ func (w *Wrapper) stepScopedModel(taqim *uw.QualityImpactModel, outcome int, qua
 		}
 	} else {
 		// Reference path for fusers without an incremental form: replay the
-		// buffered series through the fuser and the taQF oracle.
+		// buffered series through the fuser and the taQF oracle. Production
+		// pools always run the tally path above; the replay's allocations are
+		// a deliberate trade for keeping the oracle byte-for-byte simple.
+		//tauwcheck:ignore hotpath reference replay branch, never taken by pooled wrappers
 		outcomes := w.buf.Outcomes()
+		//tauwcheck:ignore hotpath reference replay branch, never taken by pooled wrappers
 		us := w.buf.Uncertainties()
 		fused, err = w.fuser.Fuse(outcomes, us)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: information fusion: %w", err)
 		}
+		//tauwcheck:ignore hotpath reference replay branch, never taken by pooled wrappers
 		taqf, err = ComputeFeatures(outcomes, us, fused)
 		if err != nil {
 			return Result{}, err

@@ -31,6 +31,8 @@ type latStripeState struct {
 
 // latStripe pads a stripe to the shard stride, the same false-sharing
 // defence the accumulator shards use.
+//
+//tauw:pad=128
 type latStripe struct {
 	latStripeState
 	_ [shardPad - unsafe.Sizeof(latStripeState{})%shardPad]byte

@@ -38,6 +38,8 @@ type leafShardState struct {
 
 // leafShard pads the state to the shard stride (the trackShard pattern;
 // TestShardPadding pins it).
+//
+//tauw:pad=128
 type leafShard struct {
 	leafShardState
 	_ [shardPad - unsafe.Sizeof(leafShardState{})%shardPad]byte

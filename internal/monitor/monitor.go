@@ -20,6 +20,8 @@
 // shards never false-share. The offline evaluation replays through this
 // exact implementation (eval.RunMonitorReplay), so offline and online
 // reliability numbers can never diverge by construction.
+//
+//tauw:seam
 package monitor
 
 import (
@@ -104,6 +106,7 @@ type binStat struct {
 // guarded by mu; feedback for different tracks hashes to different shards,
 // so the lock is effectively per-track-group.
 type feedShardState struct {
+	//tauw:notrace
 	mu sync.Mutex
 	// Cumulative totals since construction.
 	n        uint64
@@ -121,6 +124,8 @@ type feedShardState struct {
 
 // feedShard pads the accumulator to the shard stride (the trackShard
 // pattern; TestShardPadding pins it).
+//
+//tauw:pad=128
 type feedShard struct {
 	feedShardState
 	_ [shardPad - unsafe.Sizeof(feedShardState{})%shardPad]byte

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 	"time"
-	"unsafe"
 )
 
 // refStats recomputes the monitor's aggregates from a flat feedback trace —
@@ -220,24 +219,6 @@ func TestPageHinkleyMinSamplesGate(t *testing.T) {
 	}
 	if m.DriftAlarmed() {
 		t.Error("alarm before MinSamples")
-	}
-}
-
-func TestFeedShardPadding(t *testing.T) {
-	if s := unsafe.Sizeof(feedShard{}); s%shardPad != 0 || s == 0 {
-		t.Errorf("feedShard size %d is not a positive multiple of %d", s, shardPad)
-	}
-	if off := unsafe.Offsetof(feedShard{}.feedShardState); off != 0 {
-		t.Errorf("feedShardState at offset %d, want 0", off)
-	}
-	if s := unsafe.Sizeof(latStripe{}); s%shardPad != 0 || s == 0 {
-		t.Errorf("latStripe size %d is not a positive multiple of %d", s, shardPad)
-	}
-	if s := unsafe.Sizeof(leafShard{}); s%shardPad != 0 || s == 0 {
-		t.Errorf("leafShard size %d is not a positive multiple of %d", s, shardPad)
-	}
-	if off := unsafe.Offsetof(leafShard{}.leafShardState); off != 0 {
-		t.Errorf("leafShardState at offset %d, want 0", off)
 	}
 }
 

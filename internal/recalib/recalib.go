@@ -14,6 +14,8 @@
 // collapses a region's bound). Either way a swap is atomic for the serving
 // path: steps in flight finish on the old revision, later steps see the new
 // one, and nothing blocks.
+//
+//tauw:seam
 package recalib
 
 import (
@@ -65,6 +67,9 @@ const (
 	DefaultCooldown        = time.Minute
 )
 
+// withDefaults wires the injectable defaults, including the ambient clock.
+//
+//tauw:seamimpl
 func (c Config) withDefaults() Config {
 	if c.MinLeafFeedback == 0 {
 		c.MinLeafFeedback = DefaultMinLeafFeedback

@@ -196,7 +196,11 @@ type Checkpointer struct {
 
 // NewCheckpointer wires a pool (required) and the optional feedback-side
 // state to a store. The pool should be built with core.WithStateJournal so
-// closes reach the log.
+// closes reach the log. This constructor is the clock/rng seam: the real
+// time.Now and time.Sleep become the injectable defaults here, and every
+// other use in the package must go through c.now / c.sleep / c.rng.
+//
+//tauw:seamimpl
 func NewCheckpointer(s Store, pool *core.WrapperPool, mon *monitor.Monitor, leaves *monitor.LeafStats, cfg CheckpointConfig) (*Checkpointer, error) {
 	if s == nil || pool == nil {
 		return nil, fmt.Errorf("store: checkpointer needs a store and a pool")
@@ -238,6 +242,11 @@ func (c *Checkpointer) Start() {
 	go c.run()
 }
 
+// run is the background loop. Its tickers are deliberately ambient — tests
+// never run the loop, they call tick/flush/checkpoint directly through the
+// injected clock — so the loop is part of the production seam wiring.
+//
+//tauw:seamimpl
 func (c *Checkpointer) run() {
 	defer close(c.done)
 	flushT := time.NewTicker(c.cfg.FlushInterval)
@@ -434,9 +443,9 @@ func (c *Checkpointer) timedSync() error {
 	if c.cfg.Stages == nil {
 		return c.withRetry(c.store.Sync)
 	}
-	t0 := time.Now()
+	t0 := c.now()
 	err := c.withRetry(c.store.Sync)
-	c.cfg.Stages.Fsync.Observe(time.Since(t0))
+	c.cfg.Stages.Fsync.Observe(c.now().Sub(t0))
 	return err
 }
 
@@ -451,11 +460,11 @@ func (c *Checkpointer) append(rec []byte) error {
 	}
 	var t0 time.Time
 	if c.cfg.Stages != nil {
-		t0 = time.Now()
+		t0 = c.now()
 	}
 	err := c.withRetry(func() error { return c.store.Append(rec) })
 	if c.cfg.Stages != nil {
-		c.cfg.Stages.StoreAppend.Observe(time.Since(t0))
+		c.cfg.Stages.StoreAppend.Observe(c.now().Sub(t0))
 	}
 	if c.cfg.Trace != nil {
 		status := trace.StatusOK
@@ -520,11 +529,11 @@ func (c *Checkpointer) Checkpoint() error {
 	}
 	var t0 time.Time
 	if c.cfg.Stages != nil {
-		t0 = time.Now()
+		t0 = c.now()
 	}
 	err := c.checkpointLocked()
 	if c.cfg.Stages != nil {
-		c.cfg.Stages.Checkpoint.Observe(time.Since(t0))
+		c.cfg.Stages.Checkpoint.Observe(c.now().Sub(t0))
 	}
 	if c.cfg.Trace != nil {
 		status := trace.StatusOK
@@ -575,7 +584,7 @@ func (c *Checkpointer) checkpointLocked() error {
 	c.lastMetaCounter = c.pool.SeriesCounter()
 	_, c.lastMetaVersion = c.pool.ServingModel()
 	c.checkpoints.Add(1)
-	c.lastCPNanos.Store(time.Now().UnixNano())
+	c.lastCPNanos.Store(c.now().UnixNano())
 	c.lastCPBytes.Store(uint64(len(blob)))
 	// A successful full checkpoint holds the complete serving state, so
 	// whatever WAL gap degraded mode opened is reconciled by construction:

@@ -94,7 +94,10 @@ type FaultStore struct {
 	sleep func(time.Duration)
 }
 
-// NewFaultStore wraps inner with an initially healthy fault plan.
+// NewFaultStore wraps inner with an initially healthy fault plan. The real
+// time.Sleep is the default latency injector, swapped out by tests.
+//
+//tauw:seamimpl
 func NewFaultStore(inner Store) *FaultStore {
 	return &FaultStore{inner: inner, sleep: time.Sleep}
 }

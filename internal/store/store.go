@@ -2,6 +2,11 @@
 // persistence backend — and the in-memory backend (tests, benchmarks, and
 // deployments that want restore semantics without a disk, e.g. snapshot
 // shipping over a side channel).
+// The package is clock-deterministic by contract: see //tauw:seam and the
+// codec discipline mark //tauw:codec below.
+//
+//tauw:seam
+//tauw:codec
 package store
 
 import (

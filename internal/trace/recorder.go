@@ -158,6 +158,8 @@ func New(cfg Config) *Recorder {
 // Now returns the recorder's clock — Unix nanoseconds derived from the
 // monotonic anchor. Callers timing an operation read it once at the start
 // and hand it to RecordSince, so one event costs exactly two clock reads.
+//
+//tauw:hotpath
 func (r *Recorder) Now() int64 {
 	if r == nil {
 		return 0
@@ -166,6 +168,9 @@ func (r *Recorder) Now() int64 {
 }
 
 // Record logs one instant event (no duration).
+//
+//tauw:hotpath
+//tauw:noescape
 func (r *Recorder) Record(kind Kind, status Status, shard uint16, series, arg uint64) {
 	if r == nil {
 		return
@@ -176,6 +181,9 @@ func (r *Recorder) Record(kind Kind, status Status, shard uint16, series, arg ui
 // RecordSince logs one timed event: start is a value previously read from
 // Now, the event's timestamp is the present, and the duration the
 // difference.
+//
+//tauw:hotpath
+//tauw:noescape
 func (r *Recorder) RecordSince(start int64, kind Kind, status Status, shard uint16, series, arg uint64) {
 	if r == nil {
 		return
@@ -186,6 +194,8 @@ func (r *Recorder) RecordSince(start int64, kind Kind, status Status, shard uint
 
 // record claims the event's stripe and writes the slot: one CAS, one
 // struct copy, one release store.
+//
+//tauw:noescape
 func (r *Recorder) record(ev Event) {
 	rg := &r.rings[uint64(ev.Shard)&r.mask]
 	for spins := 0; !rg.lock.CompareAndSwap(0, 1); spins++ {
@@ -215,6 +225,9 @@ func (r *Recorder) noteShed(ts int64) {
 		}
 	}
 	if r.shedCount.Add(1) == r.shedLimit {
+		// The freeze is the storm's one cold transition: at most once per
+		// shed window, and worth its snapshot cost by definition.
+		//tauwcheck:ignore hotpath anomaly freeze fires once per storm, deliberately cold
 		r.Freeze("shed_rate")
 	}
 }

@@ -96,6 +96,8 @@ type StepRequest struct {
 // AppendStepItem renders one step item (the step request payload, and one
 // element of a batch payload): u16 id length + bytes, i64 outcome, u8
 // factor count, then each factor as f64 bits.
+//
+//tauw:hotpath
 func AppendStepItem(dst []byte, seriesID string, outcome int, quality []float64) ([]byte, error) {
 	if len(seriesID) > 0xFFFF {
 		return dst, fmt.Errorf("wire: series id %d bytes long exceeds the u16 length", len(seriesID))
@@ -125,6 +127,8 @@ type StepItemView struct {
 
 // DecodeStepItemView parses one step item starting at p and returns the
 // remaining bytes (batch payloads concatenate items).
+//
+//tauw:hotpath
 func DecodeStepItemView(p []byte) (StepItemView, []byte, error) {
 	var v StepItemView
 	if len(p) < 2 {
@@ -173,6 +177,8 @@ type StepResult struct {
 const stepResultSize = 8 + 8 + 8 + 4 + 8 + 8 + 1 + 1
 
 // AppendStepResultPayload renders a step response payload.
+//
+//tauw:hotpath
 func AppendStepResultPayload(dst []byte, r *StepResult, levelIdx uint8) []byte {
 	dst = appendU64(dst, uint64(int64(r.Fused)))
 	dst = appendU64(dst, math.Float64bits(r.Uncertainty))
@@ -190,6 +196,8 @@ func AppendStepResultPayload(dst []byte, r *StepResult, levelIdx uint8) []byte {
 // DecodeStepResultPayload parses a step response payload into out,
 // resolving the countermeasure index through levels (nil levels leave the
 // name empty). Returns the remaining bytes for batch decoding.
+//
+//tauw:hotpath
 func DecodeStepResultPayload(p []byte, out *StepResult, levels []string) ([]byte, error) {
 	if len(p) < stepResultSize {
 		return nil, errShortPayload
@@ -249,6 +257,8 @@ func AppendBatchItemStatus(dst []byte, status int) []byte {
 
 // AppendBatchItemResult renders one item of a batch response: u16 status,
 // then the step result (status 200) or u16 message length + bytes.
+//
+//tauw:hotpath
 func AppendBatchItemResult(dst []byte, status int, r *StepResult, levelIdx uint8, errMsg string) []byte {
 	dst = appendU16(dst, uint16(status))
 	if status == StatusOK {
@@ -263,6 +273,8 @@ func AppendBatchItemResult(dst []byte, status int, r *StepResult, levelIdx uint8
 
 // DecodeBatchItemResult parses one batch response item into out and
 // returns the rest. The error message is copied (error path only).
+//
+//tauw:hotpath
 func DecodeBatchItemResult(p []byte, out *BatchItemResult, levels []string) ([]byte, error) {
 	if len(p) < 2 {
 		return nil, errShortPayload
@@ -297,6 +309,8 @@ type FeedbackRequest struct {
 
 // AppendFeedbackRequestPayload renders a feedback request payload: u16 id
 // length + bytes, u64 step, i64 truth.
+//
+//tauw:hotpath
 func AppendFeedbackRequestPayload(dst []byte, seriesID string, step, truth int) ([]byte, error) {
 	if len(seriesID) > 0xFFFF {
 		return dst, fmt.Errorf("wire: series id %d bytes long exceeds the u16 length", len(seriesID))
@@ -310,6 +324,8 @@ func AppendFeedbackRequestPayload(dst []byte, seriesID string, step, truth int) 
 
 // DecodeFeedbackRequestPayload parses a feedback request payload; the
 // series id aliases the payload.
+//
+//tauw:hotpath
 func DecodeFeedbackRequestPayload(p []byte) (seriesID []byte, step, truth int, err error) {
 	if len(p) < 2 {
 		return nil, 0, 0, errShortPayload

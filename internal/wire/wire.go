@@ -25,6 +25,8 @@
 // carries the simplex countermeasure ladder, so step responses can name the
 // selected countermeasure as a one-byte index into that table instead of a
 // string per frame.
+//
+//tauw:codec
 package wire
 
 import (
@@ -150,6 +152,8 @@ func putU32(b []byte, v uint32) {
 // appends the payload and then calls EndFrame with that offset. Frames
 // under construction nest freely in one buffer as long as Begin/End pair up
 // innermost-first (the transport only ever builds them sequentially).
+//
+//tauw:hotpath
 func BeginFrame(dst []byte, typ byte, reqID uint32) ([]byte, int) {
 	lenOff := len(dst)
 	dst = appendU32(dst, 0) // patched by EndFrame
@@ -159,6 +163,8 @@ func BeginFrame(dst []byte, typ byte, reqID uint32) ([]byte, int) {
 }
 
 // EndFrame patches the length prefix of the frame begun at lenOff.
+//
+//tauw:hotpath
 func EndFrame(dst []byte, lenOff int) []byte {
 	putU32(dst[lenOff:], uint32(len(dst)-lenOff-4))
 	return dst

@@ -24,6 +24,8 @@
 // Benchmarks measured at GOMAXPROCS > 1 (-cpu=1,4) keep their own keys with
 // a " [procs=N]" suffix, so contention rows never min-merge with the
 // single-core rows.
+//
+//tauw:cli
 package main
 
 import (

@@ -1,0 +1,261 @@
+// Command escape is the escape-analysis gate: a function annotated
+// //tauw:noescape asserts that the compiler's escape analysis hoists
+// nothing it declares to the heap, and this tool machine-checks the
+// assertion by reading the compiler's own -m diagnostics.
+//
+// Why not `go build -gcflags=-m`? Because a warm build cache silently
+// replays nothing: the diagnostics only appear when a package actually
+// recompiles, so a CI gate built on it goes green the moment the cache
+// warms. This tool instead invokes `go tool compile -m` directly, with an
+// importcfg generated from `go list -export` — every run recompiles the
+// annotated packages and every run sees the full diagnostic stream.
+//
+// Usage: escape [packages]   (defaults to ./...)
+//
+// Packages without a //tauw:noescape annotation are listed but not
+// recompiled. Any "escapes to heap" / "moved to heap" diagnostic whose
+// position falls inside an annotated function's body is a finding; the
+// tool prints it and exits 2, the same contract as tauwcheck.
+//
+//tauw:cli
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	SFiles     []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+func run(args []string) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := list(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "escape: %v\n", err)
+		return 1
+	}
+	exports := map[string]string{}
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+
+	findings := 0
+	checked := 0
+	for _, m := range metas {
+		if m.DepOnly || m.Standard || m.Module == nil || m.Error != nil {
+			continue
+		}
+		ranges, err := noescapeRanges(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escape: %s: %v\n", m.ImportPath, err)
+			return 1
+		}
+		if len(ranges) == 0 {
+			continue
+		}
+		if len(m.CgoFiles) > 0 || len(m.SFiles) > 0 {
+			fmt.Fprintf(os.Stderr, "escape: %s: cgo/assembly packages are not supported; drop the //tauw:noescape annotations or teach the gate -symabis\n", m.ImportPath)
+			return 1
+		}
+		checked++
+		n, err := check(m, ranges, exports)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "escape: %s: %v\n", m.ImportPath, err)
+			return 1
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "escape: %d escaping declaration(s) inside //tauw:noescape functions\n", findings)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "escape: %d annotated package(s) clean\n", checked)
+	return 0
+}
+
+// list runs go list -export -deps over the patterns.
+func list(patterns []string) ([]pkgMeta, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-json=ImportPath,Dir,GoFiles,CgoFiles,SFiles,Export,Standard,DepOnly,Module,Error",
+		"-deps", "--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	var metas []pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// funcRange is one annotated function's body span within a file.
+type funcRange struct {
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	name       string
+}
+
+// noescapeRanges parses the package's files and returns the body line
+// ranges of every //tauw:noescape function.
+func noescapeRanges(m pkgMeta) ([]funcRange, error) {
+	var out []funcRange
+	fset := token.NewFileSet()
+	for _, f := range m.GoFiles {
+		path := filepath.Join(m.Dir, f)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		// Cheap pre-filter: most files carry no annotation.
+		if !bytes.Contains(src, []byte("//tauw:noescape")) {
+			continue
+		}
+		af, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range af.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			marked := false
+			for _, c := range fd.Doc.List {
+				if c.Text == "//tauw:noescape" {
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				continue
+			}
+			out = append(out, funcRange{
+				file:  path,
+				start: fset.Position(fd.Body.Pos()).Line,
+				end:   fset.Position(fd.Body.End()).Line,
+				name:  fd.Name.Name,
+			})
+		}
+	}
+	return out, nil
+}
+
+// escapeRE matches the compiler diagnostics that mean "this allocates".
+var escapeRE = regexp.MustCompile(`escapes to heap|moved to heap`)
+
+// check recompiles one package with -m and reports diagnostics landing in
+// annotated ranges.
+func check(m pkgMeta, ranges []funcRange, exports map[string]string) (int, error) {
+	cfg, err := writeImportcfg(m, exports)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(cfg)
+
+	args := []string{"tool", "compile", "-p", m.ImportPath, "-importcfg", cfg, "-o", os.DevNull, "-m"}
+	for _, f := range m.GoFiles {
+		args = append(args, filepath.Join(m.Dir, f))
+	}
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return 0, fmt.Errorf("go tool compile: %v\n%s", err, out)
+	}
+
+	findings := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		if !escapeRE.MatchString(line) {
+			continue
+		}
+		file, lno, ok := splitPos(line)
+		if !ok {
+			continue
+		}
+		for _, r := range ranges {
+			if file == r.file && lno >= r.start && lno <= r.end {
+				fmt.Fprintf(os.Stderr, "%s (inside //tauw:noescape %s)\n", line, r.name)
+				findings++
+				break
+			}
+		}
+	}
+	return findings, nil
+}
+
+// splitPos parses the file and line of a "file:line:col: msg" diagnostic.
+func splitPos(line string) (string, int, bool) {
+	parts := strings.SplitN(line, ":", 4)
+	if len(parts) < 4 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, false
+	}
+	return parts[0], n, true
+}
+
+// writeImportcfg renders the dependency export map the compiler needs.
+func writeImportcfg(m pkgMeta, exports map[string]string) (string, error) {
+	var b strings.Builder
+	for path, export := range exports {
+		if path == m.ImportPath {
+			continue
+		}
+		fmt.Fprintf(&b, "packagefile %s=%s\n", path, export)
+	}
+	f, err := os.CreateTemp("", "escape-importcfg-")
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", err
+	}
+	return f.Name(), f.Close()
+}

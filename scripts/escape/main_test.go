@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeGate builds the gate and runs it against two throwaway
+// modules: one whose annotated function leaks a local to the heap (must
+// exit nonzero and name the leak), one whose annotated function is clean
+// (must exit zero).
+func TestEscapeGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to the go tool")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "escape")
+	build := exec.Command("go", "build", "-o", tool, "github.com/iese-repro/tauw/scripts/escape")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building escape: %v\n%s", err, out)
+	}
+
+	mkmod := func(name, src string) string {
+		dir := filepath.Join(tmp, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module escfix\n\ngo 1.23\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	gate := func(dir string) (string, error) {
+		cmd := exec.Command(tool, "./...")
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	t.Run("red", func(t *testing.T) {
+		dir := mkmod("red", `package escfix
+
+//tauw:noescape
+func Leak() *int {
+	x := 42
+	return &x
+}
+`)
+		out, err := gate(dir)
+		if err == nil {
+			t.Fatalf("gate passed on a leaking function:\n%s", out)
+		}
+		if !strings.Contains(out, "moved to heap") || !strings.Contains(out, "//tauw:noescape Leak") {
+			t.Errorf("gate output does not name the leak:\n%s", out)
+		}
+	})
+
+	t.Run("green", func(t *testing.T) {
+		dir := mkmod("green", `package escfix
+
+//tauw:noescape
+func Sum(a, b int) int {
+	return a + b
+}
+
+// Grow allocates, but carries no annotation — out of scope for the gate.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+`)
+		out, err := gate(dir)
+		if err != nil {
+			t.Fatalf("gate failed on a clean module: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "1 annotated package(s) clean") {
+			t.Errorf("gate did not report the annotated package:\n%s", out)
+		}
+	})
+}
